@@ -1,0 +1,136 @@
+(* The benchmark harness.
+
+   Two layers, both produced by one executable:
+
+   1. Bechamel microbenchmarks of the host-side (CPU-reference) kernels —
+      one Test.make per paper table/figure, measuring the computational
+      piece that experiment exercises (factorizations for Figures 4-5,
+      triangular solves for Figures 6-7, preconditioner setup/apply and
+      IDR iterations for Figures 8-9 / Table I).
+
+   2. The paper-shaped experiment outputs: every figure and table of the
+      evaluation section, regenerated through the SIMT performance model
+      (Figures 4-7 and kernel ablations) and through real solver runs
+      (Figures 8-9, Table I, variant ablation).
+
+   Set VBLU_BENCH_FULL=1 for the full-size sweeps (40,000-problem batches,
+   all 48 matrices); the default is a quick pass of the same pipelines. *)
+
+open Bechamel
+open Vblu_smallblas
+open Vblu_core
+
+let full = Sys.getenv_opt "VBLU_BENCH_FULL" = Some "1"
+
+(* ------------------------------------------------------------------ *)
+(* Layer 1: bechamel microbenchmarks                                    *)
+
+let small_batch size =
+  let st = Random.State.make [| 0xbec |] in
+  Batch.of_matrices (Array.init 32 (fun _ -> Matrix.random_general ~state:st size))
+
+let micro_tests () =
+  let b16 = small_batch 16 and b32 = small_batch 32 in
+  let m32 = Batch.to_matrices b32 in
+  let m16 = Batch.to_matrices b16 in
+  let rhs32 = Batch.vec_random b32.Batch.sizes in
+  let factors32 = Array.map Lu.factor_implicit m32 in
+  let a = Vblu_workloads.Generators.fem_blocks ~nodes:100 ~vars_per_node:4 () in
+  let n, _ = Vblu_sparse.Csr.dims a in
+  let ones = Array.make n 1.0 in
+  let precond, _ = Vblu_precond.Block_jacobi.create ~max_block_size:16 a in
+  [
+    (* Figure 4/5 — the factorization kernels (host reference numerics). *)
+    Test.make ~name:"fig4_5/getrf_lu_16"
+      (Staged.stage (fun () -> Array.map Lu.factor_implicit m16));
+    Test.make ~name:"fig4_5/getrf_lu_32"
+      (Staged.stage (fun () -> Array.map Lu.factor_implicit m32));
+    Test.make ~name:"fig4_5/getrf_gh_32"
+      (Staged.stage (fun () -> Array.map (fun m -> Gauss_huard.factor m) m32));
+    Test.make ~name:"fig4_5/getrf_gje_32"
+      (Staged.stage (fun () -> Array.map Gauss_jordan.invert m32));
+    (* Figure 6/7 — the triangular solves. *)
+    Test.make ~name:"fig6_7/trsv_batch_32"
+      (Staged.stage (fun () ->
+           Array.mapi
+             (fun i f -> Lu.solve f (Batch.vec_get rhs32 i))
+             factors32));
+    (* Figures 8-9 / Table I — preconditioner setup and application, and
+       one full preconditioned solve. *)
+    Test.make ~name:"fig8_9/bj_setup_16"
+      (Staged.stage (fun () ->
+           Vblu_precond.Block_jacobi.create ~max_block_size:16 a));
+    Test.make ~name:"fig8_9/bj_apply_16"
+      (Staged.stage (fun () -> Vblu_precond.Preconditioner.apply precond ones));
+    Test.make ~name:"table1/idr4_solve"
+      (Staged.stage (fun () -> Vblu_krylov.Idr.solve ~precond ~s:4 a ones));
+    (* Substrate: the sparse product every iteration pays. *)
+    Test.make ~name:"substrate/spmv"
+      (Staged.stage (fun () -> Vblu_sparse.Csr.spmv a ones));
+    (* Extensions: Cholesky (future work), GEMM (batched BLAS), ILU(0). *)
+    Test.make ~name:"ablations/cholesky_32"
+      (Staged.stage
+         (let spd =
+            Array.map
+              (fun m ->
+                let p = Matrix.matmul m (Matrix.transpose m) in
+                Matrix.init 32 32 (fun i j ->
+                    Matrix.get p i j +. if i = j then 32.0 else 0.0))
+              m32
+          in
+          fun () -> Array.map Cholesky.factor spd));
+    Test.make ~name:"ablations/gemm_32"
+      (Staged.stage (fun () ->
+           Array.map (fun m -> Matrix.matmul m m) m32));
+    Test.make ~name:"ablations/ilu0_setup"
+      (Staged.stage (fun () -> Vblu_precond.Ilu0.factorize a));
+  ]
+
+let run_micro () =
+  let tests = micro_tests () in
+  let suite = Test.make_grouped ~name:"vblu" ~fmt:"%s %s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1000
+      ~quota:(Time.second (if full then 1.0 else 0.25))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] suite in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "\n## Bechamel microbenchmarks (host CPU, ns per run)\n";
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, r) ->
+         match Analyze.OLS.estimates r with
+         | Some (est :: _) -> Printf.printf "%-28s %14.1f ns\n" name est
+         | _ -> Printf.printf "%-28s (no estimate)\n" name)
+
+(* ------------------------------------------------------------------ *)
+(* Layer 2: the paper's figures and tables                              *)
+
+let () =
+  let ppf = Format.std_formatter in
+  let quick = not full in
+  run_micro ();
+  Vblu_perf.Kernel_figs.fig4 ~quick ppf;
+  Vblu_perf.Kernel_figs.fig5 ~quick ppf;
+  Vblu_perf.Kernel_figs.fig6 ~quick ppf;
+  Vblu_perf.Kernel_figs.fig7 ~quick ppf;
+  Vblu_perf.Kernel_figs.ablation_pivot ~quick ppf;
+  Vblu_perf.Kernel_figs.ablation_trsv ~quick ppf;
+  Vblu_perf.Kernel_figs.ablation_extraction ~quick ppf;
+  Vblu_perf.Kernel_figs.ablation_cholesky ~quick ppf;
+  Vblu_perf.Kernel_figs.ablation_variable_size ~quick ppf;
+  let study =
+    Vblu_perf.Solver_study.run_suite ~quick
+      ~progress:(fun msg -> Printf.eprintf "[suite] %s\n%!" msg)
+      ()
+  in
+  Vblu_perf.Solver_figs.fig8 ppf study;
+  Vblu_perf.Solver_figs.fig9 ppf study;
+  Vblu_perf.Solver_figs.table1 ppf study;
+  Vblu_perf.Solver_figs.ablation_variants ppf study;
+  Format.pp_print_flush ppf ()

@@ -1,0 +1,207 @@
+(* Command-line driver: regenerate any of the paper's figures/tables, list
+   the workload suite, or solve a Matrix Market system with block-Jacobi
+   preconditioned IDR(4). *)
+
+open Cmdliner
+open Vblu_perf
+
+let setup_logs () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+let quick_arg =
+  let doc = "Run a reduced sweep (fewer batch sizes / matrices)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let ppf = Format.std_formatter
+
+let kernel_cmd name doc driver =
+  let run quick =
+    setup_logs ();
+    driver ~quick ppf;
+    Format.pp_print_flush ppf ()
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg)
+
+let with_study quick f =
+  setup_logs ();
+  let progress msg = Printf.eprintf "[suite] %s\n%!" msg in
+  let study = Solver_study.run_suite ~quick ~progress () in
+  f study;
+  Format.pp_print_flush ppf ()
+
+let solver_cmd name doc driver =
+  let run quick = with_study quick (fun study -> driver ppf study) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg)
+
+let suite_cmd =
+  let run () =
+    setup_logs ();
+    List.iter
+      (fun (e : Vblu_workloads.Suite.entry) ->
+        let a = Vblu_workloads.Suite.matrix e in
+        Format.printf "%2d %-18s %-14s %a@." e.Vblu_workloads.Suite.id
+          e.Vblu_workloads.Suite.name
+          (Vblu_workloads.Suite.family_name e.Vblu_workloads.Suite.family)
+          Vblu_sparse.Csr.pp_stats a)
+      Vblu_workloads.Suite.all
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"List the 48 synthetic stand-in matrices.")
+    Term.(const run $ const ())
+
+let solve_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MATRIX.mtx" ~doc:"Matrix Market file to solve.")
+  in
+  let bound =
+    Arg.(
+      value & opt int 32
+      & info [ "block-size" ] ~doc:"Supervariable agglomeration bound.")
+  in
+  let variant =
+    let variant_conv =
+      Arg.enum
+        [
+          ("lu", Vblu_precond.Block_jacobi.Lu);
+          ("gh", Vblu_precond.Block_jacobi.Gh);
+          ("gh-t", Vblu_precond.Block_jacobi.Ght);
+          ("gje", Vblu_precond.Block_jacobi.Gje_inverse);
+          ("cholesky", Vblu_precond.Block_jacobi.Cholesky);
+          ("scalar", Vblu_precond.Block_jacobi.Scalar);
+        ]
+    in
+    Arg.(
+      value
+      & opt variant_conv Vblu_precond.Block_jacobi.Lu
+      & info [ "variant" ]
+          ~doc:"Batched factorization variant for the preconditioner.")
+  in
+  let run file bound variant =
+    setup_logs ();
+    let a = Vblu_sparse.Mm_io.read file in
+    let n, _ = Vblu_sparse.Csr.dims a in
+    let b = Array.make n 1.0 in
+    let precond, info =
+      Vblu_precond.Block_jacobi.create ~variant ~max_block_size:bound a
+    in
+    let _, stats = Vblu_krylov.Idr.solve ~precond ~s:4 a b in
+    Format.printf "matrix: %a@." Vblu_sparse.Csr.pp_stats a;
+    Format.printf "preconditioner: %s (%d blocks, setup %.3fs)@."
+      precond.Vblu_precond.Preconditioner.name
+      (Array.length
+         info.Vblu_precond.Block_jacobi.blocking.Vblu_precond.Supervariable.starts)
+      precond.Vblu_precond.Preconditioner.setup_seconds;
+    Format.printf "IDR(4): %a@." Vblu_krylov.Solver.pp_stats stats
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Solve a Matrix Market system with block-Jacobi + IDR(4).")
+    Term.(const run $ file $ bound $ variant)
+
+let csv_cmd =
+  let dir =
+    Arg.(
+      value & opt string "results"
+      & info [ "dir" ] ~doc:"Directory to write the CSV files into.")
+  in
+  let run dir quick =
+    setup_logs ();
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let slug title =
+      String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c
+          | _ -> '_')
+        title
+    in
+    let dump series =
+      List.iter
+        (fun (s : Report.series) ->
+          let path = Filename.concat dir (slug s.Report.title ^ ".csv") in
+          let oc = open_out path in
+          output_string oc (Report.csv_of_series s);
+          close_out oc;
+          Printf.printf "wrote %s\n" path)
+        series
+    in
+    dump (Kernel_figs.fig4_series ~quick ());
+    dump (Kernel_figs.fig5_series ~quick ());
+    dump (Kernel_figs.fig6_series ~quick ());
+    dump (Kernel_figs.fig7_series ~quick ())
+  in
+  Cmd.v
+    (Cmd.info "csv"
+       ~doc:"Export the Figure 4-7 data series as CSV files for plotting.")
+    Term.(const run $ dir $ quick_arg)
+
+let all_cmd =
+  let run quick =
+    setup_logs ();
+    Kernel_figs.fig4 ~quick ppf;
+    Kernel_figs.fig5 ~quick ppf;
+    Kernel_figs.fig6 ~quick ppf;
+    Kernel_figs.fig7 ~quick ppf;
+    Kernel_figs.ablation_pivot ~quick ppf;
+    Kernel_figs.ablation_trsv ~quick ppf;
+    Kernel_figs.ablation_extraction ~quick ppf;
+    Kernel_figs.ablation_cholesky ~quick ppf;
+    Kernel_figs.ablation_variable_size ~quick ppf;
+    with_study quick (fun study ->
+        Solver_figs.fig8 ppf study;
+        Solver_figs.fig9 ppf study;
+        Solver_figs.table1 ppf study;
+        Solver_figs.ablation_variants ppf study)
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every figure, table and ablation.")
+    Term.(const run $ quick_arg)
+
+let cmds =
+  [
+    kernel_cmd "fig4" "Figure 4: factorization GFLOPS vs batch size."
+      (fun ~quick ppf -> Kernel_figs.fig4 ~quick ppf);
+    kernel_cmd "fig5" "Figure 5: factorization GFLOPS vs matrix size."
+      (fun ~quick ppf -> Kernel_figs.fig5 ~quick ppf);
+    kernel_cmd "fig6" "Figure 6: triangular-solve GFLOPS vs batch size."
+      (fun ~quick ppf -> Kernel_figs.fig6 ~quick ppf);
+    kernel_cmd "fig7" "Figure 7: triangular-solve GFLOPS vs matrix size."
+      (fun ~quick ppf -> Kernel_figs.fig7 ~quick ppf);
+    kernel_cmd "ablation-pivot" "Implicit vs explicit vs no pivoting."
+      (fun ~quick ppf -> Kernel_figs.ablation_pivot ~quick ppf);
+    kernel_cmd "ablation-trsv" "Eager vs lazy triangular solves."
+      (fun ~quick ppf -> Kernel_figs.ablation_trsv ~quick ppf);
+    kernel_cmd "ablation-extract" "Extraction strategies."
+      (fun ~quick ppf -> Kernel_figs.ablation_extraction ~quick ppf);
+    kernel_cmd "ablation-cholesky" "Cholesky (future work) vs LU on SPD."
+      (fun ~quick ppf -> Kernel_figs.ablation_cholesky ~quick ppf);
+    kernel_cmd "ablation-varsize"
+      "Variable-size batches from real supervariable blockings."
+      (fun ~quick ppf -> Kernel_figs.ablation_variable_size ~quick ppf);
+    solver_cmd "fig8" "Figure 8: LU vs GH convergence histogram."
+      Solver_figs.fig8;
+    solver_cmd "fig9" "Figure 9: total solver time per matrix."
+      Solver_figs.fig9;
+    solver_cmd "table1" "Table I: iterations and runtimes." Solver_figs.table1;
+    solver_cmd "ablation-variants"
+      "Factorization vs inversion based block-Jacobi."
+      Solver_figs.ablation_variants;
+    suite_cmd;
+    solve_cmd;
+    csv_cmd;
+    all_cmd;
+  ]
+
+let () =
+  let info =
+    Cmd.info "vblu" ~version:"1.0.0"
+      ~doc:
+        "Variable-size batched LU for small matrices and block-Jacobi \
+         preconditioning — reproduction toolkit."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

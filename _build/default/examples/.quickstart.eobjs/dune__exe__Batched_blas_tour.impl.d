@@ -1,0 +1,1 @@
+examples/batched_blas_tour.ml: Array Batch Batched_cholesky Batched_gemm Batched_lu Batched_trsm Batched_trsv Diagnostics Float Format Matrix Random Vblu_core Vblu_simt Vblu_smallblas

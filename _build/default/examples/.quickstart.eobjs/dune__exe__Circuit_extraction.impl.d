@@ -1,0 +1,1 @@
+examples/circuit_extraction.ml: Array Batch Block_jacobi Csr Extraction Format Idr Solver Supervariable Vblu_core Vblu_krylov Vblu_precond Vblu_simt Vblu_smallblas Vblu_sparse Vblu_workloads

@@ -1,0 +1,1 @@
+examples/fem_block_jacobi.ml: Array Bicgstab Block_jacobi Csr Format Generators Gmres Idr Ilu0 List Preconditioner Solver Supervariable Vblu_krylov Vblu_precond Vblu_sparse Vblu_workloads

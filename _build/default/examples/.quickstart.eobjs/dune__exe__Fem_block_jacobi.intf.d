@@ -1,0 +1,1 @@
+examples/fem_block_jacobi.mli:

@@ -1,0 +1,1 @@
+examples/precision_study.ml: Batch Batched_lu Batched_trsv Diagnostics Float Format Hashtbl List Lu Matrix Option Precision Random Vblu_core Vblu_simt Vblu_smallblas

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Batch Batched_lu Batched_trsv Diagnostics Float Format Lu Random Vblu_core Vblu_simt Vblu_smallblas

@@ -1,0 +1,1 @@
+lib/core/batch.ml: Array Lazy Matrix Random Vblu_smallblas

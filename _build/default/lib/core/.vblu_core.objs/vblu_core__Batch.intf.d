@@ -1,0 +1,1 @@
+lib/core/batch.mli: Matrix Random Vblu_smallblas Vector

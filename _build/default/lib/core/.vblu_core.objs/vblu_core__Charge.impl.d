@@ -1,0 +1,1 @@
+lib/core/charge.ml: Config Counter Precision Vblu_simt Vblu_smallblas Warp

@@ -1,0 +1,1 @@
+lib/core/charge.mli: Vblu_simt Warp

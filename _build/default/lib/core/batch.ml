@@ -1,0 +1,142 @@
+open Vblu_smallblas
+
+type t = {
+  count : int;
+  sizes : int array;
+  offsets : int array;
+  values : float array;
+}
+
+let offsets_of_sizes per_block sizes =
+  let count = Array.length sizes in
+  let offsets = Array.make (count + 1) 0 in
+  for i = 0 to count - 1 do
+    if sizes.(i) <= 0 then invalid_arg "Batch: non-positive block size";
+    offsets.(i + 1) <- offsets.(i) + per_block sizes.(i)
+  done;
+  offsets
+
+let create sizes =
+  let sizes = Array.copy sizes in
+  let offsets = offsets_of_sizes (fun s -> s * s) sizes in
+  {
+    count = Array.length sizes;
+    sizes;
+    offsets;
+    values = Array.make offsets.(Array.length sizes) 0.0;
+  }
+
+let of_matrices ms =
+  if Array.length ms = 0 then invalid_arg "Batch.of_matrices: empty";
+  let sizes =
+    Array.map
+      (fun m ->
+        let r, c = Matrix.dims m in
+        if r <> c then invalid_arg "Batch.of_matrices: non-square block";
+        r)
+      ms
+  in
+  let b = create sizes in
+  Array.iteri
+    (fun i m ->
+      let s = sizes.(i) and off = b.offsets.(i) in
+      for j = 0 to s - 1 do
+        for r = 0 to s - 1 do
+          b.values.(off + r + (j * s)) <- Matrix.unsafe_get m r j
+        done
+      done)
+    ms;
+  b
+
+let get_matrix b i =
+  let s = b.sizes.(i) and off = b.offsets.(i) in
+  Matrix.init s s (fun r j -> b.values.(off + r + (j * s)))
+
+let to_matrices b = Array.init b.count (get_matrix b)
+
+let set_matrix b i m =
+  let r, c = Matrix.dims m in
+  if r <> b.sizes.(i) || c <> b.sizes.(i) then
+    invalid_arg "Batch.set_matrix: size mismatch";
+  let s = b.sizes.(i) and off = b.offsets.(i) in
+  for j = 0 to s - 1 do
+    for row = 0 to s - 1 do
+      b.values.(off + row + (j * s)) <- Matrix.unsafe_get m row j
+    done
+  done
+
+let count b = b.count
+
+let max_size b = Array.fold_left max 0 b.sizes
+
+let total_values b = Array.length b.values
+
+let uniform_sizes ~count ~size =
+  if count <= 0 || size <= 0 then invalid_arg "Batch.uniform_sizes";
+  Array.make count size
+
+let default_state = lazy (Random.State.make [| 0x5eed; 0xbacc |])
+
+let random_sizes ?state ~count ~min_size ~max_size () =
+  if count <= 0 || min_size <= 0 || max_size < min_size then
+    invalid_arg "Batch.random_sizes";
+  let st = match state with Some s -> s | None -> Lazy.force default_state in
+  Array.init count (fun _ -> min_size + Random.State.int st (max_size - min_size + 1))
+
+let random_with gen ?state sizes =
+  let st = match state with Some s -> s | None -> Lazy.force default_state in
+  of_matrices (Array.map (fun s -> gen st s) sizes)
+
+let random_diagdom ?state sizes =
+  random_with (fun st s -> Matrix.random_diagdom ~state:st s) ?state sizes
+
+let random_general ?state sizes =
+  random_with (fun st s -> Matrix.random_general ~state:st s) ?state sizes
+
+type vec = {
+  vcount : int;
+  vsizes : int array;
+  voffsets : int array;
+  vvalues : float array;
+}
+
+let vec_create sizes =
+  let vsizes = Array.copy sizes in
+  let voffsets = offsets_of_sizes (fun s -> s) vsizes in
+  {
+    vcount = Array.length vsizes;
+    vsizes;
+    voffsets;
+    vvalues = Array.make voffsets.(Array.length vsizes) 0.0;
+  }
+
+let vec_of_vectors vs =
+  if Array.length vs = 0 then invalid_arg "Batch.vec_of_vectors: empty";
+  let v = vec_create (Array.map Array.length vs) in
+  Array.iteri (fun i x -> Array.blit x 0 v.vvalues v.voffsets.(i) (Array.length x)) vs;
+  v
+
+let vec_get v i = Array.sub v.vvalues v.voffsets.(i) v.vsizes.(i)
+
+let vec_to_vectors v = Array.init v.vcount (vec_get v)
+
+let vec_set v i x =
+  if Array.length x <> v.vsizes.(i) then invalid_arg "Batch.vec_set: size mismatch";
+  Array.blit x 0 v.vvalues v.voffsets.(i) (Array.length x)
+
+let vec_random ?state sizes =
+  let st = match state with Some s -> s | None -> Lazy.force default_state in
+  let v = vec_create sizes in
+  for k = 0 to Array.length v.vvalues - 1 do
+    v.vvalues.(k) <- -1.0 +. (2.0 *. Random.State.float st 1.0)
+  done;
+  v
+
+let vec_of_flat ~sizes x =
+  let v = vec_create sizes in
+  if Array.length x <> Array.length v.vvalues then
+    invalid_arg "Batch.vec_of_flat: length mismatch";
+  Array.blit x 0 v.vvalues 0 (Array.length x);
+  v
+
+let vec_to_flat v = Array.copy v.vvalues

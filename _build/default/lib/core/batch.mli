@@ -1,0 +1,87 @@
+(** Variable-size batch descriptors.
+
+    A batch is a large collection of independent small problems, each with
+    its own size — the data layout all batched routines share.  Matrix
+    blocks are stored back-to-back, each column-major, with an offset
+    table; right-hand-side collections use the same scheme with one vector
+    per problem.  This is the layout the variable-size kernels consume, and
+    the cuBLAS-model baseline rejects (it requires uniform sizes, as the
+    real library does). *)
+
+open Vblu_smallblas
+
+type t = private {
+  count : int;
+  sizes : int array;  (** block order per problem ([sizes.(i)] ≥ 1). *)
+  offsets : int array;
+      (** length [count + 1]; block [i]'s column-major values occupy
+          [values.(offsets.(i)) .. values.(offsets.(i+1)) - 1]. *)
+  values : float array;
+}
+
+val create : int array -> t
+(** [create sizes] allocates a zeroed batch with the given block sizes.
+    @raise Invalid_argument on a non-positive size. *)
+
+val of_matrices : Matrix.t array -> t
+(** Packs square matrices into a batch.
+    @raise Invalid_argument on a non-square input or an empty array. *)
+
+val to_matrices : t -> Matrix.t array
+
+val get_matrix : t -> int -> Matrix.t
+(** Dense copy of block [i]. *)
+
+val set_matrix : t -> int -> Matrix.t -> unit
+(** Overwrites block [i].  @raise Invalid_argument on a size mismatch. *)
+
+val count : t -> int
+
+val max_size : t -> int
+
+val total_values : t -> int
+
+val uniform_sizes : count:int -> size:int -> int array
+(** The fixed-size batch shape of the kernel benchmarks. *)
+
+val random_sizes :
+  ?state:Random.State.t -> count:int -> min_size:int -> max_size:int -> unit ->
+  int array
+(** Uniformly random sizes in [\[min_size, max_size\]] — the variable-size
+    workload. *)
+
+val random_diagdom : ?state:Random.State.t -> int array -> t
+(** One well-conditioned random block per entry of [sizes] — the standard
+    benchmark workload (guaranteed factorizable). *)
+
+val random_general : ?state:Random.State.t -> int array -> t
+(** Random nonsingular blocks with nontrivial pivoting. *)
+
+(** {1 Vector batches} *)
+
+type vec = private {
+  vcount : int;
+  vsizes : int array;
+  voffsets : int array;
+  vvalues : float array;
+}
+
+val vec_create : int array -> vec
+
+val vec_of_vectors : Vector.t array -> vec
+
+val vec_to_vectors : vec -> Vector.t array
+
+val vec_get : vec -> int -> Vector.t
+
+val vec_set : vec -> int -> Vector.t -> unit
+
+val vec_random : ?state:Random.State.t -> int array -> vec
+
+val vec_of_flat : sizes:int array -> Vector.t -> vec
+(** Splits a flat vector (e.g. a Krylov residual) into per-block segments;
+    the segment boundaries are the size prefix sums.
+    @raise Invalid_argument if the lengths disagree. *)
+
+val vec_to_flat : vec -> Vector.t
+(** Concatenation — inverse of {!vec_of_flat}. *)

@@ -1,0 +1,151 @@
+open Vblu_smallblas
+open Vblu_simt
+
+type result = {
+  factors : Batch.t;
+  stats : Launch.stats;
+  exact : bool;
+}
+
+exception Block_not_spd of { block : int; step : int }
+
+let kernel_factor w gin gout ~block ~off ~s =
+  let p = Warp.size w in
+  let zero = Array.make p 0.0 in
+  (* Load only the lower triangle: column j needs lanes j..s-1. *)
+  let reg =
+    Array.init p (fun j ->
+        if j < s then begin
+          let active = Array.init p (fun lane -> lane >= j && lane < s) in
+          Warp.load w gin ~active
+            (Array.init p (fun lane ->
+                 off + (if lane < s then lane + (j * s) else 0)))
+        end
+        else Array.copy zero)
+  in
+  Warp.round_barrier w;
+  for k = 0 to s - 1 do
+    let dkk = reg.(k).(k) in
+    if not (dkk > 0.0) then raise (Block_not_spd { block; step = k });
+    (* Lanewise sqrt on the pivot lane, then broadcast, then scale the
+       column below the diagonal. *)
+    let only_k = Array.init p (fun lane -> lane = k) in
+    reg.(k) <- Warp.sqrt_lanes w ~active:only_k reg.(k);
+    let d = Warp.broadcast w reg.(k) ~src:k in
+    let below = Array.init p (fun lane -> lane > k) in
+    reg.(k) <- Warp.div w ~active:below reg.(k) d;
+    (* Trailing update of the lower triangle, padded width like LU. *)
+    for j = k + 1 to p - 1 do
+      let ljk = Warp.broadcast w reg.(k) ~src:(min j (p - 1)) in
+      let mask = Array.init p (fun lane -> lane >= j) in
+      reg.(j) <- Warp.fnma w ~active:mask reg.(k) ljk reg.(j)
+    done
+  done;
+  (* Write back the lower triangle (coalesced per column). *)
+  for j = 0 to s - 1 do
+    let active = Array.init p (fun lane -> lane >= j && lane < s) in
+    Warp.store w gout ~active
+      (Array.init p (fun lane -> off + (if lane < s then lane + (j * s) else 0)))
+      reg.(j)
+  done;
+  Counter.credit_flops (Warp.counter w) (Cholesky.flops s)
+
+let factor ?(cfg = Config.p100) ?(prec = Precision.Double)
+    ?(mode = Sampling.Exact) (b : Batch.t) =
+  Array.iter
+    (fun s ->
+      if s > cfg.Config.warp_size then
+        invalid_arg "Batched_cholesky.factor: block exceeds warp width")
+    b.Batch.sizes;
+  let gin = Gmem.of_array prec b.Batch.values in
+  let gout = Gmem.create prec (Batch.total_values b) in
+  let kernel w i =
+    kernel_factor w gin gout ~block:i ~off:b.Batch.offsets.(i)
+      ~s:b.Batch.sizes.(i)
+  in
+  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:b.Batch.sizes ~kernel () in
+  let factors = Batch.create b.Batch.sizes in
+  let values = Gmem.to_array gout in
+  Array.blit values 0 factors.Batch.values 0 (Array.length values);
+  { factors; stats; exact = (mode = Sampling.Exact) }
+
+let kernel_solve w gmat gvec gout ~moff ~voff ~s =
+  let p = Warp.size w in
+  let active = Array.init p (fun lane -> lane < s) in
+  let b =
+    ref
+      (Warp.load w gvec ~active
+         (Array.init p (fun lane -> voff + min lane (s - 1))))
+  in
+  Warp.round_barrier w;
+  (* Forward sweep with L (non-unit diagonal): column reads, coalesced. *)
+  for k = 0 to s - 1 do
+    let from_k = Array.init p (fun lane -> lane >= k && lane < s) in
+    let col =
+      Warp.load w gmat ~active:from_k
+        (Array.init p (fun lane -> moff + min lane (s - 1) + (k * s)))
+    in
+    let d = Warp.broadcast w col ~src:k in
+    if d.(0) = 0.0 then raise (Error.Singular k);
+    let only_k = Array.init p (fun lane -> lane = k) in
+    b := Warp.div w ~active:only_k !b d;
+    let bk = Warp.broadcast w !b ~src:k in
+    let below = Array.init p (fun lane -> lane > k && lane < s) in
+    b := Warp.fnma w ~active:below col bk !b
+  done;
+  (* Backward sweep with Lᵀ: lane i accumulates -L(k,i)·x(k) for k > i; we
+     re-read column k of L (its elements L(k..s-1, k) are the row k of Lᵀ
+     used lanewise) — still one coalesced column load per step. *)
+  for k = s - 1 downto 0 do
+    let from_k = Array.init p (fun lane -> lane >= k && lane < s) in
+    let col =
+      Warp.load w gmat ~active:from_k
+        (Array.init p (fun lane -> moff + min lane (s - 1) + (k * s)))
+    in
+    let d = Warp.broadcast w col ~src:k in
+    (* x(k) = (b(k) - Σ_{i>k} L(i,k)·x(i)) / L(k,k): the partial products
+       live one per lane; reduce them into lane k. *)
+    let prods =
+      let mask = Array.init p (fun lane -> lane > k && lane < s) in
+      Warp.mul w ~active:mask col !b
+    in
+    let c = Warp.counter w in
+    c.Vblu_simt.Counter.shfl_instrs <- c.Vblu_simt.Counter.shfl_instrs +. 5.0;
+    c.Vblu_simt.Counter.fma_instrs <- c.Vblu_simt.Counter.fma_instrs +. 5.0;
+    let acc = ref 0.0 in
+    for lane = k + 1 to s - 1 do
+      acc := Precision.add (Warp.prec w) prods.(lane) !acc
+    done;
+    let bnew = Array.copy !b in
+    bnew.(k) <-
+      Precision.div (Warp.prec w)
+        (Precision.sub (Warp.prec w) !b.(k) !acc)
+        d.(k);
+    c.Vblu_simt.Counter.div_instrs <- c.Vblu_simt.Counter.div_instrs +. 1.0;
+    b := bnew
+  done;
+  Warp.store w gout ~active (Array.init p (fun lane -> voff + min lane (s - 1))) !b;
+  Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s)
+
+let solve ?(cfg = Config.p100) ?(prec = Precision.Double)
+    ?(mode = Sampling.Exact) ~(factors : Batch.t) (rhs : Batch.vec) =
+  if factors.Batch.count <> rhs.Batch.vcount then
+    invalid_arg "Batched_cholesky.solve: batch count mismatch";
+  let gmat = Gmem.of_array prec factors.Batch.values in
+  let gvec = Gmem.of_array prec rhs.Batch.vvalues in
+  let gout = Gmem.create prec (Array.length rhs.Batch.vvalues) in
+  let kernel w i =
+    kernel_solve w gmat gvec gout ~moff:factors.Batch.offsets.(i)
+      ~voff:rhs.Batch.voffsets.(i) ~s:factors.Batch.sizes.(i)
+  in
+  let stats =
+    Sampling.run ~cfg ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
+  in
+  let solutions = Batch.vec_create rhs.Batch.vsizes in
+  let values = Gmem.to_array gout in
+  Array.blit values 0 solutions.Batch.vvalues 0 (Array.length values);
+  {
+    Batched_trsv.solutions;
+    stats;
+    exact = (mode = Sampling.Exact);
+  }

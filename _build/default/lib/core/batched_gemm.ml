@@ -1,0 +1,86 @@
+open Vblu_smallblas
+open Vblu_simt
+
+type result = {
+  products : Batch.t;
+  stats : Launch.stats;
+  exact : bool;
+}
+
+let load_rows w g ~off ~s =
+  let p = Warp.size w in
+  let active = Array.init p (fun lane -> lane < s) in
+  Array.init s (fun j ->
+      Warp.load w g ~active
+        (Array.init p (fun lane -> off + (if lane < s then lane else 0) + (j * s))))
+
+let kernel w ga gb gc gout ~off ~s ~alpha ~beta ~with_c =
+  let p = Warp.size w in
+  let active = Array.init p (fun lane -> lane < s) in
+  (* Registers: lane i holds row i of a (one register per column) and the
+     row of c under construction. *)
+  let a = load_rows w ga ~off ~s in
+  let b = load_rows w gb ~off ~s in
+  Warp.round_barrier w;
+  let alpha_v = Array.make p alpha and beta_v = Array.make p beta in
+  for j = 0 to s - 1 do
+    (* c(:,j) = alpha * Σ_k a(:,k) * b(k,j) (+ beta * c(:,j)). *)
+    let acc = ref (Array.make p 0.0) in
+    for k = 0 to s - 1 do
+      let bkj = Warp.broadcast w b.(j) ~src:k in
+      acc := Warp.fma w ~active a.(k) bkj !acc
+    done;
+    let scaled = Warp.mul w ~active !acc alpha_v in
+    let out =
+      if with_c then begin
+        let cj =
+          Warp.load w gc ~active
+            (Array.init p (fun lane ->
+                 off + (if lane < s then lane else 0) + (j * s)))
+        in
+        Warp.fma w ~active cj beta_v scaled
+      end
+      else scaled
+    in
+    Warp.store w gout ~active
+      (Array.init p (fun lane -> off + (if lane < s then lane else 0) + (j * s)))
+      out
+  done;
+  let m = float_of_int s in
+  Counter.credit_flops (Warp.counter w) (2.0 *. m *. m *. m)
+
+let multiply ?(cfg = Config.p100) ?(prec = Precision.Double)
+    ?(mode = Sampling.Exact) ?(alpha = 1.0) ?(beta = 0.0) ~(a : Batch.t)
+    ~(b : Batch.t) ?c () =
+  if a.Batch.sizes <> b.Batch.sizes then
+    invalid_arg "Batched_gemm.multiply: size mismatch between a and b";
+  (match c with
+  | Some (c : Batch.t) ->
+    if c.Batch.sizes <> a.Batch.sizes then
+      invalid_arg "Batched_gemm.multiply: size mismatch with c"
+  | None -> ());
+  Array.iter
+    (fun s ->
+      if s > cfg.Config.warp_size then
+        invalid_arg "Batched_gemm.multiply: block exceeds warp width")
+    a.Batch.sizes;
+  let ga = Gmem.of_array prec a.Batch.values in
+  let gb = Gmem.of_array prec b.Batch.values in
+  let with_c = c <> None in
+  let gc =
+    match c with
+    | Some c -> Gmem.of_array prec c.Batch.values
+    | None -> Gmem.create prec 1
+  in
+  let gout = Gmem.create prec (Batch.total_values a) in
+  let kern w i =
+    kernel w ga gb gc gout ~off:a.Batch.offsets.(i) ~s:a.Batch.sizes.(i) ~alpha
+      ~beta ~with_c
+  in
+  let stats =
+    Sampling.run ~cfg ~prec ~mode ~sizes:a.Batch.sizes ~kernel:kern ()
+  in
+  let products = Batch.create a.Batch.sizes in
+  let values = Gmem.to_array gout in
+  Array.blit values 0 products.Batch.values 0 (Array.length values);
+  { products; stats; exact = (mode = Sampling.Exact) }

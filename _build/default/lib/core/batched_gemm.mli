@@ -1,0 +1,38 @@
+(** Variable-size batched GEMM for small square blocks.
+
+    The paper's introduction frames batched kernels as the future of BLAS
+    functionality ("batched routines … expected to cover a significant
+    fraction of the functionality currently supported by BLAS"); this is
+    the level-3 representative in the same register style as the LU
+    kernel: one warp per problem, thread [i] holds row [i] of [a], [b] and
+    [c] in registers, and every multiply-accumulate operand arrives
+    through one shuffle — [2 m³] flops from [3 m²] memory traffic.
+
+    Inside this project it also serves the inversion-based block-Jacobi
+    variant when preconditioned blocks must be composed (e.g. building
+    [D⁻¹·E] coupling products in ablation studies). *)
+
+open Vblu_smallblas
+open Vblu_simt
+
+type result = {
+  products : Batch.t;
+      (** per-block [alpha·a·b + beta·c]; complete in [Exact] mode. *)
+  stats : Launch.stats;
+  exact : bool;
+}
+
+val multiply :
+  ?cfg:Config.t ->
+  ?prec:Precision.t ->
+  ?mode:Sampling.mode ->
+  ?alpha:float ->
+  ?beta:float ->
+  a:Batch.t ->
+  b:Batch.t ->
+  ?c:Batch.t ->
+  unit ->
+  result
+(** [multiply ~a ~b ()] computes [alpha·aᵢ·bᵢ + beta·cᵢ] for every block
+    [i] (defaults [alpha = 1], [beta = 0], [c] zero).  All batches must
+    share sizes.  @raise Invalid_argument otherwise. *)

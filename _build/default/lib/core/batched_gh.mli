@@ -1,0 +1,59 @@
+(** Batched Gauss-Huard factorization and solve — the paper's primary
+    comparison kernels ("Gauss-Huard" and "Gauss-Huard-T", from the
+    companion ICCS'17 paper).
+
+    Numerics come from the {!Vblu_smallblas.Gauss_huard} reference (the
+    same algorithm the GPU kernel executes); the performance counters are
+    charged analytically following the kernel structure:
+
+    {b Factorization} (lane = column, registers hold one column each,
+    implicit {e column} pivoting): step [k] performs the lazy update of row
+    [k] and the eager elimination of column [k] above the diagonal — both
+    are rank-1 register updates driven by one shuffled scalar per processed
+    step, so the executed work grows with [k] (lazy), not with the padded
+    width (eager): the reason GH beats LU on small blocks in Figure 5.  GH
+    pivoting additionally replicates the pivot-index list in every thread
+    (one bookkeeping op per step — the overhead the paper notes implicit LU
+    avoids).  The "-T" variant writes the factors back transposed:
+    non-coalesced stores, charged accordingly.
+
+    {b Solve}: the natural GH solve replays the row transformations — a
+    DOT against row [k]'s lower multipliers plus the pivot division, then
+    the unit-upper backward sweep, all reading the matrix {e by rows}:
+    non-coalesced loads in normal storage (slow, Figure 7), coalesced in
+    the "-T" layout (the payoff). *)
+
+open Vblu_smallblas
+open Vblu_simt
+
+type result = {
+  factors : Gauss_huard.factors array;
+      (** complete in [Exact] mode; representatives only in [Sampled]. *)
+  stats : Launch.stats;
+  exact : bool;
+}
+
+type solve_result = {
+  solutions : Batch.vec;
+  solve_stats : Launch.stats;
+  solve_exact : bool;
+}
+
+val factor :
+  ?cfg:Config.t ->
+  ?prec:Precision.t ->
+  ?mode:Sampling.mode ->
+  ?storage:Gauss_huard.storage ->
+  Batch.t ->
+  result
+(** Factorize every block.  [storage] selects GH (default) or GH-T.
+    @raise Vblu_smallblas.Error.Singular on a singular block. *)
+
+val solve :
+  ?cfg:Config.t ->
+  ?prec:Precision.t ->
+  ?mode:Sampling.mode ->
+  result ->
+  Batch.vec ->
+  solve_result
+(** Apply the factors to a batch of right-hand sides. *)

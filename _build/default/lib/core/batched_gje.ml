@@ -1,0 +1,76 @@
+open Vblu_smallblas
+open Vblu_simt
+
+type result = {
+  inverses : Matrix.t array;
+  stats : Launch.stats;
+  exact : bool;
+}
+
+type apply_result = {
+  products : Batch.vec;
+  apply_stats : Launch.stats;
+  apply_exact : bool;
+}
+
+let charge_invert w ~s =
+  let p = Warp.size w in
+  for _j = 1 to s do
+    Charge.gmem_coalesced w ~elems:s
+  done;
+  Charge.round w;
+  for _k = 0 to s - 1 do
+    (* Implicit pivot search, the pivot-row broadcast-and-scale, then a
+       rank-1 update of the whole padded tile (GJE transforms every row at
+       every step — no lazy saving, hence the 2n³ cost). *)
+    Charge.reduction w;
+    Charge.div w 1.0;
+    for _j = 0 to p - 1 do
+      Charge.shfl w 1.0;
+      Charge.fma w 1.0
+    done
+  done;
+  for _j = 1 to s do
+    Charge.gmem_coalesced w ~elems:s
+  done;
+  Counter.credit_flops (Warp.counter w) (Flops.invert s)
+
+let invert ?(cfg = Config.p100) ?(prec = Precision.Double)
+    ?(mode = Sampling.Exact) (b : Batch.t) =
+  Array.iter
+    (fun s ->
+      if s > cfg.Config.warp_size then
+        invalid_arg "Batched_gje.invert: block exceeds warp width")
+    b.Batch.sizes;
+  let inverses = Array.make b.Batch.count (Matrix.identity 1) in
+  let kernel w i =
+    inverses.(i) <- Gauss_jordan.invert ~prec (Batch.get_matrix b i);
+    charge_invert w ~s:b.Batch.sizes.(i)
+  in
+  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:b.Batch.sizes ~kernel () in
+  { inverses; stats; exact = (mode = Sampling.Exact) }
+
+let charge_apply w ~s =
+  Charge.gmem_coalesced w ~elems:s;
+  Charge.round w;
+  for _j = 1 to s do
+    (* One coalesced column load, one shuffle of x_j, one FMA. *)
+    Charge.gmem_coalesced w ~elems:s;
+    Charge.shfl w 1.0;
+    Charge.fma w 1.0
+  done;
+  Charge.gmem_coalesced w ~elems:s;
+  Counter.credit_flops (Warp.counter w) (Flops.gemv s)
+
+let apply ?(cfg = Config.p100) ?(prec = Precision.Double)
+    ?(mode = Sampling.Exact) (r : result) (rhs : Batch.vec) =
+  if Array.length r.inverses <> rhs.Batch.vcount then
+    invalid_arg "Batched_gje.apply: batch count mismatch";
+  let products = Batch.vec_create rhs.Batch.vsizes in
+  let kernel w i =
+    let x = Matrix.gemv ~prec r.inverses.(i) (Batch.vec_get rhs i) in
+    Batch.vec_set products i x;
+    charge_apply w ~s:rhs.Batch.vsizes.(i)
+  in
+  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel () in
+  { products; apply_stats = stats; apply_exact = (mode = Sampling.Exact) }

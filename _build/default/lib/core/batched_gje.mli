@@ -1,0 +1,47 @@
+(** Batched Gauss-Jordan elimination: the inversion-based block-Jacobi
+    variant [Anzt et al., PMAM 2017].
+
+    Setup explicitly inverts every diagonal block ([2 n³] flops — three
+    times the LU cost) so the per-iteration preconditioner application
+    becomes a dense matrix–vector product: no triangular dependency chain,
+    perfectly parallel, but potentially less stable than the
+    factorization-based approach.  This is the trade-off the paper's
+    Section II-C discusses; the ablation bench quantifies it.
+
+    Numerics via {!Vblu_smallblas.Gauss_jordan}; counters charged
+    analytically for the register GJE kernel (lane = row, implicit
+    pivoting, every step updates the full padded register tile). *)
+
+open Vblu_smallblas
+open Vblu_simt
+
+type result = {
+  inverses : Matrix.t array;
+      (** complete in [Exact] mode; representatives only in [Sampled]. *)
+  stats : Launch.stats;
+  exact : bool;
+}
+
+type apply_result = {
+  products : Batch.vec;
+  apply_stats : Launch.stats;
+  apply_exact : bool;
+}
+
+val invert :
+  ?cfg:Config.t ->
+  ?prec:Precision.t ->
+  ?mode:Sampling.mode ->
+  Batch.t ->
+  result
+(** Invert every block.  @raise Vblu_smallblas.Error.Singular on a
+    singular block. *)
+
+val apply :
+  ?cfg:Config.t ->
+  ?prec:Precision.t ->
+  ?mode:Sampling.mode ->
+  result ->
+  Batch.vec ->
+  apply_result
+(** Batched GEMV with the precomputed inverses. *)

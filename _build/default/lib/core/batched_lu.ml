@@ -1,0 +1,175 @@
+open Vblu_smallblas
+open Vblu_simt
+
+type pivoting = Implicit | Explicit | No_pivoting
+
+type result = {
+  factors : Batch.t;
+  pivots : int array array;
+  stats : Launch.stats;
+  exact : bool;
+}
+
+exception Block_singular of { block : int; step : int }
+
+let check_batch cfg (b : Batch.t) =
+  let w = cfg.Config.warp_size in
+  Array.iter
+    (fun s ->
+      if s > w then
+        invalid_arg
+          (Printf.sprintf "Batched_lu: block size %d exceeds warp width %d" s w))
+    b.Batch.sizes
+
+(* Load the block at [off] of order [s] into the padded register tile:
+   reg.(j).(lane) = element (lane, j); one coalesced load per column. *)
+let load_tile w gin ~off ~s =
+  let p = Warp.size w in
+  let zero = Array.make p 0.0 in
+  let active = Array.init p (fun lane -> lane < s) in
+  let reg =
+    Array.init p (fun j ->
+        if j < s then
+          Warp.load w gin ~active
+            (Array.init p (fun lane -> off + (if lane < s then lane + (j * s) else 0)))
+        else Array.copy zero)
+  in
+  Warp.round_barrier w;
+  reg
+
+let store_tile w gout ~off ~s ~dest reg =
+  (* One store per column; [dest.(lane)] is the output row of lane's row —
+     the identity for explicit pivoting, the accumulated permutation for
+     implicit pivoting (the "combined row swap fused with the off-load"). *)
+  let p = Warp.size w in
+  let active = Array.init p (fun lane -> lane < s) in
+  for j = 0 to s - 1 do
+    let addrs =
+      Array.init p (fun lane ->
+          off + (if lane < s then dest.(lane) + (j * s) else 0))
+    in
+    Warp.store w gout ~active addrs reg.(j)
+  done
+
+let kernel_implicit w gin gout ~block ~off ~s =
+  let p = Warp.size w in
+  let reg = load_tile w gin ~off ~s in
+  (* step.(lane) = pivot step of this lane's row; padded lanes start
+     "already pivoted" so they never win the pivot search. *)
+  let step = Array.init p (fun lane -> if lane < s then -1 else p + lane) in
+  let unpivoted () = Array.map (fun x -> x < 0) step in
+  for k = 0 to s - 1 do
+    let mask = unpivoted () in
+    let piv = Warp.argmax_abs w ~active:mask reg.(k) in
+    let d = Warp.broadcast w reg.(k) ~src:piv in
+    if d.(0) = 0.0 then raise (Block_singular { block; step = k });
+    step.(piv) <- k;
+    let mask = unpivoted () in
+    reg.(k) <- Warp.div w ~active:mask reg.(k) d;
+    (* Trailing update over the full padded width: the eager-variant
+       padding overhead of Figure 5. *)
+    for j = k + 1 to p - 1 do
+      let urow = Warp.broadcast w reg.(j) ~src:piv in
+      reg.(j) <- Warp.fnma w ~active:mask reg.(k) urow reg.(j)
+    done
+  done;
+  (* Fused permutation: lane's row goes to its pivot position. *)
+  let dest = Array.init p (fun lane -> if lane < s then step.(lane) else 0) in
+  store_tile w gout ~off ~s ~dest reg;
+  let perm = Array.make s 0 in
+  for lane = 0 to s - 1 do
+    perm.(step.(lane)) <- lane
+  done;
+  perm
+
+let kernel_explicit w gin gout ~block ~off ~s =
+  let p = Warp.size w in
+  let reg = load_tile w gin ~off ~s in
+  let perm = Array.init s (fun i -> i) in
+  for k = 0 to s - 1 do
+    let active = Array.init p (fun lane -> lane >= k && lane < s) in
+    let piv = Warp.argmax_abs w ~active reg.(k) in
+    if piv <> k then begin
+      (* Physical row exchange: two lanes trade registers column by column
+         through shuffles while the rest of the warp idles — the cost the
+         implicit scheme removes. *)
+      for j = 0 to p - 1 do
+        let from_piv = Warp.broadcast w reg.(j) ~src:piv in
+        let from_k = Warp.broadcast w reg.(j) ~src:k in
+        let r = Array.copy reg.(j) in
+        r.(k) <- from_piv.(k);
+        r.(piv) <- from_k.(piv);
+        reg.(j) <- r
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(piv);
+      perm.(piv) <- tmp
+    end;
+    let d = Warp.broadcast w reg.(k) ~src:k in
+    if d.(0) = 0.0 then raise (Block_singular { block; step = k });
+    let below = Array.init p (fun lane -> lane > k) in
+    reg.(k) <- Warp.div w ~active:below reg.(k) d;
+    for j = k + 1 to p - 1 do
+      let urow = Warp.broadcast w reg.(j) ~src:k in
+      reg.(j) <- Warp.fnma w ~active:below reg.(k) urow reg.(j)
+    done
+  done;
+  let dest = Array.init p (fun lane -> if lane < s then lane else 0) in
+  store_tile w gout ~off ~s ~dest reg;
+  perm
+
+let kernel_nopivot w gin gout ~block ~off ~s =
+  let p = Warp.size w in
+  let reg = load_tile w gin ~off ~s in
+  for k = 0 to s - 1 do
+    let d = Warp.broadcast w reg.(k) ~src:k in
+    if d.(0) = 0.0 then raise (Block_singular { block; step = k });
+    let below = Array.init p (fun lane -> lane > k) in
+    reg.(k) <- Warp.div w ~active:below reg.(k) d;
+    for j = k + 1 to p - 1 do
+      let urow = Warp.broadcast w reg.(j) ~src:k in
+      reg.(j) <- Warp.fnma w ~active:below reg.(k) urow reg.(j)
+    done
+  done;
+  let dest = Array.init p (fun lane -> if lane < s then lane else 0) in
+  store_tile w gout ~off ~s ~dest reg;
+  Array.init s (fun i -> i)
+
+let factor ?(cfg = Config.p100) ?(prec = Precision.Double)
+    ?(mode = Sampling.Exact) ?(pivoting = Implicit) (b : Batch.t) =
+  check_batch cfg b;
+  let gin = Gmem.of_array prec b.Batch.values in
+  let gout = Gmem.create prec (Batch.total_values b) in
+  (* Pivot vectors live in their own device buffer, one entry per row. *)
+  let poffsets = Array.make (b.Batch.count + 1) 0 in
+  for i = 0 to b.Batch.count - 1 do
+    poffsets.(i + 1) <- poffsets.(i) + b.Batch.sizes.(i)
+  done;
+  let gpiv = Gmem.create prec poffsets.(b.Batch.count) in
+  let pivots = Array.make b.Batch.count [||] in
+  let kernel w i =
+    let off = b.Batch.offsets.(i) and s = b.Batch.sizes.(i) in
+    let perm =
+      match pivoting with
+      | Implicit -> kernel_implicit w gin gout ~block:i ~off ~s
+      | Explicit -> kernel_explicit w gin gout ~block:i ~off ~s
+      | No_pivoting -> kernel_nopivot w gin gout ~block:i ~off ~s
+    in
+    pivots.(i) <- perm;
+    (* The pivot vector also goes to memory for the subsequent solves. *)
+    let p = Warp.size w in
+    let active = Array.init p (fun lane -> lane < s) in
+    Warp.store w gpiv ~active
+      (Array.init p (fun lane -> poffsets.(i) + min (s - 1) lane))
+      (Array.init p (fun lane -> if lane < s then float_of_int perm.(lane) else 0.0));
+    Counter.credit_flops (Warp.counter w) (Flops.getrf s)
+  in
+  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:b.Batch.sizes ~kernel () in
+  let values = Gmem.to_array gout in
+  let factors =
+    (* Rebuild a batch sharing the shape of the input. *)
+    let out = Batch.create b.Batch.sizes in
+    Array.blit values 0 out.Batch.values 0 (Array.length values);
+    out
+  in
+  { factors; pivots; stats; exact = (mode = Sampling.Exact) }

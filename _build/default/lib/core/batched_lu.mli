@@ -1,0 +1,62 @@
+(** The paper's variable-size batched LU factorization (Section III-A).
+
+    One warp per block: thread (lane) [r] holds row [r] of the block in its
+    registers, the matrix is read from global memory exactly once (one
+    coalesced load per column), the whole factorization runs in registers
+    with warp shuffles providing pivot search and pivot-row broadcast, and
+    the factors are written back once.
+
+    Blocks smaller than the warp width are padded with zero rows/columns to
+    the full 32-wide register tile; the elimination performs only the first
+    [size] steps, but every step's trailing update spans the padded width —
+    the "eager" overhead the paper measures against lazy Gauss-Huard in
+    Figure 5 and promises to remove in future work.
+
+    Three pivoting modes mirror the paper's discussion:
+    - {!Implicit} (the contribution): rows never move; each thread tracks
+      whether its row has been pivoted, and the accumulated permutation is
+      applied for free by scattering rows to their pivot positions during
+      the write-back.
+    - {!Explicit}: textbook partial pivoting with physical row exchanges —
+      two threads swap register contents through shuffles at every step
+      while the rest of the warp idles; the ablation baseline.
+    - {!No_pivoting}: for blocks known to need none.
+
+    All modes produce identical packed factors ([perm] differs only in how
+    it was obtained); the result layout matches
+    {!Vblu_smallblas.Lu.factors}. *)
+
+open Vblu_smallblas
+open Vblu_simt
+
+type pivoting =
+  | Implicit
+  | Explicit
+  | No_pivoting
+
+type result = {
+  factors : Batch.t;
+      (** packed LU factors per block, rows in pivot order.  Complete in
+          [Exact] mode; in [Sampled] mode only the representative block of
+          each size class is populated. *)
+  pivots : int array array;
+      (** per-block permutation: [pivots.(i).(k)] is the original row index
+          of block [i]'s [k]-th pivot row. *)
+  stats : Launch.stats;  (** modelled kernel performance. *)
+  exact : bool;  (** whether every block was actually computed. *)
+}
+
+exception Block_singular of { block : int; step : int }
+(** Raised when a block turns out numerically singular. *)
+
+val factor :
+  ?cfg:Config.t ->
+  ?prec:Precision.t ->
+  ?mode:Sampling.mode ->
+  ?pivoting:pivoting ->
+  Batch.t ->
+  result
+(** Factorize every block of the batch.  Defaults: P100 model, double
+    precision, [Exact] execution, [Implicit] pivoting.
+    @raise Invalid_argument if any block exceeds the warp width (32).
+    @raise Block_singular on a zero pivot. *)

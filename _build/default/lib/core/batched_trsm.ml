@@ -1,0 +1,99 @@
+open Vblu_smallblas
+open Vblu_simt
+
+type result = {
+  solutions : Batch.vec array;
+  stats : Launch.stats;
+  exact : bool;
+}
+
+let kernel w gmat gvecs gouts ~moff ~voff ~s ~perm =
+  let p = Warp.size w in
+  let nrhs = Array.length gvecs in
+  let active = Array.init p (fun lane -> lane < s) in
+  (* Load every right-hand side with the fused permutation. *)
+  let addrs =
+    Array.init p (fun lane -> voff + if lane < s then perm.(lane) else 0)
+  in
+  let b = Array.map (fun g -> Warp.load w g ~active addrs) gvecs in
+  Warp.round_barrier w;
+  (* Unit lower solve: one column load serves all right-hand sides. *)
+  for k = 0 to s - 2 do
+    let below = Array.init p (fun lane -> lane > k && lane < s) in
+    let col =
+      Warp.load w gmat ~active:below
+        (Array.init p (fun lane -> moff + (if lane < s then lane else 0) + (k * s)))
+    in
+    for r = 0 to nrhs - 1 do
+      let bk = Warp.broadcast w b.(r) ~src:k in
+      b.(r) <- Warp.fnma w ~active:below col bk b.(r)
+    done
+  done;
+  (* Upper solve. *)
+  for k = s - 1 downto 0 do
+    let upto = Array.init p (fun lane -> lane <= k) in
+    let col =
+      Warp.load w gmat ~active:upto
+        (Array.init p (fun lane -> moff + min lane (s - 1) + (k * s)))
+    in
+    let d = Warp.broadcast w col ~src:k in
+    if d.(0) = 0.0 then raise (Error.Singular k);
+    let only_k = Array.init p (fun lane -> lane = k) in
+    let above = Array.init p (fun lane -> lane < k) in
+    for r = 0 to nrhs - 1 do
+      b.(r) <- Warp.div w ~active:only_k b.(r) d;
+      let bk = Warp.broadcast w b.(r) ~src:k in
+      b.(r) <- Warp.fnma w ~active:above col bk b.(r)
+    done
+  done;
+  let out_addrs = Array.init p (fun lane -> voff + min lane (s - 1)) in
+  Array.iteri (fun r g -> Warp.store w g ~active out_addrs b.(r)) gouts;
+  Counter.credit_flops (Warp.counter w)
+    (float_of_int nrhs *. Flops.trsv_pair s)
+
+let solve ?(cfg = Config.p100) ?(prec = Precision.Double)
+    ?(mode = Sampling.Exact) ~(factors : Batch.t) ~pivots
+    (rhs_sets : Batch.vec array) =
+  if Array.length rhs_sets = 0 then
+    invalid_arg "Batched_trsm.solve: no right-hand sides";
+  Array.iter
+    (fun (rhs : Batch.vec) ->
+      if rhs.Batch.vcount <> factors.Batch.count then
+        invalid_arg "Batched_trsm.solve: batch count mismatch";
+      Array.iteri
+        (fun i s ->
+          if rhs.Batch.vsizes.(i) <> s then
+            invalid_arg "Batched_trsm.solve: block size mismatch")
+        factors.Batch.sizes)
+    rhs_sets;
+  let gmat = Gmem.of_array prec factors.Batch.values in
+  let gvecs =
+    Array.map (fun (r : Batch.vec) -> Gmem.of_array prec r.Batch.vvalues) rhs_sets
+  in
+  let gouts =
+    Array.map
+      (fun (r : Batch.vec) -> Gmem.create prec (Array.length r.Batch.vvalues))
+      rhs_sets
+  in
+  let kernel w i =
+    let s = factors.Batch.sizes.(i) in
+    let perm =
+      if Array.length pivots.(i) = 0 then Array.init s (fun k -> k)
+      else pivots.(i)
+    in
+    kernel w gmat gvecs gouts ~moff:factors.Batch.offsets.(i)
+      ~voff:rhs_sets.(0).Batch.voffsets.(i) ~s ~perm
+  in
+  let stats =
+    Sampling.run ~cfg ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
+  in
+  let solutions =
+    Array.mapi
+      (fun r g ->
+        let out = Batch.vec_create rhs_sets.(r).Batch.vsizes in
+        let values = Gmem.to_array g in
+        Array.blit values 0 out.Batch.vvalues 0 (Array.length values);
+        out)
+      gouts
+  in
+  { solutions; stats; exact = (mode = Sampling.Exact) }

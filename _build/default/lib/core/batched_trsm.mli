@@ -1,0 +1,35 @@
+(** Batched triangular solves with multiple right-hand sides.
+
+    LAPACK's GETRS (and the cuBLAS batched equivalent) accepts [nrhs]
+    right-hand sides per system.  For the register kernel this is where
+    the triangular factors finally get data reuse: the warp holds all
+    [nrhs] vectors in registers (one element of each per lane) and every
+    factor column is loaded from memory {e once}, then applied to each
+    vector with one shuffle + FNMA pair — so the memory-bound solve cost
+    is amortized and throughput grows with [nrhs] until the issue slots
+    dominate.  This module generalizes {!Batched_trsv} (which is the
+    [nrhs = 1] special case, kept separate because the paper benchmarks
+    it). *)
+
+open Vblu_smallblas
+open Vblu_simt
+
+type result = {
+  solutions : Batch.vec array;  (** one solution set per input set. *)
+  stats : Launch.stats;
+  exact : bool;
+}
+
+val solve :
+  ?cfg:Config.t ->
+  ?prec:Precision.t ->
+  ?mode:Sampling.mode ->
+  factors:Batch.t ->
+  pivots:int array array ->
+  Batch.vec array ->
+  result
+(** [solve ~factors ~pivots rhs_sets] solves every block system for every
+    right-hand-side set ([rhs_sets.(r)] holds the [r]-th vector of every
+    block).  All sets must share the factors' block sizes.
+    @raise Invalid_argument on shape mismatch or an empty set array.
+    @raise Vblu_smallblas.Error.Singular on a zero diagonal. *)

@@ -1,0 +1,159 @@
+open Vblu_smallblas
+open Vblu_simt
+
+type variant = Eager | Lazy
+
+type result = {
+  solutions : Batch.vec;
+  stats : Launch.stats;
+  exact : bool;
+}
+
+let lane_active p s = Array.init p (fun lane -> lane < s)
+
+(* Eager (AXPY) schedule: per step one coalesced column load, one shuffle
+   broadcast of the freshly final solution element, one predicated FNMA. *)
+let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm =
+  let p = Warp.size w in
+  let active = lane_active p s in
+  (* Fused permutation on load: lane k reads b(perm(k)). *)
+  let b =
+    Warp.load w gvec ~active
+      (Array.init p (fun lane -> voff + if lane < s then perm.(lane) else 0))
+  in
+  Warp.round_barrier w;
+  let b = ref b in
+  (* Unit lower triangular solve. *)
+  for k = 0 to s - 2 do
+    let below = Array.init p (fun lane -> lane > k && lane < s) in
+    let col =
+      Warp.load w gmat ~active:below
+        (Array.init p (fun lane -> moff + (if lane < s then lane else 0) + (k * s)))
+    in
+    let bk = Warp.broadcast w !b ~src:k in
+    b := Warp.fnma w ~active:below col bk !b
+  done;
+  (* Upper triangular solve. *)
+  for k = s - 1 downto 0 do
+    let upto = Array.init p (fun lane -> lane <= k) in
+    let col =
+      Warp.load w gmat ~active:upto
+        (Array.init p (fun lane -> moff + min lane (s - 1) + (k * s)))
+    in
+    let d = Warp.broadcast w col ~src:k in
+    if d.(0) = 0.0 then raise (Error.Singular k);
+    let only_k = Array.init p (fun lane -> lane = k) in
+    b := Warp.div w ~active:only_k !b d;
+    let bk = Warp.broadcast w !b ~src:k in
+    let above = Array.init p (fun lane -> lane < k) in
+    b := Warp.fnma w ~active:above col bk !b
+  done;
+  Warp.store w gout ~active (Array.init p (fun lane -> voff + min lane (s - 1))) !b;
+  Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s)
+
+(* Lazy (DOT) schedule: per step one non-coalesced row load and a warp
+   reduction; the ablation showing why the paper prefers the eager form. *)
+let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm =
+  let p = Warp.size w in
+  let active = lane_active p s in
+  let b =
+    Warp.load w gvec ~active
+      (Array.init p (fun lane -> voff + if lane < s then perm.(lane) else 0))
+  in
+  Warp.round_barrier w;
+  let b = ref b in
+  let dot_row ~upto_excl k =
+    (* Row k, elements [0..upto_excl), lanewise product then a tree
+       reduction (log2 p shuffle+add rounds, charged like argmax). *)
+    let act = Array.init p (fun lane -> lane < upto_excl) in
+    let row =
+      Warp.load w gmat ~active:act
+        (Array.init p (fun lane -> moff + k + (min lane (s - 1) * s)))
+    in
+    let prod = Warp.mul w ~active:act row !b in
+    let rounds = 5 in
+    let c = Warp.counter w in
+    c.Counter.shfl_instrs <- c.Counter.shfl_instrs +. float_of_int rounds;
+    c.Counter.fma_instrs <- c.Counter.fma_instrs +. float_of_int rounds;
+    let acc = ref 0.0 in
+    for lane = 0 to upto_excl - 1 do
+      acc := Precision.add (Warp.prec w) prod.(lane) !acc
+    done;
+    !acc
+  in
+  (* Unit lower solve, lazy: b(k) -= L(k, 0..k-1) · b(0..k-1). *)
+  for k = 1 to s - 1 do
+    let d = dot_row ~upto_excl:k k in
+    let bnew = Array.copy !b in
+    bnew.(k) <- Precision.sub (Warp.prec w) !b.(k) d;
+    (* One predicated subtract on the owning lane. *)
+    let c = Warp.counter w in
+    c.Counter.fma_instrs <- c.Counter.fma_instrs +. 1.0;
+    b := bnew
+  done;
+  (* Upper solve, lazy. *)
+  for k = s - 1 downto 0 do
+    let act = Array.init p (fun lane -> lane > k && lane < s) in
+    let row =
+      Warp.load w gmat ~active:act
+        (Array.init p (fun lane -> moff + k + (min lane (s - 1) * s)))
+    in
+    let prod = Warp.mul w ~active:act row !b in
+    let c = Warp.counter w in
+    c.Counter.shfl_instrs <- c.Counter.shfl_instrs +. 5.0;
+    c.Counter.fma_instrs <- c.Counter.fma_instrs +. 5.0;
+    let acc = ref 0.0 in
+    for lane = k + 1 to s - 1 do
+      acc := Precision.add (Warp.prec w) prod.(lane) !acc
+    done;
+    let diag = Gmem.get gmat (moff + k + (k * s)) in
+    if diag = 0.0 then raise (Error.Singular k);
+    (* The diagonal element arrives with the row load of step k via lane k;
+       charge one more row element access. *)
+    let bnew = Array.copy !b in
+    bnew.(k) <-
+      Precision.div (Warp.prec w)
+        (Precision.sub (Warp.prec w) !b.(k) !acc)
+        diag;
+    c.Counter.div_instrs <- c.Counter.div_instrs +. 1.0;
+    b := bnew
+  done;
+  Warp.store w gout ~active (Array.init p (fun lane -> voff + min lane (s - 1))) !b;
+  Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s)
+
+let solve ?(cfg = Config.p100) ?(prec = Precision.Double)
+    ?(mode = Sampling.Exact) ?(variant = Eager) ~(factors : Batch.t) ~pivots
+    (rhs : Batch.vec) =
+  if factors.Batch.count <> rhs.Batch.vcount then
+    invalid_arg "Batched_trsv.solve: batch count mismatch";
+  Array.iteri
+    (fun i s ->
+      if rhs.Batch.vsizes.(i) <> s then
+        invalid_arg "Batched_trsv.solve: block size mismatch";
+      if Array.length pivots.(i) <> 0 && Array.length pivots.(i) <> s then
+        invalid_arg "Batched_trsv.solve: pivot length mismatch")
+    factors.Batch.sizes;
+  let gmat = Gmem.of_array prec factors.Batch.values in
+  let gvec = Gmem.of_array prec rhs.Batch.vvalues in
+  let gout = Gmem.create prec (Array.length rhs.Batch.vvalues) in
+  let kernel w i =
+    let s = factors.Batch.sizes.(i) in
+    let perm =
+      if Array.length pivots.(i) = 0 then Array.init s (fun k -> k)
+      else pivots.(i)
+    in
+    let moff = factors.Batch.offsets.(i) and voff = rhs.Batch.voffsets.(i) in
+    match variant with
+    | Eager -> kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm
+    | Lazy -> kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm
+  in
+  let stats =
+    Sampling.run ~cfg ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
+  in
+  let solutions =
+    let out = Batch.vec_create rhs.Batch.vsizes in
+    let values = Gmem.to_array gout in
+    Array.blit values 0 out.Batch.vvalues 0 (Array.length values);
+    out
+  in
+  { solutions; stats; exact = (mode = Sampling.Exact) }

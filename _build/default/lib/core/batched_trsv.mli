@@ -1,0 +1,44 @@
+(** The paper's variable-size batched triangular solves (Section III-B).
+
+    One warp per block; thread [k] holds element [k] of the right-hand
+    side in a register.  The triangular factors offer no reuse, so each
+    matrix element is read exactly once — one coalesced column load per
+    elimination step (the "eager"/AXPY variant; column-major storage makes
+    the column reads coalesced, which is why the paper selects it).  The
+    pivoting permutation of the factorization is applied {e while reading}
+    the right-hand side: each lane simply loads its permuted element, at no
+    extra cost.
+
+    The DOT-based "lazy" variant is provided for the paper's Figure 2
+    ablation: it reads one {e row} per step (non-coalesced) and needs a
+    warp reduction per step. *)
+
+open Vblu_smallblas
+open Vblu_simt
+
+type variant =
+  | Eager  (** AXPY-based, column reads; the paper's kernel. *)
+  | Lazy   (** DOT-based, row reads; ablation baseline. *)
+
+type result = {
+  solutions : Batch.vec;
+      (** per-block solutions; complete in [Exact] mode, representatives
+          only in [Sampled] mode. *)
+  stats : Launch.stats;
+  exact : bool;
+}
+
+val solve :
+  ?cfg:Config.t ->
+  ?prec:Precision.t ->
+  ?mode:Sampling.mode ->
+  ?variant:variant ->
+  factors:Batch.t ->
+  pivots:int array array ->
+  Batch.vec ->
+  result
+(** [solve ~factors ~pivots rhs] solves every block system using the packed
+    LU factors and pivot permutations of {!Batched_lu.factor} (GETRS:
+    permute, unit-lower solve, upper solve).
+    @raise Invalid_argument on shape mismatch between factors and rhs.
+    @raise Vblu_smallblas.Error.Singular on a zero diagonal. *)

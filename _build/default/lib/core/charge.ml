@@ -1,0 +1,79 @@
+open Vblu_smallblas
+open Vblu_simt
+
+let fma w n =
+  let c = Warp.counter w in
+  c.Counter.fma_instrs <- c.Counter.fma_instrs +. n
+
+let div w n =
+  let c = Warp.counter w in
+  c.Counter.div_instrs <- c.Counter.div_instrs +. n
+
+let shfl w n =
+  let c = Warp.counter w in
+  c.Counter.shfl_instrs <- c.Counter.shfl_instrs +. n
+
+let smem w n =
+  let c = Warp.counter w in
+  c.Counter.smem_accesses <- c.Counter.smem_accesses +. n
+
+let reduction w =
+  shfl w 5.0;
+  fma w 5.0
+
+let charge_txns w txns =
+  let c = Warp.counter w in
+  let cfg = Warp.cfg w in
+  c.Counter.gmem_instrs <- c.Counter.gmem_instrs +. 1.0;
+  c.Counter.gmem_transactions <- c.Counter.gmem_transactions + txns;
+  c.Counter.gmem_bytes <-
+    c.Counter.gmem_bytes + (txns * cfg.Config.transaction_bytes)
+
+let gmem_coalesced w ~elems =
+  if elems > 0 then begin
+    let cfg = Warp.cfg w in
+    let per = Config.elements_per_transaction cfg (Warp.prec w) in
+    charge_txns w ((elems + per - 1) / per)
+  end
+
+let charge_custom w ~instrs ~txns =
+  let c = Warp.counter w in
+  let cfg = Warp.cfg w in
+  c.Counter.gmem_instrs <- c.Counter.gmem_instrs +. instrs;
+  c.Counter.gmem_transactions <- c.Counter.gmem_transactions + txns;
+  c.Counter.gmem_bytes <-
+    c.Counter.gmem_bytes + (txns * cfg.Config.transaction_bytes)
+
+let gmem_strided_read w ~elems ~stride_bytes =
+  if elems > 0 then begin
+    let cfg = Warp.cfg w in
+    let tx = cfg.Config.transaction_bytes in
+    let bytes = Precision.bytes (Warp.prec w) in
+    if stride_bytes >= tx then
+      (* Replays serialize the access (four sectors per issue slot); the
+         cache turns repeated sector hits of neighbouring steps into a
+         footprint's worth of DRAM traffic. *)
+      let span = ((elems - 1) * stride_bytes) + bytes in
+      charge_custom w
+        ~instrs:(float_of_int (max 1 (elems / 4)))
+        ~txns:((span + tx - 1) / tx / max 1 (stride_bytes / bytes))
+    else begin
+      let span = ((elems - 1) * stride_bytes) + bytes in
+      charge_txns w ((span + tx - 1) / tx)
+    end
+  end
+
+let gmem_strided_write w ~elems ~stride_bytes =
+  if elems > 0 then begin
+    let cfg = Warp.cfg w in
+    let tx = cfg.Config.transaction_bytes in
+    let bytes = Precision.bytes (Warp.prec w) in
+    if stride_bytes >= tx then
+      charge_custom w ~instrs:(float_of_int (max 1 (elems / 2))) ~txns:elems
+    else begin
+      let span = ((elems - 1) * stride_bytes) + bytes in
+      charge_txns w ((span + tx - 1) / tx)
+    end
+  end
+
+let round w = Warp.round_barrier w

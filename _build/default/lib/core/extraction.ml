@@ -1,0 +1,200 @@
+open Vblu_smallblas
+open Vblu_simt
+open Vblu_sparse
+
+type strategy = Row_per_thread | Shared_memory
+
+type result = {
+  blocks : Batch.t;
+  stats : Launch.stats;
+  exact : bool;
+}
+
+let blocks_cover ~n ~block_starts ~block_sizes =
+  let k = Array.length block_starts in
+  Array.length block_sizes = k
+  &&
+  let pos = ref 0 in
+  let ok = ref true in
+  for i = 0 to k - 1 do
+    if block_starts.(i) <> !pos || block_sizes.(i) <= 0 then ok := false;
+    pos := !pos + block_sizes.(i)
+  done;
+  !ok && !pos = n
+
+let validate cfg (a : Csr.t) ~block_starts ~block_sizes =
+  let k = Array.length block_starts in
+  if Array.length block_sizes <> k || k = 0 then
+    invalid_arg "Extraction: starts/sizes mismatch or empty";
+  let last = ref (-1) in
+  for i = 0 to k - 1 do
+    let st = block_starts.(i) and s = block_sizes.(i) in
+    if s <= 0 || s > cfg.Config.warp_size then
+      invalid_arg "Extraction: block size out of range";
+    if st <= !last then invalid_arg "Extraction: blocks must be disjoint and sorted";
+    if st + s > a.Csr.n_rows || st + s > a.Csr.n_cols then
+      invalid_arg "Extraction: block exceeds matrix";
+    last := st + s - 1
+  done
+
+(* Device staging of the CSR structure.  Indices live in a single-precision
+   buffer: exact for indices < 2^24 and 4 bytes wide like the int32 arrays
+   of the real implementation, so transaction counts match. *)
+type device_csr = {
+  d_row_ptr : Gmem.t;
+  d_col_idx : Gmem.t;
+  d_values : Gmem.t;
+}
+
+let stage prec (a : Csr.t) =
+  if Csr.nnz a >= 1 lsl 24 then
+    invalid_arg "Extraction: matrix too large for 32-bit index staging";
+  {
+    d_row_ptr = Gmem.of_array Precision.Single (Array.map float_of_int a.Csr.row_ptr);
+    d_col_idx = Gmem.of_array Precision.Single (Array.map float_of_int a.Csr.col_idx);
+    d_values = Gmem.of_array prec a.Csr.values;
+  }
+
+let store_block w gout ~off ~s tile =
+  let p = Warp.size w in
+  let active = Array.init p (fun lane -> lane < s) in
+  for j = 0 to s - 1 do
+    let addrs =
+      Array.init p (fun lane -> off + (if lane < s then lane + (j * s) else 0))
+    in
+    let vals = Array.init p (fun lane -> if lane < s then tile.(lane).(j) else 0.0) in
+    Warp.store w gout ~active addrs vals
+  done
+
+(* Naive strategy: lane r walks CSR row (start + r) alone; the warp spins
+   for the longest row. *)
+let kernel_naive w dev gout ~off ~start ~s =
+  let p = Warp.size w in
+  let active = Array.init p (fun lane -> lane < s) in
+  let ptr_lo =
+    Warp.load w dev.d_row_ptr ~active
+      (Array.init p (fun lane -> start + min lane (s - 1)))
+  in
+  let ptr_hi =
+    Warp.load w dev.d_row_ptr ~active
+      (Array.init p (fun lane -> start + min lane (s - 1) + 1))
+  in
+  Warp.round_barrier w;
+  let lo = Array.map int_of_float ptr_lo and hi = Array.map int_of_float ptr_hi in
+  let maxlen = ref 0 in
+  for lane = 0 to s - 1 do
+    maxlen := max !maxlen (hi.(lane) - lo.(lane))
+  done;
+  let tile = Array.make_matrix s s 0.0 in
+  for it = 0 to !maxlen - 1 do
+    let act = Array.init p (fun lane -> lane < s && lo.(lane) + it < hi.(lane)) in
+    let addrs =
+      Array.init p (fun lane ->
+          if act.(lane) then lo.(lane) + it else lo.(0))
+    in
+    let cols = Warp.load w dev.d_col_idx ~active:act addrs in
+    (* In-block test: two compare instructions. *)
+    Charge.fma w 2.0;
+    let matched =
+      Array.init p (fun lane ->
+          act.(lane)
+          && int_of_float cols.(lane) >= start
+          && int_of_float cols.(lane) < start + s)
+    in
+    if Array.exists (fun x -> x) matched then begin
+      let vals = Warp.load w dev.d_values ~active:matched addrs in
+      for lane = 0 to s - 1 do
+        if matched.(lane) then
+          tile.(lane).(int_of_float cols.(lane) - start) <- vals.(lane)
+      done
+    end
+  done;
+  store_block w gout ~off ~s tile
+
+(* The paper's strategy: the whole warp streams each row in coalesced
+   chunks and parks matches in shared memory. *)
+let kernel_shared w dev gout ~off ~start ~s =
+  let p = Warp.size w in
+  let active = Array.init p (fun lane -> lane < s) in
+  let ptr_lo =
+    Warp.load w dev.d_row_ptr ~active
+      (Array.init p (fun lane -> start + min lane (s - 1)))
+  in
+  let ptr_hi =
+    Warp.load w dev.d_row_ptr ~active
+      (Array.init p (fun lane -> start + min lane (s - 1) + 1))
+  in
+  Warp.round_barrier w;
+  let lo = Array.map int_of_float ptr_lo and hi = Array.map int_of_float ptr_hi in
+  let tile = Warp.smem_alloc w (s * s) in
+  (* Zero the tile cooperatively. *)
+  let zero = Array.make p 0.0 in
+  let words = s * s in
+  let rec zero_chunk base =
+    if base < words then begin
+      let act = Array.init p (fun lane -> base + lane < words) in
+      Warp.smem_store w tile ~active:act
+        (Array.init p (fun lane -> min (base + lane) (words - 1)))
+        zero;
+      zero_chunk (base + p)
+    end
+  in
+  zero_chunk 0;
+  for r = 0 to s - 1 do
+    let len = hi.(r) - lo.(r) in
+    let chunks = (len + p - 1) / p in
+    for c = 0 to chunks - 1 do
+      let base = lo.(r) + (c * p) in
+      let act = Array.init p (fun lane -> base + lane < hi.(r)) in
+      let addrs = Array.init p (fun lane -> min (base + lane) (hi.(r) - 1)) in
+      let cols = Warp.load w dev.d_col_idx ~active:act addrs in
+      Charge.fma w 2.0;
+      let matched =
+        Array.init p (fun lane ->
+            act.(lane)
+            && int_of_float cols.(lane) >= start
+            && int_of_float cols.(lane) < start + s)
+      in
+      if Array.exists (fun x -> x) matched then begin
+        let vals = Warp.load w dev.d_values ~active:matched addrs in
+        Warp.smem_store w tile ~active:matched
+          (Array.init p (fun lane ->
+               if matched.(lane) then r + ((int_of_float cols.(lane) - start) * s)
+               else 0))
+          vals
+      end
+    done
+  done;
+  (* Hand each row to the thread that will factorize it, then write back. *)
+  let dense = Array.make_matrix s s 0.0 in
+  for j = 0 to s - 1 do
+    let vals =
+      Warp.smem_load w tile ~active
+        (Array.init p (fun lane -> min lane (s - 1) + (j * s)))
+    in
+    for lane = 0 to s - 1 do
+      dense.(lane).(j) <- vals.(lane)
+    done
+  done;
+  store_block w gout ~off ~s dense
+
+let extract ?(cfg = Config.p100) ?(prec = Precision.Double)
+    ?(mode = Sampling.Exact) ?(strategy = Shared_memory) (a : Csr.t)
+    ~block_starts ~block_sizes =
+  validate cfg a ~block_starts ~block_sizes;
+  let dev = stage prec a in
+  let blocks = Batch.create block_sizes in
+  let gout = Gmem.create prec (Batch.total_values blocks) in
+  let kernel w i =
+    let start = block_starts.(i)
+    and s = block_sizes.(i)
+    and off = blocks.Batch.offsets.(i) in
+    match strategy with
+    | Row_per_thread -> kernel_naive w dev gout ~off ~start ~s
+    | Shared_memory -> kernel_shared w dev gout ~off ~start ~s
+  in
+  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:block_sizes ~kernel () in
+  let out = Batch.create block_sizes in
+  let values = Gmem.to_array gout in
+  Array.blit values 0 out.Batch.values 0 (Array.length values);
+  { blocks = out; stats; exact = (mode = Sampling.Exact) }

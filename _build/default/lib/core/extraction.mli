@@ -1,0 +1,57 @@
+(** Diagonal-block extraction from CSR (Section III-C).
+
+    Block-Jacobi setup must pull dense diagonal blocks out of the sparse
+    system matrix.  Two strategies, both simulated functionally:
+
+    - {!Row_per_thread} (the naive baseline): thread [r] of the warp scans
+      CSR row [r] of the block on its own.  Lanes sit at unrelated offsets
+      into [col_idx], so the index loads are non-coalesced, and the warp
+      iterates as long as its {e longest} row — severe imbalance on
+      matrices with skewed nonzero distributions (circuit simulation).
+
+    - {!Shared_memory} (the paper's strategy): all 32 threads cooperate on
+      {e each} row in turn, streaming its column indices in coalesced
+      32-wide chunks; lanes that hit an element of the diagonal block fetch
+      the value and drop it into the shared-memory tile at its final
+      position.  Imbalance now only exists between the rows of one block,
+      and every index load is coalesced.  A final pass moves each row from
+      the tile into the registers of the thread that will factorize it.
+
+    Both produce identical batches (tested against the dense
+    {!Vblu_sparse.Csr.extract_block} gather). *)
+
+open Vblu_simt
+open Vblu_sparse
+
+type strategy =
+  | Row_per_thread
+  | Shared_memory
+
+type result = {
+  blocks : Batch.t;
+      (** the extracted dense diagonal blocks (complete in [Exact] mode). *)
+  stats : Launch.stats;
+  exact : bool;
+}
+
+val extract :
+  ?cfg:Config.t ->
+  ?prec:Vblu_smallblas.Precision.t ->
+  ?mode:Sampling.mode ->
+  ?strategy:strategy ->
+  Csr.t ->
+  block_starts:int array ->
+  block_sizes:int array ->
+  result
+(** [extract a ~block_starts ~block_sizes] gathers the square diagonal
+    blocks [a(start, start) .. (start+size-1, start+size-1)].
+    Blocks must be disjoint, in-range, and no larger than the warp.
+    @raise Invalid_argument otherwise.
+
+    In [Sampled] mode the representative of a size class is the block with
+    that size encountered first, so modelled imbalance is workload-specific
+    only in [Exact] mode (benches use [Exact]; this kernel is cheap). *)
+
+val blocks_cover : n:int -> block_starts:int array -> block_sizes:int array -> bool
+(** Whether the blocks exactly tile [0..n-1] — the supervariable-blocking
+    postcondition block-Jacobi requires. *)

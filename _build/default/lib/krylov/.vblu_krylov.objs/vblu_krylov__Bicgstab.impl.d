@@ -1,0 +1,1 @@
+lib/krylov/bicgstab.ml: Array Precision Preconditioner Solver Sys Vblu_precond Vblu_smallblas Vector

@@ -1,0 +1,1 @@
+lib/krylov/bicgstab.mli: Csr Precision Preconditioner Solver Vblu_precond Vblu_smallblas Vblu_sparse Vector

@@ -1,0 +1,1 @@
+lib/krylov/gmres.ml: Array Float Precision Preconditioner Solver Sys Vblu_precond Vblu_smallblas Vector

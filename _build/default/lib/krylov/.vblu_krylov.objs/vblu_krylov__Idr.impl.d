@@ -1,0 +1,1 @@
+lib/krylov/idr.ml: Array Float Precision Preconditioner Printexc Random Solver Sys Vblu_precond Vblu_smallblas Vector

@@ -1,0 +1,1 @@
+lib/krylov/solver.ml: Array Format List Precision Preconditioner Sys Vblu_precond Vblu_smallblas Vblu_sparse Vector

@@ -1,0 +1,1 @@
+lib/krylov/solver.mli: Format Precision Preconditioner Vblu_precond Vblu_smallblas Vblu_sparse Vector

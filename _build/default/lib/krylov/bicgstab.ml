@@ -1,0 +1,74 @@
+open Vblu_smallblas
+open Vblu_precond
+
+let solve ?(prec = Precision.Double) ?precond
+    ?(config = Solver.default_config) a b =
+  let ctx = Solver.make_ctx ~prec ?precond a b config in
+  let started = Sys.time () in
+  let n = Array.length b in
+  let x = Vector.create n in
+  let r = Vector.copy b in
+  let rstar = Vector.copy r in
+  let p = Vector.create n in
+  let v = Vector.create n in
+  let rho = ref 1.0 and alpha = ref 1.0 and om = ref 1.0 in
+  let iters = ref 0 in
+  let outcome = ref None in
+  let apply_m y = Preconditioner.apply ctx.Solver.precond y in
+  Solver.record ctx (Vector.nrm2 ~prec r);
+  if Vector.nrm2 ~prec r <= ctx.Solver.target then outcome := Some Solver.Converged;
+  while !outcome = None do
+    let rho1 = Vector.dot ~prec rstar r in
+    if rho1 = 0.0 then outcome := Some (Solver.Breakdown "rho = 0")
+    else begin
+      let beta = Precision.mul prec (rho1 /. !rho) (!alpha /. !om) in
+      (* p = r + beta (p - om v) *)
+      for i = 0 to n - 1 do
+        p.(i) <-
+          Precision.fma prec beta
+            (Precision.fma prec (-. !om) v.(i) p.(i))
+            r.(i)
+      done;
+      let phat = apply_m p in
+      let v' = ctx.Solver.spmv phat in
+      incr iters;
+      Array.blit v' 0 v 0 n;
+      let denom = Vector.dot ~prec rstar v in
+      if denom = 0.0 then outcome := Some (Solver.Breakdown "r*ᵀv = 0")
+      else begin
+        alpha := Precision.div prec rho1 denom;
+        let s = Vector.copy r in
+        Vector.axpy ~prec (-. !alpha) v s;
+        let snorm = Vector.nrm2 ~prec s in
+        if snorm <= ctx.Solver.target then begin
+          Vector.axpy ~prec !alpha phat x;
+          Solver.record ctx snorm;
+          outcome := Some Solver.Converged
+        end
+        else begin
+          let shat = apply_m s in
+          let t = ctx.Solver.spmv shat in
+          incr iters;
+          let tt = Vector.dot ~prec t t in
+          if tt = 0.0 then outcome := Some (Solver.Breakdown "t = 0")
+          else begin
+            om := Precision.div prec (Vector.dot ~prec t s) tt;
+            Vector.axpy ~prec !alpha phat x;
+            Vector.axpy ~prec !om shat x;
+            Array.blit s 0 r 0 n;
+            Vector.axpy ~prec (-. !om) t r;
+            rho := rho1;
+            let rnorm = Vector.nrm2 ~prec r in
+            Solver.record ctx rnorm;
+            if rnorm <= ctx.Solver.target then outcome := Some Solver.Converged
+            else if !iters >= config.Solver.max_iters then
+              outcome := Some Solver.Max_iterations
+            else if !om = 0.0 then
+              outcome := Some (Solver.Breakdown "omega = 0")
+          end
+        end
+      end
+    end
+  done;
+  let outcome = match !outcome with Some o -> o | None -> Solver.Max_iterations in
+  (x, Solver.finish ctx ~outcome ~iterations:!iters ~x ~b ~started ~a)

@@ -1,0 +1,20 @@
+(** Preconditioned BiCGSTAB for general nonsymmetric systems.
+
+    The classic stabilized bi-conjugate gradient method [van der Vorst
+    1992; Saad 2003] with right preconditioning — the other short-recurrence
+    nonsymmetric solver MAGMA-sparse offers next to IDR(s), included so the
+    examples can contrast the two on the same preconditioners. *)
+
+open Vblu_smallblas
+open Vblu_precond
+open Vblu_sparse
+
+val solve :
+  ?prec:Precision.t ->
+  ?precond:Preconditioner.t ->
+  ?config:Solver.config ->
+  Csr.t ->
+  Vector.t ->
+  Vector.t * Solver.stats
+(** [stats.iterations] counts applications of [A] (two per BiCGSTAB
+    step). *)

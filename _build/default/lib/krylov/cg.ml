@@ -1,0 +1,47 @@
+open Vblu_smallblas
+open Vblu_precond
+
+let solve ?(prec = Precision.Double) ?precond
+    ?(config = Solver.default_config) a b =
+  let ctx = Solver.make_ctx ~prec ?precond a b config in
+  let started = Sys.time () in
+  let n = Array.length b in
+  let x = Vector.create n in
+  let r = Vector.copy b in
+  let z = Preconditioner.apply ctx.Solver.precond r in
+  let p = Vector.copy z in
+  let rz = ref (Vector.dot ~prec r z) in
+  let iters = ref 0 in
+  let outcome = ref None in
+  Solver.record ctx (Vector.nrm2 ~prec r);
+  if Vector.nrm2 ~prec r <= ctx.Solver.target then outcome := Some Solver.Converged;
+  while !outcome = None do
+    let ap = ctx.Solver.spmv p in
+    incr iters;
+    let pap = Vector.dot ~prec p ap in
+    if pap = 0.0 then outcome := Some (Solver.Breakdown "pᵀAp = 0")
+    else begin
+      let alpha = Precision.div prec !rz pap in
+      Vector.axpy ~prec alpha p x;
+      Vector.axpy ~prec (-.alpha) ap r;
+      let rnorm = Vector.nrm2 ~prec r in
+      Solver.record ctx rnorm;
+      if rnorm <= ctx.Solver.target then outcome := Some Solver.Converged
+      else if !iters >= config.Solver.max_iters then
+        outcome := Some Solver.Max_iterations
+      else begin
+        let z = Preconditioner.apply ctx.Solver.precond r in
+        let rz' = Vector.dot ~prec r z in
+        if !rz = 0.0 then outcome := Some (Solver.Breakdown "rᵀz = 0")
+        else begin
+          let beta = Precision.div prec rz' !rz in
+          rz := rz';
+          for i = 0 to n - 1 do
+            p.(i) <- Precision.fma prec beta p.(i) z.(i)
+          done
+        end
+      end
+    end
+  done;
+  let outcome = match !outcome with Some o -> o | None -> Solver.Max_iterations in
+  (x, Solver.finish ctx ~outcome ~iterations:!iters ~x ~b ~started ~a)

@@ -1,0 +1,19 @@
+(** Preconditioned Conjugate Gradients for SPD systems.
+
+    Not part of the paper's evaluation, but the natural smoke test for a
+    preconditioner (it is very sensitive to a non-SPD or broken [M⁻¹]) and
+    the solver a downstream user will reach for first on SPD workloads. *)
+
+open Vblu_smallblas
+open Vblu_precond
+open Vblu_sparse
+
+val solve :
+  ?prec:Precision.t ->
+  ?precond:Preconditioner.t ->
+  ?config:Solver.config ->
+  Csr.t ->
+  Vector.t ->
+  Vector.t * Solver.stats
+(** Standard PCG from a zero initial guess; [stats.iterations] counts
+    applications of [A]. *)

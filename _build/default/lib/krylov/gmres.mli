@@ -1,0 +1,22 @@
+(** Restarted GMRES(m) with right preconditioning.
+
+    Long-recurrence baseline: monotone residuals inside a cycle, memory
+    proportional to the restart length.  Arnoldi by modified Gram-Schmidt,
+    least-squares by Givens rotations, solution update through the
+    preconditioner at the end of each cycle. *)
+
+open Vblu_smallblas
+open Vblu_precond
+open Vblu_sparse
+
+val solve :
+  ?prec:Precision.t ->
+  ?precond:Preconditioner.t ->
+  ?restart:int ->
+  ?config:Solver.config ->
+  Csr.t ->
+  Vector.t ->
+  Vector.t * Solver.stats
+(** [solve ~restart:m a b] — default restart 30.  [stats.iterations]
+    counts applications of [A].
+    @raise Invalid_argument if [restart < 1]. *)

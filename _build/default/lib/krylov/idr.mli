@@ -1,0 +1,36 @@
+(** IDR(s) — Induced Dimension Reduction — the paper's outer solver.
+
+    Implementation of the IDR(s) variant with biorthogonalization
+    [van Gijzen & Sonneveld, ACM TOMS 2011 ("Algorithm 913")], with the
+    residual-smoothing-free preconditioned recurrences and the usual
+    ω-stabilization (the |ρ| < 0.7 kappa test).  The paper evaluates
+    IDR(4) from MAGMA-sparse; [s = 4] is the default here too.
+
+    IDR(s) draws its shadow space [P] (an [n × s] orthonormalized random
+    block) from a deterministic RNG by default so experiments are
+    reproducible; pass [~seed] to vary it.
+
+    [~smoothing:true] enables QMR-style residual smoothing [van Gijzen &
+    Sonneveld 2011, §5]: a smoothed iterate/residual pair is maintained
+    alongside the IDR recurrences, trading a few AXPYs per step for a
+    monotonically non-increasing residual norm — useful when IDR's
+    characteristically erratic convergence makes stopping tests noisy. *)
+
+open Vblu_smallblas
+open Vblu_precond
+open Vblu_sparse
+
+val solve :
+  ?prec:Precision.t ->
+  ?precond:Preconditioner.t ->
+  ?s:int ->
+  ?seed:int ->
+  ?smoothing:bool ->
+  ?config:Solver.config ->
+  Csr.t ->
+  Vector.t ->
+  Vector.t * Solver.stats
+(** [solve a b] runs preconditioned IDR(s) from a zero initial guess and
+    returns the approximate solution with solve statistics
+    ([stats.iterations] counts applications of [A]).
+    @raise Invalid_argument on dimension mismatches or [s < 1]. *)

@@ -1,0 +1,78 @@
+open Vblu_smallblas
+open Vblu_precond
+
+type config = {
+  max_iters : int;
+  rtol : float;
+  record_history : bool;
+}
+
+let default_config = { max_iters = 10_000; rtol = 1e-6; record_history = false }
+
+type outcome = Converged | Max_iterations | Breakdown of string
+
+type stats = {
+  outcome : outcome;
+  iterations : int;
+  residual_norm : float;
+  rhs_norm : float;
+  solve_seconds : float;
+  history : float array;
+}
+
+let converged s = s.outcome = Converged
+
+let pp_stats ppf s =
+  let outcome =
+    match s.outcome with
+    | Converged -> "converged"
+    | Max_iterations -> "max-iterations"
+    | Breakdown why -> "breakdown: " ^ why
+  in
+  Format.fprintf ppf "%s in %d its, ‖r‖=%.3e (‖b‖=%.3e), %.3fs" outcome
+    s.iterations s.residual_norm s.rhs_norm s.solve_seconds
+
+type ctx = {
+  prec : Precision.t;
+  spmv : Vector.t -> Vector.t;
+  precond : Preconditioner.t;
+  b_norm : float;
+  target : float;
+  cfg : config;
+  mutable recorded : float list;
+}
+
+let make_ctx ?(prec = Precision.Double) ?precond (a : Vblu_sparse.Csr.t) b cfg =
+  let n, cols = Vblu_sparse.Csr.dims a in
+  if n <> cols then invalid_arg "Krylov: matrix not square";
+  if Array.length b <> n then invalid_arg "Krylov: rhs dimension mismatch";
+  let precond =
+    match precond with Some p -> p | None -> Preconditioner.identity n
+  in
+  if precond.Preconditioner.dim <> n then
+    invalid_arg "Krylov: preconditioner dimension mismatch";
+  let b_norm = Vector.nrm2 ~prec b in
+  {
+    prec;
+    spmv = (fun x -> Vblu_sparse.Csr.spmv ~prec a x);
+    precond;
+    b_norm;
+    target = cfg.rtol *. b_norm;
+    cfg;
+    recorded = [];
+  }
+
+let record ctx r =
+  if ctx.cfg.record_history then ctx.recorded <- r :: ctx.recorded
+
+let finish ctx ~outcome ~iterations ~x ~b ~started ~a =
+  let prec = ctx.prec in
+  let r = Vector.sub ~prec b (Vblu_sparse.Csr.spmv ~prec a x) in
+  {
+    outcome;
+    iterations;
+    residual_norm = Vector.nrm2 ~prec r;
+    rhs_norm = ctx.b_norm;
+    solve_seconds = Sys.time () -. started;
+    history = Array.of_list (List.rev ctx.recorded);
+  }

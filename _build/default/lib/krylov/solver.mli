@@ -1,0 +1,67 @@
+(** Shared types and plumbing for the iterative solvers.
+
+    The stopping rule matches the paper's experiments: start from a zero
+    initial guess, stop once the 2-norm of the residual has dropped by
+    [rtol] relative to the right-hand side (10⁻⁶ in Table I), give up after
+    [max_iters] (10,000 in Table I). *)
+
+open Vblu_smallblas
+open Vblu_precond
+
+type config = {
+  max_iters : int;
+  rtol : float;  (** relative residual reduction target. *)
+  record_history : bool;  (** keep per-iteration residual norms. *)
+}
+
+val default_config : config
+(** 10,000 iterations, [rtol = 1e-6], no history. *)
+
+type outcome =
+  | Converged
+  | Max_iterations
+  | Breakdown of string
+      (** the solver hit a zero denominator or stagnated irrecoverably. *)
+
+type stats = {
+  outcome : outcome;
+  iterations : int;  (** matrix-vector products with [A] consumed. *)
+  residual_norm : float;  (** final true-residual 2-norm. *)
+  rhs_norm : float;
+  solve_seconds : float;
+  history : float array;  (** residual norms, if recorded. *)
+}
+
+val converged : stats -> bool
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Internal helpers for the solver implementations} *)
+
+type ctx = {
+  prec : Precision.t;
+  spmv : Vector.t -> Vector.t;  (** the operator. *)
+  precond : Preconditioner.t;
+  b_norm : float;
+  target : float;  (** absolute residual target [rtol * ‖b‖]. *)
+  cfg : config;
+  mutable recorded : float list;
+}
+
+val make_ctx :
+  ?prec:Precision.t ->
+  ?precond:Preconditioner.t ->
+  Vblu_sparse.Csr.t ->
+  Vector.t ->
+  config ->
+  ctx
+(** Validates shapes and builds the solve context.
+    @raise Invalid_argument on a non-square matrix or mismatched sizes. *)
+
+val record : ctx -> float -> unit
+
+val finish :
+  ctx -> outcome:outcome -> iterations:int -> x:Vector.t -> b:Vector.t ->
+  started:float -> a:Vblu_sparse.Csr.t -> stats
+(** Computes the true final residual (not the recurrence residual) and
+    assembles the stats record. *)

@@ -1,0 +1,72 @@
+type t = { domains : int }
+
+let create ?num_domains () =
+  let n =
+    match num_domains with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ()
+  in
+  { domains = max 1 n }
+
+let sequential = { domains = 1 }
+
+let num_domains t = t.domains
+
+(* Split [lo, hi) into at most [t.domains] contiguous chunks, run every chunk
+   but the first in a fresh domain, and run the first chunk in the caller.
+   The first exception observed (caller's chunk first, then spawned chunks in
+   order) is re-raised after all domains joined, so no work is leaked. *)
+let parallel_for t ~lo ~hi body =
+  let n = hi - lo in
+  if n <= 0 then ()
+  else if t.domains = 1 || n = 1 then
+    for i = lo to hi - 1 do
+      body i
+    done
+  else begin
+    let chunks = min t.domains n in
+    let chunk_size = (n + chunks - 1) / chunks in
+    let run_chunk c () =
+      let clo = lo + (c * chunk_size) in
+      let chi = min hi (clo + chunk_size) in
+      for i = clo to chi - 1 do
+        body i
+      done
+    in
+    let spawned =
+      Array.init (chunks - 1) (fun c -> Domain.spawn (run_chunk (c + 1)))
+    in
+    let caller_result =
+      match run_chunk 0 () with
+      | () -> None
+      | exception e -> Some e
+    in
+    let spawned_result = ref None in
+    Array.iter
+      (fun d ->
+        match Domain.join d with
+        | () -> ()
+        | exception e ->
+          if !spawned_result = None then spawned_result := Some e)
+      spawned;
+    match caller_result, !spawned_result with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+let parallel_map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f xs.(0)) in
+    parallel_for t ~lo:1 ~hi:n (fun i -> out.(i) <- f xs.(i));
+    out
+  end
+
+let parallel_init t n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    parallel_for t ~lo:1 ~hi:n (fun i -> out.(i) <- f i);
+    out
+  end

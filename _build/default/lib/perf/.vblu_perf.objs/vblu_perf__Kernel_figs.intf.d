@@ -1,0 +1,1 @@
+lib/perf/kernel_figs.mli: Format Report

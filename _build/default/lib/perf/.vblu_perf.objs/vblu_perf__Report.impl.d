@@ -1,0 +1,1 @@
+lib/perf/report.ml: Array Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/perf/solver_figs.ml: Array Block_jacobi Float List Printf Report Solver_study Suite Vblu_precond Vblu_sparse Vblu_workloads

@@ -1,0 +1,1 @@
+lib/perf/solver_figs.mli: Format Solver_study

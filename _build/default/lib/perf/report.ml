@@ -1,0 +1,64 @@
+type series = {
+  title : string;
+  xlabel : string;
+  columns : string list;
+  rows : (float * float option list) list;
+}
+
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else String.make (width - len) ' ' ^ s
+
+let print_series ppf s =
+  Format.fprintf ppf "@.## %s@." s.title;
+  let width = 12 in
+  let header =
+    pad width s.xlabel :: List.map (pad width) s.columns |> String.concat " "
+  in
+  Format.fprintf ppf "%s@." header;
+  List.iter
+    (fun (x, ys) ->
+      let cells =
+        Printf.sprintf "%.0f" x
+        :: List.map
+             (function Some y -> Printf.sprintf "%.2f" y | None -> "-")
+             ys
+      in
+      Format.fprintf ppf "%s@."
+        (String.concat " " (List.map (pad width) cells)))
+    s.rows
+
+let print_table ppf ~title ~header ~rows =
+  Format.fprintf ppf "@.## %s@." title;
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let print_row row =
+    Format.fprintf ppf "%s@."
+      (String.concat "  " (List.mapi (fun i c -> pad widths.(i) c) row))
+  in
+  print_row header;
+  List.iter print_row rows
+
+let csv_of_series s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (s.xlabel :: s.columns));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (x, ys) ->
+      let cells =
+        Printf.sprintf "%g" x
+        :: List.map (function Some y -> Printf.sprintf "%g" y | None -> "") ys
+      in
+      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_char buf '\n')
+    s.rows;
+  Buffer.contents buf
+
+let section ppf title =
+  Format.fprintf ppf "@.%s@.# %s@.%s@." (String.make 72 '=') title
+    (String.make 72 '=')

@@ -1,0 +1,29 @@
+(** Plain-text reporting for the experiment drivers.
+
+    Each figure of the paper becomes a column-aligned series table (x-axis
+    value in the first column, one column per plotted curve), each table a
+    row-per-matrix listing — the same rows/series the paper plots, in a
+    form that diffs cleanly and imports into any plotting tool. *)
+
+type series = {
+  title : string;
+  xlabel : string;
+  columns : string list;  (** curve names. *)
+  rows : (float * float option list) list;
+      (** x value and one y per column ([None] prints as "-"). *)
+}
+
+val print_series : Format.formatter -> series -> unit
+
+val print_table :
+  Format.formatter ->
+  title:string ->
+  header:string list ->
+  rows:string list list ->
+  unit
+
+val csv_of_series : series -> string
+(** The same data as comma-separated values (for plotting scripts). *)
+
+val section : Format.formatter -> string -> unit
+(** A visual separator with a heading. *)

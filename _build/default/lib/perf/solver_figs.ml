@@ -1,0 +1,170 @@
+open Vblu_workloads
+open Vblu_precond
+
+let fig8 ppf (study : Solver_study.t) =
+  Report.section ppf
+    "Figure 8 — IDR(4) iteration overhead: LU-based vs GH-based block-Jacobi";
+  (* Buckets of iteration overhead in percent.  A case lands left of
+     centre when LU needed fewer iterations (GH pays the overhead), right
+     of centre when GH was the better preconditioner. *)
+  let edges = [ -50.0; -20.0; -5.0; -2.0; 0.0; 0.0001; 2.0; 5.0; 20.0; 50.0 ] in
+  let bucket_names =
+    [
+      "LU>50%";
+      "20-50%";
+      "5-20%";
+      "2-5%";
+      "0-2%";
+      "equal";
+      "0-2%";
+      "2-5%";
+      "5-20%";
+      "20-50%";
+      "GH>50%";
+    ]
+  in
+  let bucket_of overhead =
+    let rec go i = function
+      | [] -> i
+      | e :: rest -> if overhead < e then i else go (i + 1) rest
+    in
+    go 0 edges
+  in
+  let rows =
+    List.map
+      (fun bound ->
+        let counts = Array.make (List.length bucket_names) 0 in
+        let considered = ref 0 in
+        List.iter
+          (fun (e : Suite.entry) ->
+            match
+              ( Solver_study.find study e Block_jacobi.Lu bound,
+                Solver_study.find study e Block_jacobi.Gh bound )
+            with
+            | Some lu, Some gh when lu.Solver_study.converged && gh.Solver_study.converged ->
+              incr considered;
+              (* Positive overhead: GH converged faster, LU pays. *)
+              let lu_i = float_of_int lu.Solver_study.iterations in
+              let gh_i = float_of_int gh.Solver_study.iterations in
+              let overhead = 100.0 *. (lu_i -. gh_i) /. Float.min lu_i gh_i in
+              (* Map to the histogram orientation: negative = LU better. *)
+              let b = bucket_of overhead in
+              counts.(b) <- counts.(b) + 1
+            | _ -> ())
+          Suite.all;
+        ignore !considered;
+        string_of_int bound
+        :: Array.to_list (Array.map string_of_int counts))
+      study.Solver_study.bounds
+  in
+  Report.print_table ppf
+    ~title:
+      "test cases per overhead bucket (rows: block-size bound; left of centre \
+       = LU-based better)"
+    ~header:("bound" :: bucket_names)
+    ~rows
+
+let fig9 ppf (study : Solver_study.t) =
+  Report.section ppf
+    "Figure 9 — IDR(4) total time (setup+solve), block-Jacobi bound 32";
+  let cases =
+    List.filter_map
+      (fun (e : Suite.entry) ->
+        match
+          ( Solver_study.find study e Block_jacobi.Lu 32,
+            Solver_study.find study e Block_jacobi.Gh 32,
+            Solver_study.find study e Block_jacobi.Ght 32 )
+        with
+        | Some lu, Some gh, Some ght ->
+          if lu.Solver_study.converged then Some (e, lu, gh, ght) else None
+        | _ -> None)
+      Suite.all
+  in
+  let sorted =
+    List.sort
+      (fun (_, a, _, _) (_, b, _, _) ->
+        compare (Solver_study.total_seconds a) (Solver_study.total_seconds b))
+      cases
+  in
+  let rows =
+    List.map
+      (fun ((e : Suite.entry), lu, gh, ght) ->
+        let t (r : Solver_study.run) =
+          if r.Solver_study.converged then
+            Printf.sprintf "%.3f" (Solver_study.total_seconds r)
+          else "-"
+        in
+        [ string_of_int e.Suite.id; e.Suite.name; t lu; t gh; t ght ])
+      sorted
+  in
+  Report.print_table ppf
+    ~title:"total runtime [s], matrices sorted by LU-based runtime"
+    ~header:[ "ID"; "matrix"; "LU-based"; "GH-based"; "GHT-based" ]
+    ~rows
+
+let table1 ppf (study : Solver_study.t) =
+  Report.section ppf
+    "Table I — IDR(4) iterations and runtime: scalar Jacobi vs block-Jacobi";
+  let cell (r : Solver_study.run option) =
+    match r with
+    | Some r when r.Solver_study.converged ->
+      ( string_of_int r.Solver_study.iterations,
+        Printf.sprintf "%.3f" (Solver_study.total_seconds r) )
+    | _ -> ("-", "-")
+  in
+  let header =
+    [ "matrix"; "size"; "nnz"; "ID"; "jacobi its"; "time[s]" ]
+    @ List.concat_map
+        (fun b -> [ Printf.sprintf "bj(%d) its" b; "time[s]" ])
+        study.Solver_study.bounds
+  in
+  let rows =
+    List.map
+      (fun (e : Suite.entry) ->
+        let a = Suite.matrix e in
+        let n, _ = Vblu_sparse.Csr.dims a in
+        let ji, jt = cell (Solver_study.find study e Block_jacobi.Scalar 1) in
+        let bj =
+          List.concat_map
+            (fun b ->
+              let i, t = cell (Solver_study.find study e Block_jacobi.Lu b) in
+              [ i; t ])
+            study.Solver_study.bounds
+        in
+        [
+          e.Suite.name;
+          string_of_int n;
+          string_of_int (Vblu_sparse.Csr.nnz a);
+          string_of_int e.Suite.id;
+          ji;
+          jt;
+        ]
+        @ bj)
+      Suite.all
+  in
+  Report.print_table ppf ~title:"per-matrix convergence and runtime" ~header ~rows
+
+let ablation_variants ppf (study : Solver_study.t) =
+  Report.section ppf
+    "Ablation D — factorization-based vs inversion-based block-Jacobi (bound 32)";
+  let rows =
+    List.filter_map
+      (fun (e : Suite.entry) ->
+        match
+          ( Solver_study.find study e Block_jacobi.Lu 32,
+            Solver_study.find study e Block_jacobi.Gje_inverse 32 )
+        with
+        | Some lu, Some gje ->
+          let fmt (r : Solver_study.run) =
+            if r.Solver_study.converged then
+              Printf.sprintf "%d its %.3f+%.3fs" r.Solver_study.iterations
+                r.Solver_study.setup_seconds r.Solver_study.solve_seconds
+            else "no convergence"
+          in
+          Some [ string_of_int e.Suite.id; e.Suite.name; fmt lu; fmt gje ]
+        | _ -> None)
+      Suite.all
+  in
+  Report.print_table ppf ~title:"LU factors vs GJE explicit inverse"
+    ~header:[ "ID"; "matrix"; "LU (setup+solve)"; "GJE (setup+solve)" ]
+    ~rows

@@ -1,0 +1,78 @@
+open Vblu_workloads
+open Vblu_precond
+open Vblu_krylov
+
+type run = {
+  entry : Suite.entry;
+  variant : Block_jacobi.variant;
+  bound : int;
+  converged : bool;
+  iterations : int;
+  setup_seconds : float;
+  solve_seconds : float;
+  blocks : int;
+}
+
+type t = {
+  runs : run list;
+  bounds : int list;
+}
+
+let bounds = [ 8; 12; 16; 24; 32 ]
+
+let one_run entry a b variant bound =
+  let precond, info = Block_jacobi.create ~variant ~max_block_size:bound a in
+  let _, stats = Idr.solve ~precond ~s:4 a b in
+  {
+    entry;
+    variant;
+    bound;
+    converged = Solver.converged stats;
+    iterations = stats.Solver.iterations;
+    setup_seconds = precond.Preconditioner.setup_seconds;
+    solve_seconds = stats.Solver.solve_seconds;
+    blocks = Array.length info.Block_jacobi.blocking.Supervariable.starts;
+  }
+
+let run_suite ?(quick = false) ?(progress = fun _ -> ()) () =
+  let entries =
+    if quick then List.filteri (fun i _ -> i < 12) Suite.all else Suite.all
+  in
+  let swept_bounds = if quick then [ 8; 32 ] else bounds in
+  let runs =
+    List.concat_map
+      (fun entry ->
+        let a = Suite.matrix entry in
+        let n, _ = Vblu_sparse.Csr.dims a in
+        let b = Array.make n 1.0 in
+        progress
+          (Printf.sprintf "%2d/%d %s (n=%d, nnz=%d)" entry.Suite.id
+             (List.length entries) entry.Suite.name n (Vblu_sparse.Csr.nnz a));
+        let scalar = one_run entry a b Block_jacobi.Scalar 1 in
+        let swept =
+          List.concat_map
+            (fun bound ->
+              [
+                one_run entry a b Block_jacobi.Lu bound;
+                one_run entry a b Block_jacobi.Gh bound;
+              ])
+            swept_bounds
+        in
+        let extra =
+          [
+            one_run entry a b Block_jacobi.Ght 32;
+            one_run entry a b Block_jacobi.Gje_inverse 32;
+          ]
+        in
+        (scalar :: swept) @ extra)
+      entries
+  in
+  { runs; bounds = swept_bounds }
+
+let find t entry variant bound =
+  List.find_opt
+    (fun r ->
+      r.entry.Suite.id = entry.Suite.id && r.variant = variant && r.bound = bound)
+    t.runs
+
+let total_seconds r = r.setup_seconds +. r.solve_seconds

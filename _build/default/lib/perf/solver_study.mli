@@ -1,0 +1,43 @@
+(** The full IDR(4) solver sweep behind Figures 8–9 and Table I.
+
+    For every matrix of the 48-entry suite, runs IDR(4) preconditioned
+    with:
+    - scalar Jacobi,
+    - LU-based block-Jacobi with block-size bounds 8/12/16/24/32,
+    - GH-based block-Jacobi with the same bounds,
+    - GH-T-based and GJE-inversion-based block-Jacobi with bound 32,
+
+    recording iteration counts, setup time, and solve time for each —
+    one pass that the three reporting drivers share.  Runs on the CPU
+    reference path (real numerics, host wall-clock). *)
+
+open Vblu_workloads
+open Vblu_precond
+
+type run = {
+  entry : Suite.entry;
+  variant : Block_jacobi.variant;
+  bound : int;  (** block-size upper bound (1 for scalar Jacobi). *)
+  converged : bool;
+  iterations : int;
+  setup_seconds : float;
+  solve_seconds : float;
+  blocks : int;  (** diagonal blocks in the partition. *)
+}
+
+type t = {
+  runs : run list;
+  bounds : int list;  (** the block-size bounds swept (Table I columns). *)
+}
+
+val bounds : int list
+(** [8; 12; 16; 24; 32] — the paper's sweep. *)
+
+val run_suite : ?quick:bool -> ?progress:(string -> unit) -> unit -> t
+(** Execute the sweep.  [quick] restricts to the first 12 matrices and
+    bounds [8; 32].  [progress] receives one message per matrix. *)
+
+val find : t -> Suite.entry -> Block_jacobi.variant -> int -> run option
+
+val total_seconds : run -> float
+(** setup + solve — Figure 9's y-axis. *)

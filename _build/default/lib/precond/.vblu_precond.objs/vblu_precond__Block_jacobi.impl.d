@@ -1,0 +1,1 @@
+lib/precond/block_jacobi.ml: Array Cholesky Csr Error Gauss_huard Gauss_jordan List Logs Lu Matrix Pool Precision Preconditioner Printf Supervariable Vblu_par Vblu_smallblas Vblu_sparse Vector

@@ -1,0 +1,1 @@
+lib/precond/block_jacobi.mli: Csr Pool Precision Preconditioner Supervariable Vblu_par Vblu_smallblas Vblu_sparse

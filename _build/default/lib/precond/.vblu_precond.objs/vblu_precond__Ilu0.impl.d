@@ -1,0 +1,1 @@
+lib/precond/ilu0.ml: Array Csr Error Precision Preconditioner Vblu_smallblas Vblu_sparse

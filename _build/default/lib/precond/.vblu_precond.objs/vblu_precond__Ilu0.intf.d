@@ -1,0 +1,1 @@
+lib/precond/ilu0.mli: Csr Precision Preconditioner Vblu_smallblas Vblu_sparse Vector

@@ -1,0 +1,1 @@
+lib/precond/preconditioner.ml: Array Sys Vblu_smallblas Vector

@@ -1,0 +1,1 @@
+lib/precond/preconditioner.mli: Vblu_smallblas Vector

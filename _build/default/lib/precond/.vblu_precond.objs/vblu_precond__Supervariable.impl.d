@@ -1,0 +1,1 @@
+lib/precond/supervariable.ml: Array Csr List Vblu_sparse

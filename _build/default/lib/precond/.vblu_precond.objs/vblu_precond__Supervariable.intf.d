@@ -1,0 +1,1 @@
+lib/precond/supervariable.mli: Csr Vblu_sparse

@@ -1,0 +1,60 @@
+(** The factorization-based block-Jacobi preconditioner — the paper's
+    target application (Sections II-A, III-C, IV-D).
+
+    Setup: partition the unknowns with supervariable blocking, extract the
+    dense diagonal blocks from the CSR matrix, and factorize the whole
+    collection with a batched routine.  Application (once per Krylov
+    iteration): solve the small triangular systems block by block.
+
+    The [variant] selects the batched factorization the paper compares:
+
+    - {!Lu}: the small-size batched LU with implicit partial pivoting plus
+      batched eager triangular solves — the paper's contribution;
+    - {!Gh} / {!Ght}: Gauss-Huard with column pivoting (normal and
+      transpose-friendly storage);
+    - {!Gje_inverse}: the inversion-based variant — Gauss-Jordan explicit
+      inverses at setup, dense GEMV at application;
+    - {!Cholesky}: the paper's future-work variant for SPD systems — LLᵀ
+      factors at half the LU cost; blocks that fail the positivity test
+      fall back to pivoted LU;
+    - {!Scalar}: plain (point) Jacobi — Table I's leftmost baseline.
+
+    All variants run on the CPU reference path (the numerics are identical
+    to the simulated kernels, which the test suite cross-checks); a block
+    that turns out singular falls back to the identity on that block, with
+    a warning through [Logs], so one degenerate block does not lose the
+    whole preconditioner. *)
+
+open Vblu_smallblas
+open Vblu_sparse
+open Vblu_par
+
+type variant =
+  | Lu
+  | Gh
+  | Ght
+  | Gje_inverse
+  | Cholesky
+  | Scalar
+
+val variant_name : variant -> string
+
+type info = {
+  blocking : Supervariable.blocking;
+  singular_blocks : int list;  (** indices that fell back to identity. *)
+}
+
+val create :
+  ?pool:Pool.t ->
+  ?prec:Precision.t ->
+  ?variant:variant ->
+  ?max_block_size:int ->
+  ?blocking:Supervariable.blocking ->
+  Csr.t ->
+  Preconditioner.t * info
+(** [create a] builds the preconditioner.  [blocking] overrides the
+    supervariable partition (e.g. {!Supervariable.uniform} for the kernel
+    studies); [max_block_size] (default 32) is the supervariable
+    agglomeration bound otherwise.  [Preconditioner.t.setup_seconds] covers
+    blocking + extraction + factorization.
+    @raise Invalid_argument if [a] is not square or the blocking invalid. *)

@@ -1,0 +1,83 @@
+open Vblu_smallblas
+open Vblu_sparse
+
+type factors = {
+  pattern : Csr.t;  (** original matrix (for the index structure). *)
+  values : float array;  (** factored values on the same pattern. *)
+  diag_pos : int array;  (** position of (i,i) within [values]. *)
+}
+
+let factorize ?(prec = Precision.Double) (a : Csr.t) =
+  let n, cols = Csr.dims a in
+  if n <> cols then invalid_arg "Ilu0.factorize: matrix not square";
+  let diag_pos = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    for p = a.Csr.row_ptr.(i) to a.Csr.row_ptr.(i + 1) - 1 do
+      if a.Csr.col_idx.(p) = i then diag_pos.(i) <- p
+    done;
+    if diag_pos.(i) < 0 then
+      invalid_arg "Ilu0.factorize: structurally missing diagonal entry"
+  done;
+  let v = Array.copy a.Csr.values in
+  (* IKJ elimination restricted to the pattern.  [where.(c)] maps a column
+     to its position in the current row, -1 elsewhere. *)
+  let where = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    let row_lo = a.Csr.row_ptr.(i) and row_hi = a.Csr.row_ptr.(i + 1) in
+    for p = row_lo to row_hi - 1 do
+      where.(a.Csr.col_idx.(p)) <- p
+    done;
+    for p = row_lo to row_hi - 1 do
+      let k = a.Csr.col_idx.(p) in
+      if k < i then begin
+        let pivot = v.(diag_pos.(k)) in
+        if pivot = 0.0 then raise (Error.Singular k);
+        v.(p) <- Precision.div prec v.(p) pivot;
+        let lik = v.(p) in
+        (* Update the intersection of row i's pattern with row k's tail. *)
+        for q = diag_pos.(k) + 1 to a.Csr.row_ptr.(k + 1) - 1 do
+          let j = a.Csr.col_idx.(q) in
+          let pj = where.(j) in
+          if pj >= 0 then v.(pj) <- Precision.fma prec (-.lik) v.(q) v.(pj)
+        done
+      end
+    done;
+    if v.(diag_pos.(i)) = 0.0 then raise (Error.Singular i);
+    for p = row_lo to row_hi - 1 do
+      where.(a.Csr.col_idx.(p)) <- -1
+    done
+  done;
+  { pattern = a; values = v; diag_pos }
+
+let solve ?(prec = Precision.Double) f b =
+  let a = f.pattern in
+  let n, _ = Csr.dims a in
+  if Array.length b <> n then invalid_arg "Ilu0.solve: dimension mismatch";
+  let x = Array.copy b in
+  (* Forward: unit-lower sweep over the strictly-lower entries. *)
+  for i = 0 to n - 1 do
+    let acc = ref x.(i) in
+    for p = a.Csr.row_ptr.(i) to f.diag_pos.(i) - 1 do
+      acc := Precision.fma prec (-.f.values.(p)) x.(a.Csr.col_idx.(p)) !acc
+    done;
+    x.(i) <- !acc
+  done;
+  (* Backward: upper sweep including the diagonal. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for p = f.diag_pos.(i) + 1 to a.Csr.row_ptr.(i + 1) - 1 do
+      acc := Precision.fma prec (-.f.values.(p)) x.(a.Csr.col_idx.(p)) !acc
+    done;
+    x.(i) <- Precision.div prec !acc f.values.(f.diag_pos.(i))
+  done;
+  x
+
+let preconditioner ?(prec = Precision.Double) (a : Csr.t) =
+  let f, setup_seconds = Preconditioner.timed (fun () -> factorize ~prec a) in
+  let n, _ = Csr.dims a in
+  {
+    Preconditioner.name = "ilu0";
+    dim = n;
+    setup_seconds;
+    apply = (fun r -> solve ~prec f r);
+  }

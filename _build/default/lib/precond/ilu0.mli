@@ -1,0 +1,33 @@
+(** ILU(0): incomplete LU factorization with zero fill-in.
+
+    The classic global preconditioner [Saad 2003, ch. 10] the paper's
+    introduction positions block-Jacobi against: stronger per iteration
+    (it couples the whole matrix), but inherently sequential in both setup
+    and application — triangular solves over the full system do not map to
+    the embarrassingly-parallel batched model that motivates the paper.
+    Included as the comparison baseline for the examples and ablations:
+    block-Jacobi usually needs more iterations but each one is cheap and
+    parallel.
+
+    The factorization keeps exactly the sparsity pattern of [A] (no
+    fill-in) and requires nonzero diagonal entries. *)
+
+open Vblu_smallblas
+open Vblu_sparse
+
+type factors
+
+val factorize : ?prec:Precision.t -> Csr.t -> factors
+(** IKJ-variant ILU(0).
+    @raise Vblu_smallblas.Error.Singular on a zero pivot (the pattern-
+    restricted elimination hit a structurally/numerically singular row).
+    @raise Invalid_argument if the matrix is not square or a diagonal
+    entry is structurally missing. *)
+
+val solve : ?prec:Precision.t -> factors -> Vector.t -> Vector.t
+(** Apply [((LU)⁻¹ ≈ A⁻¹)]: one sparse forward and one sparse backward
+    substitution. *)
+
+val preconditioner : ?prec:Precision.t -> Csr.t -> Preconditioner.t
+(** Package as a {!Preconditioner.t} (setup time measured like the
+    block-Jacobi variants). *)

@@ -1,0 +1,21 @@
+open Vblu_smallblas
+
+type t = {
+  name : string;
+  dim : int;
+  setup_seconds : float;
+  apply : Vector.t -> Vector.t;
+}
+
+let identity n =
+  { name = "none"; dim = n; setup_seconds = 0.0; apply = Vector.copy }
+
+let apply t r =
+  if Array.length r <> t.dim then
+    invalid_arg "Preconditioner.apply: dimension mismatch";
+  t.apply r
+
+let timed f =
+  let t0 = Sys.time () in
+  let x = f () in
+  (x, Sys.time () -. t0)

@@ -1,0 +1,27 @@
+(** The preconditioner interface consumed by the Krylov solvers.
+
+    A preconditioner is an operator [apply : r ↦ M⁻¹r] plus bookkeeping
+    about what it cost to build — the split the paper's evaluation keeps
+    separate (setup in Figure 9's "setup", application inside every solver
+    iteration). *)
+
+open Vblu_smallblas
+
+type t = {
+  name : string;  (** e.g. ["block-jacobi(lu,32)"]. *)
+  dim : int;  (** operand length. *)
+  setup_seconds : float;  (** time spent building the operator. *)
+  apply : Vector.t -> Vector.t;
+      (** [apply r] returns [M⁻¹ r]; must not modify [r]. *)
+}
+
+val identity : int -> t
+(** The unpreconditioned baseline: [apply] is a copy. *)
+
+val apply : t -> Vector.t -> Vector.t
+(** [apply t r] checks the dimension and delegates.
+    @raise Invalid_argument on a length mismatch. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] runs [f] and reports elapsed processor time in seconds —
+    the clock used for every setup/solve time in the reproduction. *)

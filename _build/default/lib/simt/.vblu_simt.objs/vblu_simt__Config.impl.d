@@ -1,0 +1,1 @@
+lib/simt/config.ml: Precision Vblu_smallblas

@@ -1,0 +1,1 @@
+lib/simt/counter.ml: Format

@@ -1,0 +1,1 @@
+lib/simt/gmem.ml: Array Precision Vblu_smallblas

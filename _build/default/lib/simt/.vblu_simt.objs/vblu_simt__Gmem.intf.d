@@ -1,0 +1,1 @@
+lib/simt/gmem.mli: Precision Vblu_smallblas

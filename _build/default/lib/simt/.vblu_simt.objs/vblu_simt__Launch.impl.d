@@ -1,0 +1,1 @@
+lib/simt/launch.ml: Config Counter Float Format Vblu_smallblas

@@ -1,0 +1,1 @@
+lib/simt/launch.mli: Config Counter Format Precision Vblu_smallblas

@@ -1,0 +1,1 @@
+lib/simt/sampling.ml: Array Config Counter Hashtbl Launch List Warp

@@ -1,0 +1,1 @@
+lib/simt/sampling.mli: Config Launch Precision Vblu_smallblas Warp

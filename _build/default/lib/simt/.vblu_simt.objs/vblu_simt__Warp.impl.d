@@ -1,0 +1,1 @@
+lib/simt/warp.ml: Array Config Counter Float Gmem Hashtbl Precision Vblu_smallblas

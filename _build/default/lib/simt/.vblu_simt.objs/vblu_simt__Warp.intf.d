@@ -1,0 +1,1 @@
+lib/simt/warp.mli: Config Counter Gmem Precision Vblu_smallblas

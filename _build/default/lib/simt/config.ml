@@ -1,0 +1,61 @@
+open Vblu_smallblas
+
+type t = {
+  name : string;
+  num_sms : int;
+  clock_ghz : float;
+  warp_size : int;
+  max_warps_per_sm : int;
+  fma_cycles_sp : float;
+  fma_cycles_dp : float;
+  div_cycles_sp : float;
+  div_cycles_dp : float;
+  shfl_cycles : float;
+  dp_shfl_factor : float;
+  smem_cycles : float;
+  gmem_issue_cycles : float;
+  mem_bandwidth_gbs : float;
+  mem_efficiency : float;
+  mem_latency_cycles : float;
+  transaction_bytes : int;
+  smem_banks : int;
+  launch_overhead_us : float;
+  max_issue_efficiency : float;
+  occupancy_tau : float;
+}
+
+let p100 =
+  {
+    name = "Tesla P100 (model)";
+    num_sms = 56;
+    clock_ghz = 1.328;
+    warp_size = 32;
+    max_warps_per_sm = 64;
+    fma_cycles_sp = 0.5;
+    fma_cycles_dp = 1.0;
+    div_cycles_sp = 4.0;
+    div_cycles_dp = 8.0;
+    shfl_cycles = 1.0;
+    dp_shfl_factor = 2.0;
+    smem_cycles = 1.0;
+    gmem_issue_cycles = 8.0;
+    mem_bandwidth_gbs = 732.0;
+    mem_efficiency = 0.45;
+    mem_latency_cycles = 450.0;
+    transaction_bytes = 32;
+    smem_banks = 32;
+    launch_overhead_us = 4.0;
+    max_issue_efficiency = 0.65;
+    occupancy_tau = 73.0;
+  }
+
+let fma_cycles t = function
+  | Precision.Single -> t.fma_cycles_sp
+  | Precision.Double -> t.fma_cycles_dp
+
+let div_cycles t = function
+  | Precision.Single -> t.div_cycles_sp
+  | Precision.Double -> t.div_cycles_dp
+
+let elements_per_transaction t prec =
+  max 1 (t.transaction_bytes / Precision.bytes prec)

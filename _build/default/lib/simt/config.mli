@@ -1,0 +1,65 @@
+(** Hardware description for the SIMT execution model.
+
+    The paper evaluates on an NVIDIA Tesla P100 (Pascal, 56 SMs at
+    1.33 GHz, 732 GB/s HBM2, 2:1 SP:DP throughput).  The simulator is not
+    cycle-accurate silicon; it is an analytic model over the quantities the
+    paper's analysis actually reasons about — issue slots, memory
+    transactions, occupancy and latency — with the constants below
+    calibrated so that the reproduced figures land in the paper's GFLOPS
+    ballpark.  All constants live here so the calibration is explicit and
+    auditable. *)
+
+open Vblu_smallblas
+
+type t = {
+  name : string;
+  num_sms : int;  (** streaming multiprocessors. *)
+  clock_ghz : float;
+  warp_size : int;  (** lanes per warp; 32 everywhere in this project. *)
+  max_warps_per_sm : int;  (** resident-warp (occupancy) limit. *)
+  fma_cycles_sp : float;
+      (** SM-cycles consumed by one single-precision warp-wide FMA/ALU
+          instruction at full occupancy (0.5 = two such instructions per
+          cycle per SM). *)
+  fma_cycles_dp : float;  (** same, double precision (Pascal: 2× SP). *)
+  div_cycles_sp : float;
+      (** SM-cycles of one warp-wide division — GPUs expand division into a
+          multi-instruction sequence, so this is several times an FMA. *)
+  div_cycles_dp : float;
+  shfl_cycles : float;  (** warp shuffle instruction (single precision). *)
+  dp_shfl_factor : float;
+      (** shuffles move 32-bit registers, so moving a double costs this
+          multiple (2.0) — one reason the register-heavy kernels lose more
+          than the arithmetic ratio when switching to double. *)
+  smem_cycles : float;  (** conflict-free shared-memory access. *)
+  gmem_issue_cycles : float;
+      (** issue/address-generation cost of one global load/store
+          instruction, independent of the data transfer itself. *)
+  mem_bandwidth_gbs : float;  (** peak memory bandwidth. *)
+  mem_efficiency : float;
+      (** fraction of peak bandwidth a batched kernel's access stream
+          sustains in practice. *)
+  mem_latency_cycles : float;  (** global-memory round-trip latency. *)
+  transaction_bytes : int;  (** memory transaction granularity. *)
+  smem_banks : int;
+  launch_overhead_us : float;  (** fixed kernel-launch cost. *)
+  max_issue_efficiency : float;
+      (** fraction of an SM's issue slots a fully occupied SM fills for
+          kernels of this class (dependency stalls never vanish). *)
+  occupancy_tau : float;
+      (** exponential time-constant (in resident warps per SM) of the
+          occupancy ramp: efficiency =
+          [max_issue_efficiency * (1 - exp(-resident/occupancy_tau))].
+          This single knob produces the saturating GFLOPS-vs-batch-size
+          shape of Figures 4 and 6. *)
+}
+
+val p100 : t
+(** The paper's evaluation platform. *)
+
+val fma_cycles : t -> Precision.t -> float
+val div_cycles : t -> Precision.t -> float
+
+val elements_per_transaction : t -> Precision.t -> int
+(** How many scalars one memory transaction carries (8 doubles or 16
+    singles for 64-byte transactions). *)

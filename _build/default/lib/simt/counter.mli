@@ -1,0 +1,41 @@
+(** Event counters for one simulated warp.
+
+    Every {!Warp} operation charges the counters; {!Launch} turns the
+    totals into modelled kernel time.  [useful_flops] is credited
+    explicitly by the kernels with the {!Vblu_smallblas.Flops} formulas, so
+    padding and other overheads show up as a gap between executed work and
+    useful work — the mechanism behind the paper's Figure 5 crossovers. *)
+
+type t = {
+  mutable fma_instrs : float;
+      (** warp-wide arithmetic instructions (FMA/add/mul/compare). *)
+  mutable div_instrs : float;  (** warp-wide divisions. *)
+  mutable shfl_instrs : float;  (** warp shuffles (incl. reductions). *)
+  mutable smem_accesses : float;
+      (** shared-memory access instructions, bank-conflict serializations
+          already included. *)
+  mutable gmem_instrs : float;
+      (** global load/store instructions issued (issue cost, distinct from
+          the transferred bytes). *)
+  mutable gmem_transactions : int;
+  mutable gmem_bytes : int;
+  mutable gmem_rounds : int;
+      (** dependent global-memory round-trips (each adds a latency term to
+          the single-warp critical path). *)
+  mutable useful_flops : float;
+}
+
+val create : unit -> t
+
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]. *)
+
+val scale_into : t -> float -> t
+(** [scale_into x f] returns a fresh counter holding [x] scaled by [f] —
+    used when one representative warp stands for a whole size class. *)
+
+val credit_flops : t -> float -> unit
+
+val total_instrs : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+open Vblu_smallblas
+
+type t = { data : float array; prec : Precision.t }
+
+let create prec n = { data = Array.make n 0.0; prec }
+
+let of_array prec a = { data = Array.map (Precision.round prec) a; prec }
+
+let length t = Array.length t.data
+
+let prec t = t.prec
+
+let get t i = t.data.(i)
+
+let set t i v = t.data.(i) <- Precision.round t.prec v
+
+let to_array t = Array.copy t.data

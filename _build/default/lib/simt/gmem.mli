@@ -1,0 +1,33 @@
+(** Simulated global (device) memory.
+
+    A flat array of scalars addressed by element index.  All traffic goes
+    through {!Warp.load} / {!Warp.store}, which count memory transactions
+    with the coalescing rule of the hardware model: the distinct
+    [transaction_bytes]-sized segments touched by the active lanes of one
+    access, each charged in full — so a warp reading 32 consecutive
+    doubles costs 4 transactions of 64 B, while the same 32 doubles strided
+    by a matrix row cost 32 transactions (the paper's coalesced vs
+    non-coalesced distinction). *)
+
+open Vblu_smallblas
+
+type t
+
+val create : Precision.t -> int -> t
+(** [create prec n] allocates [n] scalars of zero. *)
+
+val of_array : Precision.t -> float array -> t
+(** Stages host data; values are rounded to [prec] on the way in, as a
+    host-to-device copy of a narrower type would. *)
+
+val length : t -> int
+
+val prec : t -> Precision.t
+
+val get : t -> int -> float
+(** Direct host-side access (no traffic counted); for staging and tests. *)
+
+val set : t -> int -> float -> unit
+
+val to_array : t -> float array
+(** Host-side copy of the full contents. *)

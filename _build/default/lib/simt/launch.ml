@@ -1,0 +1,61 @@
+
+type stats = {
+  time_us : float;
+  gflops : float;
+  bandwidth_gbs : float;
+  warps : int;
+  total : Counter.t;
+}
+
+let warp_cycles cfg prec (c : Counter.t) =
+  let shfl_cost =
+    cfg.Config.shfl_cycles
+    *. match prec with
+       | Vblu_smallblas.Precision.Double -> cfg.Config.dp_shfl_factor
+       | Vblu_smallblas.Precision.Single -> 1.0
+  in
+  (c.fma_instrs *. Config.fma_cycles cfg prec)
+  +. (c.div_instrs *. Config.div_cycles cfg prec)
+  +. (c.shfl_instrs *. shfl_cost)
+  +. (c.smem_accesses *. cfg.Config.smem_cycles)
+  +. (c.gmem_instrs *. cfg.Config.gmem_issue_cycles)
+
+let time ?(cfg = Config.p100) ~prec ~warps ~total ~max_warp () =
+  if warps <= 0 then invalid_arg "Launch.time: no warps";
+  let clock_hz = cfg.Config.clock_ghz *. 1e9 in
+  let sms_used = min cfg.Config.num_sms warps in
+  let resident = (warps + cfg.Config.num_sms - 1) / cfg.Config.num_sms in
+  (* Occupancy ramp: more resident warps (and deeper wave pipelines) fill
+     more issue slots, saturating exponentially. *)
+  let efficiency =
+    cfg.Config.max_issue_efficiency
+    *. (1.0 -. exp (-.float_of_int resident /. cfg.Config.occupancy_tau))
+  in
+  let total_cycles = warp_cycles cfg prec total in
+  let compute_s =
+    total_cycles /. float_of_int sms_used /. efficiency /. clock_hz
+  in
+  let serial_s =
+    (warp_cycles cfg prec max_warp
+    +. (float_of_int max_warp.Counter.gmem_rounds *. cfg.Config.mem_latency_cycles))
+    /. clock_hz
+  in
+  let mem_s =
+    float_of_int total.Counter.gmem_bytes
+    /. (cfg.Config.mem_bandwidth_gbs *. cfg.Config.mem_efficiency *. 1e9)
+  in
+  let time_s =
+    (cfg.Config.launch_overhead_us *. 1e-6)
+    +. Float.max compute_s (Float.max serial_s mem_s)
+  in
+  {
+    time_us = time_s *. 1e6;
+    gflops = total.Counter.useful_flops /. time_s /. 1e9;
+    bandwidth_gbs = float_of_int total.Counter.gmem_bytes /. time_s /. 1e9;
+    warps;
+    total;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d warps, %.1f us, %.1f GFLOPS, %.1f GB/s" s.warps
+    s.time_us s.gflops s.bandwidth_gbs

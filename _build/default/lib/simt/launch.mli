@@ -1,0 +1,43 @@
+(** The analytic kernel-timing model.
+
+    Converts the event counts of a kernel's warps into a modelled execution
+    time.  The model captures the three effects the paper's performance
+    discussion rests on:
+
+    - {b occupancy ramp}: an SM needs many resident warps to hide latency
+      and fill its issue slots, so throughput grows with batch size and
+      saturates — the left-to-right shape of Figures 4 and 6;
+    - {b bandwidth bound}: total transaction bytes divided by memory
+      bandwidth floor the runtime — what makes TRSV memory-bound and
+      punishes non-coalesced access;
+    - {b serial floor}: a single warp's critical path (issue slots plus one
+      memory latency per dependent round-trip) bounds tiny batches.
+
+    [time = launch_overhead + max(compute, bandwidth, serial)]. *)
+
+open Vblu_smallblas
+
+type stats = {
+  time_us : float;  (** modelled kernel time. *)
+  gflops : float;  (** useful flops / time. *)
+  bandwidth_gbs : float;  (** achieved transaction bandwidth. *)
+  warps : int;
+  total : Counter.t;  (** aggregate event counts. *)
+}
+
+val warp_cycles : Config.t -> Precision.t -> Counter.t -> float
+(** Issue-slot cycles of one warp's instruction stream (no memory). *)
+
+val time :
+  ?cfg:Config.t ->
+  prec:Precision.t ->
+  warps:int ->
+  total:Counter.t ->
+  max_warp:Counter.t ->
+  unit ->
+  stats
+(** [time ~prec ~warps ~total ~max_warp ()] models a kernel launch of
+    [warps] warps whose aggregate counters are [total] and whose heaviest
+    single warp is [max_warp]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,50 @@
+
+type mode = Exact | Sampled
+
+let run ?(cfg = Config.p100) ~prec ~mode ~sizes ~kernel () =
+  let n = Array.length sizes in
+  if n = 0 then invalid_arg "Sampling.run: empty batch";
+  let total = Counter.create () in
+  let max_warp = ref (Counter.create ()) in
+  let max_cycles = ref (-1.0) in
+  let observe c =
+    Counter.add total c;
+    let cy = Launch.warp_cycles cfg prec c in
+    if cy > !max_cycles then begin
+      max_cycles := cy;
+      max_warp := c
+    end
+  in
+  (match mode with
+  | Exact ->
+    for i = 0 to n - 1 do
+      let w = Warp.create ~cfg prec () in
+      kernel w i;
+      observe (Warp.counter w)
+    done
+  | Sampled ->
+    (* One representative (the first occurrence) per distinct size. *)
+    let seen = Hashtbl.create 8 in
+    Array.iteri
+      (fun i s ->
+        match Hashtbl.find_opt seen s with
+        | Some (rep, count) -> Hashtbl.replace seen s (rep, count + 1)
+        | None -> Hashtbl.add seen s (i, 1))
+      sizes;
+    let classes =
+      Hashtbl.fold (fun _ (rep, count) acc -> (rep, count) :: acc) seen []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (rep, count) ->
+        let w = Warp.create ~cfg prec () in
+        kernel w rep;
+        let c = Warp.counter w in
+        let cy = Launch.warp_cycles cfg prec c in
+        if cy > !max_cycles then begin
+          max_cycles := cy;
+          max_warp := c
+        end;
+        Counter.add total (Counter.scale_into c (float_of_int count)))
+      classes);
+  Launch.time ~cfg ~prec ~warps:n ~total ~max_warp:!max_warp ()

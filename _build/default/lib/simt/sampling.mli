@@ -1,0 +1,33 @@
+(** Batch execution over the simulator: exact and sampled modes.
+
+    A batched kernel is one warp per problem.  Running all 40,000 warps of
+    a paper-sized benchmark through the functional simulator would be
+    pointlessly slow, and — because the small-block kernels are
+    warp-synchronous with data-independent control flow — unnecessary: two
+    problems of the same size execute the same instruction stream.
+
+    [Exact] runs every warp (and thus computes every result); [Sampled]
+    runs one representative warp per distinct problem size and scales its
+    counters by the class population.  The test suite checks that the two
+    modes agree on the modelled counters; result-consuming code (the
+    preconditioner setup) always uses [Exact]. *)
+
+open Vblu_smallblas
+
+type mode =
+  | Exact
+  | Sampled
+
+val run :
+  ?cfg:Config.t ->
+  prec:Precision.t ->
+  mode:mode ->
+  sizes:int array ->
+  kernel:(Warp.t -> int -> unit) ->
+  unit ->
+  Launch.stats
+(** [run ~prec ~mode ~sizes ~kernel ()] executes [kernel warp i] for every
+    problem [i] (or one representative per size class in [Sampled] mode;
+    representatives are the first index of each class) on a fresh warp, and
+    feeds the counters to {!Launch.time}.
+    @raise Invalid_argument on an empty batch. *)

@@ -1,0 +1,180 @@
+open Vblu_smallblas
+
+type t = {
+  cfg : Config.t;
+  prec : Precision.t;
+  counter : Counter.t;
+  size : int;
+}
+
+let create ?(cfg = Config.p100) prec () =
+  { cfg; prec; counter = Counter.create (); size = cfg.Config.warp_size }
+
+let size t = t.size
+let prec t = t.prec
+let counter t = t.counter
+let cfg t = t.cfg
+let lanes t = Array.init t.size (fun i -> i)
+
+let check_lanes t a name =
+  if Array.length a <> t.size then
+    invalid_arg (name ^ ": lane array of wrong width")
+
+let active_or_all t = function
+  | Some a ->
+    check_lanes t a "Warp.active";
+    a
+  | None -> Array.make t.size true
+
+let charge_fma t = t.counter.Counter.fma_instrs <- t.counter.Counter.fma_instrs +. 1.0
+
+let charge_div t = t.counter.Counter.div_instrs <- t.counter.Counter.div_instrs +. 1.0
+
+let charge_shfl t n =
+  t.counter.Counter.shfl_instrs <- t.counter.Counter.shfl_instrs +. n
+
+let lanewise2 t ?active op name a b =
+  check_lanes t a name;
+  check_lanes t b name;
+  let act = active_or_all t active in
+  charge_fma t;
+  Array.init t.size (fun i ->
+      if act.(i) then Precision.round t.prec (op a.(i) b.(i)) else a.(i))
+
+let fma t ?active a b c =
+  check_lanes t a "Warp.fma";
+  check_lanes t b "Warp.fma";
+  check_lanes t c "Warp.fma";
+  let act = active_or_all t active in
+  charge_fma t;
+  Array.init t.size (fun i ->
+      if act.(i) then Precision.fma t.prec a.(i) b.(i) c.(i) else c.(i))
+
+let fnma t ?active a b c =
+  check_lanes t a "Warp.fnma";
+  check_lanes t b "Warp.fnma";
+  check_lanes t c "Warp.fnma";
+  let act = active_or_all t active in
+  charge_fma t;
+  Array.init t.size (fun i ->
+      if act.(i) then Precision.fma t.prec (-.a.(i)) b.(i) c.(i) else c.(i))
+
+let add t ?active a b = lanewise2 t ?active ( +. ) "Warp.add" a b
+let sub t ?active a b = lanewise2 t ?active ( -. ) "Warp.sub" a b
+let mul t ?active a b = lanewise2 t ?active ( *. ) "Warp.mul" a b
+
+let div t ?active a b =
+  check_lanes t a "Warp.div";
+  check_lanes t b "Warp.div";
+  let act = active_or_all t active in
+  charge_div t;
+  Array.init t.size (fun i ->
+      if act.(i) then Precision.div t.prec a.(i) b.(i) else a.(i))
+
+let sqrt_lanes t ?active a =
+  check_lanes t a "Warp.sqrt_lanes";
+  let act = active_or_all t active in
+  charge_div t;
+  Array.init t.size (fun i ->
+      if act.(i) then Precision.round t.prec (sqrt a.(i)) else a.(i))
+
+let select t m a b =
+  check_lanes t m "Warp.select";
+  check_lanes t a "Warp.select";
+  check_lanes t b "Warp.select";
+  charge_fma t;
+  Array.init t.size (fun i -> if m.(i) then a.(i) else b.(i))
+
+let broadcast t x ~src =
+  check_lanes t x "Warp.broadcast";
+  if src < 0 || src >= t.size then invalid_arg "Warp.broadcast: bad source lane";
+  charge_shfl t 1.0;
+  Array.make t.size x.(src)
+
+let argmax_abs t ?active x =
+  check_lanes t x "Warp.argmax_abs";
+  let act = active_or_all t active in
+  (* Butterfly reduction: log2(size) shuffle + compare/select rounds. *)
+  let rounds = int_of_float (ceil (log (float_of_int t.size) /. log 2.0)) in
+  charge_shfl t (float_of_int rounds);
+  t.counter.Counter.fma_instrs <-
+    t.counter.Counter.fma_instrs +. float_of_int rounds;
+  let best = ref (-1) in
+  for i = 0 to t.size - 1 do
+    if act.(i) && (!best < 0 || Float.abs x.(i) > Float.abs x.(!best)) then
+      best := i
+  done;
+  if !best < 0 then invalid_arg "Warp.argmax_abs: no active lane";
+  !best
+
+(* Coalescing: distinct transaction segments touched by the active lanes.
+   A perfectly coalesced access costs one issue slot; address divergence
+   serializes into replays — charged as the ratio of touched segments to
+   the coalesced minimum (two segments per replay slot). *)
+let count_transactions t mem addrs act =
+  let seg_elems = Config.elements_per_transaction t.cfg (Gmem.prec mem) in
+  let segs = Hashtbl.create 8 in
+  let active = ref 0 in
+  Array.iteri
+    (fun i a ->
+      if act.(i) then begin
+        incr active;
+        Hashtbl.replace segs (a / seg_elems) ()
+      end)
+    addrs;
+  let n = Hashtbl.length segs in
+  let min_txns = max 1 ((!active + seg_elems - 1) / seg_elems) in
+  let replays = Float.max 1.0 (float_of_int n /. float_of_int min_txns /. 2.0) in
+  t.counter.Counter.gmem_instrs <- t.counter.Counter.gmem_instrs +. replays;
+  t.counter.Counter.gmem_transactions <- t.counter.Counter.gmem_transactions + n;
+  t.counter.Counter.gmem_bytes <-
+    t.counter.Counter.gmem_bytes + (n * t.cfg.Config.transaction_bytes)
+
+let load t mem ?active addrs =
+  check_lanes t addrs "Warp.load";
+  let act = active_or_all t active in
+  count_transactions t mem addrs act;
+  Array.init t.size (fun i -> if act.(i) then Gmem.get mem addrs.(i) else 0.0)
+
+let store t mem ?active addrs values =
+  check_lanes t addrs "Warp.store";
+  check_lanes t values "Warp.store";
+  let act = active_or_all t active in
+  count_transactions t mem addrs act;
+  Array.iteri (fun i a -> if act.(i) then Gmem.set mem a values.(i)) addrs
+
+let round_barrier t =
+  t.counter.Counter.gmem_rounds <- t.counter.Counter.gmem_rounds + 1
+
+type smem = { data : float array }
+
+let smem_alloc _t n = { data = Array.make n 0.0 }
+
+let charge_smem t sm addrs act =
+  (* Serialized passes = worst bank multiplicity (same-address lanes would
+     broadcast, but the small-block kernels never co-address, so we charge
+     the simple rule). *)
+  let banks = t.cfg.Config.smem_banks in
+  let hits = Array.make banks 0 in
+  Array.iteri (fun i a -> if act.(i) then hits.(a mod banks) <- hits.(a mod banks) + 1) addrs;
+  let passes = Array.fold_left max 1 hits in
+  ignore sm;
+  t.counter.Counter.smem_accesses <-
+    t.counter.Counter.smem_accesses +. float_of_int passes
+
+let smem_store t sm ?active addrs values =
+  check_lanes t addrs "Warp.smem_store";
+  check_lanes t values "Warp.smem_store";
+  let act = active_or_all t active in
+  charge_smem t sm addrs act;
+  Array.iteri
+    (fun i a -> if act.(i) then sm.data.(a) <- Precision.round t.prec values.(i))
+    addrs
+
+let smem_load t sm ?active addrs =
+  check_lanes t addrs "Warp.smem_load";
+  let act = active_or_all t active in
+  charge_smem t sm addrs act;
+  Array.init t.size (fun i -> if act.(i) then sm.data.(addrs.(i)) else 0.0)
+
+let smem_read sm i = sm.data.(i)

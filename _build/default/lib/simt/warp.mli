@@ -1,0 +1,95 @@
+(** One simulated warp: 32 lanes executing in lockstep.
+
+    Kernels are written exactly as warp-synchronous CUDA: a lane-indexed
+    value is a [float array] of length {!size} (the "register" each thread
+    holds), operations apply to all lanes at once under an optional
+    predication mask, and cross-lane data movement goes through shuffles.
+    Every operation charges the warp's {!Counter.t}; predicated-off lanes
+    still cost full issue slots (the SIMT execution rule that makes the
+    paper's explicit row swap expensive: two active lanes, thirty idle). *)
+
+open Vblu_smallblas
+
+type t
+
+val create : ?cfg:Config.t -> Precision.t -> unit -> t
+(** A fresh warp with zeroed counters.  [cfg] defaults to {!Config.p100}. *)
+
+val size : t -> int
+
+val prec : t -> Precision.t
+
+val counter : t -> Counter.t
+
+val cfg : t -> Config.t
+
+val lanes : t -> int array
+(** [|0; 1; …; size-1|] — the lane indices ("threadIdx"). *)
+
+(** {1 Arithmetic} — one warp instruction each, lanewise, rounded to the
+    warp's precision.  [?active] defaults to all lanes; inactive lanes
+    pass their [c]/first-operand value through unchanged. *)
+
+val fma : t -> ?active:bool array -> float array -> float array -> float array -> float array
+(** [fma w a b c] is lanewise [a*b + c] (single rounding). *)
+
+val fnma : t -> ?active:bool array -> float array -> float array -> float array -> float array
+(** [fnma w a b c] is lanewise [c - a*b] (single rounding) — the
+    elimination update, one instruction like {!fma}. *)
+
+val add : t -> ?active:bool array -> float array -> float array -> float array
+val sub : t -> ?active:bool array -> float array -> float array -> float array
+val mul : t -> ?active:bool array -> float array -> float array -> float array
+
+val div : t -> ?active:bool array -> float array -> float array -> float array
+(** Charged at the hardware model's division expansion cost. *)
+
+val sqrt_lanes : t -> ?active:bool array -> float array -> float array
+(** Lanewise square root; like division, GPUs expand it into a
+    multi-instruction sequence, so it is charged at the division cost. *)
+
+val select : t -> bool array -> float array -> float array -> float array
+(** [select w m a b] is lanewise [if m then a else b]; one instruction. *)
+
+(** {1 Cross-lane communication} *)
+
+val broadcast : t -> float array -> src:int -> float array
+(** [broadcast w x ~src] gives every lane [x.(src)] — [__shfl_sync] from a
+    single source lane; one shuffle instruction. *)
+
+val argmax_abs : t -> ?active:bool array -> float array -> int
+(** Index of the lane holding the largest magnitude among active lanes —
+    the pivot search, realized as a [log₂ 32]-step butterfly reduction
+    (5 shuffles + 5 compare/select pairs are charged).  Ties resolve to the
+    lowest lane index, matching the sequential reference.
+    @raise Invalid_argument if no lane is active. *)
+
+(** {1 Global memory} *)
+
+val load : t -> Gmem.t -> ?active:bool array -> int array -> float array
+(** [load w mem addrs] reads [mem\[addrs.(lane)\]] into each active lane
+    (inactive lanes read 0); charges the coalescing-derived number of
+    transactions and their full bytes. *)
+
+val store : t -> Gmem.t -> ?active:bool array -> int array -> float array -> unit
+
+val round_barrier : t -> unit
+(** Marks the end of a dependent global-memory round-trip: the next load
+    cannot be overlapped with the previous one.  Adds one latency term to
+    this warp's serial critical path. *)
+
+(** {1 Shared memory} *)
+
+type smem
+(** A per-thread-block shared-memory tile. *)
+
+val smem_alloc : t -> int -> smem
+
+val smem_store : t -> smem -> ?active:bool array -> int array -> float array -> unit
+(** Bank conflicts are detected per access (lanes hitting the same bank at
+    different addresses serialize) and charged as extra issue slots. *)
+
+val smem_load : t -> smem -> ?active:bool array -> int array -> float array
+
+val smem_read : smem -> int -> float
+(** Host-side peek (no cost); for tests. *)

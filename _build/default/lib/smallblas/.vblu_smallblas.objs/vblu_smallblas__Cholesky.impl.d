@@ -1,0 +1,1 @@
+lib/smallblas/cholesky.ml: Array Matrix Precision

@@ -1,0 +1,1 @@
+lib/smallblas/cholesky.mli: Matrix Precision Vector

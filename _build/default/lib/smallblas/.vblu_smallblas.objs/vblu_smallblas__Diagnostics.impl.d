@@ -1,0 +1,1 @@
+lib/smallblas/diagnostics.ml: Error Float Gauss_jordan Lu Matrix Vector

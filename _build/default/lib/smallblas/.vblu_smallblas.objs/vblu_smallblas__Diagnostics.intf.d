@@ -1,0 +1,1 @@
+lib/smallblas/diagnostics.mli: Lu Matrix Vector

@@ -1,0 +1,1 @@
+lib/smallblas/error.ml:

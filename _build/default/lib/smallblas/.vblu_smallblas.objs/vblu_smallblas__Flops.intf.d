@@ -1,0 +1,1 @@
+lib/smallblas/flops.mli:

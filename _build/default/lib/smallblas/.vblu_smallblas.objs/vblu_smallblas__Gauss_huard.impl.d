@@ -1,0 +1,1 @@
+lib/smallblas/gauss_huard.ml: Array Error Float Matrix Precision

@@ -1,0 +1,1 @@
+lib/smallblas/gauss_huard.mli: Matrix Precision Vector

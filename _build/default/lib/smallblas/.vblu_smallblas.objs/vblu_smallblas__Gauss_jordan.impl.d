@@ -1,0 +1,1 @@
+lib/smallblas/gauss_jordan.ml: Array Error Float Matrix Precision

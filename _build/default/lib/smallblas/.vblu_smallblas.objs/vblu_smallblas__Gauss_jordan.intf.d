@@ -1,0 +1,1 @@
+lib/smallblas/gauss_jordan.mli: Matrix Precision Vector

@@ -1,0 +1,1 @@
+lib/smallblas/lu.ml: Array Error Float Matrix Precision Trsv

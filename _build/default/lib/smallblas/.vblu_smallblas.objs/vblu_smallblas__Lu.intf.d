@@ -1,0 +1,1 @@
+lib/smallblas/lu.mli: Matrix Precision Vector

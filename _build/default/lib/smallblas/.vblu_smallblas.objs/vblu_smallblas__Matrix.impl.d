@@ -1,0 +1,1 @@
+lib/smallblas/matrix.ml: Array Float Format Lazy Precision Printf Random

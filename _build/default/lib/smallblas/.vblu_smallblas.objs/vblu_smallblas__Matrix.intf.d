@@ -1,0 +1,1 @@
+lib/smallblas/matrix.mli: Format Precision Random Vector

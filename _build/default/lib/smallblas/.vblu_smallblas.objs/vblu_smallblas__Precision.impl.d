@@ -1,0 +1,1 @@
+lib/smallblas/precision.ml: Format Int32

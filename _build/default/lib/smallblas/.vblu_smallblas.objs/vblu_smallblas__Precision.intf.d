@@ -1,0 +1,1 @@
+lib/smallblas/precision.mli: Format

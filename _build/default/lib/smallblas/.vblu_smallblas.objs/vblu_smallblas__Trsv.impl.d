@@ -1,0 +1,1 @@
+lib/smallblas/trsv.ml: Array Error Matrix Precision

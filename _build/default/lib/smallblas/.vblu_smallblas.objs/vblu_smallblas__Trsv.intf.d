@@ -1,0 +1,1 @@
+lib/smallblas/trsv.mli: Matrix Precision Vector

@@ -1,0 +1,1 @@
+lib/smallblas/vector.ml: Array Float Format Lazy Precision Random

@@ -1,0 +1,1 @@
+lib/smallblas/vector.mli: Format Precision Random

@@ -1,0 +1,58 @@
+exception Not_positive_definite of int
+
+type factors = { l : Matrix.t }
+
+let factor ?(prec = Precision.Double) m =
+  let rows, cols = Matrix.dims m in
+  if rows <> cols then invalid_arg "Cholesky.factor: matrix not square";
+  let n = rows in
+  (* Work on a lower-triangular copy; the strict upper part is ignored. *)
+  let w = Matrix.init n n (fun i j -> if i >= j then Matrix.unsafe_get m i j else 0.0) in
+  for k = 0 to n - 1 do
+    let d = Matrix.unsafe_get w k k in
+    if not (d > 0.0) then raise (Not_positive_definite k);
+    let dk = Precision.round prec (sqrt d) in
+    Matrix.unsafe_set w k k dk;
+    for i = k + 1 to n - 1 do
+      Matrix.unsafe_set w i k (Precision.div prec (Matrix.unsafe_get w i k) dk)
+    done;
+    (* Right-looking trailing update of the lower triangle. *)
+    for j = k + 1 to n - 1 do
+      let ljk = Matrix.unsafe_get w j k in
+      if ljk <> 0.0 then
+        for i = j to n - 1 do
+          Matrix.unsafe_set w i j
+            (Precision.fma prec
+               (-.Matrix.unsafe_get w i k)
+               ljk
+               (Matrix.unsafe_get w i j))
+        done
+    done
+  done;
+  { l = w }
+
+let solve ?(prec = Precision.Double) { l } b =
+  let n, _ = Matrix.dims l in
+  if Array.length b <> n then invalid_arg "Cholesky.solve: dimension mismatch";
+  let x = Array.copy b in
+  (* Forward: L y = b (non-unit diagonal, eager). *)
+  for k = 0 to n - 1 do
+    x.(k) <- Precision.div prec x.(k) (Matrix.unsafe_get l k k);
+    let xk = x.(k) in
+    for i = k + 1 to n - 1 do
+      x.(i) <- Precision.fma prec (-.Matrix.unsafe_get l i k) xk x.(i)
+    done
+  done;
+  (* Backward: Lᵀ x = y — reading columns of L as rows of Lᵀ. *)
+  for k = n - 1 downto 0 do
+    let acc = ref x.(k) in
+    for i = k + 1 to n - 1 do
+      acc := Precision.fma prec (-.Matrix.unsafe_get l i k) x.(i) !acc
+    done;
+    x.(k) <- Precision.div prec !acc (Matrix.unsafe_get l k k)
+  done;
+  x
+
+let flops n =
+  let n = float_of_int n in
+  (n *. n *. n /. 3.0) +. (n *. n /. 2.0)

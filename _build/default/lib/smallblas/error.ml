@@ -1,0 +1,1 @@
+exception Singular of int

@@ -1,0 +1,5 @@
+(** Errors shared by the factorization and solve modules. *)
+
+exception Singular of int
+(** Raised when elimination step [k] meets a zero pivot: the block is
+    numerically singular.  Re-exported as [Lu.Singular]. *)

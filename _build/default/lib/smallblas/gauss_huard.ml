@@ -1,0 +1,94 @@
+type storage = Normal | Transposed
+
+type factors = { gh : Matrix.t; cperm : int array; storage : storage }
+
+(* Element accessors that hide the GH-T transposed layout. *)
+let fget f i j =
+  match f.storage with
+  | Normal -> Matrix.unsafe_get f.gh i j
+  | Transposed -> Matrix.unsafe_get f.gh j i
+
+let factor ?(prec = Precision.Double) ?(storage = Normal) m =
+  let rows, cols = Matrix.dims m in
+  if rows <> cols then invalid_arg "Gauss_huard.factor: matrix not square";
+  let n = rows in
+  let w = Matrix.copy m in
+  let cperm = Array.init n (fun j -> j) in
+  for k = 0 to n - 1 do
+    (* Lazy update of row k, columns k..n-1, against the processed rows. *)
+    for j = k to n - 1 do
+      let acc = ref (Matrix.unsafe_get w k j) in
+      for i = 0 to k - 1 do
+        acc :=
+          Precision.fma prec
+            (-.Matrix.unsafe_get w k i)
+            (Matrix.unsafe_get w i j)
+            !acc
+      done;
+      Matrix.unsafe_set w k j !acc
+    done;
+    (* Column pivoting: largest magnitude in row k, columns k..n-1. *)
+    let piv = ref k in
+    for j = k + 1 to n - 1 do
+      if Float.abs (Matrix.unsafe_get w k j) > Float.abs (Matrix.unsafe_get w k !piv)
+      then piv := j
+    done;
+    if !piv <> k then begin
+      for i = 0 to n - 1 do
+        let tmp = Matrix.unsafe_get w i k in
+        Matrix.unsafe_set w i k (Matrix.unsafe_get w i !piv);
+        Matrix.unsafe_set w i !piv tmp
+      done;
+      let tmp = cperm.(k) in
+      cperm.(k) <- cperm.(!piv);
+      cperm.(!piv) <- tmp
+    end;
+    let d = Matrix.unsafe_get w k k in
+    if d = 0.0 then raise (Error.Singular k);
+    (* Scale the trailing part of row k by the pivot. *)
+    for j = k + 1 to n - 1 do
+      Matrix.unsafe_set w k j (Precision.div prec (Matrix.unsafe_get w k j) d)
+    done;
+    (* Eager elimination of column k above the diagonal.  The multipliers
+       w(i,k) stay in place: the solve needs them. *)
+    for i = 0 to k - 1 do
+      let l = Matrix.unsafe_get w i k in
+      if l <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Matrix.unsafe_set w i j
+            (Precision.fma prec (-.l) (Matrix.unsafe_get w k j) (Matrix.unsafe_get w i j))
+        done
+    done
+  done;
+  match storage with
+  | Normal -> { gh = w; cperm; storage }
+  | Transposed -> { gh = Matrix.transpose w; cperm; storage }
+
+let solve_permuted ?(prec = Precision.Double) f b =
+  let n = Array.length f.cperm in
+  if Array.length b <> n then invalid_arg "Gauss_huard.solve: dimension mismatch";
+  let y = Array.copy b in
+  for k = 0 to n - 1 do
+    (* DOT against the lower multipliers, then the pivot division ... *)
+    let acc = ref y.(k) in
+    for j = 0 to k - 1 do
+      acc := Precision.fma prec (-.fget f k j) y.(j) !acc
+    done;
+    y.(k) <- Precision.div prec !acc (fget f k k);
+    (* ... then the eager AXPY against the upper multipliers. *)
+    let yk = y.(k) in
+    for i = 0 to k - 1 do
+      y.(i) <- Precision.fma prec (-.fget f i k) yk y.(i)
+    done
+  done;
+  y
+
+let solve ?(prec = Precision.Double) f b =
+  let y = solve_permuted ~prec f b in
+  let x = Array.make (Array.length y) 0.0 in
+  Array.iteri (fun j c -> x.(c) <- y.(j)) f.cperm;
+  x
+
+let solve_in_place ?(prec = Precision.Double) f b =
+  let x = solve ~prec f b in
+  Array.blit x 0 b 0 (Array.length b)

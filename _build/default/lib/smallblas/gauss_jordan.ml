@@ -1,0 +1,48 @@
+(* Gauss-Jordan on the augmented system [A | I]: reduce the left half to
+   the identity with partial pivoting; the right half becomes A⁻¹.  The
+   batched kernel version works in place, but the augmented formulation is
+   the clearest correct reference, and only the reference is used for
+   numerics. *)
+
+let invert ?(prec = Precision.Double) m =
+  let rows, cols = Matrix.dims m in
+  if rows <> cols then invalid_arg "Gauss_jordan.invert: matrix not square";
+  let n = rows in
+  let w = Array.make (n * 2 * n) 0.0 in
+  let get i j = w.((j * n) + i) in
+  let set i j v = w.((j * n) + i) <- v in
+  for j = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      set i j (Matrix.unsafe_get m i j);
+      set i (n + j) (if i = j then 1.0 else 0.0)
+    done
+  done;
+  for k = 0 to n - 1 do
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (get i k) > Float.abs (get !piv k) then piv := i
+    done;
+    let d = get !piv k in
+    if d = 0.0 then raise (Error.Singular k);
+    if !piv <> k then
+      for j = 0 to (2 * n) - 1 do
+        let tmp = get k j in
+        set k j (get !piv j);
+        set !piv j tmp
+      done;
+    for j = 0 to (2 * n) - 1 do
+      set k j (Precision.div prec (get k j) d)
+    done;
+    for i = 0 to n - 1 do
+      if i <> k then begin
+        let l = get i k in
+        if l <> 0.0 then
+          for j = 0 to (2 * n) - 1 do
+            set i j (Precision.fma prec (-.l) (get k j) (get i j))
+          done
+      end
+    done
+  done;
+  Matrix.init n n (fun i j -> get i (n + j))
+
+let solve ?(prec = Precision.Double) inv b = Matrix.gemv ~prec inv b

@@ -1,0 +1,158 @@
+type factors = { lu : Matrix.t; perm : int array }
+
+exception Singular = Error.Singular
+
+let check_square m name =
+  let rows, cols = Matrix.dims m in
+  if rows <> cols then invalid_arg (name ^ ": matrix not square");
+  rows
+
+let factor_explicit ?(prec = Precision.Double) m =
+  let n = check_square m "Lu.factor_explicit" in
+  let w = Matrix.copy m in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: largest magnitude in column k, rows k..n-1. *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Matrix.unsafe_get w i k) > Float.abs (Matrix.unsafe_get w !piv k)
+      then piv := i
+    done;
+    if !piv <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Matrix.unsafe_get w k j in
+        Matrix.unsafe_set w k j (Matrix.unsafe_get w !piv j);
+        Matrix.unsafe_set w !piv j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- tmp
+    end;
+    let d = Matrix.unsafe_get w k k in
+    if d = 0.0 then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      Matrix.unsafe_set w i k (Precision.div prec (Matrix.unsafe_get w i k) d)
+    done;
+    for j = k + 1 to n - 1 do
+      let ukj = Matrix.unsafe_get w k j in
+      if ukj <> 0.0 then
+        for i = k + 1 to n - 1 do
+          Matrix.unsafe_set w i j
+            (Precision.fma prec
+               (-.Matrix.unsafe_get w i k)
+               ukj
+               (Matrix.unsafe_get w i j))
+        done
+    done
+  done;
+  { lu = w; perm }
+
+let factor_implicit ?(prec = Precision.Double) m =
+  let n = check_square m "Lu.factor_implicit" in
+  let w = Matrix.copy m in
+  (* step.(r) = elimination step at which original row r was chosen as
+     pivot, or -1 while the row is still unpivoted (the paper's [p]). *)
+  let step = Array.make n (-1) in
+  for k = 0 to n - 1 do
+    (* Pivot search restricted to rows not yet pivoted — in the kernel this
+       is a predicated warp reduction over column k. *)
+    let piv = ref (-1) in
+    for r = 0 to n - 1 do
+      if
+        step.(r) < 0
+        && (!piv < 0
+            || Float.abs (Matrix.unsafe_get w r k)
+               > Float.abs (Matrix.unsafe_get w !piv k))
+      then piv := r
+    done;
+    let d = Matrix.unsafe_get w !piv k in
+    if d = 0.0 then raise (Singular k);
+    step.(!piv) <- k;
+    (* Every still-unpivoted row scales its k-th element and updates its
+       trailing part against the pivot row — no data movement. *)
+    for r = 0 to n - 1 do
+      if step.(r) < 0 then begin
+        Matrix.unsafe_set w r k (Precision.div prec (Matrix.unsafe_get w r k) d);
+        let l = Matrix.unsafe_get w r k in
+        for j = k + 1 to n - 1 do
+          Matrix.unsafe_set w r j
+            (Precision.fma prec (-.l)
+               (Matrix.unsafe_get w !piv j)
+               (Matrix.unsafe_get w r j))
+        done
+      end
+    done
+  done;
+  (* Combined row swap, fused with the write-back in the real kernel:
+     the row pivoted at step k lands in row k of the packed factors. *)
+  let perm = Array.make n 0 in
+  Array.iteri (fun r k -> perm.(k) <- r) step;
+  { lu = Matrix.permute_rows w perm; perm }
+
+let factor_nopivot ?(prec = Precision.Double) m =
+  let n = check_square m "Lu.factor_nopivot" in
+  let w = Matrix.copy m in
+  for k = 0 to n - 1 do
+    let d = Matrix.unsafe_get w k k in
+    if d = 0.0 then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      Matrix.unsafe_set w i k (Precision.div prec (Matrix.unsafe_get w i k) d)
+    done;
+    for j = k + 1 to n - 1 do
+      let ukj = Matrix.unsafe_get w k j in
+      if ukj <> 0.0 then
+        for i = k + 1 to n - 1 do
+          Matrix.unsafe_set w i j
+            (Precision.fma prec
+               (-.Matrix.unsafe_get w i k)
+               ukj
+               (Matrix.unsafe_get w i j))
+        done
+    done
+  done;
+  { lu = w; perm = Array.init n (fun i -> i) }
+
+let unpack { lu; _ } =
+  let n, _ = Matrix.dims lu in
+  let l =
+    Matrix.init n n (fun i j ->
+        if i > j then Matrix.unsafe_get lu i j else if i = j then 1.0 else 0.0)
+  in
+  let u = Matrix.init n n (fun i j -> if i <= j then Matrix.unsafe_get lu i j else 0.0) in
+  (l, u)
+
+let solve_in_place ?(prec = Precision.Double) f b =
+  let x = Trsv.apply_perm f.perm b in
+  Trsv.lower_unit_in_place ~prec f.lu x;
+  Trsv.upper_in_place ~prec f.lu x;
+  Array.blit x 0 b 0 (Array.length b)
+
+let solve ?(prec = Precision.Double) f b =
+  Trsv.solve ~prec f.lu f.perm b
+
+let det f =
+  let n, _ = Matrix.dims f.lu in
+  (* Sign of the permutation by cycle counting. *)
+  let seen = Array.make n false in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    if not seen.(k) then begin
+      let len = ref 0 in
+      let r = ref k in
+      while not seen.(!r) do
+        seen.(!r) <- true;
+        r := f.perm.(!r);
+        incr len
+      done;
+      if !len land 1 = 0 then sign := -. !sign
+    end
+  done;
+  let d = ref !sign in
+  for k = 0 to n - 1 do
+    d := !d *. Matrix.unsafe_get f.lu k k
+  done;
+  !d
+
+let reconstruct f =
+  let l, u = unpack f in
+  Matrix.matmul l u

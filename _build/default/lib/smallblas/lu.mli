@@ -1,0 +1,61 @@
+(** LU factorization with partial pivoting for small dense blocks.
+
+    Two algorithmic variants of the same factorization are provided, both
+    right-looking ("eager"), mirroring Figure 1 of the paper:
+
+    - {!factor_explicit} performs classic partial pivoting with physical
+      row swaps at every step (Figure 1, top) — the reference algorithm;
+    - {!factor_implicit} performs the paper's {e implicit pivoting}
+      (Figure 1, bottom): no rows move during the factorization; each row
+      merely remembers at which step it was chosen as pivot, and the
+      combined permutation is applied once at the end, fused with the
+      write-back.
+
+    Both produce identical factors in exact arithmetic {e and} in floating
+    point (the operations performed on each row are the same, in the same
+    order), which the test suite verifies. *)
+
+type factors = {
+  lu : Matrix.t;
+      (** The packed factors: unit lower triangle of [L] strictly below the
+          diagonal, [U] on and above it, rows already in pivoted order. *)
+  perm : int array;
+      (** [perm.(k)] is the original row index selected as the [k]-th pivot,
+          so that [(PA)(k,:) = A(perm.(k),:)] and [PA = LU]. *)
+}
+
+exception Singular of int
+(** [Singular k] signals a zero (or subnormal-tiny) pivot at elimination
+    step [k]: the block is numerically singular. *)
+
+val factor_explicit : ?prec:Precision.t -> Matrix.t -> factors
+(** Reference LU with explicit partial pivoting.  The input matrix is not
+    modified.  @raise Singular on pivot breakdown.
+    @raise Invalid_argument if the matrix is not square. *)
+
+val factor_implicit : ?prec:Precision.t -> Matrix.t -> factors
+(** The paper's implicit-pivoting LU.  Same contract and — by construction —
+    same result as {!factor_explicit}. *)
+
+val factor_nopivot : ?prec:Precision.t -> Matrix.t -> factors
+(** LU without any pivoting ([perm] is the identity).  Only safe for
+    matrices that are known to need no pivoting (e.g. diagonally dominant);
+    used by stability ablations.  @raise Singular on a zero pivot. *)
+
+val unpack : factors -> Matrix.t * Matrix.t
+(** [(l, u)] with [l] unit lower triangular and [u] upper triangular. *)
+
+val solve : ?prec:Precision.t -> factors -> Vector.t -> Vector.t
+(** [solve f b] returns [x] with [A x = b], i.e. applies the permutation to
+    [b] then performs the two triangular solves (both "eager"/AXPY variant,
+    as the batched kernel does).  The input vector is not modified. *)
+
+val solve_in_place : ?prec:Precision.t -> factors -> Vector.t -> unit
+(** Same, overwriting the argument with the solution. *)
+
+val det : factors -> float
+(** Determinant of the original matrix (product of pivots times the
+    permutation sign). *)
+
+val reconstruct : factors -> Matrix.t
+(** [L*U] — equals [P*A] up to roundoff; used by tests. *)

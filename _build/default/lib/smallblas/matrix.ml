@@ -1,0 +1,242 @@
+type t = { rows : int; cols : int; a : float array }
+
+let create m n =
+  if m < 0 || n < 0 then invalid_arg "Matrix.create: negative dimension";
+  { rows = m; cols = n; a = Array.make (m * n) 0.0 }
+
+let init m n f =
+  let t = create m n in
+  for j = 0 to n - 1 do
+    for i = 0 to m - 1 do
+      t.a.(i + (j * m)) <- f i j
+    done
+  done;
+  t
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let of_rows rows =
+  let m = Array.length rows in
+  if m = 0 then invalid_arg "Matrix.of_rows: empty";
+  let n = Array.length rows.(0) in
+  Array.iter
+    (fun r ->
+      if Array.length r <> n then invalid_arg "Matrix.of_rows: ragged rows")
+    rows;
+  init m n (fun i j -> rows.(i).(j))
+
+let to_rows t = Array.init t.rows (fun i -> Array.init t.cols (fun j -> t.a.(i + (j * t.rows))))
+
+let copy t = { t with a = Array.copy t.a }
+
+let dims t = (t.rows, t.cols)
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Matrix.get: out of bounds";
+  t.a.(i + (j * t.rows))
+
+let set t i j v =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Matrix.set: out of bounds";
+  t.a.(i + (j * t.rows)) <- v
+
+let unsafe_get t i j = Array.unsafe_get t.a (i + (j * t.rows))
+let unsafe_set t i j v = Array.unsafe_set t.a (i + (j * t.rows)) v
+
+let col t j = Array.sub t.a (j * t.rows) t.rows
+
+let row t i = Array.init t.cols (fun j -> t.a.(i + (j * t.rows)))
+
+let transpose t = init t.cols t.rows (fun i j -> t.a.(j + (i * t.rows)))
+
+let scale ?(prec = Precision.Double) alpha t =
+  { t with a = Array.map (fun v -> Precision.mul prec alpha v) t.a }
+
+let same_shape op x y =
+  if x.rows <> y.rows || x.cols <> y.cols then
+    invalid_arg (Printf.sprintf "Matrix.%s: shape mismatch" op)
+
+let add ?(prec = Precision.Double) x y =
+  same_shape "add" x y;
+  { x with a = Array.init (Array.length x.a) (fun k -> Precision.add prec x.a.(k) y.a.(k)) }
+
+let sub ?(prec = Precision.Double) x y =
+  same_shape "sub" x y;
+  { x with a = Array.init (Array.length x.a) (fun k -> Precision.sub prec x.a.(k) y.a.(k)) }
+
+let matmul ?(prec = Precision.Double) x y =
+  if x.cols <> y.rows then invalid_arg "Matrix.matmul: inner dimension mismatch";
+  let z = create x.rows y.cols in
+  for j = 0 to y.cols - 1 do
+    for k = 0 to x.cols - 1 do
+      let ykj = y.a.(k + (j * y.rows)) in
+      if ykj <> 0.0 then
+        for i = 0 to x.rows - 1 do
+          z.a.(i + (j * z.rows)) <-
+            Precision.fma prec x.a.(i + (k * x.rows)) ykj z.a.(i + (j * z.rows))
+        done
+    done
+  done;
+  z
+
+let gemv ?(prec = Precision.Double) ?(trans = false) t x =
+  if trans then begin
+    if Array.length x <> t.rows then invalid_arg "Matrix.gemv: dimension mismatch";
+    Array.init t.cols (fun j ->
+        let acc = ref 0.0 in
+        for i = 0 to t.rows - 1 do
+          acc := Precision.fma prec t.a.(i + (j * t.rows)) x.(i) !acc
+        done;
+        !acc)
+  end
+  else begin
+    if Array.length x <> t.cols then invalid_arg "Matrix.gemv: dimension mismatch";
+    let y = Array.make t.rows 0.0 in
+    for j = 0 to t.cols - 1 do
+      let xj = x.(j) in
+      if xj <> 0.0 then
+        for i = 0 to t.rows - 1 do
+          y.(i) <- Precision.fma prec t.a.(i + (j * t.rows)) xj y.(i)
+        done
+    done;
+    y
+  end
+
+let is_permutation perm n =
+  Array.length perm = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun p ->
+      p >= 0 && p < n && not seen.(p)
+      &&
+      (seen.(p) <- true;
+       true))
+    perm
+
+let permute_rows t perm =
+  if not (is_permutation perm t.rows) then
+    invalid_arg "Matrix.permute_rows: not a permutation";
+  init t.rows t.cols (fun i j -> t.a.(perm.(i) + (j * t.rows)))
+
+let default_state = lazy (Random.State.make [| 0x5eed; 0x3a7 |])
+
+let random ?state ?(lo = -1.0) ?(hi = 1.0) m n =
+  let st = match state with Some s -> s | None -> Lazy.force default_state in
+  init m n (fun _ _ -> lo +. ((hi -. lo) *. Random.State.float st 1.0))
+
+let random_diagdom ?state n =
+  let st = match state with Some s -> s | None -> Lazy.force default_state in
+  let t = random ~state:st n n in
+  for i = 0 to n - 1 do
+    let rowsum = ref 0.0 in
+    for j = 0 to n - 1 do
+      if j <> i then rowsum := !rowsum +. Float.abs t.a.(i + (j * n))
+    done;
+    let sign = if Random.State.bool st then 1.0 else -1.0 in
+    t.a.(i + (i * n)) <- sign *. (!rowsum +. 1.0 +. Random.State.float st 1.0)
+  done;
+  t
+
+(* Gaussian elimination with partial pivoting used only to reject
+   (near-)singular samples in [random_general]; the real factorization
+   routines live in [Lu]. *)
+let well_pivoted t =
+  let n = t.rows in
+  let w = Array.copy t.a in
+  let ok = ref true in
+  (try
+     for k = 0 to n - 1 do
+       let piv = ref k in
+       for i = k + 1 to n - 1 do
+         if Float.abs w.(i + (k * n)) > Float.abs w.(!piv + (k * n)) then piv := i
+       done;
+       if Float.abs w.(!piv + (k * n)) < 1e-6 then begin
+         ok := false;
+         raise Exit
+       end;
+       if !piv <> k then
+         for j = 0 to n - 1 do
+           let tmp = w.(k + (j * n)) in
+           w.(k + (j * n)) <- w.(!piv + (j * n));
+           w.(!piv + (j * n)) <- tmp
+         done;
+       for i = k + 1 to n - 1 do
+         let l = w.(i + (k * n)) /. w.(k + (k * n)) in
+         for j = k + 1 to n - 1 do
+           w.(i + (j * n)) <- w.(i + (j * n)) -. (l *. w.(k + (j * n)))
+         done
+       done
+     done
+   with Exit -> ());
+  !ok
+
+let random_general ?state n =
+  let st = match state with Some s -> s | None -> Lazy.force default_state in
+  let rec draw () =
+    let t = random ~state:st n n in
+    if well_pivoted t then t else draw ()
+  in
+  draw ()
+
+let norm_frobenius t =
+  sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 t.a)
+
+let norm_inf t =
+  let m = ref 0.0 in
+  for i = 0 to t.rows - 1 do
+    let s = ref 0.0 in
+    for j = 0 to t.cols - 1 do
+      s := !s +. Float.abs t.a.(i + (j * t.rows))
+    done;
+    m := Float.max !m !s
+  done;
+  !m
+
+let max_abs t = Array.fold_left (fun m v -> Float.max m (Float.abs v)) 0.0 t.a
+
+let max_abs_diff x y =
+  same_shape "max_abs_diff" x y;
+  let m = ref 0.0 in
+  for k = 0 to Array.length x.a - 1 do
+    m := Float.max !m (Float.abs (x.a.(k) -. y.a.(k)))
+  done;
+  !m
+
+let is_lower_unit ?(tol = 0.0) t =
+  t.rows = t.cols
+  &&
+  let ok = ref true in
+  for j = 0 to t.cols - 1 do
+    for i = 0 to t.rows - 1 do
+      let v = t.a.(i + (j * t.rows)) in
+      if i = j then begin
+        if Float.abs (v -. 1.0) > tol then ok := false
+      end
+      else if i < j && Float.abs v > tol then ok := false
+    done
+  done;
+  !ok
+
+let is_upper ?(tol = 0.0) t =
+  let ok = ref true in
+  for j = 0 to t.cols - 1 do
+    for i = j + 1 to t.rows - 1 do
+      if Float.abs t.a.(i + (j * t.rows)) > tol then ok := false
+    done
+  done;
+  !ok
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to t.rows - 1 do
+    Format.fprintf ppf "@[<h>";
+    for j = 0 to t.cols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.4g" t.a.(i + (j * t.rows))
+    done;
+    Format.fprintf ppf "@]";
+    if i < t.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

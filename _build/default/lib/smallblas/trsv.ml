@@ -1,0 +1,70 @@
+type variant = Lazy | Eager
+
+let check m b name =
+  let rows, cols = Matrix.dims m in
+  if rows <> cols then invalid_arg (name ^ ": matrix not square");
+  if Array.length b <> rows then invalid_arg (name ^ ": dimension mismatch")
+
+let lower_unit_in_place ?(prec = Precision.Double) ?(variant = Eager) m b =
+  check m b "Trsv.lower_unit_in_place";
+  let n = Array.length b in
+  match variant with
+  | Lazy ->
+    for k = 1 to n - 1 do
+      let acc = ref b.(k) in
+      for j = 0 to k - 1 do
+        acc := Precision.fma prec (-.Matrix.unsafe_get m k j) b.(j) !acc
+      done;
+      b.(k) <- !acc
+    done
+  | Eager ->
+    for k = 0 to n - 2 do
+      let bk = b.(k) in
+      for i = k + 1 to n - 1 do
+        b.(i) <- Precision.fma prec (-.Matrix.unsafe_get m i k) bk b.(i)
+      done
+    done
+
+let upper_in_place ?(prec = Precision.Double) ?(variant = Eager) m b =
+  check m b "Trsv.upper_in_place";
+  let n = Array.length b in
+  let diag k =
+    let d = Matrix.unsafe_get m k k in
+    if d = 0.0 then raise (Error.Singular k);
+    d
+  in
+  match variant with
+  | Lazy ->
+    for k = n - 1 downto 0 do
+      let acc = ref b.(k) in
+      for j = k + 1 to n - 1 do
+        acc := Precision.fma prec (-.Matrix.unsafe_get m k j) b.(j) !acc
+      done;
+      b.(k) <- Precision.div prec !acc (diag k)
+    done
+  | Eager ->
+    for k = n - 1 downto 0 do
+      b.(k) <- Precision.div prec b.(k) (diag k);
+      let bk = b.(k) in
+      for i = 0 to k - 1 do
+        b.(i) <- Precision.fma prec (-.Matrix.unsafe_get m i k) bk b.(i)
+      done
+    done
+
+let apply_perm perm b =
+  if Array.length perm <> Array.length b then
+    invalid_arg "Trsv.apply_perm: dimension mismatch";
+  Array.map (fun k -> b.(k)) perm
+
+let apply_perm_inv perm b =
+  if Array.length perm <> Array.length b then
+    invalid_arg "Trsv.apply_perm_inv: dimension mismatch";
+  let out = Array.make (Array.length b) 0.0 in
+  Array.iteri (fun k p -> out.(p) <- b.(k)) perm;
+  out
+
+let solve ?(prec = Precision.Double) ?(variant = Eager) lu perm b =
+  let x = apply_perm perm b in
+  lower_unit_in_place ~prec ~variant lu x;
+  upper_in_place ~prec ~variant lu x;
+  x

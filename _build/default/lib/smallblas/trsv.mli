@@ -1,0 +1,41 @@
+(** Triangular solves on small dense blocks.
+
+    Both the "lazy" (DOT-based) and "eager" (AXPY-based) algorithmic
+    variants of Figure 2 of the paper are provided.  The paper's batched
+    kernel uses the eager variant because its AXPY parallelizes across the
+    warp without a reduction and reads the matrix one column at a time
+    (coalesced in column-major storage); the lazy variant exists as the
+    baseline for the corresponding ablation.
+
+    All solvers operate on the {e packed} LU storage: the lower solvers
+    read only the strict lower triangle and assume a unit diagonal, the
+    upper solvers read the upper triangle including the diagonal.  They can
+    therefore be applied directly to {!Lu.factors}. *)
+
+type variant =
+  | Lazy   (** row-oriented, one DOT per step (Figure 2, top). *)
+  | Eager  (** column-oriented, one AXPY per step (Figure 2, bottom). *)
+
+val lower_unit_in_place :
+  ?prec:Precision.t -> ?variant:variant -> Matrix.t -> Vector.t -> unit
+(** [lower_unit_in_place m b] overwrites [b] with the solution of [L y = b]
+    where [L] is the unit lower triangle packed in [m].
+    @raise Invalid_argument on dimension mismatch. *)
+
+val upper_in_place :
+  ?prec:Precision.t -> ?variant:variant -> Matrix.t -> Vector.t -> unit
+(** [upper_in_place m b] overwrites [b] with the solution of [U x = b]
+    where [U] is the upper triangle (with diagonal) packed in [m].
+    @raise Error.Singular on a zero diagonal entry. *)
+
+val apply_perm : int array -> Vector.t -> Vector.t
+(** [apply_perm perm b] is the permuted right-hand side [Pb]:
+    element [k] of the result is [b.(perm.(k))] — exactly the fused
+    permutation-on-load the batched TRSV kernel performs. *)
+
+val apply_perm_inv : int array -> Vector.t -> Vector.t
+(** Inverse permutation: element [perm.(k)] of the result is [b.(k)]. *)
+
+val solve : ?prec:Precision.t -> ?variant:variant -> Matrix.t -> int array -> Vector.t -> Vector.t
+(** [solve lu perm b]: permute, lower solve, upper solve — the full GETRS
+    sequence on packed factors, returning a fresh solution vector. *)

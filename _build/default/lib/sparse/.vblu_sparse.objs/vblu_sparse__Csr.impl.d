@@ -1,0 +1,1 @@
+lib/sparse/csr.ml: Array Float Format List Matrix Precision Vblu_smallblas

@@ -1,0 +1,1 @@
+lib/sparse/csr.mli: Format Matrix Precision Vblu_smallblas Vector

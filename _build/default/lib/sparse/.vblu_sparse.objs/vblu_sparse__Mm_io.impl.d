@@ -1,0 +1,1 @@
+lib/sparse/mm_io.ml: Array Buffer Coo Csr In_channel List Printf String

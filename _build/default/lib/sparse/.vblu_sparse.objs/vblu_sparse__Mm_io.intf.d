@@ -1,0 +1,1 @@
+lib/sparse/mm_io.mli: Csr

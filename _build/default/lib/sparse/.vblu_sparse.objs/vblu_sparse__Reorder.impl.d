@@ -1,0 +1,1 @@
+lib/sparse/reorder.ml: Array Csr Lazy List Queue Random

@@ -1,0 +1,1 @@
+lib/sparse/reorder.mli: Csr Random

@@ -1,0 +1,135 @@
+type symmetry = General | Symmetric | Skew
+type field = Real | Pattern
+
+let parse_header line =
+  match String.split_on_char ' ' (String.lowercase_ascii (String.trim line)) with
+  | "%%matrixmarket" :: "matrix" :: fmt :: field :: sym :: _ ->
+    if fmt <> "coordinate" then failwith "Mm_io: only coordinate format is supported";
+    let field =
+      match field with
+      | "real" | "integer" -> Real
+      | "pattern" -> Pattern
+      | other -> failwith ("Mm_io: unsupported field " ^ other)
+    in
+    let sym =
+      match sym with
+      | "general" -> General
+      | "symmetric" -> Symmetric
+      | "skew-symmetric" -> Skew
+      | other -> failwith ("Mm_io: unsupported symmetry " ^ other)
+    in
+    (field, sym)
+  | _ -> failwith "Mm_io: missing %%MatrixMarket header"
+
+let tokens line =
+  String.split_on_char ' ' (String.trim line)
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let read_lines next_line =
+  let header =
+    match next_line () with
+    | Some l -> l
+    | None -> failwith "Mm_io: empty input"
+  in
+  let field, sym = parse_header header in
+  let rec skip_comments () =
+    match next_line () with
+    | None -> failwith "Mm_io: missing size line"
+    | Some l ->
+      let l = String.trim l in
+      if l = "" || l.[0] = '%' then skip_comments () else l
+  in
+  let size_line = skip_comments () in
+  let n_rows, n_cols, count =
+    match tokens size_line with
+    | [ r; c; z ] -> (int_of_string r, int_of_string c, int_of_string z)
+    | _ -> failwith "Mm_io: malformed size line"
+  in
+  let coo = Coo.create ~n_rows ~n_cols in
+  let parse_entry l =
+    match tokens l, field with
+    | [ i; j ], Pattern -> (int_of_string i - 1, int_of_string j - 1, 1.0)
+    | [ i; j; v ], (Real | Pattern) ->
+      (int_of_string i - 1, int_of_string j - 1, float_of_string v)
+    | _ -> failwith ("Mm_io: malformed entry line: " ^ l)
+  in
+  let seen = ref 0 in
+  let rec loop () =
+    match next_line () with
+    | None -> ()
+    | Some l ->
+      let l = String.trim l in
+      if l <> "" && l.[0] <> '%' then begin
+        let i, j, v = parse_entry l in
+        incr seen;
+        (match sym with
+        | General -> Coo.add coo i j v
+        | Symmetric ->
+          Coo.add coo i j v;
+          if i <> j then Coo.add coo j i v
+        | Skew ->
+          Coo.add coo i j v;
+          if i <> j then Coo.add coo j i (-.v))
+      end;
+      loop ()
+  in
+  loop ();
+  if !seen <> count then
+    failwith
+      (Printf.sprintf "Mm_io: header announced %d entries, found %d" count !seen);
+  Coo.to_csr coo
+
+let read path =
+  let ic = open_in path in
+  let next_line () = In_channel.input_line ic in
+  match read_lines next_line with
+  | csr ->
+    close_in ic;
+    csr
+  | exception e ->
+    close_in ic;
+    raise e
+
+let read_string s =
+  let lines = ref (String.split_on_char '\n' s) in
+  let next_line () =
+    match !lines with
+    | [] -> None
+    | l :: rest ->
+      lines := rest;
+      Some l
+  in
+  read_lines next_line
+
+let write_channel oc (m : Csr.t) =
+  output_string oc "%%MatrixMarket matrix coordinate real general\n";
+  Printf.fprintf oc "%d %d %d\n" m.n_rows m.n_cols (Csr.nnz m);
+  for i = 0 to m.n_rows - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      Printf.fprintf oc "%d %d %.17g\n" (i + 1) (m.col_idx.(k) + 1) m.values.(k)
+    done
+  done
+
+let write path m =
+  let oc = open_out path in
+  (try write_channel oc m
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+let write_string m =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "%%MatrixMarket matrix coordinate real general\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d %d\n" m.Csr.n_rows m.Csr.n_cols (Csr.nnz m));
+  for i = 0 to m.Csr.n_rows - 1 do
+    for k = m.Csr.row_ptr.(i) to m.Csr.row_ptr.(i + 1) - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %.17g\n" (i + 1)
+           (m.Csr.col_idx.(k) + 1)
+           m.Csr.values.(k))
+    done
+  done;
+  Buffer.contents buf

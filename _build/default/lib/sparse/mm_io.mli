@@ -1,0 +1,21 @@
+(** Matrix Market (coordinate) I/O.
+
+    The paper's Table I suite comes from the SuiteSparse collection, whose
+    interchange format is Matrix Market.  We cannot ship those matrices in
+    a sealed container, but supporting the format means a user with the
+    collection on disk can run the full Table I / Figures 8–9 pipeline on
+    the real inputs. *)
+
+val read : string -> Csr.t
+(** Reads a [coordinate real/integer/pattern] Matrix Market file, expanding
+    [symmetric] and [skew-symmetric] storage to the full matrix (pattern
+    entries get value 1.0).  @raise Failure with a descriptive message on a
+    malformed file or an unsupported header ([complex], [array]). *)
+
+val write : string -> Csr.t -> unit
+(** Writes [coordinate real general] with 1-based indices. *)
+
+val read_string : string -> Csr.t
+(** {!read} from an in-memory buffer; used by the tests. *)
+
+val write_string : Csr.t -> string

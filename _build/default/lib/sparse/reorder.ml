@@ -1,0 +1,79 @@
+let symmetrized_adjacency (a : Csr.t) =
+  let n = a.n_rows in
+  let at = Csr.transpose a in
+  let neighbors = Array.make n [] in
+  let add i j = if i <> j then neighbors.(i) <- j :: neighbors.(i) in
+  for i = 0 to n - 1 do
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      add i a.col_idx.(k)
+    done;
+    for k = at.Csr.row_ptr.(i) to at.Csr.row_ptr.(i + 1) - 1 do
+      add i at.Csr.col_idx.(k)
+    done
+  done;
+  Array.map (fun l -> List.sort_uniq compare l |> Array.of_list) neighbors
+
+let reverse_cuthill_mckee (a : Csr.t) =
+  if a.n_rows <> a.n_cols then
+    invalid_arg "Reorder.reverse_cuthill_mckee: matrix not square";
+  let n = a.n_rows in
+  let adj = symmetrized_adjacency a in
+  let degree = Array.map Array.length adj in
+  let visited = Array.make n false in
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  (* BFS from [start] over unvisited vertices, neighbors in increasing
+     degree order.  When [record], append visit order to [order].  Returns
+     the vertices touched (so a probe run can be undone) and the last
+     vertex reached (a pseudo-peripheral candidate). *)
+  let bfs start ~record =
+    let q = Queue.create () in
+    Queue.push start q;
+    visited.(start) <- true;
+    let touched = ref [ start ] in
+    let last = ref start in
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      last := v;
+      if record then begin
+        order.(!pos) <- v;
+        incr pos
+      end;
+      Array.to_list adj.(v)
+      |> List.filter (fun w -> not visited.(w))
+      |> List.sort (fun x y -> compare degree.(x) degree.(y))
+      |> List.iter (fun w ->
+             visited.(w) <- true;
+             touched := w :: !touched;
+             Queue.push w q)
+    done;
+    (!touched, !last)
+  in
+  for v = 0 to n - 1 do
+    if not visited.(v) then begin
+      (* One pseudo-peripheral refinement: probe BFS to find a far vertex,
+         rewind, then record the real BFS from there. *)
+      let touched, far = bfs v ~record:false in
+      List.iter (fun w -> visited.(w) <- false) touched;
+      let _, _ = bfs far ~record:true in
+      ()
+    end
+  done;
+  assert (!pos = n);
+  (* Reverse for RCM. *)
+  Array.init n (fun k -> order.(n - 1 - k))
+
+let natural n = Array.init n (fun i -> i)
+
+let default_state = lazy (Random.State.make [| 0x5eed; 0x9e04de4 |])
+
+let random ?state n =
+  let st = match state with Some s -> s | None -> Lazy.force default_state in
+  let p = natural n in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- tmp
+  done;
+  p

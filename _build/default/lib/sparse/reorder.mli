@@ -1,0 +1,22 @@
+(** Symmetric reorderings for bandwidth/locality.
+
+    The paper notes (Section II-A) that supervariable blocking works best
+    when variables that are close in the matrix ordering belong to nearby
+    mesh elements, and that reverse Cuthill-McKee or natural orderings
+    preserve this locality.  This module provides RCM so the pipeline can
+    reorder a scrambled matrix before blocking. *)
+
+val reverse_cuthill_mckee : Csr.t -> int array
+(** [reverse_cuthill_mckee a] returns a permutation [p] (usable with
+    {!Csr.permute_symmetric}) computed on the symmetrized pattern of [a]:
+    breadth-first traversal from a pseudo-peripheral vertex of each
+    connected component, neighbors visited in increasing-degree order,
+    then the whole order reversed.
+    @raise Invalid_argument if [a] is not square. *)
+
+val natural : int -> int array
+(** The identity permutation. *)
+
+val random : ?state:Random.State.t -> int -> int array
+(** A uniformly random permutation — used by tests and by examples that
+    deliberately destroy locality. *)

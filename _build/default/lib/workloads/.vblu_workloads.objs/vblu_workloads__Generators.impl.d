@@ -1,0 +1,1 @@
+lib/workloads/generators.ml: Array Coo Float Lazy List Random Vblu_sparse

@@ -1,0 +1,1 @@
+lib/workloads/generators.mli: Csr Random Vblu_sparse

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Csr Generators List Random Vblu_sparse

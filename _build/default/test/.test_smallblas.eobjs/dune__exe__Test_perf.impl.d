@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Buffer Format Kernel_figs List Printf Report Solver_figs Solver_study String Vblu_perf Vblu_precond Vblu_workloads

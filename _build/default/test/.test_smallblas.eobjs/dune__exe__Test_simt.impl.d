@@ -1,0 +1,1 @@
+test/test_simt.ml: Alcotest Array Config Counter Gmem Launch List Precision Printf Sampling Vblu_simt Vblu_smallblas Warp

@@ -1,0 +1,1 @@
+test/test_smallblas.ml: Alcotest Array Cholesky Diagnostics Error Float Flops Gauss_huard Gauss_jordan List Lu Matrix Precision Printf QCheck QCheck_alcotest Random Trsv Vblu_smallblas Vector

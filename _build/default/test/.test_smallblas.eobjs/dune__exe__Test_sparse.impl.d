@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Coo Csr Filename List Matrix Mm_io Printf QCheck QCheck_alcotest Random Reorder Sys Vblu_smallblas Vblu_sparse Vblu_workloads Vector

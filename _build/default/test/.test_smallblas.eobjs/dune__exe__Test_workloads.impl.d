@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Csr Float Generators List QCheck QCheck_alcotest Random Suite Vblu_sparse Vblu_workloads

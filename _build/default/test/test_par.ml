@@ -1,0 +1,74 @@
+(* Tests for the domain pool. *)
+
+open Vblu_par
+
+let test_sequential_for () =
+  let hits = Array.make 10 0 in
+  Pool.parallel_for Pool.sequential ~lo:0 ~hi:10 (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check (array int)) "each index once" (Array.make 10 1) hits
+
+let test_parallel_for_covers_range () =
+  let pool = Pool.create ~num_domains:4 () in
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  Pool.parallel_for pool ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check (array int)) "each index once" (Array.make n 1) hits
+
+let test_empty_and_single () =
+  let pool = Pool.create ~num_domains:4 () in
+  Pool.parallel_for pool ~lo:5 ~hi:5 (fun _ -> Alcotest.fail "must not run");
+  let count = ref 0 in
+  Pool.parallel_for pool ~lo:7 ~hi:8 (fun i ->
+      incr count;
+      Alcotest.(check int) "index" 7 i);
+  Alcotest.(check int) "single" 1 !count
+
+let test_parallel_map () =
+  let pool = Pool.create ~num_domains:3 () in
+  let xs = Array.init 100 (fun i -> i) in
+  let ys = Pool.parallel_map pool (fun x -> x * x) xs in
+  Alcotest.(check (array int)) "squares" (Array.map (fun x -> x * x) xs) ys
+
+let test_parallel_init () =
+  let pool = Pool.create ~num_domains:2 () in
+  let ys = Pool.parallel_init pool 50 (fun i -> 2 * i) in
+  Alcotest.(check (array int)) "init" (Array.init 50 (fun i -> 2 * i)) ys;
+  Alcotest.(check (array int)) "empty" [||] (Pool.parallel_init pool 0 (fun i -> i))
+
+let test_exception_propagates () =
+  let pool = Pool.create ~num_domains:4 () in
+  Alcotest.check_raises "re-raised" Exit (fun () ->
+      Pool.parallel_for pool ~lo:0 ~hi:100 (fun i -> if i = 42 then raise Exit))
+
+let test_num_domains () =
+  Alcotest.(check int) "sequential" 1 (Pool.num_domains Pool.sequential);
+  Alcotest.(check int) "clamped" 1 (Pool.num_domains (Pool.create ~num_domains:0 ()));
+  Alcotest.(check bool) "probe positive" true
+    (Pool.num_domains (Pool.create ()) >= 1)
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~count:30 ~name:"parallel_map = Array.map"
+      QCheck.(pair (int_range 1 6) (small_list int))
+      (fun (domains, xs) ->
+        let pool = Pool.create ~num_domains:domains () in
+        let a = Array.of_list xs in
+        Pool.parallel_map pool (fun x -> x + 1) a = Array.map (fun x -> x + 1) a);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "sequential for" `Quick test_sequential_for;
+          Alcotest.test_case "covers range" `Quick test_parallel_for_covers_range;
+          Alcotest.test_case "empty/single" `Quick test_empty_and_single;
+          Alcotest.test_case "map" `Quick test_parallel_map;
+          Alcotest.test_case "init" `Quick test_parallel_init;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "num_domains" `Quick test_num_domains;
+        ] );
+      ("properties", qcheck_tests);
+    ]

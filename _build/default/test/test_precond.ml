@@ -1,0 +1,384 @@
+(* Tests for supervariable blocking and the block-Jacobi preconditioner. *)
+
+open Vblu_smallblas
+open Vblu_sparse
+open Vblu_precond
+
+let check_float = Alcotest.(check (float 1e-12))
+
+(* ------------------------------------------------------------------ *)
+(* Supervariable blocking                                              *)
+
+let test_supervariables_fem () =
+  (* Every node of a FEM system is one supervariable. *)
+  let vars = 5 in
+  let a = Vblu_workloads.Generators.fem_blocks ~nodes:40 ~vars_per_node:vars () in
+  let sv = Supervariable.supervariables a in
+  Alcotest.(check int) "one supervariable per node" 40
+    (Array.length sv.Supervariable.starts);
+  Array.iter (fun s -> Alcotest.(check int) "size" vars s) sv.Supervariable.sizes
+
+let test_supervariables_scalar () =
+  (* A tridiagonal system has no repeated patterns: singleton blocks. *)
+  let a = Vblu_workloads.Generators.laplacian_2d ~nx:6 ~ny:1 () in
+  let sv = Supervariable.supervariables a in
+  Alcotest.(check int) "singletons" 6 (Array.length sv.Supervariable.starts)
+
+let test_blocking_respects_bound () =
+  let a = Vblu_workloads.Generators.fem_blocks ~nodes:50 ~vars_per_node:4 () in
+  List.iter
+    (fun bound ->
+      let blk = Supervariable.blocking ~max_block_size:bound a in
+      let n, _ = Csr.dims a in
+      Alcotest.(check bool) "valid tiling" true (Supervariable.validate ~n blk);
+      Array.iter
+        (fun s -> Alcotest.(check bool) "within bound" true (s <= bound))
+        blk.Supervariable.sizes)
+    [ 1; 4; 8; 12; 32 ]
+
+let test_blocking_agglomerates () =
+  (* With bound 8 and supervariables of 4, blocks pair up. *)
+  let a = Vblu_workloads.Generators.fem_blocks ~nodes:40 ~vars_per_node:4 () in
+  let blk = Supervariable.blocking ~max_block_size:8 a in
+  Array.iter
+    (fun s -> Alcotest.(check int) "pairs" 8 s)
+    blk.Supervariable.sizes
+
+let test_blocking_splits_oversize () =
+  let a = Vblu_workloads.Generators.fem_blocks ~nodes:10 ~vars_per_node:6 () in
+  let blk = Supervariable.blocking ~max_block_size:4 a in
+  let n, _ = Csr.dims a in
+  Alcotest.(check bool) "valid" true (Supervariable.validate ~n blk);
+  Array.iter
+    (fun s -> Alcotest.(check bool) "split" true (s <= 4))
+    blk.Supervariable.sizes
+
+let test_uniform_blocking () =
+  let blk = Supervariable.uniform ~n:10 ~block_size:4 in
+  Alcotest.(check bool) "valid" true (Supervariable.validate ~n:10 blk);
+  Alcotest.(check (array int)) "sizes" [| 4; 4; 2 |] blk.Supervariable.sizes
+
+let test_similarity_relaxed () =
+  (* One 4-variable node whose rows share the pattern {0,1,2,3,8}, except
+     row 2 where the coupling to column 8 vanished (a boundary element).
+     Exact matching breaks the node apart; Jaccard 0.7 (row 2 scores
+     4/5 = 0.8 against its neighbours) keeps it together. *)
+  let n = 9 in
+  let coo = Coo.create ~n_rows:n ~n_cols:n in
+  for r = 0 to 3 do
+    for c = 0 to 3 do
+      Coo.add coo r c (if r = c then 4.0 else -1.0)
+    done;
+    if r <> 2 then Coo.add coo r 8 (-0.5)
+  done;
+  for r = 4 to n - 1 do
+    Coo.add coo r r 1.0
+  done;
+  let a = Coo.to_csr coo in
+  let exact = Supervariable.supervariables a in
+  let relaxed = Supervariable.supervariables ~similarity:0.7 a in
+  Alcotest.(check (array int)) "exact splits the perturbed node"
+    [| 2; 1; 1; 1; 1; 1; 1; 1 |] exact.Supervariable.sizes;
+  Alcotest.(check int) "relaxed keeps the node whole" 4
+    relaxed.Supervariable.sizes.(0);
+  Alcotest.(check bool) "still a valid partition" true
+    (Supervariable.validate ~n relaxed);
+  (* Threshold 1.0 is exactly the default behaviour. *)
+  let one = Supervariable.supervariables ~similarity:1.0 a in
+  Alcotest.(check bool) "threshold 1.0 = exact" true
+    (one.Supervariable.starts = exact.Supervariable.starts);
+  Alcotest.(check bool) "invalid threshold rejected" true
+    (match Supervariable.supervariables ~similarity:0.0 a with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_validate_rejects () =
+  Alcotest.(check bool) "gap" false
+    (Supervariable.validate ~n:8
+       { Supervariable.starts = [| 0; 5 |]; sizes = [| 4; 3 |] })
+
+(* ------------------------------------------------------------------ *)
+(* Block-Jacobi                                                        *)
+
+let test_exact_on_block_diagonal () =
+  (* On a block-diagonal matrix, block-Jacobi with matching blocks IS the
+     inverse: one application solves the system. *)
+  let st = Random.State.make [| 31 |] in
+  let blocks = Array.init 6 (fun _ -> Matrix.random_diagdom ~state:st 4) in
+  let n = 24 in
+  let dense = Matrix.create n n in
+  Array.iteri
+    (fun b m ->
+      for i = 0 to 3 do
+        for j = 0 to 3 do
+          Matrix.set dense ((b * 4) + i) ((b * 4) + j) (Matrix.get m i j)
+        done
+      done)
+    blocks;
+  let a = Csr.of_dense dense in
+  let x_true = Vector.random ~state:st n in
+  let b = Csr.spmv a x_true in
+  List.iter
+    (fun variant ->
+      let precond, info =
+        Block_jacobi.create ~variant
+          ~blocking:(Supervariable.uniform ~n ~block_size:4)
+          a
+      in
+      Alcotest.(check (list int)) "no singular blocks" []
+        info.Block_jacobi.singular_blocks;
+      let x = Preconditioner.apply precond b in
+      Alcotest.(check bool)
+        (Block_jacobi.variant_name variant ^ " solves exactly")
+        true
+        (Vector.max_abs_diff x x_true < 1e-10))
+    [ Block_jacobi.Lu; Block_jacobi.Gh; Block_jacobi.Ght;
+      Block_jacobi.Gje_inverse; Block_jacobi.Cholesky ]
+
+let test_scalar_jacobi () =
+  let a =
+    Csr.of_dense (Matrix.of_rows [| [| 2.0; 1.0 |]; [| 0.0; 4.0 |] |])
+  in
+  let precond, _ = Block_jacobi.create ~variant:Block_jacobi.Scalar a in
+  let y = Preconditioner.apply precond [| 2.0; 8.0 |] in
+  check_float "d1" 1.0 y.(0);
+  check_float "d2" 2.0 y.(1)
+
+let test_singular_block_fallback () =
+  (* One 2x2 singular diagonal block: falls back to identity and reports. *)
+  let dense =
+    Matrix.of_rows
+      [|
+        [| 1.0; 1.0; 0.0; 0.0 |];
+        [| 1.0; 1.0; 0.0; 0.0 |];
+        [| 0.0; 0.0; 3.0; 0.0 |];
+        [| 0.0; 0.0; 0.0; 3.0 |];
+      |]
+  in
+  let a = Csr.of_dense dense in
+  let precond, info =
+    Block_jacobi.create ~blocking:(Supervariable.uniform ~n:4 ~block_size:2) a
+  in
+  Alcotest.(check (list int)) "block 0 singular" [ 0 ]
+    info.Block_jacobi.singular_blocks;
+  let y = Preconditioner.apply precond [| 5.0; 7.0; 3.0; 6.0 |] in
+  check_float "identity on singular block" 5.0 y.(0);
+  check_float "solved elsewhere" 1.0 y.(2)
+
+let test_variants_agree () =
+  let a = Vblu_workloads.Generators.fem_blocks ~nodes:30 ~vars_per_node:4 () in
+  let n, _ = Csr.dims a in
+  let r = Vector.random ~state:(Random.State.make [| 9 |]) n in
+  let apply variant =
+    let p, _ = Block_jacobi.create ~variant ~max_block_size:8 a in
+    Preconditioner.apply p r
+  in
+  let lu = apply Block_jacobi.Lu in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Block_jacobi.variant_name v ^ " close to lu")
+        true
+        (Vector.max_abs_diff lu (apply v) /. (1.0 +. Vector.norm_inf lu) < 1e-10))
+    [ Block_jacobi.Gh; Block_jacobi.Ght; Block_jacobi.Gje_inverse ]
+
+let test_dimension_checks () =
+  let a = Vblu_workloads.Generators.laplacian_2d ~nx:4 ~ny:4 () in
+  let precond, _ = Block_jacobi.create a in
+  Alcotest.check_raises "apply dimension"
+    (Invalid_argument "Preconditioner.apply: dimension mismatch") (fun () ->
+      ignore (Preconditioner.apply precond [| 1.0 |]));
+  Alcotest.(check bool) "invalid blocking rejected" true
+    (match
+       Block_jacobi.create
+         ~blocking:{ Supervariable.starts = [| 0 |]; sizes = [| 3 |] }
+         a
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_cholesky_variant_on_nonsym_falls_back () =
+  (* Nonsymmetric blocks fail the SPD test; the variant falls back to LU
+     per block and still produces a working preconditioner. *)
+  let a = Vblu_workloads.Generators.fem_blocks ~nodes:20 ~vars_per_node:4 () in
+  let n, _ = Csr.dims a in
+  let p, info =
+    Block_jacobi.create ~variant:Block_jacobi.Cholesky ~max_block_size:8 a
+  in
+  Alcotest.(check (list int)) "no identity fallbacks" []
+    info.Block_jacobi.singular_blocks;
+  let r = Vector.random ~state:(Random.State.make [| 2 |]) n in
+  let p_lu, _ = Block_jacobi.create ~variant:Block_jacobi.Lu ~max_block_size:8 a in
+  Alcotest.(check bool) "equals lu apply" true
+    (Vector.max_abs_diff (Preconditioner.apply p r) (Preconditioner.apply p_lu r)
+     /. (1.0 +. Vector.norm_inf r)
+    < 1e-10)
+
+let test_rcm_then_blocking_pipeline () =
+  (* Scramble a FEM system, let RCM restore locality, then block: the
+     pipeline of Section II-A on an adversarial ordering. *)
+  let a = Vblu_workloads.Generators.fem_blocks ~nodes:40 ~vars_per_node:4 () in
+  let n, _ = Csr.dims a in
+  let scramble = Vblu_sparse.Reorder.random ~state:(Random.State.make [| 8 |]) n in
+  let scrambled = Csr.permute_symmetric a scramble in
+  let p = Vblu_sparse.Reorder.reverse_cuthill_mckee scrambled in
+  let restored = Csr.permute_symmetric scrambled p in
+  Alcotest.(check bool) "rcm shrinks bandwidth" true
+    (Csr.bandwidth restored < Csr.bandwidth scrambled);
+  (* The restored matrix still admits a valid bounded blocking and a
+     working preconditioned solve. *)
+  let precond, info = Block_jacobi.create ~max_block_size:16 restored in
+  Alcotest.(check bool) "valid blocking" true
+    (Supervariable.validate ~n info.Block_jacobi.blocking);
+  let b = Array.make n 1.0 in
+  let _, stats = Vblu_krylov.Idr.solve ~precond ~s:4 restored b in
+  Alcotest.(check bool) "solver converges" true (Vblu_krylov.Solver.converged stats)
+
+let test_identity_preconditioner () =
+  let p = Preconditioner.identity 3 in
+  let r = [| 1.0; 2.0; 3.0 |] in
+  let y = Preconditioner.apply p r in
+  check_float "copy" 0.0 (Vector.max_abs_diff r y);
+  Alcotest.(check bool) "fresh array" true (y != r)
+
+(* ------------------------------------------------------------------ *)
+(* ILU(0)                                                              *)
+
+let test_ilu0_exact_when_no_fill () =
+  (* On a tridiagonal matrix ILU(0) has no discarded fill: it IS the LU
+     factorization and the solve is exact. *)
+  let n = 12 in
+  let dense =
+    Matrix.init n n (fun i j ->
+        if i = j then 3.0
+        else if abs (i - j) = 1 then -1.0 +. (0.1 *. float_of_int (min i j))
+        else 0.0)
+  in
+  let a = Csr.of_dense dense in
+  let f = Ilu0.factorize a in
+  let x_true = Vector.random ~state:(Random.State.make [| 5 |]) n in
+  let b = Csr.spmv a x_true in
+  let x = Ilu0.solve f b in
+  Alcotest.(check bool) "exact on tridiagonal" true
+    (Vector.max_abs_diff x x_true < 1e-10)
+
+let test_ilu0_preconditions () =
+  let a = Vblu_workloads.Generators.laplacian_2d ~nx:20 ~ny:20 () in
+  let n, _ = Csr.dims a in
+  let b = Array.make n 1.0 in
+  let p = Ilu0.preconditioner a in
+  let _, plain = Vblu_krylov.Cg.solve a b in
+  let _, pre = Vblu_krylov.Cg.solve ~precond:p a b in
+  Alcotest.(check bool) "both converge" true
+    (Vblu_krylov.Solver.converged plain && Vblu_krylov.Solver.converged pre);
+  Alcotest.(check bool)
+    (Printf.sprintf "ilu0 stronger than nothing (%d vs %d)"
+       pre.Vblu_krylov.Solver.iterations plain.Vblu_krylov.Solver.iterations)
+    true
+    (pre.Vblu_krylov.Solver.iterations < plain.Vblu_krylov.Solver.iterations)
+
+let test_ilu0_errors () =
+  (* Structurally missing diagonal is rejected. *)
+  let a =
+    Csr.create ~n_rows:2 ~n_cols:2 ~row_ptr:[| 0; 1; 2 |] ~col_idx:[| 1; 0 |]
+      ~values:[| 1.0; 1.0 |]
+  in
+  Alcotest.(check bool) "missing diagonal" true
+    (match Ilu0.factorize a with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let z = Csr.of_dense (Matrix.identity 3) in
+  let zf = Ilu0.factorize z in
+  Alcotest.(check bool) "identity works" true
+    (Vector.max_abs_diff (Ilu0.solve zf [| 1.0; 2.0; 3.0 |]) [| 1.0; 2.0; 3.0 |]
+    = 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~count:20
+      ~name:"lower similarity never yields more supervariables"
+      QCheck.(pair (int_bound 1000) (int_range 5 20))
+      (fun (seed, nodes) ->
+        let a =
+          Vblu_workloads.Generators.fem_blocks
+            ~state:(Random.State.make [| seed |])
+            ~nodes ~vars_per_node:3 ()
+        in
+        let count t =
+          Array.length
+            (Supervariable.supervariables ~similarity:t a).Supervariable.starts
+        in
+        count 0.5 <= count 0.9 && count 0.9 <= count 1.0);
+    QCheck.Test.make ~count:30 ~name:"blocking always tiles the matrix"
+      QCheck.(pair (int_range 1 32) (int_range 5 40))
+      (fun (bound, nodes) ->
+        let a =
+          Vblu_workloads.Generators.fem_blocks
+            ~state:(Random.State.make [| nodes |])
+            ~nodes ~vars_per_node:3 ()
+        in
+        let n, _ = Csr.dims a in
+        let blk = Supervariable.blocking ~max_block_size:bound a in
+        Supervariable.validate ~n blk
+        && Array.for_all (fun s -> s <= max bound 1) blk.Supervariable.sizes);
+    QCheck.Test.make ~count:20
+      ~name:"block-jacobi apply is linear (M⁻¹(αr) = αM⁻¹r)"
+      QCheck.(int_bound 1000)
+      (fun seed ->
+        let a =
+          Vblu_workloads.Generators.fem_blocks
+            ~state:(Random.State.make [| seed |])
+            ~nodes:20 ~vars_per_node:4 ()
+        in
+        let n, _ = Csr.dims a in
+        let p, _ = Block_jacobi.create ~max_block_size:8 a in
+        let r = Vector.random ~state:(Random.State.make [| seed + 1 |]) n in
+        let y1 = Preconditioner.apply p r in
+        let r2 = Array.map (fun v -> 3.0 *. v) r in
+        let y2 = Preconditioner.apply p r2 in
+        let scaled = Array.map (fun v -> 3.0 *. v) y1 in
+        Vector.max_abs_diff y2 scaled /. (1.0 +. Vector.norm_inf scaled) < 1e-10);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "precond"
+    [
+      ( "supervariable",
+        [
+          Alcotest.test_case "fem nodes" `Quick test_supervariables_fem;
+          Alcotest.test_case "scalar fallback" `Quick test_supervariables_scalar;
+          Alcotest.test_case "bound respected" `Quick test_blocking_respects_bound;
+          Alcotest.test_case "agglomeration" `Quick test_blocking_agglomerates;
+          Alcotest.test_case "oversize split" `Quick test_blocking_splits_oversize;
+          Alcotest.test_case "uniform" `Quick test_uniform_blocking;
+          Alcotest.test_case "validate" `Quick test_validate_rejects;
+          Alcotest.test_case "relaxed similarity" `Quick test_similarity_relaxed;
+        ] );
+      ( "block-jacobi",
+        [
+          Alcotest.test_case "exact on block diagonal" `Quick
+            test_exact_on_block_diagonal;
+          Alcotest.test_case "scalar jacobi" `Quick test_scalar_jacobi;
+          Alcotest.test_case "singular fallback" `Quick
+            test_singular_block_fallback;
+          Alcotest.test_case "variants agree" `Quick test_variants_agree;
+          Alcotest.test_case "dimension checks" `Quick test_dimension_checks;
+          Alcotest.test_case "identity" `Quick test_identity_preconditioner;
+          Alcotest.test_case "cholesky fallback" `Quick
+            test_cholesky_variant_on_nonsym_falls_back;
+          Alcotest.test_case "rcm + blocking pipeline" `Quick
+            test_rcm_then_blocking_pipeline;
+        ] );
+      ( "ilu0",
+        [
+          Alcotest.test_case "exact without fill" `Quick
+            test_ilu0_exact_when_no_fill;
+          Alcotest.test_case "preconditions cg" `Quick test_ilu0_preconditions;
+          Alcotest.test_case "errors" `Quick test_ilu0_errors;
+        ] );
+      ("properties", qcheck_tests);
+    ]
