@@ -14,7 +14,14 @@
       (Figures 8-9, Table I, variant ablation).
 
    Set VBLU_BENCH_FULL=1 for the full-size sweeps (40,000-problem batches,
-   all 48 matrices); the default is a quick pass of the same pipelines. *)
+   all 48 matrices); the default is a quick pass of the same pipelines.
+
+   Usage: main.exe [TARGET] [--domains N]
+
+   TARGET selects one experiment (micro, fig4..fig9, table1, ablations);
+   with no target everything runs, as before.  --domains N fans the sweeps
+   out over N host domains — the printed numbers are bit-identical for any
+   N, only the wall-clock changes. *)
 
 open Bechamel
 open Vblu_smallblas
@@ -111,26 +118,60 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 (* Layer 2: the paper's figures and tables                              *)
 
+let targets =
+  [ "micro"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "table1";
+    "ablations"; "all" ]
+
+let usage () =
+  Printf.eprintf "usage: %s [%s] [--domains N]\n" Sys.argv.(0)
+    (String.concat "|" targets);
+  exit 2
+
+let parse_args () =
+  let domains = ref (Domain.recommended_domain_count ()) in
+  let target = ref "all" in
+  let rec go = function
+    | [] -> ()
+    | "--domains" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v when v >= 1 -> domains := v; go rest
+      | _ -> usage ())
+    | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--domains="
+      -> (
+      match int_of_string_opt (String.sub arg 10 (String.length arg - 10)) with
+      | Some v when v >= 1 -> domains := v; go rest
+      | _ -> usage ())
+    | arg :: rest when List.mem arg targets -> target := arg; go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!target, !domains)
+
 let () =
+  let target, domains = parse_args () in
+  let pool = Vblu_par.Pool.create ~num_domains:domains () in
   let ppf = Format.std_formatter in
   let quick = not full in
-  run_micro ();
-  Vblu_perf.Kernel_figs.fig4 ~quick ppf;
-  Vblu_perf.Kernel_figs.fig5 ~quick ppf;
-  Vblu_perf.Kernel_figs.fig6 ~quick ppf;
-  Vblu_perf.Kernel_figs.fig7 ~quick ppf;
-  Vblu_perf.Kernel_figs.ablation_pivot ~quick ppf;
-  Vblu_perf.Kernel_figs.ablation_trsv ~quick ppf;
-  Vblu_perf.Kernel_figs.ablation_extraction ~quick ppf;
-  Vblu_perf.Kernel_figs.ablation_cholesky ~quick ppf;
-  Vblu_perf.Kernel_figs.ablation_variable_size ~quick ppf;
+  let progress msg = Printf.eprintf "[suite] %s\n%!" msg in
   let study =
-    Vblu_perf.Solver_study.run_suite ~quick
-      ~progress:(fun msg -> Printf.eprintf "[suite] %s\n%!" msg)
-      ()
+    lazy (Vblu_perf.Solver_study.run_suite ~quick ~pool ~progress ())
   in
-  Vblu_perf.Solver_figs.fig8 ppf study;
-  Vblu_perf.Solver_figs.fig9 ppf study;
-  Vblu_perf.Solver_figs.table1 ppf study;
-  Vblu_perf.Solver_figs.ablation_variants ppf study;
+  let all = target = "all" in
+  if all || target = "micro" then run_micro ();
+  if all || target = "fig4" then Vblu_perf.Kernel_figs.fig4 ~quick ~pool ppf;
+  if all || target = "fig5" then Vblu_perf.Kernel_figs.fig5 ~quick ~pool ppf;
+  if all || target = "fig6" then Vblu_perf.Kernel_figs.fig6 ~quick ~pool ppf;
+  if all || target = "fig7" then Vblu_perf.Kernel_figs.fig7 ~quick ~pool ppf;
+  if all || target = "ablations" then begin
+    Vblu_perf.Kernel_figs.ablation_pivot ~quick ~pool ppf;
+    Vblu_perf.Kernel_figs.ablation_trsv ~quick ~pool ppf;
+    Vblu_perf.Kernel_figs.ablation_extraction ~quick ~pool ppf;
+    Vblu_perf.Kernel_figs.ablation_cholesky ~quick ~pool ppf;
+    Vblu_perf.Kernel_figs.ablation_variable_size ~quick ~pool ppf
+  end;
+  if all || target = "fig8" then Vblu_perf.Solver_figs.fig8 ppf (Lazy.force study);
+  if all || target = "fig9" then Vblu_perf.Solver_figs.fig9 ppf (Lazy.force study);
+  if all || target = "table1" then
+    Vblu_perf.Solver_figs.table1 ppf (Lazy.force study);
+  if all then Vblu_perf.Solver_figs.ablation_variants ppf (Lazy.force study);
   Format.pp_print_flush ppf ()

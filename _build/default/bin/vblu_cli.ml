@@ -14,26 +14,42 @@ let quick_arg =
   let doc = "Run a reduced sweep (fewer batch sizes / matrices)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Host domains for parallel batch execution (default: the runtime's \
+     recommended domain count).  Results are bit-identical for any value; \
+     only wall-clock time changes."
+  in
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "domains" ] ~docv:"N" ~doc)
+
+let pool_of n = Vblu_par.Pool.create ~num_domains:n ()
 let ppf = Format.std_formatter
 
 let kernel_cmd name doc driver =
-  let run quick =
+  let run quick domains =
     setup_logs ();
-    driver ~quick ppf;
+    driver ~quick ~pool:(pool_of domains) ppf;
     Format.pp_print_flush ppf ()
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg $ domains_arg)
 
-let with_study quick f =
+let with_study quick domains f =
   setup_logs ();
   let progress msg = Printf.eprintf "[suite] %s\n%!" msg in
-  let study = Solver_study.run_suite ~quick ~progress () in
+  let study =
+    Solver_study.run_suite ~quick ~pool:(pool_of domains) ~progress ()
+  in
   f study;
   Format.pp_print_flush ppf ()
 
 let solver_cmd name doc driver =
-  let run quick = with_study quick (fun study -> driver ppf study) in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg)
+  let run quick domains =
+    with_study quick domains (fun study -> driver ppf study)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg $ domains_arg)
 
 let suite_cmd =
   let run () =
@@ -109,8 +125,9 @@ let csv_cmd =
       value & opt string "results"
       & info [ "dir" ] ~doc:"Directory to write the CSV files into.")
   in
-  let run dir quick =
+  let run dir quick domains =
     setup_logs ();
+    let pool = pool_of domains in
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let slug title =
       String.map
@@ -130,29 +147,30 @@ let csv_cmd =
           Printf.printf "wrote %s\n" path)
         series
     in
-    dump (Kernel_figs.fig4_series ~quick ());
-    dump (Kernel_figs.fig5_series ~quick ());
-    dump (Kernel_figs.fig6_series ~quick ());
-    dump (Kernel_figs.fig7_series ~quick ())
+    dump (Kernel_figs.fig4_series ~quick ~pool ());
+    dump (Kernel_figs.fig5_series ~quick ~pool ());
+    dump (Kernel_figs.fig6_series ~quick ~pool ());
+    dump (Kernel_figs.fig7_series ~quick ~pool ())
   in
   Cmd.v
     (Cmd.info "csv"
        ~doc:"Export the Figure 4-7 data series as CSV files for plotting.")
-    Term.(const run $ dir $ quick_arg)
+    Term.(const run $ dir $ quick_arg $ domains_arg)
 
 let all_cmd =
-  let run quick =
+  let run quick domains =
     setup_logs ();
-    Kernel_figs.fig4 ~quick ppf;
-    Kernel_figs.fig5 ~quick ppf;
-    Kernel_figs.fig6 ~quick ppf;
-    Kernel_figs.fig7 ~quick ppf;
-    Kernel_figs.ablation_pivot ~quick ppf;
-    Kernel_figs.ablation_trsv ~quick ppf;
-    Kernel_figs.ablation_extraction ~quick ppf;
-    Kernel_figs.ablation_cholesky ~quick ppf;
-    Kernel_figs.ablation_variable_size ~quick ppf;
-    with_study quick (fun study ->
+    let pool = pool_of domains in
+    Kernel_figs.fig4 ~quick ~pool ppf;
+    Kernel_figs.fig5 ~quick ~pool ppf;
+    Kernel_figs.fig6 ~quick ~pool ppf;
+    Kernel_figs.fig7 ~quick ~pool ppf;
+    Kernel_figs.ablation_pivot ~quick ~pool ppf;
+    Kernel_figs.ablation_trsv ~quick ~pool ppf;
+    Kernel_figs.ablation_extraction ~quick ~pool ppf;
+    Kernel_figs.ablation_cholesky ~quick ~pool ppf;
+    Kernel_figs.ablation_variable_size ~quick ~pool ppf;
+    with_study quick domains (fun study ->
         Solver_figs.fig8 ppf study;
         Solver_figs.fig9 ppf study;
         Solver_figs.table1 ppf study;
@@ -160,29 +178,30 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every figure, table and ablation.")
-    Term.(const run $ quick_arg)
+    Term.(const run $ quick_arg $ domains_arg)
 
 let cmds =
   [
     kernel_cmd "fig4" "Figure 4: factorization GFLOPS vs batch size."
-      (fun ~quick ppf -> Kernel_figs.fig4 ~quick ppf);
+      (fun ~quick ~pool ppf -> Kernel_figs.fig4 ~quick ~pool ppf);
     kernel_cmd "fig5" "Figure 5: factorization GFLOPS vs matrix size."
-      (fun ~quick ppf -> Kernel_figs.fig5 ~quick ppf);
+      (fun ~quick ~pool ppf -> Kernel_figs.fig5 ~quick ~pool ppf);
     kernel_cmd "fig6" "Figure 6: triangular-solve GFLOPS vs batch size."
-      (fun ~quick ppf -> Kernel_figs.fig6 ~quick ppf);
+      (fun ~quick ~pool ppf -> Kernel_figs.fig6 ~quick ~pool ppf);
     kernel_cmd "fig7" "Figure 7: triangular-solve GFLOPS vs matrix size."
-      (fun ~quick ppf -> Kernel_figs.fig7 ~quick ppf);
+      (fun ~quick ~pool ppf -> Kernel_figs.fig7 ~quick ~pool ppf);
     kernel_cmd "ablation-pivot" "Implicit vs explicit vs no pivoting."
-      (fun ~quick ppf -> Kernel_figs.ablation_pivot ~quick ppf);
+      (fun ~quick ~pool ppf -> Kernel_figs.ablation_pivot ~quick ~pool ppf);
     kernel_cmd "ablation-trsv" "Eager vs lazy triangular solves."
-      (fun ~quick ppf -> Kernel_figs.ablation_trsv ~quick ppf);
+      (fun ~quick ~pool ppf -> Kernel_figs.ablation_trsv ~quick ~pool ppf);
     kernel_cmd "ablation-extract" "Extraction strategies."
-      (fun ~quick ppf -> Kernel_figs.ablation_extraction ~quick ppf);
+      (fun ~quick ~pool ppf -> Kernel_figs.ablation_extraction ~quick ~pool ppf);
     kernel_cmd "ablation-cholesky" "Cholesky (future work) vs LU on SPD."
-      (fun ~quick ppf -> Kernel_figs.ablation_cholesky ~quick ppf);
+      (fun ~quick ~pool ppf -> Kernel_figs.ablation_cholesky ~quick ~pool ppf);
     kernel_cmd "ablation-varsize"
       "Variable-size batches from real supervariable blockings."
-      (fun ~quick ppf -> Kernel_figs.ablation_variable_size ~quick ppf);
+      (fun ~quick ~pool ppf ->
+        Kernel_figs.ablation_variable_size ~quick ~pool ppf);
     solver_cmd "fig8" "Figure 8: LU vs GH convergence histogram."
       Solver_figs.fig8;
     solver_cmd "fig9" "Figure 9: total solver time per matrix."

@@ -1,1 +1,1 @@
-lib/core/batched_gemm.ml: Array Batch Config Counter Gmem Launch Precision Sampling Vblu_simt Vblu_smallblas Warp
+lib/core/batched_gemm.ml: Array Batch Config Counter Gmem Launch Precision Sampling Vblu_par Vblu_simt Vblu_smallblas Warp

@@ -1,1 +1,1 @@
-lib/core/batched_gh.ml: Array Batch Charge Config Counter Flops Gauss_huard Launch Lazy Matrix Precision Sampling Vblu_simt Vblu_smallblas Warp
+lib/core/batched_gh.ml: Array Batch Charge Config Counter Flops Gauss_huard Launch Lazy Matrix Precision Sampling Vblu_par Vblu_simt Vblu_smallblas Warp

@@ -1,1 +1,1 @@
-lib/core/batched_gh.mli: Batch Config Gauss_huard Launch Precision Sampling Vblu_simt Vblu_smallblas
+lib/core/batched_gh.mli: Batch Config Gauss_huard Launch Precision Sampling Vblu_par Vblu_simt Vblu_smallblas

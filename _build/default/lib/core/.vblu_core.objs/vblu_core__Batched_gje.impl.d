@@ -1,1 +1,1 @@
-lib/core/batched_gje.ml: Array Batch Charge Config Counter Flops Gauss_jordan Launch Matrix Precision Sampling Vblu_simt Vblu_smallblas Warp
+lib/core/batched_gje.ml: Array Batch Charge Config Counter Flops Gauss_jordan Launch Matrix Precision Sampling Vblu_par Vblu_simt Vblu_smallblas Warp

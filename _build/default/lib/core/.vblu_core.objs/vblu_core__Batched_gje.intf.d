@@ -1,1 +1,1 @@
-lib/core/batched_gje.mli: Batch Config Launch Matrix Precision Sampling Vblu_simt Vblu_smallblas
+lib/core/batched_gje.mli: Batch Config Launch Matrix Precision Sampling Vblu_par Vblu_simt Vblu_smallblas

@@ -1,1 +1,1 @@
-lib/core/batched_lu.ml: Array Batch Config Counter Flops Gmem Launch Precision Printf Sampling Vblu_simt Vblu_smallblas Warp
+lib/core/batched_lu.ml: Array Batch Config Counter Flops Gmem Launch Precision Printf Sampling Vblu_par Vblu_simt Vblu_smallblas Warp

@@ -1,1 +1,1 @@
-lib/core/batched_trsm.ml: Array Batch Config Counter Error Flops Gmem Launch Precision Sampling Vblu_simt Vblu_smallblas Warp
+lib/core/batched_trsm.ml: Array Batch Config Counter Error Flops Gmem Launch Precision Sampling Vblu_par Vblu_simt Vblu_smallblas Warp

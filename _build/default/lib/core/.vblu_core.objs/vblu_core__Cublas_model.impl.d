@@ -1,1 +1,1 @@
-lib/core/cublas_model.ml: Array Batch Charge Config Counter Flops Launch List Lu Precision Sampling Trsv Vblu_simt Vblu_smallblas Warp
+lib/core/cublas_model.ml: Array Batch Charge Config Counter Flops Launch List Lu Precision Sampling Trsv Vblu_par Vblu_simt Vblu_smallblas Warp

@@ -1,1 +1,1 @@
-lib/core/cublas_model.mli: Batch Config Launch Precision Sampling Vblu_simt Vblu_smallblas
+lib/core/cublas_model.mli: Batch Config Launch Precision Sampling Vblu_par Vblu_simt Vblu_smallblas

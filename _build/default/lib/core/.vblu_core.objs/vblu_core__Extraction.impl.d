@@ -1,1 +1,1 @@
-lib/core/extraction.ml: Array Batch Charge Config Csr Gmem Launch Precision Sampling Vblu_simt Vblu_smallblas Vblu_sparse Warp
+lib/core/extraction.ml: Array Batch Charge Config Csr Gmem Launch Precision Sampling Vblu_par Vblu_simt Vblu_smallblas Vblu_sparse Warp

@@ -1,1 +1,1 @@
-lib/core/extraction.mli: Batch Config Csr Launch Sampling Vblu_simt Vblu_smallblas Vblu_sparse
+lib/core/extraction.mli: Batch Config Csr Launch Sampling Vblu_par Vblu_simt Vblu_smallblas Vblu_sparse

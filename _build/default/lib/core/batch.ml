@@ -27,7 +27,6 @@ let create sizes =
   }
 
 let of_matrices ms =
-  if Array.length ms = 0 then invalid_arg "Batch.of_matrices: empty";
   let sizes =
     Array.map
       (fun m ->
@@ -111,7 +110,6 @@ let vec_create sizes =
   }
 
 let vec_of_vectors vs =
-  if Array.length vs = 0 then invalid_arg "Batch.vec_of_vectors: empty";
   let v = vec_create (Array.map Array.length vs) in
   Array.iteri (fun i x -> Array.blit x 0 v.vvalues v.voffsets.(i) (Array.length x)) vs;
   v

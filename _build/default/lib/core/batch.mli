@@ -24,8 +24,9 @@ val create : int array -> t
     @raise Invalid_argument on a non-positive size. *)
 
 val of_matrices : Matrix.t array -> t
-(** Packs square matrices into a batch.
-    @raise Invalid_argument on a non-square input or an empty array. *)
+(** Packs square matrices into a batch.  An empty array yields an empty
+    batch ([count = 0]), which every batched kernel treats as a no-op.
+    @raise Invalid_argument on a non-square input. *)
 
 val to_matrices : t -> Matrix.t array
 
@@ -69,6 +70,8 @@ type vec = private {
 val vec_create : int array -> vec
 
 val vec_of_vectors : Vector.t array -> vec
+(** Packs vectors into a vector batch; an empty array yields an empty
+    batch. *)
 
 val vec_to_vectors : vec -> Vector.t array
 

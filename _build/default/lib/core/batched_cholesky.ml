@@ -50,8 +50,8 @@ let kernel_factor w gin gout ~block ~off ~s =
   done;
   Counter.credit_flops (Warp.counter w) (Cholesky.flops s)
 
-let factor ?(cfg = Config.p100) ?(prec = Precision.Double)
-    ?(mode = Sampling.Exact) (b : Batch.t) =
+let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) (b : Batch.t) =
   Array.iter
     (fun s ->
       if s > cfg.Config.warp_size then
@@ -63,7 +63,9 @@ let factor ?(cfg = Config.p100) ?(prec = Precision.Double)
     kernel_factor w gin gout ~block:i ~off:b.Batch.offsets.(i)
       ~s:b.Batch.sizes.(i)
   in
-  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:b.Batch.sizes ~kernel () in
+  let stats =
+    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+  in
   let factors = Batch.create b.Batch.sizes in
   let values = Gmem.to_array gout in
   Array.blit values 0 factors.Batch.values 0 (Array.length values);
@@ -127,8 +129,9 @@ let kernel_solve w gmat gvec gout ~moff ~voff ~s =
   Warp.store w gout ~active (Array.init p (fun lane -> voff + min lane (s - 1))) !b;
   Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s)
 
-let solve ?(cfg = Config.p100) ?(prec = Precision.Double)
-    ?(mode = Sampling.Exact) ~(factors : Batch.t) (rhs : Batch.vec) =
+let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ~(factors : Batch.t)
+    (rhs : Batch.vec) =
   if factors.Batch.count <> rhs.Batch.vcount then
     invalid_arg "Batched_cholesky.solve: batch count mismatch";
   let gmat = Gmem.of_array prec factors.Batch.values in
@@ -139,7 +142,7 @@ let solve ?(cfg = Config.p100) ?(prec = Precision.Double)
       ~voff:rhs.Batch.voffsets.(i) ~s:factors.Batch.sizes.(i)
   in
   let stats =
-    Sampling.run ~cfg ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
+    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
   in
   let solutions = Batch.vec_create rhs.Batch.vsizes in
   let values = Gmem.to_array gout in

@@ -23,6 +23,7 @@ exception Block_not_spd of { block : int; step : int }
 
 val factor :
   ?cfg:Config.t ->
+  ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   Batch.t ->
@@ -33,6 +34,7 @@ val factor :
 
 val solve :
   ?cfg:Config.t ->
+  ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   factors:Batch.t ->

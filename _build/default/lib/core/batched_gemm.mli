@@ -24,6 +24,7 @@ type result = {
 
 val multiply :
   ?cfg:Config.t ->
+  ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   ?alpha:float ->

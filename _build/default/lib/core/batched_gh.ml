@@ -56,8 +56,9 @@ let charge_factor w ~s ~storage =
   Charge.gmem_coalesced w ~elems:s;
   Counter.credit_flops (Warp.counter w) (Flops.gauss_huard_factor s)
 
-let factor ?(cfg = Config.p100) ?(prec = Precision.Double)
-    ?(mode = Sampling.Exact) ?(storage = Gauss_huard.Normal) (b : Batch.t) =
+let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact)
+    ?(storage = Gauss_huard.Normal) (b : Batch.t) =
   Array.iter
     (fun s ->
       if s > cfg.Config.warp_size then
@@ -69,7 +70,9 @@ let factor ?(cfg = Config.p100) ?(prec = Precision.Double)
     factors.(i) <- Gauss_huard.factor ~prec ~storage (Batch.get_matrix b i);
     charge_factor w ~s ~storage
   in
-  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:b.Batch.sizes ~kernel () in
+  let stats =
+    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+  in
   { factors; stats; exact = (mode = Sampling.Exact) }
 
 let charge_solve w ~s ~storage =
@@ -99,8 +102,9 @@ let charge_solve w ~s ~storage =
   Charge.gmem_coalesced w ~elems:s;
   Counter.credit_flops (Warp.counter w) (Flops.gauss_huard_solve s)
 
-let solve ?(cfg = Config.p100) ?(prec = Precision.Double)
-    ?(mode = Sampling.Exact) (r : result) (rhs : Batch.vec) =
+let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) (r : result)
+    (rhs : Batch.vec) =
   if Array.length r.factors <> rhs.Batch.vcount then
     invalid_arg "Batched_gh.solve: batch count mismatch";
   let solutions = Batch.vec_create rhs.Batch.vsizes in
@@ -114,5 +118,7 @@ let solve ?(cfg = Config.p100) ?(prec = Precision.Double)
     Batch.vec_set solutions i x;
     charge_solve w ~s ~storage
   in
-  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel () in
+  let stats =
+    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
+  in
   { solutions; solve_stats = stats; solve_exact = (mode = Sampling.Exact) }

@@ -41,6 +41,7 @@ type solve_result = {
 
 val factor :
   ?cfg:Config.t ->
+  ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   ?storage:Gauss_huard.storage ->
@@ -51,6 +52,7 @@ val factor :
 
 val solve :
   ?cfg:Config.t ->
+  ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   result ->

@@ -35,8 +35,8 @@ let charge_invert w ~s =
   done;
   Counter.credit_flops (Warp.counter w) (Flops.invert s)
 
-let invert ?(cfg = Config.p100) ?(prec = Precision.Double)
-    ?(mode = Sampling.Exact) (b : Batch.t) =
+let invert ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) (b : Batch.t) =
   Array.iter
     (fun s ->
       if s > cfg.Config.warp_size then
@@ -47,7 +47,9 @@ let invert ?(cfg = Config.p100) ?(prec = Precision.Double)
     inverses.(i) <- Gauss_jordan.invert ~prec (Batch.get_matrix b i);
     charge_invert w ~s:b.Batch.sizes.(i)
   in
-  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:b.Batch.sizes ~kernel () in
+  let stats =
+    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+  in
   { inverses; stats; exact = (mode = Sampling.Exact) }
 
 let charge_apply w ~s =
@@ -62,8 +64,9 @@ let charge_apply w ~s =
   Charge.gmem_coalesced w ~elems:s;
   Counter.credit_flops (Warp.counter w) (Flops.gemv s)
 
-let apply ?(cfg = Config.p100) ?(prec = Precision.Double)
-    ?(mode = Sampling.Exact) (r : result) (rhs : Batch.vec) =
+let apply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) (r : result)
+    (rhs : Batch.vec) =
   if Array.length r.inverses <> rhs.Batch.vcount then
     invalid_arg "Batched_gje.apply: batch count mismatch";
   let products = Batch.vec_create rhs.Batch.vsizes in
@@ -72,5 +75,7 @@ let apply ?(cfg = Config.p100) ?(prec = Precision.Double)
     Batch.vec_set products i x;
     charge_apply w ~s:rhs.Batch.vsizes.(i)
   in
-  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel () in
+  let stats =
+    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
+  in
   { products; apply_stats = stats; apply_exact = (mode = Sampling.Exact) }

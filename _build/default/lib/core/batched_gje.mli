@@ -30,6 +30,7 @@ type apply_result = {
 
 val invert :
   ?cfg:Config.t ->
+  ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   Batch.t ->
@@ -39,6 +40,7 @@ val invert :
 
 val apply :
   ?cfg:Config.t ->
+  ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   result ->

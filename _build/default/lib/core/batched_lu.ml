@@ -135,8 +135,9 @@ let kernel_nopivot w gin gout ~block ~off ~s =
   store_tile w gout ~off ~s ~dest reg;
   Array.init s (fun i -> i)
 
-let factor ?(cfg = Config.p100) ?(prec = Precision.Double)
-    ?(mode = Sampling.Exact) ?(pivoting = Implicit) (b : Batch.t) =
+let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?(pivoting = Implicit)
+    (b : Batch.t) =
   check_batch cfg b;
   let gin = Gmem.of_array prec b.Batch.values in
   let gout = Gmem.create prec (Batch.total_values b) in
@@ -164,7 +165,9 @@ let factor ?(cfg = Config.p100) ?(prec = Precision.Double)
       (Array.init p (fun lane -> if lane < s then float_of_int perm.(lane) else 0.0));
     Counter.credit_flops (Warp.counter w) (Flops.getrf s)
   in
-  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:b.Batch.sizes ~kernel () in
+  let stats =
+    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+  in
   let values = Gmem.to_array gout in
   let factors =
     (* Rebuild a batch sharing the shape of the input. *)

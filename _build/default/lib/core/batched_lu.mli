@@ -51,12 +51,16 @@ exception Block_singular of { block : int; step : int }
 
 val factor :
   ?cfg:Config.t ->
+  ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   ?pivoting:pivoting ->
   Batch.t ->
   result
 (** Factorize every block of the batch.  Defaults: P100 model, double
-    precision, [Exact] execution, [Implicit] pivoting.
+    precision, [Exact] execution, [Implicit] pivoting.  [?pool] fans the
+    independent blocks out over domains ({!Vblu_simt.Sampling.run});
+    results are bit-identical to the sequential run.  An empty batch is a
+    no-op returning empty factors and zero-time stats.
     @raise Invalid_argument if any block exceeds the warp width (32).
     @raise Block_singular on a zero pivot. *)

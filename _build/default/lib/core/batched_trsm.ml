@@ -51,9 +51,9 @@ let kernel w gmat gvecs gouts ~moff ~voff ~s ~perm =
   Counter.credit_flops (Warp.counter w)
     (float_of_int nrhs *. Flops.trsv_pair s)
 
-let solve ?(cfg = Config.p100) ?(prec = Precision.Double)
-    ?(mode = Sampling.Exact) ~(factors : Batch.t) ~pivots
-    (rhs_sets : Batch.vec array) =
+let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ~(factors : Batch.t)
+    ~pivots (rhs_sets : Batch.vec array) =
   if Array.length rhs_sets = 0 then
     invalid_arg "Batched_trsm.solve: no right-hand sides";
   Array.iter
@@ -85,7 +85,7 @@ let solve ?(cfg = Config.p100) ?(prec = Precision.Double)
       ~voff:rhs_sets.(0).Batch.voffsets.(i) ~s ~perm
   in
   let stats =
-    Sampling.run ~cfg ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
+    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
   in
   let solutions =
     Array.mapi

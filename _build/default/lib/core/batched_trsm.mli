@@ -22,6 +22,7 @@ type result = {
 
 val solve :
   ?cfg:Config.t ->
+  ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   factors:Batch.t ->

@@ -121,9 +121,9 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm =
   Warp.store w gout ~active (Array.init p (fun lane -> voff + min lane (s - 1))) !b;
   Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s)
 
-let solve ?(cfg = Config.p100) ?(prec = Precision.Double)
-    ?(mode = Sampling.Exact) ?(variant = Eager) ~(factors : Batch.t) ~pivots
-    (rhs : Batch.vec) =
+let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?(variant = Eager)
+    ~(factors : Batch.t) ~pivots (rhs : Batch.vec) =
   if factors.Batch.count <> rhs.Batch.vcount then
     invalid_arg "Batched_trsv.solve: batch count mismatch";
   Array.iteri
@@ -148,7 +148,7 @@ let solve ?(cfg = Config.p100) ?(prec = Precision.Double)
     | Lazy -> kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm
   in
   let stats =
-    Sampling.run ~cfg ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
+    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
   in
   let solutions =
     let out = Batch.vec_create rhs.Batch.vsizes in

@@ -30,6 +30,7 @@ type result = {
 
 val solve :
   ?cfg:Config.t ->
+  ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   ?variant:variant ->
@@ -39,6 +40,7 @@ val solve :
   result
 (** [solve ~factors ~pivots rhs] solves every block system using the packed
     LU factors and pivot permutations of {!Batched_lu.factor} (GETRS:
-    permute, unit-lower solve, upper solve).
+    permute, unit-lower solve, upper solve).  [?pool] distributes blocks
+    over domains with bit-identical results; an empty batch is a no-op.
     @raise Invalid_argument on shape mismatch between factors and rhs.
     @raise Vblu_smallblas.Error.Singular on a zero diagonal. *)

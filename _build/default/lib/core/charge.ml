@@ -25,9 +25,10 @@ let charge_txns w txns =
   let c = Warp.counter w in
   let cfg = Warp.cfg w in
   c.Counter.gmem_instrs <- c.Counter.gmem_instrs +. 1.0;
-  c.Counter.gmem_transactions <- c.Counter.gmem_transactions + txns;
+  c.Counter.gmem_transactions <-
+    c.Counter.gmem_transactions +. float_of_int txns;
   c.Counter.gmem_bytes <-
-    c.Counter.gmem_bytes + (txns * cfg.Config.transaction_bytes)
+    c.Counter.gmem_bytes +. float_of_int (txns * cfg.Config.transaction_bytes)
 
 let gmem_coalesced w ~elems =
   if elems > 0 then begin
@@ -40,9 +41,10 @@ let charge_custom w ~instrs ~txns =
   let c = Warp.counter w in
   let cfg = Warp.cfg w in
   c.Counter.gmem_instrs <- c.Counter.gmem_instrs +. instrs;
-  c.Counter.gmem_transactions <- c.Counter.gmem_transactions + txns;
+  c.Counter.gmem_transactions <-
+    c.Counter.gmem_transactions +. float_of_int txns;
   c.Counter.gmem_bytes <-
-    c.Counter.gmem_bytes + (txns * cfg.Config.transaction_bytes)
+    c.Counter.gmem_bytes +. float_of_int (txns * cfg.Config.transaction_bytes)
 
 let gmem_strided_read w ~elems ~stride_bytes =
   if elems > 0 then begin

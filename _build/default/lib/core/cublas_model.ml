@@ -26,16 +26,20 @@ let tile_for s =
   | Some t -> t
   | None -> invalid_arg "Cublas_model: block size exceeds the largest tile"
 
+(* An empty batch is uniform by convention (size 0, handled as a no-op by
+   Sampling.run); [tile_for] is only consulted when there is work. *)
 let check_uniform (sizes : int array) name =
-  if Array.length sizes = 0 then invalid_arg (name ^ ": empty batch");
-  let s = sizes.(0) in
-  Array.iter
-    (fun x ->
-      if x <> s then
-        invalid_arg
-          (name ^ ": variable block size is not supported by the cuBLAS model"))
-    sizes;
-  s
+  if Array.length sizes = 0 then 0
+  else begin
+    let s = sizes.(0) in
+    Array.iter
+      (fun x ->
+        if x <> s then
+          invalid_arg
+            (name ^ ": variable block size is not supported by the cuBLAS model"))
+      sizes;
+    s
+  end
 
 let charge_scaled w f =
   (* Apply the generic overhead to compute slots only (memory traffic is
@@ -72,10 +76,10 @@ let charge_factor w ~s =
   Charge.gmem_coalesced w ~elems:s;
   Counter.credit_flops (Warp.counter w) (Flops.getrf s)
 
-let factor ?(cfg = Config.p100) ?(prec = Precision.Double)
-    ?(mode = Sampling.Exact) (b : Batch.t) =
+let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) (b : Batch.t) =
   let s = check_uniform b.Batch.sizes "Cublas_model.factor" in
-  ignore (tile_for s);
+  if b.Batch.count > 0 then ignore (tile_for s);
   let factors = Batch.create b.Batch.sizes in
   let pivots = Array.make b.Batch.count [||] in
   let kernel w i =
@@ -84,7 +88,9 @@ let factor ?(cfg = Config.p100) ?(prec = Precision.Double)
     pivots.(i) <- f.Lu.perm;
     charge_factor w ~s
   in
-  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:b.Batch.sizes ~kernel () in
+  let stats =
+    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+  in
   { factors; pivots; stats; exact = (mode = Sampling.Exact) }
 
 let charge_solve w ~s =
@@ -115,8 +121,9 @@ let charge_solve w ~s =
   Charge.gmem_coalesced w ~elems:s;
   Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s)
 
-let solve ?(cfg = Config.p100) ?(prec = Precision.Double)
-    ?(mode = Sampling.Exact) (r : result) (rhs : Batch.vec) =
+let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) (r : result)
+    (rhs : Batch.vec) =
   let s = check_uniform rhs.Batch.vsizes "Cublas_model.solve" in
   if r.factors.Batch.count <> rhs.Batch.vcount then
     invalid_arg "Cublas_model.solve: batch count mismatch";
@@ -127,5 +134,7 @@ let solve ?(cfg = Config.p100) ?(prec = Precision.Double)
     Batch.vec_set solutions i x;
     charge_solve w ~s
   in
-  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel () in
+  let stats =
+    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
+  in
   { solutions; solve_stats = stats; solve_exact = (mode = Sampling.Exact) }

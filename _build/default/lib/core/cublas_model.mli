@@ -49,15 +49,18 @@ val tile_sizes : int list
 
 val factor :
   ?cfg:Config.t ->
+  ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   Batch.t ->
   result
-(** [getrfBatched].  @raise Invalid_argument if the batch is not uniform
-    in size or exceeds the largest tile. *)
+(** [getrfBatched].  An empty batch is a defined no-op.
+    @raise Invalid_argument if the batch is not uniform in size or exceeds
+    the largest tile. *)
 
 val solve :
   ?cfg:Config.t ->
+  ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   result ->

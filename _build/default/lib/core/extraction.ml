@@ -24,8 +24,8 @@ let blocks_cover ~n ~block_starts ~block_sizes =
 
 let validate cfg (a : Csr.t) ~block_starts ~block_sizes =
   let k = Array.length block_starts in
-  if Array.length block_sizes <> k || k = 0 then
-    invalid_arg "Extraction: starts/sizes mismatch or empty";
+  if Array.length block_sizes <> k then
+    invalid_arg "Extraction: starts/sizes mismatch";
   let last = ref (-1) in
   for i = 0 to k - 1 do
     let st = block_starts.(i) and s = block_sizes.(i) in
@@ -178,9 +178,9 @@ let kernel_shared w dev gout ~off ~start ~s =
   done;
   store_block w gout ~off ~s dense
 
-let extract ?(cfg = Config.p100) ?(prec = Precision.Double)
-    ?(mode = Sampling.Exact) ?(strategy = Shared_memory) (a : Csr.t)
-    ~block_starts ~block_sizes =
+let extract ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact)
+    ?(strategy = Shared_memory) (a : Csr.t) ~block_starts ~block_sizes =
   validate cfg a ~block_starts ~block_sizes;
   let dev = stage prec a in
   let blocks = Batch.create block_sizes in
@@ -193,7 +193,9 @@ let extract ?(cfg = Config.p100) ?(prec = Precision.Double)
     | Row_per_thread -> kernel_naive w dev gout ~off ~start ~s
     | Shared_memory -> kernel_shared w dev gout ~off ~start ~s
   in
-  let stats = Sampling.run ~cfg ~prec ~mode ~sizes:block_sizes ~kernel () in
+  let stats =
+    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:block_sizes ~kernel ()
+  in
   let out = Batch.create block_sizes in
   let values = Gmem.to_array gout in
   Array.blit values 0 out.Batch.values 0 (Array.length values);

@@ -36,6 +36,7 @@ type result = {
 
 val extract :
   ?cfg:Config.t ->
+  ?pool:Vblu_par.Pool.t ->
   ?prec:Vblu_smallblas.Precision.t ->
   ?mode:Sampling.mode ->
   ?strategy:strategy ->

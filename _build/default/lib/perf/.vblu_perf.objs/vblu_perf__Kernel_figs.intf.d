@@ -1,1 +1,1 @@
-lib/perf/kernel_figs.mli: Format Report
+lib/perf/kernel_figs.mli: Format Report Vblu_par

@@ -1,1 +1,1 @@
-lib/perf/solver_study.ml: Array Block_jacobi Idr List Preconditioner Printf Solver Suite Supervariable Vblu_krylov Vblu_precond Vblu_sparse Vblu_workloads
+lib/perf/solver_study.ml: Array Block_jacobi Idr List Preconditioner Printf Solver Suite Supervariable Vblu_krylov Vblu_par Vblu_precond Vblu_sparse Vblu_workloads

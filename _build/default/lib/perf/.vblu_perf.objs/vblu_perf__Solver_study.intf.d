@@ -1,1 +1,1 @@
-lib/perf/solver_study.mli: Block_jacobi Suite Vblu_precond Vblu_workloads
+lib/perf/solver_study.mli: Block_jacobi Suite Vblu_par Vblu_precond Vblu_workloads

@@ -2,6 +2,14 @@ open Vblu_smallblas
 open Vblu_core
 module S = Vblu_simt.Sampling
 module L = Vblu_simt.Launch
+module Pool = Vblu_par.Pool
+
+(* Order-preserving parallel map over the rows of a sweep.  Each row builds
+   its own batches from fixed seeds and runs its kernels sequentially, so
+   rows are independent and the printed series is identical for any domain
+   count; parallelism is applied here (one level only) rather than inside
+   the Sampled-mode kernels, which execute just one warp per size class. *)
+let pmap pool f lst = Array.to_list (Pool.parallel_map pool f (Array.of_list lst))
 
 (* A uniform batch where only the representative block (index 0) carries
    data — all Sampled-mode runs execute exactly that block. *)
@@ -65,13 +73,13 @@ let size_sweep quick =
 
 let precisions = [ Precision.Single; Precision.Double ]
 
-let vs_batch_series ~stats_of ~what quick =
+let vs_batch_series ~stats_of ~what ~pool quick =
   List.concat_map
     (fun prec ->
       List.map
         (fun size ->
           let rows =
-            List.map
+            pmap pool
               (fun count ->
                 ( float_of_int count,
                   List.map
@@ -90,11 +98,11 @@ let vs_batch_series ~stats_of ~what quick =
         [ 16; 32 ])
     precisions
 
-let vs_size_series ~stats_of ~what ~count quick =
+let vs_size_series ~stats_of ~what ~count ~pool quick =
   List.map
     (fun prec ->
       let rows =
-        List.map
+        pmap pool
           (fun size ->
             ( float_of_int size,
               List.map (fun r -> gflops (stats_of ~prec ~count ~size r)) routines
@@ -111,39 +119,39 @@ let vs_size_series ~stats_of ~what ~count quick =
       })
     precisions
 
-let fig4_series ?(quick = false) () =
-  vs_batch_series ~stats_of:getrf_stats ~what:"GETRF" quick
+let fig4_series ?(quick = false) ?(pool = Pool.sequential) () =
+  vs_batch_series ~stats_of:getrf_stats ~what:"GETRF" ~pool quick
 
-let fig5_series ?(quick = false) () =
+let fig5_series ?(quick = false) ?(pool = Pool.sequential) () =
   vs_size_series ~stats_of:getrf_stats ~what:"GETRF"
     ~count:(if quick then 5_000 else 40_000)
-    quick
+    ~pool quick
 
-let fig6_series ?(quick = false) () =
-  vs_batch_series ~stats_of:trsv_stats ~what:"TRSV" quick
+let fig6_series ?(quick = false) ?(pool = Pool.sequential) () =
+  vs_batch_series ~stats_of:trsv_stats ~what:"TRSV" ~pool quick
 
-let fig7_series ?(quick = false) () =
+let fig7_series ?(quick = false) ?(pool = Pool.sequential) () =
   vs_size_series ~stats_of:trsv_stats ~what:"TRSV"
     ~count:(if quick then 5_000 else 40_000)
-    quick
+    ~pool quick
 
 let print_all ppf series = List.iter (Report.print_series ppf) series
 
-let fig4 ?quick ppf =
+let fig4 ?quick ?pool ppf =
   Report.section ppf "Figure 4 — batched factorization vs batch size";
-  print_all ppf (fig4_series ?quick ())
+  print_all ppf (fig4_series ?quick ?pool ())
 
-let fig5 ?quick ppf =
+let fig5 ?quick ?pool ppf =
   Report.section ppf "Figure 5 — batched factorization vs matrix size";
-  print_all ppf (fig5_series ?quick ())
+  print_all ppf (fig5_series ?quick ?pool ())
 
-let fig6 ?quick ppf =
+let fig6 ?quick ?pool ppf =
   Report.section ppf "Figure 6 — batched triangular solves vs batch size";
-  print_all ppf (fig6_series ?quick ())
+  print_all ppf (fig6_series ?quick ?pool ())
 
-let fig7 ?quick ppf =
+let fig7 ?quick ?pool ppf =
   Report.section ppf "Figure 7 — batched triangular solves vs matrix size";
-  print_all ppf (fig7_series ?quick ())
+  print_all ppf (fig7_series ?quick ?pool ())
 
 (* The pivoting ablation needs blocks that actually pivot: a diagonally
    dominant representative would never swap and the explicit kernel's row
@@ -155,14 +163,14 @@ let pivoting_batch ~count ~size =
   Batch.set_matrix b 0 (Matrix.random_general ~state:st size);
   b
 
-let ablation_pivot ?(quick = false) ppf =
+let ablation_pivot ?(quick = false) ?(pool = Pool.sequential) ppf =
   Report.section ppf
     "Ablation A — pivoting strategies in the register LU kernel";
   let count = if quick then 5_000 else 40_000 in
   List.iter
     (fun prec ->
       let rows =
-        List.map
+        pmap pool
           (fun size ->
             let b = pivoting_batch ~count ~size in
             let run pivoting =
@@ -189,13 +197,13 @@ let ablation_pivot ?(quick = false) ppf =
         })
     precisions
 
-let ablation_trsv ?(quick = false) ppf =
+let ablation_trsv ?(quick = false) ?(pool = Pool.sequential) ppf =
   Report.section ppf "Ablation B — eager vs lazy triangular solve";
   let count = if quick then 5_000 else 40_000 in
   List.iter
     (fun prec ->
       let rows =
-        List.map
+        pmap pool
           (fun size ->
             let b = representative_batch ~count ~size in
             let f = Batched_lu.factor ~prec ~mode:S.Sampled b in
@@ -235,14 +243,14 @@ let spd_representative_batch ~count ~size =
   Batch.set_matrix b 0 spd;
   b
 
-let ablation_cholesky ?(quick = false) ppf =
+let ablation_cholesky ?(quick = false) ?(pool = Pool.sequential) ppf =
   Report.section ppf
     "Ablation E — Cholesky (future-work kernel) vs pivoted LU on SPD batches";
   let count = if quick then 5_000 else 40_000 in
   List.iter
     (fun prec ->
       let rows =
-        List.map
+        pmap pool
           (fun size ->
             let b = spd_representative_batch ~count ~size in
             let rhs = Batch.vec_random b.Batch.sizes in
@@ -305,7 +313,7 @@ let blocking_batch ~target (entry : Vblu_workloads.Suite.entry) ~bound =
     sizes;
   (b, Array.fold_left max 0 sizes)
 
-let ablation_variable_size ?(quick = false) ppf =
+let ablation_variable_size ?(quick = false) ?(pool = Pool.sequential) ppf =
   Report.section ppf
     "Ablation F — variable-size batches from real supervariable blockings";
   let target = if quick then 5_000 else 40_000 in
@@ -356,7 +364,7 @@ let ablation_variable_size ?(quick = false) ppf =
     @ List.map (fun (name, sizes) -> (name, batch_of_sizes sizes)) synthetic
   in
   let rows =
-    List.map
+    pmap pool
       (fun (name, (b, max_size)) ->
         let lu = Batched_lu.factor ~prec ~mode:S.Sampled b in
         let gh = Batched_gh.factor ~prec ~mode:S.Sampled b in
@@ -400,7 +408,7 @@ let ablation_variable_size ?(quick = false) ppf =
       ]
     ~rows
 
-let ablation_extraction ?(quick = false) ppf =
+let ablation_extraction ?(quick = false) ?(pool = Pool.sequential) ppf =
   Report.section ppf
     "Ablation C — diagonal-block extraction strategies (balanced vs unbalanced)";
   let block_size = 16 in
@@ -425,7 +433,7 @@ let ablation_extraction ?(quick = false) ppf =
     ]
   in
   let rows =
-    List.map
+    pmap pool
       (fun (name, a) ->
         let n, _ = Vblu_sparse.Csr.dims a in
         let starts, sizes = mk_blocking n in

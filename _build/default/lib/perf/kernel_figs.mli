@@ -5,47 +5,52 @@
     [Sampled] mode (one functional warp per size class, counters scaled by
     the class population — see {!Vblu_simt.Sampling}) and print the same
     series the paper plots.  The expected qualitative shapes are recorded
-    in EXPERIMENTS.md. *)
+    in EXPERIMENTS.md.
 
-val fig4 : ?quick:bool -> Format.formatter -> unit
+    Every driver takes an optional [?pool] ({!Vblu_par.Pool.t}); the rows
+    of each sweep are independent (fixed per-row seeds) and are mapped
+    over the pool's domains, so the printed numbers are identical for any
+    domain count. *)
+
+val fig4 : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
 (** Figure 4: GFLOPS of batched factorization (small-size LU, GH, GH-T,
     cuBLAS model) vs batch size, for block sizes 16 and 32, SP and DP. *)
 
-val fig4_series : ?quick:bool -> unit -> Report.series list
+val fig4_series : ?quick:bool -> ?pool:Vblu_par.Pool.t -> unit -> Report.series list
 (** The raw data behind {!fig4} — for CSV export ({!Report.csv_of_series})
     and for the shape-assertion tests. *)
 
-val fig5_series : ?quick:bool -> unit -> Report.series list
-val fig6_series : ?quick:bool -> unit -> Report.series list
-val fig7_series : ?quick:bool -> unit -> Report.series list
+val fig5_series : ?quick:bool -> ?pool:Vblu_par.Pool.t -> unit -> Report.series list
+val fig6_series : ?quick:bool -> ?pool:Vblu_par.Pool.t -> unit -> Report.series list
+val fig7_series : ?quick:bool -> ?pool:Vblu_par.Pool.t -> unit -> Report.series list
 
-val fig5 : ?quick:bool -> Format.formatter -> unit
+val fig5 : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
 (** Figure 5: factorization GFLOPS vs matrix size (2…32) at batch
     40,000, SP and DP. *)
 
-val fig6 : ?quick:bool -> Format.formatter -> unit
+val fig6 : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
 (** Figure 6: triangular-solve GFLOPS vs batch size, sizes 16 and 32. *)
 
-val fig7 : ?quick:bool -> Format.formatter -> unit
+val fig7 : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
 (** Figure 7: triangular-solve GFLOPS vs matrix size at batch 40,000. *)
 
-val ablation_pivot : ?quick:bool -> Format.formatter -> unit
+val ablation_pivot : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
 (** Implicit vs explicit vs no pivoting in the register LU kernel
     (Section III-A's motivation for implicit pivoting). *)
 
-val ablation_trsv : ?quick:bool -> Format.formatter -> unit
+val ablation_trsv : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
 (** Eager (AXPY) vs lazy (DOT) triangular-solve variants
     (Section III-B / Figure 2). *)
 
-val ablation_extraction : ?quick:bool -> Format.formatter -> unit
+val ablation_extraction : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
 (** Shared-memory vs row-per-thread extraction on a balanced (Laplacian)
     and an unbalanced (circuit-like) matrix (Section III-C / Figure 3). *)
 
-val ablation_cholesky : ?quick:bool -> Format.formatter -> unit
+val ablation_cholesky : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
 (** The paper's future-work Cholesky kernel vs the pivoted LU on SPD
     batches: factorization and solve throughput by block size. *)
 
-val ablation_variable_size : ?quick:bool -> Format.formatter -> unit
+val ablation_variable_size : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
 (** The scenario the paper's title is about and no figure isolates:
     batches whose block-size distribution comes from actual supervariable
     blockings of the workload suite.  Compares the variable-size LU/GH

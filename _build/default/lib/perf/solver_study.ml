@@ -1,6 +1,7 @@
 open Vblu_workloads
 open Vblu_precond
 open Vblu_krylov
+module Pool = Vblu_par.Pool
 
 type run = {
   entry : Suite.entry;
@@ -34,39 +35,45 @@ let one_run entry a b variant bound =
     blocks = Array.length info.Block_jacobi.blocking.Supervariable.starts;
   }
 
-let run_suite ?(quick = false) ?(progress = fun _ -> ()) () =
+let run_suite ?(quick = false) ?(pool = Pool.sequential) ?(progress = fun _ -> ())
+    () =
   let entries =
     if quick then List.filteri (fun i _ -> i < 12) Suite.all else Suite.all
   in
   let swept_bounds = if quick then [ 8; 32 ] else bounds in
-  let runs =
-    List.concat_map
-      (fun entry ->
-        let a = Suite.matrix entry in
-        let n, _ = Vblu_sparse.Csr.dims a in
-        let b = Array.make n 1.0 in
-        progress
-          (Printf.sprintf "%2d/%d %s (n=%d, nnz=%d)" entry.Suite.id
-             (List.length entries) entry.Suite.name n (Vblu_sparse.Csr.nnz a));
-        let scalar = one_run entry a b Block_jacobi.Scalar 1 in
-        let swept =
-          List.concat_map
-            (fun bound ->
-              [
-                one_run entry a b Block_jacobi.Lu bound;
-                one_run entry a b Block_jacobi.Gh bound;
-              ])
-            swept_bounds
-        in
-        let extra =
+  (* One task per suite matrix, mapped over the pool's domains.  Numerics
+     are deterministic per entry, and parallel_map preserves entry order,
+     so iteration counts and run ordering are identical for any domain
+     count — only the wall-clock fields vary. *)
+  let per_entry entry =
+    let a = Suite.matrix entry in
+    let n, _ = Vblu_sparse.Csr.dims a in
+    let b = Array.make n 1.0 in
+    progress
+      (Printf.sprintf "%2d/%d %s (n=%d, nnz=%d)" entry.Suite.id
+         (List.length entries) entry.Suite.name n (Vblu_sparse.Csr.nnz a));
+    let scalar = one_run entry a b Block_jacobi.Scalar 1 in
+    let swept =
+      List.concat_map
+        (fun bound ->
           [
-            one_run entry a b Block_jacobi.Ght 32;
-            one_run entry a b Block_jacobi.Gje_inverse 32;
-          ]
-        in
-        (scalar :: swept) @ extra)
-      entries
+            one_run entry a b Block_jacobi.Lu bound;
+            one_run entry a b Block_jacobi.Gh bound;
+          ])
+        swept_bounds
+    in
+    let extra =
+      [
+        one_run entry a b Block_jacobi.Ght 32;
+        one_run entry a b Block_jacobi.Gje_inverse 32;
+      ]
+    in
+    (scalar :: swept) @ extra
   in
+  let per_entry_runs =
+    Pool.parallel_map pool per_entry (Array.of_list entries)
+  in
+  let runs = List.concat (Array.to_list per_entry_runs) in
   { runs; bounds = swept_bounds }
 
 let find t entry variant bound =

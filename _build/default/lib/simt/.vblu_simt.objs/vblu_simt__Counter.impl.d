@@ -1,1 +1,1 @@
-lib/simt/counter.ml: Format
+lib/simt/counter.ml: Float Format

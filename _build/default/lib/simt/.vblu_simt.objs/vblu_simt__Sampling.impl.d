@@ -1,1 +1,1 @@
-lib/simt/sampling.ml: Array Config Counter Hashtbl Launch List Warp
+lib/simt/sampling.ml: Array Config Counter Hashtbl Launch List Pool Vblu_par Warp

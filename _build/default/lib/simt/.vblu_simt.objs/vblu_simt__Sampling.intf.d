@@ -1,1 +1,1 @@
-lib/simt/sampling.mli: Config Launch Precision Vblu_smallblas Warp
+lib/simt/sampling.mli: Config Launch Pool Precision Vblu_par Vblu_smallblas Warp

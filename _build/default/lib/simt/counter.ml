@@ -4,8 +4,8 @@ type t = {
   mutable shfl_instrs : float;
   mutable smem_accesses : float;
   mutable gmem_instrs : float;
-  mutable gmem_transactions : int;
-  mutable gmem_bytes : int;
+  mutable gmem_transactions : float;
+  mutable gmem_bytes : float;
   mutable gmem_rounds : int;
   mutable useful_flops : float;
 }
@@ -17,8 +17,8 @@ let create () =
     shfl_instrs = 0.0;
     smem_accesses = 0.0;
     gmem_instrs = 0.0;
-    gmem_transactions = 0;
-    gmem_bytes = 0;
+    gmem_transactions = 0.0;
+    gmem_bytes = 0.0;
     gmem_rounds = 0;
     useful_flops = 0.0;
   }
@@ -29,8 +29,8 @@ let add acc x =
   acc.shfl_instrs <- acc.shfl_instrs +. x.shfl_instrs;
   acc.smem_accesses <- acc.smem_accesses +. x.smem_accesses;
   acc.gmem_instrs <- acc.gmem_instrs +. x.gmem_instrs;
-  acc.gmem_transactions <- acc.gmem_transactions + x.gmem_transactions;
-  acc.gmem_bytes <- acc.gmem_bytes + x.gmem_bytes;
+  acc.gmem_transactions <- acc.gmem_transactions +. x.gmem_transactions;
+  acc.gmem_bytes <- acc.gmem_bytes +. x.gmem_bytes;
   acc.gmem_rounds <- max acc.gmem_rounds x.gmem_rounds;
   acc.useful_flops <- acc.useful_flops +. x.useful_flops
 
@@ -41,8 +41,10 @@ let scale_into x f =
     shfl_instrs = x.shfl_instrs *. f;
     smem_accesses = x.smem_accesses *. f;
     gmem_instrs = x.gmem_instrs *. f;
-    gmem_transactions = int_of_float (ceil (float_of_int x.gmem_transactions *. f));
-    gmem_bytes = int_of_float (ceil (float_of_int x.gmem_bytes *. f));
+    (* Scaled exactly; consumers round once on the final totals, so Sampled
+       extrapolation no longer picks up a spurious transaction per class. *)
+    gmem_transactions = x.gmem_transactions *. f;
+    gmem_bytes = x.gmem_bytes *. f;
     gmem_rounds = x.gmem_rounds;
     useful_flops = x.useful_flops *. f;
   }
@@ -52,8 +54,12 @@ let credit_flops t f = t.useful_flops <- t.useful_flops +. f
 let total_instrs t =
   t.fma_instrs +. t.div_instrs +. t.shfl_instrs +. t.smem_accesses
 
+let transactions t = int_of_float (Float.round t.gmem_transactions)
+
+let bytes t = int_of_float (Float.round t.gmem_bytes)
+
 let pp ppf t =
   Format.fprintf ppf
-    "fma=%.0f div=%.0f shfl=%.0f smem=%.0f gmem_ld=%.0f gmem_txn=%d gmem_bytes=%d rounds=%d flops=%.0f"
+    "fma=%.0f div=%.0f shfl=%.0f smem=%.0f gmem_ld=%.0f gmem_txn=%.0f gmem_bytes=%.0f rounds=%d flops=%.0f"
     t.fma_instrs t.div_instrs t.shfl_instrs t.smem_accesses t.gmem_instrs t.gmem_transactions
     t.gmem_bytes t.gmem_rounds t.useful_flops

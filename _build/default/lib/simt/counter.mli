@@ -17,8 +17,13 @@ type t = {
   mutable gmem_instrs : float;
       (** global load/store instructions issued (issue cost, distinct from
           the transferred bytes). *)
-  mutable gmem_transactions : int;
-  mutable gmem_bytes : int;
+  mutable gmem_transactions : float;
+      (** 32-byte global-memory transactions.  Held as a float so that
+          size-class scaling ({!scale_into}) stays exact; round once when
+          the total is consumed (see {!transactions}). *)
+  mutable gmem_bytes : float;
+      (** bytes moved over the global-memory interface (float, same
+          rationale as [gmem_transactions]). *)
   mutable gmem_rounds : int;
       (** dependent global-memory round-trips (each adds a latency term to
           the single-warp critical path). *)
@@ -32,7 +37,15 @@ val add : t -> t -> unit
 
 val scale_into : t -> float -> t
 (** [scale_into x f] returns a fresh counter holding [x] scaled by [f] —
-    used when one representative warp stands for a whole size class. *)
+    used when one representative warp stands for a whole size class.  The
+    scaled transaction/byte counts are kept exact (no per-class rounding),
+    so [Sampled] extrapolation matches [Exact] accumulation. *)
+
+val transactions : t -> int
+(** Global-memory transaction total, rounded to the nearest integer. *)
+
+val bytes : t -> int
+(** Global-memory byte total, rounded to the nearest integer. *)
 
 val credit_flops : t -> float -> unit
 

@@ -41,7 +41,7 @@ let time ?(cfg = Config.p100) ~prec ~warps ~total ~max_warp () =
     /. clock_hz
   in
   let mem_s =
-    float_of_int total.Counter.gmem_bytes
+    total.Counter.gmem_bytes
     /. (cfg.Config.mem_bandwidth_gbs *. cfg.Config.mem_efficiency *. 1e9)
   in
   let time_s =
@@ -51,9 +51,21 @@ let time ?(cfg = Config.p100) ~prec ~warps ~total ~max_warp () =
   {
     time_us = time_s *. 1e6;
     gflops = total.Counter.useful_flops /. time_s /. 1e9;
-    bandwidth_gbs = float_of_int total.Counter.gmem_bytes /. time_s /. 1e9;
+    bandwidth_gbs = total.Counter.gmem_bytes /. time_s /. 1e9;
     warps;
     total;
+  }
+
+(* Defined result for an empty batch: no warps ran, no time was modelled.
+   [time] itself still rejects [warps <= 0] — callers that reach it must
+   have work — so empty batches short-circuit here instead. *)
+let empty_stats () =
+  {
+    time_us = 0.0;
+    gflops = 0.0;
+    bandwidth_gbs = 0.0;
+    warps = 0;
+    total = Counter.create ();
   }
 
 let pp_stats ppf s =

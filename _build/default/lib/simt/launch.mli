@@ -38,6 +38,12 @@ val time :
   stats
 (** [time ~prec ~warps ~total ~max_warp ()] models a kernel launch of
     [warps] warps whose aggregate counters are [total] and whose heaviest
-    single warp is [max_warp]. *)
+    single warp is [max_warp].
+    @raise Invalid_argument when [warps <= 0]; empty batches are handled
+    upstream with {!empty_stats}. *)
+
+val empty_stats : unit -> stats
+(** The defined result for an empty batch: zero time, zero rates, zero
+    warps, and a fresh all-zero counter. *)
 
 val pp_stats : Format.formatter -> stats -> unit

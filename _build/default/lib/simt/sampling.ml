@@ -1,50 +1,72 @@
+open Vblu_par
 
 type mode = Exact | Sampled
 
-let run ?(cfg = Config.p100) ~prec ~mode ~sizes ~kernel () =
+(* Both modes funnel every observed warp counter through a single sequential
+   fold ([observe]) in problem-index (resp. sorted-class) order.  The
+   parallel paths only parallelize the *kernel execution*, storing each
+   warp's counter at its own index; the fold then runs in the caller in the
+   same fixed order as the sequential path, so float accumulation order and
+   max-warp tie-breaking — and therefore the modelled time — are
+   bit-identical regardless of the domain count. *)
+let run ?(cfg = Config.p100) ?(pool = Pool.sequential) ~prec ~mode ~sizes
+    ~kernel () =
   let n = Array.length sizes in
-  if n = 0 then invalid_arg "Sampling.run: empty batch";
-  let total = Counter.create () in
-  let max_warp = ref (Counter.create ()) in
-  let max_cycles = ref (-1.0) in
-  let observe c =
-    Counter.add total c;
-    let cy = Launch.warp_cycles cfg prec c in
-    if cy > !max_cycles then begin
-      max_cycles := cy;
-      max_warp := c
-    end
-  in
-  (match mode with
-  | Exact ->
-    for i = 0 to n - 1 do
+  if n = 0 then Launch.empty_stats ()
+  else begin
+    let total = Counter.create () in
+    let max_warp = ref (Counter.create ()) in
+    let max_cycles = ref (-1.0) in
+    let observe c =
+      Counter.add total c;
+      let cy = Launch.warp_cycles cfg prec c in
+      if cy > !max_cycles then begin
+        max_cycles := cy;
+        max_warp := c
+      end
+    in
+    let run_warp i =
       let w = Warp.create ~cfg prec () in
       kernel w i;
-      observe (Warp.counter w)
-    done
-  | Sampled ->
-    (* One representative (the first occurrence) per distinct size. *)
-    let seen = Hashtbl.create 8 in
-    Array.iteri
-      (fun i s ->
-        match Hashtbl.find_opt seen s with
-        | Some (rep, count) -> Hashtbl.replace seen s (rep, count + 1)
-        | None -> Hashtbl.add seen s (i, 1))
-      sizes;
-    let classes =
-      Hashtbl.fold (fun _ (rep, count) acc -> (rep, count) :: acc) seen []
-      |> List.sort compare
+      Warp.counter w
     in
-    List.iter
-      (fun (rep, count) ->
-        let w = Warp.create ~cfg prec () in
-        kernel w rep;
-        let c = Warp.counter w in
-        let cy = Launch.warp_cycles cfg prec c in
-        if cy > !max_cycles then begin
-          max_cycles := cy;
-          max_warp := c
-        end;
-        Counter.add total (Counter.scale_into c (float_of_int count)))
-      classes);
-  Launch.time ~cfg ~prec ~warps:n ~total ~max_warp:!max_warp ()
+    (match mode with
+    | Exact ->
+      if Pool.num_domains pool = 1 || n = 1 then
+        for i = 0 to n - 1 do
+          observe (run_warp i)
+        done
+      else begin
+        let counters = Pool.parallel_init pool n run_warp in
+        Array.iter observe counters
+      end
+    | Sampled ->
+      (* One representative (the first occurrence) per distinct size. *)
+      let seen = Hashtbl.create 8 in
+      Array.iteri
+        (fun i s ->
+          match Hashtbl.find_opt seen s with
+          | Some (rep, count) -> Hashtbl.replace seen s (rep, count + 1)
+          | None -> Hashtbl.add seen s (i, 1))
+        sizes;
+      let classes =
+        Hashtbl.fold (fun _ (rep, count) acc -> (rep, count) :: acc) seen []
+        |> List.sort compare |> Array.of_list
+      in
+      let counters =
+        if Pool.num_domains pool = 1 || Array.length classes = 1 then
+          Array.map (fun (rep, _) -> run_warp rep) classes
+        else Pool.parallel_map pool (fun (rep, _) -> run_warp rep) classes
+      in
+      Array.iteri
+        (fun k (_, count) ->
+          let c = counters.(k) in
+          let cy = Launch.warp_cycles cfg prec c in
+          if cy > !max_cycles then begin
+            max_cycles := cy;
+            max_warp := c
+          end;
+          Counter.add total (Counter.scale_into c (float_of_int count)))
+        classes);
+    Launch.time ~cfg ~prec ~warps:n ~total ~max_warp:!max_warp ()
+  end

@@ -10,9 +10,17 @@
     runs one representative warp per distinct problem size and scales its
     counters by the class population.  The test suite checks that the two
     modes agree on the modelled counters; result-consuming code (the
-    preconditioner setup) always uses [Exact]. *)
+    preconditioner setup) always uses [Exact].
+
+    Both modes optionally fan the independent warps (resp. size-class
+    representatives) out over the domains of a {!Vblu_par.Pool.t}.  Each
+    warp owns a private {!Counter.t} stored at its problem index; the
+    counters are merged by a single sequential fold in problem-index order
+    after all domains join, so totals, max-warp selection and the modelled
+    time are bit-identical to the sequential run for every domain count. *)
 
 open Vblu_smallblas
+open Vblu_par
 
 type mode =
   | Exact
@@ -20,6 +28,7 @@ type mode =
 
 val run :
   ?cfg:Config.t ->
+  ?pool:Pool.t ->
   prec:Precision.t ->
   mode:mode ->
   sizes:int array ->
@@ -30,4 +39,10 @@ val run :
     problem [i] (or one representative per size class in [Sampled] mode;
     representatives are the first index of each class) on a fresh warp, and
     feeds the counters to {!Launch.time}.
-    @raise Invalid_argument on an empty batch. *)
+
+    [?pool] (default {!Pool.sequential}) distributes the independent warps
+    over domains; results are deterministic and bit-identical to the
+    sequential path.  Kernels must confine their writes to per-problem
+    state (all kernels in [lib/core] do).
+
+    An empty batch is a defined no-op returning {!Launch.empty_stats}. *)

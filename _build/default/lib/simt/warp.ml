@@ -126,9 +126,11 @@ let count_transactions t mem addrs act =
   let min_txns = max 1 ((!active + seg_elems - 1) / seg_elems) in
   let replays = Float.max 1.0 (float_of_int n /. float_of_int min_txns /. 2.0) in
   t.counter.Counter.gmem_instrs <- t.counter.Counter.gmem_instrs +. replays;
-  t.counter.Counter.gmem_transactions <- t.counter.Counter.gmem_transactions + n;
+  t.counter.Counter.gmem_transactions <-
+    t.counter.Counter.gmem_transactions +. float_of_int n;
   t.counter.Counter.gmem_bytes <-
-    t.counter.Counter.gmem_bytes + (n * t.cfg.Config.transaction_bytes)
+    t.counter.Counter.gmem_bytes
+    +. float_of_int (n * t.cfg.Config.transaction_bytes)
 
 let load t mem ?active addrs =
   check_lanes t addrs "Warp.load";

@@ -1,1 +1,1 @@
-test/test_par.ml: Alcotest Array List Pool QCheck QCheck_alcotest Vblu_par
+test/test_par.ml: Alcotest Array Float List Pool QCheck QCheck_alcotest Vblu_par

@@ -1,1 +1,1 @@
-test/test_simt.ml: Alcotest Array Config Counter Gmem Launch List Precision Printf Sampling Vblu_simt Vblu_smallblas Warp
+test/test_simt.ml: Alcotest Array Config Counter Float Gmem Launch List Precision Printf QCheck QCheck_alcotest Sampling Vblu_par Vblu_simt Vblu_smallblas Warp

@@ -43,9 +43,74 @@ let test_batch_validation () =
   Alcotest.check_raises "non-positive size"
     (Invalid_argument "Batch: non-positive block size") (fun () ->
       ignore (Batch.create [| 3; 0 |]));
-  Alcotest.check_raises "empty of_matrices"
-    (Invalid_argument "Batch.of_matrices: empty") (fun () ->
-      ignore (Batch.of_matrices [||]))
+  (* An empty batch is a legal value, not an error. *)
+  let e = Batch.of_matrices [||] in
+  Alcotest.(check int) "empty of_matrices" 0 (Batch.count e);
+  Alcotest.(check int) "no values" 0 (Array.length e.Batch.values);
+  let v = Batch.vec_of_vectors [||] in
+  Alcotest.(check int) "empty vec_of_vectors" 0 v.Batch.vcount
+
+let test_empty_batch_noops () =
+  (* Every batched kernel must accept an empty batch and return empty
+     results with zeroed stats (satellite: empty batches are defined
+     no-ops, not crashes). *)
+  let e = Batch.create [||] in
+  let zero (s : L.stats) =
+    Alcotest.(check int) "no warps" 0 s.L.warps;
+    check_float "zero time" 0.0 s.L.time_us;
+    check_float "zero gflops" 0.0 s.L.gflops
+  in
+  let lu = Batched_lu.factor e in
+  Alcotest.(check int) "lu factors empty" 0 (Batch.count lu.Batched_lu.factors);
+  zero lu.Batched_lu.stats;
+  let rhs = Batch.vec_create [||] in
+  let tr =
+    Batched_trsv.solve ~factors:lu.Batched_lu.factors
+      ~pivots:lu.Batched_lu.pivots rhs
+  in
+  Alcotest.(check int) "trsv solutions empty" 0
+    tr.Batched_trsv.solutions.Batch.vcount;
+  zero tr.Batched_trsv.stats;
+  let gh = Batched_gh.factor e in
+  zero gh.Batched_gh.stats;
+  let gje = Batched_gje.invert e in
+  zero gje.Batched_gje.stats;
+  let ch = Batched_cholesky.factor e in
+  zero ch.Batched_cholesky.stats;
+  let gm = Batched_gemm.multiply ~a:e ~b:e () in
+  zero gm.Batched_gemm.stats;
+  let cb = Cublas_model.factor e in
+  Alcotest.(check int) "cublas factors empty" 0
+    (Batch.count cb.Cublas_model.factors);
+  zero cb.Cublas_model.stats;
+  let cbs = Cublas_model.solve cb rhs in
+  zero cbs.Cublas_model.solve_stats
+
+let test_pool_matches_sequential () =
+  (* Tentpole determinism check at the kernel API: running a batch through
+     a multi-domain pool is bit-identical to the sequential path — same
+     factors, pivots, and modelled stats. *)
+  let b = general_batch 60 ~count:37 ~min_size:1 ~max_size:32 in
+  let pool = Vblu_par.Pool.create ~num_domains:4 () in
+  let seq = Batched_lu.factor b in
+  let par = Batched_lu.factor ~pool b in
+  check_float "factors bitwise equal" 0.0
+    (Vector.max_abs_diff seq.Batched_lu.factors.Batch.values
+       par.Batched_lu.factors.Batch.values);
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check (array int)) "pivots equal" p par.Batched_lu.pivots.(i))
+    seq.Batched_lu.pivots;
+  Alcotest.(check bool) "time bit-identical" true
+    (Float.equal seq.Batched_lu.stats.L.time_us par.Batched_lu.stats.L.time_us);
+  Alcotest.(check bool) "gflops bit-identical" true
+    (Float.equal seq.Batched_lu.stats.L.gflops par.Batched_lu.stats.L.gflops);
+  (* And in sampled mode, where the pool maps over size classes. *)
+  let seq_s = Batched_lu.factor ~mode:S.Sampled b in
+  let par_s = Batched_lu.factor ~mode:S.Sampled ~pool b in
+  Alcotest.(check bool) "sampled time bit-identical" true
+    (Float.equal seq_s.Batched_lu.stats.L.time_us
+       par_s.Batched_lu.stats.L.time_us)
 
 let test_vec_batch () =
   let v = Batch.vec_of_vectors [| [| 1.0; 2.0 |]; [| 3.0 |] |] in
@@ -665,6 +730,10 @@ let () =
           Alcotest.test_case "set matrix" `Quick test_batch_set_matrix;
           Alcotest.test_case "validation" `Quick test_batch_validation;
           Alcotest.test_case "vector batches" `Quick test_vec_batch;
+          Alcotest.test_case "empty batches are no-ops" `Quick
+            test_empty_batch_noops;
+          Alcotest.test_case "pool = sequential" `Quick
+            test_pool_matches_sequential;
         ] );
       ( "batched-lu",
         [

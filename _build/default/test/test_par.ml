@@ -46,6 +46,45 @@ let test_num_domains () =
   Alcotest.(check bool) "probe positive" true
     (Pool.num_domains (Pool.create ()) >= 1)
 
+(* The pool-bugfix regression: n=5 over 4 domains used to produce chunks
+   2,2,1,0 — a spawned domain with no work.  Now every chunk is non-empty
+   and the remainder is spread one element at a time. *)
+let test_chunk_bounds_balanced () =
+  let pool = Pool.create ~num_domains:4 () in
+  Alcotest.(check (array (pair int int)))
+    "n=5 over 4 domains: 2,1,1,1"
+    [| (0, 2); (2, 3); (3, 4); (4, 5) |]
+    (Pool.chunk_bounds pool ~lo:0 ~hi:5);
+  Alcotest.(check (array (pair int int)))
+    "n=2 over 4 domains: only 2 chunks"
+    [| (10, 11); (11, 12) |]
+    (Pool.chunk_bounds pool ~lo:10 ~hi:12);
+  Alcotest.(check (array (pair int int))) "empty range" [||]
+    (Pool.chunk_bounds pool ~lo:3 ~hi:3)
+
+let chunk_bounds_invariants ~domains ~lo ~hi =
+  let pool = Pool.create ~num_domains:domains () in
+  let bounds = Pool.chunk_bounds pool ~lo ~hi in
+  let n = max 0 (hi - lo) in
+  (if n = 0 then bounds = [||]
+   else
+     Array.length bounds = min domains n
+     && fst bounds.(0) = lo
+     && snd bounds.(Array.length bounds - 1) = hi)
+  && Array.for_all (fun (clo, chi) -> chi > clo) bounds
+  && Array.for_all
+       (fun i -> snd bounds.(i - 1) = fst bounds.(i))
+       (Array.init (max 0 (Array.length bounds - 1)) (fun i -> i + 1))
+  &&
+  let sizes = Array.map (fun (clo, chi) -> chi - clo) bounds in
+  Array.length sizes = 0
+  ||
+  let mn = Array.fold_left min max_int sizes
+  and mx = Array.fold_left max 0 sizes in
+  mx - mn <= 1
+
+let domains_gen = QCheck.Gen.oneofl [ 1; 2; 4; 7 ]
+
 let qcheck_tests =
   [
     QCheck.Test.make ~count:30 ~name:"parallel_map = Array.map"
@@ -54,6 +93,50 @@ let qcheck_tests =
         let pool = Pool.create ~num_domains:domains () in
         let a = Array.of_list xs in
         Pool.parallel_map pool (fun x -> x + 1) a = Array.map (fun x -> x + 1) a);
+    QCheck.Test.make ~count:100
+      ~name:"chunk_bounds: ordered partition, no empty chunks, sizes within 1"
+      QCheck.(pair (int_range 1 9) (pair (int_range (-3) 40) (int_range 0 40)))
+      (fun (domains, (lo, len)) ->
+        chunk_bounds_invariants ~domains ~lo ~hi:(lo + len));
+    (* Satellite: parallel_for over any domain count behaves exactly like
+       Pool.sequential — same per-index visit counts, same merged sum. *)
+    QCheck.Test.make ~count:50
+      ~name:"parallel_for ~domains:{1,2,4,7} = sequential (visits and sum)"
+      QCheck.(pair (QCheck.make domains_gen) (int_range 0 60))
+      (fun (domains, n) ->
+        let run pool =
+          let hits = Array.make (max n 1) 0 in
+          let sums = Array.make (max n 1) 0.0 in
+          Pool.parallel_for pool ~lo:0 ~hi:n (fun i ->
+              hits.(i) <- hits.(i) + 1;
+              sums.(i) <- sqrt (float_of_int (i + 1)));
+          (hits, Array.fold_left ( +. ) 0.0 sums)
+        in
+        let h_seq, s_seq = run Pool.sequential in
+        let h_par, s_par = run (Pool.create ~num_domains:domains ()) in
+        h_seq = h_par && Float.equal s_seq s_par);
+    QCheck.Test.make ~count:50
+      ~name:"parallel_map ~domains:{1,2,4,7} = sequential map"
+      QCheck.(pair (QCheck.make domains_gen) (small_list (int_range (-1000) 1000)))
+      (fun (domains, xs) ->
+        let a = Array.of_list xs in
+        let f x = float_of_int x *. 1.5 in
+        let seq = Pool.parallel_map Pool.sequential f a in
+        let par = Pool.parallel_map (Pool.create ~num_domains:domains ()) f a in
+        Array.length seq = Array.length par
+        && Array.for_all2 Float.equal seq par);
+    QCheck.Test.make ~count:30
+      ~name:"exception propagation independent of domain count"
+      QCheck.(pair (QCheck.make domains_gen) (int_range 1 50))
+      (fun (domains, n) ->
+        let pool = Pool.create ~num_domains:domains () in
+        let bad = n / 2 in
+        match
+          Pool.parallel_for pool ~lo:0 ~hi:n (fun i ->
+              if i = bad then failwith "boom")
+        with
+        | () -> false
+        | exception Failure msg -> msg = "boom");
   ]
   |> List.map QCheck_alcotest.to_alcotest
 
@@ -69,6 +152,8 @@ let () =
           Alcotest.test_case "init" `Quick test_parallel_init;
           Alcotest.test_case "exceptions" `Quick test_exception_propagates;
           Alcotest.test_case "num_domains" `Quick test_num_domains;
+          Alcotest.test_case "chunk bounds balanced" `Quick
+            test_chunk_bounds_balanced;
         ] );
       ("properties", qcheck_tests);
     ]

@@ -109,7 +109,7 @@ let test_coalescing_counts () =
     let w = fresh () in
     let mem = Gmem.create Precision.Double 4096 in
     f w mem;
-    (Warp.counter w).Counter.gmem_transactions
+    Counter.transactions (Warp.counter w)
   in
   (* 32 consecutive doubles = 8 transactions of 32 B. *)
   Alcotest.(check int) "coalesced" 8
@@ -123,7 +123,7 @@ let test_coalescing_counts () =
   let mem = Gmem.create Precision.Single 4096 in
   ignore (Warp.load w mem (Array.init 32 (fun i -> i)));
   Alcotest.(check int) "single coalesced" 4
-    (Warp.counter w).Counter.gmem_transactions
+    (Counter.transactions (Warp.counter w))
 
 let test_inactive_lanes_no_traffic () =
   let w = fresh () in
@@ -131,7 +131,7 @@ let test_inactive_lanes_no_traffic () =
   let active = Array.init 32 (fun i -> i = 0) in
   ignore (Warp.load w mem ~active (Array.init 32 (fun i -> i * 100)));
   Alcotest.(check int) "one active lane = one transaction" 1
-    (Warp.counter w).Counter.gmem_transactions
+    (Counter.transactions (Warp.counter w))
 
 let test_gmem_precision_staging () =
   let mem = Gmem.of_array Precision.Single [| 0.1 |] in
@@ -157,16 +157,31 @@ let test_smem_bank_conflicts () =
 let test_counter_add_scale () =
   let a = Counter.create () in
   a.Counter.fma_instrs <- 2.0;
-  a.Counter.gmem_bytes <- 100;
+  a.Counter.gmem_bytes <- 100.0;
   a.Counter.gmem_rounds <- 2;
   let b = Counter.scale_into a 3.0 in
   check_float "scaled fma" 6.0 b.Counter.fma_instrs;
-  Alcotest.(check int) "scaled bytes" 300 b.Counter.gmem_bytes;
+  Alcotest.(check int) "scaled bytes" 300 (Counter.bytes b);
   Alcotest.(check int) "rounds not scaled" 2 b.Counter.gmem_rounds;
   let acc = Counter.create () in
   Counter.add acc a;
   Counter.add acc b;
   check_float "accumulated" 8.0 acc.Counter.fma_instrs
+
+let test_counter_scale_no_ceil () =
+  (* Fractional scale factors must accumulate exactly — the old per-class
+     [ceil] injected up to one spurious transaction per size class. *)
+  let a = Counter.create () in
+  a.Counter.gmem_transactions <- 3.0;
+  a.Counter.gmem_bytes <- 96.0;
+  let b = Counter.scale_into a 2.5 in
+  check_float "exact scaled txns" 7.5 b.Counter.gmem_transactions;
+  check_float "exact scaled bytes" 240.0 b.Counter.gmem_bytes;
+  (* Two half-scaled classes sum back to the exact total. *)
+  let acc = Counter.create () in
+  Counter.add acc (Counter.scale_into a 0.5);
+  Counter.add acc (Counter.scale_into a 0.5);
+  Alcotest.(check int) "rounded once at consumption" 3 (Counter.transactions acc)
 
 (* ------------------------------------------------------------------ *)
 (* Timing model                                                        *)
@@ -174,7 +189,7 @@ let test_counter_add_scale () =
 let synthetic_counter ~fma ~bytes =
   let c = Counter.create () in
   c.Counter.fma_instrs <- fma;
-  c.Counter.gmem_bytes <- bytes;
+  c.Counter.gmem_bytes <- float_of_int bytes;
   c.Counter.useful_flops <- fma *. 64.0;
   c
 
@@ -277,11 +292,78 @@ let test_sampling_representatives () =
     (List.sort compare !executed)
 
 let test_sampling_empty () =
-  Alcotest.check_raises "empty batch"
-    (Invalid_argument "Sampling.run: empty batch") (fun () ->
-      ignore
-        (Sampling.run ~prec:Precision.Double ~mode:Sampling.Exact ~sizes:[||]
-           ~kernel:(fun _ _ -> ()) ()))
+  (* Empty batches are a defined no-op: zero time, zero warps, no kernel
+     executions (DESIGN §5 failure injection). *)
+  List.iter
+    (fun mode ->
+      let s =
+        Sampling.run ~prec:Precision.Double ~mode ~sizes:[||]
+          ~kernel:(fun _ _ -> Alcotest.fail "kernel must not run") ()
+      in
+      Alcotest.(check int) "no warps" 0 s.Launch.warps;
+      check_float "no time" 0.0 s.Launch.time_us;
+      check_float "no flops" 0.0 s.Launch.total.Counter.useful_flops)
+    [ Sampling.Exact; Sampling.Sampled ]
+
+let test_sampling_parallel_bit_identical () =
+  (* The tentpole determinism guarantee: any domain count produces stats
+     bit-identical to the sequential run, in both modes. *)
+  let kernel w i =
+    let x = Array.make 32 (1.0 +. (float_of_int i /. 7.0)) in
+    let y = Warp.fma w x x x in
+    ignore (Warp.mul w y x);
+    Counter.credit_flops (Warp.counter w) (float_of_int (64 + (i mod 5)))
+  in
+  let sizes = Array.init 37 (fun i -> 4 + (i mod 9)) in
+  List.iter
+    (fun mode ->
+      let seq = Sampling.run ~prec:Precision.Double ~mode ~sizes ~kernel () in
+      List.iter
+        (fun domains ->
+          let pool = Vblu_par.Pool.create ~num_domains:domains () in
+          let par =
+            Sampling.run ~pool ~prec:Precision.Double ~mode ~sizes ~kernel ()
+          in
+          let label s = Printf.sprintf "%s (domains=%d)" s domains in
+          Alcotest.(check bool)
+            (label "bit-identical time")
+            true
+            (Float.equal par.Launch.time_us seq.Launch.time_us);
+          Alcotest.(check bool)
+            (label "bit-identical gflops")
+            true
+            (Float.equal par.Launch.gflops seq.Launch.gflops);
+          Alcotest.(check bool)
+            (label "bit-identical txns")
+            true
+            (Float.equal par.Launch.total.Counter.gmem_transactions
+               seq.Launch.total.Counter.gmem_transactions))
+        [ 2; 4; 7 ])
+    [ Sampling.Exact; Sampling.Sampled ]
+
+let qcheck_sampling =
+  [
+    QCheck.Test.make ~count:50
+      ~name:"Sampled = Exact modelled time on uniform batches"
+      QCheck.(pair (int_range 1 32) (int_range 1 200))
+      (fun (size, count) ->
+        let kernel w _i =
+          let a = Array.make 32 1.0 in
+          let b = Warp.fma w a a a in
+          ignore (Warp.add w a b);
+          Counter.credit_flops (Warp.counter w) (float_of_int (2 * size * size))
+        in
+        let sizes = Array.make count size in
+        let run mode =
+          Sampling.run ~prec:Precision.Double ~mode ~sizes ~kernel ()
+        in
+        let e = run Sampling.Exact and s = run Sampling.Sampled in
+        Float.equal e.Launch.time_us s.Launch.time_us
+        && Float.equal e.Launch.gflops s.Launch.gflops
+        && Float.equal e.Launch.total.Counter.gmem_transactions
+             s.Launch.total.Counter.gmem_transactions);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
 
 let () =
   Alcotest.run "simt"
@@ -309,7 +391,10 @@ let () =
           Alcotest.test_case "bank conflicts" `Quick test_smem_bank_conflicts;
         ] );
       ( "counters",
-        [ Alcotest.test_case "add/scale" `Quick test_counter_add_scale ] );
+        [
+          Alcotest.test_case "add/scale" `Quick test_counter_add_scale;
+          Alcotest.test_case "scale no ceil" `Quick test_counter_scale_no_ceil;
+        ] );
       ( "timing",
         [
           Alcotest.test_case "batch ramp" `Quick test_launch_monotone_in_batch;
@@ -325,5 +410,8 @@ let () =
           Alcotest.test_case "representatives" `Quick
             test_sampling_representatives;
           Alcotest.test_case "empty" `Quick test_sampling_empty;
-        ] );
+          Alcotest.test_case "parallel bit-identical" `Quick
+            test_sampling_parallel_bit_identical;
+        ]
+        @ qcheck_sampling );
     ]

@@ -12,10 +12,27 @@ let sequential = { domains = 1 }
 
 let num_domains t = t.domains
 
-(* Split [lo, hi) into at most [t.domains] contiguous chunks, run every chunk
-   but the first in a fresh domain, and run the first chunk in the caller.
-   The first exception observed (caller's chunk first, then spawned chunks in
-   order) is re-raised after all domains joined, so no work is leaked. *)
+(* Split [lo, hi) into exactly [min t.domains (hi - lo)] contiguous chunks.
+   [n mod chunks] leading chunks get one extra element, so chunk sizes differ
+   by at most one and no chunk is ever empty — every spawned domain receives
+   work.  (The former ceil-division split could produce empty trailing chunks,
+   e.g. n=5 over 4 domains gave sizes 2,2,1,0.) *)
+let chunk_bounds t ~lo ~hi =
+  let n = hi - lo in
+  if n <= 0 then [||]
+  else begin
+    let chunks = min t.domains n in
+    let base = n / chunks and rem = n mod chunks in
+    Array.init chunks (fun c ->
+        let clo = lo + (c * base) + min c rem in
+        let chi = clo + base + (if c < rem then 1 else 0) in
+        (clo, chi))
+  end
+
+(* Run every chunk but the first in a fresh domain, and run the first chunk
+   in the caller.  The first exception observed (caller's chunk first, then
+   spawned chunks in order) is re-raised after all domains joined, so no work
+   is leaked. *)
 let parallel_for t ~lo ~hi body =
   let n = hi - lo in
   if n <= 0 then ()
@@ -24,11 +41,10 @@ let parallel_for t ~lo ~hi body =
       body i
     done
   else begin
-    let chunks = min t.domains n in
-    let chunk_size = (n + chunks - 1) / chunks in
+    let bounds = chunk_bounds t ~lo ~hi in
+    let chunks = Array.length bounds in
     let run_chunk c () =
-      let clo = lo + (c * chunk_size) in
-      let chi = min hi (clo + chunk_size) in
+      let clo, chi = bounds.(c) in
       for i = clo to chi - 1 do
         body i
       done

@@ -22,6 +22,13 @@ val sequential : t
 val num_domains : t -> int
 (** Number of domains (including the caller) used by [parallel_*]. *)
 
+val chunk_bounds : t -> lo:int -> hi:int -> (int * int) array
+(** [chunk_bounds t ~lo ~hi] is the chunking policy used by {!parallel_for}:
+    [min (num_domains t) (hi - lo)] contiguous [(clo, chi)] half-open ranges
+    that partition [lo, hi) in order.  Every chunk is non-empty and chunk
+    sizes differ by at most one (remainder elements go to the leading
+    chunks).  Returns [[||]] when [hi <= lo].  Exposed for testing. *)
+
 val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for t ~lo ~hi body] runs [body i] for every [lo <= i < hi].
     Iterations must be independent; the order of execution is unspecified.
