@@ -16,12 +16,14 @@
    Set VBLU_BENCH_FULL=1 for the full-size sweeps (40,000-problem batches,
    all 48 matrices); the default is a quick pass of the same pipelines.
 
-   Usage: main.exe [TARGET] [--domains N]
+   Usage: main.exe [TARGET] [--domains N] [--breakdown-policy POLICY]
 
    TARGET selects one experiment (micro, fig4..fig9, table1, ablations);
    with no target everything runs, as before.  --domains N fans the sweeps
    out over N host domains — the printed numbers are bit-identical for any
-   N, only the wall-clock changes. *)
+   N, only the wall-clock changes.  --breakdown-policy (fail | identity |
+   perturb:EPS, default identity) selects the block-Jacobi handling of
+   singular diagonal blocks in the solver runs. *)
 
 open Bechamel
 open Vblu_smallblas
@@ -123,13 +125,31 @@ let targets =
     "ablations"; "all" ]
 
 let usage () =
-  Printf.eprintf "usage: %s [%s] [--domains N]\n" Sys.argv.(0)
+  Printf.eprintf
+    "usage: %s [%s] [--domains N] [--breakdown-policy fail|identity|perturb:EPS]\n"
+    Sys.argv.(0)
     (String.concat "|" targets);
   exit 2
 
+let parse_policy s =
+  match String.lowercase_ascii s with
+  | "fail" -> Some Vblu_precond.Block_jacobi.Fail
+  | "identity" -> Some Vblu_precond.Block_jacobi.Identity_block
+  | s when String.length s > 8 && String.sub s 0 8 = "perturb:" -> (
+    match float_of_string_opt (String.sub s 8 (String.length s - 8)) with
+    | Some eps when eps > 0.0 -> Some (Vblu_precond.Block_jacobi.Perturb eps)
+    | _ -> None)
+  | _ -> None
+
 let parse_args () =
   let domains = ref (Domain.recommended_domain_count ()) in
+  let policy = ref Vblu_precond.Block_jacobi.Identity_block in
   let target = ref "all" in
+  let set_policy s rest go =
+    match parse_policy s with
+    | Some p -> policy := p; go rest
+    | None -> usage ()
+  in
   let rec go = function
     | [] -> ()
     | "--domains" :: n :: rest -> (
@@ -141,20 +161,25 @@ let parse_args () =
       match int_of_string_opt (String.sub arg 10 (String.length arg - 10)) with
       | Some v when v >= 1 -> domains := v; go rest
       | _ -> usage ())
+    | "--breakdown-policy" :: p :: rest -> set_policy p rest go
+    | arg :: rest
+      when String.length arg > 19
+           && String.sub arg 0 19 = "--breakdown-policy=" ->
+      set_policy (String.sub arg 19 (String.length arg - 19)) rest go
     | arg :: rest when List.mem arg targets -> target := arg; go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!target, !domains)
+  (!target, !domains, !policy)
 
 let () =
-  let target, domains = parse_args () in
+  let target, domains, policy = parse_args () in
   let pool = Vblu_par.Pool.create ~num_domains:domains () in
   let ppf = Format.std_formatter in
   let quick = not full in
   let progress msg = Printf.eprintf "[suite] %s\n%!" msg in
   let study =
-    lazy (Vblu_perf.Solver_study.run_suite ~quick ~pool ~progress ())
+    lazy (Vblu_perf.Solver_study.run_suite ~quick ~pool ~policy ~progress ())
   in
   let all = target = "all" in
   if all || target = "micro" then run_micro ();

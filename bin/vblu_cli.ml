@@ -25,6 +25,41 @@ let domains_arg =
     & opt int (Domain.recommended_domain_count ())
     & info [ "domains" ] ~docv:"N" ~doc)
 
+let policy_conv =
+  let parse s =
+    let module Bj = Vblu_precond.Block_jacobi in
+    match String.lowercase_ascii s with
+    | "fail" -> Ok Bj.Fail
+    | "identity" -> Ok Bj.Identity_block
+    | s when String.length s > 8 && String.sub s 0 8 = "perturb:" -> (
+      match float_of_string_opt (String.sub s 8 (String.length s - 8)) with
+      | Some eps when eps > 0.0 -> Ok (Bj.Perturb eps)
+      | _ -> Error (`Msg "perturb epsilon must be a positive number"))
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "invalid breakdown policy %S: expected fail, identity, or \
+               perturb:EPS"
+              s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Vblu_precond.Block_jacobi.policy_name p)
+  in
+  Arg.conv (parse, print)
+
+let policy_arg =
+  let doc =
+    "What to do with a singular diagonal block: $(b,fail) aborts, \
+     $(b,identity) (default) leaves the block unpreconditioned, \
+     $(b,perturb:EPS) retries after a diagonal shift of EPS times the \
+     block's largest entry."
+  in
+  Arg.(
+    value
+    & opt policy_conv Vblu_precond.Block_jacobi.Identity_block
+    & info [ "breakdown-policy" ] ~docv:"POLICY" ~doc)
+
 let pool_of n = Vblu_par.Pool.create ~num_domains:n ()
 let ppf = Format.std_formatter
 
@@ -36,20 +71,21 @@ let kernel_cmd name doc driver =
   in
   Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg $ domains_arg)
 
-let with_study quick domains f =
+let with_study quick domains policy f =
   setup_logs ();
   let progress msg = Printf.eprintf "[suite] %s\n%!" msg in
   let study =
-    Solver_study.run_suite ~quick ~pool:(pool_of domains) ~progress ()
+    Solver_study.run_suite ~quick ~pool:(pool_of domains) ~policy ~progress ()
   in
   f study;
   Format.pp_print_flush ppf ()
 
 let solver_cmd name doc driver =
-  let run quick domains =
-    with_study quick domains (fun study -> driver ppf study)
+  let run quick domains policy =
+    with_study quick domains policy (fun study -> driver ppf study)
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg $ domains_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ quick_arg $ domains_arg $ policy_arg)
 
 let suite_cmd =
   let run () =
@@ -97,13 +133,14 @@ let solve_cmd =
       & info [ "variant" ]
           ~doc:"Batched factorization variant for the preconditioner.")
   in
-  let run file bound variant =
+  let run file bound variant domains policy =
     setup_logs ();
     let a = Vblu_sparse.Mm_io.read file in
     let n, _ = Vblu_sparse.Csr.dims a in
     let b = Array.make n 1.0 in
     let precond, info =
-      Vblu_precond.Block_jacobi.create ~variant ~max_block_size:bound a
+      Vblu_precond.Block_jacobi.create ~pool:(pool_of domains) ~variant ~policy
+        ~max_block_size:bound a
     in
     let _, stats = Vblu_krylov.Idr.solve ~precond ~s:4 a b in
     Format.printf "matrix: %a@." Vblu_sparse.Csr.pp_stats a;
@@ -112,12 +149,19 @@ let solve_cmd =
       (Array.length
          info.Vblu_precond.Block_jacobi.blocking.Vblu_precond.Supervariable.starts)
       precond.Vblu_precond.Preconditioner.setup_seconds;
+    let degraded = info.Vblu_precond.Block_jacobi.degraded_blocks
+    and perturbed = info.Vblu_precond.Block_jacobi.perturbed_blocks in
+    if degraded <> [] || perturbed <> [] then
+      Format.printf
+        "breakdowns (policy %s): %d identity-fallback, %d perturbed@."
+        (Vblu_precond.Block_jacobi.policy_name policy)
+        (List.length degraded) (List.length perturbed);
     Format.printf "IDR(4): %a@." Vblu_krylov.Solver.pp_stats stats
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Solve a Matrix Market system with block-Jacobi + IDR(4).")
-    Term.(const run $ file $ bound $ variant)
+    Term.(const run $ file $ bound $ variant $ domains_arg $ policy_arg)
 
 let csv_cmd =
   let dir =
@@ -158,7 +202,7 @@ let csv_cmd =
     Term.(const run $ dir $ quick_arg $ domains_arg)
 
 let all_cmd =
-  let run quick domains =
+  let run quick domains policy =
     setup_logs ();
     let pool = pool_of domains in
     Kernel_figs.fig4 ~quick ~pool ppf;
@@ -170,7 +214,7 @@ let all_cmd =
     Kernel_figs.ablation_extraction ~quick ~pool ppf;
     Kernel_figs.ablation_cholesky ~quick ~pool ppf;
     Kernel_figs.ablation_variable_size ~quick ~pool ppf;
-    with_study quick domains (fun study ->
+    with_study quick domains policy (fun study ->
         Solver_figs.fig8 ppf study;
         Solver_figs.fig9 ppf study;
         Solver_figs.table1 ppf study;
@@ -178,7 +222,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every figure, table and ablation.")
-    Term.(const run $ quick_arg $ domains_arg)
+    Term.(const run $ quick_arg $ domains_arg $ policy_arg)
 
 let cmds =
   [

@@ -3,13 +3,12 @@ open Vblu_simt
 
 type result = {
   factors : Batch.t;
+  info : int array;
   stats : Launch.stats;
   exact : bool;
 }
 
-exception Block_not_spd of { block : int; step : int }
-
-let kernel_factor w gin gout ~block ~off ~s =
+let kernel_factor w gin gout ~off ~s =
   let p = Warp.size w in
   let zero = Array.make p 0.0 in
   (* Load only the lower triangle: column j needs lanes j..s-1. *)
@@ -24,23 +23,32 @@ let kernel_factor w gin gout ~block ~off ~s =
         else Array.copy zero)
   in
   Warp.round_barrier w;
-  for k = 0 to s - 1 do
-    let dkk = reg.(k).(k) in
-    if not (dkk > 0.0) then raise (Block_not_spd { block; step = k });
-    (* Lanewise sqrt on the pivot lane, then broadcast, then scale the
-       column below the diagonal. *)
-    let only_k = Array.init p (fun lane -> lane = k) in
-    reg.(k) <- Warp.sqrt_lanes w ~active:only_k reg.(k);
-    let d = Warp.broadcast w reg.(k) ~src:k in
-    let below = Array.init p (fun lane -> lane > k) in
-    reg.(k) <- Warp.div w ~active:below reg.(k) d;
-    (* Trailing update of the lower triangle, padded width like LU. *)
-    for j = k + 1 to p - 1 do
-      let ljk = Warp.broadcast w reg.(k) ~src:(min j (p - 1)) in
-      let mask = Array.init p (fun lane -> lane >= j) in
-      reg.(j) <- Warp.fnma w ~active:mask reg.(k) ljk reg.(j)
-    done
-  done;
+  (* Freeze on breakdown: a non-positive pivot at step k sets info = k+1,
+     predicates the remaining steps off, and the partial factor is written
+     back — matching Cholesky.factor_status bit-for-bit. *)
+  let info = ref 0 in
+  (try
+     for k = 0 to s - 1 do
+       let dkk = reg.(k).(k) in
+       if not (dkk > 0.0) then begin
+         info := k + 1;
+         raise Exit
+       end;
+       (* Lanewise sqrt on the pivot lane, then broadcast, then scale the
+          column below the diagonal. *)
+       let only_k = Array.init p (fun lane -> lane = k) in
+       reg.(k) <- Warp.sqrt_lanes w ~active:only_k reg.(k);
+       let d = Warp.broadcast w reg.(k) ~src:k in
+       let below = Array.init p (fun lane -> lane > k) in
+       reg.(k) <- Warp.div w ~active:below reg.(k) d;
+       (* Trailing update of the lower triangle, padded width like LU. *)
+       for j = k + 1 to p - 1 do
+         let ljk = Warp.broadcast w reg.(k) ~src:(min j (p - 1)) in
+         let mask = Array.init p (fun lane -> lane >= j) in
+         reg.(j) <- Warp.fnma w ~active:mask reg.(k) ljk reg.(j)
+       done
+     done
+   with Exit -> ());
   (* Write back the lower triangle (coalesced per column). *)
   for j = 0 to s - 1 do
     let active = Array.init p (fun lane -> lane >= j && lane < s) in
@@ -48,7 +56,8 @@ let kernel_factor w gin gout ~block ~off ~s =
       (Array.init p (fun lane -> off + (if lane < s then lane + (j * s) else 0)))
       reg.(j)
   done;
-  Counter.credit_flops (Warp.counter w) (Cholesky.flops s)
+  Counter.credit_flops (Warp.counter w) (Cholesky.flops s);
+  !info
 
 let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) (b : Batch.t) =
@@ -59,9 +68,10 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     b.Batch.sizes;
   let gin = Gmem.of_array prec b.Batch.values in
   let gout = Gmem.create prec (Batch.total_values b) in
+  let info = Array.make b.Batch.count 0 in
   let kernel w i =
-    kernel_factor w gin gout ~block:i ~off:b.Batch.offsets.(i)
-      ~s:b.Batch.sizes.(i)
+    info.(i) <-
+      kernel_factor w gin gout ~off:b.Batch.offsets.(i) ~s:b.Batch.sizes.(i)
   in
   let stats =
     Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
@@ -69,7 +79,7 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let factors = Batch.create b.Batch.sizes in
   let values = Gmem.to_array gout in
   Array.blit values 0 factors.Batch.values 0 (Array.length values);
-  { factors; stats; exact = (mode = Sampling.Exact) }
+  { factors; info; stats; exact = (mode = Sampling.Exact) }
 
 let kernel_solve w gmat gvec gout ~moff ~voff ~s =
   let p = Warp.size w in
@@ -80,7 +90,12 @@ let kernel_solve w gmat gvec gout ~moff ~voff ~s =
          (Array.init p (fun lane -> voff + min lane (s - 1))))
   in
   Warp.round_barrier w;
-  (* Forward sweep with L (non-unit diagonal): column reads, coalesced. *)
+  let info = ref 0 in
+  (try
+  (* Forward sweep with L (non-unit diagonal): column reads, coalesced.  A
+     zero diagonal (factors of a flagged, non-SPD block) freezes the solve:
+     info = k+1, everything after — including the backward sweep — is
+     predicated off, and the partial vector is stored. *)
   for k = 0 to s - 1 do
     let from_k = Array.init p (fun lane -> lane >= k && lane < s) in
     let col =
@@ -88,7 +103,10 @@ let kernel_solve w gmat gvec gout ~moff ~voff ~s =
         (Array.init p (fun lane -> moff + min lane (s - 1) + (k * s)))
     in
     let d = Warp.broadcast w col ~src:k in
-    if d.(0) = 0.0 then raise (Error.Singular k);
+    if d.(0) = 0.0 then begin
+      info := k + 1;
+      raise Exit
+    end;
     let only_k = Array.init p (fun lane -> lane = k) in
     b := Warp.div w ~active:only_k !b d;
     let bk = Warp.broadcast w !b ~src:k in
@@ -125,9 +143,11 @@ let kernel_solve w gmat gvec gout ~moff ~voff ~s =
         d.(k);
     c.Vblu_simt.Counter.div_instrs <- c.Vblu_simt.Counter.div_instrs +. 1.0;
     b := bnew
-  done;
+  done
+  with Exit -> ());
   Warp.store w gout ~active (Array.init p (fun lane -> voff + min lane (s - 1))) !b;
-  Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s)
+  Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s);
+  !info
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ~(factors : Batch.t)
@@ -137,9 +157,11 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let gmat = Gmem.of_array prec factors.Batch.values in
   let gvec = Gmem.of_array prec rhs.Batch.vvalues in
   let gout = Gmem.create prec (Array.length rhs.Batch.vvalues) in
+  let info = Array.make factors.Batch.count 0 in
   let kernel w i =
-    kernel_solve w gmat gvec gout ~moff:factors.Batch.offsets.(i)
-      ~voff:rhs.Batch.voffsets.(i) ~s:factors.Batch.sizes.(i)
+    info.(i) <-
+      kernel_solve w gmat gvec gout ~moff:factors.Batch.offsets.(i)
+        ~voff:rhs.Batch.voffsets.(i) ~s:factors.Batch.sizes.(i)
   in
   let stats =
     Sampling.run ~cfg ~pool ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
@@ -149,6 +171,7 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   Array.blit values 0 solutions.Batch.vvalues 0 (Array.length values);
   {
     Batched_trsv.solutions;
+    info;
     stats;
     exact = (mode = Sampling.Exact);
   }

@@ -15,11 +15,15 @@ type result = {
   factors : Batch.t;
       (** lower-triangular Cholesky factors, packed like the input
           (upper parts zero).  Complete in [Exact] mode. *)
+  info : int array;
+      (** per-problem status: [0] for an SPD block factored cleanly,
+          [k + 1] when the pivot at (0-based) step [k] was not strictly
+          positive (the block is not SPD).  The flagged block holds the
+          frozen partial factor; the warp completes without raising.  In
+          [Sampled] mode only class representatives are flagged. *)
   stats : Launch.stats;
   exact : bool;
 }
-
-exception Block_not_spd of { block : int; step : int }
 
 val factor :
   ?cfg:Config.t ->
@@ -29,7 +33,7 @@ val factor :
   Batch.t ->
   result
 (** Factorize every (assumed SPD) block; only lower triangles are read.
-    @raise Block_not_spd on a non-positive pivot.
+    Non-SPD blocks never raise — they are flagged in [info].
     @raise Invalid_argument if a block exceeds the warp width. *)
 
 val solve :
@@ -43,4 +47,5 @@ val solve :
 (** Batched [L·Lᵀ] solves: a forward sweep over the columns of [L]
     (coalesced) and a backward sweep reading the same columns as rows of
     [Lᵀ] — on the simulated hardware both passes stream each factor
-    element exactly once. *)
+    element exactly once.  A zero diagonal (factors of a block flagged by
+    {!factor}) is reported through the result's [info], never raised. *)

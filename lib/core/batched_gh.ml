@@ -3,12 +3,14 @@ open Vblu_simt
 
 type result = {
   factors : Gauss_huard.factors array;
+  info : int array;
   stats : Launch.stats;
   exact : bool;
 }
 
 type solve_result = {
   solutions : Batch.vec;
+  solve_info : int array;
   solve_stats : Launch.stats;
   solve_exact : bool;
 }
@@ -65,15 +67,22 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
         invalid_arg "Batched_gh.factor: block exceeds warp width")
     b.Batch.sizes;
   let factors = Array.make b.Batch.count (Lazy.force dummy_factors) in
+  let info = Array.make b.Batch.count 0 in
   let kernel w i =
     let s = b.Batch.sizes.(i) in
-    factors.(i) <- Gauss_huard.factor ~prec ~storage (Batch.get_matrix b i);
+    let f, inf = Gauss_huard.factor_status ~prec ~storage (Batch.get_matrix b i) in
+    factors.(i) <- f;
+    info.(i) <- inf;
+    (* The analytic model charges the full factorization regardless of a
+       breakdown: the simulated warp walks all s steps with the dead
+       problem predicated off, so the instruction stream length does not
+       depend on the data. *)
     charge_factor w ~s ~storage
   in
   let stats =
     Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
   in
-  { factors; stats; exact = (mode = Sampling.Exact) }
+  { factors; info; stats; exact = (mode = Sampling.Exact) }
 
 let charge_solve w ~s ~storage =
   Charge.gmem_coalesced w ~elems:s;
@@ -112,13 +121,15 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     if Array.length r.factors = 0 then Gauss_huard.Normal
     else r.factors.(0).Gauss_huard.storage
   in
+  let solve_info = Array.make rhs.Batch.vcount 0 in
   let kernel w i =
     let s = rhs.Batch.vsizes.(i) in
-    let x = Gauss_huard.solve ~prec r.factors.(i) (Batch.vec_get rhs i) in
+    let x, inf = Gauss_huard.solve_status ~prec r.factors.(i) (Batch.vec_get rhs i) in
     Batch.vec_set solutions i x;
+    solve_info.(i) <- inf;
     charge_solve w ~s ~storage
   in
   let stats =
     Sampling.run ~cfg ~pool ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
   in
-  { solutions; solve_stats = stats; solve_exact = (mode = Sampling.Exact) }
+  { solutions; solve_info; solve_stats = stats; solve_exact = (mode = Sampling.Exact) }

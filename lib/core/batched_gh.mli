@@ -29,12 +29,20 @@ open Vblu_simt
 type result = {
   factors : Gauss_huard.factors array;
       (** complete in [Exact] mode; representatives only in [Sampled]. *)
+  info : int array;
+      (** per-problem status: [0] on success, [k + 1] for the first zero
+          pivot at (0-based) step [k] ({!Vblu_smallblas.Gauss_huard.factor_status});
+          flagged blocks hold frozen partial factors. *)
   stats : Launch.stats;
   exact : bool;
 }
 
 type solve_result = {
   solutions : Batch.vec;
+  solve_info : int array;
+      (** [0] on success; [k + 1] when the forward sweep of problem [i]
+          met a zero diagonal at step [k] (degenerate factors from a
+          flagged factorization). *)
   solve_stats : Launch.stats;
   solve_exact : bool;
 }
@@ -48,7 +56,7 @@ val factor :
   Batch.t ->
   result
 (** Factorize every block.  [storage] selects GH (default) or GH-T.
-    @raise Vblu_smallblas.Error.Singular on a singular block. *)
+    Singular blocks never raise — they are flagged in [info]. *)
 
 val solve :
   ?cfg:Config.t ->

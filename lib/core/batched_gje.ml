@@ -3,6 +3,7 @@ open Vblu_simt
 
 type result = {
   inverses : Matrix.t array;
+  info : int array;
   stats : Launch.stats;
   exact : bool;
 }
@@ -43,14 +44,19 @@ let invert ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
         invalid_arg "Batched_gje.invert: block exceeds warp width")
     b.Batch.sizes;
   let inverses = Array.make b.Batch.count (Matrix.identity 1) in
+  let info = Array.make b.Batch.count 0 in
   let kernel w i =
-    inverses.(i) <- Gauss_jordan.invert ~prec (Batch.get_matrix b i);
+    let inv, inf = Gauss_jordan.invert_status ~prec (Batch.get_matrix b i) in
+    inverses.(i) <- inv;
+    info.(i) <- inf;
+    (* Full charge regardless of breakdown — data-independent instruction
+       stream, like the register kernels predicating off a dead problem. *)
     charge_invert w ~s:b.Batch.sizes.(i)
   in
   let stats =
     Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
   in
-  { inverses; stats; exact = (mode = Sampling.Exact) }
+  { inverses; info; stats; exact = (mode = Sampling.Exact) }
 
 let charge_apply w ~s =
   Charge.gmem_coalesced w ~elems:s;

@@ -18,6 +18,10 @@ open Vblu_simt
 type result = {
   inverses : Matrix.t array;
       (** complete in [Exact] mode; representatives only in [Sampled]. *)
+  info : int array;
+      (** per-problem status: [0] on success, [k + 1] for the first zero
+          pivot at (0-based) step [k].  A flagged entry of [inverses] holds
+          a frozen partial transform and must be discarded. *)
   stats : Launch.stats;
   exact : bool;
 }
@@ -35,8 +39,9 @@ val invert :
   ?mode:Sampling.mode ->
   Batch.t ->
   result
-(** Invert every block.  @raise Vblu_smallblas.Error.Singular on a
-    singular block. *)
+(** Invert every block.  Singular blocks never raise — they are flagged
+    in [info].  (The GEMV of {!apply} cannot break down, so
+    {!apply_result} carries no status.) *)
 
 val apply :
   ?cfg:Config.t ->

@@ -6,11 +6,10 @@ type pivoting = Implicit | Explicit | No_pivoting
 type result = {
   factors : Batch.t;
   pivots : int array array;
+  info : int array;
   stats : Launch.stats;
   exact : bool;
 }
-
-exception Block_singular of { block : int; step : int }
 
 let check_batch cfg (b : Batch.t) =
   let w = cfg.Config.warp_size in
@@ -51,28 +50,55 @@ let store_tile w gout ~off ~s ~dest reg =
     Warp.store w gout ~active addrs reg.(j)
   done
 
-let kernel_implicit w gin gout ~block ~off ~s =
+(* All three kernels follow the "freeze on breakdown" rule: the first zero
+   pivot at (0-based) step [k] sets [info = k + 1], the elimination loop is
+   predicated off and the partial tile is written back unchanged from that
+   point on.  The warp itself always completes — no exception ever leaves a
+   kernel — so a poisoned problem cannot take down its batch (or, under
+   [?pool], its worker domain).  The [Vblu_smallblas.Lu] [_status]
+   references freeze at exactly the same point, keeping kernel and
+   reference bit-for-bit identical even on singular blocks. *)
+
+let kernel_implicit w gin gout ~off ~s =
   let p = Warp.size w in
   let reg = load_tile w gin ~off ~s in
   (* step.(lane) = pivot step of this lane's row; padded lanes start
      "already pivoted" so they never win the pivot search. *)
   let step = Array.init p (fun lane -> if lane < s then -1 else p + lane) in
   let unpivoted () = Array.map (fun x -> x < 0) step in
-  for k = 0 to s - 1 do
-    let mask = unpivoted () in
-    let piv = Warp.argmax_abs w ~active:mask reg.(k) in
-    let d = Warp.broadcast w reg.(k) ~src:piv in
-    if d.(0) = 0.0 then raise (Block_singular { block; step = k });
-    step.(piv) <- k;
-    let mask = unpivoted () in
-    reg.(k) <- Warp.div w ~active:mask reg.(k) d;
-    (* Trailing update over the full padded width: the eager-variant
-       padding overhead of Figure 5. *)
-    for j = k + 1 to p - 1 do
-      let urow = Warp.broadcast w reg.(j) ~src:piv in
-      reg.(j) <- Warp.fnma w ~active:mask reg.(k) urow reg.(j)
+  let info = ref 0 in
+  (try
+     for k = 0 to s - 1 do
+       let mask = unpivoted () in
+       let piv = Warp.argmax_abs w ~active:mask reg.(k) in
+       let d = Warp.broadcast w reg.(k) ~src:piv in
+       if d.(0) = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       step.(piv) <- k;
+       let mask = unpivoted () in
+       reg.(k) <- Warp.div w ~active:mask reg.(k) d;
+       (* Trailing update over the full padded width: the eager-variant
+          padding overhead of Figure 5. *)
+       for j = k + 1 to p - 1 do
+         let urow = Warp.broadcast w reg.(j) ~src:piv in
+         reg.(j) <- Warp.fnma w ~active:mask reg.(k) urow reg.(j)
+       done
+     done
+   with Exit -> ());
+  (* On breakdown the still-unpivoted lanes take the remaining steps in
+     increasing lane order, so the fused write-back permutation stays
+     total (same rule as Lu.factor_implicit_status). *)
+  if !info <> 0 then begin
+    let next = ref (!info - 1) in
+    for lane = 0 to s - 1 do
+      if step.(lane) < 0 then begin
+        step.(lane) <- !next;
+        incr next
+      end
     done
-  done;
+  end;
   (* Fused permutation: lane's row goes to its pivot position. *)
   let dest = Array.init p (fun lane -> if lane < s then step.(lane) else 0) in
   store_tile w gout ~off ~s ~dest reg;
@@ -80,60 +106,72 @@ let kernel_implicit w gin gout ~block ~off ~s =
   for lane = 0 to s - 1 do
     perm.(step.(lane)) <- lane
   done;
-  perm
+  (perm, !info)
 
-let kernel_explicit w gin gout ~block ~off ~s =
+let kernel_explicit w gin gout ~off ~s =
   let p = Warp.size w in
   let reg = load_tile w gin ~off ~s in
   let perm = Array.init s (fun i -> i) in
-  for k = 0 to s - 1 do
-    let active = Array.init p (fun lane -> lane >= k && lane < s) in
-    let piv = Warp.argmax_abs w ~active reg.(k) in
-    if piv <> k then begin
-      (* Physical row exchange: two lanes trade registers column by column
-         through shuffles while the rest of the warp idles — the cost the
-         implicit scheme removes. *)
-      for j = 0 to p - 1 do
-        let from_piv = Warp.broadcast w reg.(j) ~src:piv in
-        let from_k = Warp.broadcast w reg.(j) ~src:k in
-        let r = Array.copy reg.(j) in
-        r.(k) <- from_piv.(k);
-        r.(piv) <- from_k.(piv);
-        reg.(j) <- r
-      done;
-      let tmp = perm.(k) in
-      perm.(k) <- perm.(piv);
-      perm.(piv) <- tmp
-    end;
-    let d = Warp.broadcast w reg.(k) ~src:k in
-    if d.(0) = 0.0 then raise (Block_singular { block; step = k });
-    let below = Array.init p (fun lane -> lane > k) in
-    reg.(k) <- Warp.div w ~active:below reg.(k) d;
-    for j = k + 1 to p - 1 do
-      let urow = Warp.broadcast w reg.(j) ~src:k in
-      reg.(j) <- Warp.fnma w ~active:below reg.(k) urow reg.(j)
-    done
-  done;
+  let info = ref 0 in
+  (try
+     for k = 0 to s - 1 do
+       let active = Array.init p (fun lane -> lane >= k && lane < s) in
+       let piv = Warp.argmax_abs w ~active reg.(k) in
+       if piv <> k then begin
+         (* Physical row exchange: two lanes trade registers column by
+            column through shuffles while the rest of the warp idles — the
+            cost the implicit scheme removes. *)
+         for j = 0 to p - 1 do
+           let from_piv = Warp.broadcast w reg.(j) ~src:piv in
+           let from_k = Warp.broadcast w reg.(j) ~src:k in
+           let r = Array.copy reg.(j) in
+           r.(k) <- from_piv.(k);
+           r.(piv) <- from_k.(piv);
+           reg.(j) <- r
+         done;
+         let tmp = perm.(k) in
+         perm.(k) <- perm.(piv);
+         perm.(piv) <- tmp
+       end;
+       let d = Warp.broadcast w reg.(k) ~src:k in
+       if d.(0) = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       let below = Array.init p (fun lane -> lane > k) in
+       reg.(k) <- Warp.div w ~active:below reg.(k) d;
+       for j = k + 1 to p - 1 do
+         let urow = Warp.broadcast w reg.(j) ~src:k in
+         reg.(j) <- Warp.fnma w ~active:below reg.(k) urow reg.(j)
+       done
+     done
+   with Exit -> ());
   let dest = Array.init p (fun lane -> if lane < s then lane else 0) in
   store_tile w gout ~off ~s ~dest reg;
-  perm
+  (perm, !info)
 
-let kernel_nopivot w gin gout ~block ~off ~s =
+let kernel_nopivot w gin gout ~off ~s =
   let p = Warp.size w in
   let reg = load_tile w gin ~off ~s in
-  for k = 0 to s - 1 do
-    let d = Warp.broadcast w reg.(k) ~src:k in
-    if d.(0) = 0.0 then raise (Block_singular { block; step = k });
-    let below = Array.init p (fun lane -> lane > k) in
-    reg.(k) <- Warp.div w ~active:below reg.(k) d;
-    for j = k + 1 to p - 1 do
-      let urow = Warp.broadcast w reg.(j) ~src:k in
-      reg.(j) <- Warp.fnma w ~active:below reg.(k) urow reg.(j)
-    done
-  done;
+  let info = ref 0 in
+  (try
+     for k = 0 to s - 1 do
+       let d = Warp.broadcast w reg.(k) ~src:k in
+       if d.(0) = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       let below = Array.init p (fun lane -> lane > k) in
+       reg.(k) <- Warp.div w ~active:below reg.(k) d;
+       for j = k + 1 to p - 1 do
+         let urow = Warp.broadcast w reg.(j) ~src:k in
+         reg.(j) <- Warp.fnma w ~active:below reg.(k) urow reg.(j)
+       done
+     done
+   with Exit -> ());
   let dest = Array.init p (fun lane -> if lane < s then lane else 0) in
   store_tile w gout ~off ~s ~dest reg;
-  Array.init s (fun i -> i)
+  (Array.init s (fun i -> i), !info)
 
 let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?(pivoting = Implicit)
@@ -148,15 +186,17 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   done;
   let gpiv = Gmem.create prec poffsets.(b.Batch.count) in
   let pivots = Array.make b.Batch.count [||] in
+  let info = Array.make b.Batch.count 0 in
   let kernel w i =
     let off = b.Batch.offsets.(i) and s = b.Batch.sizes.(i) in
-    let perm =
+    let perm, inf =
       match pivoting with
-      | Implicit -> kernel_implicit w gin gout ~block:i ~off ~s
-      | Explicit -> kernel_explicit w gin gout ~block:i ~off ~s
-      | No_pivoting -> kernel_nopivot w gin gout ~block:i ~off ~s
+      | Implicit -> kernel_implicit w gin gout ~off ~s
+      | Explicit -> kernel_explicit w gin gout ~off ~s
+      | No_pivoting -> kernel_nopivot w gin gout ~off ~s
     in
     pivots.(i) <- perm;
+    info.(i) <- inf;
     (* The pivot vector also goes to memory for the subsequent solves. *)
     let p = Warp.size w in
     let active = Array.init p (fun lane -> lane < s) in
@@ -175,4 +215,4 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     Array.blit values 0 out.Batch.values 0 (Array.length values);
     out
   in
-  { factors; pivots; stats; exact = (mode = Sampling.Exact) }
+  { factors; pivots; info; stats; exact = (mode = Sampling.Exact) }

@@ -42,12 +42,20 @@ type result = {
   pivots : int array array;
       (** per-block permutation: [pivots.(i).(k)] is the original row index
           of block [i]'s [k]-th pivot row. *)
+  info : int array;
+      (** LAPACK-style per-problem status: [info.(i) = 0] if block [i]
+          factored cleanly, [k + 1] if its first zero pivot appeared at
+          (0-based) elimination step [k].  The warp predicates the dead
+          problem off and completes deterministically — no exception is
+          raised, and the flagged block holds the frozen partial factors
+          (steps [0 .. k-1] applied; for implicit pivoting the remaining
+          rows take the remaining pivot steps in increasing row order so
+          [pivots.(i)] is still a total permutation).  In [Sampled] mode
+          only the representative block of each size class is flagged,
+          like [factors]. *)
   stats : Launch.stats;  (** modelled kernel performance. *)
   exact : bool;  (** whether every block was actually computed. *)
 }
-
-exception Block_singular of { block : int; step : int }
-(** Raised when a block turns out numerically singular. *)
 
 val factor :
   ?cfg:Config.t ->
@@ -60,7 +68,7 @@ val factor :
 (** Factorize every block of the batch.  Defaults: P100 model, double
     precision, [Exact] execution, [Implicit] pivoting.  [?pool] fans the
     independent blocks out over domains ({!Vblu_simt.Sampling.run});
-    results are bit-identical to the sequential run.  An empty batch is a
-    no-op returning empty factors and zero-time stats.
-    @raise Invalid_argument if any block exceeds the warp width (32).
-    @raise Block_singular on a zero pivot. *)
+    results are bit-identical to the sequential run (including [info]).
+    An empty batch is a no-op returning empty factors and zero-time stats.
+    Numerically singular blocks never raise — they are flagged in [info].
+    @raise Invalid_argument if any block exceeds the warp width (32). *)

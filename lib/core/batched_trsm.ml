@@ -3,6 +3,7 @@ open Vblu_simt
 
 type result = {
   solutions : Batch.vec array;
+  info : int array;
   stats : Launch.stats;
   exact : bool;
 }
@@ -29,33 +30,47 @@ let kernel w gmat gvecs gouts ~moff ~voff ~s ~perm =
       b.(r) <- Warp.fnma w ~active:below col bk b.(r)
     done
   done;
-  (* Upper solve. *)
-  for k = s - 1 downto 0 do
-    let upto = Array.init p (fun lane -> lane <= k) in
-    let col =
-      Warp.load w gmat ~active:upto
-        (Array.init p (fun lane -> moff + min lane (s - 1) + (k * s)))
-    in
-    let d = Warp.broadcast w col ~src:k in
-    if d.(0) = 0.0 then raise (Error.Singular k);
-    let only_k = Array.init p (fun lane -> lane = k) in
-    let above = Array.init p (fun lane -> lane < k) in
-    for r = 0 to nrhs - 1 do
-      b.(r) <- Warp.div w ~active:only_k b.(r) d;
-      let bk = Warp.broadcast w b.(r) ~src:k in
-      b.(r) <- Warp.fnma w ~active:above col bk b.(r)
-    done
-  done;
+  (* Upper solve.  Same freeze-on-breakdown rule as {!Batched_trsv}: a
+     zero diagonal sets info, predicates off the remaining steps for every
+     right-hand side, and the partial solutions are stored back. *)
+  let info = ref 0 in
+  (try
+     for k = s - 1 downto 0 do
+       let upto = Array.init p (fun lane -> lane <= k) in
+       let col =
+         Warp.load w gmat ~active:upto
+           (Array.init p (fun lane -> moff + min lane (s - 1) + (k * s)))
+       in
+       let d = Warp.broadcast w col ~src:k in
+       if d.(0) = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       let only_k = Array.init p (fun lane -> lane = k) in
+       let above = Array.init p (fun lane -> lane < k) in
+       for r = 0 to nrhs - 1 do
+         b.(r) <- Warp.div w ~active:only_k b.(r) d;
+         let bk = Warp.broadcast w b.(r) ~src:k in
+         b.(r) <- Warp.fnma w ~active:above col bk b.(r)
+       done
+     done
+   with Exit -> ());
   let out_addrs = Array.init p (fun lane -> voff + min lane (s - 1)) in
   Array.iteri (fun r g -> Warp.store w g ~active out_addrs b.(r)) gouts;
   Counter.credit_flops (Warp.counter w)
-    (float_of_int nrhs *. Flops.trsv_pair s)
+    (float_of_int nrhs *. Flops.trsv_pair s);
+  !info
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ~(factors : Batch.t)
     ~pivots (rhs_sets : Batch.vec array) =
   if Array.length rhs_sets = 0 then
     invalid_arg "Batched_trsm.solve: no right-hand sides";
+  if Array.length pivots <> factors.Batch.count then
+    invalid_arg
+      (Printf.sprintf
+         "Batched_trsm.solve: pivots array has %d entries for %d blocks"
+         (Array.length pivots) factors.Batch.count);
   Array.iter
     (fun (rhs : Batch.vec) ->
       if rhs.Batch.vcount <> factors.Batch.count then
@@ -75,14 +90,16 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
       (fun (r : Batch.vec) -> Gmem.create prec (Array.length r.Batch.vvalues))
       rhs_sets
   in
+  let info = Array.make factors.Batch.count 0 in
   let kernel w i =
     let s = factors.Batch.sizes.(i) in
     let perm =
       if Array.length pivots.(i) = 0 then Array.init s (fun k -> k)
       else pivots.(i)
     in
-    kernel w gmat gvecs gouts ~moff:factors.Batch.offsets.(i)
-      ~voff:rhs_sets.(0).Batch.voffsets.(i) ~s ~perm
+    info.(i) <-
+      kernel w gmat gvecs gouts ~moff:factors.Batch.offsets.(i)
+        ~voff:rhs_sets.(0).Batch.voffsets.(i) ~s ~perm
   in
   let stats =
     Sampling.run ~cfg ~pool ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
@@ -96,4 +113,4 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
         out)
       gouts
   in
-  { solutions; stats; exact = (mode = Sampling.Exact) }
+  { solutions; info; stats; exact = (mode = Sampling.Exact) }

@@ -16,6 +16,10 @@ open Vblu_simt
 
 type result = {
   solutions : Batch.vec array;  (** one solution set per input set. *)
+  info : int array;
+      (** per-problem status, shared by all right-hand-side sets of a
+          block: [0] on success, [k + 1] for a zero diagonal at (0-based)
+          step [k] of the upper sweep (see {!Batched_trsv.result}). *)
   stats : Launch.stats;
   exact : bool;
 }
@@ -31,6 +35,8 @@ val solve :
   result
 (** [solve ~factors ~pivots rhs_sets] solves every block system for every
     right-hand-side set ([rhs_sets.(r)] holds the [r]-th vector of every
-    block).  All sets must share the factors' block sizes.
-    @raise Invalid_argument on shape mismatch or an empty set array.
-    @raise Vblu_smallblas.Error.Singular on a zero diagonal. *)
+    block).  All sets must share the factors' block sizes.  A zero
+    diagonal never raises — the problem is flagged in [info] and its
+    partial solutions stored.
+    @raise Invalid_argument on shape mismatch, an empty set array, or a
+    [pivots] array without exactly one (possibly empty) entry per block. *)

@@ -5,6 +5,7 @@ type variant = Eager | Lazy
 
 type result = {
   solutions : Batch.vec;
+  info : int array;
   stats : Launch.stats;
   exact : bool;
 }
@@ -33,23 +34,32 @@ let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm =
     let bk = Warp.broadcast w !b ~src:k in
     b := Warp.fnma w ~active:below col bk !b
   done;
-  (* Upper triangular solve. *)
-  for k = s - 1 downto 0 do
-    let upto = Array.init p (fun lane -> lane <= k) in
-    let col =
-      Warp.load w gmat ~active:upto
-        (Array.init p (fun lane -> moff + min lane (s - 1) + (k * s)))
-    in
-    let d = Warp.broadcast w col ~src:k in
-    if d.(0) = 0.0 then raise (Error.Singular k);
-    let only_k = Array.init p (fun lane -> lane = k) in
-    b := Warp.div w ~active:only_k !b d;
-    let bk = Warp.broadcast w !b ~src:k in
-    let above = Array.init p (fun lane -> lane < k) in
-    b := Warp.fnma w ~active:above col bk !b
-  done;
+  (* Upper triangular solve.  A zero diagonal freezes the sweep: info is
+     set, the remaining steps are predicated off, and the partial solution
+     (steps s-1..k+1 applied) is stored back — the warp always completes. *)
+  let info = ref 0 in
+  (try
+     for k = s - 1 downto 0 do
+       let upto = Array.init p (fun lane -> lane <= k) in
+       let col =
+         Warp.load w gmat ~active:upto
+           (Array.init p (fun lane -> moff + min lane (s - 1) + (k * s)))
+       in
+       let d = Warp.broadcast w col ~src:k in
+       if d.(0) = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       let only_k = Array.init p (fun lane -> lane = k) in
+       b := Warp.div w ~active:only_k !b d;
+       let bk = Warp.broadcast w !b ~src:k in
+       let above = Array.init p (fun lane -> lane < k) in
+       b := Warp.fnma w ~active:above col bk !b
+     done
+   with Exit -> ());
   Warp.store w gout ~active (Array.init p (fun lane -> voff + min lane (s - 1))) !b;
-  Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s)
+  Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s);
+  !info
 
 (* Lazy (DOT) schedule: per step one non-coalesced row load and a warp
    reduction; the ablation showing why the paper prefers the eager form. *)
@@ -91,41 +101,56 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm =
     c.Counter.fma_instrs <- c.Counter.fma_instrs +. 1.0;
     b := bnew
   done;
-  (* Upper solve, lazy. *)
-  for k = s - 1 downto 0 do
-    let act = Array.init p (fun lane -> lane > k && lane < s) in
-    let row =
-      Warp.load w gmat ~active:act
-        (Array.init p (fun lane -> moff + k + (min lane (s - 1) * s)))
-    in
-    let prod = Warp.mul w ~active:act row !b in
-    let c = Warp.counter w in
-    c.Counter.shfl_instrs <- c.Counter.shfl_instrs +. 5.0;
-    c.Counter.fma_instrs <- c.Counter.fma_instrs +. 5.0;
-    let acc = ref 0.0 in
-    for lane = k + 1 to s - 1 do
-      acc := Precision.add (Warp.prec w) prod.(lane) !acc
-    done;
-    let diag = Gmem.get gmat (moff + k + (k * s)) in
-    if diag = 0.0 then raise (Error.Singular k);
-    (* The diagonal element arrives with the row load of step k via lane k;
-       charge one more row element access. *)
-    let bnew = Array.copy !b in
-    bnew.(k) <-
-      Precision.div (Warp.prec w)
-        (Precision.sub (Warp.prec w) !b.(k) !acc)
-        diag;
-    c.Counter.div_instrs <- c.Counter.div_instrs +. 1.0;
-    b := bnew
-  done;
+  (* Upper solve, lazy.  Same freeze-on-breakdown rule as the eager
+     schedule: a zero diagonal sets info and predicates off the rest. *)
+  let info = ref 0 in
+  (try
+     for k = s - 1 downto 0 do
+       (* The diagonal element arrives with the row load of step k via
+          lane k — the load mask includes lane k so the access is charged
+          like every other row element. *)
+       let ld_act = Array.init p (fun lane -> lane >= k && lane < s) in
+       let row =
+         Warp.load w gmat ~active:ld_act
+           (Array.init p (fun lane -> moff + k + (min lane (s - 1) * s)))
+       in
+       let act = Array.init p (fun lane -> lane > k && lane < s) in
+       let prod = Warp.mul w ~active:act row !b in
+       let c = Warp.counter w in
+       c.Counter.shfl_instrs <- c.Counter.shfl_instrs +. 5.0;
+       c.Counter.fma_instrs <- c.Counter.fma_instrs +. 5.0;
+       let acc = ref 0.0 in
+       for lane = k + 1 to s - 1 do
+         acc := Precision.add (Warp.prec w) prod.(lane) !acc
+       done;
+       let diag = row.(k) in
+       if diag = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       let bnew = Array.copy !b in
+       bnew.(k) <-
+         Precision.div (Warp.prec w)
+           (Precision.sub (Warp.prec w) !b.(k) !acc)
+           diag;
+       c.Counter.div_instrs <- c.Counter.div_instrs +. 1.0;
+       b := bnew
+     done
+   with Exit -> ());
   Warp.store w gout ~active (Array.init p (fun lane -> voff + min lane (s - 1))) !b;
-  Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s)
+  Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s);
+  !info
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?(variant = Eager)
     ~(factors : Batch.t) ~pivots (rhs : Batch.vec) =
   if factors.Batch.count <> rhs.Batch.vcount then
     invalid_arg "Batched_trsv.solve: batch count mismatch";
+  if Array.length pivots <> factors.Batch.count then
+    invalid_arg
+      (Printf.sprintf
+         "Batched_trsv.solve: pivots array has %d entries for %d blocks"
+         (Array.length pivots) factors.Batch.count);
   Array.iteri
     (fun i s ->
       if rhs.Batch.vsizes.(i) <> s then
@@ -136,6 +161,7 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let gmat = Gmem.of_array prec factors.Batch.values in
   let gvec = Gmem.of_array prec rhs.Batch.vvalues in
   let gout = Gmem.create prec (Array.length rhs.Batch.vvalues) in
+  let info = Array.make factors.Batch.count 0 in
   let kernel w i =
     let s = factors.Batch.sizes.(i) in
     let perm =
@@ -143,9 +169,10 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
       else pivots.(i)
     in
     let moff = factors.Batch.offsets.(i) and voff = rhs.Batch.voffsets.(i) in
-    match variant with
-    | Eager -> kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm
-    | Lazy -> kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm
+    info.(i) <-
+      (match variant with
+      | Eager -> kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm
+      | Lazy -> kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm)
   in
   let stats =
     Sampling.run ~cfg ~pool ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
@@ -156,4 +183,4 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     Array.blit values 0 out.Batch.vvalues 0 (Array.length values);
     out
   in
-  { solutions; stats; exact = (mode = Sampling.Exact) }
+  { solutions; info; stats; exact = (mode = Sampling.Exact) }

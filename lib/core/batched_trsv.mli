@@ -24,6 +24,12 @@ type result = {
   solutions : Batch.vec;
       (** per-block solutions; complete in [Exact] mode, representatives
           only in [Sampled] mode. *)
+  info : int array;
+      (** per-problem status: [0] on success, [k + 1] when the upper sweep
+          of problem [i] hit a zero diagonal at (0-based) step [k].  The
+          flagged problem's solution holds the frozen partial state (steps
+          [s-1 .. k+1] applied); other problems are unaffected.  In
+          [Sampled] mode only class representatives are flagged. *)
   stats : Launch.stats;
   exact : bool;
 }
@@ -41,6 +47,9 @@ val solve :
 (** [solve ~factors ~pivots rhs] solves every block system using the packed
     LU factors and pivot permutations of {!Batched_lu.factor} (GETRS:
     permute, unit-lower solve, upper solve).  [?pool] distributes blocks
-    over domains with bit-identical results; an empty batch is a no-op.
-    @raise Invalid_argument on shape mismatch between factors and rhs.
-    @raise Vblu_smallblas.Error.Singular on a zero diagonal. *)
+    over domains with bit-identical results (including [info]); an empty
+    batch is a no-op.  A zero diagonal never raises — it is flagged in
+    [info].
+    @raise Invalid_argument on shape mismatch between factors and rhs, or
+    when [pivots] does not have exactly one (possibly empty) entry per
+    block. *)

@@ -30,11 +30,16 @@ let charge_txns w txns =
   c.Counter.gmem_bytes <-
     c.Counter.gmem_bytes +. float_of_int (txns * cfg.Config.transaction_bytes)
 
+let elems_touched w n =
+  let c = Warp.counter w in
+  c.Counter.gmem_elems <- c.Counter.gmem_elems +. float_of_int n
+
 let gmem_coalesced w ~elems =
   if elems > 0 then begin
     let cfg = Warp.cfg w in
     let per = Config.elements_per_transaction cfg (Warp.prec w) in
-    charge_txns w ((elems + per - 1) / per)
+    charge_txns w ((elems + per - 1) / per);
+    elems_touched w elems
   end
 
 let charge_custom w ~instrs ~txns =
@@ -48,6 +53,7 @@ let charge_custom w ~instrs ~txns =
 
 let gmem_strided_read w ~elems ~stride_bytes =
   if elems > 0 then begin
+    elems_touched w elems;
     let cfg = Warp.cfg w in
     let tx = cfg.Config.transaction_bytes in
     let bytes = Precision.bytes (Warp.prec w) in
@@ -67,6 +73,7 @@ let gmem_strided_read w ~elems ~stride_bytes =
 
 let gmem_strided_write w ~elems ~stride_bytes =
   if elems > 0 then begin
+    elems_touched w elems;
     let cfg = Warp.cfg w in
     let tx = cfg.Config.transaction_bytes in
     let bytes = Precision.bytes (Warp.prec w) in

@@ -4,12 +4,14 @@ open Vblu_simt
 type result = {
   factors : Batch.t;
   pivots : int array array;
+  info : int array;
   stats : Launch.stats;
   exact : bool;
 }
 
 type solve_result = {
   solutions : Batch.vec;
+  solve_info : int array;
   solve_stats : Launch.stats;
   solve_exact : bool;
 }
@@ -82,16 +84,20 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   if b.Batch.count > 0 then ignore (tile_for s);
   let factors = Batch.create b.Batch.sizes in
   let pivots = Array.make b.Batch.count [||] in
+  let info = Array.make b.Batch.count 0 in
   let kernel w i =
-    let f = Lu.factor_explicit ~prec (Batch.get_matrix b i) in
+    let f, inf = Lu.factor_explicit_status ~prec (Batch.get_matrix b i) in
     Batch.set_matrix factors i f.Lu.lu;
     pivots.(i) <- f.Lu.perm;
+    info.(i) <- inf;
+    (* Full charge regardless of breakdown: getrfBatched runs its fixed
+       instruction stream and reports per-problem info, like this model. *)
     charge_factor w ~s
   in
   let stats =
     Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
   in
-  { factors; pivots; stats; exact = (mode = Sampling.Exact) }
+  { factors; pivots; info; stats; exact = (mode = Sampling.Exact) }
 
 let charge_solve w ~s =
   (* Pass 1: apply the pivot sequence to the right-hand side in global
@@ -128,13 +134,15 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   if r.factors.Batch.count <> rhs.Batch.vcount then
     invalid_arg "Cublas_model.solve: batch count mismatch";
   let solutions = Batch.vec_create rhs.Batch.vsizes in
+  let solve_info = Array.make rhs.Batch.vcount 0 in
   let kernel w i =
     let lu = Batch.get_matrix r.factors i in
-    let x = Trsv.solve ~prec lu r.pivots.(i) (Batch.vec_get rhs i) in
+    let x, inf = Trsv.solve_status ~prec lu r.pivots.(i) (Batch.vec_get rhs i) in
     Batch.vec_set solutions i x;
+    solve_info.(i) <- inf;
     charge_solve w ~s
   in
   let stats =
     Sampling.run ~cfg ~pool ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
   in
-  { solutions; solve_stats = stats; solve_exact = (mode = Sampling.Exact) }
+  { solutions; solve_info; solve_stats = stats; solve_exact = (mode = Sampling.Exact) }

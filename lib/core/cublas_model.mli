@@ -34,12 +34,20 @@ open Vblu_simt
 type result = {
   factors : Batch.t;
   pivots : int array array;
+  info : int array;
+      (** per-problem status, LAPACK [getrfBatched] convention: [0] on
+          success, [k + 1] for the first zero pivot column at (0-based)
+          step [k].  Flagged blocks hold frozen partial factors.  In
+          [Sampled] mode only class representatives are flagged. *)
   stats : Launch.stats;
   exact : bool;
 }
 
 type solve_result = {
   solutions : Batch.vec;
+  solve_info : int array;
+      (** [0] on success; [k + 1] when the triangular solve of problem [i]
+          met a zero diagonal at step [k]. *)
   solve_stats : Launch.stats;
   solve_exact : bool;
 }
@@ -54,7 +62,9 @@ val factor :
   ?mode:Sampling.mode ->
   Batch.t ->
   result
-(** [getrfBatched].  An empty batch is a defined no-op.
+(** [getrfBatched].  An empty batch is a defined no-op.  Numerically
+    singular blocks never raise — they are flagged in [info], exactly as
+    the real API reports them.
     @raise Invalid_argument if the batch is not uniform in size or exceeds
     the largest tile. *)
 

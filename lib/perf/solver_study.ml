@@ -12,6 +12,8 @@ type run = {
   setup_seconds : float;
   solve_seconds : float;
   blocks : int;
+  degraded : int;
+  perturbed : int;
 }
 
 type t = {
@@ -21,8 +23,10 @@ type t = {
 
 let bounds = [ 8; 12; 16; 24; 32 ]
 
-let one_run entry a b variant bound =
-  let precond, info = Block_jacobi.create ~variant ~max_block_size:bound a in
+let one_run ~policy entry a b variant bound =
+  let precond, info =
+    Block_jacobi.create ~variant ~policy ~max_block_size:bound a
+  in
   let _, stats = Idr.solve ~precond ~s:4 a b in
   {
     entry;
@@ -33,10 +37,12 @@ let one_run entry a b variant bound =
     setup_seconds = precond.Preconditioner.setup_seconds;
     solve_seconds = stats.Solver.solve_seconds;
     blocks = Array.length info.Block_jacobi.blocking.Supervariable.starts;
+    degraded = List.length info.Block_jacobi.degraded_blocks;
+    perturbed = List.length info.Block_jacobi.perturbed_blocks;
   }
 
-let run_suite ?(quick = false) ?(pool = Pool.sequential) ?(progress = fun _ -> ())
-    () =
+let run_suite ?(quick = false) ?(pool = Pool.sequential)
+    ?(policy = Block_jacobi.Identity_block) ?(progress = fun _ -> ()) () =
   let entries =
     if quick then List.filteri (fun i _ -> i < 12) Suite.all else Suite.all
   in
@@ -52,20 +58,20 @@ let run_suite ?(quick = false) ?(pool = Pool.sequential) ?(progress = fun _ -> (
     progress
       (Printf.sprintf "%2d/%d %s (n=%d, nnz=%d)" entry.Suite.id
          (List.length entries) entry.Suite.name n (Vblu_sparse.Csr.nnz a));
-    let scalar = one_run entry a b Block_jacobi.Scalar 1 in
+    let scalar = one_run ~policy entry a b Block_jacobi.Scalar 1 in
     let swept =
       List.concat_map
         (fun bound ->
           [
-            one_run entry a b Block_jacobi.Lu bound;
-            one_run entry a b Block_jacobi.Gh bound;
+            one_run ~policy entry a b Block_jacobi.Lu bound;
+            one_run ~policy entry a b Block_jacobi.Gh bound;
           ])
         swept_bounds
     in
     let extra =
       [
-        one_run entry a b Block_jacobi.Ght 32;
-        one_run entry a b Block_jacobi.Gje_inverse 32;
+        one_run ~policy entry a b Block_jacobi.Ght 32;
+        one_run ~policy entry a b Block_jacobi.Gje_inverse 32;
       ]
     in
     (scalar :: swept) @ extra

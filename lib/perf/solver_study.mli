@@ -23,6 +23,11 @@ type run = {
   setup_seconds : float;
   solve_seconds : float;
   blocks : int;  (** diagonal blocks in the partition. *)
+  degraded : int;
+      (** blocks that fell back to the identity (singular under the active
+          breakdown policy). *)
+  perturbed : int;
+      (** blocks salvaged by a [Perturb] diagonal shift. *)
 }
 
 type t = {
@@ -34,10 +39,18 @@ val bounds : int list
 (** [8; 12; 16; 24; 32] — the paper's sweep. *)
 
 val run_suite :
-  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?progress:(string -> unit) -> unit -> t
+  ?quick:bool ->
+  ?pool:Vblu_par.Pool.t ->
+  ?policy:Block_jacobi.breakdown_policy ->
+  ?progress:(string -> unit) ->
+  unit ->
+  t
 (** Execute the sweep.  [quick] restricts to the first 12 matrices and
-    bounds [8; 32].  [progress] receives one message per matrix (messages
-    may interleave when [pool] has several domains).
+    bounds [8; 32].  [policy] (default [Identity_block]) is the
+    block-Jacobi breakdown policy for every run; the per-run [degraded]
+    and [perturbed] counts record its effect.  [progress] receives one
+    message per matrix (messages may interleave when [pool] has several
+    domains).
 
     With [pool], the 48 matrices run embarrassingly parallel, one task per
     entry.  Iteration counts, convergence flags, and run order are

@@ -16,48 +16,96 @@ let variant_name = function
   | Cholesky -> "cholesky"
   | Scalar -> "scalar"
 
+type breakdown_policy = Fail | Identity_block | Perturb of float
+
+let policy_name = function
+  | Fail -> "fail"
+  | Identity_block -> "identity"
+  | Perturb eps -> Printf.sprintf "perturb:%g" eps
+
+exception Singular_block of { block : int; variant : variant }
+
+let () =
+  Printexc.register_printer (function
+    | Singular_block { block; variant } ->
+      Some
+        (Printf.sprintf
+           "Block_jacobi.Singular_block: diagonal block %d is singular \
+            (variant %s, policy fail)"
+           block (variant_name variant))
+    | _ -> None)
+
 type info = {
   blocking : Supervariable.blocking;
   singular_blocks : int list;
+  degraded_blocks : int list;
+  perturbed_blocks : int list;
 }
 
-(* Per-block solver closures; a singular block degrades to the identity so
-   the preconditioner stays well-defined (mirrors MAGMA-sparse). *)
+(* Per-block setup outcome, recorded race-free: each pool worker writes
+   only its own index of the [outcomes] array during [parallel_init], and
+   the array is folded sequentially (in block order) after the join — so
+   the resulting lists, and any [Fail]-policy exception, are deterministic
+   across domain counts. *)
+type outcome = Healthy | Degraded | Perturbed
+
+(* Per-block solver closures. *)
 type block_solver = Vector.t -> Vector.t
 
-let fallback singulars i =
-  singulars := i :: !singulars;
-  fun (r : Vector.t) -> Array.copy r
+let identity_solver : block_solver = fun (r : Vector.t) -> Array.copy r
 
-let block_solvers ~pool ~prec ~variant ~singulars blocks =
-  let make i (m : Matrix.t) : block_solver =
+(* [m] with [eps * scale] added to every diagonal entry, where [scale] is
+   the largest absolute entry of the block (1.0 for an all-zero block) —
+   the standard diagonal-shift rescue for a broken-down factorization. *)
+let perturbed_copy ~eps m =
+  let n, _ = Matrix.dims m in
+  let scale = ref 0.0 in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      let v = Float.abs (Matrix.unsafe_get m r c) in
+      if v > !scale then scale := v
+    done
+  done;
+  let scale = if !scale = 0.0 then 1.0 else !scale in
+  let m' = Matrix.copy m in
+  for r = 0 to n - 1 do
+    Matrix.unsafe_set m' r r (Matrix.unsafe_get m' r r +. (eps *. scale))
+  done;
+  m'
+
+let block_solvers ~pool ~prec ~variant ~policy blocks =
+  let k = Array.length blocks in
+  let outcomes = Array.make k Healthy in
+  (* [attempt m] factorizes one block via the status API and returns the
+     solver closure, or [None] on breakdown — no exceptions cross the
+     worker boundary. *)
+  let attempt (m : Matrix.t) : block_solver option =
     match variant with
     | Scalar ->
       (* Handled at the top level; never reaches here. *)
       assert false
-    | Lu -> (
+    | Lu ->
       (* The implicit-pivoting factorization — identical floats to the
          simulated register kernel (cross-checked by the test suite). *)
-      match Lu.factor_implicit ~prec m with
-      | f -> fun rhs -> Lu.solve ~prec f rhs
-      | exception Error.Singular _ -> fallback singulars i)
-    | Gh | Ght -> (
+      let f, inf = Lu.factor_implicit_status ~prec m in
+      if inf = 0 then Some (fun rhs -> Lu.solve ~prec f rhs) else None
+    | Gh | Ght ->
       let storage =
         if variant = Ght then Gauss_huard.Transposed else Gauss_huard.Normal
       in
-      match Gauss_huard.factor ~prec ~storage m with
-      | f -> fun rhs -> Gauss_huard.solve ~prec f rhs
-      | exception Error.Singular _ -> fallback singulars i)
-    | Gje_inverse -> (
-      match Gauss_jordan.invert ~prec m with
-      | inv -> fun rhs -> Matrix.gemv ~prec inv rhs
-      | exception Error.Singular _ -> fallback singulars i)
+      let f, inf = Gauss_huard.factor_status ~prec ~storage m in
+      if inf = 0 then Some (fun rhs -> Gauss_huard.solve ~prec f rhs)
+      else None
+    | Gje_inverse ->
+      let inv, inf = Gauss_jordan.invert_status ~prec m in
+      if inf = 0 then Some (fun rhs -> Matrix.gemv ~prec inv rhs) else None
     | Cholesky ->
       (* SPD fast path.  Cholesky reads only the lower triangle, so a
          nonsymmetric block would be silently mis-factored — check
          symmetry first, and fall back to the pivoted LU when the block is
-         nonsymmetric or fails the positivity test (then to the identity
-         only if even LU breaks down). *)
+         nonsymmetric or fails the positivity test (that switch is a
+         variant detail, not a breakdown; only a failure of the LU rescue
+         counts as one). *)
       let symmetric =
         let n, _ = Matrix.dims m in
         let ok = ref true in
@@ -70,35 +118,61 @@ let block_solvers ~pool ~prec ~variant ~singulars blocks =
         !ok
       in
       let lu_fallback () =
-        match Lu.factor_implicit ~prec m with
-        | f -> fun rhs -> Lu.solve ~prec f rhs
-        | exception Error.Singular _ -> fallback singulars i
+        let f, inf = Lu.factor_implicit_status ~prec m in
+        if inf = 0 then Some (fun rhs -> Lu.solve ~prec f rhs) else None
       in
       if not symmetric then lu_fallback ()
-      else (
-        match Cholesky.factor ~prec m with
-        | f -> fun rhs -> Cholesky.solve ~prec f rhs
-        | exception Cholesky.Not_positive_definite _ -> lu_fallback ())
+      else
+        let f, inf = Cholesky.factor_status ~prec m in
+        if inf = 0 then Some (fun rhs -> Cholesky.solve ~prec f rhs)
+        else lu_fallback ()
   in
-  Pool.parallel_init pool (Array.length blocks) (fun i -> make i blocks.(i))
+  let make i (m : Matrix.t) : block_solver =
+    match attempt m with
+    | Some s -> s
+    | None -> (
+      match policy with
+      | Fail | Identity_block ->
+        (* Under [Fail] the caller raises after the join (block order, so
+           the reported index is deterministic); the solver built here is
+           never applied. *)
+        outcomes.(i) <- Degraded;
+        identity_solver
+      | Perturb eps -> (
+        match attempt (perturbed_copy ~eps m) with
+        | Some s ->
+          outcomes.(i) <- Perturbed;
+          s
+        | None ->
+          outcomes.(i) <- Degraded;
+          identity_solver))
+  in
+  let solvers = Pool.parallel_init pool k (fun i -> make i blocks.(i)) in
+  (solvers, outcomes)
 
 let create ?(pool = Pool.sequential) ?(prec = Precision.Double) ?(variant = Lu)
-    ?(max_block_size = 32) ?blocking (a : Csr.t) =
+    ?(policy = Identity_block) ?(max_block_size = 32) ?blocking (a : Csr.t) =
   let n, cols = Csr.dims a in
   if n <> cols then invalid_arg "Block_jacobi.create: matrix not square";
-  let singulars = ref [] in
-  let (name, blk, apply), setup_seconds =
+  let (name, blk, apply, outcomes), setup_seconds =
     Preconditioner.timed (fun () ->
         match variant with
         | Scalar ->
           let d = Csr.diagonal a in
+          let outcomes = Array.make n Healthy in
           let inv =
             Array.mapi
               (fun i di ->
-                if di = 0.0 then begin
-                  singulars := i :: !singulars;
-                  1.0
-                end
+                if di = 0.0 then
+                  match policy with
+                  | Fail | Identity_block ->
+                    outcomes.(i) <- Degraded;
+                    1.0
+                  | Perturb eps ->
+                    (* A zero 1x1 block has no scale of its own: shift by
+                       [eps] outright (same rule as [perturbed_copy]). *)
+                    outcomes.(i) <- Perturbed;
+                    1.0 /. eps
                 else 1.0 /. di)
               d
           in
@@ -106,7 +180,7 @@ let create ?(pool = Pool.sequential) ?(prec = Precision.Double) ?(variant = Lu)
           let apply r =
             Array.init n (fun i -> Precision.mul prec inv.(i) r.(i))
           in
-          ("jacobi", blk, apply)
+          ("jacobi", blk, apply, outcomes)
         | Lu | Gh | Ght | Gje_inverse | Cholesky ->
           let blk =
             match blocking with
@@ -122,7 +196,9 @@ let create ?(pool = Pool.sequential) ?(prec = Precision.Double) ?(variant = Lu)
                 Csr.extract_block a ~row_start:blk.Supervariable.starts.(i)
                   ~size:blk.Supervariable.sizes.(i))
           in
-          let solvers = block_solvers ~pool ~prec ~variant ~singulars blocks in
+          let solvers, outcomes =
+            block_solvers ~pool ~prec ~variant ~policy blocks
+          in
           let apply r =
             let y = Array.make n 0.0 in
             Pool.parallel_for pool ~lo:0 ~hi:k (fun i ->
@@ -137,10 +213,33 @@ let create ?(pool = Pool.sequential) ?(prec = Precision.Double) ?(variant = Lu)
             Printf.sprintf "block-jacobi(%s,%d)" (variant_name variant)
               max_block_size
           in
-          (name, blk, apply))
+          (name, blk, apply, outcomes))
   in
+  (* Sequential fold in block order: deterministic lists whatever the
+     domain count. *)
+  let degraded = ref [] and perturbed = ref [] in
+  for i = Array.length outcomes - 1 downto 0 do
+    match outcomes.(i) with
+    | Healthy -> ()
+    | Degraded -> degraded := i :: !degraded
+    | Perturbed -> perturbed := i :: !perturbed
+  done;
+  (match (policy, !degraded) with
+  | Fail, i :: _ -> raise (Singular_block { block = i; variant })
+  | _ -> ());
   List.iter
-    (fun i -> Log.warn (fun m -> m "singular diagonal block %d: identity fallback" i))
-    !singulars;
+    (fun i ->
+      Log.warn (fun m -> m "singular diagonal block %d: identity fallback" i))
+    !degraded;
+  List.iter
+    (fun i ->
+      Log.info (fun m ->
+          m "singular diagonal block %d: factored after diagonal shift" i))
+    !perturbed;
   ( { Preconditioner.name; dim = n; setup_seconds; apply },
-    { blocking = blk; singular_blocks = List.rev !singulars } )
+    {
+      blocking = blk;
+      singular_blocks = !degraded;
+      degraded_blocks = !degraded;
+      perturbed_blocks = !perturbed;
+    } )

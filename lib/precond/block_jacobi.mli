@@ -20,10 +20,11 @@
     - {!Scalar}: plain (point) Jacobi — Table I's leftmost baseline.
 
     All variants run on the CPU reference path (the numerics are identical
-    to the simulated kernels, which the test suite cross-checks); a block
-    that turns out singular falls back to the identity on that block, with
-    a warning through [Logs], so one degenerate block does not lose the
-    whole preconditioner. *)
+    to the simulated kernels, which the test suite cross-checks).  Block
+    factorizations use the non-raising status API, so a singular diagonal
+    block never aborts the parallel setup — what happens to it is decided
+    by the {!breakdown_policy}, and the affected indices are reported in
+    {!info}. *)
 
 open Vblu_smallblas
 open Vblu_sparse
@@ -39,15 +40,42 @@ type variant =
 
 val variant_name : variant -> string
 
+(** What to do with a diagonal block whose factorization breaks down:
+
+    - {!Fail}: raise {!Singular_block} (after the parallel setup joins, so
+      the reported block index is the smallest one and deterministic);
+    - {!Identity_block} (the default): use the identity on that block —
+      the preconditioner stays well-defined, the block is merely not
+      preconditioned (mirrors MAGMA-sparse);
+    - [Perturb eps]: retry after adding [eps * scale] to the block's
+      diagonal ([scale] = largest absolute entry of the block, [1.0] if
+      the block is all zero); if the shifted block still breaks down, fall
+      back to the identity as in {!Identity_block}. *)
+type breakdown_policy = Fail | Identity_block | Perturb of float
+
+val policy_name : breakdown_policy -> string
+(** ["fail"], ["identity"], or ["perturb:EPS"] — the spelling the CLI
+    accepts. *)
+
+exception Singular_block of { block : int; variant : variant }
+(** Raised by {!create} under the {!Fail} policy for the first (smallest
+    index) block whose factorization broke down. *)
+
 type info = {
   blocking : Supervariable.blocking;
-  singular_blocks : int list;  (** indices that fell back to identity. *)
+  singular_blocks : int list;
+      (** back-compatible alias of [degraded_blocks]. *)
+  degraded_blocks : int list;
+      (** indices that fell back to the identity, ascending. *)
+  perturbed_blocks : int list;
+      (** indices salvaged by a [Perturb] diagonal shift, ascending. *)
 }
 
 val create :
   ?pool:Pool.t ->
   ?prec:Precision.t ->
   ?variant:variant ->
+  ?policy:breakdown_policy ->
   ?max_block_size:int ->
   ?blocking:Supervariable.blocking ->
   Csr.t ->
@@ -55,6 +83,9 @@ val create :
 (** [create a] builds the preconditioner.  [blocking] overrides the
     supervariable partition (e.g. {!Supervariable.uniform} for the kernel
     studies); [max_block_size] (default 32) is the supervariable
-    agglomeration bound otherwise.  [Preconditioner.t.setup_seconds] covers
-    blocking + extraction + factorization.
-    @raise Invalid_argument if [a] is not square or the blocking invalid. *)
+    agglomeration bound otherwise; [policy] (default {!Identity_block})
+    decides what happens to singular blocks.
+    [Preconditioner.t.setup_seconds] covers blocking + extraction +
+    factorization.
+    @raise Invalid_argument if [a] is not square or the blocking invalid.
+    @raise Singular_block under the {!Fail} policy. *)

@@ -6,6 +6,7 @@ type t = {
   mutable gmem_instrs : float;
   mutable gmem_transactions : float;
   mutable gmem_bytes : float;
+  mutable gmem_elems : float;
   mutable gmem_rounds : int;
   mutable useful_flops : float;
 }
@@ -19,6 +20,7 @@ let create () =
     gmem_instrs = 0.0;
     gmem_transactions = 0.0;
     gmem_bytes = 0.0;
+    gmem_elems = 0.0;
     gmem_rounds = 0;
     useful_flops = 0.0;
   }
@@ -31,6 +33,9 @@ let add acc x =
   acc.gmem_instrs <- acc.gmem_instrs +. x.gmem_instrs;
   acc.gmem_transactions <- acc.gmem_transactions +. x.gmem_transactions;
   acc.gmem_bytes <- acc.gmem_bytes +. x.gmem_bytes;
+  acc.gmem_elems <- acc.gmem_elems +. x.gmem_elems;
+  (* Rounds measure critical-path depth, not volume: parallel warps overlap
+     their latency, so merging takes the max rather than the sum. *)
   acc.gmem_rounds <- max acc.gmem_rounds x.gmem_rounds;
   acc.useful_flops <- acc.useful_flops +. x.useful_flops
 
@@ -45,6 +50,7 @@ let scale_into x f =
        extrapolation no longer picks up a spurious transaction per class. *)
     gmem_transactions = x.gmem_transactions *. f;
     gmem_bytes = x.gmem_bytes *. f;
+    gmem_elems = x.gmem_elems *. f;
     gmem_rounds = x.gmem_rounds;
     useful_flops = x.useful_flops *. f;
   }
@@ -58,8 +64,10 @@ let transactions t = int_of_float (Float.round t.gmem_transactions)
 
 let bytes t = int_of_float (Float.round t.gmem_bytes)
 
+let elems t = int_of_float (Float.round t.gmem_elems)
+
 let pp ppf t =
   Format.fprintf ppf
-    "fma=%.0f div=%.0f shfl=%.0f smem=%.0f gmem_ld=%.0f gmem_txn=%.0f gmem_bytes=%.0f rounds=%d flops=%.0f"
+    "fma=%.0f div=%.0f shfl=%.0f smem=%.0f gmem_ld=%.0f gmem_txn=%.0f gmem_bytes=%.0f gmem_elems=%.0f rounds=%d flops=%.0f"
     t.fma_instrs t.div_instrs t.shfl_instrs t.smem_accesses t.gmem_instrs t.gmem_transactions
-    t.gmem_bytes t.gmem_rounds t.useful_flops
+    t.gmem_bytes t.gmem_elems t.gmem_rounds t.useful_flops

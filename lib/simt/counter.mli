@@ -24,16 +24,32 @@ type t = {
   mutable gmem_bytes : float;
       (** bytes moved over the global-memory interface (float, same
           rationale as [gmem_transactions]). *)
+  mutable gmem_elems : float;
+      (** matrix/vector elements touched by active lanes, before
+          coalescing.  Whereas [gmem_transactions] depends on the access
+          pattern (a strided read of [n] elements can cost [n]
+          transactions, a unit-stride one far fewer), [gmem_elems] counts
+          the logical data volume — the quantity two algorithmic variants
+          of the same routine must agree on.  The eager/lazy TRSV parity
+          test is stated in these units. *)
   mutable gmem_rounds : int;
       (** dependent global-memory round-trips (each adds a latency term to
-          the single-warp critical path). *)
+          the single-warp critical path).  NOTE: unlike every other field,
+          {!add} merges this with [max], not [+] — see {!add}. *)
   mutable useful_flops : float;
 }
 
 val create : unit -> t
 
 val add : t -> t -> unit
-(** [add acc x] accumulates [x] into [acc]. *)
+(** [add acc x] accumulates [x] into [acc].  Every field sums, with one
+    exception: [gmem_rounds] merges with [max], not [+].  Rounds model the
+    {e critical-path depth} of dependent memory round-trips within one
+    warp; warps in a batch overlap those latencies, so the batch-level
+    depth is the deepest single warp, not the sum over warps.  Summing
+    would make modelled latency grow linearly with batch size and bury the
+    throughput terms.  (For the same reason {!scale_into} leaves
+    [gmem_rounds] unscaled.) *)
 
 val scale_into : t -> float -> t
 (** [scale_into x f] returns a fresh counter holding [x] scaled by [f] —
@@ -46,6 +62,10 @@ val transactions : t -> int
 
 val bytes : t -> int
 (** Global-memory byte total, rounded to the nearest integer. *)
+
+val elems : t -> int
+(** Global-memory element total (active-lane accesses before coalescing),
+    rounded to the nearest integer. *)
 
 val credit_flops : t -> float -> unit
 

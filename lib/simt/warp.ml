@@ -130,7 +130,9 @@ let count_transactions t mem addrs act =
     t.counter.Counter.gmem_transactions +. float_of_int n;
   t.counter.Counter.gmem_bytes <-
     t.counter.Counter.gmem_bytes
-    +. float_of_int (n * t.cfg.Config.transaction_bytes)
+    +. float_of_int (n * t.cfg.Config.transaction_bytes);
+  t.counter.Counter.gmem_elems <-
+    t.counter.Counter.gmem_elems +. float_of_int !active
 
 let load t mem ?active addrs =
   check_lanes t addrs "Warp.load";

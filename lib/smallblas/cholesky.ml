@@ -2,34 +2,47 @@ exception Not_positive_definite of int
 
 type factors = { l : Matrix.t }
 
-let factor ?(prec = Precision.Double) m =
+let factor_status ?(prec = Precision.Double) m =
   let rows, cols = Matrix.dims m in
   if rows <> cols then invalid_arg "Cholesky.factor: matrix not square";
   let n = rows in
   (* Work on a lower-triangular copy; the strict upper part is ignored. *)
   let w = Matrix.init n n (fun i j -> if i >= j then Matrix.unsafe_get m i j else 0.0) in
-  for k = 0 to n - 1 do
-    let d = Matrix.unsafe_get w k k in
-    if not (d > 0.0) then raise (Not_positive_definite k);
-    let dk = Precision.round prec (sqrt d) in
-    Matrix.unsafe_set w k k dk;
-    for i = k + 1 to n - 1 do
-      Matrix.unsafe_set w i k (Precision.div prec (Matrix.unsafe_get w i k) dk)
-    done;
-    (* Right-looking trailing update of the lower triangle. *)
-    for j = k + 1 to n - 1 do
-      let ljk = Matrix.unsafe_get w j k in
-      if ljk <> 0.0 then
-        for i = j to n - 1 do
-          Matrix.unsafe_set w i j
-            (Precision.fma prec
-               (-.Matrix.unsafe_get w i k)
-               ljk
-               (Matrix.unsafe_get w i j))
-        done
-    done
-  done;
-  { l = w }
+  let info = ref 0 in
+  (try
+     for k = 0 to n - 1 do
+       let d = Matrix.unsafe_get w k k in
+       if not (d > 0.0) then begin
+         (* Non-positive (or NaN) diagonal: the matrix is not positive
+            definite.  Freeze after steps 0..k-1, flag info = k + 1. *)
+         info := k + 1;
+         raise Exit
+       end;
+       let dk = Precision.round prec (sqrt d) in
+       Matrix.unsafe_set w k k dk;
+       for i = k + 1 to n - 1 do
+         Matrix.unsafe_set w i k (Precision.div prec (Matrix.unsafe_get w i k) dk)
+       done;
+       (* Right-looking trailing update of the lower triangle. *)
+       for j = k + 1 to n - 1 do
+         let ljk = Matrix.unsafe_get w j k in
+         if ljk <> 0.0 then
+           for i = j to n - 1 do
+             Matrix.unsafe_set w i j
+               (Precision.fma prec
+                  (-.Matrix.unsafe_get w i k)
+                  ljk
+                  (Matrix.unsafe_get w i j))
+           done
+       done
+     done
+   with Exit -> ());
+  ({ l = w }, !info)
+
+let factor ?prec m =
+  let f, info = factor_status ?prec m in
+  if info <> 0 then raise (Not_positive_definite (info - 1));
+  f
 
 let solve ?(prec = Precision.Double) { l } b =
   let n, _ = Matrix.dims l in

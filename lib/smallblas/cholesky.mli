@@ -20,6 +20,12 @@ val factor : ?prec:Precision.t -> Matrix.t -> factors
     @raise Not_positive_definite on breakdown.
     @raise Invalid_argument if the matrix is not square. *)
 
+val factor_status : ?prec:Precision.t -> Matrix.t -> factors * int
+(** Non-raising {!factor} with the LAPACK [info] convention: [info = 0] on
+    success, [k + 1] when the pivot at (0-based) step [k] is not strictly
+    positive (the block is not SPD).  On breakdown the factor holds the
+    frozen partial state — steps [0 .. k-1] applied. *)
+
 val solve : ?prec:Precision.t -> factors -> Vector.t -> Vector.t
 (** [solve f b] returns [x] with [L·Lᵀ·x = b] (forward then transposed
     backward sweep, both "eager"). *)

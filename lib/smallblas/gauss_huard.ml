@@ -8,12 +8,14 @@ let fget f i j =
   | Normal -> Matrix.unsafe_get f.gh i j
   | Transposed -> Matrix.unsafe_get f.gh j i
 
-let factor ?(prec = Precision.Double) ?(storage = Normal) m =
+let factor_status ?(prec = Precision.Double) ?(storage = Normal) m =
   let rows, cols = Matrix.dims m in
   if rows <> cols then invalid_arg "Gauss_huard.factor: matrix not square";
   let n = rows in
   let w = Matrix.copy m in
   let cperm = Array.init n (fun j -> j) in
+  let info = ref 0 in
+  (try
   for k = 0 to n - 1 do
     (* Lazy update of row k, columns k..n-1, against the processed rows. *)
     for j = k to n - 1 do
@@ -44,7 +46,10 @@ let factor ?(prec = Precision.Double) ?(storage = Normal) m =
       cperm.(!piv) <- tmp
     end;
     let d = Matrix.unsafe_get w k k in
-    if d = 0.0 then raise (Error.Singular k);
+    if d = 0.0 then begin
+      info := k + 1;
+      raise Exit
+    end;
     (* Scale the trailing part of row k by the pivot. *)
     for j = k + 1 to n - 1 do
       Matrix.unsafe_set w k j (Precision.div prec (Matrix.unsafe_get w k j) d)
@@ -59,35 +64,57 @@ let factor ?(prec = Precision.Double) ?(storage = Normal) m =
             (Precision.fma prec (-.l) (Matrix.unsafe_get w k j) (Matrix.unsafe_get w i j))
         done
     done
-  done;
-  match storage with
-  | Normal -> { gh = w; cperm; storage }
-  | Transposed -> { gh = Matrix.transpose w; cperm; storage }
+  done
+  with Exit -> ());
+  (* On breakdown the elimination freezes after steps 0..k-1; the partial
+     factors are still returned (frozen state, matching the kernel). *)
+  let f =
+    match storage with
+    | Normal -> { gh = w; cperm; storage }
+    | Transposed -> { gh = Matrix.transpose w; cperm; storage }
+  in
+  (f, !info)
 
-let solve_permuted ?(prec = Precision.Double) f b =
+let factor ?prec ?storage m =
+  let f, info = factor_status ?prec ?storage m in
+  if info <> 0 then raise (Error.Singular (info - 1));
+  f
+
+let solve_permuted_status ?(prec = Precision.Double) f b =
   let n = Array.length f.cperm in
   if Array.length b <> n then invalid_arg "Gauss_huard.solve: dimension mismatch";
   let y = Array.copy b in
-  for k = 0 to n - 1 do
-    (* DOT against the lower multipliers, then the pivot division ... *)
-    let acc = ref y.(k) in
-    for j = 0 to k - 1 do
-      acc := Precision.fma prec (-.fget f k j) y.(j) !acc
-    done;
-    y.(k) <- Precision.div prec !acc (fget f k k);
-    (* ... then the eager AXPY against the upper multipliers. *)
-    let yk = y.(k) in
-    for i = 0 to k - 1 do
-      y.(i) <- Precision.fma prec (-.fget f i k) yk y.(i)
-    done
-  done;
-  y
+  let info = ref 0 in
+  (try
+     for k = 0 to n - 1 do
+       (* DOT against the lower multipliers, then the pivot division ... *)
+       let acc = ref y.(k) in
+       for j = 0 to k - 1 do
+         acc := Precision.fma prec (-.fget f k j) y.(j) !acc
+       done;
+       let d = fget f k k in
+       if d = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       y.(k) <- Precision.div prec !acc d;
+       (* ... then the eager AXPY against the upper multipliers. *)
+       let yk = y.(k) in
+       for i = 0 to k - 1 do
+         y.(i) <- Precision.fma prec (-.fget f i k) yk y.(i)
+       done
+     done
+   with Exit -> ());
+  (y, !info)
 
-let solve ?(prec = Precision.Double) f b =
-  let y = solve_permuted ~prec f b in
+let solve_status ?(prec = Precision.Double) f b =
+  let y, info = solve_permuted_status ~prec f b in
   let x = Array.make (Array.length y) 0.0 in
   Array.iteri (fun j c -> x.(c) <- y.(j)) f.cperm;
-  x
+  (x, info)
+
+let solve ?(prec = Precision.Double) f b =
+  fst (solve_status ~prec f b)
 
 let solve_in_place ?(prec = Precision.Double) f b =
   let x = solve ~prec f b in

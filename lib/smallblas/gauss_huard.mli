@@ -37,10 +37,23 @@ val factor : ?prec:Precision.t -> ?storage:storage -> Matrix.t -> factors
     @raise Error.Singular on a zero pivot (structurally singular block).
     @raise Invalid_argument if the matrix is not square. *)
 
+val factor_status :
+  ?prec:Precision.t -> ?storage:storage -> Matrix.t -> factors * int
+(** Non-raising {!factor} with the LAPACK [info] convention: [info = 0] on
+    success, [k + 1] when the first zero pivot (after the column exchange)
+    appears at (0-based) step [k].  On breakdown the elimination freezes —
+    steps [0 .. k-1] applied, the partial factors returned as-is. *)
+
 val solve : ?prec:Precision.t -> factors -> Vector.t -> Vector.t
 (** [solve f b] returns [x] with [A x = b]: a forward sweep combining a DOT
     against the lower multipliers with the pivot division, interleaved with
     AXPY updates against the upper multipliers, then the inverse column
     permutation.  Cost [2 n^2] flops, like a pair of triangular solves. *)
+
+val solve_status : ?prec:Precision.t -> factors -> Vector.t -> Vector.t * int
+(** Non-raising {!solve} for possibly-degenerate factors (e.g. from a
+    frozen {!factor_status}): on a zero diagonal at step [k] the sweep
+    stops, [info = k + 1], and the unpermuted tail of the solution keeps
+    its frozen partial values. *)
 
 val solve_in_place : ?prec:Precision.t -> factors -> Vector.t -> unit

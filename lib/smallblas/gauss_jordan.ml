@@ -4,7 +4,7 @@
    the clearest correct reference, and only the reference is used for
    numerics. *)
 
-let invert ?(prec = Precision.Double) m =
+let invert_status ?(prec = Precision.Double) m =
   let rows, cols = Matrix.dims m in
   if rows <> cols then invalid_arg "Gauss_jordan.invert: matrix not square";
   let n = rows in
@@ -17,32 +17,46 @@ let invert ?(prec = Precision.Double) m =
       set i (n + j) (if i = j then 1.0 else 0.0)
     done
   done;
-  for k = 0 to n - 1 do
-    let piv = ref k in
-    for i = k + 1 to n - 1 do
-      if Float.abs (get i k) > Float.abs (get !piv k) then piv := i
-    done;
-    let d = get !piv k in
-    if d = 0.0 then raise (Error.Singular k);
-    if !piv <> k then
-      for j = 0 to (2 * n) - 1 do
-        let tmp = get k j in
-        set k j (get !piv j);
-        set !piv j tmp
-      done;
-    for j = 0 to (2 * n) - 1 do
-      set k j (Precision.div prec (get k j) d)
-    done;
-    for i = 0 to n - 1 do
-      if i <> k then begin
-        let l = get i k in
-        if l <> 0.0 then
-          for j = 0 to (2 * n) - 1 do
-            set i j (Precision.fma prec (-.l) (get k j) (get i j))
-          done
-      end
-    done
-  done;
-  Matrix.init n n (fun i j -> get i (n + j))
+  let info = ref 0 in
+  (try
+     for k = 0 to n - 1 do
+       let piv = ref k in
+       for i = k + 1 to n - 1 do
+         if Float.abs (get i k) > Float.abs (get !piv k) then piv := i
+       done;
+       let d = get !piv k in
+       if d = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       if !piv <> k then
+         for j = 0 to (2 * n) - 1 do
+           let tmp = get k j in
+           set k j (get !piv j);
+           set !piv j tmp
+         done;
+       for j = 0 to (2 * n) - 1 do
+         set k j (Precision.div prec (get k j) d)
+       done;
+       for i = 0 to n - 1 do
+         if i <> k then begin
+           let l = get i k in
+           if l <> 0.0 then
+             for j = 0 to (2 * n) - 1 do
+               set i j (Precision.fma prec (-.l) (get k j) (get i j))
+             done
+         end
+       done
+     done
+   with Exit -> ());
+  (* On breakdown at step k the reduction freezes: columns 0..k-1 of the
+     left half are already identity and the right half holds the partial
+     transform — returned as-is, flagged by info = k + 1. *)
+  (Matrix.init n n (fun i j -> get i (n + j)), !info)
+
+let invert ?prec m =
+  let inv, info = invert_status ?prec m in
+  if info <> 0 then raise (Error.Singular (info - 1));
+  inv
 
 let solve ?(prec = Precision.Double) inv b = Matrix.gemv ~prec inv b

@@ -13,6 +13,12 @@ val invert : ?prec:Precision.t -> Matrix.t -> Matrix.t
     @raise Error.Singular on pivot breakdown.
     @raise Invalid_argument if the matrix is not square. *)
 
+val invert_status : ?prec:Precision.t -> Matrix.t -> Matrix.t * int
+(** Non-raising {!invert} with the LAPACK [info] convention: [info = 0] on
+    success, [k + 1] for a zero pivot at (0-based) step [k].  On breakdown
+    the returned matrix holds the frozen partial transform and must be
+    discarded by the caller. *)
+
 val solve : ?prec:Precision.t -> Matrix.t -> Vector.t -> Vector.t
 (** [solve inv b] applies a precomputed inverse: [inv * b].  Provided for
     symmetry with the factorization-based solvers. *)

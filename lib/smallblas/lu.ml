@@ -7,110 +7,163 @@ let check_square m name =
   if rows <> cols then invalid_arg (name ^ ": matrix not square");
   rows
 
-let factor_explicit ?(prec = Precision.Double) m =
+(* All [_status] factorizations share the breakdown ("freeze") contract:
+   on the first zero pivot at (0-based) step [k] the elimination stops,
+   [info = k + 1] is returned, and the factors hold the partial state as
+   of that step — steps [0 .. k-1] fully applied, nothing after.  The
+   batched kernels implement the same rule, so kernel and reference stay
+   bit-for-bit identical even on singular blocks. *)
+
+let factor_explicit_status ?(prec = Precision.Double) m =
   let n = check_square m "Lu.factor_explicit" in
   let w = Matrix.copy m in
   let perm = Array.init n (fun i -> i) in
-  for k = 0 to n - 1 do
-    (* Partial pivoting: largest magnitude in column k, rows k..n-1. *)
-    let piv = ref k in
-    for i = k + 1 to n - 1 do
-      if Float.abs (Matrix.unsafe_get w i k) > Float.abs (Matrix.unsafe_get w !piv k)
-      then piv := i
-    done;
-    if !piv <> k then begin
-      for j = 0 to n - 1 do
-        let tmp = Matrix.unsafe_get w k j in
-        Matrix.unsafe_set w k j (Matrix.unsafe_get w !piv j);
-        Matrix.unsafe_set w !piv j tmp
-      done;
-      let tmp = perm.(k) in
-      perm.(k) <- perm.(!piv);
-      perm.(!piv) <- tmp
-    end;
-    let d = Matrix.unsafe_get w k k in
-    if d = 0.0 then raise (Singular k);
-    for i = k + 1 to n - 1 do
-      Matrix.unsafe_set w i k (Precision.div prec (Matrix.unsafe_get w i k) d)
-    done;
-    for j = k + 1 to n - 1 do
-      let ukj = Matrix.unsafe_get w k j in
-      if ukj <> 0.0 then
-        for i = k + 1 to n - 1 do
-          Matrix.unsafe_set w i j
-            (Precision.fma prec
-               (-.Matrix.unsafe_get w i k)
-               ukj
-               (Matrix.unsafe_get w i j))
-        done
-    done
-  done;
-  { lu = w; perm }
+  let info = ref 0 in
+  (try
+     for k = 0 to n - 1 do
+       (* Partial pivoting: largest magnitude in column k, rows k..n-1. *)
+       let piv = ref k in
+       for i = k + 1 to n - 1 do
+         if Float.abs (Matrix.unsafe_get w i k) > Float.abs (Matrix.unsafe_get w !piv k)
+         then piv := i
+       done;
+       if !piv <> k then begin
+         for j = 0 to n - 1 do
+           let tmp = Matrix.unsafe_get w k j in
+           Matrix.unsafe_set w k j (Matrix.unsafe_get w !piv j);
+           Matrix.unsafe_set w !piv j tmp
+         done;
+         let tmp = perm.(k) in
+         perm.(k) <- perm.(!piv);
+         perm.(!piv) <- tmp
+       end;
+       let d = Matrix.unsafe_get w k k in
+       if d = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       for i = k + 1 to n - 1 do
+         Matrix.unsafe_set w i k (Precision.div prec (Matrix.unsafe_get w i k) d)
+       done;
+       for j = k + 1 to n - 1 do
+         let ukj = Matrix.unsafe_get w k j in
+         if ukj <> 0.0 then
+           for i = k + 1 to n - 1 do
+             Matrix.unsafe_set w i j
+               (Precision.fma prec
+                  (-.Matrix.unsafe_get w i k)
+                  ukj
+                  (Matrix.unsafe_get w i j))
+           done
+       done
+     done
+   with Exit -> ());
+  ({ lu = w; perm }, !info)
 
-let factor_implicit ?(prec = Precision.Double) m =
+let factor_explicit ?prec m =
+  let f, info = factor_explicit_status ?prec m in
+  if info <> 0 then raise (Singular (info - 1));
+  f
+
+let factor_implicit_status ?(prec = Precision.Double) m =
   let n = check_square m "Lu.factor_implicit" in
   let w = Matrix.copy m in
   (* step.(r) = elimination step at which original row r was chosen as
      pivot, or -1 while the row is still unpivoted (the paper's [p]). *)
   let step = Array.make n (-1) in
-  for k = 0 to n - 1 do
-    (* Pivot search restricted to rows not yet pivoted — in the kernel this
-       is a predicated warp reduction over column k. *)
-    let piv = ref (-1) in
-    for r = 0 to n - 1 do
-      if
-        step.(r) < 0
-        && (!piv < 0
-            || Float.abs (Matrix.unsafe_get w r k)
-               > Float.abs (Matrix.unsafe_get w !piv k))
-      then piv := r
-    done;
-    let d = Matrix.unsafe_get w !piv k in
-    if d = 0.0 then raise (Singular k);
-    step.(!piv) <- k;
-    (* Every still-unpivoted row scales its k-th element and updates its
-       trailing part against the pivot row — no data movement. *)
+  let info = ref 0 in
+  (try
+     for k = 0 to n - 1 do
+       (* Pivot search restricted to rows not yet pivoted — in the kernel
+          this is a predicated warp reduction over column k. *)
+       let piv = ref (-1) in
+       for r = 0 to n - 1 do
+         if
+           step.(r) < 0
+           && (!piv < 0
+               || Float.abs (Matrix.unsafe_get w r k)
+                  > Float.abs (Matrix.unsafe_get w !piv k))
+         then piv := r
+       done;
+       let d = Matrix.unsafe_get w !piv k in
+       if d = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       step.(!piv) <- k;
+       (* Every still-unpivoted row scales its k-th element and updates its
+          trailing part against the pivot row — no data movement. *)
+       for r = 0 to n - 1 do
+         if step.(r) < 0 then begin
+           Matrix.unsafe_set w r k (Precision.div prec (Matrix.unsafe_get w r k) d);
+           let l = Matrix.unsafe_get w r k in
+           for j = k + 1 to n - 1 do
+             Matrix.unsafe_set w r j
+               (Precision.fma prec (-.l)
+                  (Matrix.unsafe_get w !piv j)
+                  (Matrix.unsafe_get w r j))
+           done
+         end
+       done
+     done
+   with Exit -> ());
+  (* A breakdown at step k leaves rows unpivoted; they take the remaining
+     steps k, k+1, ... in increasing row order so the fused write-back
+     permutation below stays total (and deterministic — the kernel applies
+     the same rule). *)
+  if !info <> 0 then begin
+    let next = ref (!info - 1) in
     for r = 0 to n - 1 do
       if step.(r) < 0 then begin
-        Matrix.unsafe_set w r k (Precision.div prec (Matrix.unsafe_get w r k) d);
-        let l = Matrix.unsafe_get w r k in
-        for j = k + 1 to n - 1 do
-          Matrix.unsafe_set w r j
-            (Precision.fma prec (-.l)
-               (Matrix.unsafe_get w !piv j)
-               (Matrix.unsafe_get w r j))
-        done
+        step.(r) <- !next;
+        incr next
       end
     done
-  done;
+  end;
   (* Combined row swap, fused with the write-back in the real kernel:
      the row pivoted at step k lands in row k of the packed factors. *)
   let perm = Array.make n 0 in
   Array.iteri (fun r k -> perm.(k) <- r) step;
-  { lu = Matrix.permute_rows w perm; perm }
+  ({ lu = Matrix.permute_rows w perm; perm }, !info)
 
-let factor_nopivot ?(prec = Precision.Double) m =
+let factor_implicit ?prec m =
+  let f, info = factor_implicit_status ?prec m in
+  if info <> 0 then raise (Singular (info - 1));
+  f
+
+let factor_nopivot_status ?(prec = Precision.Double) m =
   let n = check_square m "Lu.factor_nopivot" in
   let w = Matrix.copy m in
-  for k = 0 to n - 1 do
-    let d = Matrix.unsafe_get w k k in
-    if d = 0.0 then raise (Singular k);
-    for i = k + 1 to n - 1 do
-      Matrix.unsafe_set w i k (Precision.div prec (Matrix.unsafe_get w i k) d)
-    done;
-    for j = k + 1 to n - 1 do
-      let ukj = Matrix.unsafe_get w k j in
-      if ukj <> 0.0 then
-        for i = k + 1 to n - 1 do
-          Matrix.unsafe_set w i j
-            (Precision.fma prec
-               (-.Matrix.unsafe_get w i k)
-               ukj
-               (Matrix.unsafe_get w i j))
-        done
-    done
-  done;
-  { lu = w; perm = Array.init n (fun i -> i) }
+  let info = ref 0 in
+  (try
+     for k = 0 to n - 1 do
+       let d = Matrix.unsafe_get w k k in
+       if d = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       for i = k + 1 to n - 1 do
+         Matrix.unsafe_set w i k (Precision.div prec (Matrix.unsafe_get w i k) d)
+       done;
+       for j = k + 1 to n - 1 do
+         let ukj = Matrix.unsafe_get w k j in
+         if ukj <> 0.0 then
+           for i = k + 1 to n - 1 do
+             Matrix.unsafe_set w i j
+               (Precision.fma prec
+                  (-.Matrix.unsafe_get w i k)
+                  ukj
+                  (Matrix.unsafe_get w i j))
+           done
+       done
+     done
+   with Exit -> ());
+  ({ lu = w; perm = Array.init n (fun i -> i) }, !info)
+
+let factor_nopivot ?prec m =
+  let f, info = factor_nopivot_status ?prec m in
+  if info <> 0 then raise (Singular (info - 1));
+  f
 
 let unpack { lu; _ } =
   let n, _ = Matrix.dims lu in
@@ -129,6 +182,9 @@ let solve_in_place ?(prec = Precision.Double) f b =
 
 let solve ?(prec = Precision.Double) f b =
   Trsv.solve ~prec f.lu f.perm b
+
+let solve_status ?(prec = Precision.Double) f b =
+  Trsv.solve_status ~prec f.lu f.perm b
 
 let det f =
   let n, _ = Matrix.dims f.lu in

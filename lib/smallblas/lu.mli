@@ -28,6 +28,24 @@ exception Singular of int
 (** [Singular k] signals a zero (or subnormal-tiny) pivot at elimination
     step [k]: the block is numerically singular. *)
 
+(** {2 Status-returning factorizations}
+
+    The [_status] variants never raise on numerical breakdown.  They
+    return [(factors, info)] with the LAPACK convention: [info = 0] on
+    success, [info = k + 1] when the first zero pivot was met at (0-based)
+    elimination step [k].  On breakdown the elimination {e freezes}: steps
+    [0 .. k-1] are fully applied and nothing after, and for the implicit
+    variant the still-unpivoted rows take the remaining steps in
+    increasing row order so [perm] is always a total permutation.  The
+    batched register kernels implement the identical rule, keeping kernel
+    and reference bit-for-bit comparable even on singular blocks. *)
+
+val factor_explicit_status : ?prec:Precision.t -> Matrix.t -> factors * int
+
+val factor_implicit_status : ?prec:Precision.t -> Matrix.t -> factors * int
+
+val factor_nopivot_status : ?prec:Precision.t -> Matrix.t -> factors * int
+
 val factor_explicit : ?prec:Precision.t -> Matrix.t -> factors
 (** Reference LU with explicit partial pivoting.  The input matrix is not
     modified.  @raise Singular on pivot breakdown.
@@ -52,6 +70,11 @@ val solve : ?prec:Precision.t -> factors -> Vector.t -> Vector.t
 
 val solve_in_place : ?prec:Precision.t -> factors -> Vector.t -> unit
 (** Same, overwriting the argument with the solution. *)
+
+val solve_status : ?prec:Precision.t -> factors -> Vector.t -> Vector.t * int
+(** Non-raising {!solve}: [(x, info)] with [info = 0] on success or
+    [k + 1] for a zero diagonal of [U] at step [k] (see
+    {!Trsv.solve_status}). *)
 
 val det : factors -> float
 (** Determinant of the original matrix (product of pivots times the

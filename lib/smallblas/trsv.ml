@@ -25,31 +25,49 @@ let lower_unit_in_place ?(prec = Precision.Double) ?(variant = Eager) m b =
       done
     done
 
-let upper_in_place ?(prec = Precision.Double) ?(variant = Eager) m b =
+let upper_in_place_status ?(prec = Precision.Double) ?(variant = Eager) m b =
   check m b "Trsv.upper_in_place";
   let n = Array.length b in
-  let diag k =
-    let d = Matrix.unsafe_get m k k in
-    if d = 0.0 then raise (Error.Singular k);
-    d
-  in
-  match variant with
-  | Lazy ->
-    for k = n - 1 downto 0 do
-      let acc = ref b.(k) in
-      for j = k + 1 to n - 1 do
-        acc := Precision.fma prec (-.Matrix.unsafe_get m k j) b.(j) !acc
-      done;
-      b.(k) <- Precision.div prec !acc (diag k)
-    done
-  | Eager ->
-    for k = n - 1 downto 0 do
-      b.(k) <- Precision.div prec b.(k) (diag k);
-      let bk = b.(k) in
-      for i = 0 to k - 1 do
-        b.(i) <- Precision.fma prec (-.Matrix.unsafe_get m i k) bk b.(i)
-      done
-    done
+  (* On a zero diagonal entry at step [k] the sweep freezes: [info] is set
+     to [k + 1], no further element of [b] is written, and the partial
+     state (steps [n-1 .. k+1] already applied) is left in place — the same
+     state the batched kernel stores back when a warp predicates off a dead
+     problem. *)
+  let info = ref 0 in
+  (try
+     match variant with
+     | Lazy ->
+       for k = n - 1 downto 0 do
+         let acc = ref b.(k) in
+         for j = k + 1 to n - 1 do
+           acc := Precision.fma prec (-.Matrix.unsafe_get m k j) b.(j) !acc
+         done;
+         let d = Matrix.unsafe_get m k k in
+         if d = 0.0 then begin
+           info := k + 1;
+           raise Exit
+         end;
+         b.(k) <- Precision.div prec !acc d
+       done
+     | Eager ->
+       for k = n - 1 downto 0 do
+         let d = Matrix.unsafe_get m k k in
+         if d = 0.0 then begin
+           info := k + 1;
+           raise Exit
+         end;
+         b.(k) <- Precision.div prec b.(k) d;
+         let bk = b.(k) in
+         for i = 0 to k - 1 do
+           b.(i) <- Precision.fma prec (-.Matrix.unsafe_get m i k) bk b.(i)
+         done
+       done
+   with Exit -> ());
+  !info
+
+let upper_in_place ?(prec = Precision.Double) ?(variant = Eager) m b =
+  let info = upper_in_place_status ~prec ~variant m b in
+  if info <> 0 then raise (Error.Singular (info - 1))
 
 let apply_perm perm b =
   if Array.length perm <> Array.length b then
@@ -63,8 +81,13 @@ let apply_perm_inv perm b =
   Array.iteri (fun k p -> out.(p) <- b.(k)) perm;
   out
 
-let solve ?(prec = Precision.Double) ?(variant = Eager) lu perm b =
+let solve_status ?(prec = Precision.Double) ?(variant = Eager) lu perm b =
   let x = apply_perm perm b in
   lower_unit_in_place ~prec ~variant lu x;
-  upper_in_place ~prec ~variant lu x;
+  let info = upper_in_place_status ~prec ~variant lu x in
+  (x, info)
+
+let solve ?(prec = Precision.Double) ?(variant = Eager) lu perm b =
+  let x, info = solve_status ~prec ~variant lu perm b in
+  if info <> 0 then raise (Error.Singular (info - 1));
   x

@@ -28,6 +28,15 @@ val upper_in_place :
     where [U] is the upper triangle (with diagonal) packed in [m].
     @raise Error.Singular on a zero diagonal entry. *)
 
+val upper_in_place_status :
+  ?prec:Precision.t -> ?variant:variant -> Matrix.t -> Vector.t -> int
+(** Non-raising variant of {!upper_in_place} with the LAPACK [info]
+    convention: returns [0] on success, or [k + 1] if the sweep hit a zero
+    diagonal entry at (0-based) step [k].  On breakdown the sweep freezes —
+    steps [n-1 .. k+1] have been applied, [b.(k) ..] are left untouched —
+    mirroring exactly the state the batched kernel writes back for a dead
+    problem, so the two stay bit-for-bit comparable. *)
+
 val apply_perm : int array -> Vector.t -> Vector.t
 (** [apply_perm perm b] is the permuted right-hand side [Pb]:
     element [k] of the result is [b.(perm.(k))] — exactly the fused
@@ -38,4 +47,11 @@ val apply_perm_inv : int array -> Vector.t -> Vector.t
 
 val solve : ?prec:Precision.t -> ?variant:variant -> Matrix.t -> int array -> Vector.t -> Vector.t
 (** [solve lu perm b]: permute, lower solve, upper solve — the full GETRS
-    sequence on packed factors, returning a fresh solution vector. *)
+    sequence on packed factors, returning a fresh solution vector.
+    @raise Error.Singular on a zero diagonal entry of [U]. *)
+
+val solve_status :
+  ?prec:Precision.t -> ?variant:variant -> Matrix.t -> int array -> Vector.t -> Vector.t * int
+(** Non-raising {!solve}: returns [(x, info)] with [info = 0] on success or
+    [k + 1] for a zero diagonal at step [k] of the upper sweep (see
+    {!upper_in_place_status} for the frozen partial state of [x]). *)

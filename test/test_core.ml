@@ -164,12 +164,101 @@ let test_batched_lu_nopivot_on_diagdom () =
         (Matrix.max_abs_diff f.Lu.lu (Batch.get_matrix r.Batched_lu.factors i)))
     (Batch.to_matrices b)
 
+(* A matrix with column [k] zeroed out.  A zero column is invariant under
+   the elimination updates (every update subtracts a multiple of its own
+   entry), so pivoted LU runs exactly [k] clean steps and meets an exactly
+   zero pivot column at step [k]: info = k + 1, with no rounding hazard. *)
+let poison_column m k =
+  let n, _ = Matrix.dims m in
+  let p = Matrix.copy m in
+  for r = 0 to n - 1 do
+    Matrix.set p r k 0.0
+  done;
+  p
+
 let test_batched_lu_singular () =
+  (* A singular block no longer aborts the batch (tentpole): the kernel
+     completes, flags the dead problem in [info], and leaves the healthy
+     one bit-identical to the reference. *)
   let b = Batch.of_matrices [| Matrix.identity 4; Matrix.create 4 4 |] in
-  Alcotest.(check bool) "raises Block_singular with index" true
-    (match Batched_lu.factor b with
-    | exception Batched_lu.Block_singular { block = 1; step = 0 } -> true
-    | _ -> false)
+  let r = Batched_lu.factor b in
+  Alcotest.(check (array int)) "info flags block 1 at step 0" [| 0; 1 |]
+    r.Batched_lu.info;
+  let healthy = Lu.factor_implicit (Matrix.identity 4) in
+  check_float "healthy block bit-identical" 0.0
+    (Matrix.max_abs_diff healthy.Lu.lu (Batch.get_matrix r.Batched_lu.factors 0))
+
+let test_batched_lu_breakdown_matches_reference () =
+  (* Frozen partial factors, the completed permutation, and the info codes
+     must all match the CPU status reference bitwise, in every pivot mode
+     (the shared freeze contract). *)
+  let st = state 70 in
+  let ms =
+    Array.init 12 (fun i ->
+        let n = 2 + Random.State.int st 31 in
+        let m = Matrix.random_general ~state:st n in
+        if i mod 2 = 0 then poison_column m (Random.State.int st n) else m)
+  in
+  let b = Batch.of_matrices ms in
+  List.iter
+    (fun (pivoting, reference) ->
+      let r = Batched_lu.factor ~pivoting b in
+      Array.iteri
+        (fun i m ->
+          let f, inf = reference m in
+          Alcotest.(check int) "info equal" inf r.Batched_lu.info.(i);
+          check_float "frozen factors bitwise equal" 0.0
+            (Matrix.max_abs_diff f.Lu.lu
+               (Batch.get_matrix r.Batched_lu.factors i));
+          Alcotest.(check (array int)) "permutation equal (and total)" f.Lu.perm
+            r.Batched_lu.pivots.(i))
+        ms)
+    [
+      (Batched_lu.Implicit, Lu.factor_implicit_status ?prec:None);
+      (Batched_lu.Explicit, Lu.factor_explicit_status ?prec:None);
+    ]
+
+let test_batched_lu_breakdown_leaves_others_untouched () =
+  (* Poisoning one problem must not change any bit of its batch-mates. *)
+  let st = state 71 in
+  let ms = Array.init 5 (fun _ -> Matrix.random_general ~state:st 16) in
+  let clean = Batched_lu.factor (Batch.of_matrices ms) in
+  let poisoned = Array.copy ms in
+  poisoned.(2) <- poison_column ms.(2) 7;
+  let r = Batched_lu.factor (Batch.of_matrices poisoned) in
+  Alcotest.(check (array int)) "only problem 2 flagged" [| 0; 0; 8; 0; 0 |]
+    r.Batched_lu.info;
+  Array.iteri
+    (fun i _ ->
+      if i <> 2 then
+        check_float "unpoisoned problem bit-identical" 0.0
+          (Matrix.max_abs_diff
+             (Batch.get_matrix clean.Batched_lu.factors i)
+             (Batch.get_matrix r.Batched_lu.factors i)))
+    ms
+
+let test_breakdown_bitwise_across_domains () =
+  (* Tentpole hard invariant: factors AND info are bit-identical for any
+     domain count, poisoned blocks included. *)
+  let st = state 72 in
+  let ms =
+    Array.init 21 (fun i ->
+        let n = 1 + Random.State.int st 32 in
+        let m = Matrix.random_general ~state:st n in
+        if i mod 3 = 0 then poison_column m (Random.State.int st n) else m)
+  in
+  let b = Batch.of_matrices ms in
+  let seq = Batched_lu.factor b in
+  List.iter
+    (fun n ->
+      let pool = Vblu_par.Pool.create ~num_domains:n () in
+      let par = Batched_lu.factor ~pool b in
+      check_float "factors bitwise equal" 0.0
+        (Vector.max_abs_diff seq.Batched_lu.factors.Batch.values
+           par.Batched_lu.factors.Batch.values);
+      Alcotest.(check (array int)) "info identical" seq.Batched_lu.info
+        par.Batched_lu.info)
+    [ 1; 2; 4 ]
 
 let test_batched_lu_oversize () =
   Alcotest.(check bool) "rejects > warp" true
@@ -253,7 +342,59 @@ let test_batched_trsv_shape_checks () =
     (Invalid_argument "Batched_trsv.solve: batch count mismatch") (fun () ->
       ignore
         (Batched_trsv.solve ~factors:f.Batched_lu.factors
-           ~pivots:f.Batched_lu.pivots bad_rhs))
+           ~pivots:f.Batched_lu.pivots bad_rhs));
+  (* Satellite: a pivots array of the wrong length is rejected up front
+     with a descriptive message, not an out-of-bounds crash mid-kernel. *)
+  let rhs = Batch.vec_create b.Batch.sizes in
+  let short = Array.sub f.Batched_lu.pivots 0 2 in
+  Alcotest.check_raises "pivots length (trsv)"
+    (Invalid_argument
+       "Batched_trsv.solve: pivots array has 2 entries for 3 blocks")
+    (fun () ->
+      ignore
+        (Batched_trsv.solve ~factors:f.Batched_lu.factors ~pivots:short rhs));
+  Alcotest.check_raises "pivots length (trsm)"
+    (Invalid_argument
+       "Batched_trsm.solve: pivots array has 2 entries for 3 blocks")
+    (fun () ->
+      ignore
+        (Batched_trsm.solve ~factors:f.Batched_lu.factors ~pivots:short
+           [| rhs |]))
+
+let test_batched_trsv_singular_diag_info () =
+  (* A frozen factorization (all-zero block) pushed through the solve is
+     flagged, not raised: the upper sweep meets the zero diagonal at its
+     first step (k = 3 for a 4x4, info = 4), in both variants. *)
+  let b = Batch.of_matrices [| Matrix.identity 4; Matrix.create 4 4 |] in
+  let f = Batched_lu.factor b in
+  let rhs = Batch.vec_random ~state:(state 73) b.Batch.sizes in
+  List.iter
+    (fun variant ->
+      let s =
+        Batched_trsv.solve ~variant ~factors:f.Batched_lu.factors
+          ~pivots:f.Batched_lu.pivots rhs
+      in
+      Alcotest.(check (array int)) "solve info" [| 0; 4 |]
+        s.Batched_trsv.info)
+    [ Batched_trsv.Eager; Batched_trsv.Lazy ]
+
+let test_batched_trsv_gmem_elems_parity () =
+  (* Satellite: eager and lazy touch the same logical data — s^2 matrix
+     elements plus the rhs loads/stores — so the element counters must
+     agree exactly now that the lazy variant charges its diagonal reads.
+     (Transaction counts still differ: rows vs columns.) *)
+  let b = general_batch 74 ~count:9 ~min_size:1 ~max_size:32 in
+  let f = Batched_lu.factor b in
+  let rhs = Batch.vec_random ~state:(state 75) b.Batch.sizes in
+  let elems variant =
+    let s =
+      Batched_trsv.solve ~variant ~factors:f.Batched_lu.factors
+        ~pivots:f.Batched_lu.pivots rhs
+    in
+    Vblu_simt.Counter.elems s.Batched_trsv.stats.L.total
+  in
+  Alcotest.(check int) "same gmem elements" (elems Batched_trsv.Eager)
+    (elems Batched_trsv.Lazy)
 
 let test_batched_trsv_eager_coalesced_vs_lazy () =
   (* The eager kernel reads columns (coalesced); the lazy one reads rows —
@@ -496,12 +637,24 @@ let test_batched_cholesky_solve () =
     (Batch.to_matrices b)
 
 let test_batched_cholesky_not_spd () =
+  (* An indefinite block is flagged in [info] (step 1 fails the positivity
+     test: d = 1 - 4 < 0), never raised, and the healthy block matches the
+     reference bitwise. *)
   let bad = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
   let b = Batch.of_matrices [| Matrix.identity 3; bad |] in
-  Alcotest.(check bool) "reports block and step" true
-    (match Batched_cholesky.factor b with
-    | exception Batched_cholesky.Block_not_spd { block = 1; step = 1 } -> true
-    | _ -> false)
+  let r = Batched_cholesky.factor b in
+  Alcotest.(check (array int)) "info reports block and step" [| 0; 2 |]
+    r.Batched_cholesky.info;
+  let healthy = Cholesky.factor (Matrix.identity 3) in
+  check_float "healthy block bit-identical" 0.0
+    (Matrix.max_abs_diff healthy.Cholesky.l
+       (Batch.get_matrix r.Batched_cholesky.factors 0));
+  (* The frozen partial factor matches the CPU status reference. *)
+  let fref, inf = Cholesky.factor_status bad in
+  Alcotest.(check int) "reference agrees" inf r.Batched_cholesky.info.(1);
+  check_float "frozen factor bitwise equal" 0.0
+    (Matrix.max_abs_diff fref.Cholesky.l
+       (Batch.get_matrix r.Batched_cholesky.factors 1))
 
 let test_batched_cholesky_cheaper_than_lu () =
   (* Half the factorization work: visibly faster in the model at 32. *)
@@ -542,6 +695,18 @@ let test_cublas_numerics () =
            (Batch.vec_get rhs i)
         < 1e-11))
     (Batch.to_matrices b)
+
+let test_cublas_info () =
+  (* The vendor model reports per-problem info like the real getrfBatched:
+     a singular block is flagged, the batch completes. *)
+  let b = Batch.of_matrices [| Matrix.identity 4; Matrix.create 4 4 |] in
+  let f = Cublas_model.factor b in
+  Alcotest.(check (array int)) "factor info" [| 0; 1 |] f.Cublas_model.info;
+  let rhs = Batch.vec_random ~state:(state 76) b.Batch.sizes in
+  let s = Cublas_model.solve f rhs in
+  Alcotest.(check int) "healthy solve ok" 0 s.Cublas_model.solve_info.(0);
+  Alcotest.(check bool) "degenerate solve flagged" true
+    (s.Cublas_model.solve_info.(1) > 0)
 
 let test_cublas_rejects_variable_sizes () =
   let b = general_batch 20 ~count:4 ~min_size:3 ~max_size:12 in
@@ -693,6 +858,28 @@ let qcheck_tests =
         let x1 = Cholesky.solve (Cholesky.factor spd) rhs in
         let x2 = Lu.solve (Lu.factor_implicit spd) rhs in
         Vector.max_abs_diff x1 x2 /. (1.0 +. Vector.norm_inf x2) < 1e-9);
+    QCheck.Test.make ~count:40 ~name:"poisoned column k ⇒ info = k + 1"
+      (QCheck.triple (QCheck.int_bound 10_000) (QCheck.int_range 1 32)
+         (QCheck.int_bound 31))
+      (fun (seed, n, k) ->
+        let k = k mod n in
+        let st = state seed in
+        let ms = Array.init 3 (fun _ -> Matrix.random_general ~state:st n) in
+        let clean = Batched_lu.factor (Batch.of_matrices ms) in
+        let poisoned = Array.copy ms in
+        poisoned.(1) <- poison_column ms.(1) k;
+        let r = Batched_lu.factor (Batch.of_matrices poisoned) in
+        (* Exactly the poisoned problem is flagged, at exactly step k, and
+           the batch-mates are untouched down to the last bit. *)
+        r.Batched_lu.info = [| 0; k + 1; 0 |]
+        && Matrix.max_abs_diff
+             (Batch.get_matrix clean.Batched_lu.factors 0)
+             (Batch.get_matrix r.Batched_lu.factors 0)
+           = 0.0
+        && Matrix.max_abs_diff
+             (Batch.get_matrix clean.Batched_lu.factors 2)
+             (Batch.get_matrix r.Batched_lu.factors 2)
+           = 0.0);
     QCheck.Test.make ~count:40 ~name:"extraction = dense gather"
       (QCheck.pair (QCheck.int_bound 10_000) (QCheck.int_range 1 16))
       (fun (seed, bs) ->
@@ -743,6 +930,12 @@ let () =
             test_batched_lu_pivot_modes_agree;
           Alcotest.test_case "nopivot" `Quick test_batched_lu_nopivot_on_diagdom;
           Alcotest.test_case "singular" `Quick test_batched_lu_singular;
+          Alcotest.test_case "breakdown matches reference" `Quick
+            test_batched_lu_breakdown_matches_reference;
+          Alcotest.test_case "breakdown leaves others untouched" `Quick
+            test_batched_lu_breakdown_leaves_others_untouched;
+          Alcotest.test_case "breakdown bitwise across domains" `Quick
+            test_breakdown_bitwise_across_domains;
           Alcotest.test_case "oversize" `Quick test_batched_lu_oversize;
           Alcotest.test_case "single precision" `Quick
             test_batched_lu_single_precision;
@@ -754,6 +947,10 @@ let () =
           Alcotest.test_case "matches getrs" `Quick
             test_batched_trsv_matches_getrs;
           Alcotest.test_case "shape checks" `Quick test_batched_trsv_shape_checks;
+          Alcotest.test_case "singular diagonal info" `Quick
+            test_batched_trsv_singular_diag_info;
+          Alcotest.test_case "eager/lazy element parity" `Quick
+            test_batched_trsv_gmem_elems_parity;
           Alcotest.test_case "eager vs lazy cost" `Quick
             test_batched_trsv_eager_coalesced_vs_lazy;
         ] );
@@ -795,6 +992,7 @@ let () =
       ( "cublas-model",
         [
           Alcotest.test_case "numerics" `Quick test_cublas_numerics;
+          Alcotest.test_case "per-problem info" `Quick test_cublas_info;
           Alcotest.test_case "fixed size only" `Quick
             test_cublas_rejects_variable_sizes;
           Alcotest.test_case "slower than small-LU" `Quick

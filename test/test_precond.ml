@@ -165,6 +165,119 @@ let test_singular_block_fallback () =
   check_float "identity on singular block" 5.0 y.(0);
   check_float "solved elsewhere" 1.0 y.(2)
 
+(* Globally nonsingular, but the leading 2x2 diagonal block is exactly
+   rank one — every factorization variant must break down on block 0 and
+   the breakdown policy decides what happens next. *)
+let singular_block_matrix () =
+  Csr.of_dense
+    (Matrix.of_rows
+       [|
+         [| 1.0; 1.0; 0.5; 0.0 |];
+         [| 1.0; 1.0; 0.0; 0.5 |];
+         [| 0.5; 0.0; 3.0; 0.0 |];
+         [| 0.0; 0.5; 0.0; 3.0 |];
+       |])
+
+let uniform2 = Supervariable.uniform ~n:4 ~block_size:2
+
+let test_breakdown_policy_fail () =
+  let a = singular_block_matrix () in
+  Alcotest.(check bool) "raises Singular_block with block index" true
+    (match
+       Block_jacobi.create ~policy:Block_jacobi.Fail ~blocking:uniform2 a
+     with
+    | exception
+        Block_jacobi.Singular_block { block = 0; variant = Block_jacobi.Lu } ->
+      true
+    | _ -> false)
+
+let test_breakdown_policy_identity () =
+  (* The default policy: block 0 degrades to the identity, the healthy
+     block still solves, and the legacy [singular_blocks] field keeps
+     reporting the same indices as [degraded_blocks]. *)
+  let a = singular_block_matrix () in
+  List.iter
+    (fun variant ->
+      let precond, info =
+        Block_jacobi.create ~variant ~blocking:uniform2 a
+      in
+      let name = Block_jacobi.variant_name variant in
+      Alcotest.(check (list int)) (name ^ " degraded") [ 0 ]
+        info.Block_jacobi.degraded_blocks;
+      Alcotest.(check (list int)) (name ^ " back-compat alias")
+        info.Block_jacobi.degraded_blocks info.Block_jacobi.singular_blocks;
+      Alcotest.(check (list int)) (name ^ " nothing perturbed") []
+        info.Block_jacobi.perturbed_blocks;
+      let y = Preconditioner.apply precond [| 5.0; 7.0; 3.0; 6.0 |] in
+      check_float (name ^ " identity on dead block") 5.0 y.(0);
+      check_float (name ^ " solved elsewhere") 1.0 y.(2))
+    [ Block_jacobi.Lu; Block_jacobi.Gh; Block_jacobi.Ght;
+      Block_jacobi.Gje_inverse; Block_jacobi.Cholesky ]
+
+let test_breakdown_policy_perturb () =
+  let a = singular_block_matrix () in
+  let precond, info =
+    Block_jacobi.create ~policy:(Block_jacobi.Perturb 1e-8) ~blocking:uniform2 a
+  in
+  Alcotest.(check (list int)) "salvaged" [ 0 ]
+    info.Block_jacobi.perturbed_blocks;
+  Alcotest.(check (list int)) "nothing degraded" []
+    info.Block_jacobi.degraded_blocks;
+  (* The shifted block really is factored: applying the preconditioner on
+     block 0 is not the identity any more. *)
+  let y = Preconditioner.apply precond [| 5.0; 7.0; 3.0; 6.0 |] in
+  Alcotest.(check bool) "block 0 actually solved" true
+    (Float.abs (y.(0) -. 5.0) > 1.0);
+  (* And the preconditioned solver still converges on the full system. *)
+  let _, stats = Vblu_krylov.Idr.solve ~precond ~s:4 a (Array.make 4 1.0) in
+  Alcotest.(check bool) "idr converges" true
+    (Vblu_krylov.Solver.converged stats)
+
+let test_breakdown_policy_scalar () =
+  (* The scalar variant honors the policy too: zero diagonal entries. *)
+  let a =
+    Csr.of_dense (Matrix.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |])
+  in
+  Alcotest.(check bool) "fail raises" true
+    (match
+       Block_jacobi.create ~variant:Block_jacobi.Scalar
+         ~policy:Block_jacobi.Fail a
+     with
+    | exception
+        Block_jacobi.Singular_block
+          { block = 0; variant = Block_jacobi.Scalar } ->
+      true
+    | _ -> false);
+  let p_id, info_id = Block_jacobi.create ~variant:Block_jacobi.Scalar a in
+  Alcotest.(check (list int)) "both entries degraded" [ 0; 1 ]
+    info_id.Block_jacobi.degraded_blocks;
+  check_float "identity apply" 7.0 (Preconditioner.apply p_id [| 7.0; 2.0 |]).(0);
+  let p_pe, info_pe =
+    Block_jacobi.create ~variant:Block_jacobi.Scalar
+      ~policy:(Block_jacobi.Perturb 0.5) a
+  in
+  Alcotest.(check (list int)) "both entries perturbed" [ 0; 1 ]
+    info_pe.Block_jacobi.perturbed_blocks;
+  check_float "1/eps apply" 14.0 (Preconditioner.apply p_pe [| 7.0; 2.0 |]).(0)
+
+let test_breakdown_deterministic_across_domains () =
+  (* The outcome lists and the preconditioned solve are identical whatever
+     the domain count (the per-block outcomes are recorded race-free). *)
+  let a = singular_block_matrix () in
+  let b = [| 5.0; 7.0; 3.0; 6.0 |] in
+  let run domains =
+    let pool = Vblu_par.Pool.create ~num_domains:domains () in
+    let precond, info = Block_jacobi.create ~pool ~blocking:uniform2 a in
+    (info.Block_jacobi.degraded_blocks, Preconditioner.apply precond b)
+  in
+  let d1, y1 = run 1 in
+  List.iter
+    (fun domains ->
+      let d, y = run domains in
+      Alcotest.(check (list int)) "same degraded list" d1 d;
+      check_float "bit-identical apply" 0.0 (Vector.max_abs_diff y1 y))
+    [ 2; 4 ]
+
 let test_variants_agree () =
   let a = Vblu_workloads.Generators.fem_blocks ~nodes:30 ~vars_per_node:4 () in
   let n, _ = Csr.dims a in
@@ -365,6 +478,15 @@ let () =
           Alcotest.test_case "scalar jacobi" `Quick test_scalar_jacobi;
           Alcotest.test_case "singular fallback" `Quick
             test_singular_block_fallback;
+          Alcotest.test_case "policy: fail" `Quick test_breakdown_policy_fail;
+          Alcotest.test_case "policy: identity" `Quick
+            test_breakdown_policy_identity;
+          Alcotest.test_case "policy: perturb" `Quick
+            test_breakdown_policy_perturb;
+          Alcotest.test_case "policy: scalar variant" `Quick
+            test_breakdown_policy_scalar;
+          Alcotest.test_case "policy: deterministic across domains" `Quick
+            test_breakdown_deterministic_across_domains;
           Alcotest.test_case "variants agree" `Quick test_variants_agree;
           Alcotest.test_case "dimension checks" `Quick test_dimension_checks;
           Alcotest.test_case "identity" `Quick test_identity_preconditioner;

@@ -382,6 +382,67 @@ let test_cholesky_ignores_upper () =
   check_float "same factor" 0.0 (Matrix.max_abs_diff f1.Cholesky.l f2.Cholesky.l)
 
 (* ------------------------------------------------------------------ *)
+(* Status (non-raising) API                                            *)
+
+let test_status_matches_raising_on_success () =
+  (* On well-conditioned input every status function reports info = 0 and
+     produces the same floats as its raising wrapper. *)
+  let a = matrix_of_seed 44 12 in
+  let b = vector_of_seed 44 12 in
+  let f, inf = Lu.factor_implicit_status a in
+  Alcotest.(check int) "lu info" 0 inf;
+  check_float "lu factors" 0.0
+    (Matrix.max_abs_diff f.Lu.lu (Lu.factor_implicit a).Lu.lu);
+  let x, sinf = Lu.solve_status f b in
+  Alcotest.(check int) "lu solve info" 0 sinf;
+  check_float "lu solve" 0.0 (Vector.max_abs_diff x (Lu.solve f b));
+  let gf, ginf = Gauss_huard.factor_status a in
+  Alcotest.(check int) "gh info" 0 ginf;
+  let gx, gsinf = Gauss_huard.solve_status gf b in
+  Alcotest.(check int) "gh solve info" 0 gsinf;
+  check_float "gh solve" 0.0 (Vector.max_abs_diff gx (Gauss_huard.solve gf b));
+  let inv, jinf = Gauss_jordan.invert_status a in
+  Alcotest.(check int) "gje info" 0 jinf;
+  check_float "gje inverse" 0.0 (Matrix.max_abs_diff inv (Gauss_jordan.invert a));
+  let spd = spd_of_seed 44 12 in
+  let cf, cinf = Cholesky.factor_status spd in
+  Alcotest.(check int) "cholesky info" 0 cinf;
+  check_float "cholesky factor" 0.0
+    (Matrix.max_abs_diff cf.Cholesky.l (Cholesky.factor spd).Cholesky.l)
+
+let test_status_flags_breakdown () =
+  (* info = k + 1 for the first dead pivot at (0-based) step k — the same
+     step index the raising wrappers put in their exceptions. *)
+  let z2 = Matrix.create 2 2 and z3 = Matrix.create 3 3 in
+  Alcotest.(check int) "lu explicit" 1 (snd (Lu.factor_explicit_status z3));
+  Alcotest.(check int) "lu implicit" 1 (snd (Lu.factor_implicit_status z3));
+  Alcotest.(check int) "lu nopivot" 1 (snd (Lu.factor_nopivot_status z3));
+  let r1 = Matrix.init 3 3 (fun i j -> float_of_int ((i + 1) * (j + 1))) in
+  Alcotest.(check int) "rank one at step 1" 2
+    (snd (Lu.factor_implicit_status r1));
+  Alcotest.(check int) "gh" 1 (snd (Gauss_huard.factor_status z2));
+  Alcotest.(check int) "gje" 1 (snd (Gauss_jordan.invert_status z3));
+  let ind = Matrix.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  Alcotest.(check int) "cholesky indefinite at step 1" 2
+    (snd (Cholesky.factor_status ind));
+  Alcotest.(check int) "cholesky zero at step 0" 1
+    (snd (Cholesky.factor_status z3));
+  (* The frozen LU still carries a total permutation (the freeze rule
+     assigns the remaining rows in order), so a later permuted solve
+     cannot index out of bounds. *)
+  let f, _ = Lu.factor_implicit_status r1 in
+  let sorted = Array.copy f.Lu.perm in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "total permutation" [| 0; 1; 2 |] sorted;
+  (* Triangular sweeps flag instead of raising, in both variants. *)
+  List.iter
+    (fun variant ->
+      let x = [| 1.0; 1.0 |] in
+      Alcotest.(check int) "trsv upper zero diag" 2
+        (Trsv.upper_in_place_status ~variant z2 x))
+    [ Trsv.Eager; Trsv.Lazy ]
+
+(* ------------------------------------------------------------------ *)
 (* Diagnostics & Flops                                                 *)
 
 let test_growth_factor () =
@@ -525,6 +586,12 @@ let () =
           Alcotest.test_case "solve" `Quick test_cholesky_solve;
           Alcotest.test_case "not spd" `Quick test_cholesky_not_spd;
           Alcotest.test_case "ignores upper" `Quick test_cholesky_ignores_upper;
+        ] );
+      ( "status-api",
+        [
+          Alcotest.test_case "matches raising on success" `Quick
+            test_status_matches_raising_on_success;
+          Alcotest.test_case "flags breakdown" `Quick test_status_flags_breakdown;
         ] );
       ( "diagnostics",
         [
