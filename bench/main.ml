@@ -23,7 +23,11 @@
    out over N host domains — the printed numbers are bit-identical for any
    N, only the wall-clock changes.  --breakdown-policy (fail | identity |
    perturb:EPS, default identity) selects the block-Jacobi handling of
-   singular diagonal blocks in the solver runs. *)
+   singular diagonal blocks in the solver runs.  --inject-faults SPEC
+   plants deterministic soft errors in the solver-study preconditioner
+   setups (see Fault.Plan.of_spec for the SPEC grammar), --abft turns on
+   checksum verification, and --recovery-policy (recompute[:N] | degrade
+   | fail, default recompute:1) picks what to do with flagged blocks. *)
 
 open Bechamel
 open Vblu_smallblas
@@ -126,7 +130,9 @@ let targets =
 
 let usage () =
   Printf.eprintf
-    "usage: %s [%s] [--domains N] [--breakdown-policy fail|identity|perturb:EPS]\n"
+    "usage: %s [%s] [--domains N] [--breakdown-policy \
+     fail|identity|perturb:EPS] [--inject-faults SPEC] [--abft] \
+     [--recovery-policy recompute[:N]|degrade|fail]\n"
     Sys.argv.(0)
     (String.concat "|" targets);
   exit 2
@@ -141,14 +147,47 @@ let parse_policy s =
     | _ -> None)
   | _ -> None
 
+let parse_recovery s =
+  let module Bj = Vblu_precond.Block_jacobi in
+  match String.lowercase_ascii s with
+  | "recompute" -> Some (Bj.Recompute 1)
+  | "degrade" -> Some Bj.Degrade_to_identity
+  | "fail" -> Some (Bj.Fail : Bj.recovery_policy)
+  | s when String.length s > 10 && String.sub s 0 10 = "recompute:" -> (
+    match int_of_string_opt (String.sub s 10 (String.length s - 10)) with
+    | Some n when n > 0 -> Some (Bj.Recompute n)
+    | _ -> None)
+  | _ -> None
+
+let parse_faults s =
+  match Vblu_fault.Fault.Plan.of_spec s with
+  | Ok p -> Some p
+  | Error msg ->
+    Printf.eprintf "invalid --inject-faults spec: %s\n" msg;
+    None
+
 let parse_args () =
   let domains = ref (Domain.recommended_domain_count ()) in
   let policy = ref Vblu_precond.Block_jacobi.Identity_block in
+  let faults = ref None in
+  let abft = ref false in
+  let recovery = ref (Vblu_precond.Block_jacobi.Recompute 1) in
   let target = ref "all" in
-  let set_policy s rest go =
-    match parse_policy s with
-    | Some p -> policy := p; go rest
+  let set parse store s rest go =
+    match parse s with
+    | Some v -> store v; go rest
     | None -> usage ()
+  in
+  let set_policy = set parse_policy (fun p -> policy := p) in
+  let set_recovery = set parse_recovery (fun r -> recovery := r) in
+  let set_faults = set parse_faults (fun p -> faults := Some p) in
+  let prefixed arg name =
+    (* "--name=value" -> Some "value" *)
+    let p = "--" ^ name ^ "=" in
+    let lp = String.length p in
+    if String.length arg > lp && String.sub arg 0 lp = p then
+      Some (String.sub arg lp (String.length arg - lp))
+    else None
   in
   let rec go = function
     | [] -> ()
@@ -156,30 +195,41 @@ let parse_args () =
       match int_of_string_opt n with
       | Some v when v >= 1 -> domains := v; go rest
       | _ -> usage ())
-    | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--domains="
-      -> (
-      match int_of_string_opt (String.sub arg 10 (String.length arg - 10)) with
-      | Some v when v >= 1 -> domains := v; go rest
-      | _ -> usage ())
     | "--breakdown-policy" :: p :: rest -> set_policy p rest go
-    | arg :: rest
-      when String.length arg > 19
-           && String.sub arg 0 19 = "--breakdown-policy=" ->
-      set_policy (String.sub arg 19 (String.length arg - 19)) rest go
-    | arg :: rest when List.mem arg targets -> target := arg; go rest
-    | _ -> usage ()
+    | "--recovery-policy" :: p :: rest -> set_recovery p rest go
+    | "--inject-faults" :: s :: rest -> set_faults s rest go
+    | "--abft" :: rest -> abft := true; go rest
+    | arg :: rest -> (
+      match prefixed arg "domains" with
+      | Some n -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 -> domains := v; go rest
+        | _ -> usage ())
+      | None -> (
+        match prefixed arg "breakdown-policy" with
+        | Some p -> set_policy p rest go
+        | None -> (
+          match prefixed arg "recovery-policy" with
+          | Some p -> set_recovery p rest go
+          | None -> (
+            match prefixed arg "inject-faults" with
+            | Some s -> set_faults s rest go
+            | None when List.mem arg targets -> target := arg; go rest
+            | None -> usage ()))))
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!target, !domains, !policy)
+  (!target, !domains, !policy, !faults, !abft, !recovery)
 
 let () =
-  let target, domains, policy = parse_args () in
+  let target, domains, policy, faults, abft, recovery = parse_args () in
   let pool = Vblu_par.Pool.create ~num_domains:domains () in
   let ppf = Format.std_formatter in
   let quick = not full in
   let progress msg = Printf.eprintf "[suite] %s\n%!" msg in
   let study =
-    lazy (Vblu_perf.Solver_study.run_suite ~quick ~pool ~policy ~progress ())
+    lazy
+      (Vblu_perf.Solver_study.run_suite ~quick ~pool ~policy ?faults ~abft
+         ~recovery ~progress ())
   in
   let all = target = "all" in
   if all || target = "micro" then run_micro ();
@@ -192,7 +242,8 @@ let () =
     Vblu_perf.Kernel_figs.ablation_trsv ~quick ~pool ppf;
     Vblu_perf.Kernel_figs.ablation_extraction ~quick ~pool ppf;
     Vblu_perf.Kernel_figs.ablation_cholesky ~quick ~pool ppf;
-    Vblu_perf.Kernel_figs.ablation_variable_size ~quick ~pool ppf
+    Vblu_perf.Kernel_figs.ablation_variable_size ~quick ~pool ppf;
+    Vblu_perf.Kernel_figs.abft_overhead ~quick ~pool ppf
   end;
   if all || target = "fig8" then Vblu_perf.Solver_figs.fig8 ppf (Lazy.force study);
   if all || target = "fig9" then Vblu_perf.Solver_figs.fig9 ppf (Lazy.force study);

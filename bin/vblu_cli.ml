@@ -60,6 +60,73 @@ let policy_arg =
     & opt policy_conv Vblu_precond.Block_jacobi.Identity_block
     & info [ "breakdown-policy" ] ~docv:"POLICY" ~doc)
 
+let faults_conv =
+  let parse s =
+    match Vblu_fault.Fault.Plan.of_spec s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Vblu_fault.Fault.Plan.to_spec p)
+  in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  let doc =
+    "Inject deterministic soft errors described by SPEC \
+     (comma-separated $(b,seed=N), $(b,every=N), $(b,phase=N), \
+     $(b,target=reg|smem|gmem), $(b,kind=flip:BIT|scale:F|set:F), \
+     $(b,at=PROBLEM.STEP.LANE)).  Example: \
+     $(b,--inject-faults seed=7,every=3)."
+  in
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "inject-faults" ] ~docv:"SPEC" ~doc)
+
+let abft_arg =
+  let doc =
+    "Verify factors with ABFT checksums and report per-problem verdicts \
+     (checksum work is charged to the performance counters)."
+  in
+  Arg.(value & flag & info [ "abft" ] ~doc)
+
+let recovery_conv =
+  let parse s =
+    let module Bj = Vblu_precond.Block_jacobi in
+    match String.lowercase_ascii s with
+    | "recompute" -> Ok (Bj.Recompute 1)
+    | "degrade" -> Ok Bj.Degrade_to_identity
+    | "fail" -> Ok (Bj.Fail : Bj.recovery_policy)
+    | s when String.length s > 10 && String.sub s 0 10 = "recompute:" -> (
+      match int_of_string_opt (String.sub s 10 (String.length s - 10)) with
+      | Some n when n > 0 -> Ok (Bj.Recompute n)
+      | _ -> Error (`Msg "recompute retry count must be a positive integer"))
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "invalid recovery policy %S: expected recompute[:N], degrade, \
+               or fail"
+              s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Vblu_precond.Block_jacobi.recovery_name p)
+  in
+  Arg.conv (parse, print)
+
+let recovery_arg =
+  let doc =
+    "What to do with a diagonal block whose ABFT check fails: \
+     $(b,recompute[:N]) (default, N=1) refactorizes up to N times, \
+     $(b,degrade) replaces the block with the identity, $(b,fail) \
+     aborts with Fault_detected."
+  in
+  Arg.(
+    value
+    & opt recovery_conv (Vblu_precond.Block_jacobi.Recompute 1)
+    & info [ "recovery-policy" ] ~docv:"POLICY" ~doc)
+
 let pool_of n = Vblu_par.Pool.create ~num_domains:n ()
 let ppf = Format.std_formatter
 
@@ -71,21 +138,25 @@ let kernel_cmd name doc driver =
   in
   Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg $ domains_arg)
 
-let with_study quick domains policy f =
+let with_study quick domains policy faults abft recovery f =
   setup_logs ();
   let progress msg = Printf.eprintf "[suite] %s\n%!" msg in
   let study =
-    Solver_study.run_suite ~quick ~pool:(pool_of domains) ~policy ~progress ()
+    Solver_study.run_suite ~quick ~pool:(pool_of domains) ~policy ?faults ~abft
+      ~recovery ~progress ()
   in
   f study;
   Format.pp_print_flush ppf ()
 
 let solver_cmd name doc driver =
-  let run quick domains policy =
-    with_study quick domains policy (fun study -> driver ppf study)
+  let run quick domains policy faults abft recovery =
+    with_study quick domains policy faults abft recovery (fun study ->
+        driver ppf study)
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ quick_arg $ domains_arg $ policy_arg)
+    Term.(
+      const run $ quick_arg $ domains_arg $ policy_arg $ faults_arg $ abft_arg
+      $ recovery_arg)
 
 let suite_cmd =
   let run () =
@@ -133,16 +204,20 @@ let solve_cmd =
       & info [ "variant" ]
           ~doc:"Batched factorization variant for the preconditioner.")
   in
-  let run file bound variant domains policy =
+  let run file bound variant domains policy faults abft recovery =
     setup_logs ();
     let a = Vblu_sparse.Mm_io.read file in
     let n, _ = Vblu_sparse.Csr.dims a in
     let b = Array.make n 1.0 in
-    let precond, info =
+    let make_precond () =
       Vblu_precond.Block_jacobi.create ~pool:(pool_of domains) ~variant ~policy
-        ~max_block_size:bound a
+        ?faults ~abft ~recovery ~max_block_size:bound a
     in
-    let _, stats = Vblu_krylov.Idr.solve ~precond ~s:4 a b in
+    let precond, info = make_precond () in
+    let refresh_precond =
+      if abft then Some (fun () -> fst (make_precond ())) else None
+    in
+    let _, stats = Vblu_krylov.Idr.solve ~precond ?refresh_precond ~s:4 a b in
     Format.printf "matrix: %a@." Vblu_sparse.Csr.pp_stats a;
     Format.printf "preconditioner: %s (%d blocks, setup %.3fs)@."
       precond.Vblu_precond.Preconditioner.name
@@ -150,18 +225,41 @@ let solve_cmd =
          info.Vblu_precond.Block_jacobi.blocking.Vblu_precond.Supervariable.starts)
       precond.Vblu_precond.Preconditioner.setup_seconds;
     let degraded = info.Vblu_precond.Block_jacobi.degraded_blocks
-    and perturbed = info.Vblu_precond.Block_jacobi.perturbed_blocks in
+    and perturbed = info.Vblu_precond.Block_jacobi.perturbed_blocks
+    and recovered = info.Vblu_precond.Block_jacobi.recovered_blocks
+    and corrupt = info.Vblu_precond.Block_jacobi.corrupt_blocks in
     if degraded <> [] || perturbed <> [] then
       Format.printf
         "breakdowns (policy %s): %d identity-fallback, %d perturbed@."
         (Vblu_precond.Block_jacobi.policy_name policy)
         (List.length degraded) (List.length perturbed);
+    (match faults with
+    | None -> ()
+    | Some plan ->
+      let blocking =
+        info.Vblu_precond.Block_jacobi.blocking
+      in
+      let planted =
+        List.length
+          (Vblu_fault.Fault.Plan.targeted plan
+             ~problems:
+               (Array.length blocking.Vblu_precond.Supervariable.starts)
+             ~sizes:blocking.Vblu_precond.Supervariable.sizes)
+      in
+      Format.printf
+        "faults: planted=%d fired=%d detected=%d recovered=%d corrupt=%d@."
+        planted
+        (Vblu_fault.Fault.Plan.injected plan)
+        (List.length recovered + List.length corrupt)
+        (List.length recovered) (List.length corrupt));
     Format.printf "IDR(4): %a@." Vblu_krylov.Solver.pp_stats stats
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Solve a Matrix Market system with block-Jacobi + IDR(4).")
-    Term.(const run $ file $ bound $ variant $ domains_arg $ policy_arg)
+    Term.(
+      const run $ file $ bound $ variant $ domains_arg $ policy_arg
+      $ faults_arg $ abft_arg $ recovery_arg)
 
 let csv_cmd =
   let dir =
@@ -202,7 +300,7 @@ let csv_cmd =
     Term.(const run $ dir $ quick_arg $ domains_arg)
 
 let all_cmd =
-  let run quick domains policy =
+  let run quick domains policy faults abft recovery =
     setup_logs ();
     let pool = pool_of domains in
     Kernel_figs.fig4 ~quick ~pool ppf;
@@ -214,7 +312,8 @@ let all_cmd =
     Kernel_figs.ablation_extraction ~quick ~pool ppf;
     Kernel_figs.ablation_cholesky ~quick ~pool ppf;
     Kernel_figs.ablation_variable_size ~quick ~pool ppf;
-    with_study quick domains policy (fun study ->
+    Kernel_figs.abft_overhead ~quick ~pool ppf;
+    with_study quick domains policy faults abft recovery (fun study ->
         Solver_figs.fig8 ppf study;
         Solver_figs.fig9 ppf study;
         Solver_figs.table1 ppf study;
@@ -222,7 +321,9 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every figure, table and ablation.")
-    Term.(const run $ quick_arg $ domains_arg $ policy_arg)
+    Term.(
+      const run $ quick_arg $ domains_arg $ policy_arg $ faults_arg $ abft_arg
+      $ recovery_arg)
 
 let cmds =
   [
@@ -246,6 +347,9 @@ let cmds =
       "Variable-size batches from real supervariable blockings."
       (fun ~quick ~pool ppf ->
         Kernel_figs.ablation_variable_size ~quick ~pool ppf);
+    kernel_cmd "abft-overhead"
+      "ABFT checksum overhead: protected vs unprotected LU/TRSV."
+      (fun ~quick ~pool ppf -> Kernel_figs.abft_overhead ~quick ~pool ppf);
     solver_cmd "fig8" "Figure 8: LU vs GH convergence histogram."
       Solver_figs.fig8;
     solver_cmd "fig9" "Figure 9: total solver time per matrix."

@@ -172,6 +172,8 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   {
     Batched_trsv.solutions;
     info;
+    (* Cholesky solves carry no ABFT instrumentation (yet). *)
+    verdicts = Array.make factors.Batch.count Vblu_fault.Fault.Unchecked;
     stats;
     exact = (mode = Sampling.Exact);
   }

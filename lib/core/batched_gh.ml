@@ -1,9 +1,11 @@
 open Vblu_smallblas
 open Vblu_simt
+open Vblu_fault
 
 type result = {
   factors : Gauss_huard.factors array;
   info : int array;
+  verdicts : Fault.verdict array;
   stats : Launch.stats;
   exact : bool;
 }
@@ -11,6 +13,7 @@ type result = {
 type solve_result = {
   solutions : Batch.vec;
   solve_info : int array;
+  solve_verdicts : Fault.verdict array;
   solve_stats : Launch.stats;
   solve_exact : bool;
 }
@@ -18,6 +21,48 @@ type solve_result = {
 (* Placeholder for blocks skipped in Sampled mode. *)
 let dummy_factors =
   lazy (Gauss_huard.factor (Matrix.identity 1))
+
+(* GH numerics run on the CPU reference ([Gauss_huard.factor_status]) with
+   analytically charged counters, so fault injection and detection are
+   host-level too: a soft error is modelled by corrupting a factor (or
+   solution) entry directly, and detection re-derives the entry from the
+   untouched input. *)
+
+let inject_into plan ~problem ~size f =
+  List.iter
+    (fun (site : Fault.site) ->
+      if Fault.Plan.claim plan ~problem ~step:site.Fault.step then begin
+        f site;
+        Fault.Plan.note_injected plan
+      end)
+    (Fault.Plan.sites_for plan ~problem ~size)
+
+(* Checksum-solve detection (factor phase): solve the factored system
+   against the row-sum vector w = A·e and accept iff the residual
+   A·u - w stays within the backward-stable envelope rowwise.  A
+   corrupted factor entry steers [u] away from [e] by far more than
+   O(s·eps) for any reasonably conditioned block. *)
+let abft_factor_verdict ~prec m (f : Gauss_huard.factors) =
+  let s, _ = Matrix.dims m in
+  let e = Array.make s 1.0 in
+  let wsum = Matrix.gemv ~prec m e in
+  let u, uinf = Gauss_huard.solve_status ~prec f wsum in
+  if uinf <> 0 then Fault.Failed
+  else begin
+    let au = Matrix.gemv ~prec m u in
+    let eps = Precision.eps prec in
+    let ok = ref true in
+    for r = 0 to s - 1 do
+      let scale = ref (Float.abs wsum.(r)) in
+      for c = 0 to s - 1 do
+        scale := !scale +. Float.abs (Matrix.unsafe_get m r c *. u.(c))
+      done;
+      let tol = 1024.0 *. float_of_int s *. eps *. !scale in
+      if (not (Float.is_finite au.(r))) || Float.abs (au.(r) -. wsum.(r)) > tol
+      then ok := false
+    done;
+    if !ok then Fault.Passed else Fault.Failed
+  end
 
 let charge_factor w ~s ~storage =
   for _j = 1 to s do
@@ -58,32 +103,6 @@ let charge_factor w ~s ~storage =
   Charge.gmem_coalesced w ~elems:s;
   Counter.credit_flops (Warp.counter w) (Flops.gauss_huard_factor s)
 
-let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
-    ?(prec = Precision.Double) ?(mode = Sampling.Exact)
-    ?(storage = Gauss_huard.Normal) (b : Batch.t) =
-  Array.iter
-    (fun s ->
-      if s > cfg.Config.warp_size then
-        invalid_arg "Batched_gh.factor: block exceeds warp width")
-    b.Batch.sizes;
-  let factors = Array.make b.Batch.count (Lazy.force dummy_factors) in
-  let info = Array.make b.Batch.count 0 in
-  let kernel w i =
-    let s = b.Batch.sizes.(i) in
-    let f, inf = Gauss_huard.factor_status ~prec ~storage (Batch.get_matrix b i) in
-    factors.(i) <- f;
-    info.(i) <- inf;
-    (* The analytic model charges the full factorization regardless of a
-       breakdown: the simulated warp walks all s steps with the dead
-       problem predicated off, so the instruction stream length does not
-       depend on the data. *)
-    charge_factor w ~s ~storage
-  in
-  let stats =
-    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
-  in
-  { factors; info; stats; exact = (mode = Sampling.Exact) }
-
 let charge_solve w ~s ~storage =
   Charge.gmem_coalesced w ~elems:s;
   Charge.round w;
@@ -111,9 +130,57 @@ let charge_solve w ~s ~storage =
   Charge.gmem_coalesced w ~elems:s;
   Counter.credit_flops (Warp.counter w) (Flops.gauss_huard_solve s)
 
+(* Checksum-solve cost: one extra GH solve plus two reference gemv passes
+   that re-read A. *)
+let charge_abft_factor w ~s ~storage =
+  charge_solve w ~s ~storage;
+  for _j = 1 to s do
+    Charge.gmem_coalesced w ~elems:s
+  done;
+  Charge.fma w (float_of_int (4 * s))
+
+let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact)
+    ?(storage = Gauss_huard.Normal) ?faults ?(abft = false) (b : Batch.t) =
+  Array.iter
+    (fun s ->
+      if s > cfg.Config.warp_size then
+        invalid_arg "Batched_gh.factor: block exceeds warp width")
+    b.Batch.sizes;
+  let factors = Array.make b.Batch.count (Lazy.force dummy_factors) in
+  let info = Array.make b.Batch.count 0 in
+  let verdicts = Array.make b.Batch.count Fault.Unchecked in
+  let kernel w i =
+    let s = b.Batch.sizes.(i) in
+    let f, inf = Gauss_huard.factor_status ~prec ~storage (Batch.get_matrix b i) in
+    (match faults with
+    | None -> ()
+    | Some plan ->
+      inject_into plan ~problem:i ~size:s (fun site ->
+          let r = site.Fault.lane and c = site.Fault.step in
+          Matrix.unsafe_set f.Gauss_huard.gh r c
+            (Fault.corrupt site.Fault.kind
+               (Matrix.unsafe_get f.Gauss_huard.gh r c))));
+    factors.(i) <- f;
+    info.(i) <- inf;
+    (* The analytic model charges the full factorization regardless of a
+       breakdown: the simulated warp walks all s steps with the dead
+       problem predicated off, so the instruction stream length does not
+       depend on the data. *)
+    charge_factor w ~s ~storage;
+    if abft && inf = 0 then begin
+      verdicts.(i) <- abft_factor_verdict ~prec (Batch.get_matrix b i) f;
+      charge_abft_factor w ~s ~storage
+    end
+  in
+  let stats =
+    Sampling.run ~cfg ~pool ?faults ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+  in
+  { factors; info; verdicts; stats; exact = (mode = Sampling.Exact) }
+
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
-    ?(prec = Precision.Double) ?(mode = Sampling.Exact) (r : result)
-    (rhs : Batch.vec) =
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?faults
+    ?(abft = false) (r : result) (rhs : Batch.vec) =
   if Array.length r.factors <> rhs.Batch.vcount then
     invalid_arg "Batched_gh.solve: batch count mismatch";
   let solutions = Batch.vec_create rhs.Batch.vsizes in
@@ -122,14 +189,37 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     else r.factors.(0).Gauss_huard.storage
   in
   let solve_info = Array.make rhs.Batch.vcount 0 in
+  let solve_verdicts = Array.make rhs.Batch.vcount Fault.Unchecked in
   let kernel w i =
     let s = rhs.Batch.vsizes.(i) in
     let x, inf = Gauss_huard.solve_status ~prec r.factors.(i) (Batch.vec_get rhs i) in
+    (match faults with
+    | None -> ()
+    | Some plan ->
+      inject_into plan ~problem:i ~size:s (fun site ->
+          x.(site.Fault.lane) <- Fault.corrupt site.Fault.kind x.(site.Fault.lane)));
     Batch.vec_set solutions i x;
     solve_info.(i) <- inf;
-    charge_solve w ~s ~storage
+    charge_solve w ~s ~storage;
+    if abft && inf = 0 then begin
+      (* Dual modular redundancy: redo the (deterministic) reference solve
+         and compare bitwise — any mismatch is corruption, never roundoff. *)
+      let x2, _ =
+        Gauss_huard.solve_status ~prec r.factors.(i) (Batch.vec_get rhs i)
+      in
+      charge_solve w ~s ~storage;
+      let ok = ref true in
+      for j = 0 to s - 1 do
+        if
+          not
+            (Int64.equal (Int64.bits_of_float x.(j)) (Int64.bits_of_float x2.(j)))
+        then ok := false
+      done;
+      solve_verdicts.(i) <- (if !ok then Fault.Passed else Fault.Failed)
+    end
   in
   let stats =
-    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
+    Sampling.run ~cfg ~pool ?faults ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
   in
-  { solutions; solve_info; solve_stats = stats; solve_exact = (mode = Sampling.Exact) }
+  { solutions; solve_info; solve_verdicts; solve_stats = stats;
+    solve_exact = (mode = Sampling.Exact) }

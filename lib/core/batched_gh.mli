@@ -25,6 +25,7 @@
 
 open Vblu_smallblas
 open Vblu_simt
+open Vblu_fault
 
 type result = {
   factors : Gauss_huard.factors array;
@@ -33,6 +34,10 @@ type result = {
       (** per-problem status: [0] on success, [k + 1] for the first zero
           pivot at (0-based) step [k] ({!Vblu_smallblas.Gauss_huard.factor_status});
           flagged blocks hold frozen partial factors. *)
+  verdicts : Fault.verdict array;
+      (** per-problem ABFT verdict ([Unchecked] unless [~abft:true]): a
+          checksum solve against the row-sum vector [A·e], accepted iff
+          the residual stays within the backward-stable envelope. *)
   stats : Launch.stats;
   exact : bool;
 }
@@ -43,6 +48,10 @@ type solve_result = {
       (** [0] on success; [k + 1] when the forward sweep of problem [i]
           met a zero diagonal at step [k] (degenerate factors from a
           flagged factorization). *)
+  solve_verdicts : Fault.verdict array;
+      (** per-problem verdict ([Unchecked] unless [~abft:true]): dual
+          modular redundancy — the deterministic reference solve is redone
+          and compared bitwise, so any mismatch is corruption. *)
   solve_stats : Launch.stats;
   solve_exact : bool;
 }
@@ -53,17 +62,30 @@ val factor :
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   ?storage:Gauss_huard.storage ->
+  ?faults:Fault.Plan.t ->
+  ?abft:bool ->
   Batch.t ->
   result
 (** Factorize every block.  [storage] selects GH (default) or GH-T.
-    Singular blocks never raise — they are flagged in [info]. *)
+    Singular blocks never raise — they are flagged in [info].
+
+    GH numerics run on the CPU reference with analytically charged
+    counters, so [?faults] injects at the same level: each claimed site
+    corrupts one factor entry (row = site lane, column = site step)
+    after factorization; claims are one-shot, so a retry runs clean.
+    [~abft:true] fills [verdicts] via the checksum solve, whose cost is
+    charged to [stats] like the kernel's own work. *)
 
 val solve :
   ?cfg:Config.t ->
   ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
+  ?faults:Fault.Plan.t ->
+  ?abft:bool ->
   result ->
   Batch.vec ->
   solve_result
-(** Apply the factors to a batch of right-hand sides. *)
+(** Apply the factors to a batch of right-hand sides.  [?faults] corrupts
+    one solution entry per claimed site; [~abft:true] re-runs the solve
+    and compares bitwise (charged as a second solve in [solve_stats]). *)

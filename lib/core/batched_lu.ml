@@ -1,5 +1,6 @@
 open Vblu_smallblas
 open Vblu_simt
+open Vblu_fault
 
 type pivoting = Implicit | Explicit | No_pivoting
 
@@ -7,6 +8,7 @@ type result = {
   factors : Batch.t;
   pivots : int array array;
   info : int array;
+  verdicts : Fault.verdict array;
   stats : Launch.stats;
   exact : bool;
 }
@@ -50,6 +52,80 @@ let store_tile w gout ~off ~s ~dest reg =
     Warp.store w gout ~active addrs reg.(j)
   done
 
+(* ------------------------------------------------------------------ *)
+(* ABFT row checksums (Huang-Abraham style, register-resident).
+
+   Encode: before elimination each lane captures the row sum [t] of its
+   row of A — and the absolute row sum [tabs] that scales the comparison
+   tolerance.  Verify: at write-back the identity  A·e = Pᵀ·(L·(U·e))  is
+   evaluated from the factors still in registers — y = U·e per packed row
+   via masked column sums, then z = L·y via pivot-row broadcasts and FMAs
+   — and compared lanewise against [t].  Both passes go through the
+   normal warp ops, so the modelled ABFT overhead (the gap the
+   [abft-overhead] perf table measures) is charged honestly. *)
+
+let abft_tolerance prec ~s ~tabs ~t ~z =
+  let eps = Precision.eps prec in
+  1024.0 *. float_of_int s *. eps *. (tabs +. Float.abs t +. Float.abs z)
+
+let abft_encode w reg ~s =
+  let p = Warp.size w in
+  let active = Array.init p (fun lane -> lane < s) in
+  let t = ref (Array.copy reg.(0)) in
+  let tabs = ref (Array.map Float.abs reg.(0)) in
+  for j = 1 to s - 1 do
+    t := Warp.add w ~active !t reg.(j);
+    (* |·| is an operand modifier on GPU ALUs, so the abs-checksum pass
+       costs the same single add per column. *)
+    tabs := Warp.add w ~active !tabs (Array.map Float.abs reg.(j))
+  done;
+  (!t, !tabs)
+
+(* [srow.(lane)] is the packed (pivot-order) row index lane holds — the
+   accumulated [step] for the implicit kernel, the lane itself for
+   explicit/no pivoting.  [src_of_row m] is the lane holding packed row
+   [m]; [tsrc lane] the lane whose encoded checksum lane's packed row
+   must reproduce. *)
+let abft_verify w reg ~s ~srow ~src_of_row ~tsrc ~t ~tabs =
+  let p = Warp.size w in
+  let prec = Warp.prec w in
+  let y = ref (Array.make p 0.0) in
+  for j = 0 to s - 1 do
+    let act = Array.init p (fun lane -> lane < s && srow.(lane) <= j) in
+    y := Warp.add w ~active:act !y reg.(j)
+  done;
+  let z = ref (Array.copy !y) in
+  for m = 0 to s - 2 do
+    let ybc = Warp.broadcast w !y ~src:(src_of_row m) in
+    let act = Array.init p (fun lane -> lane < s && srow.(lane) > m) in
+    z := Warp.fma w ~active:act reg.(m) ybc !z
+  done;
+  (* One subtract + one predicated compare against the tolerance. *)
+  Charge.fma w 2.0;
+  let ok = ref true in
+  for lane = 0 to s - 1 do
+    let zv = !z.(lane) in
+    let tv = t.(tsrc lane) and ta = tabs.(tsrc lane) in
+    let tol = abft_tolerance prec ~s ~tabs:ta ~t:tv ~z:zv in
+    if (not (Float.is_finite zv)) || Float.abs (zv -. tv) > tol then
+      ok := false
+  done;
+  if !ok then Fault.Passed else Fault.Failed
+
+(* Shared verify for the kernels whose rows end up physically in pivot
+   order (explicit and no pivoting): lane [k] holds packed row [k], and
+   [perm.(k)] names the original row whose checksum it must reproduce. *)
+let verify_in_place w reg ~s ~perm ~chk ~info =
+  match chk with
+  | Some (t, tabs) when info = 0 ->
+    let p = Warp.size w in
+    let srow = Array.init p (fun lane -> if lane < s then lane else p + lane) in
+    abft_verify w reg ~s ~srow
+      ~src_of_row:(fun m -> m)
+      ~tsrc:(fun lane -> perm.(lane))
+      ~t ~tabs
+  | _ -> Fault.Unchecked
+
 (* All three kernels follow the "freeze on breakdown" rule: the first zero
    pivot at (0-based) step [k] sets [info = k + 1], the elimination loop is
    predicated off and the partial tile is written back unchanged from that
@@ -59,9 +135,13 @@ let store_tile w gout ~off ~s ~dest reg =
    references freeze at exactly the same point, keeping kernel and
    reference bit-for-bit identical even on singular blocks. *)
 
-let kernel_implicit w gin gout ~off ~s =
+let kernel_implicit w gin gout ~off ~s ~abft =
   let p = Warp.size w in
   let reg = load_tile w gin ~off ~s in
+  (* Checksums are encoded after the load and before any fault can arm
+     (sites arm at [Warp.fault_step]), so a corruption always lands on
+     checksum-protected state. *)
+  let chk = if abft then Some (abft_encode w reg ~s) else None in
   (* step.(lane) = pivot step of this lane's row; padded lanes start
      "already pivoted" so they never win the pivot search. *)
   let step = Array.init p (fun lane -> if lane < s then -1 else p + lane) in
@@ -69,6 +149,7 @@ let kernel_implicit w gin gout ~off ~s =
   let info = ref 0 in
   (try
      for k = 0 to s - 1 do
+       Warp.fault_step w k;
        let mask = unpivoted () in
        let piv = Warp.argmax_abs w ~active:mask reg.(k) in
        let d = Warp.broadcast w reg.(k) ~src:piv in
@@ -99,22 +180,33 @@ let kernel_implicit w gin gout ~off ~s =
       end
     done
   end;
-  (* Fused permutation: lane's row goes to its pivot position. *)
-  let dest = Array.init p (fun lane -> if lane < s then step.(lane) else 0) in
-  store_tile w gout ~off ~s ~dest reg;
   let perm = Array.make s 0 in
   for lane = 0 to s - 1 do
     perm.(step.(lane)) <- lane
   done;
-  (perm, !info)
+  let verdict =
+    match chk with
+    | Some (t, tabs) when !info = 0 ->
+      abft_verify w reg ~s ~srow:step
+        ~src_of_row:(fun m -> perm.(m))
+        ~tsrc:(fun lane -> lane)
+        ~t ~tabs
+    | _ -> Fault.Unchecked
+  in
+  (* Fused permutation: lane's row goes to its pivot position. *)
+  let dest = Array.init p (fun lane -> if lane < s then step.(lane) else 0) in
+  store_tile w gout ~off ~s ~dest reg;
+  (perm, !info, verdict)
 
-let kernel_explicit w gin gout ~off ~s =
+let kernel_explicit w gin gout ~off ~s ~abft =
   let p = Warp.size w in
   let reg = load_tile w gin ~off ~s in
+  let chk = if abft then Some (abft_encode w reg ~s) else None in
   let perm = Array.init s (fun i -> i) in
   let info = ref 0 in
   (try
      for k = 0 to s - 1 do
+       Warp.fault_step w k;
        let active = Array.init p (fun lane -> lane >= k && lane < s) in
        let piv = Warp.argmax_abs w ~active reg.(k) in
        if piv <> k then begin
@@ -146,16 +238,19 @@ let kernel_explicit w gin gout ~off ~s =
        done
      done
    with Exit -> ());
+  let verdict = verify_in_place w reg ~s ~perm ~chk ~info:!info in
   let dest = Array.init p (fun lane -> if lane < s then lane else 0) in
   store_tile w gout ~off ~s ~dest reg;
-  (perm, !info)
+  (perm, !info, verdict)
 
-let kernel_nopivot w gin gout ~off ~s =
+let kernel_nopivot w gin gout ~off ~s ~abft =
   let p = Warp.size w in
   let reg = load_tile w gin ~off ~s in
+  let chk = if abft then Some (abft_encode w reg ~s) else None in
   let info = ref 0 in
   (try
      for k = 0 to s - 1 do
+       Warp.fault_step w k;
        let d = Warp.broadcast w reg.(k) ~src:k in
        if d.(0) = 0.0 then begin
          info := k + 1;
@@ -169,13 +264,15 @@ let kernel_nopivot w gin gout ~off ~s =
        done
      done
    with Exit -> ());
+  let perm = Array.init s (fun i -> i) in
+  let verdict = verify_in_place w reg ~s ~perm ~chk ~info:!info in
   let dest = Array.init p (fun lane -> if lane < s then lane else 0) in
   store_tile w gout ~off ~s ~dest reg;
-  (Array.init s (fun i -> i), !info)
+  (perm, !info, verdict)
 
 let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?(pivoting = Implicit)
-    (b : Batch.t) =
+    ?faults ?(abft = false) (b : Batch.t) =
   check_batch cfg b;
   let gin = Gmem.of_array prec b.Batch.values in
   let gout = Gmem.create prec (Batch.total_values b) in
@@ -187,16 +284,18 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let gpiv = Gmem.create prec poffsets.(b.Batch.count) in
   let pivots = Array.make b.Batch.count [||] in
   let info = Array.make b.Batch.count 0 in
+  let verdicts = Array.make b.Batch.count Fault.Unchecked in
   let kernel w i =
     let off = b.Batch.offsets.(i) and s = b.Batch.sizes.(i) in
-    let perm, inf =
+    let perm, inf, verdict =
       match pivoting with
-      | Implicit -> kernel_implicit w gin gout ~off ~s
-      | Explicit -> kernel_explicit w gin gout ~off ~s
-      | No_pivoting -> kernel_nopivot w gin gout ~off ~s
+      | Implicit -> kernel_implicit w gin gout ~off ~s ~abft
+      | Explicit -> kernel_explicit w gin gout ~off ~s ~abft
+      | No_pivoting -> kernel_nopivot w gin gout ~off ~s ~abft
     in
     pivots.(i) <- perm;
     info.(i) <- inf;
+    verdicts.(i) <- verdict;
     (* The pivot vector also goes to memory for the subsequent solves. *)
     let p = Warp.size w in
     let active = Array.init p (fun lane -> lane < s) in
@@ -206,7 +305,7 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     Counter.credit_flops (Warp.counter w) (Flops.getrf s)
   in
   let stats =
-    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+    Sampling.run ~cfg ~pool ?faults ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
   in
   let values = Gmem.to_array gout in
   let factors =
@@ -215,4 +314,4 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     Array.blit values 0 out.Batch.values 0 (Array.length values);
     out
   in
-  { factors; pivots; info; stats; exact = (mode = Sampling.Exact) }
+  { factors; pivots; info; verdicts; stats; exact = (mode = Sampling.Exact) }

@@ -28,6 +28,7 @@
 
 open Vblu_smallblas
 open Vblu_simt
+open Vblu_fault
 
 type pivoting =
   | Implicit
@@ -53,6 +54,13 @@ type result = {
           [pivots.(i)] is still a total permutation).  In [Sampled] mode
           only the representative block of each size class is flagged,
           like [factors]. *)
+  verdicts : Fault.verdict array;
+      (** per-problem ABFT verdict.  [Unchecked] unless [~abft:true] was
+          passed (or when the block broke down — a nonzero [info] already
+          flags it); [Passed]/[Failed] report whether the factors
+          reproduce the row checksums encoded before elimination.  A
+          fault injected by [?faults] into a checked problem flips its
+          verdict to [Failed]; clean problems stay [Passed]. *)
   stats : Launch.stats;  (** modelled kernel performance. *)
   exact : bool;  (** whether every block was actually computed. *)
 }
@@ -63,6 +71,8 @@ val factor :
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   ?pivoting:pivoting ->
+  ?faults:Fault.Plan.t ->
+  ?abft:bool ->
   Batch.t ->
   result
 (** Factorize every block of the batch.  Defaults: P100 model, double
@@ -71,4 +81,13 @@ val factor :
     results are bit-identical to the sequential run (including [info]).
     An empty batch is a no-op returning empty factors and zero-time stats.
     Numerically singular blocks never raise — they are flagged in [info].
+
+    [?faults] (default none) arms a deterministic fault plan: targeted
+    problems get bit flips / perturbations during elimination, claims are
+    one-shot per (problem, step) so a retry of the same plan runs clean.
+    [~abft:true] (default false) encodes row checksums before elimination
+    and verifies them from registers at write-back, filling [verdicts];
+    the checksum work goes through the normal warp ops so its cost shows
+    up in [stats].  With both absent the kernels are bit-identical to the
+    unprotected path — no overhead when disabled.
     @raise Invalid_argument if any block exceeds the warp width (32). *)

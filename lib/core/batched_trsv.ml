@@ -1,20 +1,72 @@
 open Vblu_smallblas
 open Vblu_simt
+open Vblu_fault
 
 type variant = Eager | Lazy
 
 type result = {
   solutions : Batch.vec;
   info : int array;
+  verdicts : Fault.verdict array;
   stats : Launch.stats;
   exact : bool;
 }
 
 let lane_active p s = Array.init p (fun lane -> lane < s)
 
+(* ABFT for the triangular solves: with [x] solved, re-evaluate
+   r = L·(U·x) from fresh column loads (the factors offer no reuse here,
+   so detection honestly re-reads them — roughly doubling the kernel's
+   traffic) and compare lanewise against the permuted right-hand side
+   captured at load time, before any fault can arm. *)
+let abft_check w gmat ~moff ~s ~b0 x =
+  let p = Warp.size w in
+  let prec = Warp.prec w in
+  let ux = ref (Array.make p 0.0) in
+  let uabs = Array.make p 0.0 in
+  for j = 0 to s - 1 do
+    let act = Array.init p (fun lane -> lane <= j && lane < s) in
+    let col =
+      Warp.load w gmat ~active:act
+        (Array.init p (fun lane -> moff + min lane (s - 1) + (j * s)))
+    in
+    let xj = Warp.broadcast w x ~src:j in
+    ux := Warp.fma w ~active:act col xj !ux;
+    for lane = 0 to min j (s - 1) do
+      uabs.(lane) <- uabs.(lane) +. Float.abs (col.(lane) *. xj.(lane))
+    done
+  done;
+  let r = ref (Array.copy !ux) in
+  let rabs = Array.copy uabs in
+  for j = 0 to s - 2 do
+    let act = Array.init p (fun lane -> lane > j && lane < s) in
+    let col =
+      Warp.load w gmat ~active:act
+        (Array.init p (fun lane -> moff + (if lane < s then lane else 0) + (j * s)))
+    in
+    let uxj = Warp.broadcast w !ux ~src:j in
+    r := Warp.fma w ~active:act col uxj !r;
+    for lane = j + 1 to s - 1 do
+      rabs.(lane) <- rabs.(lane) +. Float.abs (col.(lane) *. uxj.(lane))
+    done
+  done;
+  (* The |·|-tracking and the final compare, charged as one fused pass. *)
+  Charge.fma w (float_of_int (2 * s));
+  let eps = Precision.eps prec in
+  let ok = ref true in
+  for lane = 0 to s - 1 do
+    let rv = !r.(lane) and bv = b0.(lane) in
+    let tol =
+      1024.0 *. float_of_int s *. eps
+      *. (rabs.(lane) +. Float.abs bv +. Float.abs rv)
+    in
+    if (not (Float.is_finite rv)) || Float.abs (rv -. bv) > tol then ok := false
+  done;
+  if !ok then Fault.Passed else Fault.Failed
+
 (* Eager (AXPY) schedule: per step one coalesced column load, one shuffle
    broadcast of the freshly final solution element, one predicated FNMA. *)
-let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm =
+let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
   let p = Warp.size w in
   let active = lane_active p s in
   (* Fused permutation on load: lane k reads b(perm(k)). *)
@@ -23,9 +75,13 @@ let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm =
       (Array.init p (fun lane -> voff + if lane < s then perm.(lane) else 0))
   in
   Warp.round_barrier w;
+  (* Snapshot of P·b for the ABFT compare — taken before any fault site
+     can arm (sites arm at [Warp.fault_step]). *)
+  let b0 = if abft then Array.copy b else [||] in
   let b = ref b in
   (* Unit lower triangular solve. *)
   for k = 0 to s - 2 do
+    Warp.fault_step w k;
     let below = Array.init p (fun lane -> lane > k && lane < s) in
     let col =
       Warp.load w gmat ~active:below
@@ -40,6 +96,7 @@ let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm =
   let info = ref 0 in
   (try
      for k = s - 1 downto 0 do
+       Warp.fault_step w k;
        let upto = Array.init p (fun lane -> lane <= k) in
        let col =
          Warp.load w gmat ~active:upto
@@ -57,13 +114,17 @@ let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm =
        b := Warp.fnma w ~active:above col bk !b
      done
    with Exit -> ());
+  let verdict =
+    if abft && !info = 0 then abft_check w gmat ~moff ~s ~b0 !b
+    else Fault.Unchecked
+  in
   Warp.store w gout ~active (Array.init p (fun lane -> voff + min lane (s - 1))) !b;
   Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s);
-  !info
+  (!info, verdict)
 
 (* Lazy (DOT) schedule: per step one non-coalesced row load and a warp
    reduction; the ablation showing why the paper prefers the eager form. *)
-let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm =
+let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
   let p = Warp.size w in
   let active = lane_active p s in
   let b =
@@ -71,6 +132,7 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm =
       (Array.init p (fun lane -> voff + if lane < s then perm.(lane) else 0))
   in
   Warp.round_barrier w;
+  let b0 = if abft then Array.copy b else [||] in
   let b = ref b in
   let dot_row ~upto_excl k =
     (* Row k, elements [0..upto_excl), lanewise product then a tree
@@ -93,6 +155,7 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm =
   in
   (* Unit lower solve, lazy: b(k) -= L(k, 0..k-1) · b(0..k-1). *)
   for k = 1 to s - 1 do
+    Warp.fault_step w k;
     let d = dot_row ~upto_excl:k k in
     let bnew = Array.copy !b in
     bnew.(k) <- Precision.sub (Warp.prec w) !b.(k) d;
@@ -106,6 +169,7 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm =
   let info = ref 0 in
   (try
      for k = s - 1 downto 0 do
+       Warp.fault_step w k;
        (* The diagonal element arrives with the row load of step k via
           lane k — the load mask includes lane k so the access is charged
           like every other row element. *)
@@ -137,13 +201,17 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm =
        b := bnew
      done
    with Exit -> ());
+  let verdict =
+    if abft && !info = 0 then abft_check w gmat ~moff ~s ~b0 !b
+    else Fault.Unchecked
+  in
   Warp.store w gout ~active (Array.init p (fun lane -> voff + min lane (s - 1))) !b;
   Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s);
-  !info
+  (!info, verdict)
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?(variant = Eager)
-    ~(factors : Batch.t) ~pivots (rhs : Batch.vec) =
+    ?faults ?(abft = false) ~(factors : Batch.t) ~pivots (rhs : Batch.vec) =
   if factors.Batch.count <> rhs.Batch.vcount then
     invalid_arg "Batched_trsv.solve: batch count mismatch";
   if Array.length pivots <> factors.Batch.count then
@@ -162,6 +230,7 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let gvec = Gmem.of_array prec rhs.Batch.vvalues in
   let gout = Gmem.create prec (Array.length rhs.Batch.vvalues) in
   let info = Array.make factors.Batch.count 0 in
+  let verdicts = Array.make factors.Batch.count Fault.Unchecked in
   let kernel w i =
     let s = factors.Batch.sizes.(i) in
     let perm =
@@ -169,13 +238,17 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
       else pivots.(i)
     in
     let moff = factors.Batch.offsets.(i) and voff = rhs.Batch.voffsets.(i) in
-    info.(i) <-
-      (match variant with
-      | Eager -> kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm
-      | Lazy -> kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm)
+    let inf, verdict =
+      match variant with
+      | Eager -> kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm ~abft
+      | Lazy -> kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm ~abft
+    in
+    info.(i) <- inf;
+    verdicts.(i) <- verdict
   in
   let stats =
-    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
+    Sampling.run ~cfg ~pool ?faults ~prec ~mode ~sizes:factors.Batch.sizes
+      ~kernel ()
   in
   let solutions =
     let out = Batch.vec_create rhs.Batch.vsizes in
@@ -183,4 +256,4 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     Array.blit values 0 out.Batch.vvalues 0 (Array.length values);
     out
   in
-  { solutions; info; stats; exact = (mode = Sampling.Exact) }
+  { solutions; info; verdicts; stats; exact = (mode = Sampling.Exact) }

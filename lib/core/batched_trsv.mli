@@ -15,6 +15,7 @@
 
 open Vblu_smallblas
 open Vblu_simt
+open Vblu_fault
 
 type variant =
   | Eager  (** AXPY-based, column reads; the paper's kernel. *)
@@ -30,6 +31,12 @@ type result = {
           flagged problem's solution holds the frozen partial state (steps
           [s-1 .. k+1] applied); other problems are unaffected.  In
           [Sampled] mode only class representatives are flagged. *)
+  verdicts : Fault.verdict array;
+      (** per-problem ABFT verdict; [Unchecked] unless [~abft:true] was
+          passed (or when the sweep broke down — a nonzero [info] already
+          flags it).  The check re-evaluates [L·(U·x)] from fresh factor
+          reads and compares it against the permuted right-hand side
+          captured at load time. *)
   stats : Launch.stats;
   exact : bool;
 }
@@ -40,6 +47,8 @@ val solve :
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
   ?variant:variant ->
+  ?faults:Fault.Plan.t ->
+  ?abft:bool ->
   factors:Batch.t ->
   pivots:int array array ->
   Batch.vec ->
@@ -50,6 +59,13 @@ val solve :
     over domains with bit-identical results (including [info]); an empty
     batch is a no-op.  A zero diagonal never raises — it is flagged in
     [info].
+
+    [?faults] arms a deterministic fault plan for the targeted problems
+    (one-shot claims; see {!Vblu_fault.Fault.Plan}).  [~abft:true]
+    verifies each clean solution against the right-hand side by
+    re-reading the factors (roughly doubling the traffic — the honest
+    cost of solve-phase detection) and fills [verdicts]; both default
+    off, leaving the kernels bit-identical to the unprotected path.
     @raise Invalid_argument on shape mismatch between factors and rhs, or
     when [pivots] does not have exactly one (possibly empty) entry per
     block. *)

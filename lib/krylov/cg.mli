@@ -12,8 +12,13 @@ val solve :
   ?prec:Precision.t ->
   ?precond:Preconditioner.t ->
   ?config:Solver.config ->
+  ?refresh_precond:(unit -> Preconditioner.t) ->
   Csr.t ->
   Vector.t ->
   Vector.t * Solver.stats
 (** Standard PCG from a zero initial guess; [stats.iterations] counts
-    applications of [A]. *)
+    applications of [A].  [?refresh_precond] arms the soft-error guard
+    ({!Solver.guard}): one preconditioner rebuild + restart from the
+    current iterate on a non-finite or stagnating residual, then
+    [Breakdown "guard: ..."] on a second trip; omitted, the solve is
+    bit-identical to previous behavior. *)

@@ -33,9 +33,11 @@ let solve_lower ~prec ms f k s =
   c
 
 let solve ?(prec = Precision.Double) ?precond ?(s = 4) ?(seed = 1)
-    ?(smoothing = false) ?(config = Solver.default_config) a b =
+    ?(smoothing = false) ?(config = Solver.default_config) ?refresh_precond a
+    b =
   if s < 1 then invalid_arg "Idr.solve: s < 1";
   let ctx = Solver.make_ctx ~prec ?precond a b config in
+  let sguard = Option.map Solver.guard refresh_precond in
   let started = Sys.time () in
   let n = Array.length b in
   let x = Vector.create n in
@@ -69,8 +71,47 @@ let solve ?(prec = Precision.Double) ?precond ?(s = 4) ?(seed = 1)
   let outcome = ref None in
   if !rnorm <= ctx.Solver.target then outcome := Some Solver.Converged;
   let apply_m v = Preconditioner.apply ctx.Solver.precond v in
+  let check_guard () =
+    match sguard with
+    | None -> ()
+    | Some gd -> (
+      match Solver.guard_check ctx gd !rnorm with
+      | `Ok -> ()
+      | `Break why -> outcome := Some (Solver.Breakdown why)
+      | `Restart _ -> raise Solver.Guard_restart)
+  in
+  (* Re-arm the recurrences after a guard-triggered preconditioner
+     refresh: keep the iterate (zeroing it if the corruption reached it),
+     recompute the true residual, and drop the Sonneveld-space state. *)
+  let rearm () =
+    if Array.exists (fun v -> not (Float.is_finite v)) x then
+      Vector.fill x 0.0;
+    let ax = ctx.Solver.spmv x in
+    incr iters;
+    Vector.blit ~src:b ~dst:r;
+    Vector.axpy ~prec (-1.0) ax r;
+    for i = 0 to s - 1 do
+      g.(i) <- Vector.create n;
+      u.(i) <- Vector.create n;
+      for j = 0 to s - 1 do
+        ms.(i).(j) <- (if i = j then 1.0 else 0.0)
+      done
+    done;
+    om := 1.0;
+    rnorm := Vector.nrm2 ~prec r;
+    Vector.blit ~src:x ~dst:xs;
+    Vector.blit ~src:r ~dst:rs;
+    Solver.record ctx !rnorm;
+    if !rnorm <= ctx.Solver.target then outcome := Some Solver.Converged
+    else if !iters >= config.Solver.max_iters then
+      outcome := Some Solver.Max_iterations
+  in
   (try
-     while !outcome = None do
+     let again = ref true in
+     while !again do
+       again := false;
+       try
+         while !outcome = None do
        let f = Array.init s (fun i -> Vector.dot ~prec p.(i) r) in
        let k = ref 0 in
        while !outcome = None && !k < s do
@@ -122,6 +163,7 @@ let solve ?(prec = Precision.Double) ?precond ?(s = 4) ?(seed = 1)
              if !rnorm <= ctx.Solver.target then outcome := Some Solver.Converged
              else if !iters >= config.Solver.max_iters then
                outcome := Some Solver.Max_iterations;
+             if !outcome = None then check_guard ();
              for i = kk + 1 to s - 1 do
                f.(i) <- Precision.fma prec (-.beta) ms.(i).(kk) f.(i)
              done;
@@ -157,10 +199,15 @@ let solve ?(prec = Precision.Double) ?precond ?(s = 4) ?(seed = 1)
              Solver.record ctx !rnorm;
              if !rnorm <= ctx.Solver.target then outcome := Some Solver.Converged
              else if !iters >= config.Solver.max_iters then
-               outcome := Some Solver.Max_iterations
+               outcome := Some Solver.Max_iterations;
+             if !outcome = None then check_guard ()
            end
          end
        end
+         done
+       with Solver.Guard_restart ->
+         rearm ();
+         again := true
      done
    with e ->
      outcome := Some (Solver.Breakdown (Printexc.to_string e)));

@@ -27,10 +27,18 @@ val solve :
   ?seed:int ->
   ?smoothing:bool ->
   ?config:Solver.config ->
+  ?refresh_precond:(unit -> Preconditioner.t) ->
   Csr.t ->
   Vector.t ->
   Vector.t * Solver.stats
 (** [solve a b] runs preconditioned IDR(s) from a zero initial guess and
     returns the approximate solution with solve statistics
     ([stats.iterations] counts applications of [A]).
+
+    [?refresh_precond] arms the soft-error guard ({!Solver.guard}): on a
+    non-finite residual norm or prolonged stagnation the preconditioner
+    is rebuilt once via the callback and the recurrences restart from the
+    current iterate (iterations keep accumulating); a second trip ends
+    the solve with [Breakdown "guard: ..."].  Without it the solve is
+    bit-identical to previous behavior.
     @raise Invalid_argument on dimension mismatches or [s < 1]. *)

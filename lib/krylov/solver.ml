@@ -35,7 +35,7 @@ let pp_stats ppf s =
 type ctx = {
   prec : Precision.t;
   spmv : Vector.t -> Vector.t;
-  precond : Preconditioner.t;
+  mutable precond : Preconditioner.t;
   b_norm : float;
   target : float;
   cfg : config;
@@ -64,6 +64,56 @@ let make_ctx ?(prec = Precision.Double) ?precond (a : Vblu_sparse.Csr.t) b cfg =
 
 let record ctx r =
   if ctx.cfg.record_history then ctx.recorded <- r :: ctx.recorded
+
+exception Guard_restart
+
+(* NaN/Inf + stagnation guard.  Built only when the caller supplies a
+   preconditioner refresh function, so default solves stay bit-identical
+   (no guard state, no extra float compares feeding back into the
+   recurrences — the checks below read [rnorm] without modifying it). *)
+type guard = {
+  g_refresh : unit -> Preconditioner.t;
+  g_window : int;
+  mutable g_best : float;
+  mutable g_since : int;
+  mutable g_used : bool;
+}
+
+let guard ?(window = 200) refresh =
+  {
+    g_refresh = refresh;
+    g_window = window;
+    g_best = infinity;
+    g_since = 0;
+    g_used = false;
+  }
+
+let guard_check ctx g rnorm =
+  let trip =
+    if not (Float.is_finite rnorm) then Some "non-finite residual"
+    else begin
+      if rnorm < 0.999 *. g.g_best then begin
+        g.g_best <- rnorm;
+        g.g_since <- 0
+      end
+      else g.g_since <- g.g_since + 1;
+      if g.g_since > g.g_window then Some "stagnation" else None
+    end
+  in
+  match trip with
+  | None -> `Ok
+  | Some why ->
+    if g.g_used then `Break (Printf.sprintf "guard: %s" why)
+    else begin
+      (* One refresh per solve: rebuild the preconditioner (flushing any
+         corrupted factors) and let the solver restart its recurrences
+         from the current iterate. *)
+      g.g_used <- true;
+      g.g_best <- infinity;
+      g.g_since <- 0;
+      ctx.precond <- g.g_refresh ();
+      `Restart why
+    end
 
 let finish ctx ~outcome ~iterations ~x ~b ~started ~a =
   let prec = ctx.prec in

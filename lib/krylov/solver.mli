@@ -41,7 +41,9 @@ val pp_stats : Format.formatter -> stats -> unit
 type ctx = {
   prec : Precision.t;
   spmv : Vector.t -> Vector.t;  (** the operator. *)
-  precond : Preconditioner.t;
+  mutable precond : Preconditioner.t;
+      (** mutable so the soft-error {!guard} can swap in a freshly built
+          preconditioner mid-solve. *)
   b_norm : float;
   target : float;  (** absolute residual target [rtol * ‖b‖]. *)
   cfg : config;
@@ -59,6 +61,29 @@ val make_ctx :
     @raise Invalid_argument on a non-square matrix or mismatched sizes. *)
 
 val record : ctx -> float -> unit
+
+exception Guard_restart
+(** Raised internally by a solver iteration when {!guard_check} asks for a
+    restart; each solver catches it and re-arms its recurrences from the
+    current iterate. *)
+
+type guard
+
+val guard : ?window:int -> (unit -> Preconditioner.t) -> guard
+(** Soft-error guard state for one solve: trips on a non-finite residual
+    norm, or on stagnation — no meaningful residual improvement across
+    [window] (default 200) consecutive checks.  Solvers build one only
+    when the caller passes [?refresh_precond], so default solves are
+    bit-identical to the unguarded path. *)
+
+val guard_check :
+  ctx -> guard -> float -> [ `Ok | `Restart of string | `Break of string ]
+(** Feed one residual norm to the guard.  [`Restart why] is returned at
+    most once per solve: the context's preconditioner has already been
+    replaced via the refresh function, and the solver should restart its
+    recurrences (conventionally by raising {!Guard_restart}).  A second
+    trip yields [`Break "guard: ..."], to be reported as a
+    {!Breakdown}. *)
 
 val finish :
   ctx -> outcome:outcome -> iterations:int -> x:Vector.t -> b:Vector.t ->

@@ -50,6 +50,13 @@ val ablation_cholesky : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter
 (** The paper's future-work Cholesky kernel vs the pivoted LU on SPD
     batches: factorization and solve throughput by block size. *)
 
+val abft_overhead : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
+(** The cost of soft-error detection: GFLOPS of the ABFT-protected LU and
+    eager TRSV kernels against their unprotected twins per block size
+    (both charge the same useful flops, so the gap is exactly the
+    checksum work — the encode/verify passes for LU, the factor re-read
+    for TRSV). *)
+
 val ablation_variable_size : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
 (** The scenario the paper's title is about and no figure isolates:
     batches whose block-size distribution comes from actual supervariable

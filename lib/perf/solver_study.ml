@@ -14,6 +14,8 @@ type run = {
   blocks : int;
   degraded : int;
   perturbed : int;
+  recovered : int;
+  corrupt : int;
 }
 
 type t = {
@@ -23,11 +25,24 @@ type t = {
 
 let bounds = [ 8; 12; 16; 24; 32 ]
 
-let one_run ~policy entry a b variant bound =
+let one_run ~policy ?faults ?(abft = false) ?recovery entry a b variant bound =
   let precond, info =
-    Block_jacobi.create ~variant ~policy ~max_block_size:bound a
+    Block_jacobi.create ~variant ~policy ?faults ~abft ?recovery
+      ~max_block_size:bound a
   in
-  let _, stats = Idr.solve ~precond ~s:4 a b in
+  (* With ABFT active the solve gets the matching soft-error guard: a
+     refresh rebuilds the preconditioner cleanly (fault-plan claims are
+     one-shot, so the rebuild is uncorrupted). *)
+  let refresh_precond =
+    if abft then
+      Some
+        (fun () ->
+          fst
+            (Block_jacobi.create ~variant ~policy ?faults ~abft ?recovery
+               ~max_block_size:bound a))
+    else None
+  in
+  let _, stats = Idr.solve ~precond ?refresh_precond ~s:4 a b in
   {
     entry;
     variant;
@@ -39,10 +54,13 @@ let one_run ~policy entry a b variant bound =
     blocks = Array.length info.Block_jacobi.blocking.Supervariable.starts;
     degraded = List.length info.Block_jacobi.degraded_blocks;
     perturbed = List.length info.Block_jacobi.perturbed_blocks;
+    recovered = List.length info.Block_jacobi.recovered_blocks;
+    corrupt = List.length info.Block_jacobi.corrupt_blocks;
   }
 
 let run_suite ?(quick = false) ?(pool = Pool.sequential)
-    ?(policy = Block_jacobi.Identity_block) ?(progress = fun _ -> ()) () =
+    ?(policy = Block_jacobi.Identity_block) ?faults ?(abft = false) ?recovery
+    ?(progress = fun _ -> ()) () =
   let entries =
     if quick then List.filteri (fun i _ -> i < 12) Suite.all else Suite.all
   in
@@ -58,22 +76,15 @@ let run_suite ?(quick = false) ?(pool = Pool.sequential)
     progress
       (Printf.sprintf "%2d/%d %s (n=%d, nnz=%d)" entry.Suite.id
          (List.length entries) entry.Suite.name n (Vblu_sparse.Csr.nnz a));
-    let scalar = one_run ~policy entry a b Block_jacobi.Scalar 1 in
+    let run = one_run ~policy ?faults ~abft ?recovery entry a b in
+    let scalar = run Block_jacobi.Scalar 1 in
     let swept =
       List.concat_map
         (fun bound ->
-          [
-            one_run ~policy entry a b Block_jacobi.Lu bound;
-            one_run ~policy entry a b Block_jacobi.Gh bound;
-          ])
+          [ run Block_jacobi.Lu bound; run Block_jacobi.Gh bound ])
         swept_bounds
     in
-    let extra =
-      [
-        one_run ~policy entry a b Block_jacobi.Ght 32;
-        one_run ~policy entry a b Block_jacobi.Gje_inverse 32;
-      ]
-    in
+    let extra = [ run Block_jacobi.Ght 32; run Block_jacobi.Gje_inverse 32 ] in
     (scalar :: swept) @ extra
   in
   let per_entry_runs =

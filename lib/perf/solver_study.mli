@@ -28,6 +28,12 @@ type run = {
           breakdown policy). *)
   perturbed : int;
       (** blocks salvaged by a [Perturb] diagonal shift. *)
+  recovered : int;
+      (** blocks whose ABFT check failed and that a [Recompute] recovery
+          refactored successfully (0 unless faults + ABFT are active). *)
+  corrupt : int;
+      (** blocks left corrupt after recovery was exhausted (replaced by
+          the identity). *)
 }
 
 type t = {
@@ -42,13 +48,20 @@ val run_suite :
   ?quick:bool ->
   ?pool:Vblu_par.Pool.t ->
   ?policy:Block_jacobi.breakdown_policy ->
+  ?faults:Vblu_fault.Fault.Plan.t ->
+  ?abft:bool ->
+  ?recovery:Block_jacobi.recovery_policy ->
   ?progress:(string -> unit) ->
   unit ->
   t
 (** Execute the sweep.  [quick] restricts to the first 12 matrices and
     bounds [8; 32].  [policy] (default [Identity_block]) is the
     block-Jacobi breakdown policy for every run; the per-run [degraded]
-    and [perturbed] counts record its effect.  [progress] receives one
+    and [perturbed] counts record its effect.  [faults], [abft], and
+    [recovery] are forwarded to {!Block_jacobi.create} for every run
+    (the per-run [recovered] and [corrupt] counts record their effect);
+    when [abft] is set, each IDR solve additionally gets a
+    [refresh_precond] soft-error guard.  [progress] receives one
     message per matrix (messages may interleave when [pool] has several
     domains).
 

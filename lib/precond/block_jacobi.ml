@@ -1,6 +1,7 @@
 open Vblu_smallblas
 open Vblu_sparse
 open Vblu_par
+open Vblu_fault
 
 let log_src = Logs.Src.create "vblu.block_jacobi" ~doc:"block-Jacobi setup"
 
@@ -16,6 +17,16 @@ let variant_name = function
   | Cholesky -> "cholesky"
   | Scalar -> "scalar"
 
+(* Declared before [breakdown_policy] on purpose: both carry a [Fail]
+   constructor, and declaring the breakdown one last keeps every
+   unqualified [Fail] in pre-existing code meaning "breakdown". *)
+type recovery_policy = Recompute of int | Degrade_to_identity | Fail
+
+let recovery_name = function
+  | Recompute n -> Printf.sprintf "recompute:%d" n
+  | Degrade_to_identity -> "degrade"
+  | (Fail : recovery_policy) -> "fail"
+
 type breakdown_policy = Fail | Identity_block | Perturb of float
 
 let policy_name = function
@@ -24,6 +35,7 @@ let policy_name = function
   | Perturb eps -> Printf.sprintf "perturb:%g" eps
 
 exception Singular_block of { block : int; variant : variant }
+exception Fault_detected of { block : int; variant : variant }
 
 let () =
   Printexc.register_printer (function
@@ -33,6 +45,12 @@ let () =
            "Block_jacobi.Singular_block: diagonal block %d is singular \
             (variant %s, policy fail)"
            block (variant_name variant))
+    | Fault_detected { block; variant } ->
+      Some
+        (Printf.sprintf
+           "Block_jacobi.Fault_detected: diagonal block %d failed its ABFT \
+            check (variant %s, recovery fail)"
+           block (variant_name variant))
     | _ -> None)
 
 type info = {
@@ -40,6 +58,8 @@ type info = {
   singular_blocks : int list;
   degraded_blocks : int list;
   perturbed_blocks : int list;
+  recovered_blocks : int list;
+  corrupt_blocks : int list;
 }
 
 (* Per-block setup outcome, recorded race-free: each pool worker writes
@@ -47,7 +67,7 @@ type info = {
    the array is folded sequentially (in block order) after the join — so
    the resulting lists, and any [Fail]-policy exception, are deterministic
    across domain counts. *)
-type outcome = Healthy | Degraded | Perturbed
+type outcome = Healthy | Degraded | Perturbed | Recovered | Corrupt
 
 (* Per-block solver closures. *)
 type block_solver = Vector.t -> Vector.t
@@ -73,13 +93,45 @@ let perturbed_copy ~eps m =
   done;
   m'
 
-let block_solvers ~pool ~prec ~variant ~policy blocks =
+(* Corrupt one entry of a factor matrix in place — the hook a claimed
+   fault site uses to model a setup-time soft error. *)
+let matrix_corrupt mat (site : Fault.site) =
+  let n, _ = Matrix.dims mat in
+  let r = site.Fault.lane mod n and c = site.Fault.step mod n in
+  Matrix.unsafe_set mat r c
+    (Fault.corrupt site.Fault.kind (Matrix.unsafe_get mat r c))
+
+(* ABFT residual check for a factored block: solve against the row-sum
+   vector w = A·e and accept iff A·u - w stays within the backward-stable
+   envelope rowwise, evaluated against the matrix that was actually
+   factored (the perturbed copy under a [Perturb] rescue — a deliberate
+   diagonal shift must not read as corruption). *)
+let abft_ok ~prec mfact (solver : block_solver) =
+  let s, _ = Matrix.dims mfact in
+  let e = Array.make s 1.0 in
+  let w = Matrix.gemv ~prec mfact e in
+  let u = solver w in
+  let au = Matrix.gemv ~prec mfact u in
+  let eps = Precision.eps prec in
+  let ok = ref true in
+  for r = 0 to s - 1 do
+    let scale = ref (Float.abs w.(r)) in
+    for c = 0 to s - 1 do
+      scale := !scale +. Float.abs (Matrix.unsafe_get mfact r c *. u.(c))
+    done;
+    let tol = 1024.0 *. float_of_int s *. eps *. !scale in
+    if (not (Float.is_finite au.(r))) || Float.abs (au.(r) -. w.(r)) > tol then
+      ok := false
+  done;
+  !ok
+
+let block_solvers ~pool ~prec ~variant ~policy ~faults ~abft ~recovery blocks =
   let k = Array.length blocks in
   let outcomes = Array.make k Healthy in
   (* [attempt m] factorizes one block via the status API and returns the
-     solver closure, or [None] on breakdown — no exceptions cross the
-     worker boundary. *)
-  let attempt (m : Matrix.t) : block_solver option =
+     solver closure plus the corruption hook into its factor storage, or
+     [None] on breakdown — no exceptions cross the worker boundary. *)
+  let attempt (m : Matrix.t) : (block_solver * (Fault.site -> unit)) option =
     match variant with
     | Scalar ->
       (* Handled at the top level; never reaches here. *)
@@ -88,17 +140,24 @@ let block_solvers ~pool ~prec ~variant ~policy blocks =
       (* The implicit-pivoting factorization — identical floats to the
          simulated register kernel (cross-checked by the test suite). *)
       let f, inf = Lu.factor_implicit_status ~prec m in
-      if inf = 0 then Some (fun rhs -> Lu.solve ~prec f rhs) else None
+      if inf = 0 then
+        Some ((fun rhs -> Lu.solve ~prec f rhs), matrix_corrupt f.Lu.lu)
+      else None
     | Gh | Ght ->
       let storage =
         if variant = Ght then Gauss_huard.Transposed else Gauss_huard.Normal
       in
       let f, inf = Gauss_huard.factor_status ~prec ~storage m in
-      if inf = 0 then Some (fun rhs -> Gauss_huard.solve ~prec f rhs)
+      if inf = 0 then
+        Some
+          ( (fun rhs -> Gauss_huard.solve ~prec f rhs),
+            matrix_corrupt f.Gauss_huard.gh )
       else None
     | Gje_inverse ->
       let inv, inf = Gauss_jordan.invert_status ~prec m in
-      if inf = 0 then Some (fun rhs -> Matrix.gemv ~prec inv rhs) else None
+      if inf = 0 then
+        Some ((fun rhs -> Matrix.gemv ~prec inv rhs), matrix_corrupt inv)
+      else None
     | Cholesky ->
       (* SPD fast path.  Cholesky reads only the lower triangle, so a
          nonsymmetric block would be silently mis-factored — check
@@ -119,39 +178,97 @@ let block_solvers ~pool ~prec ~variant ~policy blocks =
       in
       let lu_fallback () =
         let f, inf = Lu.factor_implicit_status ~prec m in
-        if inf = 0 then Some (fun rhs -> Lu.solve ~prec f rhs) else None
+        if inf = 0 then
+          Some ((fun rhs -> Lu.solve ~prec f rhs), matrix_corrupt f.Lu.lu)
+        else None
       in
       if not symmetric then lu_fallback ()
       else
         let f, inf = Cholesky.factor_status ~prec m in
-        if inf = 0 then Some (fun rhs -> Cholesky.solve ~prec f rhs)
+        if inf = 0 then
+          Some ((fun rhs -> Cholesky.solve ~prec f rhs), matrix_corrupt f.Cholesky.l)
         else lu_fallback ()
   in
-  let make i (m : Matrix.t) : block_solver =
-    match attempt m with
-    | Some s -> s
-    | None -> (
-      match policy with
-      | Fail | Identity_block ->
-        (* Under [Fail] the caller raises after the join (block order, so
-           the reported index is deterministic); the solver built here is
-           never applied. *)
-        outcomes.(i) <- Degraded;
-        identity_solver
-      | Perturb eps -> (
-        match attempt (perturbed_copy ~eps m) with
-        | Some s ->
-          outcomes.(i) <- Perturbed;
-          s
-        | None ->
+  (* Factorize block [i] under the breakdown policy, then let any armed
+     fault sites corrupt the factors.  Returns the solver plus the matrix
+     actually factored (for the ABFT check), or [None] when the block
+     degraded to the identity.  Plan claims are one-shot per (problem,
+     step), so calling [build] again — the [Recompute] retry — runs
+     clean and converges. *)
+  let build i (m : Matrix.t) : (block_solver * Matrix.t) option =
+    let factored =
+      match attempt m with
+      | Some (s, corrupt) -> Some (s, corrupt, m)
+      | None -> (
+        match policy with
+        | Fail | Identity_block ->
+          (* Under [Fail] the caller raises after the join (block order,
+             so the reported index is deterministic); the solver built
+             here is never applied. *)
           outcomes.(i) <- Degraded;
-          identity_solver))
+          None
+        | Perturb eps -> (
+          let m' = perturbed_copy ~eps m in
+          match attempt m' with
+          | Some (s, corrupt) ->
+            outcomes.(i) <- Perturbed;
+            Some (s, corrupt, m')
+          | None ->
+            outcomes.(i) <- Degraded;
+            None))
+    in
+    match factored with
+    | None -> None
+    | Some (solver, corrupt, mfact) ->
+      (match faults with
+      | None -> ()
+      | Some plan ->
+        let s, _ = Matrix.dims m in
+        List.iter
+          (fun (site : Fault.site) ->
+            if Fault.Plan.claim plan ~problem:i ~step:site.Fault.step then begin
+              corrupt site;
+              Fault.Plan.note_injected plan
+            end)
+          (Fault.Plan.sites_for plan ~problem:i ~size:s));
+      Some (solver, mfact)
+  in
+  let make i (m : Matrix.t) : block_solver =
+    match build i m with
+    | None -> identity_solver
+    | Some (solver, mfact) ->
+      if (not abft) || abft_ok ~prec mfact solver then solver
+      else begin
+        match recovery with
+        | Recompute max_retries ->
+          let rec retry left =
+            if left <= 0 then begin
+              outcomes.(i) <- Corrupt;
+              identity_solver
+            end
+            else
+              match build i m with
+              | None -> identity_solver
+              | Some (solver, mfact) ->
+                if abft_ok ~prec mfact solver then begin
+                  outcomes.(i) <- Recovered;
+                  solver
+                end
+                else retry (left - 1)
+          in
+          retry max_retries
+        | Degrade_to_identity | (Fail : recovery_policy) ->
+          (* Under recovery [Fail] the caller raises after the join. *)
+          outcomes.(i) <- Corrupt;
+          identity_solver
+      end
   in
   let solvers = Pool.parallel_init pool k (fun i -> make i blocks.(i)) in
   (solvers, outcomes)
 
 let create ?(pool = Pool.sequential) ?(prec = Precision.Double) ?(variant = Lu)
-    ?(policy = Identity_block) ?(max_block_size = 32) ?blocking (a : Csr.t) =
+    ?(policy = Identity_block) ?faults ?(abft = false)
+    ?(recovery = Recompute 1) ?(max_block_size = 32) ?blocking (a : Csr.t) =
   let n, cols = Csr.dims a in
   if n <> cols then invalid_arg "Block_jacobi.create: matrix not square";
   let (name, blk, apply, outcomes), setup_seconds =
@@ -197,7 +314,8 @@ let create ?(pool = Pool.sequential) ?(prec = Precision.Double) ?(variant = Lu)
                   ~size:blk.Supervariable.sizes.(i))
           in
           let solvers, outcomes =
-            block_solvers ~pool ~prec ~variant ~policy blocks
+            block_solvers ~pool ~prec ~variant ~policy ~faults ~abft ~recovery
+              blocks
           in
           let apply r =
             let y = Array.make n 0.0 in
@@ -218,14 +336,20 @@ let create ?(pool = Pool.sequential) ?(prec = Precision.Double) ?(variant = Lu)
   (* Sequential fold in block order: deterministic lists whatever the
      domain count. *)
   let degraded = ref [] and perturbed = ref [] in
+  let recovered = ref [] and corrupt = ref [] in
   for i = Array.length outcomes - 1 downto 0 do
     match outcomes.(i) with
     | Healthy -> ()
     | Degraded -> degraded := i :: !degraded
     | Perturbed -> perturbed := i :: !perturbed
+    | Recovered -> recovered := i :: !recovered
+    | Corrupt -> corrupt := i :: !corrupt
   done;
   (match (policy, !degraded) with
   | Fail, i :: _ -> raise (Singular_block { block = i; variant })
+  | _ -> ());
+  (match (recovery, !corrupt) with
+  | (Fail : recovery_policy), i :: _ -> raise (Fault_detected { block = i; variant })
   | _ -> ());
   List.iter
     (fun i ->
@@ -236,10 +360,24 @@ let create ?(pool = Pool.sequential) ?(prec = Precision.Double) ?(variant = Lu)
       Log.info (fun m ->
           m "singular diagonal block %d: factored after diagonal shift" i))
     !perturbed;
+  List.iter
+    (fun i ->
+      Log.info (fun m ->
+          m "fault detected in diagonal block %d: recomputed cleanly" i))
+    !recovered;
+  List.iter
+    (fun i ->
+      Log.warn (fun m ->
+          m "fault detected in diagonal block %d: identity fallback" i))
+    !corrupt;
   ( { Preconditioner.name; dim = n; setup_seconds; apply },
     {
       blocking = blk;
       singular_blocks = !degraded;
-      degraded_blocks = !degraded;
+      (* Residual corruption counts as degradation too: the block ends up
+         unpreconditioned exactly like a singular one. *)
+      degraded_blocks = List.merge compare !degraded !corrupt;
       perturbed_blocks = !perturbed;
+      recovered_blocks = !recovered;
+      corrupt_blocks = !corrupt;
     } )

@@ -29,6 +29,7 @@
 open Vblu_smallblas
 open Vblu_sparse
 open Vblu_par
+open Vblu_fault
 
 type variant =
   | Lu
@@ -39,6 +40,26 @@ type variant =
   | Scalar
 
 val variant_name : variant -> string
+
+(** What to do with a diagonal block whose ABFT check fails after setup
+    (only reachable with [~abft:true]):
+
+    - [Recompute n]: re-factorize the block, up to [n] times — fault-plan
+      claims are one-shot per (problem, step), so the retry runs clean
+      and restores bit-identical factors; a block whose retries are
+      exhausted degrades to the identity and is reported corrupt;
+    - {!Degrade_to_identity}: give up immediately — identity on that
+      block, reported corrupt;
+    - [Fail]: raise {!Fault_detected} (after the parallel setup joins, so
+      the reported block index is the smallest and deterministic).
+
+    Declared before {!breakdown_policy} so that the unqualified [Fail]
+    constructor keeps meaning "breakdown" everywhere else. *)
+type recovery_policy = Recompute of int | Degrade_to_identity | Fail
+
+val recovery_name : recovery_policy -> string
+(** ["recompute:N"], ["degrade"], or ["fail"] — the spelling the CLI
+    accepts. *)
 
 (** What to do with a diagonal block whose factorization breaks down:
 
@@ -61,14 +82,26 @@ exception Singular_block of { block : int; variant : variant }
 (** Raised by {!create} under the {!Fail} policy for the first (smallest
     index) block whose factorization broke down. *)
 
+exception Fault_detected of { block : int; variant : variant }
+(** Raised by {!create} under recovery policy [Fail] for the first
+    (smallest index) block whose ABFT check failed. *)
+
 type info = {
   blocking : Supervariable.blocking;
   singular_blocks : int list;
-      (** back-compatible alias of [degraded_blocks]. *)
+      (** back-compatible alias of the singular part of
+          [degraded_blocks]. *)
   degraded_blocks : int list;
-      (** indices that fell back to the identity, ascending. *)
+      (** indices that fell back to the identity, ascending — singular
+          blocks plus blocks left corrupt after exhausted recovery. *)
   perturbed_blocks : int list;
       (** indices salvaged by a [Perturb] diagonal shift, ascending. *)
+  recovered_blocks : int list;
+      (** indices whose detected fault was repaired by a [Recompute]
+          retry, ascending. *)
+  corrupt_blocks : int list;
+      (** indices whose ABFT check still failed after recovery (identity
+          fallback), ascending; also counted in [degraded_blocks]. *)
 }
 
 val create :
@@ -76,6 +109,9 @@ val create :
   ?prec:Precision.t ->
   ?variant:variant ->
   ?policy:breakdown_policy ->
+  ?faults:Fault.Plan.t ->
+  ?abft:bool ->
+  ?recovery:recovery_policy ->
   ?max_block_size:int ->
   ?blocking:Supervariable.blocking ->
   Csr.t ->
@@ -87,5 +123,15 @@ val create :
     decides what happens to singular blocks.
     [Preconditioner.t.setup_seconds] covers blocking + extraction +
     factorization.
+
+    [?faults] lets each claimed site corrupt one entry of the affected
+    block's stored factors after setup (claims are one-shot, keyed by
+    block index, so injection is deterministic across domain counts; the
+    {!Scalar} variant carries no factor storage and ignores the plan).
+    [~abft:true] verifies every factored block by a residual check
+    against the matrix actually factored and applies [?recovery]
+    (default [Recompute 1]) to the blocks that fail.  With both left at
+    their defaults the setup is bit-identical to the unprotected path.
     @raise Invalid_argument if [a] is not square or the blocking invalid.
-    @raise Singular_block under the {!Fail} policy. *)
+    @raise Singular_block under the {!Fail} breakdown policy.
+    @raise Fault_detected under the [Fail] recovery policy. *)

@@ -24,7 +24,42 @@ type t = {
   occupancy_tau : float;
 }
 
+(* Every preset funnels through [validate], so a miscalibrated constant
+   (zeroed bandwidth, negative cycle count, non-warp-sized warp) fails at
+   definition time instead of silently producing NaN/inf modelled times. *)
+let validate t =
+  let fail field what =
+    invalid_arg
+      (Printf.sprintf "Config.validate (%s): %s must be %s" t.name field what)
+  in
+  let positive_f field v = if not (v > 0.0) then fail field "positive" in
+  let positive_i field v = if v <= 0 then fail field "positive" in
+  positive_i "num_sms" t.num_sms;
+  positive_f "clock_ghz" t.clock_ghz;
+  if t.warp_size <> 32 then fail "warp_size" "32 (the SIMT width this project assumes)";
+  positive_i "max_warps_per_sm" t.max_warps_per_sm;
+  positive_f "fma_cycles_sp" t.fma_cycles_sp;
+  positive_f "fma_cycles_dp" t.fma_cycles_dp;
+  positive_f "div_cycles_sp" t.div_cycles_sp;
+  positive_f "div_cycles_dp" t.div_cycles_dp;
+  positive_f "shfl_cycles" t.shfl_cycles;
+  positive_f "dp_shfl_factor" t.dp_shfl_factor;
+  positive_f "smem_cycles" t.smem_cycles;
+  positive_f "gmem_issue_cycles" t.gmem_issue_cycles;
+  positive_f "mem_bandwidth_gbs" t.mem_bandwidth_gbs;
+  if not (t.mem_efficiency > 0.0 && t.mem_efficiency <= 1.0) then
+    fail "mem_efficiency" "in (0, 1]";
+  positive_f "mem_latency_cycles" t.mem_latency_cycles;
+  positive_i "transaction_bytes" t.transaction_bytes;
+  positive_i "smem_banks" t.smem_banks;
+  if t.launch_overhead_us < 0.0 then fail "launch_overhead_us" "non-negative";
+  if not (t.max_issue_efficiency > 0.0 && t.max_issue_efficiency <= 1.0) then
+    fail "max_issue_efficiency" "in (0, 1]";
+  positive_f "occupancy_tau" t.occupancy_tau;
+  t
+
 let p100 =
+  validate
   {
     name = "Tesla P100 (model)";
     num_sms = 56;

@@ -54,8 +54,18 @@ type t = {
           shape of Figures 4 and 6. *)
 }
 
+val validate : t -> t
+(** Sanity-checks a hardware description and returns it: positive SM /
+    clock / bandwidth / cycle constants, [warp_size = 32] (the SIMT width
+    every kernel in this project assumes), positive [transaction_bytes]
+    and [smem_banks], efficiencies in [(0, 1]], non-negative launch
+    overhead.  All presets are defined through [validate], so a
+    miscalibrated constant fails at definition time rather than producing
+    NaN modelled times downstream.
+    @raise Invalid_argument naming the offending field. *)
+
 val p100 : t
-(** The paper's evaluation platform. *)
+(** The paper's evaluation platform (validated). *)
 
 val fma_cycles : t -> Precision.t -> float
 val div_cycles : t -> Precision.t -> float

@@ -14,4 +14,6 @@ let get t i = t.data.(i)
 
 let set t i v = t.data.(i) <- Precision.round t.prec v
 
+let corrupt t i f = t.data.(i) <- f t.data.(i)
+
 let to_array t = Array.copy t.data

@@ -29,5 +29,10 @@ val get : t -> int -> float
 
 val set : t -> int -> float -> unit
 
+val corrupt : t -> int -> (float -> float) -> unit
+(** [corrupt t i f] replaces cell [i] with [f] of its current value,
+    {e bypassing} the precision rounding of {!set} — the hook fault
+    injection uses to model a raw DRAM bit flip. *)
+
 val to_array : t -> float array
 (** Host-side copy of the full contents. *)

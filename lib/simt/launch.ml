@@ -5,6 +5,7 @@ type stats = {
   bandwidth_gbs : float;
   warps : int;
   total : Counter.t;
+  faults_injected : int;
 }
 
 let warp_cycles cfg prec (c : Counter.t) =
@@ -20,7 +21,8 @@ let warp_cycles cfg prec (c : Counter.t) =
   +. (c.smem_accesses *. cfg.Config.smem_cycles)
   +. (c.gmem_instrs *. cfg.Config.gmem_issue_cycles)
 
-let time ?(cfg = Config.p100) ~prec ~warps ~total ~max_warp () =
+let time ?(cfg = Config.p100) ?(faults_injected = 0) ~prec ~warps ~total
+    ~max_warp () =
   if warps <= 0 then invalid_arg "Launch.time: no warps";
   let clock_hz = cfg.Config.clock_ghz *. 1e9 in
   let sms_used = min cfg.Config.num_sms warps in
@@ -54,6 +56,7 @@ let time ?(cfg = Config.p100) ~prec ~warps ~total ~max_warp () =
     bandwidth_gbs = total.Counter.gmem_bytes /. time_s /. 1e9;
     warps;
     total;
+    faults_injected;
   }
 
 (* Defined result for an empty batch: no warps ran, no time was modelled.
@@ -66,6 +69,7 @@ let empty_stats () =
     bandwidth_gbs = 0.0;
     warps = 0;
     total = Counter.create ();
+    faults_injected = 0;
   }
 
 let pp_stats ppf s =

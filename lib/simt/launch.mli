@@ -23,6 +23,9 @@ type stats = {
   bandwidth_gbs : float;  (** achieved transaction bandwidth. *)
   warps : int;
   total : Counter.t;  (** aggregate event counts. *)
+  faults_injected : int;
+      (** soft errors fired into this launch by a {!Vblu_fault.Fault.Plan}
+          ([0] when injection is off — the default). *)
 }
 
 val warp_cycles : Config.t -> Precision.t -> Counter.t -> float
@@ -30,6 +33,7 @@ val warp_cycles : Config.t -> Precision.t -> Counter.t -> float
 
 val time :
   ?cfg:Config.t ->
+  ?faults_injected:int ->
   prec:Precision.t ->
   warps:int ->
   total:Counter.t ->

@@ -9,11 +9,16 @@ type mode = Exact | Sampled
    same fixed order as the sequential path, so float accumulation order and
    max-warp tie-breaking — and therefore the modelled time — are
    bit-identical regardless of the domain count. *)
-let run ?(cfg = Config.p100) ?(pool = Pool.sequential) ~prec ~mode ~sizes
-    ~kernel () =
+let run ?(cfg = Config.p100) ?(pool = Pool.sequential) ?faults ~prec ~mode
+    ~sizes ~kernel () =
   let n = Array.length sizes in
   if n = 0 then Launch.empty_stats ()
   else begin
+    (* Faults fired by earlier launches stay claimed (one-shot per plan
+       lifetime); this launch reports only its own firings. *)
+    let fired_before =
+      match faults with None -> 0 | Some p -> Vblu_fault.Fault.Plan.injected p
+    in
     let total = Counter.create () in
     let max_warp = ref (Counter.create ()) in
     let max_cycles = ref (-1.0) in
@@ -26,7 +31,13 @@ let run ?(cfg = Config.p100) ?(pool = Pool.sequential) ~prec ~mode ~sizes
       end
     in
     let run_warp i =
-      let w = Warp.create ~cfg prec () in
+      let inject =
+        match faults with
+        | None -> None
+        | Some p ->
+          Vblu_fault.Fault.Injector.create p ~problem:i ~size:sizes.(i)
+      in
+      let w = Warp.create ~cfg ?inject prec () in
       kernel w i;
       Warp.counter w
     in
@@ -68,5 +79,11 @@ let run ?(cfg = Config.p100) ?(pool = Pool.sequential) ~prec ~mode ~sizes
           end;
           Counter.add total (Counter.scale_into c (float_of_int count)))
         classes);
-    Launch.time ~cfg ~prec ~warps:n ~total ~max_warp:!max_warp ()
+    let faults_injected =
+      match faults with
+      | None -> 0
+      | Some p -> Vblu_fault.Fault.Plan.injected p - fired_before
+    in
+    Launch.time ~cfg ~faults_injected ~prec ~warps:n ~total
+      ~max_warp:!max_warp ()
   end

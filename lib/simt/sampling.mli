@@ -29,6 +29,7 @@ type mode =
 val run :
   ?cfg:Config.t ->
   ?pool:Pool.t ->
+  ?faults:Vblu_fault.Fault.Plan.t ->
   prec:Precision.t ->
   mode:mode ->
   sizes:int array ->
@@ -44,5 +45,13 @@ val run :
     over domains; results are deterministic and bit-identical to the
     sequential path.  Kernels must confine their writes to per-problem
     state (all kernels in [lib/core] do).
+
+    [?faults] attaches a fault plan: each warp whose problem index holds
+    plan sites gets an injector ({!Warp.create}'s [?inject]); the number
+    of faults fired by {e this} launch is reported in
+    [stats.faults_injected].  Plan claims are one-shot and keyed by
+    problem index, so injection is deterministic across domain counts.
+    In [Sampled] mode faults land only on the class representatives that
+    actually execute.
 
     An empty batch is a defined no-op returning {!Launch.empty_stats}. *)

@@ -1,14 +1,35 @@
 open Vblu_smallblas
+open Vblu_fault
 
 type t = {
   cfg : Config.t;
   prec : Precision.t;
   counter : Counter.t;
   size : int;
+  inject : Fault.Injector.t option;
 }
 
-let create ?(cfg = Config.p100) prec () =
-  { cfg; prec; counter = Counter.create (); size = cfg.Config.warp_size }
+let create ?(cfg = Config.p100) ?inject prec () =
+  { cfg; prec; counter = Counter.create (); size = cfg.Config.warp_size; inject }
+
+let fault_step t k =
+  match t.inject with None -> () | Some inj -> Fault.Injector.step inj k
+
+(* The injection fast path: with no injector attached ([inject = None] —
+   the default) every operation pays exactly one immediate match and
+   returns its result unchanged, so counters and numerics are bit-identical
+   to a build without fault support.  A fired fault corrupts {e data} only;
+   it never charges the counters (soft errors are free — only the ABFT
+   checks that hunt them cost instructions). *)
+let apply_fault t target (a : float array) =
+  match t.inject with
+  | None -> a
+  | Some inj -> (
+    match Fault.Injector.take inj target with
+    | None -> a
+    | Some (lane, kind) ->
+      if lane < Array.length a then a.(lane) <- Fault.corrupt kind a.(lane);
+      a)
 
 let size t = t.size
 let prec t = t.prec
@@ -38,8 +59,9 @@ let lanewise2 t ?active op name a b =
   check_lanes t b name;
   let act = active_or_all t active in
   charge_fma t;
-  Array.init t.size (fun i ->
-      if act.(i) then Precision.round t.prec (op a.(i) b.(i)) else a.(i))
+  apply_fault t Register
+    (Array.init t.size (fun i ->
+         if act.(i) then Precision.round t.prec (op a.(i) b.(i)) else a.(i)))
 
 let fma t ?active a b c =
   check_lanes t a "Warp.fma";
@@ -47,8 +69,9 @@ let fma t ?active a b c =
   check_lanes t c "Warp.fma";
   let act = active_or_all t active in
   charge_fma t;
-  Array.init t.size (fun i ->
-      if act.(i) then Precision.fma t.prec a.(i) b.(i) c.(i) else c.(i))
+  apply_fault t Register
+    (Array.init t.size (fun i ->
+         if act.(i) then Precision.fma t.prec a.(i) b.(i) c.(i) else c.(i)))
 
 let fnma t ?active a b c =
   check_lanes t a "Warp.fnma";
@@ -56,8 +79,9 @@ let fnma t ?active a b c =
   check_lanes t c "Warp.fnma";
   let act = active_or_all t active in
   charge_fma t;
-  Array.init t.size (fun i ->
-      if act.(i) then Precision.fma t.prec (-.a.(i)) b.(i) c.(i) else c.(i))
+  apply_fault t Register
+    (Array.init t.size (fun i ->
+         if act.(i) then Precision.fma t.prec (-.a.(i)) b.(i) c.(i) else c.(i)))
 
 let add t ?active a b = lanewise2 t ?active ( +. ) "Warp.add" a b
 let sub t ?active a b = lanewise2 t ?active ( -. ) "Warp.sub" a b
@@ -68,15 +92,17 @@ let div t ?active a b =
   check_lanes t b "Warp.div";
   let act = active_or_all t active in
   charge_div t;
-  Array.init t.size (fun i ->
-      if act.(i) then Precision.div t.prec a.(i) b.(i) else a.(i))
+  apply_fault t Register
+    (Array.init t.size (fun i ->
+         if act.(i) then Precision.div t.prec a.(i) b.(i) else a.(i)))
 
 let sqrt_lanes t ?active a =
   check_lanes t a "Warp.sqrt_lanes";
   let act = active_or_all t active in
   charge_div t;
-  Array.init t.size (fun i ->
-      if act.(i) then Precision.round t.prec (sqrt a.(i)) else a.(i))
+  apply_fault t Register
+    (Array.init t.size (fun i ->
+         if act.(i) then Precision.round t.prec (sqrt a.(i)) else a.(i)))
 
 let select t m a b =
   check_lanes t m "Warp.select";
@@ -138,14 +164,25 @@ let load t mem ?active addrs =
   check_lanes t addrs "Warp.load";
   let act = active_or_all t active in
   count_transactions t mem addrs act;
-  Array.init t.size (fun i -> if act.(i) then Gmem.get mem addrs.(i) else 0.0)
+  apply_fault t Global
+    (Array.init t.size (fun i ->
+         if act.(i) then Gmem.get mem addrs.(i) else 0.0))
 
 let store t mem ?active addrs values =
   check_lanes t addrs "Warp.store";
   check_lanes t values "Warp.store";
   let act = active_or_all t active in
   count_transactions t mem addrs act;
-  Array.iteri (fun i a -> if act.(i) then Gmem.set mem a values.(i)) addrs
+  Array.iteri (fun i a -> if act.(i) then Gmem.set mem a values.(i)) addrs;
+  (* A global-memory fault on a store corrupts the cell in DRAM itself,
+     after (and bypassing) the precision rounding of the store path. *)
+  match t.inject with
+  | None -> ()
+  | Some inj -> (
+    match Fault.Injector.take inj Global with
+    | Some (lane, kind) when act.(lane) ->
+      Gmem.corrupt mem addrs.(lane) (Fault.corrupt kind)
+    | _ -> ())
 
 let round_barrier t =
   t.counter.Counter.gmem_rounds <- t.counter.Counter.gmem_rounds + 1
@@ -173,12 +210,20 @@ let smem_store t sm ?active addrs values =
   charge_smem t sm addrs act;
   Array.iteri
     (fun i a -> if act.(i) then sm.data.(a) <- Precision.round t.prec values.(i))
-    addrs
+    addrs;
+  (match t.inject with
+  | None -> ()
+  | Some inj -> (
+    match Fault.Injector.take inj Shared with
+    | Some (lane, kind) when act.(lane) ->
+      sm.data.(addrs.(lane)) <- Fault.corrupt kind sm.data.(addrs.(lane))
+    | _ -> ()))
 
 let smem_load t sm ?active addrs =
   check_lanes t addrs "Warp.smem_load";
   let act = active_or_all t active in
   charge_smem t sm addrs act;
-  Array.init t.size (fun i -> if act.(i) then sm.data.(addrs.(i)) else 0.0)
+  apply_fault t Shared
+    (Array.init t.size (fun i -> if act.(i) then sm.data.(addrs.(i)) else 0.0))
 
 let smem_read sm i = sm.data.(i)

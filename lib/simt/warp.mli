@@ -9,11 +9,23 @@
     paper's explicit row swap expensive: two active lanes, thirty idle). *)
 
 open Vblu_smallblas
+open Vblu_fault
 
 type t
 
-val create : ?cfg:Config.t -> Precision.t -> unit -> t
-(** A fresh warp with zeroed counters.  [cfg] defaults to {!Config.p100}. *)
+val create : ?cfg:Config.t -> ?inject:Fault.Injector.t -> Precision.t -> unit -> t
+(** A fresh warp with zeroed counters.  [cfg] defaults to {!Config.p100}.
+    [inject] attaches a fault injector (default: none — the zero-overhead
+    path; without an injector, results and counters are bit-identical to a
+    fault-free build). *)
+
+val fault_step : t -> int -> unit
+(** Announce elimination step [k] to the attached injector: plan sites
+    addressed at [(problem, k)] arm (one-shot) and fire on the next
+    operation of their target class — arithmetic results for [Register],
+    shared-memory accesses for [Shared], global loads/stores for
+    [Global].  A no-op without an injector.  Fired faults corrupt data
+    only; they never charge the counters. *)
 
 val size : t -> int
 

@@ -1,68 +1,123 @@
 type symmetry = General | Symmetric | Skew
 type field = Real | Pattern
 
-let parse_header line =
-  match String.split_on_char ' ' (String.lowercase_ascii (String.trim line)) with
+exception Parse_error of { line : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; msg } ->
+      Some (Printf.sprintf "Mm_io.Parse_error (line %d: %s)" line msg)
+    | _ -> None)
+
+let fail ~line msg = raise (Parse_error { line; msg })
+
+let parse_header ~line l =
+  match String.split_on_char ' ' (String.lowercase_ascii (String.trim l)) with
   | "%%matrixmarket" :: "matrix" :: fmt :: field :: sym :: _ ->
-    if fmt <> "coordinate" then failwith "Mm_io: only coordinate format is supported";
+    if fmt <> "coordinate" then
+      fail ~line ("only coordinate format is supported, got " ^ fmt);
     let field =
       match field with
       | "real" | "integer" -> Real
       | "pattern" -> Pattern
-      | other -> failwith ("Mm_io: unsupported field " ^ other)
+      | other -> fail ~line ("unsupported field " ^ other)
     in
     let sym =
       match sym with
       | "general" -> General
       | "symmetric" -> Symmetric
       | "skew-symmetric" -> Skew
-      | other -> failwith ("Mm_io: unsupported symmetry " ^ other)
+      | other -> fail ~line ("unsupported symmetry " ^ other)
     in
     (field, sym)
-  | _ -> failwith "Mm_io: missing %%MatrixMarket header"
+  | _ -> fail ~line "missing %%MatrixMarket header"
 
 let tokens line =
   String.split_on_char ' ' (String.trim line)
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun s -> s <> "")
 
+let int_tok ~line ~what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail ~line (Printf.sprintf "%s is not an integer: %S" what s)
+
+let float_tok ~line s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail ~line (Printf.sprintf "entry value is not a number: %S" s)
+
 let read_lines next_line =
-  let header =
+  (* [lineno] tracks the last line handed out, so every error carries the
+     1-based source line it came from. *)
+  let lineno = ref 0 in
+  let next () =
     match next_line () with
-    | Some l -> l
-    | None -> failwith "Mm_io: empty input"
+    | None -> None
+    | Some l ->
+      incr lineno;
+      Some l
   in
-  let field, sym = parse_header header in
+  let header =
+    match next () with Some l -> l | None -> fail ~line:0 "empty input"
+  in
+  let field, sym = parse_header ~line:!lineno header in
   let rec skip_comments () =
-    match next_line () with
-    | None -> failwith "Mm_io: missing size line"
+    match next () with
+    | None -> fail ~line:!lineno "missing size line"
     | Some l ->
       let l = String.trim l in
       if l = "" || l.[0] = '%' then skip_comments () else l
   in
   let size_line = skip_comments () in
   let n_rows, n_cols, count =
+    let line = !lineno in
     match tokens size_line with
-    | [ r; c; z ] -> (int_of_string r, int_of_string c, int_of_string z)
-    | _ -> failwith "Mm_io: malformed size line"
+    | [ r; c; z ] ->
+      ( int_tok ~line ~what:"row count" r,
+        int_tok ~line ~what:"column count" c,
+        int_tok ~line ~what:"entry count" z )
+    | toks ->
+      fail ~line
+        (Printf.sprintf "size line needs 3 fields (rows cols nnz), got %d"
+           (List.length toks))
   in
+  if n_rows < 0 || n_cols < 0 || count < 0 then
+    fail ~line:!lineno "size line fields must be non-negative";
   let coo = Coo.create ~n_rows ~n_cols in
-  let parse_entry l =
-    match tokens l, field with
-    | [ i; j ], Pattern -> (int_of_string i - 1, int_of_string j - 1, 1.0)
+  let check_bounds ~line i j =
+    if i < 1 || i > n_rows then
+      fail ~line (Printf.sprintf "row index %d outside 1..%d" i n_rows);
+    if j < 1 || j > n_cols then
+      fail ~line (Printf.sprintf "column index %d outside 1..%d" j n_cols)
+  in
+  let parse_entry ~line l =
+    match (tokens l, field) with
+    | [ i; j ], Pattern ->
+      ( int_tok ~line ~what:"row index" i,
+        int_tok ~line ~what:"column index" j,
+        1.0 )
     | [ i; j; v ], (Real | Pattern) ->
-      (int_of_string i - 1, int_of_string j - 1, float_of_string v)
-    | _ -> failwith ("Mm_io: malformed entry line: " ^ l)
+      ( int_tok ~line ~what:"row index" i,
+        int_tok ~line ~what:"column index" j,
+        float_tok ~line v )
+    | _ -> fail ~line ("malformed entry line: " ^ l)
   in
   let seen = ref 0 in
   let rec loop () =
-    match next_line () with
+    match next () with
     | None -> ()
     | Some l ->
+      let line = !lineno in
       let l = String.trim l in
       if l <> "" && l.[0] <> '%' then begin
-        let i, j, v = parse_entry l in
+        let i, j, v = parse_entry ~line l in
+        check_bounds ~line i j;
+        let i = i - 1 and j = j - 1 in
         incr seen;
+        if !seen > count then
+          fail ~line
+            (Printf.sprintf "more than the %d announced entries" count);
         (match sym with
         | General -> Coo.add coo i j v
         | Symmetric ->
@@ -76,8 +131,8 @@ let read_lines next_line =
   in
   loop ();
   if !seen <> count then
-    failwith
-      (Printf.sprintf "Mm_io: header announced %d entries, found %d" count !seen);
+    fail ~line:!lineno
+      (Printf.sprintf "header announced %d entries, found %d" count !seen);
   Coo.to_csr coo
 
 let read path =
@@ -101,6 +156,11 @@ let read_string s =
       Some l
   in
   read_lines next_line
+
+let read_string_opt s =
+  match read_string s with
+  | csr -> Ok csr
+  | exception Parse_error { line; msg } -> Error (line, msg)
 
 let write_channel oc (m : Csr.t) =
   output_string oc "%%MatrixMarket matrix coordinate real general\n";

@@ -6,16 +6,29 @@
     collection on disk can run the full Table I / Figures 8–9 pipeline on
     the real inputs. *)
 
+exception Parse_error of { line : int; msg : string }
+(** Raised by {!read} / {!read_string} on malformed input.  [line] is the
+    1-based source line the problem was found on (0 for empty input), and
+    [msg] says what was wrong — unsupported header, non-numeric token,
+    1-based index outside the announced dimensions, or an entry count that
+    does not match the size line.  A printer is registered, so uncaught it
+    renders as [Mm_io.Parse_error (line N: ...)]. *)
+
 val read : string -> Csr.t
 (** Reads a [coordinate real/integer/pattern] Matrix Market file, expanding
     [symmetric] and [skew-symmetric] storage to the full matrix (pattern
-    entries get value 1.0).  @raise Failure with a descriptive message on a
-    malformed file or an unsupported header ([complex], [array]). *)
+    entries get value 1.0).  @raise Parse_error on a malformed file or an
+    unsupported header ([complex], [array]). *)
 
 val write : string -> Csr.t -> unit
 (** Writes [coordinate real general] with 1-based indices. *)
 
 val read_string : string -> Csr.t
-(** {!read} from an in-memory buffer; used by the tests. *)
+(** {!read} from an in-memory buffer; used by the tests.
+    @raise Parse_error as {!read}. *)
+
+val read_string_opt : string -> (Csr.t, int * string) result
+(** Exception-free {!read_string}: [Error (line, msg)] instead of raising
+    {!Parse_error}. *)
 
 val write_string : Csr.t -> string

@@ -171,16 +171,41 @@ let test_mm_pattern () =
   check_float "pattern value" 1.0 (Csr.get a 1 1)
 
 let test_mm_errors () =
+  let rejected_at expect_line s =
+    match Mm_io.read_string s with
+    | exception Mm_io.Parse_error { line; _ } -> line = expect_line
+    | _ -> false
+  in
   Alcotest.(check bool) "bad header rejected" true
-    (match Mm_io.read_string "nonsense\n1 1 0\n" with
-    | exception Failure _ -> true
-    | _ -> false);
+    (rejected_at 1 "nonsense\n1 1 0\n");
   Alcotest.(check bool) "truncated rejected" true
-    (match
-       Mm_io.read_string "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5.0\n"
-     with
-    | exception Failure _ -> true
-    | _ -> false)
+    (* the missing-entries error is only detectable at end of input, so it
+       reports the EOF line (after the trailing newline). *)
+    (rejected_at 4
+       "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5.0\n");
+  let hdr = "%%MatrixMarket matrix coordinate real general\n" in
+  Alcotest.(check bool) "unsupported format rejected" true
+    (rejected_at 1 "%%MatrixMarket matrix array real general\n1 1\n1.0\n");
+  Alcotest.(check bool) "non-numeric size rejected" true
+    (rejected_at 2 (hdr ^ "two 2 1\n1 1 5.0\n"));
+  Alcotest.(check bool) "short size line rejected" true
+    (rejected_at 2 (hdr ^ "2 2\n"));
+  Alcotest.(check bool) "non-numeric value rejected" true
+    (rejected_at 3 (hdr ^ "2 2 1\n1 1 abc\n"));
+  Alcotest.(check bool) "row index out of range rejected" true
+    (rejected_at 3 (hdr ^ "2 2 1\n3 1 5.0\n"));
+  Alcotest.(check bool) "column index 0 rejected" true
+    (rejected_at 3 (hdr ^ "2 2 1\n1 0 5.0\n"));
+  Alcotest.(check bool) "excess entries rejected" true
+    (rejected_at 4 (hdr ^ "2 2 1\n1 1 5.0\n2 2 6.0\n"));
+  (match Mm_io.read_string_opt (hdr ^ "2 2 1\n1 1 abc\n") with
+  | Error (3, _) -> ()
+  | Error (l, m) ->
+    Alcotest.failf "read_string_opt: wrong line %d (%s)" l m
+  | Ok _ -> Alcotest.fail "read_string_opt accepted a malformed value");
+  match Mm_io.read_string_opt (hdr ^ "1 1 1\n1 1 5.0\n") with
+  | Ok a -> check_float "read_string_opt ok" 5.0 (Csr.get a 0 0)
+  | Error (l, m) -> Alcotest.failf "read_string_opt rejected (line %d: %s)" l m
 
 let test_mm_file_roundtrip () =
   let m = random_dense 4 9 9 in
