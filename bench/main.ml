@@ -27,7 +27,12 @@
    plants deterministic soft errors in the solver-study preconditioner
    setups (see Fault.Plan.of_spec for the SPEC grammar), --abft turns on
    checksum verification, and --recovery-policy (recompute[:N] | degrade
-   | fail, default recompute:1) picks what to do with flagged blocks. *)
+   | fail, default recompute:1) picks what to do with flagged blocks.
+
+   The "artifact" target (or --json FILE with any target) additionally
+   runs the fixed kernel sweep behind Kernel_figs.bench_points and writes
+   a schema-versioned, machine-readable benchmark artifact
+   (BENCH_kernels.json by default) for vblu_cli bench-compare. *)
 
 open Bechamel
 open Vblu_smallblas
@@ -126,13 +131,13 @@ let run_micro () =
 
 let targets =
   [ "micro"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "table1";
-    "ablations"; "all" ]
+    "ablations"; "artifact"; "all" ]
 
 let usage () =
   Printf.eprintf
     "usage: %s [%s] [--domains N] [--breakdown-policy \
      fail|identity|perturb:EPS] [--inject-faults SPEC] [--abft] \
-     [--recovery-policy recompute[:N]|degrade|fail]\n"
+     [--recovery-policy recompute[:N]|degrade|fail] [--json FILE]\n"
     Sys.argv.(0)
     (String.concat "|" targets);
   exit 2
@@ -172,6 +177,7 @@ let parse_args () =
   let faults = ref None in
   let abft = ref false in
   let recovery = ref (Vblu_precond.Block_jacobi.Recompute 1) in
+  let json = ref None in
   let target = ref "all" in
   let set parse store s rest go =
     match parse s with
@@ -198,6 +204,7 @@ let parse_args () =
     | "--breakdown-policy" :: p :: rest -> set_policy p rest go
     | "--recovery-policy" :: p :: rest -> set_recovery p rest go
     | "--inject-faults" :: s :: rest -> set_faults s rest go
+    | "--json" :: f :: rest -> json := Some f; go rest
     | "--abft" :: rest -> abft := true; go rest
     | arg :: rest -> (
       match prefixed arg "domains" with
@@ -214,14 +221,17 @@ let parse_args () =
           | None -> (
             match prefixed arg "inject-faults" with
             | Some s -> set_faults s rest go
-            | None when List.mem arg targets -> target := arg; go rest
-            | None -> usage ()))))
+            | None -> (
+              match prefixed arg "json" with
+              | Some f -> json := Some f; go rest
+              | None when List.mem arg targets -> target := arg; go rest
+              | None -> usage ())))))
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!target, !domains, !policy, !faults, !abft, !recovery)
+  (!target, !domains, !policy, !faults, !abft, !recovery, !json)
 
 let () =
-  let target, domains, policy, faults, abft, recovery = parse_args () in
+  let target, domains, policy, faults, abft, recovery, json = parse_args () in
   let pool = Vblu_par.Pool.create ~num_domains:domains () in
   let ppf = Format.std_formatter in
   let quick = not full in
@@ -250,4 +260,13 @@ let () =
   if all || target = "table1" then
     Vblu_perf.Solver_figs.table1 ppf (Lazy.force study);
   if all then Vblu_perf.Solver_figs.ablation_variants ppf (Lazy.force study);
+  if target = "artifact" || json <> None then begin
+    let file = Option.value json ~default:"BENCH_kernels.json" in
+    let art =
+      Vblu_perf.Kernel_figs.bench_artifact ~quick ~pool ~target:"kernels" ()
+    in
+    Vblu_obs.Artifact.write file art;
+    Printf.eprintf "[bench] wrote %s (%d entries)\n%!" file
+      (List.length art.Vblu_obs.Artifact.entries)
+  end;
   Format.pp_print_flush ppf ()

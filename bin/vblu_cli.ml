@@ -130,33 +130,82 @@ let recovery_arg =
 let pool_of n = Vblu_par.Pool.create ~num_domains:n ()
 let ppf = Format.std_formatter
 
+let trace_arg =
+  let doc =
+    "Record every kernel launch, preconditioner setup and solver iteration \
+     into a Chrome-tracing JSON written to $(docv) (open it in Perfetto or \
+     chrome://tracing).  Traces use modelled simulator time and are \
+     bit-identical for any $(b,--domains) value."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write the metrics registry (counters, gauges, histograms) to $(docv) \
+     as JSON — or as CSV when $(docv) ends in $(b,.csv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Build the observability context for --trace/--metrics, run [f] with it,
+   then flush the requested files.  With neither flag, [f] gets [None] and
+   every instrumented call site stays on its no-op fast path. *)
+let with_obs trace metrics f =
+  match (trace, metrics) with
+  | None, None -> f None
+  | _ ->
+    let tr = Option.map (fun _ -> Vblu_obs.Trace.create ()) trace in
+    let mx = Option.map (fun _ -> Vblu_obs.Metrics.create ()) metrics in
+    let r = f (Some (Vblu_obs.Ctx.v ?trace:tr ?metrics:mx ())) in
+    Option.iter
+      (fun file ->
+        Option.iter (Vblu_obs.Trace.write file) tr;
+        Printf.eprintf "[obs] wrote trace %s\n%!" file)
+      trace;
+    Option.iter
+      (fun file ->
+        Option.iter
+          (fun m ->
+            if Filename.check_suffix file ".csv" then begin
+              let oc = open_out file in
+              output_string oc (Vblu_obs.Metrics.to_csv m);
+              close_out oc
+            end
+            else Vblu_obs.Metrics.write file m)
+          mx;
+        Printf.eprintf "[obs] wrote metrics %s\n%!" file)
+      metrics;
+    r
+
 let kernel_cmd name doc driver =
-  let run quick domains =
+  let run quick domains trace metrics =
     setup_logs ();
-    driver ~quick ~pool:(pool_of domains) ppf;
+    with_obs trace metrics (fun obs ->
+        driver ~quick ~pool:(pool_of domains) ?obs ppf);
     Format.pp_print_flush ppf ()
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg $ domains_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ quick_arg $ domains_arg $ trace_arg $ metrics_arg)
 
-let with_study quick domains policy faults abft recovery f =
+let with_study quick domains policy faults abft recovery ?obs f =
   setup_logs ();
   let progress msg = Printf.eprintf "[suite] %s\n%!" msg in
   let study =
     Solver_study.run_suite ~quick ~pool:(pool_of domains) ~policy ?faults ~abft
-      ~recovery ~progress ()
+      ~recovery ?obs ~progress ()
   in
   f study;
   Format.pp_print_flush ppf ()
 
 let solver_cmd name doc driver =
-  let run quick domains policy faults abft recovery =
-    with_study quick domains policy faults abft recovery (fun study ->
-        driver ppf study)
+  let run quick domains policy faults abft recovery trace metrics =
+    with_obs trace metrics (fun obs ->
+        with_study quick domains policy faults abft recovery ?obs (fun study ->
+            driver ppf study))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ quick_arg $ domains_arg $ policy_arg $ faults_arg $ abft_arg
-      $ recovery_arg)
+      $ recovery_arg $ trace_arg $ metrics_arg)
 
 let suite_cmd =
   let run () =
@@ -204,20 +253,24 @@ let solve_cmd =
       & info [ "variant" ]
           ~doc:"Batched factorization variant for the preconditioner.")
   in
-  let run file bound variant domains policy faults abft recovery =
+  let run file bound variant domains policy faults abft recovery trace
+      metrics =
     setup_logs ();
     let a = Vblu_sparse.Mm_io.read file in
     let n, _ = Vblu_sparse.Csr.dims a in
     let b = Array.make n 1.0 in
+    with_obs trace metrics @@ fun obs ->
     let make_precond () =
       Vblu_precond.Block_jacobi.create ~pool:(pool_of domains) ~variant ~policy
-        ?faults ~abft ~recovery ~max_block_size:bound a
+        ?faults ~abft ~recovery ?obs ~max_block_size:bound a
     in
     let precond, info = make_precond () in
     let refresh_precond =
       if abft then Some (fun () -> fst (make_precond ())) else None
     in
-    let _, stats = Vblu_krylov.Idr.solve ~precond ?refresh_precond ~s:4 a b in
+    let _, stats =
+      Vblu_krylov.Idr.solve ~precond ?refresh_precond ?obs ~s:4 a b
+    in
     Format.printf "matrix: %a@." Vblu_sparse.Csr.pp_stats a;
     Format.printf "preconditioner: %s (%d blocks, setup %.3fs)@."
       precond.Vblu_precond.Preconditioner.name
@@ -259,7 +312,7 @@ let solve_cmd =
        ~doc:"Solve a Matrix Market system with block-Jacobi + IDR(4).")
     Term.(
       const run $ file $ bound $ variant $ domains_arg $ policy_arg
-      $ faults_arg $ abft_arg $ recovery_arg)
+      $ faults_arg $ abft_arg $ recovery_arg $ trace_arg $ metrics_arg)
 
 let csv_cmd =
   let dir =
@@ -300,20 +353,21 @@ let csv_cmd =
     Term.(const run $ dir $ quick_arg $ domains_arg)
 
 let all_cmd =
-  let run quick domains policy faults abft recovery =
+  let run quick domains policy faults abft recovery trace metrics =
     setup_logs ();
     let pool = pool_of domains in
-    Kernel_figs.fig4 ~quick ~pool ppf;
-    Kernel_figs.fig5 ~quick ~pool ppf;
-    Kernel_figs.fig6 ~quick ~pool ppf;
-    Kernel_figs.fig7 ~quick ~pool ppf;
+    with_obs trace metrics @@ fun obs ->
+    Kernel_figs.fig4 ~quick ~pool ?obs ppf;
+    Kernel_figs.fig5 ~quick ~pool ?obs ppf;
+    Kernel_figs.fig6 ~quick ~pool ?obs ppf;
+    Kernel_figs.fig7 ~quick ~pool ?obs ppf;
     Kernel_figs.ablation_pivot ~quick ~pool ppf;
     Kernel_figs.ablation_trsv ~quick ~pool ppf;
     Kernel_figs.ablation_extraction ~quick ~pool ppf;
     Kernel_figs.ablation_cholesky ~quick ~pool ppf;
     Kernel_figs.ablation_variable_size ~quick ~pool ppf;
     Kernel_figs.abft_overhead ~quick ~pool ppf;
-    with_study quick domains policy faults abft recovery (fun study ->
+    with_study quick domains policy faults abft recovery ?obs (fun study ->
         Solver_figs.fig8 ppf study;
         Solver_figs.fig9 ppf study;
         Solver_figs.table1 ppf study;
@@ -323,33 +377,80 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Regenerate every figure, table and ablation.")
     Term.(
       const run $ quick_arg $ domains_arg $ policy_arg $ faults_arg $ abft_arg
-      $ recovery_arg)
+      $ recovery_arg $ trace_arg $ metrics_arg)
+
+let bench_compare_cmd =
+  let base =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASE" ~doc:"Baseline BENCH_*.json artifact.")
+  in
+  let cur =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Current BENCH_*.json artifact.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 5.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Maximum tolerated GFLOPS regression per entry, in percent. \
+             Improvements and new entries never fail; entries present in \
+             BASE but missing from CURRENT always fail.")
+  in
+  let run base cur tolerance =
+    setup_logs ();
+    match (Vblu_obs.Artifact.read base, Vblu_obs.Artifact.read cur) with
+    | Error e, _ ->
+      Printf.eprintf "bench-compare: %s: %s\n" base e;
+      exit 2
+    | _, Error e ->
+      Printf.eprintf "bench-compare: %s: %s\n" cur e;
+      exit 2
+    | Ok b, Ok c ->
+      let cmp = Vblu_obs.Artifact.compare ~tolerance_pct:tolerance ~base:b ~cur:c in
+      Vblu_obs.Artifact.pp_comparison ppf cmp;
+      Format.pp_print_flush ppf ();
+      if not cmp.Vblu_obs.Artifact.passed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:
+         "Compare two benchmark artifacts (see the bench harness's \
+          $(b,artifact) target / $(b,--json)) and fail on regressions \
+          beyond the tolerance.")
+    Term.(const run $ base $ cur $ tolerance)
 
 let cmds =
   [
     kernel_cmd "fig4" "Figure 4: factorization GFLOPS vs batch size."
-      (fun ~quick ~pool ppf -> Kernel_figs.fig4 ~quick ~pool ppf);
+      (fun ~quick ~pool ?obs ppf -> Kernel_figs.fig4 ~quick ~pool ?obs ppf);
     kernel_cmd "fig5" "Figure 5: factorization GFLOPS vs matrix size."
-      (fun ~quick ~pool ppf -> Kernel_figs.fig5 ~quick ~pool ppf);
+      (fun ~quick ~pool ?obs ppf -> Kernel_figs.fig5 ~quick ~pool ?obs ppf);
     kernel_cmd "fig6" "Figure 6: triangular-solve GFLOPS vs batch size."
-      (fun ~quick ~pool ppf -> Kernel_figs.fig6 ~quick ~pool ppf);
+      (fun ~quick ~pool ?obs ppf -> Kernel_figs.fig6 ~quick ~pool ?obs ppf);
     kernel_cmd "fig7" "Figure 7: triangular-solve GFLOPS vs matrix size."
-      (fun ~quick ~pool ppf -> Kernel_figs.fig7 ~quick ~pool ppf);
+      (fun ~quick ~pool ?obs ppf -> Kernel_figs.fig7 ~quick ~pool ?obs ppf);
     kernel_cmd "ablation-pivot" "Implicit vs explicit vs no pivoting."
-      (fun ~quick ~pool ppf -> Kernel_figs.ablation_pivot ~quick ~pool ppf);
+      (fun ~quick ~pool ?obs:_ ppf -> Kernel_figs.ablation_pivot ~quick ~pool ppf);
     kernel_cmd "ablation-trsv" "Eager vs lazy triangular solves."
-      (fun ~quick ~pool ppf -> Kernel_figs.ablation_trsv ~quick ~pool ppf);
+      (fun ~quick ~pool ?obs:_ ppf -> Kernel_figs.ablation_trsv ~quick ~pool ppf);
     kernel_cmd "ablation-extract" "Extraction strategies."
-      (fun ~quick ~pool ppf -> Kernel_figs.ablation_extraction ~quick ~pool ppf);
+      (fun ~quick ~pool ?obs:_ ppf ->
+        Kernel_figs.ablation_extraction ~quick ~pool ppf);
     kernel_cmd "ablation-cholesky" "Cholesky (future work) vs LU on SPD."
-      (fun ~quick ~pool ppf -> Kernel_figs.ablation_cholesky ~quick ~pool ppf);
+      (fun ~quick ~pool ?obs:_ ppf ->
+        Kernel_figs.ablation_cholesky ~quick ~pool ppf);
     kernel_cmd "ablation-varsize"
       "Variable-size batches from real supervariable blockings."
-      (fun ~quick ~pool ppf ->
+      (fun ~quick ~pool ?obs:_ ppf ->
         Kernel_figs.ablation_variable_size ~quick ~pool ppf);
     kernel_cmd "abft-overhead"
       "ABFT checksum overhead: protected vs unprotected LU/TRSV."
-      (fun ~quick ~pool ppf -> Kernel_figs.abft_overhead ~quick ~pool ppf);
+      (fun ~quick ~pool ?obs:_ ppf -> Kernel_figs.abft_overhead ~quick ~pool ppf);
     solver_cmd "fig8" "Figure 8: LU vs GH convergence histogram."
       Solver_figs.fig8;
     solver_cmd "fig9" "Figure 9: total solver time per matrix."
@@ -362,6 +463,7 @@ let cmds =
     solve_cmd;
     csv_cmd;
     all_cmd;
+    bench_compare_cmd;
   ]
 
 let () =

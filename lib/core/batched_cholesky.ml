@@ -60,7 +60,7 @@ let kernel_factor w gin gout ~off ~s =
   !info
 
 let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
-    ?(prec = Precision.Double) ?(mode = Sampling.Exact) (b : Batch.t) =
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs (b : Batch.t) =
   Array.iter
     (fun s ->
       if s > cfg.Config.warp_size then
@@ -74,7 +74,8 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
       kernel_factor w gin gout ~off:b.Batch.offsets.(i) ~s:b.Batch.sizes.(i)
   in
   let stats =
-    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"potrf" ~prec ~mode ~sizes:b.Batch.sizes
+      ~kernel ()
   in
   let factors = Batch.create b.Batch.sizes in
   let values = Gmem.to_array gout in
@@ -150,8 +151,8 @@ let kernel_solve w gmat gvec gout ~moff ~voff ~s =
   !info
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
-    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ~(factors : Batch.t)
-    (rhs : Batch.vec) =
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs
+    ~(factors : Batch.t) (rhs : Batch.vec) =
   if factors.Batch.count <> rhs.Batch.vcount then
     invalid_arg "Batched_cholesky.solve: batch count mismatch";
   let gmat = Gmem.of_array prec factors.Batch.values in
@@ -164,7 +165,8 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
         ~voff:rhs.Batch.voffsets.(i) ~s:factors.Batch.sizes.(i)
   in
   let stats =
-    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"potrs" ~prec ~mode
+      ~sizes:factors.Batch.sizes ~kernel ()
   in
   let solutions = Batch.vec_create rhs.Batch.vsizes in
   let values = Gmem.to_array gout in

@@ -30,6 +30,7 @@ val factor :
   ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
+  ?obs:Vblu_obs.Ctx.t ->
   Batch.t ->
   result
 (** Factorize every (assumed SPD) block; only lower triangles are read.
@@ -41,6 +42,7 @@ val solve :
   ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
+  ?obs:Vblu_obs.Ctx.t ->
   factors:Batch.t ->
   Batch.vec ->
   Batched_trsv.result

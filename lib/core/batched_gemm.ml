@@ -50,7 +50,7 @@ let kernel w ga gb gc gout ~off ~s ~alpha ~beta ~with_c =
   Counter.credit_flops (Warp.counter w) (2.0 *. m *. m *. m)
 
 let multiply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
-    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?(alpha = 1.0)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs ?(alpha = 1.0)
     ?(beta = 0.0) ~(a : Batch.t) ~(b : Batch.t) ?c () =
   if a.Batch.sizes <> b.Batch.sizes then
     invalid_arg "Batched_gemm.multiply: size mismatch between a and b";
@@ -78,7 +78,8 @@ let multiply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
       ~beta ~with_c
   in
   let stats =
-    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:a.Batch.sizes ~kernel:kern ()
+    Sampling.run ~cfg ~pool ?obs ~name:"gemm" ~prec ~mode ~sizes:a.Batch.sizes
+      ~kernel:kern ()
   in
   let products = Batch.create a.Batch.sizes in
   let values = Gmem.to_array gout in

@@ -27,6 +27,7 @@ val multiply :
   ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
+  ?obs:Vblu_obs.Ctx.t ->
   ?alpha:float ->
   ?beta:float ->
   a:Batch.t ->

@@ -141,7 +141,7 @@ let charge_abft_factor w ~s ~storage =
 
 let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact)
-    ?(storage = Gauss_huard.Normal) ?faults ?(abft = false) (b : Batch.t) =
+    ?(storage = Gauss_huard.Normal) ?faults ?(abft = false) ?obs (b : Batch.t) =
   Array.iter
     (fun s ->
       if s > cfg.Config.warp_size then
@@ -173,14 +173,21 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
       charge_abft_factor w ~s ~storage
     end
   in
-  let stats =
-    Sampling.run ~cfg ~pool ?faults ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+  let name =
+    match storage with
+    | Gauss_huard.Normal -> "gh.factor"
+    | Gauss_huard.Transposed -> "ght.factor"
   in
+  let stats =
+    Sampling.run ~cfg ~pool ?faults ?obs ~name ~prec ~mode ~sizes:b.Batch.sizes
+      ~kernel ()
+  in
+  Vblu_obs.Ctx.record_verdicts obs verdicts;
   { factors; info; verdicts; stats; exact = (mode = Sampling.Exact) }
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?faults
-    ?(abft = false) (r : result) (rhs : Batch.vec) =
+    ?(abft = false) ?obs (r : result) (rhs : Batch.vec) =
   if Array.length r.factors <> rhs.Batch.vcount then
     invalid_arg "Batched_gh.solve: batch count mismatch";
   let solutions = Batch.vec_create rhs.Batch.vsizes in
@@ -219,7 +226,9 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     end
   in
   let stats =
-    Sampling.run ~cfg ~pool ?faults ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
+    Sampling.run ~cfg ~pool ?faults ?obs ~name:"gh.solve" ~prec ~mode
+      ~sizes:rhs.Batch.vsizes ~kernel ()
   in
+  Vblu_obs.Ctx.record_verdicts obs solve_verdicts;
   { solutions; solve_info; solve_verdicts; solve_stats = stats;
     solve_exact = (mode = Sampling.Exact) }

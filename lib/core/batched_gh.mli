@@ -64,6 +64,7 @@ val factor :
   ?storage:Gauss_huard.storage ->
   ?faults:Fault.Plan.t ->
   ?abft:bool ->
+  ?obs:Vblu_obs.Ctx.t ->
   Batch.t ->
   result
 (** Factorize every block.  [storage] selects GH (default) or GH-T.
@@ -83,6 +84,7 @@ val solve :
   ?mode:Sampling.mode ->
   ?faults:Fault.Plan.t ->
   ?abft:bool ->
+  ?obs:Vblu_obs.Ctx.t ->
   result ->
   Batch.vec ->
   solve_result

@@ -37,7 +37,7 @@ let charge_invert w ~s =
   Counter.credit_flops (Warp.counter w) (Flops.invert s)
 
 let invert ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
-    ?(prec = Precision.Double) ?(mode = Sampling.Exact) (b : Batch.t) =
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs (b : Batch.t) =
   Array.iter
     (fun s ->
       if s > cfg.Config.warp_size then
@@ -54,7 +54,8 @@ let invert ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     charge_invert w ~s:b.Batch.sizes.(i)
   in
   let stats =
-    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"gje.invert" ~prec ~mode
+      ~sizes:b.Batch.sizes ~kernel ()
   in
   { inverses; info; stats; exact = (mode = Sampling.Exact) }
 
@@ -71,7 +72,7 @@ let charge_apply w ~s =
   Counter.credit_flops (Warp.counter w) (Flops.gemv s)
 
 let apply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
-    ?(prec = Precision.Double) ?(mode = Sampling.Exact) (r : result)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs (r : result)
     (rhs : Batch.vec) =
   if Array.length r.inverses <> rhs.Batch.vcount then
     invalid_arg "Batched_gje.apply: batch count mismatch";
@@ -82,6 +83,7 @@ let apply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     charge_apply w ~s:rhs.Batch.vsizes.(i)
   in
   let stats =
-    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"gje.apply" ~prec ~mode
+      ~sizes:rhs.Batch.vsizes ~kernel ()
   in
   { products; apply_stats = stats; apply_exact = (mode = Sampling.Exact) }

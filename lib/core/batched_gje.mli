@@ -37,6 +37,7 @@ val invert :
   ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
+  ?obs:Vblu_obs.Ctx.t ->
   Batch.t ->
   result
 (** Invert every block.  Singular blocks never raise — they are flagged
@@ -48,6 +49,7 @@ val apply :
   ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
+  ?obs:Vblu_obs.Ctx.t ->
   result ->
   Batch.vec ->
   apply_result

@@ -272,7 +272,7 @@ let kernel_nopivot w gin gout ~off ~s ~abft =
 
 let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?(pivoting = Implicit)
-    ?faults ?(abft = false) (b : Batch.t) =
+    ?faults ?(abft = false) ?obs (b : Batch.t) =
   check_batch cfg b;
   let gin = Gmem.of_array prec b.Batch.values in
   let gout = Gmem.create prec (Batch.total_values b) in
@@ -304,9 +304,17 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
       (Array.init p (fun lane -> if lane < s then float_of_int perm.(lane) else 0.0));
     Counter.credit_flops (Warp.counter w) (Flops.getrf s)
   in
-  let stats =
-    Sampling.run ~cfg ~pool ?faults ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+  let name =
+    match pivoting with
+    | Implicit -> "getrf.implicit"
+    | Explicit -> "getrf.explicit"
+    | No_pivoting -> "getrf.nopivot"
   in
+  let stats =
+    Sampling.run ~cfg ~pool ?faults ?obs ~name ~prec ~mode ~sizes:b.Batch.sizes
+      ~kernel ()
+  in
+  Vblu_obs.Ctx.record_verdicts obs verdicts;
   let values = Gmem.to_array gout in
   let factors =
     (* Rebuild a batch sharing the shape of the input. *)

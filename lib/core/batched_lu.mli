@@ -73,6 +73,7 @@ val factor :
   ?pivoting:pivoting ->
   ?faults:Fault.Plan.t ->
   ?abft:bool ->
+  ?obs:Vblu_obs.Ctx.t ->
   Batch.t ->
   result
 (** Factorize every block of the batch.  Defaults: P100 model, double
@@ -90,4 +91,9 @@ val factor :
     the checksum work goes through the normal warp ops so its cost shows
     up in [stats].  With both absent the kernels are bit-identical to the
     unprotected path — no overhead when disabled.
+
+    [?obs] records the launch (a ["getrf.*"] span of the modelled time,
+    plus registry counters and ABFT verdict totals) into an observability
+    context; absent means nothing is recorded and behaviour is
+    bit-identical to the uninstrumented path.
     @raise Invalid_argument if any block exceeds the warp width (32). *)

@@ -62,7 +62,7 @@ let kernel w gmat gvecs gouts ~moff ~voff ~s ~perm =
   !info
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
-    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ~(factors : Batch.t)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs ~(factors : Batch.t)
     ~pivots (rhs_sets : Batch.vec array) =
   if Array.length rhs_sets = 0 then
     invalid_arg "Batched_trsm.solve: no right-hand sides";
@@ -102,7 +102,8 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
         ~voff:rhs_sets.(0).Batch.voffsets.(i) ~s ~perm
   in
   let stats =
-    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:factors.Batch.sizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"trsm" ~prec ~mode
+      ~sizes:factors.Batch.sizes ~kernel ()
   in
   let solutions =
     Array.mapi

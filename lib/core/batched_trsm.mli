@@ -29,6 +29,7 @@ val solve :
   ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
+  ?obs:Vblu_obs.Ctx.t ->
   factors:Batch.t ->
   pivots:int array array ->
   Batch.vec array ->

@@ -211,7 +211,7 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?(variant = Eager)
-    ?faults ?(abft = false) ~(factors : Batch.t) ~pivots (rhs : Batch.vec) =
+    ?faults ?(abft = false) ?obs ~(factors : Batch.t) ~pivots (rhs : Batch.vec) =
   if factors.Batch.count <> rhs.Batch.vcount then
     invalid_arg "Batched_trsv.solve: batch count mismatch";
   if Array.length pivots <> factors.Batch.count then
@@ -246,10 +246,14 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     info.(i) <- inf;
     verdicts.(i) <- verdict
   in
-  let stats =
-    Sampling.run ~cfg ~pool ?faults ~prec ~mode ~sizes:factors.Batch.sizes
-      ~kernel ()
+  let name =
+    match variant with Eager -> "trsv.eager" | Lazy -> "trsv.lazy"
   in
+  let stats =
+    Sampling.run ~cfg ~pool ?faults ?obs ~name ~prec ~mode
+      ~sizes:factors.Batch.sizes ~kernel ()
+  in
+  Vblu_obs.Ctx.record_verdicts obs verdicts;
   let solutions =
     let out = Batch.vec_create rhs.Batch.vsizes in
     let values = Gmem.to_array gout in

@@ -49,6 +49,7 @@ val solve :
   ?variant:variant ->
   ?faults:Fault.Plan.t ->
   ?abft:bool ->
+  ?obs:Vblu_obs.Ctx.t ->
   factors:Batch.t ->
   pivots:int array array ->
   Batch.vec ->

@@ -79,7 +79,7 @@ let charge_factor w ~s =
   Counter.credit_flops (Warp.counter w) (Flops.getrf s)
 
 let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
-    ?(prec = Precision.Double) ?(mode = Sampling.Exact) (b : Batch.t) =
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs (b : Batch.t) =
   let s = check_uniform b.Batch.sizes "Cublas_model.factor" in
   if b.Batch.count > 0 then ignore (tile_for s);
   let factors = Batch.create b.Batch.sizes in
@@ -95,7 +95,8 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     charge_factor w ~s
   in
   let stats =
-    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"cublas.getrf" ~prec ~mode
+      ~sizes:b.Batch.sizes ~kernel ()
   in
   { factors; pivots; info; stats; exact = (mode = Sampling.Exact) }
 
@@ -128,7 +129,7 @@ let charge_solve w ~s =
   Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s)
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
-    ?(prec = Precision.Double) ?(mode = Sampling.Exact) (r : result)
+    ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs (r : result)
     (rhs : Batch.vec) =
   let s = check_uniform rhs.Batch.vsizes "Cublas_model.solve" in
   if r.factors.Batch.count <> rhs.Batch.vcount then
@@ -143,6 +144,7 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     charge_solve w ~s
   in
   let stats =
-    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"cublas.getrs" ~prec ~mode
+      ~sizes:rhs.Batch.vsizes ~kernel ()
   in
   { solutions; solve_info; solve_stats = stats; solve_exact = (mode = Sampling.Exact) }

@@ -60,6 +60,7 @@ val factor :
   ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
+  ?obs:Vblu_obs.Ctx.t ->
   Batch.t ->
   result
 (** [getrfBatched].  An empty batch is a defined no-op.  Numerically
@@ -73,6 +74,7 @@ val solve :
   ?pool:Vblu_par.Pool.t ->
   ?prec:Precision.t ->
   ?mode:Sampling.mode ->
+  ?obs:Vblu_obs.Ctx.t ->
   result ->
   Batch.vec ->
   solve_result

@@ -180,7 +180,7 @@ let kernel_shared w dev gout ~off ~start ~s =
 
 let extract ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact)
-    ?(strategy = Shared_memory) (a : Csr.t) ~block_starts ~block_sizes =
+    ?(strategy = Shared_memory) ?obs (a : Csr.t) ~block_starts ~block_sizes =
   validate cfg a ~block_starts ~block_sizes;
   let dev = stage prec a in
   let blocks = Batch.create block_sizes in
@@ -194,7 +194,12 @@ let extract ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     | Shared_memory -> kernel_shared w dev gout ~off ~start ~s
   in
   let stats =
-    Sampling.run ~cfg ~pool ~prec ~mode ~sizes:block_sizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs
+      ~name:
+        (match strategy with
+        | Row_per_thread -> "extract.naive"
+        | Shared_memory -> "extract.shared")
+      ~prec ~mode ~sizes:block_sizes ~kernel ()
   in
   let out = Batch.create block_sizes in
   let values = Gmem.to_array gout in

@@ -40,6 +40,7 @@ val extract :
   ?prec:Vblu_smallblas.Precision.t ->
   ?mode:Sampling.mode ->
   ?strategy:strategy ->
+  ?obs:Vblu_obs.Ctx.t ->
   Csr.t ->
   block_starts:int array ->
   block_sizes:int array ->

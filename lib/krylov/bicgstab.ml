@@ -2,8 +2,9 @@ open Vblu_smallblas
 open Vblu_precond
 
 let solve ?(prec = Precision.Double) ?precond
-    ?(config = Solver.default_config) a b =
-  let ctx = Solver.make_ctx ~prec ?precond a b config in
+    ?(config = Solver.default_config) ?refresh_precond ?obs a b =
+  let ctx = Solver.make_ctx ~prec ?precond ?obs ~name:"bicgstab" a b config in
+  let sguard = Option.map Solver.guard refresh_precond in
   let started = Sys.time () in
   let n = Array.length b in
   let x = Vector.create n in
@@ -17,7 +18,43 @@ let solve ?(prec = Precision.Double) ?precond
   let apply_m y = Preconditioner.apply ctx.Solver.precond y in
   Solver.record ctx (Vector.nrm2 ~prec r);
   if Vector.nrm2 ~prec r <= ctx.Solver.target then outcome := Some Solver.Converged;
-  while !outcome = None do
+  let check_guard rnorm =
+    match sguard with
+    | None -> ()
+    | Some gd -> (
+      match Solver.guard_check ctx gd rnorm with
+      | `Ok -> ()
+      | `Break why -> outcome := Some (Solver.Breakdown why)
+      | `Restart _ -> raise Solver.Guard_restart)
+  in
+  (* Re-arm after a guard-triggered preconditioner refresh: keep the
+     iterate (zeroing it if the corruption reached it), recompute the true
+     residual, and restart the BiCG recurrences from scratch — fresh
+     shadow residual, zero direction vectors, unit scalars. *)
+  let rearm () =
+    if Array.exists (fun v -> not (Float.is_finite v)) x then
+      Vector.fill x 0.0;
+    let ax = ctx.Solver.spmv x in
+    incr iters;
+    Vector.blit ~src:b ~dst:r;
+    Vector.axpy ~prec (-1.0) ax r;
+    Vector.blit ~src:r ~dst:rstar;
+    Vector.fill p 0.0;
+    Vector.fill v 0.0;
+    rho := 1.0;
+    alpha := 1.0;
+    om := 1.0;
+    let rnorm = Vector.nrm2 ~prec r in
+    Solver.record ctx rnorm;
+    if rnorm <= ctx.Solver.target then outcome := Some Solver.Converged
+    else if !iters >= config.Solver.max_iters then
+      outcome := Some Solver.Max_iterations
+  in
+  let again = ref true in
+  while !again do
+    again := false;
+    try
+      while !outcome = None do
     let rho1 = Vector.dot ~prec rstar r in
     if rho1 = 0.0 then outcome := Some (Solver.Breakdown "rho = 0")
     else begin
@@ -65,10 +102,15 @@ let solve ?(prec = Precision.Double) ?precond
               outcome := Some Solver.Max_iterations
             else if !om = 0.0 then
               outcome := Some (Solver.Breakdown "omega = 0")
+            else check_guard rnorm
           end
         end
       end
     end
+      done
+    with Solver.Guard_restart ->
+      rearm ();
+      again := true
   done;
   let outcome = match !outcome with Some o -> o | None -> Solver.Max_iterations in
   (x, Solver.finish ctx ~outcome ~iterations:!iters ~x ~b ~started ~a)

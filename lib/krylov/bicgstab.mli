@@ -13,8 +13,20 @@ val solve :
   ?prec:Precision.t ->
   ?precond:Preconditioner.t ->
   ?config:Solver.config ->
+  ?refresh_precond:(unit -> Preconditioner.t) ->
+  ?obs:Vblu_obs.Ctx.t ->
   Csr.t ->
   Vector.t ->
   Vector.t * Solver.stats
 (** [stats.iterations] counts applications of [A] (two per BiCGSTAB
-    step). *)
+    step).
+
+    [?refresh_precond] arms the soft-error guard ({!Solver.guard}): one
+    preconditioner rebuild + recurrence restart from the current iterate
+    (fresh shadow residual, zeroed directions) on a non-finite or
+    stagnating residual, then [Breakdown "guard: ..."] on a second trip;
+    omitted, the solve is bit-identical to previous behavior.
+
+    [?obs] records per-iteration residual samples, guard events and the
+    final outcome into an observability context; omitted, nothing is
+    recorded. *)

@@ -2,8 +2,8 @@ open Vblu_smallblas
 open Vblu_precond
 
 let solve ?(prec = Precision.Double) ?precond
-    ?(config = Solver.default_config) ?refresh_precond a b =
-  let ctx = Solver.make_ctx ~prec ?precond a b config in
+    ?(config = Solver.default_config) ?refresh_precond ?obs a b =
+  let ctx = Solver.make_ctx ~prec ?precond ?obs ~name:"cg" a b config in
   let sguard = Option.map Solver.guard refresh_precond in
   let started = Sys.time () in
   let n = Array.length b in

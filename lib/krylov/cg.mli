@@ -13,6 +13,7 @@ val solve :
   ?precond:Preconditioner.t ->
   ?config:Solver.config ->
   ?refresh_precond:(unit -> Preconditioner.t) ->
+  ?obs:Vblu_obs.Ctx.t ->
   Csr.t ->
   Vector.t ->
   Vector.t * Solver.stats

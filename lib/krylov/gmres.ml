@@ -2,9 +2,10 @@ open Vblu_smallblas
 open Vblu_precond
 
 let solve ?(prec = Precision.Double) ?precond ?(restart = 30)
-    ?(config = Solver.default_config) a b =
+    ?(config = Solver.default_config) ?refresh_precond ?obs a b =
   if restart < 1 then invalid_arg "Gmres.solve: restart < 1";
-  let ctx = Solver.make_ctx ~prec ?precond a b config in
+  let ctx = Solver.make_ctx ~prec ?precond ?obs ~name:"gmres" a b config in
+  let sguard = Option.map Solver.guard refresh_precond in
   let started = Sys.time () in
   let n = Array.length b in
   let m = restart in
@@ -12,13 +13,28 @@ let solve ?(prec = Precision.Double) ?precond ?(restart = 30)
   let iters = ref 0 in
   let outcome = ref None in
   let apply_m y = Preconditioner.apply ctx.Solver.precond y in
+  let check_guard rnorm =
+    match sguard with
+    | None -> ()
+    | Some gd -> (
+      match Solver.guard_check ctx gd rnorm with
+      | `Ok -> ()
+      | `Break why -> outcome := Some (Solver.Breakdown why)
+      | `Restart _ -> raise Solver.Guard_restart)
+  in
   while !outcome = None do
-    (* One restart cycle. *)
+    (* One restart cycle.  A guard-triggered refresh aborts the cycle (the
+       partial Arnoldi basis was built with the old, possibly corrupted
+       preconditioner, so its least-squares update is discarded) and the
+       next cycle restarts naturally from the current iterate with the
+       fresh preconditioner — GMRES's own restart is the re-arm. *)
+    try
     let r = Vector.sub ~prec b (ctx.Solver.spmv x) in
     let beta = Vector.nrm2 ~prec r in
     Solver.record ctx beta;
     if beta <= ctx.Solver.target then outcome := Some Solver.Converged
     else begin
+      check_guard beta;
       let v = Array.make (m + 1) [||] in
       v.(0) <- Vector.copy r;
       Vector.scal ~prec (1.0 /. beta) v.(0);
@@ -73,7 +89,10 @@ let solve ?(prec = Precision.Double) ?precond ?(restart = 30)
             cycle_done := true;
             outcome := Some Solver.Max_iterations
           end
-          else if jj = m - 1 || !exhausted then cycle_done := true;
+          else begin
+            if jj = m - 1 || !exhausted then cycle_done := true;
+            check_guard resid
+          end;
           incr j
         end
       done;
@@ -113,6 +132,14 @@ let solve ?(prec = Precision.Double) ?precond ?(restart = 30)
       if !outcome = None && !iters >= config.Solver.max_iters then
         outcome := Some Solver.Max_iterations
     end
+    with Solver.Guard_restart ->
+      (* Keep the iterate unless the corruption reached it; the next
+         cycle recomputes the true residual with the refreshed
+         preconditioner. *)
+      if Array.exists (fun v -> not (Float.is_finite v)) x then
+        Vector.fill x 0.0;
+      if !iters >= config.Solver.max_iters then
+        outcome := Some Solver.Max_iterations
   done;
   let outcome = match !outcome with Some o -> o | None -> Solver.Max_iterations in
   (x, Solver.finish ctx ~outcome ~iterations:!iters ~x ~b ~started ~a)

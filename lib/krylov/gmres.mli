@@ -14,9 +14,23 @@ val solve :
   ?precond:Preconditioner.t ->
   ?restart:int ->
   ?config:Solver.config ->
+  ?refresh_precond:(unit -> Preconditioner.t) ->
+  ?obs:Vblu_obs.Ctx.t ->
   Csr.t ->
   Vector.t ->
   Vector.t * Solver.stats
 (** [solve ~restart:m a b] — default restart 30.  [stats.iterations]
     counts applications of [A].
+
+    [?refresh_precond] arms the soft-error guard ({!Solver.guard}): on a
+    non-finite or stagnating least-squares residual the preconditioner is
+    rebuilt once and the current cycle is abandoned — its partial Arnoldi
+    basis was built against the old preconditioner — letting the next
+    restart cycle re-arm from the current iterate; a second trip ends the
+    solve with [Breakdown "guard: ..."].  Omitted, the solve is
+    bit-identical to previous behavior.
+
+    [?obs] records per-iteration residual samples, guard events and the
+    final outcome into an observability context; omitted, nothing is
+    recorded.
     @raise Invalid_argument if [restart < 1]. *)

@@ -33,10 +33,10 @@ let solve_lower ~prec ms f k s =
   c
 
 let solve ?(prec = Precision.Double) ?precond ?(s = 4) ?(seed = 1)
-    ?(smoothing = false) ?(config = Solver.default_config) ?refresh_precond a
-    b =
+    ?(smoothing = false) ?(config = Solver.default_config) ?refresh_precond
+    ?obs a b =
   if s < 1 then invalid_arg "Idr.solve: s < 1";
-  let ctx = Solver.make_ctx ~prec ?precond a b config in
+  let ctx = Solver.make_ctx ~prec ?precond ?obs ~name:"idr" a b config in
   let sguard = Option.map Solver.guard refresh_precond in
   let started = Sys.time () in
   let n = Array.length b in

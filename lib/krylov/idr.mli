@@ -28,6 +28,7 @@ val solve :
   ?smoothing:bool ->
   ?config:Solver.config ->
   ?refresh_precond:(unit -> Preconditioner.t) ->
+  ?obs:Vblu_obs.Ctx.t ->
   Csr.t ->
   Vector.t ->
   Vector.t * Solver.stats

@@ -40,9 +40,12 @@ type ctx = {
   target : float;
   cfg : config;
   mutable recorded : float list;
+  obs : Vblu_obs.Ctx.t option;
+  name : string;
 }
 
-let make_ctx ?(prec = Precision.Double) ?precond (a : Vblu_sparse.Csr.t) b cfg =
+let make_ctx ?(prec = Precision.Double) ?precond ?obs ?(name = "krylov")
+    (a : Vblu_sparse.Csr.t) b cfg =
   let n, cols = Vblu_sparse.Csr.dims a in
   if n <> cols then invalid_arg "Krylov: matrix not square";
   if Array.length b <> n then invalid_arg "Krylov: rhs dimension mismatch";
@@ -60,10 +63,22 @@ let make_ctx ?(prec = Precision.Double) ?precond (a : Vblu_sparse.Csr.t) b cfg =
     target = cfg.rtol *. b_norm;
     cfg;
     recorded = [];
+    obs;
+    name;
   }
 
 let record ctx r =
-  if ctx.cfg.record_history then ctx.recorded <- r :: ctx.recorded
+  if ctx.cfg.record_history then ctx.recorded <- r :: ctx.recorded;
+  if Vblu_obs.Ctx.enabled ctx.obs then begin
+    (* One deterministic 1 µs tick per recorded iteration: the solver runs
+       host-side (no modelled kernel time), and wall-clock must never
+       enter a trace, so this nominal tick is what spreads the iteration
+       samples along the simulated timeline. *)
+    Vblu_obs.Ctx.sample ctx.obs (ctx.name ^ ".residual") (fun () ->
+        [ ("rnorm", r) ]);
+    Vblu_obs.Ctx.incr ctx.obs "krylov.records" 1.0;
+    Vblu_obs.Ctx.advance ctx.obs 1.0
+  end
 
 exception Guard_restart
 
@@ -103,7 +118,12 @@ let guard_check ctx g rnorm =
   match trip with
   | None -> `Ok
   | Some why ->
-    if g.g_used then `Break (Printf.sprintf "guard: %s" why)
+    if g.g_used then begin
+      Vblu_obs.Ctx.instant ctx.obs ~cat:"krylov" "guard.break"
+        ~args:[ ("why", Vblu_obs.Trace.Str why) ];
+      Vblu_obs.Ctx.incr ctx.obs "krylov.guard.breaks" 1.0;
+      `Break (Printf.sprintf "guard: %s" why)
+    end
     else begin
       (* One refresh per solve: rebuild the preconditioner (flushing any
          corrupted factors) and let the solver restart its recurrences
@@ -111,6 +131,9 @@ let guard_check ctx g rnorm =
       g.g_used <- true;
       g.g_best <- infinity;
       g.g_since <- 0;
+      Vblu_obs.Ctx.instant ctx.obs ~cat:"krylov" "guard.restart"
+        ~args:[ ("why", Vblu_obs.Trace.Str why) ];
+      Vblu_obs.Ctx.incr ctx.obs "krylov.guard.restarts" 1.0;
       ctx.precond <- g.g_refresh ();
       `Restart why
     end
@@ -118,10 +141,31 @@ let guard_check ctx g rnorm =
 let finish ctx ~outcome ~iterations ~x ~b ~started ~a =
   let prec = ctx.prec in
   let r = Vector.sub ~prec b (Vblu_sparse.Csr.spmv ~prec a x) in
+  let residual_norm = Vector.nrm2 ~prec r in
+  (if Vblu_obs.Ctx.enabled ctx.obs then begin
+     let slug =
+       match outcome with
+       | Converged -> "converged"
+       | Max_iterations -> "max_iterations"
+       | Breakdown _ -> "breakdown"
+     in
+     (* [solve_seconds] is wall-clock and deliberately left out of both
+        the trace and the registry. *)
+     Vblu_obs.Ctx.instant ctx.obs ~cat:"krylov" (ctx.name ^ ".done")
+       ~args:
+         [
+           ("outcome", Vblu_obs.Trace.Str slug);
+           ("iterations", Vblu_obs.Trace.Int iterations);
+           ("residual_norm", Vblu_obs.Trace.Float residual_norm);
+         ];
+     Vblu_obs.Ctx.incr ctx.obs ("krylov.outcome." ^ slug) 1.0;
+     Vblu_obs.Ctx.incr ctx.obs "krylov.solves" 1.0;
+     Vblu_obs.Ctx.observe ctx.obs "krylov.iterations" (float_of_int iterations)
+   end);
   {
     outcome;
     iterations;
-    residual_norm = Vector.nrm2 ~prec r;
+    residual_norm;
     rhs_norm = ctx.b_norm;
     solve_seconds = Sys.time () -. started;
     history = Array.of_list (List.rev ctx.recorded);

@@ -48,11 +48,18 @@ type ctx = {
   target : float;  (** absolute residual target [rtol * ‖b‖]. *)
   cfg : config;
   mutable recorded : float list;
+  obs : Vblu_obs.Ctx.t option;
+      (** observability context shared by {!record}, {!guard_check} and
+          {!finish}; [None] (the default) keeps the solve bit-identical
+          to the uninstrumented path. *)
+  name : string;  (** trace/metric prefix, e.g. ["idr"]. *)
 }
 
 val make_ctx :
   ?prec:Precision.t ->
   ?precond:Preconditioner.t ->
+  ?obs:Vblu_obs.Ctx.t ->
+  ?name:string ->
   Vblu_sparse.Csr.t ->
   Vector.t ->
   config ->
@@ -61,6 +68,10 @@ val make_ctx :
     @raise Invalid_argument on a non-square matrix or mismatched sizes. *)
 
 val record : ctx -> float -> unit
+(** Append to the residual history (when [record_history]) and, with an
+    observability context, emit a ["<name>.residual"] counter sample and
+    advance the simulated clock by a nominal deterministic 1 µs — the
+    solver itself is host code with no modelled kernel time. *)
 
 exception Guard_restart
 (** Raised internally by a solver iteration when {!guard_check} asks for a

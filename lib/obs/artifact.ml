@@ -1,0 +1,206 @@
+type entry = {
+  kernel : string;
+  prec : string;
+  size : int;
+  batch : int;
+  gflops : float;
+  bandwidth_gbs : float;
+  time_us : float;
+}
+
+type meta = {
+  schema : string;
+  target : string;
+  git_rev : string;
+  config : string;
+  domains : int;
+  quick : bool;
+}
+
+type t = { meta : meta; entries : entry list }
+
+let schema_version = "vblu-bench/1"
+
+let entry_key e = Printf.sprintf "%s/%s/n%d/b%d" e.kernel e.prec e.size e.batch
+
+let compare_entries a b =
+  match String.compare a.kernel b.kernel with
+  | 0 -> (
+    match String.compare a.prec b.prec with
+    | 0 -> ( match compare a.size b.size with 0 -> compare a.batch b.batch | c -> c)
+    | c -> c)
+  | c -> c
+
+let default_git_rev () =
+  match Sys.getenv_opt "VBLU_GIT_REV" with
+  | Some r when r <> "" -> r
+  | _ -> (
+    match Sys.getenv_opt "GITHUB_SHA" with
+    | Some r when r <> "" -> r
+    | _ -> "unknown")
+
+let make ?git_rev ~target ~config ~domains ~quick entries =
+  let git_rev = match git_rev with Some r -> r | None -> default_git_rev () in
+  {
+    meta = { schema = schema_version; target; git_rev; config; domains; quick };
+    entries = List.sort compare_entries entries;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip.                                                    *)
+
+let json_of_entry e =
+  Jsonx.Obj
+    [
+      ("kernel", Jsonx.Str e.kernel);
+      ("prec", Jsonx.Str e.prec);
+      ("size", Jsonx.Num (float_of_int e.size));
+      ("batch", Jsonx.Num (float_of_int e.batch));
+      ("gflops", Jsonx.Num e.gflops);
+      ("bandwidth_gbs", Jsonx.Num e.bandwidth_gbs);
+      ("time_us", Jsonx.Num e.time_us);
+    ]
+
+let to_json t =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Str t.meta.schema);
+      ("target", Jsonx.Str t.meta.target);
+      ("git_rev", Jsonx.Str t.meta.git_rev);
+      ("config", Jsonx.Str t.meta.config);
+      ("domains", Jsonx.Num (float_of_int t.meta.domains));
+      ("quick", Jsonx.Bool t.meta.quick);
+      ("entries", Jsonx.List (List.map json_of_entry t.entries));
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let field name conv j =
+  match Jsonx.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+    match conv v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let entry_of_json j =
+  let* kernel = field "kernel" Jsonx.to_str j in
+  let* prec = field "prec" Jsonx.to_str j in
+  let* size = field "size" Jsonx.to_int j in
+  let* batch = field "batch" Jsonx.to_int j in
+  let* gflops = field "gflops" Jsonx.to_float j in
+  let* bandwidth_gbs = field "bandwidth_gbs" Jsonx.to_float j in
+  let* time_us = field "time_us" Jsonx.to_float j in
+  Ok { kernel; prec; size; batch; gflops; bandwidth_gbs; time_us }
+
+let of_json j =
+  let* schema = field "schema" Jsonx.to_str j in
+  if schema <> schema_version then
+    Error
+      (Printf.sprintf "unsupported bench artifact schema %S (expected %S)"
+         schema schema_version)
+  else
+    let* target = field "target" Jsonx.to_str j in
+    let* git_rev = field "git_rev" Jsonx.to_str j in
+    let* config = field "config" Jsonx.to_str j in
+    let* domains = field "domains" Jsonx.to_int j in
+    let* quick = field "quick" Jsonx.to_bool j in
+    let* entries_j = field "entries" Jsonx.to_list j in
+    let* entries =
+      List.fold_left
+        (fun acc e ->
+          let* acc = acc in
+          let* e = entry_of_json e in
+          Ok (e :: acc))
+        (Ok []) entries_j
+    in
+    Ok
+      {
+        meta = { schema; target; git_rev; config; domains; quick };
+        entries = List.sort compare_entries (List.rev entries);
+      }
+
+let write path t =
+  let oc = open_out path in
+  output_string oc (Jsonx.to_string ~pretty:true (to_json t));
+  output_char oc '\n';
+  close_out oc
+
+let read path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+    match Jsonx.of_string contents with
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Ok j -> (
+      match of_json j with
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Ok t -> Ok t))
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate.                                                    *)
+
+type delta = {
+  key : string;
+  base_gflops : float;
+  cur_gflops : float;
+  pct : float;
+}
+
+type comparison = {
+  passed : bool;
+  tolerance_pct : float;
+  deltas : delta list;
+  missing : string list;
+  added : string list;
+}
+
+let compare ~tolerance_pct ~base ~cur =
+  let cur_tbl = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace cur_tbl (entry_key e) e) cur.entries;
+  let base_keys = Hashtbl.create 64 in
+  let deltas, missing =
+    List.fold_left
+      (fun (deltas, missing) b ->
+        let key = entry_key b in
+        Hashtbl.replace base_keys key ();
+        match Hashtbl.find_opt cur_tbl key with
+        | None -> (deltas, key :: missing)
+        | Some c ->
+          let pct =
+            if b.gflops = 0.0 then if c.gflops = 0.0 then 0.0 else 100.0
+            else (c.gflops -. b.gflops) /. b.gflops *. 100.0
+          in
+          ( { key; base_gflops = b.gflops; cur_gflops = c.gflops; pct } :: deltas,
+            missing ))
+      ([], []) base.entries
+  in
+  let added =
+    List.filter_map
+      (fun e ->
+        let key = entry_key e in
+        if Hashtbl.mem base_keys key then None else Some key)
+      cur.entries
+  in
+  let deltas = List.rev deltas and missing = List.rev missing in
+  let passed =
+    missing = [] && List.for_all (fun d -> d.pct >= -.tolerance_pct) deltas
+  in
+  { passed; tolerance_pct; deltas; missing; added }
+
+let pp_comparison ppf c =
+  let worst_first =
+    List.sort (fun a b -> Float.compare a.pct b.pct) c.deltas
+  in
+  Format.fprintf ppf "bench-compare: tolerance %.2f%%@." c.tolerance_pct;
+  List.iter
+    (fun d ->
+      let flag = if d.pct < -.c.tolerance_pct then "  REGRESSION" else "" in
+      Format.fprintf ppf "  %-32s %10.3f -> %10.3f GFLOPS  %+7.2f%%%s@." d.key
+        d.base_gflops d.cur_gflops d.pct flag)
+    worst_first;
+  List.iter
+    (fun k -> Format.fprintf ppf "  %-32s MISSING from current artifact@." k)
+    c.missing;
+  List.iter (fun k -> Format.fprintf ppf "  %-32s new (not in base)@." k) c.added;
+  Format.fprintf ppf "result: %s@." (if c.passed then "PASS" else "FAIL")

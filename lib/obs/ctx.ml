@@ -1,0 +1,81 @@
+type t = { trace : Trace.t option; metrics : Metrics.t option }
+
+let v ?trace ?metrics () = { trace; metrics }
+let enabled = function None -> false | Some _ -> true
+
+let with_span obs ?cat ?args name f =
+  match obs with
+  | Some { trace = Some tr; _ } -> Trace.with_span tr ?cat ?args name f
+  | _ -> f ()
+
+let span_dur obs ?cat ?args ~dur name =
+  match obs with
+  | Some { trace = Some tr; _ } -> Trace.span_dur tr ?cat ?args ~dur name
+  | _ -> ()
+
+let instant obs ?cat ?args name =
+  match obs with
+  | Some { trace = Some tr; _ } -> Trace.instant tr ?cat ?args name
+  | _ -> ()
+
+let sample obs name values =
+  match obs with
+  | Some { trace = Some tr; _ } -> Trace.sample tr name (values ())
+  | _ -> ()
+
+let advance obs dt =
+  match obs with
+  | Some { trace = Some tr; _ } -> Trace.advance tr dt
+  | _ -> ()
+
+let incr obs name v =
+  match obs with
+  | Some { metrics = Some m; _ } -> Metrics.incr m name v
+  | _ -> ()
+
+let set_gauge obs name v =
+  match obs with
+  | Some { metrics = Some m; _ } -> Metrics.set_gauge m name v
+  | _ -> ()
+
+let observe obs name v =
+  match obs with
+  | Some { metrics = Some m; _ } -> Metrics.observe m name v
+  | _ -> ()
+
+let record_verdicts obs verdicts =
+  match obs with
+  | Some { metrics = Some m; _ } ->
+    let passed = ref 0 and failed = ref 0 and unchecked = ref 0 in
+    Array.iter
+      (fun (v : Vblu_fault.Fault.verdict) ->
+        match v with
+        | Vblu_fault.Fault.Passed -> Stdlib.incr passed
+        | Vblu_fault.Fault.Failed -> Stdlib.incr failed
+        | Vblu_fault.Fault.Unchecked -> Stdlib.incr unchecked)
+      verdicts;
+    if !passed > 0 then Metrics.incr m "abft.passed" (float_of_int !passed);
+    if !failed > 0 then Metrics.incr m "abft.failed" (float_of_int !failed);
+    if !unchecked > 0 then
+      Metrics.incr m "abft.unchecked" (float_of_int !unchecked)
+  | _ -> ()
+
+let sub = function
+  | None -> None
+  | Some parent ->
+    Some
+      {
+        trace = Option.map (fun _ -> Trace.create ()) parent.trace;
+        metrics = Option.map (fun _ -> Metrics.create ()) parent.metrics;
+      }
+
+let graft ~into child =
+  match (into, child) with
+  | Some p, Some c ->
+    (match (p.trace, c.trace) with
+    | Some pt, Some ct -> Trace.merge_into ~into:pt ct
+    | _ -> ());
+    (match (p.metrics, c.metrics) with
+    | Some pm, Some cm -> Metrics.merge_into ~into:pm cm
+    | _ -> ())
+  | _ -> ()

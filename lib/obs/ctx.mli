@@ -1,0 +1,59 @@
+(** Observability context: the single handle threaded through the stack.
+
+    A context bundles an optional trace buffer and an optional metrics
+    registry.  Every instrumented call site takes [?obs : Ctx.t] and calls
+    the helpers below with the [t option] it received; when the option is
+    [None] (or the relevant pillar is absent) each helper is a single
+    pattern match that returns immediately and evaluates none of its lazy
+    payload — the None fast path that keeps disabled runs bit-identical
+    to uninstrumented code, the same discipline as [Fault.Injector].
+
+    For parallel phases, create one child per {e work item} with {!sub},
+    hand each worker its item's child, and after the pool joins fold the
+    children back in item order with {!graft} — trace clocks and metric
+    totals then match the sequential run bit-for-bit regardless of the
+    domain count. *)
+
+type t = { trace : Trace.t option; metrics : Metrics.t option }
+
+val v : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
+val enabled : t option -> bool
+
+(** {1 Tracing} — no-ops when the context or its trace buffer is absent. *)
+
+val with_span :
+  t option -> ?cat:string -> ?args:(unit -> (string * Trace.arg) list) ->
+  string -> (unit -> 'a) -> 'a
+
+val span_dur :
+  t option -> ?cat:string -> ?args:(string * Trace.arg) list -> dur:float ->
+  string -> unit
+
+val instant :
+  t option -> ?cat:string -> ?args:(string * Trace.arg) list -> string -> unit
+
+val sample : t option -> string -> (unit -> (string * float) list) -> unit
+(** The value list is a thunk, evaluated only when tracing is on. *)
+
+val advance : t option -> float -> unit
+
+(** {1 Metrics} — no-ops when the context or its registry is absent. *)
+
+val incr : t option -> string -> float -> unit
+val set_gauge : t option -> string -> float -> unit
+val observe : t option -> string -> float -> unit
+
+val record_verdicts : t option -> Vblu_fault.Fault.verdict array -> unit
+(** Bump [abft.passed] / [abft.failed] / [abft.unchecked] counters. *)
+
+(** {1 Parallel-phase plumbing} *)
+
+val sub : t option -> t option
+(** A fresh child context with the same pillars enabled (fresh buffers)
+    — or [None] if the parent is [None], so workers inherit the fast
+    path. *)
+
+val graft : into:t option -> t option -> unit
+(** Merge a {!sub} child back into its parent: trace events are appended
+    (shifted to the parent's clock) and metrics are folded in.  Call in
+    work-item order after the pool joins. *)

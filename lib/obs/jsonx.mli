@@ -1,0 +1,45 @@
+(** Minimal JSON tree, emitter and parser.
+
+    The observability artifacts (Chrome traces, metrics dumps, bench
+    artifacts) must be machine-readable without adding an opam dependency,
+    so this module implements the small JSON subset they need: the full
+    value grammar, a deterministic emitter (object keys are printed in the
+    order given; floats use the shortest representation that round-trips),
+    and a recursive-descent parser for [bench-compare] to read artifacts
+    back.
+
+    Non-finite floats have no JSON encoding; they are emitted as [null]
+    (and [null] never parses back as a number), so writers are expected to
+    keep NaN/infinity out of artifacts. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Deterministic serialization.  [pretty] (default [false]) adds
+    newlines and two-space indentation — used for the checked-in golden
+    artifacts so diffs stay readable. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an error.
+    Errors carry a byte offset and a short description. *)
+
+val float_repr : float -> string
+(** The emitter's number format: the shortest ["%.15g"]/["%.16g"]/
+    ["%.17g"] form that round-trips through [float_of_string], with
+    integral values up to 1e15 printed without an exponent.  Exposed so
+    golden tests can state expectations exactly. *)
+
+(** {1 Accessors} — total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_bool : t -> bool option

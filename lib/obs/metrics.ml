@@ -1,0 +1,165 @@
+(* Bucket k (k = 0 .. span-1) has inclusive upper bound 2^(k + lo_exp);
+   the final bucket catches everything larger. *)
+let lo_exp = -10
+let hi_exp = 30
+let span = hi_exp - lo_exp + 1
+let num_buckets = span + 1
+
+let bucket_le i =
+  if i < 0 || i >= num_buckets then invalid_arg "Metrics.bucket_le"
+  else if i = span then infinity
+  else Float.of_int 2 ** Float.of_int (i + lo_exp)
+
+let bucket_of v =
+  if Float.is_nan v then span
+  else begin
+    let i = ref 0 in
+    while !i < span && v > bucket_le !i do
+      incr i
+    done;
+    !i
+  end
+
+type hist = { counts : int array; mutable sum : float; mutable count : int }
+
+type instr =
+  | C of float ref
+  | G of float ref
+  | H of hist
+
+type t = (string, instr) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let clash name instr want =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is a %s, used as a %s" name (kind_name instr)
+       want)
+
+let incr t name v =
+  match Hashtbl.find_opt t name with
+  | Some (C r) -> r := !r +. v
+  | Some instr -> clash name instr "counter"
+  | None -> Hashtbl.add t name (C (ref v))
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t name with
+  | Some (G r) -> r := v
+  | Some instr -> clash name instr "gauge"
+  | None -> Hashtbl.add t name (G (ref v))
+
+let get_hist t name =
+  match Hashtbl.find_opt t name with
+  | Some (H h) -> h
+  | Some instr -> clash name instr "histogram"
+  | None ->
+    let h = { counts = Array.make num_buckets 0; sum = 0.0; count = 0 } in
+    Hashtbl.add t name (H h);
+    h
+
+let observe t name v =
+  let h = get_hist t name in
+  let b = bucket_of v in
+  h.counts.(b) <- h.counts.(b) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1
+
+type snapshot =
+  | Counter of float
+  | Gauge of float
+  | Histogram of { counts : int array; sum : float; count : int }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name instr acc ->
+      let s =
+        match instr with
+        | C r -> Counter !r
+        | G r -> Gauge !r
+        | H h -> Histogram { counts = Array.copy h.counts; sum = h.sum; count = h.count }
+      in
+      (name, s) :: acc)
+    t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counter_value t name =
+  match Hashtbl.find_opt t name with Some (C r) -> !r | _ -> 0.0
+
+let merge_into ~into child =
+  (* Iterate the child's instruments in sorted name order so counter float
+     sums accumulate in a fixed order regardless of hash layout. *)
+  List.iter
+    (fun (name, s) ->
+      match s with
+      | Counter v -> incr into name v
+      | Gauge v -> set_gauge into name v
+      | Histogram { counts; sum; count } ->
+        let h = get_hist into name in
+        Array.iteri (fun i c -> h.counts.(i) <- h.counts.(i) + c) counts;
+        h.sum <- h.sum +. sum;
+        h.count <- h.count + count)
+    (snapshot child)
+
+(* ------------------------------------------------------------------ *)
+(* Emitters.                                                           *)
+
+let le_label i =
+  if i = span then "+Inf" else Jsonx.float_repr (bucket_le i)
+
+let json_of_snapshot = function
+  | Counter v ->
+    Jsonx.Obj [ ("type", Jsonx.Str "counter"); ("value", Jsonx.Num v) ]
+  | Gauge v -> Jsonx.Obj [ ("type", Jsonx.Str "gauge"); ("value", Jsonx.Num v) ]
+  | Histogram { counts; sum; count } ->
+    let buckets =
+      Array.to_list counts
+      |> List.mapi (fun i c -> (le_label i, Jsonx.Num (float_of_int c)))
+      |> List.filter (fun (_, v) -> v <> Jsonx.Num 0.0)
+    in
+    Jsonx.Obj
+      [
+        ("type", Jsonx.Str "histogram");
+        ("count", Jsonx.Num (float_of_int count));
+        ("sum", Jsonx.Num sum);
+        ("buckets", Jsonx.Obj buckets);
+      ]
+
+let to_json t =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Str "vblu-metrics/1");
+      ( "metrics",
+        Jsonx.Obj (List.map (fun (n, s) -> (n, json_of_snapshot s)) (snapshot t))
+      );
+    ]
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let line name kind field value =
+    Buffer.add_string buf (Csvx.row [ name; kind; field; value ]);
+    Buffer.add_char buf '\n'
+  in
+  line "name" "kind" "field" "value";
+  List.iter
+    (fun (name, s) ->
+      match s with
+      | Counter v -> line name "counter" "value" (Jsonx.float_repr v)
+      | Gauge v -> line name "gauge" "value" (Jsonx.float_repr v)
+      | Histogram { counts; sum; count } ->
+        line name "histogram" "count" (string_of_int count);
+        line name "histogram" "sum" (Jsonx.float_repr sum);
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              line name "histogram" ("le_" ^ le_label i) (string_of_int c))
+          counts)
+    (snapshot t);
+  Buffer.contents buf
+
+let write path t =
+  let oc = open_out path in
+  output_string oc (Jsonx.to_string ~pretty:true (to_json t));
+  output_char oc '\n';
+  close_out oc

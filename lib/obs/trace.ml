@@ -1,0 +1,114 @@
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      ts : float;
+      dur : float;
+      args : (string * arg) list;
+    }
+  | Instant of { name : string; cat : string; ts : float; args : (string * arg) list }
+  | Sample of { name : string; ts : float; values : (string * float) list }
+
+type t = {
+  mutable now : float;
+  mutable events : event list;  (* reverse recording order *)
+  mutable count : int;
+}
+
+let create () = { now = 0.0; events = []; count = 0 }
+let now t = t.now
+let advance t dt = if dt > 0.0 then t.now <- t.now +. dt
+
+let push t e =
+  t.events <- e :: t.events;
+  t.count <- t.count + 1
+
+let with_span t ?(cat = "host") ?(args = fun () -> []) name f =
+  let ts = t.now in
+  let r = f () in
+  push t (Span { name; cat; ts; dur = t.now -. ts; args = args () });
+  r
+
+let span_dur t ?(cat = "kernel") ?(args = []) ~dur name =
+  push t (Span { name; cat; ts = t.now; dur; args });
+  advance t dur
+
+let instant t ?(cat = "host") ?(args = []) name =
+  push t (Instant { name; cat; ts = t.now; args })
+
+let sample t name values = push t (Sample { name; ts = t.now; values })
+
+let events t = List.rev t.events
+let num_events t = t.count
+
+let shift dt = function
+  | Span s -> Span { s with ts = s.ts +. dt }
+  | Instant i -> Instant { i with ts = i.ts +. dt }
+  | Sample s -> Sample { s with ts = s.ts +. dt }
+
+let merge_into ~into child =
+  let off = into.now in
+  (* Append in the child's recording order, preserving reverse storage. *)
+  List.iter (fun e -> push into (shift off e)) (events child);
+  advance into child.now
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export.                                          *)
+
+let json_of_arg = function
+  | Int i -> Jsonx.Num (float_of_int i)
+  | Float f -> Jsonx.Num f
+  | Str s -> Jsonx.Str s
+  | Bool b -> Jsonx.Bool b
+
+(* Empty args are omitted entirely — Chrome/Perfetto treat a missing
+   "args" like an empty one, and the traces stay smaller. *)
+let json_of_args args =
+  match args with
+  | [] -> []
+  | _ -> [ ("args", Jsonx.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) args)) ]
+
+let json_of_event e =
+  let common name cat ph ts =
+    [
+      ("name", Jsonx.Str name);
+      ("cat", Jsonx.Str cat);
+      ("ph", Jsonx.Str ph);
+      ("ts", Jsonx.Num ts);
+      ("pid", Jsonx.Num 1.0);
+      ("tid", Jsonx.Num 1.0);
+    ]
+  in
+  match e with
+  | Span { name; cat; ts; dur; args } ->
+    Jsonx.Obj
+      (common name cat "X" ts
+      @ (("dur", Jsonx.Num dur) :: json_of_args args))
+  | Instant { name; cat; ts; args } ->
+    Jsonx.Obj
+      (common name cat "i" ts
+      @ (("s", Jsonx.Str "t") :: json_of_args args))
+  | Sample { name; ts; values } ->
+    Jsonx.Obj
+      (common name "counter" "C" ts
+      @ [ ("args", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Num v)) values)) ])
+
+let to_chrome_json t =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Str "vblu-trace/1");
+      ("displayTimeUnit", Jsonx.Str "ms");
+      ("traceEvents", Jsonx.List (List.map json_of_event (events t)));
+    ]
+
+let write path t =
+  let oc = open_out path in
+  output_string oc (Jsonx.to_string ~pretty:true (to_chrome_json t));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,87 @@
+(** Structured tracing over simulated time.
+
+    A trace buffer records spans (slices with a duration), instant events
+    and counter samples against a {e simulated} clock: [now] starts at 0
+    and advances only when a caller accounts modelled kernel time
+    ({!advance}, or {!span_dur} which advances by the span's duration) or
+    an explicit deterministic tick.  Wall-clock never enters the buffer,
+    so two runs of the same workload produce byte-identical traces — the
+    foundation of the cross-domain determinism contract.
+
+    Concurrency discipline: a buffer is single-writer.  Parallel phases
+    record into one fresh child buffer {e per work item} (not per domain),
+    and the children are appended in item order by {!merge_into} after the
+    pool joins — mirroring the sequential counter-fold of
+    [Vblu_simt.Sampling] — so the merged buffer is bit-identical for every
+    domain count.
+
+    Export is Chrome trace-event JSON ([chrome://tracing], Perfetto):
+    spans become complete ("X") events, instants "i", counter samples "C";
+    timestamps are microseconds of simulated time.  Host-side phases that
+    carry no modelled time appear as zero-duration slices. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      ts : float;  (** start, simulated µs. *)
+      dur : float;  (** simulated µs; 0 for unmodelled host phases. *)
+      args : (string * arg) list;
+    }
+  | Instant of { name : string; cat : string; ts : float; args : (string * arg) list }
+  | Sample of { name : string; ts : float; values : (string * float) list }
+      (** a counter-track sample ("C" event). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time in µs. *)
+
+val advance : t -> float -> unit
+(** Move the clock forward (negative amounts are ignored). *)
+
+val with_span :
+  t -> ?cat:string -> ?args:(unit -> (string * arg) list) -> string ->
+  (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f] and records a span from the clock value
+    at entry to the clock value after [f] — so a span's duration is
+    exactly the modelled time accounted inside it, and sibling spans never
+    overlap.  [args] is evaluated {e after} [f] returns, letting callers
+    attach results.  If [f] raises, nothing is recorded. *)
+
+val span_dur :
+  t -> ?cat:string -> ?args:(string * arg) list -> dur:float -> string -> unit
+(** Record a completed span of [dur] µs starting at [now], then advance
+    the clock by [dur] — the primitive kernel launches use. *)
+
+val instant :
+  t -> ?cat:string -> ?args:(string * arg) list -> string -> unit
+
+val sample : t -> string -> (string * float) list -> unit
+(** Record a counter sample at [now]. *)
+
+val events : t -> event list
+(** Events in recording order (spans order by completion). *)
+
+val num_events : t -> int
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into child] appends the child's events shifted by
+    [now into], then advances [into]'s clock by the child's total time.
+    The child buffer is not modified and must not be reused. *)
+
+val to_chrome_json : t -> Jsonx.t
+(** The whole buffer as a Chrome trace-event document:
+    [{"schema": "vblu-trace/1", "displayTimeUnit": "ms",
+      "traceEvents": [...]}]. *)
+
+val write : string -> t -> unit
+(** Write {!to_chrome_json} (pretty-printed) to a file. *)

@@ -11,6 +11,17 @@ module Pool = Vblu_par.Pool
    the Sampled-mode kernels, which execute just one warp per size class. *)
 let pmap pool f lst = Array.to_list (Pool.parallel_map pool f (Array.of_list lst))
 
+(* Observability-aware variant: one child context per row (not per
+   domain), grafted back in row order after the join, so the merged trace
+   and metrics are bit-identical for any domain count. *)
+let pmap_obs obs pool f lst =
+  let arr = Array.of_list lst in
+  let n = Array.length arr in
+  let subs = Array.init n (fun _ -> Vblu_obs.Ctx.sub obs) in
+  let results = Pool.parallel_init pool n (fun i -> f subs.(i) arr.(i)) in
+  Array.iter (fun child -> Vblu_obs.Ctx.graft ~into:obs child) subs;
+  Array.to_list results
+
 (* A uniform batch where only the representative block (index 0) carries
    data — all Sampled-mode runs execute exactly that block. *)
 let representative_batch ~count ~size =
@@ -32,36 +43,39 @@ let routine_name = function
 
 let routines = [ R_lu; R_gh; R_ght; R_cublas ]
 
-let getrf_stats ~prec ~count ~size r =
+let getrf_stats ?obs ~prec ~count ~size r =
   let b = representative_batch ~count ~size in
   match r with
-  | R_lu -> (Batched_lu.factor ~prec ~mode:S.Sampled b).Batched_lu.stats
-  | R_gh -> (Batched_gh.factor ~prec ~mode:S.Sampled b).Batched_gh.stats
+  | R_lu -> (Batched_lu.factor ~prec ~mode:S.Sampled ?obs b).Batched_lu.stats
+  | R_gh -> (Batched_gh.factor ~prec ~mode:S.Sampled ?obs b).Batched_gh.stats
   | R_ght ->
-    (Batched_gh.factor ~prec ~mode:S.Sampled ~storage:Gauss_huard.Transposed b)
+    (Batched_gh.factor ~prec ~mode:S.Sampled ~storage:Gauss_huard.Transposed
+       ?obs b)
       .Batched_gh.stats
-  | R_cublas -> (Cublas_model.factor ~prec ~mode:S.Sampled b).Cublas_model.stats
+  | R_cublas ->
+    (Cublas_model.factor ~prec ~mode:S.Sampled ?obs b).Cublas_model.stats
 
-let trsv_stats ~prec ~count ~size r =
+let trsv_stats ?obs ~prec ~count ~size r =
   let b = representative_batch ~count ~size in
   let rhs = Batch.vec_random b.Batch.sizes in
   match r with
   | R_lu ->
     let f = Batched_lu.factor ~prec ~mode:S.Sampled b in
-    (Batched_trsv.solve ~prec ~mode:S.Sampled ~factors:f.Batched_lu.factors
+    (Batched_trsv.solve ~prec ~mode:S.Sampled ?obs ~factors:f.Batched_lu.factors
        ~pivots:f.Batched_lu.pivots rhs)
       .Batched_trsv.stats
   | R_gh ->
     let f = Batched_gh.factor ~prec ~mode:S.Sampled b in
-    (Batched_gh.solve ~prec ~mode:S.Sampled f rhs).Batched_gh.solve_stats
+    (Batched_gh.solve ~prec ~mode:S.Sampled ?obs f rhs).Batched_gh.solve_stats
   | R_ght ->
     let f =
       Batched_gh.factor ~prec ~mode:S.Sampled ~storage:Gauss_huard.Transposed b
     in
-    (Batched_gh.solve ~prec ~mode:S.Sampled f rhs).Batched_gh.solve_stats
+    (Batched_gh.solve ~prec ~mode:S.Sampled ?obs f rhs).Batched_gh.solve_stats
   | R_cublas ->
     let f = Cublas_model.factor ~prec ~mode:S.Sampled b in
-    (Cublas_model.solve ~prec ~mode:S.Sampled f rhs).Cublas_model.solve_stats
+    (Cublas_model.solve ~prec ~mode:S.Sampled ?obs f rhs)
+      .Cublas_model.solve_stats
 
 let batch_sweep quick =
   if quick then [ 500; 5_000; 40_000 ]
@@ -73,17 +87,17 @@ let size_sweep quick =
 
 let precisions = [ Precision.Single; Precision.Double ]
 
-let vs_batch_series ~stats_of ~what ~pool quick =
+let vs_batch_series ?obs ~stats_of ~what ~pool quick =
   List.concat_map
     (fun prec ->
       List.map
         (fun size ->
           let rows =
-            pmap pool
-              (fun count ->
+            pmap_obs obs pool
+              (fun obs count ->
                 ( float_of_int count,
                   List.map
-                    (fun r -> gflops (stats_of ~prec ~count ~size r))
+                    (fun r -> gflops (stats_of ?obs ~prec ~count ~size r))
                     routines ))
               (batch_sweep quick)
           in
@@ -98,15 +112,16 @@ let vs_batch_series ~stats_of ~what ~pool quick =
         [ 16; 32 ])
     precisions
 
-let vs_size_series ~stats_of ~what ~count ~pool quick =
+let vs_size_series ?obs ~stats_of ~what ~count ~pool quick =
   List.map
     (fun prec ->
       let rows =
-        pmap pool
-          (fun size ->
+        pmap_obs obs pool
+          (fun obs size ->
             ( float_of_int size,
-              List.map (fun r -> gflops (stats_of ~prec ~count ~size r)) routines
-            ))
+              List.map
+                (fun r -> gflops (stats_of ?obs ~prec ~count ~size r))
+                routines ))
           (size_sweep quick)
       in
       {
@@ -119,39 +134,39 @@ let vs_size_series ~stats_of ~what ~count ~pool quick =
       })
     precisions
 
-let fig4_series ?(quick = false) ?(pool = Pool.sequential) () =
-  vs_batch_series ~stats_of:getrf_stats ~what:"GETRF" ~pool quick
+let fig4_series ?(quick = false) ?(pool = Pool.sequential) ?obs () =
+  vs_batch_series ?obs ~stats_of:getrf_stats ~what:"GETRF" ~pool quick
 
-let fig5_series ?(quick = false) ?(pool = Pool.sequential) () =
-  vs_size_series ~stats_of:getrf_stats ~what:"GETRF"
+let fig5_series ?(quick = false) ?(pool = Pool.sequential) ?obs () =
+  vs_size_series ?obs ~stats_of:getrf_stats ~what:"GETRF"
     ~count:(if quick then 5_000 else 40_000)
     ~pool quick
 
-let fig6_series ?(quick = false) ?(pool = Pool.sequential) () =
-  vs_batch_series ~stats_of:trsv_stats ~what:"TRSV" ~pool quick
+let fig6_series ?(quick = false) ?(pool = Pool.sequential) ?obs () =
+  vs_batch_series ?obs ~stats_of:trsv_stats ~what:"TRSV" ~pool quick
 
-let fig7_series ?(quick = false) ?(pool = Pool.sequential) () =
-  vs_size_series ~stats_of:trsv_stats ~what:"TRSV"
+let fig7_series ?(quick = false) ?(pool = Pool.sequential) ?obs () =
+  vs_size_series ?obs ~stats_of:trsv_stats ~what:"TRSV"
     ~count:(if quick then 5_000 else 40_000)
     ~pool quick
 
 let print_all ppf series = List.iter (Report.print_series ppf) series
 
-let fig4 ?quick ?pool ppf =
+let fig4 ?quick ?pool ?obs ppf =
   Report.section ppf "Figure 4 — batched factorization vs batch size";
-  print_all ppf (fig4_series ?quick ?pool ())
+  print_all ppf (fig4_series ?quick ?pool ?obs ())
 
-let fig5 ?quick ?pool ppf =
+let fig5 ?quick ?pool ?obs ppf =
   Report.section ppf "Figure 5 — batched factorization vs matrix size";
-  print_all ppf (fig5_series ?quick ?pool ())
+  print_all ppf (fig5_series ?quick ?pool ?obs ())
 
-let fig6 ?quick ?pool ppf =
+let fig6 ?quick ?pool ?obs ppf =
   Report.section ppf "Figure 6 — batched triangular solves vs batch size";
-  print_all ppf (fig6_series ?quick ?pool ())
+  print_all ppf (fig6_series ?quick ?pool ?obs ())
 
-let fig7 ?quick ?pool ppf =
+let fig7 ?quick ?pool ?obs ppf =
   Report.section ppf "Figure 7 — batched triangular solves vs matrix size";
-  print_all ppf (fig7_series ?quick ?pool ())
+  print_all ppf (fig7_series ?quick ?pool ?obs ())
 
 (* The pivoting ablation needs blocks that actually pivot: a diagonally
    dominant representative would never swap and the explicit kernel's row
@@ -507,3 +522,57 @@ let ablation_extraction ?(quick = false) ?(pool = Pool.sequential) ppf =
   Report.print_table ppf ~title:"extraction kernel time (modelled, us)"
     ~header:[ "matrix"; "row imbalance"; "row-per-thread"; "shared-memory"; "speedup" ]
     ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable benchmark points (BENCH_*.json artifacts).         *)
+
+let routine_slug = function
+  | R_lu -> "lu"
+  | R_gh -> "gh"
+  | R_ght -> "ght"
+  | R_cublas -> "cublas"
+
+let bench_points ?(quick = false) ?(pool = Pool.sequential) ?obs () =
+  let sizes = if quick then [ 16; 32 ] else [ 8; 16; 24; 32 ] in
+  let batches = if quick then [ 5_000 ] else [ 5_000; 40_000 ] in
+  let points =
+    List.concat_map
+      (fun prec ->
+        List.concat_map
+          (fun size ->
+            List.concat_map
+              (fun count ->
+                List.concat_map
+                  (fun r ->
+                    [
+                      (`Getrf, r, prec, size, count);
+                      (`Trsv, r, prec, size, count);
+                    ])
+                  routines)
+              batches)
+          sizes)
+      precisions
+  in
+  pmap_obs obs pool
+    (fun obs (kind, r, prec, size, count) ->
+      let stats =
+        match kind with
+        | `Getrf -> getrf_stats ?obs ~prec ~count ~size r
+        | `Trsv -> trsv_stats ?obs ~prec ~count ~size r
+      in
+      let family = match kind with `Getrf -> "getrf." | `Trsv -> "trsv." in
+      {
+        Vblu_obs.Artifact.kernel = family ^ routine_slug r;
+        prec = (match prec with Precision.Single -> "fp32" | Double -> "fp64");
+        size;
+        batch = count;
+        gflops = stats.L.gflops;
+        bandwidth_gbs = stats.L.bandwidth_gbs;
+        time_us = stats.L.time_us;
+      })
+    points
+
+let bench_artifact ?(quick = false) ?(pool = Pool.sequential) ?obs ~target () =
+  let entries = bench_points ~quick ~pool ?obs () in
+  Vblu_obs.Artifact.make ~target ~config:"p100"
+    ~domains:(Pool.num_domains pool) ~quick entries

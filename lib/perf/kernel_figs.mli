@@ -12,26 +12,63 @@
     over the pool's domains, so the printed numbers are identical for any
     domain count. *)
 
-val fig4 : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
+val fig4 :
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t ->
+  Format.formatter -> unit
 (** Figure 4: GFLOPS of batched factorization (small-size LU, GH, GH-T,
     cuBLAS model) vs batch size, for block sizes 16 and 32, SP and DP. *)
 
-val fig4_series : ?quick:bool -> ?pool:Vblu_par.Pool.t -> unit -> Report.series list
+val fig4_series :
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t -> unit ->
+  Report.series list
 (** The raw data behind {!fig4} — for CSV export ({!Report.csv_of_series})
-    and for the shape-assertion tests. *)
+    and for the shape-assertion tests.  When [?obs] is supplied, every
+    kernel launch of the sweep is recorded into it; rows run in one child
+    context each and are grafted back in row order after the parallel
+    join, so the trace and metrics are identical for any domain count. *)
 
-val fig5_series : ?quick:bool -> ?pool:Vblu_par.Pool.t -> unit -> Report.series list
-val fig6_series : ?quick:bool -> ?pool:Vblu_par.Pool.t -> unit -> Report.series list
-val fig7_series : ?quick:bool -> ?pool:Vblu_par.Pool.t -> unit -> Report.series list
+val fig5_series :
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t -> unit ->
+  Report.series list
 
-val fig5 : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
+val fig6_series :
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t -> unit ->
+  Report.series list
+
+val fig7_series :
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t -> unit ->
+  Report.series list
+
+val bench_points :
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t -> unit ->
+  Vblu_obs.Artifact.entry list
+(** One {!Vblu_obs.Artifact.entry} per (kernel, precision, size, batch)
+    point of a fixed sweep: factorization ([getrf.lu] / [getrf.gh] /
+    [getrf.ght] / [getrf.cublas]) and triangular solve ([trsv.*]) at
+    sizes 8–32 and batches 5,000 / 40,000 (sizes 16/32, batch 5,000 when
+    [quick]).  Deterministic for any [?pool]. *)
+
+val bench_artifact :
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t ->
+  target:string -> unit -> Vblu_obs.Artifact.t
+(** {!bench_points} wrapped into a schema-versioned artifact (see
+    {!Vblu_obs.Artifact.make}; [config] is ["p100"], [domains] from the
+    pool). *)
+
+val fig5 :
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t ->
+  Format.formatter -> unit
 (** Figure 5: factorization GFLOPS vs matrix size (2…32) at batch
     40,000, SP and DP. *)
 
-val fig6 : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
+val fig6 :
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t ->
+  Format.formatter -> unit
 (** Figure 6: triangular-solve GFLOPS vs batch size, sizes 16 and 32. *)
 
-val fig7 : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
+val fig7 :
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t ->
+  Format.formatter -> unit
 (** Figure 7: triangular-solve GFLOPS vs matrix size at batch 40,000. *)
 
 val ablation_pivot : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit

@@ -46,7 +46,10 @@ let print_table ppf ~title ~header ~rows =
 
 let csv_of_series s =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf (String.concat "," (s.xlabel :: s.columns));
+  (* Header fields are free-form (several curve names contain commas);
+     quote per RFC 4180 so the columns stay aligned.  Data cells are
+     numeric and never need quoting, but go through [row] anyway. *)
+  Buffer.add_string buf (Vblu_obs.Csvx.row (s.xlabel :: s.columns));
   Buffer.add_char buf '\n';
   List.iter
     (fun (x, ys) ->
@@ -54,7 +57,7 @@ let csv_of_series s =
         Printf.sprintf "%g" x
         :: List.map (function Some y -> Printf.sprintf "%g" y | None -> "") ys
       in
-      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_string buf (Vblu_obs.Csvx.row cells);
       Buffer.add_char buf '\n')
     s.rows;
   Buffer.contents buf

@@ -23,7 +23,10 @@ val print_table :
   unit
 
 val csv_of_series : series -> string
-(** The same data as comma-separated values (for plotting scripts). *)
+(** The same data as comma-separated values (for plotting scripts).
+    Fields containing commas, quotes or newlines are quoted per RFC 4180
+    ({!Vblu_obs.Csvx.quote}); purely numeric cells pass through
+    unchanged. *)
 
 val section : Format.formatter -> string -> unit
 (** A visual separator with a heading. *)

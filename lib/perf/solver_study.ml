@@ -25,9 +25,10 @@ type t = {
 
 let bounds = [ 8; 12; 16; 24; 32 ]
 
-let one_run ~policy ?faults ?(abft = false) ?recovery entry a b variant bound =
+let one_run ~policy ?faults ?(abft = false) ?recovery ?obs entry a b variant
+    bound =
   let precond, info =
-    Block_jacobi.create ~variant ~policy ?faults ~abft ?recovery
+    Block_jacobi.create ~variant ~policy ?faults ~abft ?recovery ?obs
       ~max_block_size:bound a
   in
   (* With ABFT active the solve gets the matching soft-error guard: a
@@ -42,7 +43,7 @@ let one_run ~policy ?faults ?(abft = false) ?recovery entry a b variant bound =
                ~max_block_size:bound a))
     else None
   in
-  let _, stats = Idr.solve ~precond ?refresh_precond ~s:4 a b in
+  let _, stats = Idr.solve ~precond ?refresh_precond ?obs ~s:4 a b in
   {
     entry;
     variant;
@@ -60,7 +61,7 @@ let one_run ~policy ?faults ?(abft = false) ?recovery entry a b variant bound =
 
 let run_suite ?(quick = false) ?(pool = Pool.sequential)
     ?(policy = Block_jacobi.Identity_block) ?faults ?(abft = false) ?recovery
-    ?(progress = fun _ -> ()) () =
+    ?obs ?(progress = fun _ -> ()) () =
   let entries =
     if quick then List.filteri (fun i _ -> i < 12) Suite.all else Suite.all
   in
@@ -69,14 +70,14 @@ let run_suite ?(quick = false) ?(pool = Pool.sequential)
      are deterministic per entry, and parallel_map preserves entry order,
      so iteration counts and run ordering are identical for any domain
      count — only the wall-clock fields vary. *)
-  let per_entry entry =
+  let per_entry obs entry =
     let a = Suite.matrix entry in
     let n, _ = Vblu_sparse.Csr.dims a in
     let b = Array.make n 1.0 in
     progress
       (Printf.sprintf "%2d/%d %s (n=%d, nnz=%d)" entry.Suite.id
          (List.length entries) entry.Suite.name n (Vblu_sparse.Csr.nnz a));
-    let run = one_run ~policy ?faults ~abft ?recovery entry a b in
+    let run = one_run ~policy ?faults ~abft ?recovery ?obs entry a b in
     let scalar = run Block_jacobi.Scalar 1 in
     let swept =
       List.concat_map
@@ -87,9 +88,15 @@ let run_suite ?(quick = false) ?(pool = Pool.sequential)
     let extra = [ run Block_jacobi.Ght 32; run Block_jacobi.Gje_inverse 32 ] in
     (scalar :: swept) @ extra
   in
+  (* One obs child context per matrix, grafted back in entry order after
+     the join — traces and metrics are identical for any domain count. *)
+  let entries_arr = Array.of_list entries in
+  let n_entries = Array.length entries_arr in
+  let subs = Array.init n_entries (fun _ -> Vblu_obs.Ctx.sub obs) in
   let per_entry_runs =
-    Pool.parallel_map pool per_entry (Array.of_list entries)
+    Pool.parallel_init pool n_entries (fun i -> per_entry subs.(i) entries_arr.(i))
   in
+  Array.iter (fun child -> Vblu_obs.Ctx.graft ~into:obs child) subs;
   let runs = List.concat (Array.to_list per_entry_runs) in
   { runs; bounds = swept_bounds }
 

@@ -51,6 +51,7 @@ val run_suite :
   ?faults:Vblu_fault.Fault.Plan.t ->
   ?abft:bool ->
   ?recovery:Block_jacobi.recovery_policy ->
+  ?obs:Vblu_obs.Ctx.t ->
   ?progress:(string -> unit) ->
   unit ->
   t
@@ -68,7 +69,13 @@ val run_suite :
     With [pool], the 48 matrices run embarrassingly parallel, one task per
     entry.  Iteration counts, convergence flags, and run order are
     identical for any domain count; only the recorded wall-clock seconds
-    differ. *)
+    differ.
+
+    [obs] records every preconditioner setup, kernel launch, and Krylov
+    iteration of the sweep; each matrix runs in its own child context and
+    the children are grafted back in entry order after the parallel join,
+    so the trace and metrics are also identical for any domain count
+    (wall-clock never enters them). *)
 
 val find : t -> Suite.entry -> Block_jacobi.variant -> int -> run option
 

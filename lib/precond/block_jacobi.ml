@@ -268,7 +268,8 @@ let block_solvers ~pool ~prec ~variant ~policy ~faults ~abft ~recovery blocks =
 
 let create ?(pool = Pool.sequential) ?(prec = Precision.Double) ?(variant = Lu)
     ?(policy = Identity_block) ?faults ?(abft = false)
-    ?(recovery = Recompute 1) ?(max_block_size = 32) ?blocking (a : Csr.t) =
+    ?(recovery = Recompute 1) ?(max_block_size = 32) ?blocking ?obs
+    (a : Csr.t) =
   let n, cols = Csr.dims a in
   if n <> cols then invalid_arg "Block_jacobi.create: matrix not square";
   let (name, blk, apply, outcomes), setup_seconds =
@@ -370,6 +371,41 @@ let create ?(pool = Pool.sequential) ?(prec = Precision.Double) ?(variant = Lu)
       Log.warn (fun m ->
           m "fault detected in diagonal block %d: identity fallback" i))
     !corrupt;
+  (* Observability: outcome counters, a block-size histogram, and a
+     zero-duration setup span (this CPU path has no modelled kernel time;
+     [setup_seconds] is wall-clock and deliberately kept out of the
+     trace).  The returned apply closure is wrapped only when a context is
+     present, so disabled runs get the original closure untouched. *)
+  (if Vblu_obs.Ctx.enabled obs then begin
+     let k = Array.length blk.Supervariable.sizes in
+     let count = List.length in
+     Vblu_obs.Ctx.span_dur obs ~cat:"precond" ~dur:0.0 "bj.setup"
+       ~args:
+         [
+           ("variant", Vblu_obs.Trace.Str (variant_name variant));
+           ("blocks", Vblu_obs.Trace.Int k);
+           ("degraded", Vblu_obs.Trace.Int (count !degraded));
+           ("perturbed", Vblu_obs.Trace.Int (count !perturbed));
+           ("recovered", Vblu_obs.Trace.Int (count !recovered));
+           ("corrupt", Vblu_obs.Trace.Int (count !corrupt));
+         ];
+     Vblu_obs.Ctx.incr obs "bj.setup.count" 1.0;
+     Vblu_obs.Ctx.incr obs "bj.blocks" (float_of_int k);
+     Vblu_obs.Ctx.incr obs "bj.degraded" (float_of_int (count !degraded));
+     Vblu_obs.Ctx.incr obs "bj.perturbed" (float_of_int (count !perturbed));
+     Vblu_obs.Ctx.incr obs "bj.recovered" (float_of_int (count !recovered));
+     Vblu_obs.Ctx.incr obs "bj.corrupt" (float_of_int (count !corrupt));
+     Array.iter
+       (fun s -> Vblu_obs.Ctx.observe obs "bj.block_size" (float_of_int s))
+       blk.Supervariable.sizes
+   end);
+  let apply =
+    if Vblu_obs.Ctx.enabled obs then fun r ->
+      Vblu_obs.Ctx.with_span obs ~cat:"precond" "bj.apply" (fun () ->
+          Vblu_obs.Ctx.incr obs "bj.apply.count" 1.0;
+          apply r)
+    else apply
+  in
   ( { Preconditioner.name; dim = n; setup_seconds; apply },
     {
       blocking = blk;

@@ -114,6 +114,7 @@ val create :
   ?recovery:recovery_policy ->
   ?max_block_size:int ->
   ?blocking:Supervariable.blocking ->
+  ?obs:Vblu_obs.Ctx.t ->
   Csr.t ->
   Preconditioner.t * info
 (** [create a] builds the preconditioner.  [blocking] overrides the
@@ -123,6 +124,14 @@ val create :
     decides what happens to singular blocks.
     [Preconditioner.t.setup_seconds] covers blocking + extraction +
     factorization.
+
+    [?obs] records setup into an observability context — a zero-duration
+    ["bj.setup"] span (the CPU reference path carries no modelled kernel
+    time; wall-clock never enters a trace) with block/outcome counts as
+    args, per-outcome registry counters and a block-size histogram — and
+    wraps the returned [apply] so every application records a ["bj.apply"]
+    span and bumps [bj.apply.count].  Absent means no recording and a
+    closure identical to the uninstrumented one.
 
     [?faults] lets each claimed site corrupt one entry of the affected
     block's stored factors after setup (claims are one-shot, keyed by

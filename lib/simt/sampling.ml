@@ -9,8 +9,39 @@ type mode = Exact | Sampled
    same fixed order as the sequential path, so float accumulation order and
    max-warp tie-breaking — and therefore the modelled time — are
    bit-identical regardless of the domain count. *)
-let run ?(cfg = Config.p100) ?(pool = Pool.sequential) ?faults ~prec ~mode
-    ~sizes ~kernel () =
+(* Record one launch into an observability context: a span of the modelled
+   kernel time (advancing the simulated clock), plus registry totals.  Runs
+   in the sequential caller after the stats are folded, so the recording
+   order — and thus the trace — is independent of the domain count.  The
+   stats themselves are computed before and unaffected. *)
+let record_launch obs ~name ~prec (stats : Launch.stats) =
+  if Vblu_obs.Ctx.enabled obs then begin
+    let prec_s = Vblu_smallblas.Precision.to_string prec in
+    Vblu_obs.Ctx.span_dur obs ~cat:"kernel" ~dur:stats.Launch.time_us name
+      ~args:
+        [
+          ("prec", Vblu_obs.Trace.Str prec_s);
+          ("warps", Vblu_obs.Trace.Int stats.Launch.warps);
+          ("gflops", Vblu_obs.Trace.Float stats.Launch.gflops);
+          ("bandwidth_gbs", Vblu_obs.Trace.Float stats.Launch.bandwidth_gbs);
+          ("faults_injected", Vblu_obs.Trace.Int stats.Launch.faults_injected);
+        ];
+    Vblu_obs.Ctx.incr obs "launch.count" 1.0;
+    Vblu_obs.Ctx.incr obs (Printf.sprintf "launch.count{kernel=%s}" name) 1.0;
+    Vblu_obs.Ctx.incr obs "launch.time_us" stats.Launch.time_us;
+    Vblu_obs.Ctx.incr obs "launch.warps" (float_of_int stats.Launch.warps);
+    Vblu_obs.Ctx.incr obs "launch.useful_flops"
+      stats.Launch.total.Counter.useful_flops;
+    Vblu_obs.Ctx.incr obs "launch.gmem_bytes" stats.Launch.total.Counter.gmem_bytes;
+    if stats.Launch.faults_injected > 0 then
+      Vblu_obs.Ctx.incr obs "faults.injected"
+        (float_of_int stats.Launch.faults_injected);
+    Vblu_obs.Ctx.observe obs "launch.time_us.hist" stats.Launch.time_us;
+    Vblu_obs.Ctx.observe obs "launch.gflops.hist" stats.Launch.gflops
+  end
+
+let run ?(cfg = Config.p100) ?(pool = Pool.sequential) ?faults ?obs
+    ?(name = "launch") ~prec ~mode ~sizes ~kernel () =
   let n = Array.length sizes in
   if n = 0 then Launch.empty_stats ()
   else begin
@@ -84,6 +115,10 @@ let run ?(cfg = Config.p100) ?(pool = Pool.sequential) ?faults ~prec ~mode
       | None -> 0
       | Some p -> Vblu_fault.Fault.Plan.injected p - fired_before
     in
-    Launch.time ~cfg ~faults_injected ~prec ~warps:n ~total
-      ~max_warp:!max_warp ()
+    let stats =
+      Launch.time ~cfg ~faults_injected ~prec ~warps:n ~total
+        ~max_warp:!max_warp ()
+    in
+    record_launch obs ~name ~prec stats;
+    stats
   end

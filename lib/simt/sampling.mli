@@ -30,6 +30,8 @@ val run :
   ?cfg:Config.t ->
   ?pool:Pool.t ->
   ?faults:Vblu_fault.Fault.Plan.t ->
+  ?obs:Vblu_obs.Ctx.t ->
+  ?name:string ->
   prec:Precision.t ->
   mode:mode ->
   sizes:int array ->
@@ -54,4 +56,14 @@ val run :
     In [Sampled] mode faults land only on the class representatives that
     actually execute.
 
-    An empty batch is a defined no-op returning {!Launch.empty_stats}. *)
+    [?obs] records the launch into an observability context: a trace span
+    named [?name] (default ["launch"]) whose duration is the modelled
+    [time_us] — advancing the simulated clock — plus registry counters and
+    histograms.  Recording happens in the sequential caller after the
+    counter fold, never in worker domains, so traces and metrics are
+    bit-identical for every domain count; when [?obs] is absent nothing is
+    evaluated and the launch is bit-identical to pre-instrumentation
+    behaviour.
+
+    An empty batch is a defined no-op returning {!Launch.empty_stats}
+    and records nothing. *)
