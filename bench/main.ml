@@ -104,8 +104,8 @@ let micro_tests () =
       (Staged.stage (fun () -> Vblu_precond.Ilu0.factorize a));
   ]
 
-let run_micro () =
-  let tests = micro_tests () in
+(* Run a list of Bechamel tests and return (name, ns per run) estimates. *)
+let measure_ns tests =
   let suite = Test.make_grouped ~name:"vblu" ~fmt:"%s %s" tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -118,20 +118,116 @@ let run_micro () =
   in
   let raw = Benchmark.all cfg [ instance ] suite in
   let results = Analyze.all ols instance raw in
-  Printf.printf "\n## Bechamel microbenchmarks (host CPU, ns per run)\n";
-  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  Hashtbl.fold
+    (fun name r acc ->
+      match Analyze.OLS.estimates r with
+      | Some (est :: _) -> (name, est) :: acc
+      | _ -> acc)
+    results []
   |> List.sort compare
-  |> List.iter (fun (name, r) ->
-         match Analyze.OLS.estimates r with
-         | Some (est :: _) -> Printf.printf "%-28s %14.1f ns\n" name est
-         | _ -> Printf.printf "%-28s (no estimate)\n" name)
+
+let run_micro () =
+  Printf.printf "\n## Bechamel microbenchmarks (host CPU, ns per run)\n";
+  List.iter
+    (fun (name, est) -> Printf.printf "%-28s %14.1f ns\n" name est)
+    (measure_ns (micro_tests ()))
+
+(* ------------------------------------------------------------------ *)
+(* Layer 1b: host throughput of the SIMT engine hot path.
+
+   Unlike the modelled GFLOPS (layer 2), this measures real wall-clock of
+   the warp interpreter itself — the quantity the zero-allocation engine
+   work optimizes.  Reported as ns per launch and problems per second;
+   emitted as "host.getrf"/"host.trsv" artifact entries whose [gflops]
+   field carries millions of problems per second (the gated quantity) and
+   whose [bandwidth_gbs] field is unused (zero). *)
+
+let host_sizes = if full then [ 4; 8; 16; 24; 32 ] else [ 8; 16; 32 ]
+let host_batch = if full then 2048 else 256
+
+let host_points () =
+  List.concat_map
+    (fun (prec, pname) ->
+      List.concat_map
+        (fun size ->
+          let st = Random.State.make [| 0x0157; size |] in
+          let b =
+            Batch.of_matrices
+              (Array.init host_batch (fun _ ->
+                   Matrix.random_general ~state:st size))
+          in
+          let rhs = Batch.vec_random ~state:st b.Batch.sizes in
+          let f = Batched_lu.factor ~prec b in
+          [
+            ( "host.getrf", pname, size,
+              Test.make
+                ~name:(Printf.sprintf "host.getrf/%s/n%d" pname size)
+                (Staged.stage (fun () -> Batched_lu.factor ~prec b)) );
+            ( "host.trsv", pname, size,
+              Test.make
+                ~name:(Printf.sprintf "host.trsv/%s/n%d" pname size)
+                (Staged.stage (fun () ->
+                     Batched_trsv.solve ~prec
+                       ~factors:f.Batched_lu.factors
+                       ~pivots:f.Batched_lu.pivots rhs)) );
+          ])
+        (match prec with
+        | Precision.Double -> host_sizes
+        | _ -> [ List.fold_left max 0 host_sizes ]))
+    [ (Precision.Double, "fp64"); (Precision.Single, "fp32") ]
+
+let run_host_throughput ~domains ~json () =
+  let points = host_points () in
+  let measured = measure_ns (List.map (fun (_, _, _, t) -> t) points) in
+  let ns_of kernel pname size =
+    let suffix = Printf.sprintf "%s/%s/n%d" kernel pname size in
+    List.find_map
+      (fun (name, ns) ->
+        let ln = String.length name and ls = String.length suffix in
+        if ln >= ls && String.sub name (ln - ls) ls = suffix then Some ns
+        else None)
+      measured
+  in
+  Printf.printf
+    "\n## Host throughput (engine wall-clock, batch = %d problems)\n"
+    host_batch;
+  Printf.printf "%-12s %-6s %4s %14s %16s\n" "kernel" "prec" "n" "ns/launch"
+    "problems/sec";
+  let entries =
+    List.filter_map
+      (fun (kernel, pname, size, _) ->
+        match ns_of kernel pname size with
+        | None -> None
+        | Some ns ->
+          let problems_per_sec = float_of_int host_batch /. (ns *. 1e-9) in
+          Printf.printf "%-12s %-6s %4d %14.0f %16.0f\n" kernel pname size ns
+            problems_per_sec;
+          Some
+            {
+              Vblu_obs.Artifact.kernel;
+              prec = pname;
+              size;
+              batch = host_batch;
+              gflops = problems_per_sec /. 1e6;
+              bandwidth_gbs = 0.0;
+              time_us = ns /. 1000.0;
+            })
+      points
+  in
+  let file = Option.value json ~default:"BENCH_host.json" in
+  let art =
+    Vblu_obs.Artifact.make ~target:"host-throughput" ~config:"p100" ~domains
+      ~quick:(not full) entries
+  in
+  Vblu_obs.Artifact.write file art;
+  Printf.eprintf "[bench] wrote %s (%d entries)\n%!" file (List.length entries)
 
 (* ------------------------------------------------------------------ *)
 (* Layer 2: the paper's figures and tables                              *)
 
 let targets =
-  [ "micro"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "table1";
-    "ablations"; "artifact"; "all" ]
+  [ "micro"; "host-throughput"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
+    "fig9"; "table1"; "ablations"; "artifact"; "all" ]
 
 let usage () =
   Printf.eprintf
@@ -243,6 +339,7 @@ let () =
   in
   let all = target = "all" in
   if all || target = "micro" then run_micro ();
+  if target = "host-throughput" then run_host_throughput ~domains ~json ();
   if all || target = "fig4" then Vblu_perf.Kernel_figs.fig4 ~quick ~pool ppf;
   if all || target = "fig5" then Vblu_perf.Kernel_figs.fig5 ~quick ~pool ppf;
   if all || target = "fig6" then Vblu_perf.Kernel_figs.fig6 ~quick ~pool ppf;
@@ -260,7 +357,8 @@ let () =
   if all || target = "table1" then
     Vblu_perf.Solver_figs.table1 ppf (Lazy.force study);
   if all then Vblu_perf.Solver_figs.ablation_variants ppf (Lazy.force study);
-  if target = "artifact" || json <> None then begin
+  if target = "artifact" || (json <> None && target <> "host-throughput")
+  then begin
     let file = Option.value json ~default:"BENCH_kernels.json" in
     let art =
       Vblu_perf.Kernel_figs.bench_artifact ~quick ~pool ~target:"kernels" ()

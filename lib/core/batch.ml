@@ -74,23 +74,33 @@ let uniform_sizes ~count ~size =
   if count <= 0 || size <= 0 then invalid_arg "Batch.uniform_sizes";
   Array.make count size
 
-let default_state = lazy (Random.State.make [| 0x5eed; 0xbacc |])
+(* Seeding discipline: a call without [?state] gets a {e fresh} state
+   derived from a per-function salt, never a shared mutable stream.  The
+   previous single [lazy] state made unseeded results depend on every
+   earlier unseeded call anywhere in the process — reordering two launches
+   silently changed the data.  Now unseeded calls are pure: same function,
+   same arguments, same data, in any order and on any domain. *)
+let derived_state salt = Random.State.make [| 0x5eed; 0xbacc; salt |]
+
+let state_or ~salt = function
+  | Some s -> s
+  | None -> derived_state salt
 
 let random_sizes ?state ~count ~min_size ~max_size () =
   if count <= 0 || min_size <= 0 || max_size < min_size then
     invalid_arg "Batch.random_sizes";
-  let st = match state with Some s -> s | None -> Lazy.force default_state in
+  let st = state_or ~salt:1 state in
   Array.init count (fun _ -> min_size + Random.State.int st (max_size - min_size + 1))
 
-let random_with gen ?state sizes =
-  let st = match state with Some s -> s | None -> Lazy.force default_state in
+let random_with gen ~salt ?state sizes =
+  let st = state_or ~salt state in
   of_matrices (Array.map (fun s -> gen st s) sizes)
 
 let random_diagdom ?state sizes =
-  random_with (fun st s -> Matrix.random_diagdom ~state:st s) ?state sizes
+  random_with (fun st s -> Matrix.random_diagdom ~state:st s) ~salt:2 ?state sizes
 
 let random_general ?state sizes =
-  random_with (fun st s -> Matrix.random_general ~state:st s) ?state sizes
+  random_with (fun st s -> Matrix.random_general ~state:st s) ~salt:3 ?state sizes
 
 type vec = {
   vcount : int;
@@ -123,7 +133,7 @@ let vec_set v i x =
   Array.blit x 0 v.vvalues v.voffsets.(i) (Array.length x)
 
 let vec_random ?state sizes =
-  let st = match state with Some s -> s | None -> Lazy.force default_state in
+  let st = state_or ~salt:4 state in
   let v = vec_create sizes in
   for k = 0 to Array.length v.vvalues - 1 do
     v.vvalues.(k) <- -1.0 +. (2.0 *. Random.State.float st 1.0)

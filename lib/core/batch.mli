@@ -45,6 +45,16 @@ val total_values : t -> int
 val uniform_sizes : count:int -> size:int -> int array
 (** The fixed-size batch shape of the kernel benchmarks. *)
 
+(** {2 Random workloads}
+
+    Seeding contract: every [random_*] function called without [?state]
+    derives a {e fresh} deterministic state from a per-function seed — no
+    hidden global stream is shared between calls.  Consequently unseeded
+    calls are pure: the same function with the same arguments returns the
+    same data regardless of what ran before, of call order, and of the
+    domain it runs on.  Pass an explicit [?state] to draw distinct data
+    across calls (thread the state, or derive one per call site). *)
+
 val random_sizes :
   ?state:Random.State.t -> count:int -> min_size:int -> max_size:int -> unit ->
   int array
@@ -80,6 +90,8 @@ val vec_get : vec -> int -> Vector.t
 val vec_set : vec -> int -> Vector.t -> unit
 
 val vec_random : ?state:Random.State.t -> int array -> vec
+(** Entries uniform in [(-1, 1)]; follows the seeding contract of the
+    [random_*] batch builders above. *)
 
 val vec_of_flat : sizes:int array -> Vector.t -> vec
 (** Splits a flat vector (e.g. a Krylov residual) into per-block segments;

@@ -8,55 +8,75 @@ type result = {
   exact : bool;
 }
 
+(* Factor arena slots: 0..p-1 hold the matrix columns, 64 the pivot
+   broadcast, 65 the trailing-update multiplier. *)
+let t_d = 64
+let t_ljk = 65
+
 let kernel_factor w gin gout ~off ~s =
   let p = Warp.size w in
-  let zero = Array.make p 0.0 in
-  (* Load only the lower triangle: column j needs lanes j..s-1. *)
-  let reg =
-    Array.init p (fun j ->
-        if j < s then begin
-          let active = Array.init p (fun lane -> lane >= j && lane < s) in
-          Warp.load w gin ~active
-            (Array.init p (fun lane ->
-                 off + (if lane < s then lane + (j * s) else 0)))
-        end
-        else Array.copy zero)
-  in
+  let step = Warp.mask_slot w 0 in
+  let addrs = Warp.addr_slot w 0 in
+  (* Load only the lower triangle: column j needs lanes j..s-1.  Padding
+     columns are zeroed explicitly — the arena is recycled across
+     problems. *)
+  for j = 0 to s - 1 do
+    for lane = 0 to p - 1 do
+      step.(lane) <- lane >= j && lane < s;
+      addrs.(lane) <- off + (if lane < s then lane + (j * s) else 0)
+    done;
+    Warp.load_into w gin ~active:step addrs ~dst:(Warp.reg w j)
+  done;
+  for j = s to p - 1 do
+    Array.fill (Warp.reg w j) 0 p 0.0
+  done;
   Warp.round_barrier w;
   (* Freeze on breakdown: a non-positive pivot at step k sets info = k+1,
      predicates the remaining steps off, and the partial factor is written
      back — matching Cholesky.factor_status bit-for-bit. *)
   let info = ref 0 in
+  let d = Warp.reg w t_d
+  and ljk = Warp.reg w t_ljk in
+  let only_k = Warp.mask_slot w 1
+  and below = Warp.mask_slot w 2
+  and trailing = Warp.mask_slot w 3 in
   (try
      for k = 0 to s - 1 do
-       let dkk = reg.(k).(k) in
+       let colk = Warp.reg w k in
+       let dkk = colk.(k) in
        if not (dkk > 0.0) then begin
          info := k + 1;
          raise Exit
        end;
        (* Lanewise sqrt on the pivot lane, then broadcast, then scale the
           column below the diagonal. *)
-       let only_k = Array.init p (fun lane -> lane = k) in
-       reg.(k) <- Warp.sqrt_lanes w ~active:only_k reg.(k);
-       let d = Warp.broadcast w reg.(k) ~src:k in
-       let below = Array.init p (fun lane -> lane > k) in
-       reg.(k) <- Warp.div w ~active:below reg.(k) d;
+       for lane = 0 to p - 1 do
+         only_k.(lane) <- lane = k;
+         below.(lane) <- lane > k
+       done;
+       Warp.sqrt_into w ~active:only_k ~dst:colk colk;
+       Warp.broadcast_into w ~dst:d colk ~src:k;
+       Warp.div_into w ~active:below ~dst:colk colk d;
        (* Trailing update of the lower triangle, padded width like LU. *)
        for j = k + 1 to p - 1 do
-         let ljk = Warp.broadcast w reg.(k) ~src:(min j (p - 1)) in
-         let mask = Array.init p (fun lane -> lane >= j) in
-         reg.(j) <- Warp.fnma w ~active:mask reg.(k) ljk reg.(j)
+         Warp.broadcast_into w ~dst:ljk colk ~src:(min j (p - 1));
+         for lane = 0 to p - 1 do
+           trailing.(lane) <- lane >= j
+         done;
+         let colj = Warp.reg w j in
+         Warp.fnma_into w ~active:trailing ~dst:colj colk ljk colj
        done
      done
    with Exit -> ());
   (* Write back the lower triangle (coalesced per column). *)
   for j = 0 to s - 1 do
-    let active = Array.init p (fun lane -> lane >= j && lane < s) in
-    Warp.store w gout ~active
-      (Array.init p (fun lane -> off + (if lane < s then lane + (j * s) else 0)))
-      reg.(j)
+    for lane = 0 to p - 1 do
+      step.(lane) <- lane >= j && lane < s;
+      addrs.(lane) <- off + (if lane < s then lane + (j * s) else 0)
+    done;
+    Warp.store w gout ~active:step addrs (Warp.reg w j)
   done;
-  Counter.credit_flops (Warp.counter w) (Cholesky.flops s);
+  Warp.credit_flops w (Cholesky.flops s);
   !info
 
 let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
@@ -73,81 +93,106 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     info.(i) <-
       kernel_factor w gin gout ~off:b.Batch.offsets.(i) ~s:b.Batch.sizes.(i)
   in
+  (* Input and output factors share one offset table; a breakdown
+     early-exit diverges the op-event signature and falls back to a
+     charging rerun, so value-dependent freezes stay exact. *)
+  let cache =
+    let align = Config.elements_per_transaction cfg prec in
+    Some (fun i -> b.Batch.offsets.(i) mod align)
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"potrf" ~prec ~mode ~sizes:b.Batch.sizes
-      ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"potrf" ?cache ~prec ~mode
+      ~sizes:b.Batch.sizes ~kernel ()
   in
   let factors = Batch.create b.Batch.sizes in
   let values = Gmem.to_array gout in
   Array.blit values 0 factors.Batch.values 0 (Array.length values);
   { factors; info; stats; exact = (mode = Sampling.Exact) }
 
+(* Solve arena slots. *)
+let t_b = 0
+let t_col = 1
+let t_dv = 2
+let t_bk = 3
+let t_prods = 4
+
 let kernel_solve w gmat gvec gout ~moff ~voff ~s =
   let p = Warp.size w in
-  let active = Array.init p (fun lane -> lane < s) in
-  let b =
-    ref
-      (Warp.load w gvec ~active
-         (Array.init p (fun lane -> voff + min lane (s - 1))))
-  in
+  let active = Warp.mask_slot w 0 in
+  let from_k = Warp.mask_slot w 1 in
+  let only_k = Warp.mask_slot w 2 in
+  let below = Warp.mask_slot w 3 in
+  let addrs = Warp.addr_slot w 0 in
+  let b = Warp.reg w t_b
+  and col = Warp.reg w t_col
+  and d = Warp.reg w t_dv
+  and bk = Warp.reg w t_bk
+  and prods = Warp.reg w t_prods in
+  for lane = 0 to p - 1 do
+    active.(lane) <- lane < s;
+    addrs.(lane) <- voff + min lane (s - 1)
+  done;
+  Warp.load_into w gvec ~active addrs ~dst:b;
   Warp.round_barrier w;
   let info = ref 0 in
   (try
-  (* Forward sweep with L (non-unit diagonal): column reads, coalesced.  A
-     zero diagonal (factors of a flagged, non-SPD block) freezes the solve:
-     info = k+1, everything after — including the backward sweep — is
-     predicated off, and the partial vector is stored. *)
-  for k = 0 to s - 1 do
-    let from_k = Array.init p (fun lane -> lane >= k && lane < s) in
-    let col =
-      Warp.load w gmat ~active:from_k
-        (Array.init p (fun lane -> moff + min lane (s - 1) + (k * s)))
-    in
-    let d = Warp.broadcast w col ~src:k in
-    if d.(0) = 0.0 then begin
-      info := k + 1;
-      raise Exit
-    end;
-    let only_k = Array.init p (fun lane -> lane = k) in
-    b := Warp.div w ~active:only_k !b d;
-    let bk = Warp.broadcast w !b ~src:k in
-    let below = Array.init p (fun lane -> lane > k && lane < s) in
-    b := Warp.fnma w ~active:below col bk !b
+     (* Forward sweep with L (non-unit diagonal): column reads, coalesced.
+        A zero diagonal (factors of a flagged, non-SPD block) freezes the
+        solve: info = k+1, everything after — including the backward sweep
+        — is predicated off, and the partial vector is stored. *)
+     for k = 0 to s - 1 do
+       for lane = 0 to p - 1 do
+         from_k.(lane) <- lane >= k && lane < s;
+         addrs.(lane) <- moff + min lane (s - 1) + (k * s)
+       done;
+       Warp.load_into w gmat ~active:from_k addrs ~dst:col;
+       Warp.broadcast_into w ~dst:d col ~src:k;
+       if d.(0) = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       for lane = 0 to p - 1 do
+         only_k.(lane) <- lane = k;
+         below.(lane) <- lane > k && lane < s
+       done;
+       Warp.div_into w ~active:only_k ~dst:b b d;
+       Warp.broadcast_into w ~dst:bk b ~src:k;
+       Warp.fnma_into w ~active:below ~dst:b col bk b
+     done;
+     (* Backward sweep with Lᵀ: lane i accumulates -L(k,i)·x(k) for k > i;
+        we re-read column k of L (its elements L(k..s-1, k) are the row k
+        of Lᵀ used lanewise) — still one coalesced column load per step. *)
+     for k = s - 1 downto 0 do
+       for lane = 0 to p - 1 do
+         from_k.(lane) <- lane >= k && lane < s;
+         addrs.(lane) <- moff + min lane (s - 1) + (k * s)
+       done;
+       Warp.load_into w gmat ~active:from_k addrs ~dst:col;
+       Warp.broadcast_into w ~dst:d col ~src:k;
+       (* x(k) = (b(k) - Σ_{i>k} L(i,k)·x(i)) / L(k,k): the partial
+          products live one per lane; reduce them into lane k. *)
+       for lane = 0 to p - 1 do
+         below.(lane) <- lane > k && lane < s
+       done;
+       Warp.mul_into w ~active:below ~dst:prods col b;
+       Warp.charge_shfl w 5.0;
+       Warp.charge_fma w 5.0;
+       let acc = ref 0.0 in
+       for lane = k + 1 to s - 1 do
+         acc := Precision.add (Warp.prec w) prods.(lane) !acc
+       done;
+       b.(k) <-
+         Precision.div (Warp.prec w)
+           (Precision.sub (Warp.prec w) b.(k) !acc)
+           d.(k);
+       Warp.charge_div w 1.0
+     done
+   with Exit -> ());
+  for lane = 0 to p - 1 do
+    addrs.(lane) <- voff + min lane (s - 1)
   done;
-  (* Backward sweep with Lᵀ: lane i accumulates -L(k,i)·x(k) for k > i; we
-     re-read column k of L (its elements L(k..s-1, k) are the row k of Lᵀ
-     used lanewise) — still one coalesced column load per step. *)
-  for k = s - 1 downto 0 do
-    let from_k = Array.init p (fun lane -> lane >= k && lane < s) in
-    let col =
-      Warp.load w gmat ~active:from_k
-        (Array.init p (fun lane -> moff + min lane (s - 1) + (k * s)))
-    in
-    let d = Warp.broadcast w col ~src:k in
-    (* x(k) = (b(k) - Σ_{i>k} L(i,k)·x(i)) / L(k,k): the partial products
-       live one per lane; reduce them into lane k. *)
-    let prods =
-      let mask = Array.init p (fun lane -> lane > k && lane < s) in
-      Warp.mul w ~active:mask col !b
-    in
-    let c = Warp.counter w in
-    c.Vblu_simt.Counter.shfl_instrs <- c.Vblu_simt.Counter.shfl_instrs +. 5.0;
-    c.Vblu_simt.Counter.fma_instrs <- c.Vblu_simt.Counter.fma_instrs +. 5.0;
-    let acc = ref 0.0 in
-    for lane = k + 1 to s - 1 do
-      acc := Precision.add (Warp.prec w) prods.(lane) !acc
-    done;
-    let bnew = Array.copy !b in
-    bnew.(k) <-
-      Precision.div (Warp.prec w)
-        (Precision.sub (Warp.prec w) !b.(k) !acc)
-        d.(k);
-    c.Vblu_simt.Counter.div_instrs <- c.Vblu_simt.Counter.div_instrs +. 1.0;
-    b := bnew
-  done
-  with Exit -> ());
-  Warp.store w gout ~active (Array.init p (fun lane -> voff + min lane (s - 1))) !b;
-  Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s);
+  Warp.store w gout ~active addrs b;
+  Warp.credit_flops w (Flops.trsv_pair s);
   !info
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
@@ -164,8 +209,16 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
       kernel_solve w gmat gvec gout ~moff:factors.Batch.offsets.(i)
         ~voff:rhs.Batch.voffsets.(i) ~s:factors.Batch.sizes.(i)
   in
+  let cache =
+    let align = Config.elements_per_transaction cfg prec in
+    Some
+      (fun i ->
+        let moff_m = factors.Batch.offsets.(i) mod align
+        and voff_m = rhs.Batch.voffsets.(i) mod align in
+        (moff_m * align) + voff_m)
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"potrs" ~prec ~mode
+    Sampling.run ~cfg ~pool ?obs ~name:"potrs" ?cache ~prec ~mode
       ~sizes:factors.Batch.sizes ~kernel ()
   in
   let solutions = Batch.vec_create rhs.Batch.vsizes in

@@ -7,47 +7,66 @@ type result = {
   exact : bool;
 }
 
-let load_rows w g ~off ~s =
+(* Arena slot map: 0..31 columns of a, 32..63 columns of b, 64 running
+   accumulator, 65 broadcast of b(k,j), 66/67 alpha/beta splats, 68 loaded
+   column of c. *)
+let a_base = 0
+let b_base = 32
+let t_acc = 64
+let t_bkj = 65
+let t_alpha = 66
+let t_beta = 67
+let t_c = 68
+
+let load_rows w g ~off ~s ~base =
   let p = Warp.size w in
-  let active = Array.init p (fun lane -> lane < s) in
-  Array.init s (fun j ->
-      Warp.load w g ~active
-        (Array.init p (fun lane -> off + (if lane < s then lane else 0) + (j * s))))
+  let active = Warp.mask_slot w 0 in
+  let addrs = Warp.addr_slot w 0 in
+  for j = 0 to s - 1 do
+    for lane = 0 to p - 1 do
+      addrs.(lane) <- off + (if lane < s then lane else 0) + (j * s)
+    done;
+    Warp.load_into w g ~active addrs ~dst:(Warp.reg w (base + j))
+  done
 
 let kernel w ga gb gc gout ~off ~s ~alpha ~beta ~with_c =
   let p = Warp.size w in
-  let active = Array.init p (fun lane -> lane < s) in
+  let active = Warp.mask_slot w 0 in
+  let addrs = Warp.addr_slot w 0 in
+  for lane = 0 to p - 1 do
+    active.(lane) <- lane < s
+  done;
   (* Registers: lane i holds row i of a (one register per column) and the
      row of c under construction. *)
-  let a = load_rows w ga ~off ~s in
-  let b = load_rows w gb ~off ~s in
+  load_rows w ga ~off ~s ~base:a_base;
+  load_rows w gb ~off ~s ~base:b_base;
   Warp.round_barrier w;
-  let alpha_v = Array.make p alpha and beta_v = Array.make p beta in
+  let acc = Warp.reg w t_acc
+  and bkj = Warp.reg w t_bkj
+  and alpha_v = Warp.reg w t_alpha
+  and beta_v = Warp.reg w t_beta
+  and cj = Warp.reg w t_c in
+  Array.fill alpha_v 0 p alpha;
+  Array.fill beta_v 0 p beta;
   for j = 0 to s - 1 do
     (* c(:,j) = alpha * Σ_k a(:,k) * b(k,j) (+ beta * c(:,j)). *)
-    let acc = ref (Array.make p 0.0) in
+    Array.fill acc 0 p 0.0;
     for k = 0 to s - 1 do
-      let bkj = Warp.broadcast w b.(j) ~src:k in
-      acc := Warp.fma w ~active a.(k) bkj !acc
+      Warp.broadcast_into w ~dst:bkj (Warp.reg w (b_base + j)) ~src:k;
+      Warp.fma_into w ~active ~dst:acc (Warp.reg w (a_base + k)) bkj acc
     done;
-    let scaled = Warp.mul w ~active !acc alpha_v in
-    let out =
-      if with_c then begin
-        let cj =
-          Warp.load w gc ~active
-            (Array.init p (fun lane ->
-                 off + (if lane < s then lane else 0) + (j * s)))
-        in
-        Warp.fma w ~active cj beta_v scaled
-      end
-      else scaled
-    in
-    Warp.store w gout ~active
-      (Array.init p (fun lane -> off + (if lane < s then lane else 0) + (j * s)))
-      out
+    Warp.mul_into w ~active ~dst:acc acc alpha_v;
+    for lane = 0 to p - 1 do
+      addrs.(lane) <- off + (if lane < s then lane else 0) + (j * s)
+    done;
+    if with_c then begin
+      Warp.load_into w gc ~active addrs ~dst:cj;
+      Warp.fma_into w ~active ~dst:acc cj beta_v acc
+    end;
+    Warp.store w gout ~active addrs acc
   done;
   let m = float_of_int s in
-  Counter.credit_flops (Warp.counter w) (2.0 *. m *. m *. m)
+  Warp.credit_flops w (2.0 *. m *. m *. m)
 
 let multiply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs ?(alpha = 1.0)
@@ -77,9 +96,17 @@ let multiply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     kernel w ga gb gc gout ~off:a.Batch.offsets.(i) ~s:a.Batch.sizes.(i) ~alpha
       ~beta ~with_c
   in
+  (* a, b, c and the product share one offset table (sizes are checked
+     equal), so a single alignment class plus the with_c flag keys the
+     charge stream. *)
+  let cache =
+    let align = Config.elements_per_transaction cfg prec in
+    Some
+      (fun i -> (Bool.to_int with_c * align) + (a.Batch.offsets.(i) mod align))
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"gemm" ~prec ~mode ~sizes:a.Batch.sizes
-      ~kernel:kern ()
+    Sampling.run ~cfg ~pool ?obs ~name:"gemm" ?cache ~prec ~mode
+      ~sizes:a.Batch.sizes ~kernel:kern ()
   in
   let products = Batch.create a.Batch.sizes in
   let values = Gmem.to_array gout in

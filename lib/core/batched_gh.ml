@@ -101,7 +101,7 @@ let charge_factor w ~s ~storage =
     done);
   (* Column-pivot vector. *)
   Charge.gmem_coalesced w ~elems:s;
-  Counter.credit_flops (Warp.counter w) (Flops.gauss_huard_factor s)
+  Warp.credit_flops w (Flops.gauss_huard_factor s)
 
 let charge_solve w ~s ~storage =
   Charge.gmem_coalesced w ~elems:s;
@@ -128,7 +128,7 @@ let charge_solve w ~s ~storage =
     Charge.fma w 1.0
   done;
   Charge.gmem_coalesced w ~elems:s;
-  Counter.credit_flops (Warp.counter w) (Flops.gauss_huard_solve s)
+  Warp.credit_flops w (Flops.gauss_huard_solve s)
 
 (* Checksum-solve cost: one extra GH solve plus two reference gemv passes
    that re-read A. *)
@@ -178,9 +178,14 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     | Gauss_huard.Normal -> "gh.factor"
     | Gauss_huard.Transposed -> "ght.factor"
   in
+  (* Analytic charges depend on size, storage (already in the kernel name)
+     and the abft flag; the abft branch is also gated on a clean info, but
+     a divergent stream is caught by the op-event signature and rerun
+     charging. *)
   let stats =
-    Sampling.run ~cfg ~pool ?faults ?obs ~name ~prec ~mode ~sizes:b.Batch.sizes
-      ~kernel ()
+    Sampling.run ~cfg ~pool ?faults ?obs ~name
+      ~cache:(fun _ -> Bool.to_int abft)
+      ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
   in
   Vblu_obs.Ctx.record_verdicts obs verdicts;
   { factors; info; verdicts; stats; exact = (mode = Sampling.Exact) }
@@ -225,8 +230,14 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
       solve_verdicts.(i) <- (if !ok then Fault.Passed else Fault.Failed)
     end
   in
+  (* The solve's kernel name does not encode the storage layout, so it
+     goes into the salt alongside the abft flag. *)
+  let cache _ =
+    (Bool.to_int abft * 2)
+    + (match storage with Gauss_huard.Normal -> 0 | Gauss_huard.Transposed -> 1)
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?faults ?obs ~name:"gh.solve" ~prec ~mode
+    Sampling.run ~cfg ~pool ?faults ?obs ~name:"gh.solve" ~cache ~prec ~mode
       ~sizes:rhs.Batch.vsizes ~kernel ()
   in
   Vblu_obs.Ctx.record_verdicts obs solve_verdicts;

@@ -34,7 +34,7 @@ let charge_invert w ~s =
   for _j = 1 to s do
     Charge.gmem_coalesced w ~elems:s
   done;
-  Counter.credit_flops (Warp.counter w) (Flops.invert s)
+  Warp.credit_flops w (Flops.invert s)
 
 let invert ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs (b : Batch.t) =
@@ -53,9 +53,12 @@ let invert ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
        stream, like the register kernels predicating off a dead problem. *)
     charge_invert w ~s:b.Batch.sizes.(i)
   in
+  (* The analytic charge stream is a pure function of the block size —
+     elems-based coalescing sees no raw addresses — so a constant salt
+     suffices. *)
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"gje.invert" ~prec ~mode
-      ~sizes:b.Batch.sizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"gje.invert" ~cache:(fun _ -> 0) ~prec
+      ~mode ~sizes:b.Batch.sizes ~kernel ()
   in
   { inverses; info; stats; exact = (mode = Sampling.Exact) }
 
@@ -69,7 +72,7 @@ let charge_apply w ~s =
     Charge.fma w 1.0
   done;
   Charge.gmem_coalesced w ~elems:s;
-  Counter.credit_flops (Warp.counter w) (Flops.gemv s)
+  Warp.credit_flops w (Flops.gemv s)
 
 let apply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs (r : result)
@@ -83,7 +86,7 @@ let apply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     charge_apply w ~s:rhs.Batch.vsizes.(i)
   in
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"gje.apply" ~prec ~mode
-      ~sizes:rhs.Batch.vsizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"gje.apply" ~cache:(fun _ -> 0) ~prec
+      ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
   in
   { products; apply_stats = stats; apply_exact = (mode = Sampling.Exact) }

@@ -22,34 +22,62 @@ let check_batch cfg (b : Batch.t) =
           (Printf.sprintf "Batched_lu: block size %d exceeds warp width %d" s w))
     b.Batch.sizes
 
+(* Arena slot map (the kernels below own the whole warp arena per problem):
+   regs 0..p-1 hold the padded tile columns; the slots from [t_bcast] up
+   are broadcast/checksum temporaries.  Masks: 0 = lane<s, 1 and 2 are
+   step-local.  Addrs: 0 = column addresses, 1 = pivot steps, 2 = store
+   destinations. *)
+let t_bcast = 32
+let t_urow = 33
+let t_chk = 34
+let t_chkabs = 35
+let t_abs = 36
+let t_y = 37
+let t_z = 38
+let t_ybc = 39
+let t_vals = 40
+let t_vals2 = 41
+
+let fill_lt w m s =
+  let p = Warp.size w in
+  for lane = 0 to p - 1 do
+    m.(lane) <- lane < s
+  done
+
 (* Load the block at [off] of order [s] into the padded register tile:
-   reg.(j).(lane) = element (lane, j); one coalesced load per column. *)
+   reg slot j holds column j, element (lane, j) in lane [lane]; one
+   coalesced load per column.  Padding columns are zero-filled — arena
+   slots are reused across problems, so the fill replaces the fresh-array
+   guarantee the allocating tile had. *)
 let load_tile w gin ~off ~s =
   let p = Warp.size w in
-  let zero = Array.make p 0.0 in
-  let active = Array.init p (fun lane -> lane < s) in
-  let reg =
-    Array.init p (fun j ->
-        if j < s then
-          Warp.load w gin ~active
-            (Array.init p (fun lane -> off + (if lane < s then lane + (j * s) else 0)))
-        else Array.copy zero)
-  in
-  Warp.round_barrier w;
-  reg
+  let active = Warp.mask_slot w 0 in
+  fill_lt w active s;
+  let addrs = Warp.addr_slot w 0 in
+  for j = 0 to s - 1 do
+    for lane = 0 to p - 1 do
+      addrs.(lane) <- off + (if lane < s then lane + (j * s) else 0)
+    done;
+    Warp.load_into w gin ~active addrs ~dst:(Warp.reg w j)
+  done;
+  for j = s to p - 1 do
+    Array.fill (Warp.reg w j) 0 p 0.0
+  done;
+  Warp.round_barrier w
 
-let store_tile w gout ~off ~s ~dest reg =
+let store_tile w gout ~off ~s ~dest =
   (* One store per column; [dest.(lane)] is the output row of lane's row —
      the identity for explicit pivoting, the accumulated permutation for
      implicit pivoting (the "combined row swap fused with the off-load"). *)
   let p = Warp.size w in
-  let active = Array.init p (fun lane -> lane < s) in
+  let active = Warp.mask_slot w 0 in
+  fill_lt w active s;
+  let addrs = Warp.addr_slot w 0 in
   for j = 0 to s - 1 do
-    let addrs =
-      Array.init p (fun lane ->
-          off + (if lane < s then dest.(lane) + (j * s) else 0))
-    in
-    Warp.store w gout ~active addrs reg.(j)
+    for lane = 0 to p - 1 do
+      addrs.(lane) <- off + (if lane < s then dest.(lane) + (j * s) else 0)
+    done;
+    Warp.store w gout ~active addrs (Warp.reg w j)
   done
 
 (* ------------------------------------------------------------------ *)
@@ -68,43 +96,60 @@ let abft_tolerance prec ~s ~tabs ~t ~z =
   let eps = Precision.eps prec in
   1024.0 *. float_of_int s *. eps *. (tabs +. Float.abs t +. Float.abs z)
 
-let abft_encode w reg ~s =
+let abft_encode w ~s =
   let p = Warp.size w in
-  let active = Array.init p (fun lane -> lane < s) in
-  let t = ref (Array.copy reg.(0)) in
-  let tabs = ref (Array.map Float.abs reg.(0)) in
+  let active = Warp.mask_slot w 0 in
+  fill_lt w active s;
+  let t = Warp.reg w t_chk
+  and tabs = Warp.reg w t_chkabs
+  and tmp = Warp.reg w t_abs in
+  Array.blit (Warp.reg w 0) 0 t 0 p;
+  for lane = 0 to p - 1 do
+    tabs.(lane) <- Float.abs (Warp.reg w 0).(lane)
+  done;
   for j = 1 to s - 1 do
-    t := Warp.add w ~active !t reg.(j);
+    Warp.add_into w ~active ~dst:t t (Warp.reg w j);
     (* |·| is an operand modifier on GPU ALUs, so the abs-checksum pass
        costs the same single add per column. *)
-    tabs := Warp.add w ~active !tabs (Array.map Float.abs reg.(j))
-  done;
-  (!t, !tabs)
+    for lane = 0 to p - 1 do
+      tmp.(lane) <- Float.abs (Warp.reg w j).(lane)
+    done;
+    Warp.add_into w ~active ~dst:tabs tabs tmp
+  done
 
 (* [srow.(lane)] is the packed (pivot-order) row index lane holds — the
    accumulated [step] for the implicit kernel, the lane itself for
    explicit/no pivoting.  [src_of_row m] is the lane holding packed row
    [m]; [tsrc lane] the lane whose encoded checksum lane's packed row
    must reproduce. *)
-let abft_verify w reg ~s ~srow ~src_of_row ~tsrc ~t ~tabs =
+let abft_verify w ~s ~srow ~src_of_row ~tsrc =
   let p = Warp.size w in
   let prec = Warp.prec w in
-  let y = ref (Array.make p 0.0) in
+  let t = Warp.reg w t_chk and tabs = Warp.reg w t_chkabs in
+  let y = Warp.reg w t_y
+  and z = Warp.reg w t_z
+  and ybc = Warp.reg w t_ybc in
+  let act = Warp.mask_slot w 2 in
+  Array.fill y 0 p 0.0;
   for j = 0 to s - 1 do
-    let act = Array.init p (fun lane -> lane < s && srow.(lane) <= j) in
-    y := Warp.add w ~active:act !y reg.(j)
+    for lane = 0 to p - 1 do
+      act.(lane) <- lane < s && srow.(lane) <= j
+    done;
+    Warp.add_into w ~active:act ~dst:y y (Warp.reg w j)
   done;
-  let z = ref (Array.copy !y) in
+  Array.blit y 0 z 0 p;
   for m = 0 to s - 2 do
-    let ybc = Warp.broadcast w !y ~src:(src_of_row m) in
-    let act = Array.init p (fun lane -> lane < s && srow.(lane) > m) in
-    z := Warp.fma w ~active:act reg.(m) ybc !z
+    Warp.broadcast_into w ~dst:ybc y ~src:(src_of_row m);
+    for lane = 0 to p - 1 do
+      act.(lane) <- lane < s && srow.(lane) > m
+    done;
+    Warp.fma_into w ~active:act ~dst:z (Warp.reg w m) ybc z
   done;
   (* One subtract + one predicated compare against the tolerance. *)
   Charge.fma w 2.0;
   let ok = ref true in
   for lane = 0 to s - 1 do
-    let zv = !z.(lane) in
+    let zv = z.(lane) in
     let tv = t.(tsrc lane) and ta = tabs.(tsrc lane) in
     let tol = abft_tolerance prec ~s ~tabs:ta ~t:tv ~z:zv in
     if (not (Float.is_finite zv)) || Float.abs (zv -. tv) > tol then
@@ -115,16 +160,18 @@ let abft_verify w reg ~s ~srow ~src_of_row ~tsrc ~t ~tabs =
 (* Shared verify for the kernels whose rows end up physically in pivot
    order (explicit and no pivoting): lane [k] holds packed row [k], and
    [perm.(k)] names the original row whose checksum it must reproduce. *)
-let verify_in_place w reg ~s ~perm ~chk ~info =
-  match chk with
-  | Some (t, tabs) when info = 0 ->
+let verify_in_place w ~s ~perm ~abft ~info =
+  if abft && info = 0 then begin
     let p = Warp.size w in
-    let srow = Array.init p (fun lane -> if lane < s then lane else p + lane) in
-    abft_verify w reg ~s ~srow
+    let srow = Warp.addr_slot w 3 in
+    for lane = 0 to p - 1 do
+      srow.(lane) <- (if lane < s then lane else p + lane)
+    done;
+    abft_verify w ~s ~srow
       ~src_of_row:(fun m -> m)
       ~tsrc:(fun lane -> perm.(lane))
-      ~t ~tabs
-  | _ -> Fault.Unchecked
+  end
+  else Fault.Unchecked
 
 (* All three kernels follow the "freeze on breakdown" rule: the first zero
    pivot at (0-based) step [k] sets [info = k + 1], the elimination loop is
@@ -137,34 +184,44 @@ let verify_in_place w reg ~s ~perm ~chk ~info =
 
 let kernel_implicit w gin gout ~off ~s ~abft =
   let p = Warp.size w in
-  let reg = load_tile w gin ~off ~s in
+  load_tile w gin ~off ~s;
   (* Checksums are encoded after the load and before any fault can arm
      (sites arm at [Warp.fault_step]), so a corruption always lands on
      checksum-protected state. *)
-  let chk = if abft then Some (abft_encode w reg ~s) else None in
+  if abft then abft_encode w ~s;
   (* step.(lane) = pivot step of this lane's row; padded lanes start
      "already pivoted" so they never win the pivot search. *)
-  let step = Array.init p (fun lane -> if lane < s then -1 else p + lane) in
-  let unpivoted () = Array.map (fun x -> x < 0) step in
+  let step = Warp.addr_slot w 1 in
+  for lane = 0 to p - 1 do
+    step.(lane) <- (if lane < s then -1 else p + lane)
+  done;
+  let mask = Warp.mask_slot w 1 in
+  let fill_unpivoted () =
+    for lane = 0 to p - 1 do
+      mask.(lane) <- step.(lane) < 0
+    done
+  in
+  let d = Warp.reg w t_bcast and urow = Warp.reg w t_urow in
   let info = ref 0 in
   (try
      for k = 0 to s - 1 do
        Warp.fault_step w k;
-       let mask = unpivoted () in
-       let piv = Warp.argmax_abs w ~active:mask reg.(k) in
-       let d = Warp.broadcast w reg.(k) ~src:piv in
+       fill_unpivoted ();
+       let piv = Warp.argmax_abs w ~active:mask (Warp.reg w k) in
+       Warp.broadcast_into w ~dst:d (Warp.reg w k) ~src:piv;
        if d.(0) = 0.0 then begin
          info := k + 1;
          raise Exit
        end;
        step.(piv) <- k;
-       let mask = unpivoted () in
-       reg.(k) <- Warp.div w ~active:mask reg.(k) d;
+       fill_unpivoted ();
+       Warp.div_into w ~active:mask ~dst:(Warp.reg w k) (Warp.reg w k) d;
        (* Trailing update over the full padded width: the eager-variant
           padding overhead of Figure 5. *)
        for j = k + 1 to p - 1 do
-         let urow = Warp.broadcast w reg.(j) ~src:piv in
-         reg.(j) <- Warp.fnma w ~active:mask reg.(k) urow reg.(j)
+         let col = Warp.reg w j in
+         Warp.broadcast_into w ~dst:urow col ~src:piv;
+         Warp.fnma_into w ~active:mask ~dst:col (Warp.reg w k) urow col
        done
      done
    with Exit -> ());
@@ -185,89 +242,109 @@ let kernel_implicit w gin gout ~off ~s ~abft =
     perm.(step.(lane)) <- lane
   done;
   let verdict =
-    match chk with
-    | Some (t, tabs) when !info = 0 ->
-      abft_verify w reg ~s ~srow:step
+    if abft && !info = 0 then
+      abft_verify w ~s ~srow:step
         ~src_of_row:(fun m -> perm.(m))
         ~tsrc:(fun lane -> lane)
-        ~t ~tabs
-    | _ -> Fault.Unchecked
+    else Fault.Unchecked
   in
   (* Fused permutation: lane's row goes to its pivot position. *)
-  let dest = Array.init p (fun lane -> if lane < s then step.(lane) else 0) in
-  store_tile w gout ~off ~s ~dest reg;
+  let dest = Warp.addr_slot w 2 in
+  for lane = 0 to p - 1 do
+    dest.(lane) <- (if lane < s then step.(lane) else 0)
+  done;
+  store_tile w gout ~off ~s ~dest;
   (perm, !info, verdict)
 
 let kernel_explicit w gin gout ~off ~s ~abft =
   let p = Warp.size w in
-  let reg = load_tile w gin ~off ~s in
-  let chk = if abft then Some (abft_encode w reg ~s) else None in
+  load_tile w gin ~off ~s;
+  if abft then abft_encode w ~s;
   let perm = Array.init s (fun i -> i) in
+  let active = Warp.mask_slot w 1 in
+  let d = Warp.reg w t_bcast and urow = Warp.reg w t_urow in
+  let from_piv = Warp.reg w t_vals and from_k = Warp.reg w t_vals2 in
   let info = ref 0 in
   (try
      for k = 0 to s - 1 do
        Warp.fault_step w k;
-       let active = Array.init p (fun lane -> lane >= k && lane < s) in
-       let piv = Warp.argmax_abs w ~active reg.(k) in
+       for lane = 0 to p - 1 do
+         active.(lane) <- lane >= k && lane < s
+       done;
+       let piv = Warp.argmax_abs w ~active (Warp.reg w k) in
        if piv <> k then begin
          (* Physical row exchange: two lanes trade registers column by
             column through shuffles while the rest of the warp idles — the
             cost the implicit scheme removes. *)
          for j = 0 to p - 1 do
-           let from_piv = Warp.broadcast w reg.(j) ~src:piv in
-           let from_k = Warp.broadcast w reg.(j) ~src:k in
-           let r = Array.copy reg.(j) in
-           r.(k) <- from_piv.(k);
-           r.(piv) <- from_k.(piv);
-           reg.(j) <- r
+           let col = Warp.reg w j in
+           Warp.broadcast_into w ~dst:from_piv col ~src:piv;
+           Warp.broadcast_into w ~dst:from_k col ~src:k;
+           col.(k) <- from_piv.(k);
+           col.(piv) <- from_k.(piv)
          done;
          let tmp = perm.(k) in
          perm.(k) <- perm.(piv);
          perm.(piv) <- tmp
        end;
-       let d = Warp.broadcast w reg.(k) ~src:k in
+       Warp.broadcast_into w ~dst:d (Warp.reg w k) ~src:k;
        if d.(0) = 0.0 then begin
          info := k + 1;
          raise Exit
        end;
-       let below = Array.init p (fun lane -> lane > k) in
-       reg.(k) <- Warp.div w ~active:below reg.(k) d;
+       let below = Warp.mask_slot w 1 in
+       for lane = 0 to p - 1 do
+         below.(lane) <- lane > k
+       done;
+       Warp.div_into w ~active:below ~dst:(Warp.reg w k) (Warp.reg w k) d;
        for j = k + 1 to p - 1 do
-         let urow = Warp.broadcast w reg.(j) ~src:k in
-         reg.(j) <- Warp.fnma w ~active:below reg.(k) urow reg.(j)
+         let col = Warp.reg w j in
+         Warp.broadcast_into w ~dst:urow col ~src:k;
+         Warp.fnma_into w ~active:below ~dst:col (Warp.reg w k) urow col
        done
      done
    with Exit -> ());
-  let verdict = verify_in_place w reg ~s ~perm ~chk ~info:!info in
-  let dest = Array.init p (fun lane -> if lane < s then lane else 0) in
-  store_tile w gout ~off ~s ~dest reg;
+  let verdict = verify_in_place w ~s ~perm ~abft ~info:!info in
+  let dest = Warp.addr_slot w 2 in
+  for lane = 0 to p - 1 do
+    dest.(lane) <- (if lane < s then lane else 0)
+  done;
+  store_tile w gout ~off ~s ~dest;
   (perm, !info, verdict)
 
 let kernel_nopivot w gin gout ~off ~s ~abft =
   let p = Warp.size w in
-  let reg = load_tile w gin ~off ~s in
-  let chk = if abft then Some (abft_encode w reg ~s) else None in
+  load_tile w gin ~off ~s;
+  if abft then abft_encode w ~s;
+  let d = Warp.reg w t_bcast and urow = Warp.reg w t_urow in
+  let below = Warp.mask_slot w 1 in
   let info = ref 0 in
   (try
      for k = 0 to s - 1 do
        Warp.fault_step w k;
-       let d = Warp.broadcast w reg.(k) ~src:k in
+       Warp.broadcast_into w ~dst:d (Warp.reg w k) ~src:k;
        if d.(0) = 0.0 then begin
          info := k + 1;
          raise Exit
        end;
-       let below = Array.init p (fun lane -> lane > k) in
-       reg.(k) <- Warp.div w ~active:below reg.(k) d;
+       for lane = 0 to p - 1 do
+         below.(lane) <- lane > k
+       done;
+       Warp.div_into w ~active:below ~dst:(Warp.reg w k) (Warp.reg w k) d;
        for j = k + 1 to p - 1 do
-         let urow = Warp.broadcast w reg.(j) ~src:k in
-         reg.(j) <- Warp.fnma w ~active:below reg.(k) urow reg.(j)
+         let col = Warp.reg w j in
+         Warp.broadcast_into w ~dst:urow col ~src:k;
+         Warp.fnma_into w ~active:below ~dst:col (Warp.reg w k) urow col
        done
      done
    with Exit -> ());
   let perm = Array.init s (fun i -> i) in
-  let verdict = verify_in_place w reg ~s ~perm ~chk ~info:!info in
-  let dest = Array.init p (fun lane -> if lane < s then lane else 0) in
-  store_tile w gout ~off ~s ~dest reg;
+  let verdict = verify_in_place w ~s ~perm ~abft ~info:!info in
+  let dest = Warp.addr_slot w 2 in
+  for lane = 0 to p - 1 do
+    dest.(lane) <- (if lane < s then lane else 0)
+  done;
+  store_tile w gout ~off ~s ~dest;
   (perm, !info, verdict)
 
 let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
@@ -298,11 +375,15 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     verdicts.(i) <- verdict;
     (* The pivot vector also goes to memory for the subsequent solves. *)
     let p = Warp.size w in
-    let active = Array.init p (fun lane -> lane < s) in
-    Warp.store w gpiv ~active
-      (Array.init p (fun lane -> poffsets.(i) + min (s - 1) lane))
-      (Array.init p (fun lane -> if lane < s then float_of_int perm.(lane) else 0.0));
-    Counter.credit_flops (Warp.counter w) (Flops.getrf s)
+    let active = Warp.mask_slot w 0 in
+    fill_lt w active s;
+    let addrs = Warp.addr_slot w 0 and vals = Warp.reg w t_vals in
+    for lane = 0 to p - 1 do
+      addrs.(lane) <- poffsets.(i) + min (s - 1) lane;
+      vals.(lane) <- (if lane < s then float_of_int perm.(lane) else 0.0)
+    done;
+    Warp.store w gpiv ~active addrs vals;
+    Warp.credit_flops w (Flops.getrf s)
   in
   let name =
     match pivoting with
@@ -310,9 +391,27 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     | Explicit -> "getrf.explicit"
     | No_pivoting -> "getrf.nopivot"
   in
+  (* Implicit and unpivoted streams are data-independent (store-address
+     sets are permutation-invariant), so their counters cache; the
+     explicit kernel's conditional row swaps make its instruction stream
+     value-dependent — caching it would just rerun every problem twice.
+     The salt carries the ABFT flag plus the transaction-alignment class
+     of both device buffers a problem addresses (tile and pivot vector) —
+     coalescing charges depend on [offset mod] elements-per-transaction. *)
+  let cache =
+    match pivoting with
+    | Explicit -> None
+    | Implicit | No_pivoting ->
+      let align = Config.elements_per_transaction cfg prec in
+      Some
+        (fun i ->
+          let off_m = b.Batch.offsets.(i) mod align
+          and poff_m = poffsets.(i) mod align in
+          ((Bool.to_int abft * align) + off_m) * align + poff_m)
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?faults ?obs ~name ~prec ~mode ~sizes:b.Batch.sizes
-      ~kernel ()
+    Sampling.run ~cfg ~pool ?faults ?obs ~name ?cache ~prec ~mode
+      ~sizes:b.Batch.sizes ~kernel ()
   in
   Vblu_obs.Ctx.record_verdicts obs verdicts;
   let values = Gmem.to_array gout in

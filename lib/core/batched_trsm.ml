@@ -8,26 +8,46 @@ type result = {
   exact : bool;
 }
 
+(* Arena slot map: regs 0..nrhs-1 hold the right-hand sides (falling back
+   to fresh buffers for the unlikely nrhs > 64), 64 = column load, 65 =
+   diagonal broadcast, 66 = solution-element broadcast. *)
+let rhs_arena_slots = 64
+let t_col = 64
+let t_d = 65
+let t_bk = 66
+
 let kernel w gmat gvecs gouts ~moff ~voff ~s ~perm =
   let p = Warp.size w in
   let nrhs = Array.length gvecs in
-  let active = Array.init p (fun lane -> lane < s) in
-  (* Load every right-hand side with the fused permutation. *)
-  let addrs =
-    Array.init p (fun lane -> voff + if lane < s then perm.(lane) else 0)
+  let active = Warp.mask_slot w 0 in
+  for lane = 0 to p - 1 do
+    active.(lane) <- lane < s
+  done;
+  let addrs = Warp.addr_slot w 0 in
+  let step = Warp.mask_slot w 1 in
+  let b =
+    if nrhs <= rhs_arena_slots then Array.init nrhs (Warp.reg w)
+    else Array.init nrhs (fun _ -> Array.make p 0.0)
   in
-  let b = Array.map (fun g -> Warp.load w g ~active addrs) gvecs in
+  let col = Warp.reg w t_col
+  and d = Warp.reg w t_d
+  and bk = Warp.reg w t_bk in
+  (* Load every right-hand side with the fused permutation. *)
+  for lane = 0 to p - 1 do
+    addrs.(lane) <- (voff + if lane < s then perm.(lane) else 0)
+  done;
+  Array.iteri (fun r g -> Warp.load_into w g ~active addrs ~dst:b.(r)) gvecs;
   Warp.round_barrier w;
   (* Unit lower solve: one column load serves all right-hand sides. *)
   for k = 0 to s - 2 do
-    let below = Array.init p (fun lane -> lane > k && lane < s) in
-    let col =
-      Warp.load w gmat ~active:below
-        (Array.init p (fun lane -> moff + (if lane < s then lane else 0) + (k * s)))
-    in
+    for lane = 0 to p - 1 do
+      step.(lane) <- lane > k && lane < s;
+      addrs.(lane) <- moff + (if lane < s then lane else 0) + (k * s)
+    done;
+    Warp.load_into w gmat ~active:step addrs ~dst:col;
     for r = 0 to nrhs - 1 do
-      let bk = Warp.broadcast w b.(r) ~src:k in
-      b.(r) <- Warp.fnma w ~active:below col bk b.(r)
+      Warp.broadcast_into w ~dst:bk b.(r) ~src:k;
+      Warp.fnma_into w ~active:step ~dst:b.(r) col bk b.(r)
     done
   done;
   (* Upper solve.  Same freeze-on-breakdown rule as {!Batched_trsv}: a
@@ -36,29 +56,34 @@ let kernel w gmat gvecs gouts ~moff ~voff ~s ~perm =
   let info = ref 0 in
   (try
      for k = s - 1 downto 0 do
-       let upto = Array.init p (fun lane -> lane <= k) in
-       let col =
-         Warp.load w gmat ~active:upto
-           (Array.init p (fun lane -> moff + min lane (s - 1) + (k * s)))
-       in
-       let d = Warp.broadcast w col ~src:k in
+       for lane = 0 to p - 1 do
+         step.(lane) <- lane <= k;
+         addrs.(lane) <- moff + min lane (s - 1) + (k * s)
+       done;
+       Warp.load_into w gmat ~active:step addrs ~dst:col;
+       Warp.broadcast_into w ~dst:d col ~src:k;
        if d.(0) = 0.0 then begin
          info := k + 1;
          raise Exit
        end;
-       let only_k = Array.init p (fun lane -> lane = k) in
-       let above = Array.init p (fun lane -> lane < k) in
+       let only_k = Warp.mask_slot w 1 in
+       let above = Warp.mask_slot w 2 in
+       for lane = 0 to p - 1 do
+         only_k.(lane) <- lane = k;
+         above.(lane) <- lane < k
+       done;
        for r = 0 to nrhs - 1 do
-         b.(r) <- Warp.div w ~active:only_k b.(r) d;
-         let bk = Warp.broadcast w b.(r) ~src:k in
-         b.(r) <- Warp.fnma w ~active:above col bk b.(r)
+         Warp.div_into w ~active:only_k ~dst:b.(r) b.(r) d;
+         Warp.broadcast_into w ~dst:bk b.(r) ~src:k;
+         Warp.fnma_into w ~active:above ~dst:b.(r) col bk b.(r)
        done
      done
    with Exit -> ());
-  let out_addrs = Array.init p (fun lane -> voff + min lane (s - 1)) in
-  Array.iteri (fun r g -> Warp.store w g ~active out_addrs b.(r)) gouts;
-  Counter.credit_flops (Warp.counter w)
-    (float_of_int nrhs *. Flops.trsv_pair s);
+  for lane = 0 to p - 1 do
+    addrs.(lane) <- voff + min lane (s - 1)
+  done;
+  Array.iteri (fun r g -> Warp.store w g ~active addrs b.(r)) gouts;
+  Warp.credit_flops w (float_of_int nrhs *. Flops.trsv_pair s);
   !info
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
@@ -101,8 +126,20 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
       kernel w gmat gvecs gouts ~moff:factors.Batch.offsets.(i)
         ~voff:rhs_sets.(0).Batch.voffsets.(i) ~s ~perm
   in
+  (* The charge stream scales with the rhs count, and coalescing charges
+     with the buffer alignments, so both go into the cache salt (all rhs
+     sets share one offset table — checked above). *)
+  let cache =
+    let align = Config.elements_per_transaction cfg prec in
+    let nrhs = Array.length rhs_sets in
+    Some
+      (fun i ->
+        let moff_m = factors.Batch.offsets.(i) mod align
+        and voff_m = rhs_sets.(0).Batch.voffsets.(i) mod align in
+        ((nrhs * align) + moff_m) * align + voff_m)
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"trsm" ~prec ~mode
+    Sampling.run ~cfg ~pool ?obs ~name:"trsm" ?cache ~prec ~mode
       ~sizes:factors.Batch.sizes ~kernel ()
   in
   let solutions =

@@ -12,7 +12,27 @@ type result = {
   exact : bool;
 }
 
-let lane_active p s = Array.init p (fun lane -> lane < s)
+(* Arena slot map: reg 0 = b (solution in progress), 1 = P·b snapshot for
+   ABFT, 2 = column/row load, 3 = diagonal broadcast, 4 = solution-element
+   broadcast, 5-9 = ABFT temporaries, 10 = lazy dot products.  Mask 0 =
+   lane<s, 1 = step-local, 2 = ABFT-local.  Addr 0 = generic addresses. *)
+let t_b = 0
+let t_b0 = 1
+let t_col = 2
+let t_d = 3
+let t_bk = 4
+let t_ux = 5
+let t_uabs = 6
+let t_r = 7
+let t_rabs = 8
+let t_xj = 9
+let t_prod = 10
+
+let fill_lt w m s =
+  let p = Warp.size w in
+  for lane = 0 to p - 1 do
+    m.(lane) <- lane < s
+  done
 
 (* ABFT for the triangular solves: with [x] solved, re-evaluate
    r = L·(U·x) from fresh column loads (the factors offer no reuse here,
@@ -22,32 +42,40 @@ let lane_active p s = Array.init p (fun lane -> lane < s)
 let abft_check w gmat ~moff ~s ~b0 x =
   let p = Warp.size w in
   let prec = Warp.prec w in
-  let ux = ref (Array.make p 0.0) in
-  let uabs = Array.make p 0.0 in
+  let ux = Warp.reg w t_ux
+  and uabs = Warp.reg w t_uabs
+  and col = Warp.reg w t_col
+  and xj = Warp.reg w t_xj
+  and r = Warp.reg w t_r
+  and rabs = Warp.reg w t_rabs in
+  let act = Warp.mask_slot w 2 in
+  let addrs = Warp.addr_slot w 0 in
+  Array.fill ux 0 p 0.0;
+  Array.fill uabs 0 p 0.0;
   for j = 0 to s - 1 do
-    let act = Array.init p (fun lane -> lane <= j && lane < s) in
-    let col =
-      Warp.load w gmat ~active:act
-        (Array.init p (fun lane -> moff + min lane (s - 1) + (j * s)))
-    in
-    let xj = Warp.broadcast w x ~src:j in
-    ux := Warp.fma w ~active:act col xj !ux;
+    for lane = 0 to p - 1 do
+      act.(lane) <- lane <= j && lane < s;
+      addrs.(lane) <- moff + min lane (s - 1) + (j * s)
+    done;
+    Warp.load_into w gmat ~active:act addrs ~dst:col;
+    Warp.broadcast_into w ~dst:xj x ~src:j;
+    Warp.fma_into w ~active:act ~dst:ux col xj ux;
     for lane = 0 to min j (s - 1) do
       uabs.(lane) <- uabs.(lane) +. Float.abs (col.(lane) *. xj.(lane))
     done
   done;
-  let r = ref (Array.copy !ux) in
-  let rabs = Array.copy uabs in
+  Array.blit ux 0 r 0 p;
+  Array.blit uabs 0 rabs 0 p;
   for j = 0 to s - 2 do
-    let act = Array.init p (fun lane -> lane > j && lane < s) in
-    let col =
-      Warp.load w gmat ~active:act
-        (Array.init p (fun lane -> moff + (if lane < s then lane else 0) + (j * s)))
-    in
-    let uxj = Warp.broadcast w !ux ~src:j in
-    r := Warp.fma w ~active:act col uxj !r;
+    for lane = 0 to p - 1 do
+      act.(lane) <- lane > j && lane < s;
+      addrs.(lane) <- moff + (if lane < s then lane else 0) + (j * s)
+    done;
+    Warp.load_into w gmat ~active:act addrs ~dst:col;
+    Warp.broadcast_into w ~dst:xj ux ~src:j;
+    Warp.fma_into w ~active:act ~dst:r col xj r;
     for lane = j + 1 to s - 1 do
-      rabs.(lane) <- rabs.(lane) +. Float.abs (col.(lane) *. uxj.(lane))
+      rabs.(lane) <- rabs.(lane) +. Float.abs (col.(lane) *. xj.(lane))
     done
   done;
   (* The |·|-tracking and the final compare, charged as one fused pass. *)
@@ -55,7 +83,7 @@ let abft_check w gmat ~moff ~s ~b0 x =
   let eps = Precision.eps prec in
   let ok = ref true in
   for lane = 0 to s - 1 do
-    let rv = !r.(lane) and bv = b0.(lane) in
+    let rv = r.(lane) and bv = b0.(lane) in
     let tol =
       1024.0 *. float_of_int s *. eps
       *. (rabs.(lane) +. Float.abs bv +. Float.abs rv)
@@ -68,27 +96,34 @@ let abft_check w gmat ~moff ~s ~b0 x =
    broadcast of the freshly final solution element, one predicated FNMA. *)
 let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
   let p = Warp.size w in
-  let active = lane_active p s in
+  let active = Warp.mask_slot w 0 in
+  fill_lt w active s;
+  let addrs = Warp.addr_slot w 0 in
+  let b = Warp.reg w t_b
+  and col = Warp.reg w t_col
+  and d = Warp.reg w t_d
+  and bk = Warp.reg w t_bk in
+  let step = Warp.mask_slot w 1 in
   (* Fused permutation on load: lane k reads b(perm(k)). *)
-  let b =
-    Warp.load w gvec ~active
-      (Array.init p (fun lane -> voff + if lane < s then perm.(lane) else 0))
-  in
+  for lane = 0 to p - 1 do
+    addrs.(lane) <- (voff + if lane < s then perm.(lane) else 0)
+  done;
+  Warp.load_into w gvec ~active addrs ~dst:b;
   Warp.round_barrier w;
   (* Snapshot of P·b for the ABFT compare — taken before any fault site
      can arm (sites arm at [Warp.fault_step]). *)
-  let b0 = if abft then Array.copy b else [||] in
-  let b = ref b in
+  let b0 = Warp.reg w t_b0 in
+  if abft then Array.blit b 0 b0 0 p;
   (* Unit lower triangular solve. *)
   for k = 0 to s - 2 do
     Warp.fault_step w k;
-    let below = Array.init p (fun lane -> lane > k && lane < s) in
-    let col =
-      Warp.load w gmat ~active:below
-        (Array.init p (fun lane -> moff + (if lane < s then lane else 0) + (k * s)))
-    in
-    let bk = Warp.broadcast w !b ~src:k in
-    b := Warp.fnma w ~active:below col bk !b
+    for lane = 0 to p - 1 do
+      step.(lane) <- lane > k && lane < s;
+      addrs.(lane) <- moff + (if lane < s then lane else 0) + (k * s)
+    done;
+    Warp.load_into w gmat ~active:step addrs ~dst:col;
+    Warp.broadcast_into w ~dst:bk b ~src:k;
+    Warp.fnma_into w ~active:step ~dst:b col bk b
   done;
   (* Upper triangular solve.  A zero diagonal freezes the sweep: info is
      set, the remaining steps are predicated off, and the partial solution
@@ -97,56 +132,68 @@ let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
   (try
      for k = s - 1 downto 0 do
        Warp.fault_step w k;
-       let upto = Array.init p (fun lane -> lane <= k) in
-       let col =
-         Warp.load w gmat ~active:upto
-           (Array.init p (fun lane -> moff + min lane (s - 1) + (k * s)))
-       in
-       let d = Warp.broadcast w col ~src:k in
+       for lane = 0 to p - 1 do
+         step.(lane) <- lane <= k;
+         addrs.(lane) <- moff + min lane (s - 1) + (k * s)
+       done;
+       Warp.load_into w gmat ~active:step addrs ~dst:col;
+       Warp.broadcast_into w ~dst:d col ~src:k;
        if d.(0) = 0.0 then begin
          info := k + 1;
          raise Exit
        end;
-       let only_k = Array.init p (fun lane -> lane = k) in
-       b := Warp.div w ~active:only_k !b d;
-       let bk = Warp.broadcast w !b ~src:k in
-       let above = Array.init p (fun lane -> lane < k) in
-       b := Warp.fnma w ~active:above col bk !b
+       for lane = 0 to p - 1 do
+         step.(lane) <- lane = k
+       done;
+       Warp.div_into w ~active:step ~dst:b b d;
+       Warp.broadcast_into w ~dst:bk b ~src:k;
+       for lane = 0 to p - 1 do
+         step.(lane) <- lane < k
+       done;
+       Warp.fnma_into w ~active:step ~dst:b col bk b
      done
    with Exit -> ());
   let verdict =
-    if abft && !info = 0 then abft_check w gmat ~moff ~s ~b0 !b
+    if abft && !info = 0 then abft_check w gmat ~moff ~s ~b0 b
     else Fault.Unchecked
   in
-  Warp.store w gout ~active (Array.init p (fun lane -> voff + min lane (s - 1))) !b;
-  Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s);
+  for lane = 0 to p - 1 do
+    addrs.(lane) <- voff + min lane (s - 1)
+  done;
+  Warp.store w gout ~active addrs b;
+  Warp.credit_flops w (Flops.trsv_pair s);
   (!info, verdict)
 
 (* Lazy (DOT) schedule: per step one non-coalesced row load and a warp
    reduction; the ablation showing why the paper prefers the eager form. *)
 let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
   let p = Warp.size w in
-  let active = lane_active p s in
-  let b =
-    Warp.load w gvec ~active
-      (Array.init p (fun lane -> voff + if lane < s then perm.(lane) else 0))
-  in
+  let active = Warp.mask_slot w 0 in
+  fill_lt w active s;
+  let addrs = Warp.addr_slot w 0 in
+  let b = Warp.reg w t_b
+  and row = Warp.reg w t_col
+  and prod = Warp.reg w t_prod in
+  let act = Warp.mask_slot w 1 in
+  for lane = 0 to p - 1 do
+    addrs.(lane) <- (voff + if lane < s then perm.(lane) else 0)
+  done;
+  Warp.load_into w gvec ~active addrs ~dst:b;
   Warp.round_barrier w;
-  let b0 = if abft then Array.copy b else [||] in
-  let b = ref b in
+  let b0 = Warp.reg w t_b0 in
+  if abft then Array.blit b 0 b0 0 p;
   let dot_row ~upto_excl k =
     (* Row k, elements [0..upto_excl), lanewise product then a tree
        reduction (log2 p shuffle+add rounds, charged like argmax). *)
-    let act = Array.init p (fun lane -> lane < upto_excl) in
-    let row =
-      Warp.load w gmat ~active:act
-        (Array.init p (fun lane -> moff + k + (min lane (s - 1) * s)))
-    in
-    let prod = Warp.mul w ~active:act row !b in
+    for lane = 0 to p - 1 do
+      act.(lane) <- lane < upto_excl;
+      addrs.(lane) <- moff + k + (min lane (s - 1) * s)
+    done;
+    Warp.load_into w gmat ~active:act addrs ~dst:row;
+    Warp.mul_into w ~active:act ~dst:prod row b;
     let rounds = 5 in
-    let c = Warp.counter w in
-    c.Counter.shfl_instrs <- c.Counter.shfl_instrs +. float_of_int rounds;
-    c.Counter.fma_instrs <- c.Counter.fma_instrs +. float_of_int rounds;
+    Warp.charge_shfl w (float_of_int rounds);
+    Warp.charge_fma w (float_of_int rounds);
     let acc = ref 0.0 in
     for lane = 0 to upto_excl - 1 do
       acc := Precision.add (Warp.prec w) prod.(lane) !acc
@@ -157,12 +204,9 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
   for k = 1 to s - 1 do
     Warp.fault_step w k;
     let d = dot_row ~upto_excl:k k in
-    let bnew = Array.copy !b in
-    bnew.(k) <- Precision.sub (Warp.prec w) !b.(k) d;
+    b.(k) <- Precision.sub (Warp.prec w) b.(k) d;
     (* One predicated subtract on the owning lane. *)
-    let c = Warp.counter w in
-    c.Counter.fma_instrs <- c.Counter.fma_instrs +. 1.0;
-    b := bnew
+    Warp.charge_fma w 1.0
   done;
   (* Upper solve, lazy.  Same freeze-on-breakdown rule as the eager
      schedule: a zero diagonal sets info and predicates off the rest. *)
@@ -173,16 +217,17 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
        (* The diagonal element arrives with the row load of step k via
           lane k — the load mask includes lane k so the access is charged
           like every other row element. *)
-       let ld_act = Array.init p (fun lane -> lane >= k && lane < s) in
-       let row =
-         Warp.load w gmat ~active:ld_act
-           (Array.init p (fun lane -> moff + k + (min lane (s - 1) * s)))
-       in
-       let act = Array.init p (fun lane -> lane > k && lane < s) in
-       let prod = Warp.mul w ~active:act row !b in
-       let c = Warp.counter w in
-       c.Counter.shfl_instrs <- c.Counter.shfl_instrs +. 5.0;
-       c.Counter.fma_instrs <- c.Counter.fma_instrs +. 5.0;
+       for lane = 0 to p - 1 do
+         act.(lane) <- lane >= k && lane < s;
+         addrs.(lane) <- moff + k + (min lane (s - 1) * s)
+       done;
+       Warp.load_into w gmat ~active:act addrs ~dst:row;
+       for lane = 0 to p - 1 do
+         act.(lane) <- lane > k && lane < s
+       done;
+       Warp.mul_into w ~active:act ~dst:prod row b;
+       Warp.charge_shfl w 5.0;
+       Warp.charge_fma w 5.0;
        let acc = ref 0.0 in
        for lane = k + 1 to s - 1 do
          acc := Precision.add (Warp.prec w) prod.(lane) !acc
@@ -192,21 +237,22 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
          info := k + 1;
          raise Exit
        end;
-       let bnew = Array.copy !b in
-       bnew.(k) <-
+       b.(k) <-
          Precision.div (Warp.prec w)
-           (Precision.sub (Warp.prec w) !b.(k) !acc)
+           (Precision.sub (Warp.prec w) b.(k) !acc)
            diag;
-       c.Counter.div_instrs <- c.Counter.div_instrs +. 1.0;
-       b := bnew
+       Warp.charge_div w 1.0
      done
    with Exit -> ());
   let verdict =
-    if abft && !info = 0 then abft_check w gmat ~moff ~s ~b0 !b
+    if abft && !info = 0 then abft_check w gmat ~moff ~s ~b0 b
     else Fault.Unchecked
   in
-  Warp.store w gout ~active (Array.init p (fun lane -> voff + min lane (s - 1))) !b;
-  Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s);
+  for lane = 0 to p - 1 do
+    addrs.(lane) <- voff + min lane (s - 1)
+  done;
+  Warp.store w gout ~active addrs b;
+  Warp.credit_flops w (Flops.trsv_pair s);
   (!info, verdict)
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
@@ -249,8 +295,20 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let name =
     match variant with Eager -> "trsv.eager" | Lazy -> "trsv.lazy"
   in
+  (* Both schedules are data-independent up to breakdown (the permuted
+     rhs-load address set is permutation-invariant), so both cache; the
+     salt carries the ABFT flag and the alignment classes of the factor
+     and vector buffers. *)
+  let cache =
+    let align = Config.elements_per_transaction cfg prec in
+    Some
+      (fun i ->
+        let moff_m = factors.Batch.offsets.(i) mod align
+        and voff_m = rhs.Batch.voffsets.(i) mod align in
+        ((Bool.to_int abft * align) + moff_m) * align + voff_m)
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?faults ?obs ~name ~prec ~mode
+    Sampling.run ~cfg ~pool ?faults ?obs ~name ?cache ~prec ~mode
       ~sizes:factors.Batch.sizes ~kernel ()
   in
   Vblu_obs.Ctx.record_verdicts obs verdicts;

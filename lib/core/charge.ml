@@ -1,38 +1,22 @@
 open Vblu_smallblas
 open Vblu_simt
 
-let fma w n =
-  let c = Warp.counter w in
-  c.Counter.fma_instrs <- c.Counter.fma_instrs +. n
+(* All analytic charging funnels through Warp.charge_* so that the op-event
+   signature and the charge-free replay mode (Launch.Cache) see these
+   kernels exactly like the functionally simulated ones. *)
 
-let div w n =
-  let c = Warp.counter w in
-  c.Counter.div_instrs <- c.Counter.div_instrs +. n
-
-let shfl w n =
-  let c = Warp.counter w in
-  c.Counter.shfl_instrs <- c.Counter.shfl_instrs +. n
-
-let smem w n =
-  let c = Warp.counter w in
-  c.Counter.smem_accesses <- c.Counter.smem_accesses +. n
+let fma w n = Warp.charge_fma w n
+let div w n = Warp.charge_div w n
+let shfl w n = Warp.charge_shfl w n
+let smem w n = Warp.charge_smem w n
 
 let reduction w =
   shfl w 5.0;
   fma w 5.0
 
-let charge_txns w txns =
-  let c = Warp.counter w in
-  let cfg = Warp.cfg w in
-  c.Counter.gmem_instrs <- c.Counter.gmem_instrs +. 1.0;
-  c.Counter.gmem_transactions <-
-    c.Counter.gmem_transactions +. float_of_int txns;
-  c.Counter.gmem_bytes <-
-    c.Counter.gmem_bytes +. float_of_int (txns * cfg.Config.transaction_bytes)
+let charge_txns w txns = Warp.charge_gmem w ~instrs:1.0 ~txns
 
-let elems_touched w n =
-  let c = Warp.counter w in
-  c.Counter.gmem_elems <- c.Counter.gmem_elems +. float_of_int n
+let elems_touched w n = Warp.charge_gmem_elems w n
 
 let gmem_coalesced w ~elems =
   if elems > 0 then begin
@@ -42,14 +26,7 @@ let gmem_coalesced w ~elems =
     elems_touched w elems
   end
 
-let charge_custom w ~instrs ~txns =
-  let c = Warp.counter w in
-  let cfg = Warp.cfg w in
-  c.Counter.gmem_instrs <- c.Counter.gmem_instrs +. instrs;
-  c.Counter.gmem_transactions <-
-    c.Counter.gmem_transactions +. float_of_int txns;
-  c.Counter.gmem_bytes <-
-    c.Counter.gmem_bytes +. float_of_int (txns * cfg.Config.transaction_bytes)
+let charge_custom w ~instrs ~txns = Warp.charge_gmem w ~instrs ~txns
 
 let gmem_strided_read w ~elems ~stride_bytes =
   if elems > 0 then begin

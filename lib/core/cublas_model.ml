@@ -76,7 +76,7 @@ let charge_factor w ~s =
     Charge.gmem_coalesced w ~elems:s
   done;
   Charge.gmem_coalesced w ~elems:s;
-  Counter.credit_flops (Warp.counter w) (Flops.getrf s)
+  Warp.credit_flops w (Flops.getrf s)
 
 let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs (b : Batch.t) =
@@ -95,8 +95,10 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     charge_factor w ~s
   in
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"cublas.getrf" ~prec ~mode
-      ~sizes:b.Batch.sizes ~kernel ()
+    (* Analytic charges: pure function of the (uniform) size, constant
+       salt. *)
+    Sampling.run ~cfg ~pool ?obs ~name:"cublas.getrf" ~cache:(fun _ -> 0)
+      ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
   in
   { factors; pivots; info; stats; exact = (mode = Sampling.Exact) }
 
@@ -126,7 +128,7 @@ let charge_solve w ~s =
   Charge.div w (float_of_int s);
   pass ();
   Charge.gmem_coalesced w ~elems:s;
-  Counter.credit_flops (Warp.counter w) (Flops.trsv_pair s)
+  Warp.credit_flops w (Flops.trsv_pair s)
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs (r : result)
@@ -144,7 +146,7 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     charge_solve w ~s
   in
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"cublas.getrs" ~prec ~mode
-      ~sizes:rhs.Batch.vsizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"cublas.getrs" ~cache:(fun _ -> 0)
+      ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
   in
   { solutions; solve_info; solve_stats = stats; solve_exact = (mode = Sampling.Exact) }

@@ -55,54 +55,85 @@ let stage prec (a : Csr.t) =
     d_values = Gmem.of_array prec a.Csr.values;
   }
 
+(* Arena slot map shared by both strategies: regs 0/1 row-pointer loads,
+   2 column indices, 3 values, 4 staging for stores, 5 zero splat; masks
+   0 = lane<s, 1 = per-chunk activity, 2 = in-block matches; addr slot 0
+   for addresses (lo/hi row pointers live in host int arrays — the CSR
+   walk is host bookkeeping, not lane traffic). *)
+let t_ptr_lo = 0
+let t_ptr_hi = 1
+let t_cols = 2
+let t_vals = 3
+let t_stage = 4
+let t_zero = 5
+
 let store_block w gout ~off ~s tile =
   let p = Warp.size w in
-  let active = Array.init p (fun lane -> lane < s) in
+  let active = Warp.mask_slot w 0 in
+  let addrs = Warp.addr_slot w 0 in
+  let vals = Warp.reg w t_stage in
+  for lane = 0 to p - 1 do
+    active.(lane) <- lane < s
+  done;
   for j = 0 to s - 1 do
-    let addrs =
-      Array.init p (fun lane -> off + (if lane < s then lane + (j * s) else 0))
-    in
-    let vals = Array.init p (fun lane -> if lane < s then tile.(lane).(j) else 0.0) in
+    for lane = 0 to p - 1 do
+      addrs.(lane) <- off + (if lane < s then lane + (j * s) else 0);
+      vals.(lane) <- (if lane < s then tile.(lane).(j) else 0.0)
+    done;
     Warp.store w gout ~active addrs vals
   done
+
+let load_row_ptrs w dev ~start ~s =
+  let p = Warp.size w in
+  let active = Warp.mask_slot w 0 in
+  let addrs = Warp.addr_slot w 0 in
+  for lane = 0 to p - 1 do
+    active.(lane) <- lane < s;
+    addrs.(lane) <- start + min lane (s - 1)
+  done;
+  Warp.load_into w dev.d_row_ptr ~active addrs ~dst:(Warp.reg w t_ptr_lo);
+  for lane = 0 to p - 1 do
+    addrs.(lane) <- start + min lane (s - 1) + 1
+  done;
+  Warp.load_into w dev.d_row_ptr ~active addrs ~dst:(Warp.reg w t_ptr_hi);
+  Warp.round_barrier w;
+  let lo = Array.map int_of_float (Warp.reg w t_ptr_lo)
+  and hi = Array.map int_of_float (Warp.reg w t_ptr_hi) in
+  (lo, hi)
 
 (* Naive strategy: lane r walks CSR row (start + r) alone; the warp spins
    for the longest row. *)
 let kernel_naive w dev gout ~off ~start ~s =
   let p = Warp.size w in
-  let active = Array.init p (fun lane -> lane < s) in
-  let ptr_lo =
-    Warp.load w dev.d_row_ptr ~active
-      (Array.init p (fun lane -> start + min lane (s - 1)))
-  in
-  let ptr_hi =
-    Warp.load w dev.d_row_ptr ~active
-      (Array.init p (fun lane -> start + min lane (s - 1) + 1))
-  in
-  Warp.round_barrier w;
-  let lo = Array.map int_of_float ptr_lo and hi = Array.map int_of_float ptr_hi in
+  let lo, hi = load_row_ptrs w dev ~start ~s in
+  let act = Warp.mask_slot w 1 in
+  let matched = Warp.mask_slot w 2 in
+  let addrs = Warp.addr_slot w 0 in
+  let cols = Warp.reg w t_cols
+  and vals = Warp.reg w t_vals in
   let maxlen = ref 0 in
   for lane = 0 to s - 1 do
     maxlen := max !maxlen (hi.(lane) - lo.(lane))
   done;
   let tile = Array.make_matrix s s 0.0 in
   for it = 0 to !maxlen - 1 do
-    let act = Array.init p (fun lane -> lane < s && lo.(lane) + it < hi.(lane)) in
-    let addrs =
-      Array.init p (fun lane ->
-          if act.(lane) then lo.(lane) + it else lo.(0))
-    in
-    let cols = Warp.load w dev.d_col_idx ~active:act addrs in
+    for lane = 0 to p - 1 do
+      act.(lane) <- lane < s && lo.(lane) + it < hi.(lane);
+      addrs.(lane) <- (if act.(lane) then lo.(lane) + it else lo.(0))
+    done;
+    Warp.load_into w dev.d_col_idx ~active:act addrs ~dst:cols;
     (* In-block test: two compare instructions. *)
     Charge.fma w 2.0;
-    let matched =
-      Array.init p (fun lane ->
-          act.(lane)
-          && int_of_float cols.(lane) >= start
-          && int_of_float cols.(lane) < start + s)
-    in
-    if Array.exists (fun x -> x) matched then begin
-      let vals = Warp.load w dev.d_values ~active:matched addrs in
+    let any = ref false in
+    for lane = 0 to p - 1 do
+      matched.(lane) <-
+        act.(lane)
+        && int_of_float cols.(lane) >= start
+        && int_of_float cols.(lane) < start + s;
+      if matched.(lane) then any := true
+    done;
+    if !any then begin
+      Warp.load_into w dev.d_values ~active:matched addrs ~dst:vals;
       for lane = 0 to s - 1 do
         if matched.(lane) then
           tile.(lane).(int_of_float cols.(lane) - start) <- vals.(lane)
@@ -115,27 +146,24 @@ let kernel_naive w dev gout ~off ~start ~s =
    chunks and parks matches in shared memory. *)
 let kernel_shared w dev gout ~off ~start ~s =
   let p = Warp.size w in
-  let active = Array.init p (fun lane -> lane < s) in
-  let ptr_lo =
-    Warp.load w dev.d_row_ptr ~active
-      (Array.init p (fun lane -> start + min lane (s - 1)))
-  in
-  let ptr_hi =
-    Warp.load w dev.d_row_ptr ~active
-      (Array.init p (fun lane -> start + min lane (s - 1) + 1))
-  in
-  Warp.round_barrier w;
-  let lo = Array.map int_of_float ptr_lo and hi = Array.map int_of_float ptr_hi in
+  let lo, hi = load_row_ptrs w dev ~start ~s in
+  let act = Warp.mask_slot w 1 in
+  let matched = Warp.mask_slot w 2 in
+  let addrs = Warp.addr_slot w 0 in
+  let cols = Warp.reg w t_cols
+  and vals = Warp.reg w t_vals in
   let tile = Warp.smem_alloc w (s * s) in
   (* Zero the tile cooperatively. *)
-  let zero = Array.make p 0.0 in
+  let zero = Warp.reg w t_zero in
+  Array.fill zero 0 p 0.0;
   let words = s * s in
   let rec zero_chunk base =
     if base < words then begin
-      let act = Array.init p (fun lane -> base + lane < words) in
-      Warp.smem_store w tile ~active:act
-        (Array.init p (fun lane -> min (base + lane) (words - 1)))
-        zero;
+      for lane = 0 to p - 1 do
+        act.(lane) <- base + lane < words;
+        addrs.(lane) <- min (base + lane) (words - 1)
+      done;
+      Warp.smem_store w tile ~active:act addrs zero;
       zero_chunk (base + p)
     end
   in
@@ -145,33 +173,42 @@ let kernel_shared w dev gout ~off ~start ~s =
     let chunks = (len + p - 1) / p in
     for c = 0 to chunks - 1 do
       let base = lo.(r) + (c * p) in
-      let act = Array.init p (fun lane -> base + lane < hi.(r)) in
-      let addrs = Array.init p (fun lane -> min (base + lane) (hi.(r) - 1)) in
-      let cols = Warp.load w dev.d_col_idx ~active:act addrs in
+      for lane = 0 to p - 1 do
+        act.(lane) <- base + lane < hi.(r);
+        addrs.(lane) <- min (base + lane) (hi.(r) - 1)
+      done;
+      Warp.load_into w dev.d_col_idx ~active:act addrs ~dst:cols;
       Charge.fma w 2.0;
-      let matched =
-        Array.init p (fun lane ->
-            act.(lane)
-            && int_of_float cols.(lane) >= start
-            && int_of_float cols.(lane) < start + s)
-      in
-      if Array.exists (fun x -> x) matched then begin
-        let vals = Warp.load w dev.d_values ~active:matched addrs in
-        Warp.smem_store w tile ~active:matched
-          (Array.init p (fun lane ->
-               if matched.(lane) then r + ((int_of_float cols.(lane) - start) * s)
-               else 0))
-          vals
+      let any = ref false in
+      for lane = 0 to p - 1 do
+        matched.(lane) <-
+          act.(lane)
+          && int_of_float cols.(lane) >= start
+          && int_of_float cols.(lane) < start + s;
+        if matched.(lane) then any := true
+      done;
+      if !any then begin
+        Warp.load_into w dev.d_values ~active:matched addrs ~dst:vals;
+        for lane = 0 to p - 1 do
+          addrs.(lane) <-
+            (if matched.(lane) then r + ((int_of_float cols.(lane) - start) * s)
+             else 0)
+        done;
+        Warp.smem_store w tile ~active:matched addrs vals
       end
     done
   done;
   (* Hand each row to the thread that will factorize it, then write back. *)
   let dense = Array.make_matrix s s 0.0 in
+  let active = Warp.mask_slot w 0 in
+  for lane = 0 to p - 1 do
+    active.(lane) <- lane < s
+  done;
   for j = 0 to s - 1 do
-    let vals =
-      Warp.smem_load w tile ~active
-        (Array.init p (fun lane -> min lane (s - 1) + (j * s)))
-    in
+    for lane = 0 to p - 1 do
+      addrs.(lane) <- min lane (s - 1) + (j * s)
+    done;
+    Warp.smem_load_into w tile ~active addrs ~dst:vals;
     for lane = 0 to s - 1 do
       dense.(lane).(j) <- vals.(lane)
     done
@@ -193,6 +230,8 @@ let extract ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     | Row_per_thread -> kernel_naive w dev gout ~off ~start ~s
     | Shared_memory -> kernel_shared w dev gout ~off ~start ~s
   in
+  (* No ?cache here: the charge stream depends on the CSR sparsity pattern
+     of each block, which no compact salt can encode. *)
   let stats =
     Sampling.run ~cfg ~pool ?obs
       ~name:

@@ -25,6 +25,32 @@ let create () =
     useful_flops = 0.0;
   }
 
+let copy x =
+  {
+    fma_instrs = x.fma_instrs;
+    div_instrs = x.div_instrs;
+    shfl_instrs = x.shfl_instrs;
+    smem_accesses = x.smem_accesses;
+    gmem_instrs = x.gmem_instrs;
+    gmem_transactions = x.gmem_transactions;
+    gmem_bytes = x.gmem_bytes;
+    gmem_elems = x.gmem_elems;
+    gmem_rounds = x.gmem_rounds;
+    useful_flops = x.useful_flops;
+  }
+
+let reset t =
+  t.fma_instrs <- 0.0;
+  t.div_instrs <- 0.0;
+  t.shfl_instrs <- 0.0;
+  t.smem_accesses <- 0.0;
+  t.gmem_instrs <- 0.0;
+  t.gmem_transactions <- 0.0;
+  t.gmem_bytes <- 0.0;
+  t.gmem_elems <- 0.0;
+  t.gmem_rounds <- 0;
+  t.useful_flops <- 0.0
+
 let add acc x =
   acc.fma_instrs <- acc.fma_instrs +. x.fma_instrs;
   acc.div_instrs <- acc.div_instrs +. x.div_instrs;

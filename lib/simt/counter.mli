@@ -41,6 +41,14 @@ type t = {
 
 val create : unit -> t
 
+val copy : t -> t
+(** A detached snapshot — used to bank a reused warp's per-problem counts
+    before the warp is reset for the next problem, and to hand out private
+    copies of cached counters (callers mutate their copy via {!add}). *)
+
+val reset : t -> unit
+(** Zero every field in place — the counter half of [Warp.reset]. *)
+
 val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc].  Every field sums, with one
     exception: [gmem_rounds] merges with [max], not [+].  Rounds model the

@@ -51,3 +51,58 @@ val empty_stats : unit -> stats
     warps, and a fresh all-zero counter. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** Cross-launch per-warp counter cache.
+
+    A cacheable kernel's counters are a pure function of the cache {!Cache.key}
+    — kernel name, precision, problem size, device config and an integer
+    [salt] encoding option flags that change the charge stream (ABFT
+    on/off, number of right-hand sides, …).  [Sampling.run ?cache] runs the
+    first warp of each size class charging and stores a snapshot; later
+    warps of the class execute charge-free (numerics and faults untouched)
+    and receive a copy of the cached counter.  Safety: the warp's
+    always-on event signature is compared against the entry's — any
+    divergence (a data-dependent path, e.g. a breakdown early-exit)
+    triggers a charging rerun of that problem instead of using the cache.
+    Injection-armed launches bypass the cache entirely.
+
+    The cache is global and thread-safe; entries are never invalidated
+    (keys are value-types and the mapping is pure), but {!Cache.clear}
+    empties it for tests and {!Cache.set_enabled} turns lookups off. *)
+module Cache : sig
+  type key = private {
+    kernel : string;
+    prec : Precision.t;
+    size : int;
+    salt : int;
+    cfg : Config.t;
+  }
+
+  type entry = { counter : Counter.t; events : int array }
+
+  val key :
+    kernel:string -> prec:Precision.t -> size:int -> salt:int -> cfg:Config.t ->
+    key
+
+  val find : key -> entry option
+  (** The returned counter is shared — callers must {!Counter.copy} before
+      mutating (as [Sampling] does). *)
+
+  val store : key -> counter:Counter.t -> events:int array -> unit
+  (** [counter] and [events] are owned by the cache after the call; pass
+      detached snapshots. *)
+
+  val enabled : unit -> bool
+
+  val set_enabled : bool -> unit
+  (** Default: enabled.  Disabling stops lookups {e and} stores. *)
+
+  val note_hit : unit -> unit
+
+  val note_miss : unit -> unit
+
+  val stats : unit -> int * int
+  (** [(hits, misses)] since start (or the last {!clear}). *)
+
+  val clear : unit -> unit
+end

@@ -40,8 +40,36 @@ let record_launch obs ~name ~prec (stats : Launch.stats) =
     Vblu_obs.Ctx.observe obs "launch.gflops.hist" stats.Launch.gflops
   end
 
+(* Per-domain warp recycling: warps now own a preallocated scratch arena,
+   so creating one per problem would dominate small launches.  Each domain
+   keeps one warp per (config, precision) and resets it between problems;
+   re-entrant use (a kernel callback that itself launches) falls back to a
+   fresh throwaway warp. *)
+let domain_warps :
+    (Config.t * Vblu_smallblas.Precision.t, Warp.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let with_warp ~cfg ?inject prec f =
+  let tbl = Domain.DLS.get domain_warps in
+  let k = (cfg, prec) in
+  let w =
+    match Hashtbl.find_opt tbl k with
+    | Some w -> w
+    | None ->
+      let w = Warp.create ~cfg prec () in
+      Hashtbl.add tbl k w;
+      w
+  in
+  if Warp.acquire w then
+    Fun.protect
+      ~finally:(fun () -> Warp.release w)
+      (fun () ->
+        Warp.reset ?inject w;
+        f w)
+  else f (Warp.create ~cfg ?inject prec ())
+
 let run ?(cfg = Config.p100) ?(pool = Pool.sequential) ?faults ?obs
-    ?(name = "launch") ~prec ~mode ~sizes ~kernel () =
+    ?(name = "launch") ?cache ~prec ~mode ~sizes ~kernel () =
   let n = Array.length sizes in
   if n = 0 then Launch.empty_stats ()
   else begin
@@ -61,6 +89,46 @@ let run ?(cfg = Config.p100) ?(pool = Pool.sequential) ?faults ?obs
         max_warp := c
       end
     in
+    (* The counter cache applies only to injection-free launches: an armed
+       plan must both fire its faults and charge real counters, so it
+       bypasses lookups and stores entirely. *)
+    let use_cache =
+      match (cache, faults) with
+      | Some _, None -> Launch.Cache.enabled ()
+      | _ -> false
+    in
+    let salt_of = match cache with Some f -> f | None -> fun _ -> 0 in
+    let run_cached w key i =
+      match Launch.Cache.find key with
+      | Some entry ->
+        (* Replay charge-free; the event signature certifies the stream
+           matched the cached one.  A mismatch (data-dependent path, e.g.
+           a breakdown early-exit) reruns the problem charging — kernels
+           are idempotent per problem, inputs and outputs are separate
+           buffers — and re-stores, so a poisoned first entry heals. *)
+        Warp.set_charging w false;
+        kernel w i;
+        if Warp.events w = entry.Launch.Cache.events then begin
+          Launch.Cache.note_hit ();
+          Counter.copy entry.Launch.Cache.counter
+        end
+        else begin
+          Launch.Cache.note_miss ();
+          Warp.reset w;
+          kernel w i;
+          let c = Counter.copy (Warp.counter w) in
+          Launch.Cache.store key ~counter:(Counter.copy c)
+            ~events:(Warp.events w);
+          c
+        end
+      | None ->
+        Launch.Cache.note_miss ();
+        kernel w i;
+        let c = Counter.copy (Warp.counter w) in
+        Launch.Cache.store key ~counter:(Counter.copy c)
+          ~events:(Warp.events w);
+        c
+    in
     let run_warp i =
       let inject =
         match faults with
@@ -68,9 +136,16 @@ let run ?(cfg = Config.p100) ?(pool = Pool.sequential) ?faults ?obs
         | Some p ->
           Vblu_fault.Fault.Injector.create p ~problem:i ~size:sizes.(i)
       in
-      let w = Warp.create ~cfg ?inject prec () in
-      kernel w i;
-      Warp.counter w
+      with_warp ~cfg ?inject prec (fun w ->
+          if use_cache then
+            run_cached w
+              (Launch.Cache.key ~kernel:name ~prec ~size:sizes.(i)
+                 ~salt:(salt_of i) ~cfg)
+              i
+          else begin
+            kernel w i;
+            Counter.copy (Warp.counter w)
+          end)
     in
     (match mode with
     | Exact ->

@@ -32,6 +32,7 @@ val run :
   ?faults:Vblu_fault.Fault.Plan.t ->
   ?obs:Vblu_obs.Ctx.t ->
   ?name:string ->
+  ?cache:(int -> int) ->
   prec:Precision.t ->
   mode:mode ->
   sizes:int array ->
@@ -64,6 +65,24 @@ val run :
     bit-identical for every domain count; when [?obs] is absent nothing is
     evaluated and the launch is bit-identical to pre-instrumentation
     behaviour.
+
+    [?cache] opts the launch into the cross-launch counter cache
+    ({!Launch.Cache}): [cache i] is problem [i]'s key salt, and must
+    injectively encode everything besides (kernel name, precision, size,
+    config) that the problem's counters depend on — option flags that
+    change the charge stream (ABFT on/off, rhs count, …) {e and} the
+    alignment classes ([offset mod] elements-per-transaction) of every
+    device buffer the kernel addresses, since coalescing charges see raw
+    addresses.  Only kernels whose counters are a pure function of the
+    resulting key may opt in — per-warp counters for cached problems are
+    copied from the first charging execution of the key class while the
+    kernel replays charge-free (numerics unchanged).  Every replay's op-event signature is checked against the
+    cached one; a divergent stream (e.g. a breakdown early-exit) falls
+    back to a charging rerun of that problem, so even value-dependent
+    corner paths stay exact.  Launches with [?faults] armed bypass the
+    cache entirely.  Warps are recycled per domain across problems and
+    launches; kernels must not retain lane arrays borrowed from the warp
+    arena beyond their own invocation.
 
     An empty batch is a defined no-op returning {!Launch.empty_stats}
     and records nothing. *)

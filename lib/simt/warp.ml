@@ -1,16 +1,94 @@
 open Vblu_smallblas
 open Vblu_fault
 
+(* Arena geometry: enough lane-width register slots for the widest kernel
+   (batched GEMM holds two full 32-column tiles plus a handful of vector
+   temporaries), plus predication-mask and address scratch.  At 32 lanes
+   the whole arena is ~20 KB per warp, and warps are reused across
+   problems, so the cost is per-domain, not per-problem. *)
+let reg_slots = 72
+let mask_slots = 8
+let addr_slots = 4
+
+(* Segment scratch for the coalescing counter: open-addressed, generation
+   stamped.  A warp access touches at most [warp_size] distinct segments
+   (32), so 64 slots keep the load factor at or below one half. *)
+let seg_slots = 64
+
 type t = {
   cfg : Config.t;
   prec : Precision.t;
   counter : Counter.t;
   size : int;
-  inject : Fault.Injector.t option;
+  mutable inject : Fault.Injector.t option;
+  mutable charging : bool;
+  (* Op-event signature: always-on integer call counts, one bump per
+     issuing API call.  Cheap enough to keep in charge-free mode, where
+     they witness that a cached counter's instruction stream was replayed
+     unchanged (see Launch.Cache). *)
+  mutable ev_fma : int;
+  mutable ev_div : int;
+  mutable ev_shfl : int;
+  mutable ev_gmem : int;
+  mutable ev_smem : int;
+  mutable ev_rounds : int;
+  (* Scratch arena. *)
+  all_true : bool array;
+  seg_slot : int array;
+  seg_gen : int array;
+  mutable gen : int;
+  bank_hits : int array;
+  regs : float array array;
+  masks : bool array array;
+  addrs : int array array;
+  mutable in_use : bool;
 }
 
 let create ?(cfg = Config.p100) ?inject prec () =
-  { cfg; prec; counter = Counter.create (); size = cfg.Config.warp_size; inject }
+  let size = cfg.Config.warp_size in
+  {
+    cfg;
+    prec;
+    counter = Counter.create ();
+    size;
+    inject;
+    charging = true;
+    ev_fma = 0;
+    ev_div = 0;
+    ev_shfl = 0;
+    ev_gmem = 0;
+    ev_smem = 0;
+    ev_rounds = 0;
+    all_true = Array.make size true;
+    seg_slot = Array.make seg_slots 0;
+    seg_gen = Array.make seg_slots 0;
+    gen = 0;
+    bank_hits = Array.make cfg.Config.smem_banks 0;
+    regs = Array.init reg_slots (fun _ -> Array.make size 0.0);
+    masks = Array.init mask_slots (fun _ -> Array.make size false);
+    addrs = Array.init addr_slots (fun _ -> Array.make size 0);
+    in_use = false;
+  }
+
+let reset ?inject t =
+  Counter.reset t.counter;
+  t.inject <- inject;
+  t.charging <- true;
+  t.ev_fma <- 0;
+  t.ev_div <- 0;
+  t.ev_shfl <- 0;
+  t.ev_gmem <- 0;
+  t.ev_smem <- 0;
+  t.ev_rounds <- 0
+
+let set_charging t b = t.charging <- b
+let charging t = t.charging
+
+let events t =
+  [| t.ev_fma; t.ev_div; t.ev_shfl; t.ev_gmem; t.ev_smem; t.ev_rounds |]
+
+let acquire t = if t.in_use then false else (t.in_use <- true; true)
+let release t = t.in_use <- false
 
 let fault_step t k =
   match t.inject with None -> () | Some inj -> Fault.Injector.step inj k
@@ -37,6 +115,11 @@ let counter t = t.counter
 let cfg t = t.cfg
 let lanes t = Array.init t.size (fun i -> i)
 
+let reg t i = t.regs.(i)
+let mask_slot t i = t.masks.(i)
+let addr_slot t i = t.addrs.(i)
+let all_lanes t = t.all_true
+
 let check_lanes t a name =
   if Array.length a <> t.size then
     invalid_arg (name ^ ": lane array of wrong width")
@@ -45,86 +128,195 @@ let active_or_all t = function
   | Some a ->
     check_lanes t a "Warp.active";
     a
-  | None -> Array.make t.size true
+  | None -> t.all_true
 
-let charge_fma t = t.counter.Counter.fma_instrs <- t.counter.Counter.fma_instrs +. 1.0
+(* {1 Charging} — every issuing call bumps its event; the float counter
+   work is skipped when the warp runs charge-free. *)
 
-let charge_div t = t.counter.Counter.div_instrs <- t.counter.Counter.div_instrs +. 1.0
+let charge_fma t n =
+  t.ev_fma <- t.ev_fma + 1;
+  if t.charging then
+    t.counter.Counter.fma_instrs <- t.counter.Counter.fma_instrs +. n
+
+let charge_div t n =
+  t.ev_div <- t.ev_div + 1;
+  if t.charging then
+    t.counter.Counter.div_instrs <- t.counter.Counter.div_instrs +. n
 
 let charge_shfl t n =
-  t.counter.Counter.shfl_instrs <- t.counter.Counter.shfl_instrs +. n
+  t.ev_shfl <- t.ev_shfl + 1;
+  if t.charging then
+    t.counter.Counter.shfl_instrs <- t.counter.Counter.shfl_instrs +. n
 
-let lanewise2 t ?active op name a b =
-  check_lanes t a name;
-  check_lanes t b name;
-  let act = active_or_all t active in
-  charge_fma t;
-  apply_fault t Register
-    (Array.init t.size (fun i ->
-         if act.(i) then Precision.round t.prec (op a.(i) b.(i)) else a.(i)))
+let charge_smem t n =
+  t.ev_smem <- t.ev_smem + 1;
+  if t.charging then
+    t.counter.Counter.smem_accesses <- t.counter.Counter.smem_accesses +. n
 
-let fma t ?active a b c =
+let charge_gmem t ~instrs ~txns =
+  t.ev_gmem <- t.ev_gmem + 1;
+  if t.charging then begin
+    t.counter.Counter.gmem_instrs <- t.counter.Counter.gmem_instrs +. instrs;
+    t.counter.Counter.gmem_transactions <-
+      t.counter.Counter.gmem_transactions +. float_of_int txns;
+    t.counter.Counter.gmem_bytes <-
+      t.counter.Counter.gmem_bytes
+      +. float_of_int (txns * t.cfg.Config.transaction_bytes)
+  end
+
+let charge_gmem_elems t n =
+  t.ev_gmem <- t.ev_gmem + 1;
+  if t.charging then
+    t.counter.Counter.gmem_elems <-
+      t.counter.Counter.gmem_elems +. float_of_int n
+
+let credit_flops t f = if t.charging then Counter.credit_flops t.counter f
+
+(* {1 Arithmetic} — in-place primitives first; the allocating API wraps
+   them with a fresh destination, so both share one charging path. *)
+
+let fma_into t ?active ~dst a b c =
   check_lanes t a "Warp.fma";
   check_lanes t b "Warp.fma";
   check_lanes t c "Warp.fma";
+  check_lanes t dst "Warp.fma";
   let act = active_or_all t active in
-  charge_fma t;
-  apply_fault t Register
-    (Array.init t.size (fun i ->
-         if act.(i) then Precision.fma t.prec a.(i) b.(i) c.(i) else c.(i)))
+  charge_fma t 1.0;
+  for i = 0 to t.size - 1 do
+    dst.(i) <- (if act.(i) then Precision.fma t.prec a.(i) b.(i) c.(i) else c.(i))
+  done;
+  ignore (apply_fault t Register dst)
 
-let fnma t ?active a b c =
+let fnma_into t ?active ~dst a b c =
   check_lanes t a "Warp.fnma";
   check_lanes t b "Warp.fnma";
   check_lanes t c "Warp.fnma";
+  check_lanes t dst "Warp.fnma";
   let act = active_or_all t active in
-  charge_fma t;
-  apply_fault t Register
-    (Array.init t.size (fun i ->
-         if act.(i) then Precision.fma t.prec (-.a.(i)) b.(i) c.(i) else c.(i)))
+  charge_fma t 1.0;
+  for i = 0 to t.size - 1 do
+    dst.(i) <-
+      (if act.(i) then Precision.fma t.prec (-.a.(i)) b.(i) c.(i) else c.(i))
+  done;
+  ignore (apply_fault t Register dst)
 
-let add t ?active a b = lanewise2 t ?active ( +. ) "Warp.add" a b
-let sub t ?active a b = lanewise2 t ?active ( -. ) "Warp.sub" a b
-let mul t ?active a b = lanewise2 t ?active ( *. ) "Warp.mul" a b
+let lanewise2_into t ?active op name ~dst a b =
+  check_lanes t a name;
+  check_lanes t b name;
+  check_lanes t dst name;
+  let act = active_or_all t active in
+  charge_fma t 1.0;
+  for i = 0 to t.size - 1 do
+    dst.(i) <- (if act.(i) then Precision.round t.prec (op a.(i) b.(i)) else a.(i))
+  done;
+  ignore (apply_fault t Register dst)
 
-let div t ?active a b =
+let add_into t ?active ~dst a b = lanewise2_into t ?active ( +. ) "Warp.add" ~dst a b
+let sub_into t ?active ~dst a b = lanewise2_into t ?active ( -. ) "Warp.sub" ~dst a b
+let mul_into t ?active ~dst a b = lanewise2_into t ?active ( *. ) "Warp.mul" ~dst a b
+
+let div_into t ?active ~dst a b =
   check_lanes t a "Warp.div";
   check_lanes t b "Warp.div";
+  check_lanes t dst "Warp.div";
   let act = active_or_all t active in
-  charge_div t;
-  apply_fault t Register
-    (Array.init t.size (fun i ->
-         if act.(i) then Precision.div t.prec a.(i) b.(i) else a.(i)))
+  charge_div t 1.0;
+  for i = 0 to t.size - 1 do
+    dst.(i) <- (if act.(i) then Precision.div t.prec a.(i) b.(i) else a.(i))
+  done;
+  ignore (apply_fault t Register dst)
 
-let sqrt_lanes t ?active a =
+let sqrt_into t ?active ~dst a =
   check_lanes t a "Warp.sqrt_lanes";
+  check_lanes t dst "Warp.sqrt_lanes";
   let act = active_or_all t active in
-  charge_div t;
-  apply_fault t Register
-    (Array.init t.size (fun i ->
-         if act.(i) then Precision.round t.prec (sqrt a.(i)) else a.(i)))
+  charge_div t 1.0;
+  for i = 0 to t.size - 1 do
+    dst.(i) <- (if act.(i) then Precision.round t.prec (sqrt a.(i)) else a.(i))
+  done;
+  ignore (apply_fault t Register dst)
 
-let select t m a b =
+let select_into t ~dst m a b =
   check_lanes t m "Warp.select";
   check_lanes t a "Warp.select";
   check_lanes t b "Warp.select";
-  charge_fma t;
-  Array.init t.size (fun i -> if m.(i) then a.(i) else b.(i))
+  check_lanes t dst "Warp.select";
+  charge_fma t 1.0;
+  for i = 0 to t.size - 1 do
+    dst.(i) <- (if m.(i) then a.(i) else b.(i))
+  done
 
-let broadcast t x ~src =
+let broadcast_into t ~dst x ~src =
   check_lanes t x "Warp.broadcast";
+  check_lanes t dst "Warp.broadcast";
   if src < 0 || src >= t.size then invalid_arg "Warp.broadcast: bad source lane";
   charge_shfl t 1.0;
-  Array.make t.size x.(src)
+  (* Read before fill: [dst] may alias [x]. *)
+  let v = x.(src) in
+  Array.fill dst 0 t.size v
+
+let fma t ?active a b c =
+  let dst = Array.make t.size 0.0 in
+  fma_into t ?active ~dst a b c;
+  dst
+
+let fnma t ?active a b c =
+  let dst = Array.make t.size 0.0 in
+  fnma_into t ?active ~dst a b c;
+  dst
+
+let add t ?active a b =
+  let dst = Array.make t.size 0.0 in
+  add_into t ?active ~dst a b;
+  dst
+
+let sub t ?active a b =
+  let dst = Array.make t.size 0.0 in
+  sub_into t ?active ~dst a b;
+  dst
+
+let mul t ?active a b =
+  let dst = Array.make t.size 0.0 in
+  mul_into t ?active ~dst a b;
+  dst
+
+let div t ?active a b =
+  let dst = Array.make t.size 0.0 in
+  div_into t ?active ~dst a b;
+  dst
+
+let sqrt_lanes t ?active a =
+  let dst = Array.make t.size 0.0 in
+  sqrt_into t ?active ~dst a;
+  dst
+
+let select t m a b =
+  let dst = Array.make t.size 0.0 in
+  select_into t ~dst m a b;
+  dst
+
+let broadcast t x ~src =
+  let dst = Array.make t.size 0.0 in
+  broadcast_into t ~dst x ~src;
+  dst
+
+(* Exact integer ceil(log2 n) — the float round-trip through [log] it
+   replaces was correct only by luck of the libm at the sizes we use. *)
+let ceil_log2 n =
+  let r = ref 0 and v = ref 1 in
+  while !v < n do
+    incr r;
+    v := !v * 2
+  done;
+  !r
 
 let argmax_abs t ?active x =
   check_lanes t x "Warp.argmax_abs";
   let act = active_or_all t active in
   (* Butterfly reduction: log2(size) shuffle + compare/select rounds. *)
-  let rounds = int_of_float (ceil (log (float_of_int t.size) /. log 2.0)) in
+  let rounds = ceil_log2 t.size in
   charge_shfl t (float_of_int rounds);
-  t.counter.Counter.fma_instrs <-
-    t.counter.Counter.fma_instrs +. float_of_int rounds;
+  charge_fma t (float_of_int rounds);
   let best = ref (-1) in
   for i = 0 to t.size - 1 do
     if act.(i) && (!best < 0 || Float.abs x.(i) > Float.abs x.(!best)) then
@@ -136,37 +328,65 @@ let argmax_abs t ?active x =
 (* Coalescing: distinct transaction segments touched by the active lanes.
    A perfectly coalesced access costs one issue slot; address divergence
    serializes into replays — charged as the ratio of touched segments to
-   the coalesced minimum (two segments per replay slot). *)
+   the coalesced minimum (two segments per replay slot).  The distinct-
+   segment count runs over the warp's generation-stamped scratch table:
+   no per-access table allocation, and a single stamp bump retires the
+   previous access's entries. *)
 let count_transactions t mem addrs act =
-  let seg_elems = Config.elements_per_transaction t.cfg (Gmem.prec mem) in
-  let segs = Hashtbl.create 8 in
-  let active = ref 0 in
-  Array.iteri
-    (fun i a ->
+  t.ev_gmem <- t.ev_gmem + 1;
+  if t.charging then begin
+    let seg_elems = Config.elements_per_transaction t.cfg (Gmem.prec mem) in
+    t.gen <- t.gen + 1;
+    let stamp = t.gen in
+    let n = ref 0 in
+    let active = ref 0 in
+    for i = 0 to t.size - 1 do
       if act.(i) then begin
         incr active;
-        Hashtbl.replace segs (a / seg_elems) ()
-      end)
-    addrs;
-  let n = Hashtbl.length segs in
-  let min_txns = max 1 ((!active + seg_elems - 1) / seg_elems) in
-  let replays = Float.max 1.0 (float_of_int n /. float_of_int min_txns /. 2.0) in
-  t.counter.Counter.gmem_instrs <- t.counter.Counter.gmem_instrs +. replays;
-  t.counter.Counter.gmem_transactions <-
-    t.counter.Counter.gmem_transactions +. float_of_int n;
-  t.counter.Counter.gmem_bytes <-
-    t.counter.Counter.gmem_bytes
-    +. float_of_int (n * t.cfg.Config.transaction_bytes);
-  t.counter.Counter.gmem_elems <-
-    t.counter.Counter.gmem_elems +. float_of_int !active
+        let s = addrs.(i) / seg_elems in
+        let h = ref (s * 0x9e3779b1 land (seg_slots - 1)) in
+        let scanning = ref true in
+        while !scanning do
+          if t.seg_gen.(!h) <> stamp then begin
+            t.seg_gen.(!h) <- stamp;
+            t.seg_slot.(!h) <- s;
+            incr n;
+            scanning := false
+          end
+          else if t.seg_slot.(!h) = s then scanning := false
+          else h := (!h + 1) land (seg_slots - 1)
+        done
+      end
+    done;
+    let n = !n in
+    let min_txns = max 1 ((!active + seg_elems - 1) / seg_elems) in
+    let replays =
+      Float.max 1.0 (float_of_int n /. float_of_int min_txns /. 2.0)
+    in
+    t.counter.Counter.gmem_instrs <- t.counter.Counter.gmem_instrs +. replays;
+    t.counter.Counter.gmem_transactions <-
+      t.counter.Counter.gmem_transactions +. float_of_int n;
+    t.counter.Counter.gmem_bytes <-
+      t.counter.Counter.gmem_bytes
+      +. float_of_int (n * t.cfg.Config.transaction_bytes);
+    t.counter.Counter.gmem_elems <-
+      t.counter.Counter.gmem_elems +. float_of_int !active
+  end
 
-let load t mem ?active addrs =
+let load_into t mem ?active addrs ~dst =
   check_lanes t addrs "Warp.load";
+  check_lanes t dst "Warp.load";
   let act = active_or_all t active in
   count_transactions t mem addrs act;
-  apply_fault t Global
-    (Array.init t.size (fun i ->
-         if act.(i) then Gmem.get mem addrs.(i) else 0.0))
+  for i = 0 to t.size - 1 do
+    dst.(i) <- (if act.(i) then Gmem.get mem addrs.(i) else 0.0)
+  done;
+  ignore (apply_fault t Global dst)
+
+let load t mem ?active addrs =
+  let dst = Array.make t.size 0.0 in
+  load_into t mem ?active addrs ~dst;
+  dst
 
 let store t mem ?active addrs values =
   check_lanes t addrs "Warp.store";
@@ -185,29 +405,37 @@ let store t mem ?active addrs values =
     | _ -> ())
 
 let round_barrier t =
-  t.counter.Counter.gmem_rounds <- t.counter.Counter.gmem_rounds + 1
+  t.ev_rounds <- t.ev_rounds + 1;
+  if t.charging then
+    t.counter.Counter.gmem_rounds <- t.counter.Counter.gmem_rounds + 1
 
 type smem = { data : float array }
 
 let smem_alloc _t n = { data = Array.make n 0.0 }
 
-let charge_smem t sm addrs act =
+let charge_smem_access t sm addrs act =
   (* Serialized passes = worst bank multiplicity (same-address lanes would
      broadcast, but the small-block kernels never co-address, so we charge
      the simple rule). *)
-  let banks = t.cfg.Config.smem_banks in
-  let hits = Array.make banks 0 in
-  Array.iteri (fun i a -> if act.(i) then hits.(a mod banks) <- hits.(a mod banks) + 1) addrs;
-  let passes = Array.fold_left max 1 hits in
+  t.ev_smem <- t.ev_smem + 1;
   ignore sm;
-  t.counter.Counter.smem_accesses <-
-    t.counter.Counter.smem_accesses +. float_of_int passes
+  if t.charging then begin
+    let banks = t.cfg.Config.smem_banks in
+    let hits = t.bank_hits in
+    Array.fill hits 0 banks 0;
+    Array.iteri
+      (fun i a -> if act.(i) then hits.(a mod banks) <- hits.(a mod banks) + 1)
+      addrs;
+    let passes = Array.fold_left max 1 hits in
+    t.counter.Counter.smem_accesses <-
+      t.counter.Counter.smem_accesses +. float_of_int passes
+  end
 
 let smem_store t sm ?active addrs values =
   check_lanes t addrs "Warp.smem_store";
   check_lanes t values "Warp.smem_store";
   let act = active_or_all t active in
-  charge_smem t sm addrs act;
+  charge_smem_access t sm addrs act;
   Array.iteri
     (fun i a -> if act.(i) then sm.data.(a) <- Precision.round t.prec values.(i))
     addrs;
@@ -219,11 +447,19 @@ let smem_store t sm ?active addrs values =
       sm.data.(addrs.(lane)) <- Fault.corrupt kind sm.data.(addrs.(lane))
     | _ -> ()))
 
-let smem_load t sm ?active addrs =
+let smem_load_into t sm ?active addrs ~dst =
   check_lanes t addrs "Warp.smem_load";
+  check_lanes t dst "Warp.smem_load";
   let act = active_or_all t active in
-  charge_smem t sm addrs act;
-  apply_fault t Shared
-    (Array.init t.size (fun i -> if act.(i) then sm.data.(addrs.(i)) else 0.0))
+  charge_smem_access t sm addrs act;
+  for i = 0 to t.size - 1 do
+    dst.(i) <- (if act.(i) then sm.data.(addrs.(i)) else 0.0)
+  done;
+  ignore (apply_fault t Shared dst)
+
+let smem_load t sm ?active addrs =
+  let dst = Array.make t.size 0.0 in
+  smem_load_into t sm ?active addrs ~dst;
+  dst
 
 let smem_read sm i = sm.data.(i)

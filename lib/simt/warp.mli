@@ -6,7 +6,24 @@
     predication mask, and cross-lane data movement goes through shuffles.
     Every operation charges the warp's {!Counter.t}; predicated-off lanes
     still cost full issue slots (the SIMT execution rule that makes the
-    paper's explicit row swap expensive: two active lanes, thirty idle). *)
+    paper's explicit row swap expensive: two active lanes, thirty idle).
+
+    {b Zero-allocation discipline.}  A warp owns a scratch arena —
+    preallocated register, mask and address slots plus the internal
+    coalescing/bank-conflict scratch — and every operation has an
+    [*_into] variant writing a caller-chosen destination.  Kernel inner
+    loops run allocation-free: they borrow arena slots ({!reg},
+    {!mask_slot}, {!addr_slot}), fill masks/addresses with plain loops,
+    and chain [*_into] ops.  The allocating API remains as thin wrappers
+    (fresh destination + the same in-place primitive), so both surfaces
+    charge identically.
+
+    {b Charge-free replay.}  {!set_charging}[ w false] turns off the
+    floating-point counter work (including the coalescing segment count)
+    while numerics proceed unchanged; the integer {!events} signature keeps
+    counting issuing calls in both modes, witnessing that a replayed
+    instruction stream matches the one whose counters were cached
+    (see [Launch.Cache]). *)
 
 open Vblu_smallblas
 open Vblu_fault
@@ -14,10 +31,17 @@ open Vblu_fault
 type t
 
 val create : ?cfg:Config.t -> ?inject:Fault.Injector.t -> Precision.t -> unit -> t
-(** A fresh warp with zeroed counters.  [cfg] defaults to {!Config.p100}.
-    [inject] attaches a fault injector (default: none — the zero-overhead
-    path; without an injector, results and counters are bit-identical to a
-    fault-free build). *)
+(** A fresh warp with zeroed counters and its own scratch arena.  [cfg]
+    defaults to {!Config.p100}.  [inject] attaches a fault injector
+    (default: none — the zero-overhead path; without an injector, results
+    and counters are bit-identical to a fault-free build). *)
+
+val reset : ?inject:Fault.Injector.t -> t -> unit
+(** Recycle the warp for the next problem: zero the counters and event
+    signature, re-enable charging, and replace the injector ([None] when
+    omitted).  Arena contents are left stale — kernels overwrite every
+    slot lane they read (loads write inactive lanes as 0), so no wiping
+    pass is needed. *)
 
 val fault_step : t -> int -> unit
 (** Announce elimination step [k] to the attached injector: plan sites
@@ -38,9 +62,108 @@ val cfg : t -> Config.t
 val lanes : t -> int array
 (** [|0; 1; …; size-1|] — the lane indices ("threadIdx"). *)
 
+(** {1 Scratch arena} *)
+
+val reg : t -> int -> float array
+(** [reg w i] borrows arena register slot [i] (a lane-width float array).
+    72 slots exist — enough for two full 32-column tiles plus temporaries.
+    Slots keep their contents across operations but are clobbered by
+    whoever borrows the same index; a kernel owns the whole arena for the
+    duration of its problem.
+    @raise Invalid_argument on an out-of-range slot. *)
+
+val mask_slot : t -> int -> bool array
+(** Arena predication-mask slot (8 exist); fill with a plain loop. *)
+
+val addr_slot : t -> int -> int array
+(** Arena address-vector slot (4 exist). *)
+
+val all_lanes : t -> bool array
+(** The cached all-true mask (what [?active:None] uses internally).
+    {b Never mutate it} — it is shared by every unpredicated op. *)
+
+(** {1 Charge-free replay} *)
+
+val set_charging : t -> bool -> unit
+(** Enable/disable counter charging.  Charge-free mode skips all float
+    counter updates and the coalescing/bank analyses; numerics, faults and
+    the {!events} signature are unaffected.  {!reset} re-enables. *)
+
+val charging : t -> bool
+
+val events : t -> int array
+(** The op-event signature: issuing-call counts
+    [|fma; div; shfl; gmem; smem; rounds|], bumped once per API call in
+    both charging modes.  Two runs of a data-independent kernel produce
+    equal signatures; a divergent (e.g. breakdown) path shows up as a
+    mismatch — the safety check behind [Launch.Cache] hits. *)
+
+val acquire : t -> bool
+(** Try to mark the warp busy; [false] if it already is (re-entrant use —
+    the caller must then fall back to a fresh warp). *)
+
+val release : t -> unit
+
+(** {1 Explicit charging} — for analytically modelled kernels.  Amounts
+    are warp-instruction counts; each call also bumps the corresponding
+    event once. *)
+
+val charge_fma : t -> float -> unit
+val charge_div : t -> float -> unit
+val charge_shfl : t -> float -> unit
+
+val charge_smem : t -> float -> unit
+(** Shared-memory access slots, conflict serializations included by the
+    caller. *)
+
+val charge_gmem : t -> instrs:float -> txns:int -> unit
+(** Global-memory issue slots plus [txns] transactions and their bytes. *)
+
+val charge_gmem_elems : t -> int -> unit
+(** Logical elements touched (the pre-coalescing data volume). *)
+
+val credit_flops : t -> float -> unit
+(** Credit useful flops (no event — not an instruction).  A no-op in
+    charge-free mode. *)
+
 (** {1 Arithmetic} — one warp instruction each, lanewise, rounded to the
     warp's precision.  [?active] defaults to all lanes; inactive lanes
-    pass their [c]/first-operand value through unchanged. *)
+    pass their [c]/first-operand value through unchanged.  The [*_into]
+    forms write [~dst] (which may alias any operand — lanes are
+    independent); the plain forms allocate the result. *)
+
+val fma_into :
+  t -> ?active:bool array -> dst:float array -> float array -> float array ->
+  float array -> unit
+(** [fma_into w ~dst a b c] is lanewise [dst ← a*b + c] (single rounding);
+    inactive lanes get [c]. *)
+
+val fnma_into :
+  t -> ?active:bool array -> dst:float array -> float array -> float array ->
+  float array -> unit
+(** [dst ← c - a*b] (single rounding) — the elimination update. *)
+
+val add_into :
+  t -> ?active:bool array -> dst:float array -> float array -> float array -> unit
+
+val sub_into :
+  t -> ?active:bool array -> dst:float array -> float array -> float array -> unit
+
+val mul_into :
+  t -> ?active:bool array -> dst:float array -> float array -> float array -> unit
+
+val div_into :
+  t -> ?active:bool array -> dst:float array -> float array -> float array -> unit
+
+val sqrt_into : t -> ?active:bool array -> dst:float array -> float array -> unit
+
+val select_into :
+  t -> dst:float array -> bool array -> float array -> float array -> unit
+(** [select_into w ~dst m a b] is lanewise [dst ← if m then a else b]. *)
+
+val broadcast_into : t -> dst:float array -> float array -> src:int -> unit
+(** Every lane of [dst] gets [x.(src)] ([x] read before [dst] is filled,
+    so aliasing is fine); one shuffle instruction. *)
 
 val fma : t -> ?active:bool array -> float array -> float array -> float array -> float array
 (** [fma w a b c] is lanewise [a*b + c] (single rounding). *)
@@ -72,11 +195,18 @@ val broadcast : t -> float array -> src:int -> float array
 val argmax_abs : t -> ?active:bool array -> float array -> int
 (** Index of the lane holding the largest magnitude among active lanes —
     the pivot search, realized as a [log₂ 32]-step butterfly reduction
-    (5 shuffles + 5 compare/select pairs are charged).  Ties resolve to the
-    lowest lane index, matching the sequential reference.
+    (5 shuffles + 5 compare/select pairs are charged; the round count is
+    the exact integer ceiling log, not a float round-trip).  Ties resolve
+    to the lowest lane index, matching the sequential reference.
     @raise Invalid_argument if no lane is active. *)
 
 (** {1 Global memory} *)
+
+val load_into :
+  t -> Gmem.t -> ?active:bool array -> int array -> dst:float array -> unit
+(** In-place {!load}: active lanes read [mem\[addrs.(lane)\]] into [dst],
+    inactive lanes write 0 — every lane of [dst] is written, so reused
+    arena slots carry no stale data into the kernel. *)
 
 val load : t -> Gmem.t -> ?active:bool array -> int array -> float array
 (** [load w mem addrs] reads [mem\[addrs.(lane)\]] into each active lane
@@ -100,6 +230,9 @@ val smem_alloc : t -> int -> smem
 val smem_store : t -> smem -> ?active:bool array -> int array -> float array -> unit
 (** Bank conflicts are detected per access (lanes hitting the same bank at
     different addresses serialize) and charged as extra issue slots. *)
+
+val smem_load_into :
+  t -> smem -> ?active:bool array -> int array -> dst:float array -> unit
 
 val smem_load : t -> smem -> ?active:bool array -> int array -> float array
 

@@ -1,0 +1,281 @@
+(* Tests for the zero-allocation warp engine and the cross-launch stats
+   cache: in-place ops must be bit-identical to the allocating wrappers,
+   the generation-stamped segment table must agree with a reference
+   distinct-segment count, and Launch.Cache must be value-independent,
+   deterministic, bypassed under fault injection, and self-healing on
+   divergent (breakdown) charge streams. *)
+
+open Vblu_smallblas
+open Vblu_simt
+open Vblu_core
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let counters_equal (a : Counter.t) (b : Counter.t) =
+  Float.equal a.Counter.fma_instrs b.Counter.fma_instrs
+  && Float.equal a.Counter.div_instrs b.Counter.div_instrs
+  && Float.equal a.Counter.shfl_instrs b.Counter.shfl_instrs
+  && Float.equal a.Counter.gmem_instrs b.Counter.gmem_instrs
+  && Float.equal a.Counter.gmem_transactions b.Counter.gmem_transactions
+  && Float.equal a.Counter.gmem_bytes b.Counter.gmem_bytes
+  && Float.equal a.Counter.gmem_elems b.Counter.gmem_elems
+  && Float.equal a.Counter.smem_accesses b.Counter.smem_accesses
+  && Float.equal a.Counter.useful_flops b.Counter.useful_flops
+  && a.Counter.gmem_rounds = b.Counter.gmem_rounds
+
+let stats_equal (a : Launch.stats) (b : Launch.stats) =
+  Float.equal a.Launch.time_us b.Launch.time_us
+  && Float.equal a.Launch.gflops b.Launch.gflops
+  && Float.equal a.Launch.bandwidth_gbs b.Launch.bandwidth_gbs
+  && counters_equal a.Launch.total b.Launch.total
+
+(* ------------------------------------------------------------------ *)
+(* In-place ops vs allocating wrappers                                 *)
+
+let lane_arrays =
+  QCheck.(
+    pair
+      (array_of_size (Gen.return 32) (float_range (-100.) 100.))
+      (array_of_size (Gen.return 32) bool))
+
+let qcheck_into_parity =
+  QCheck.Test.make ~count:100 ~name:"into-ops bit-identical to allocating API"
+    QCheck.(pair lane_arrays lane_arrays)
+    (fun (((a, active), (b, _)) : (float array * bool array) * (float array * bool array)) ->
+      let c = Array.map (fun x -> x +. 1.0) b in
+      let w1 = Warp.create Precision.Double () in
+      let w2 = Warp.create Precision.Double () in
+      (* Allocating path. *)
+      let r_fma = Warp.fma w1 ~active a b c in
+      let r_fnma = Warp.fnma w1 ~active a b c in
+      let r_add = Warp.add w1 ~active a b in
+      let r_sub = Warp.sub w1 ~active a b in
+      let r_mul = Warp.mul w1 ~active a b in
+      let r_div = Warp.div w1 ~active a c in
+      let r_bc = Warp.broadcast w1 a ~src:7 in
+      (* In-place path into arena slots. *)
+      let into op =
+        let dst = Warp.reg w2 70 in
+        op ~dst;
+        Array.copy dst
+      in
+      let i_fma = into (fun ~dst -> Warp.fma_into w2 ~active ~dst a b c) in
+      let i_fnma = into (fun ~dst -> Warp.fnma_into w2 ~active ~dst a b c) in
+      let i_add = into (fun ~dst -> Warp.add_into w2 ~active ~dst a b) in
+      let i_sub = into (fun ~dst -> Warp.sub_into w2 ~active ~dst a b) in
+      let i_mul = into (fun ~dst -> Warp.mul_into w2 ~active ~dst a b) in
+      let i_div = into (fun ~dst -> Warp.div_into w2 ~active ~dst a c) in
+      let i_bc = into (fun ~dst -> Warp.broadcast_into w2 ~dst a ~src:7) in
+      let eq x y = Array.for_all2 (fun u v -> Float.equal u v) x y in
+      eq r_fma i_fma && eq r_fnma i_fnma && eq r_add i_add && eq r_sub i_sub
+      && eq r_mul i_mul && eq r_div i_div && eq r_bc i_bc
+      && counters_equal (Warp.counter w1) (Warp.counter w2))
+
+let qcheck_into_aliasing =
+  QCheck.Test.make ~count:100 ~name:"aliased dst matches unaliased result"
+    lane_arrays
+    (fun (a, active) ->
+      let b = Array.map (fun x -> (2.0 *. x) +. 1.0) a in
+      let w1 = Warp.create Precision.Double () in
+      let w2 = Warp.create Precision.Double () in
+      let r = Warp.fma w1 ~active a b a in
+      let dst = Warp.reg w2 70 in
+      Array.blit a 0 dst 0 32;
+      (* dst aliases the addend: fma_into must read before writing. *)
+      Warp.fma_into w2 ~active ~dst a b dst;
+      Array.for_all2 Float.equal r dst)
+
+(* ------------------------------------------------------------------ *)
+(* Generation-stamped segment table vs reference                       *)
+
+let qcheck_segments =
+  QCheck.Test.make ~count:200
+    ~name:"gen-stamped segment count = Hashtbl reference"
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 32) (int_range 0 4096))
+        (array_of_size (Gen.return 32) bool))
+    (fun (addrs, active) ->
+      QCheck.assume (Array.exists (fun x -> x) active);
+      let prec = Precision.Double in
+      let cfg = Config.p100 in
+      let w = Warp.create ~cfg prec () in
+      let mem = Gmem.create prec 8192 in
+      ignore (Warp.load w mem ~active addrs);
+      (* Reference: distinct segments over a Hashtbl, plus the replay
+         formula. *)
+      let per = Config.elements_per_transaction cfg prec in
+      let seen = Hashtbl.create 64 in
+      let n = ref 0 and act = ref 0 in
+      Array.iteri
+        (fun i a ->
+          if active.(i) then begin
+            incr act;
+            let s = a / per in
+            if not (Hashtbl.mem seen s) then begin
+              Hashtbl.add seen s ();
+              incr n
+            end
+          end)
+        addrs;
+      let min_txns = max 1 ((!act + per - 1) / per) in
+      let replays =
+        Float.max 1.0 (float_of_int !n /. float_of_int min_txns /. 2.0)
+      in
+      let c = Warp.counter w in
+      Float.equal c.Counter.gmem_transactions (float_of_int !n)
+      && Float.equal c.Counter.gmem_instrs replays
+      && Float.equal c.Counter.gmem_bytes
+           (float_of_int (!n * cfg.Config.transaction_bytes))
+      && Float.equal c.Counter.gmem_elems (float_of_int !act))
+
+(* ------------------------------------------------------------------ *)
+(* Launch.Cache: value-independence, determinism, bypass, healing      *)
+
+let state seed = Random.State.make [| 0xe4c; seed |]
+
+let sized_batch seed =
+  let st = state seed in
+  let sizes = Batch.random_sizes ~state:st ~count:24 ~min_size:1 ~max_size:32 () in
+  (sizes, Batch.random_diagdom ~state:st sizes)
+
+let qcheck_cache_value_independence =
+  QCheck.Test.make ~count:20
+    ~name:"cached counters independent of matrix values"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let sizes, b1 = sized_batch seed in
+      let b2 = Batch.random_diagdom ~state:(state (seed + 5000)) sizes in
+      let factor b = Batched_lu.factor ~prec:Precision.Double b in
+      (* Cold: b2 with an empty cache. *)
+      Launch.Cache.clear ();
+      let cold = (factor b2).Batched_lu.stats in
+      (* Warm: the cache primed by b1 (same sizes, different values). *)
+      Launch.Cache.clear ();
+      ignore (factor b1);
+      let warm = (factor b2).Batched_lu.stats in
+      Launch.Cache.clear ();
+      stats_equal cold warm)
+
+let test_cache_hit_determinism () =
+  let _, b = sized_batch 42 in
+  Launch.Cache.clear ();
+  let r1 = Batched_lu.factor b in
+  let h1, _ = Launch.Cache.stats () in
+  let r2 = Batched_lu.factor b in
+  let h2, _ = Launch.Cache.stats () in
+  Alcotest.(check bool) "second run hits the cache" true (h2 > h1);
+  Alcotest.(check bool) "stats bit-identical" true
+    (stats_equal r1.Batched_lu.stats r2.Batched_lu.stats);
+  Alcotest.(check (array (float 0.0))) "factors bit-identical"
+    r1.Batched_lu.factors.Batch.values r2.Batched_lu.factors.Batch.values;
+  Launch.Cache.clear ()
+
+let test_cache_bypass_under_injection () =
+  let _, b = sized_batch 7 in
+  let plan =
+    match
+      Vblu_fault.Fault.Plan.of_spec "seed=3,every=2,target=reg,kind=flip:12"
+    with
+    | Ok p -> p
+    | Error m -> Alcotest.failf "bad spec: %s" m
+  in
+  Launch.Cache.clear ();
+  let r = Batched_lu.factor ~faults:plan b in
+  let hits, misses = Launch.Cache.stats () in
+  Alcotest.(check int) "no cache lookups under injection" 0 (hits + misses);
+  Alcotest.(check bool) "faults actually fired" true
+    (r.Batched_lu.stats.Launch.faults_injected > 0);
+  Launch.Cache.clear ()
+
+let test_cache_disabled_equals_enabled () =
+  let _, b = sized_batch 11 in
+  Launch.Cache.clear ();
+  Launch.Cache.set_enabled false;
+  let off = Batched_lu.factor b in
+  let h, m = Launch.Cache.stats () in
+  Alcotest.(check int) "disabled cache sees no traffic" 0 (h + m);
+  Launch.Cache.set_enabled true;
+  ignore (Batched_lu.factor b);
+  let on2 = Batched_lu.factor b in
+  Alcotest.(check bool) "stats equal with and without cache" true
+    (stats_equal off.Batched_lu.stats on2.Batched_lu.stats);
+  Launch.Cache.clear ()
+
+let test_cache_breakdown_heals () =
+  (* Two same-size SPD blocks behind a non-SPD first block: the first
+     (cached) execution takes the breakdown early-exit, so the healthy
+     replays must detect the event-signature mismatch and rerun charging.
+     The resulting stats must match a cache-disabled run bit-for-bit. *)
+  let st = state 3 in
+  let bad = Matrix.identity 8 in
+  Matrix.set bad 0 0 (-1.0);
+  let spd () =
+    let m = Matrix.random_diagdom ~state:st 8 in
+    (* Diagonally dominant with positive diagonal is SPD enough for an
+       unflagged Cholesky sweep. *)
+    m
+  in
+  let b = Batch.of_matrices [| bad; spd (); spd () |] in
+  Launch.Cache.clear ();
+  let cached = Batched_cholesky.factor b in
+  Launch.Cache.clear ();
+  Launch.Cache.set_enabled false;
+  let direct = Batched_cholesky.factor b in
+  Launch.Cache.set_enabled true;
+  Launch.Cache.clear ();
+  Alcotest.(check (array int)) "info agrees" direct.Batched_cholesky.info
+    cached.Batched_cholesky.info;
+  Alcotest.(check bool) "first block flagged" true
+    (cached.Batched_cholesky.info.(0) > 0);
+  Alcotest.(check bool) "stats heal to the uncached run" true
+    (stats_equal direct.Batched_cholesky.stats cached.Batched_cholesky.stats);
+  Alcotest.(check (array (float 0.0))) "factors bit-identical"
+    direct.Batched_cholesky.factors.Batch.values
+    cached.Batched_cholesky.factors.Batch.values
+
+(* ------------------------------------------------------------------ *)
+(* Batch.random_* seeding contract                                     *)
+
+let test_random_order_independence () =
+  let sizes = [| 4; 9; 17; 32 |] in
+  let v1 = Batch.vec_random sizes in
+  (* Interleave other unseeded draws: they must not perturb the next
+     unseeded vec_random. *)
+  ignore (Batch.random_diagdom sizes);
+  ignore (Batch.random_general sizes);
+  ignore (Batch.random_sizes ~count:5 ~min_size:1 ~max_size:8 ());
+  let v2 = Batch.vec_random sizes in
+  Alcotest.(check (array (float 0.0))) "unseeded vec_random is pure"
+    v1.Batch.vvalues v2.Batch.vvalues;
+  let b1 = Batch.random_diagdom sizes and b2 = Batch.random_diagdom sizes in
+  Alcotest.(check (array (float 0.0))) "unseeded random_diagdom is pure"
+    b1.Batch.values b2.Batch.values;
+  (* Distinct functions draw from distinct derived streams. *)
+  let g = Batch.random_general sizes in
+  Alcotest.(check bool) "diagdom and general differ" true
+    (b1.Batch.values <> g.Batch.values)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "into-ops",
+        [ qtest qcheck_into_parity; qtest qcheck_into_aliasing ] );
+      ("segments", [ qtest qcheck_segments ]);
+      ( "cache",
+        [
+          qtest qcheck_cache_value_independence;
+          Alcotest.test_case "hit determinism" `Quick test_cache_hit_determinism;
+          Alcotest.test_case "bypass under injection" `Quick
+            test_cache_bypass_under_injection;
+          Alcotest.test_case "disabled = enabled" `Quick
+            test_cache_disabled_equals_enabled;
+          Alcotest.test_case "breakdown stream heals" `Quick
+            test_cache_breakdown_heals;
+        ] );
+      ( "seeding",
+        [
+          Alcotest.test_case "order independence" `Quick
+            test_random_order_independence;
+        ] );
+    ]

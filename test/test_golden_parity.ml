@@ -1,0 +1,76 @@
+(* Golden counter/output parity: every kernel × sizes {1,7,16,32} × both
+   precisions must reproduce the seed engine's recorded counters, modelled
+   stats and output payloads bit-for-bit — sequentially, under pools of 2
+   and 4 domains, and with an observability context attached.  The goldens
+   in [Goldens_data] were recorded by [golden_gen] before the engine
+   rework; any drift here is a contract violation, not a tolerance issue. *)
+
+open Vblu_obs
+
+let golden_of name =
+  match List.assoc_opt name Goldens_data.goldens with
+  | Some g -> g
+  | None -> Alcotest.failf "no golden recorded for %s" name
+
+let check_outcome name (o : Golden_cases.outcome) =
+  let exp_stats, exp_digest, exp_len = golden_of name in
+  let got_stats = Golden_cases.stats_bits o.Golden_cases.stats in
+  Array.iteri
+    (fun i b ->
+      if not (Int64.equal b got_stats.(i)) then
+        Alcotest.failf "%s: stats slot %d drifted: golden %Lx, got %Lx" name i
+          b got_stats.(i))
+    exp_stats;
+  Alcotest.(check int)
+    (name ^ ": payload length")
+    exp_len
+    (List.length o.Golden_cases.payload);
+  let got_digest = Golden_cases.digest o.Golden_cases.payload in
+  if not (Int64.equal exp_digest got_digest) then
+    Alcotest.failf "%s: payload digest drifted: golden %Lx, got %Lx" name
+      exp_digest got_digest
+
+let run_config ?pool ?obs () =
+  List.iter
+    (fun (c : Golden_cases.case) ->
+      check_outcome c.Golden_cases.name (c.Golden_cases.run ?pool ?obs ()))
+    (Golden_cases.cases ())
+
+let test_sequential () = run_config ()
+
+let test_with_obs () =
+  let obs = Ctx.v ~trace:(Trace.create ()) ~metrics:(Metrics.create ()) () in
+  run_config ~obs ()
+
+let test_domains n () =
+  let pool = Vblu_par.Pool.create ~num_domains:n () in
+  let obs = Ctx.v ~trace:(Trace.create ()) ~metrics:(Metrics.create ()) () in
+  run_config ~pool ();
+  run_config ~pool ~obs ()
+
+let test_no_missing_goldens () =
+  (* Every recorded golden corresponds to a live case — catches silently
+     dropped coverage when the case list shrinks. *)
+  let live =
+    List.map (fun (c : Golden_cases.case) -> c.Golden_cases.name)
+      (Golden_cases.cases ())
+  in
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem name live) then
+        Alcotest.failf "golden %s has no live case" name)
+    Goldens_data.goldens
+
+let () =
+  Alcotest.run "golden-parity"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "sequential" `Quick test_sequential;
+          Alcotest.test_case "with-obs" `Quick test_with_obs;
+          Alcotest.test_case "domains-2" `Quick (test_domains 2);
+          Alcotest.test_case "domains-4" `Quick (test_domains 4);
+          Alcotest.test_case "goldens-cover-cases" `Quick
+            test_no_missing_goldens;
+        ] );
+    ]
