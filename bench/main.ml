@@ -178,7 +178,16 @@ let host_points () =
 
 let run_host_throughput ~domains ~json () =
   let points = host_points () in
+  (* Start from a cold stats cache so the direct-hit tally below reflects
+     this run alone, not leftovers from warm-up launches. *)
+  Vblu_simt.Launch.Cache.clear ();
   let measured = measure_ns (List.map (fun (_, _, _, t) -> t) points) in
+  let hits, misses = Vblu_simt.Launch.Cache.stats () in
+  let direct = Vblu_simt.Launch.Cache.direct_hits () in
+  let lookups = hits + misses in
+  let direct_fraction =
+    if lookups = 0 then 0.0 else float_of_int direct /. float_of_int lookups
+  in
   let ns_of kernel pname size =
     let suffix = Printf.sprintf "%s/%s/n%d" kernel pname size in
     List.find_map
@@ -213,6 +222,28 @@ let run_host_throughput ~domains ~json () =
               time_us = ns /. 1000.0;
             })
       points
+  in
+  Printf.printf
+    "direct fast path: %d of %d cache lookups served without the \
+     interpreter (%.1f%%)\n"
+    direct lookups (100.0 *. direct_fraction);
+  (* The direct-hit fraction rides along as a pseudo-entry so the CI gate
+     (vblu_cli bench-compare on the gflops field) fails loudly if the fast
+     path silently stops being taken; the raw hit count goes into
+     [bandwidth_gbs] as an informational payload. *)
+  let entries =
+    entries
+    @ [
+        {
+          Vblu_obs.Artifact.kernel = "host.cache";
+          prec = "direct-fraction";
+          size = 0;
+          batch = host_batch;
+          gflops = direct_fraction;
+          bandwidth_gbs = float_of_int direct;
+          time_us = 0.0;
+        };
+      ]
   in
   let file = Option.value json ~default:"BENCH_host.json" in
   let art =

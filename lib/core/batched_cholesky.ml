@@ -100,8 +100,22 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     let align = Config.elements_per_transaction cfg prec in
     Some (fun i -> b.Batch.offsets.(i) mod align)
   in
+  (* Direct execution: the lower-triangle batch-view factorization repeats
+     the kernel's op order (check, sqrt, scale, unconditional trailing
+     FNMA) bitwise, freeze included. *)
+  let direct =
+    let vin = Gmem.raw gin and vout = Gmem.raw gout in
+    Some
+      (fun i ->
+        let inf =
+          Cholesky.factor_view ~prec ~src:vin ~dst:vout
+            ~off:b.Batch.offsets.(i) ~n:b.Batch.sizes.(i) ()
+        in
+        info.(i) <- inf;
+        inf)
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"potrf" ?cache ~prec ~mode
+    Sampling.run ~cfg ~pool ?obs ~name:"potrf" ?cache ?direct ~prec ~mode
       ~sizes:b.Batch.sizes ~kernel ()
   in
   let factors = Batch.create b.Batch.sizes in
@@ -217,8 +231,26 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
         and voff_m = rhs.Batch.voffsets.(i) mod align in
         (moff_m * align) + voff_m)
   in
+  (* Direct execution: rhs copy into the output segment, then the in-place
+     forward/backward batch-view solve. *)
+  let direct =
+    let vmat = Gmem.raw gmat
+    and vvec = Gmem.raw gvec
+    and vout = Gmem.raw gout in
+    Some
+      (fun i ->
+        let s = factors.Batch.sizes.(i) in
+        let voff = rhs.Batch.voffsets.(i) in
+        Array.blit vvec voff vout voff s;
+        let inf =
+          Cholesky.solve_view ~prec ~m:vmat ~moff:factors.Batch.offsets.(i)
+            ~n:s ~b:vout ~boff:voff ()
+        in
+        info.(i) <- inf;
+        inf)
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"potrs" ?cache ~prec ~mode
+    Sampling.run ~cfg ~pool ?obs ~name:"potrs" ?cache ?direct ~prec ~mode
       ~sizes:factors.Batch.sizes ~kernel ()
   in
   let solutions = Batch.vec_create rhs.Batch.vsizes in

@@ -104,8 +104,24 @@ let multiply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     Some
       (fun i -> (Bool.to_int with_c * align) + (a.Batch.offsets.(i) mod align))
   in
+  (* Direct execution: the column-order host GEMM view repeats the
+     kernel's rounding sequence exactly (fma chain from zero, then the
+     alpha multiply, then the optional beta fma) — reading the staged
+     device buffers so single-precision inputs see the same pre-rounded
+     values.  GEMM has no breakdown, so the closure always reports 0. *)
+  let direct =
+    let va = Gmem.raw ga
+    and vb = Gmem.raw gb
+    and vout = Gmem.raw gout in
+    let vc = if with_c then Some (Gmem.raw gc) else None in
+    Some
+      (fun i ->
+        Matrix.gemm_col_view ~prec ~alpha ~beta ?c:vc ~a:va ~b:vb ~dst:vout
+          ~off:a.Batch.offsets.(i) ~n:a.Batch.sizes.(i) ();
+        0)
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"gemm" ?cache ~prec ~mode
+    Sampling.run ~cfg ~pool ?obs ~name:"gemm" ?cache ?direct ~prec ~mode
       ~sizes:a.Batch.sizes ~kernel:kern ()
   in
   let products = Batch.create a.Batch.sizes in

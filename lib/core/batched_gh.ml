@@ -182,13 +182,36 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
      and the abft flag; the abft branch is also gated on a clean info, but
      a divergent stream is caught by the op-event signature and rerun
      charging. *)
+  (* GH numerics already run on the host; direct execution is the same
+     reference factorization minus the analytic charge calls.  The ABFT
+     verdict (and its extra charges) lives in the kernel, so ABFT launches
+     keep the charged path. *)
+  let direct =
+    if abft then None
+    else
+      Some
+        (fun i ->
+          let f, inf =
+            Gauss_huard.factor_status ~prec ~storage (Batch.get_matrix b i)
+          in
+          factors.(i) <- f;
+          info.(i) <- inf;
+          verdicts.(i) <- Fault.Unchecked;
+          inf)
+  in
   let stats =
     Sampling.run ~cfg ~pool ?faults ?obs ~name
       ~cache:(fun _ -> Bool.to_int abft)
-      ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+      ?direct ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
   in
   Vblu_obs.Ctx.record_verdicts obs verdicts;
-  { factors; info; verdicts; stats; exact = (mode = Sampling.Exact) }
+  {
+    factors;
+    info;
+    verdicts;
+    stats;
+    exact = (Sampling.effective_mode ?faults mode = Sampling.Exact);
+  }
 
 let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?faults
@@ -236,10 +259,23 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     (Bool.to_int abft * 2)
     + (match storage with Gauss_huard.Normal -> 0 | Gauss_huard.Transposed -> 1)
   in
+  let direct =
+    if abft then None
+    else
+      Some
+        (fun i ->
+          let x, inf =
+            Gauss_huard.solve_status ~prec r.factors.(i) (Batch.vec_get rhs i)
+          in
+          Batch.vec_set solutions i x;
+          solve_info.(i) <- inf;
+          solve_verdicts.(i) <- Fault.Unchecked;
+          inf)
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?faults ?obs ~name:"gh.solve" ~cache ~prec ~mode
-      ~sizes:rhs.Batch.vsizes ~kernel ()
+    Sampling.run ~cfg ~pool ?faults ?obs ~name:"gh.solve" ~cache ?direct ~prec
+      ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
   in
   Vblu_obs.Ctx.record_verdicts obs solve_verdicts;
   { solutions; solve_info; solve_verdicts; solve_stats = stats;
-    solve_exact = (mode = Sampling.Exact) }
+    solve_exact = (Sampling.effective_mode ?faults mode = Sampling.Exact) }

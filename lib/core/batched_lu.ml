@@ -409,8 +409,49 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
           and poff_m = poffsets.(i) mod align in
           ((Bool.to_int abft * align) + off_m) * align + poff_m)
   in
+  (* Direct execution: the cacheable schedules restated as smallblas
+     batch-view loops, producing every observable effect of the kernel —
+     packed factors, pivot vector (host and device), [info] — bitwise
+     identically.  ABFT verdicts live in the interpreter, so ABFT launches
+     keep the simulated path. *)
+  let direct =
+    match pivoting with
+    | Explicit -> None
+    | _ when abft -> None
+    | Implicit ->
+      let vin = Gmem.raw gin and vout = Gmem.raw gout and vpiv = Gmem.raw gpiv in
+      Some
+        (fun i ->
+          let off = b.Batch.offsets.(i) and s = b.Batch.sizes.(i) in
+          let sc = Hostexec.get () in
+          let perm = Array.make s 0 in
+          let inf =
+            Lu.factor_implicit_view ~prec ~src:vin ~dst:vout ~off ~n:s
+              ~tile:sc.Hostexec.tile ~step:sc.Hostexec.ints ~perm ()
+          in
+          pivots.(i) <- perm;
+          info.(i) <- inf;
+          verdicts.(i) <- Fault.Unchecked;
+          for lane = 0 to s - 1 do
+            vpiv.(poffsets.(i) + lane) <- float_of_int perm.(lane)
+          done;
+          inf)
+    | No_pivoting ->
+      let vin = Gmem.raw gin and vout = Gmem.raw gout and vpiv = Gmem.raw gpiv in
+      Some
+        (fun i ->
+          let off = b.Batch.offsets.(i) and s = b.Batch.sizes.(i) in
+          let inf = Lu.factor_nopivot_view ~prec ~src:vin ~dst:vout ~off ~n:s () in
+          pivots.(i) <- Array.init s (fun k -> k);
+          info.(i) <- inf;
+          verdicts.(i) <- Fault.Unchecked;
+          for lane = 0 to s - 1 do
+            vpiv.(poffsets.(i) + lane) <- float_of_int lane
+          done;
+          inf)
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?faults ?obs ~name ?cache ~prec ~mode
+    Sampling.run ~cfg ~pool ?faults ?obs ~name ?cache ?direct ~prec ~mode
       ~sizes:b.Batch.sizes ~kernel ()
   in
   Vblu_obs.Ctx.record_verdicts obs verdicts;
@@ -421,4 +462,11 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     Array.blit values 0 out.Batch.values 0 (Array.length values);
     out
   in
-  { factors; pivots; info; verdicts; stats; exact = (mode = Sampling.Exact) }
+  {
+    factors;
+    pivots;
+    info;
+    verdicts;
+    stats;
+    exact = (Sampling.effective_mode ?faults mode = Sampling.Exact);
+  }

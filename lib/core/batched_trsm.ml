@@ -138,8 +138,35 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
         and voff_m = rhs_sets.(0).Batch.voffsets.(i) mod align in
         ((nrhs * align) + moff_m) * align + voff_m)
   in
+  (* Direct execution: the kernel's interleaved multi-rhs schedule carries
+     no data flow between right-hand sides, so solving each one through
+     the eager batch-view pair reproduces it bitwise, rhs by rhs. *)
+  let direct =
+    let vmat = Gmem.raw gmat in
+    let vvecs = Array.map Gmem.raw gvecs
+    and vouts = Array.map Gmem.raw gouts in
+    Some
+      (fun i ->
+        let s = factors.Batch.sizes.(i) in
+        let moff = factors.Batch.offsets.(i)
+        and voff = rhs_sets.(0).Batch.voffsets.(i) in
+        let piv = pivots.(i) in
+        let inf = ref 0 in
+        for r = 0 to Array.length vvecs - 1 do
+          let vvec = vvecs.(r) and vout = vouts.(r) in
+          if Array.length piv = 0 then Array.blit vvec voff vout voff s
+          else
+            for k = 0 to s - 1 do
+              vout.(voff + k) <- vvec.(voff + piv.(k))
+            done;
+          inf :=
+            Trsv.pair_eager_view ~prec ~m:vmat ~moff ~n:s ~b:vout ~boff:voff ()
+        done;
+        info.(i) <- !inf;
+        !inf)
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"trsm" ?cache ~prec ~mode
+    Sampling.run ~cfg ~pool ?obs ~name:"trsm" ?cache ?direct ~prec ~mode
       ~sizes:factors.Batch.sizes ~kernel ()
   in
   let solutions =

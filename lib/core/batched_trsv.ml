@@ -307,8 +307,41 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
         and voff_m = rhs.Batch.voffsets.(i) mod align in
         ((Bool.to_int abft * align) + moff_m) * align + voff_m)
   in
+  (* Direct execution: permuted rhs copy into the output segment, then the
+     matching batch-view solve pair in place — bitwise the kernel's
+     schedule.  ABFT verdicts live in the interpreter, so ABFT launches
+     keep the simulated path. *)
+  let direct =
+    if abft then None
+    else begin
+      let vmat = Gmem.raw gmat
+      and vvec = Gmem.raw gvec
+      and vout = Gmem.raw gout in
+      Some
+        (fun i ->
+          let s = factors.Batch.sizes.(i) in
+          let moff = factors.Batch.offsets.(i)
+          and voff = rhs.Batch.voffsets.(i) in
+          let piv = pivots.(i) in
+          if Array.length piv = 0 then Array.blit vvec voff vout voff s
+          else
+            for k = 0 to s - 1 do
+              vout.(voff + k) <- vvec.(voff + piv.(k))
+            done;
+          let inf =
+            match variant with
+            | Eager ->
+              Trsv.pair_eager_view ~prec ~m:vmat ~moff ~n:s ~b:vout ~boff:voff ()
+            | Lazy ->
+              Trsv.pair_lazy_view ~prec ~m:vmat ~moff ~n:s ~b:vout ~boff:voff ()
+          in
+          info.(i) <- inf;
+          verdicts.(i) <- Fault.Unchecked;
+          inf)
+    end
+  in
   let stats =
-    Sampling.run ~cfg ~pool ?faults ?obs ~name ?cache ~prec ~mode
+    Sampling.run ~cfg ~pool ?faults ?obs ~name ?cache ?direct ~prec ~mode
       ~sizes:factors.Batch.sizes ~kernel ()
   in
   Vblu_obs.Ctx.record_verdicts obs verdicts;
@@ -318,4 +351,10 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     Array.blit values 0 out.Batch.vvalues 0 (Array.length values);
     out
   in
-  { solutions; info; verdicts; stats; exact = (mode = Sampling.Exact) }
+  {
+    solutions;
+    info;
+    verdicts;
+    stats;
+    exact = (Sampling.effective_mode ?faults mode = Sampling.Exact);
+  }

@@ -22,7 +22,47 @@ type t = {
   launch_overhead_us : float;
   max_issue_efficiency : float;
   occupancy_tau : float;
+  fingerprint : int;
 }
+
+(* Nonzero hash over every descriptive field, stamped by [validate] —
+   hot-path consumers (Launch.Cache keys, the per-domain warp-recycle
+   table) compare this one int instead of hashing the whole record per
+   problem.  [fingerprint] itself is excluded, so revalidation is
+   idempotent. *)
+let compute_fingerprint t =
+  let h = ref 0x811c9dc5 in
+  let mix v = h := (!h * 0x01000193) lxor Hashtbl.hash v in
+  mix t.name;
+  mix t.num_sms;
+  mix t.clock_ghz;
+  mix t.warp_size;
+  mix t.max_warps_per_sm;
+  mix t.fma_cycles_sp;
+  mix t.fma_cycles_dp;
+  mix t.div_cycles_sp;
+  mix t.div_cycles_dp;
+  mix t.shfl_cycles;
+  mix t.dp_shfl_factor;
+  mix t.smem_cycles;
+  mix t.gmem_issue_cycles;
+  mix t.mem_bandwidth_gbs;
+  mix t.mem_efficiency;
+  mix t.mem_latency_cycles;
+  mix t.transaction_bytes;
+  mix t.smem_banks;
+  mix t.launch_overhead_us;
+  mix t.max_issue_efficiency;
+  mix t.occupancy_tau;
+  let fp = !h land max_int in
+  if fp = 0 then 1 else fp
+
+(* Fingerprint-to-config registry: every validated config lands here, so
+   two {e distinct} presets colliding on one fingerprint — which would
+   silently cross-pollute the counter cache — fail loudly at definition
+   time instead. *)
+let registry : (int, t) Hashtbl.t = Hashtbl.create 8
+let registry_lock = Mutex.create ()
 
 (* Every preset funnels through [validate], so a miscalibrated constant
    (zeroed bandwidth, negative cycle count, non-warp-sized warp) fails at
@@ -56,6 +96,20 @@ let validate t =
   if not (t.max_issue_efficiency > 0.0 && t.max_issue_efficiency <= 1.0) then
     fail "max_issue_efficiency" "in (0, 1]";
   positive_f "occupancy_tau" t.occupancy_tau;
+  let t = { t with fingerprint = compute_fingerprint t } in
+  Mutex.lock registry_lock;
+  let prev = Hashtbl.find_opt registry t.fingerprint in
+  (match prev with
+  | Some p when p <> t -> ()
+  | _ -> Hashtbl.replace registry t.fingerprint t);
+  Mutex.unlock registry_lock;
+  (match prev with
+  | Some p when p <> t ->
+    invalid_arg
+      (Printf.sprintf
+         "Config.validate (%s): fingerprint collides with distinct preset %s"
+         t.name p.name)
+  | _ -> ());
   t
 
 let p100 =
@@ -82,6 +136,7 @@ let p100 =
     launch_overhead_us = 4.0;
     max_issue_efficiency = 0.65;
     occupancy_tau = 73.0;
+    fingerprint = 0;
   }
 
 let fma_cycles t = function

@@ -52,17 +52,27 @@ type t = {
           [max_issue_efficiency * (1 - exp(-resident/occupancy_tau))].
           This single knob produces the saturating GFLOPS-vs-batch-size
           shape of Figures 4 and 6. *)
+  fingerprint : int;
+      (** precomputed nonzero hash over every other field, stamped by
+          {!validate} (write [0] in preset literals).  Hot-path consumers —
+          [Launch.Cache] keys, the per-domain warp-recycle table — compare
+          this one int per problem instead of hashing the 20-odd-field
+          record.  A config whose fingerprint is [0] (i.e. one that never
+          went through [validate]) is treated as uncacheable. *)
 }
 
 val validate : t -> t
-(** Sanity-checks a hardware description and returns it: positive SM /
-    clock / bandwidth / cycle constants, [warp_size = 32] (the SIMT width
-    every kernel in this project assumes), positive [transaction_bytes]
-    and [smem_banks], efficiencies in [(0, 1]], non-negative launch
-    overhead.  All presets are defined through [validate], so a
-    miscalibrated constant fails at definition time rather than producing
-    NaN modelled times downstream.
-    @raise Invalid_argument naming the offending field. *)
+(** Sanity-checks a hardware description and returns it with its
+    {!field-fingerprint} stamped: positive SM / clock / bandwidth / cycle
+    constants, [warp_size = 32] (the SIMT width every kernel in this
+    project assumes), positive [transaction_bytes] and [smem_banks],
+    efficiencies in [(0, 1]], non-negative launch overhead.  All presets
+    are defined through [validate], so a miscalibrated constant fails at
+    definition time rather than producing NaN modelled times downstream.
+    Validated configs are registered by fingerprint; two distinct presets
+    colliding on one fingerprint fail here too, so distinct presets are
+    guaranteed distinct cache keys.
+    @raise Invalid_argument naming the offending field (or the collision). *)
 
 val p100 : t
 (** The paper's evaluation platform (validated). *)

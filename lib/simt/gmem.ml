@@ -17,3 +17,5 @@ let set t i v = t.data.(i) <- Precision.round t.prec v
 let corrupt t i f = t.data.(i) <- f t.data.(i)
 
 let to_array t = Array.copy t.data
+
+let raw t = t.data

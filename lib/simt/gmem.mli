@@ -36,3 +36,11 @@ val corrupt : t -> int -> (float -> float) -> unit
 
 val to_array : t -> float array
 (** Host-side copy of the full contents. *)
+
+val raw : t -> float array
+(** The live backing store — no copy, no traffic counted.  The
+    direct-execution fast path reads and writes device values in place
+    through it.  Writers must store only values already representable at
+    {!prec}: the batch-view kernels do, since every value they produce went
+    through a rounding [Precision] op (and {!of_array} pre-rounds staged
+    inputs). *)

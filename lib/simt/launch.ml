@@ -80,63 +80,77 @@ let empty_stats () =
    class, later warps run charge-free and take the cached counters — the
    event signature recorded with the entry verifies the replayed stream
    matched, and a mismatch (a value-dependent path such as a breakdown
-   early-exit) falls back to a charging rerun. *)
+   early-exit) falls back to a charging rerun.
+
+   The device config enters the key as its precomputed [Config.fingerprint]
+   — one int compare per lookup instead of a polymorphic hash + structural
+   compare of the whole 20-odd-field record; [Config.validate] guarantees
+   distinct presets get distinct fingerprints.
+
+   Entries additionally certify whether the kernel's direct-execution
+   closure reproduced the simulator's result at store time ([direct_ok]);
+   certified hits may skip op interpretation entirely (see [Sampling.run]).
+
+   Hit/miss accounting is folded into [find]/[store] on atomics so the hot
+   path takes the table mutex exactly once per problem: [find] counts its
+   own outcome provisionally, and a caller whose replay check then fails
+   reclassifies with [demote_hit]. *)
 module Cache = struct
   type key = {
     kernel : string;
     prec : Vblu_smallblas.Precision.t;
     size : int;
     salt : int;
-    cfg : Config.t;
+    cfg_fp : int;
   }
 
-  type entry = { counter : Counter.t; events : int array }
+  type entry = { counter : Counter.t; events : int array; direct_ok : bool }
 
   let tbl : (key, entry) Hashtbl.t = Hashtbl.create 64
   let lock = Mutex.create ()
   let enabled_flag = ref true
-  let hit_count = ref 0
-  let miss_count = ref 0
+  let hit_count = Atomic.make 0
+  let miss_count = Atomic.make 0
+  let direct_count = Atomic.make 0
 
   let enabled () = !enabled_flag
   let set_enabled b = enabled_flag := b
 
-  let key ~kernel ~prec ~size ~salt ~cfg = { kernel; prec; size; salt; cfg }
+  let key ~kernel ~prec ~size ~salt ~cfg =
+    { kernel; prec; size; salt; cfg_fp = cfg.Config.fingerprint }
 
   let find k =
     Mutex.lock lock;
     let r = Hashtbl.find_opt tbl k in
     Mutex.unlock lock;
+    (match r with
+    | Some _ -> Atomic.incr hit_count
+    | None -> Atomic.incr miss_count);
     r
 
-  let store k ~counter ~events =
+  let store k ~counter ~events ~direct_ok =
     Mutex.lock lock;
     (* Last writer wins: counters of a cacheable kernel are deterministic
        per key, so racing first executions store equal entries. *)
-    Hashtbl.replace tbl k { counter; events };
+    Hashtbl.replace tbl k { counter; events; direct_ok };
     Mutex.unlock lock
 
-  let note_hit () =
-    Mutex.lock lock;
-    incr hit_count;
-    Mutex.unlock lock
+  let demote_hit () =
+    Atomic.decr hit_count;
+    Atomic.incr miss_count
 
-  let note_miss () =
-    Mutex.lock lock;
-    incr miss_count;
-    Mutex.unlock lock
+  let note_direct () = Atomic.incr direct_count
 
-  let stats () =
-    Mutex.lock lock;
-    let r = (!hit_count, !miss_count) in
-    Mutex.unlock lock;
-    r
+  let stats () = (Atomic.get hit_count, Atomic.get miss_count)
+
+  let direct_hits () = Atomic.get direct_count
 
   let clear () =
     Mutex.lock lock;
     Hashtbl.reset tbl;
-    hit_count := 0;
-    miss_count := 0;
+    Atomic.set hit_count 0;
+    Atomic.set miss_count 0;
+    Atomic.set direct_count 0;
     Mutex.unlock lock
 end
 

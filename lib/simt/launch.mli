@@ -66,6 +66,14 @@ val pp_stats : Format.formatter -> stats -> unit
     triggers a charging rerun of that problem instead of using the cache.
     Injection-armed launches bypass the cache entirely.
 
+    The device config is keyed by its precomputed {!Config.t.fingerprint}
+    (one int compare per lookup); {!Config.validate} asserts distinct
+    presets get distinct fingerprints.  Entries also record whether the
+    kernel's direct-execution closure reproduced the simulator's result
+    when the entry was stored ([direct_ok]) — a certified hit may run the
+    problem's numerics straight through host loops with no op
+    interpretation at all (see [Sampling.run]'s [?direct]).
+
     The cache is global and thread-safe; entries are never invalidated
     (keys are value-types and the mapping is pure), but {!Cache.clear}
     empties it for tests and {!Cache.set_enabled} turns lookups off. *)
@@ -75,34 +83,51 @@ module Cache : sig
     prec : Precision.t;
     size : int;
     salt : int;
-    cfg : Config.t;
+    cfg_fp : int;  (** {!Config.t.fingerprint} of the device config. *)
   }
 
-  type entry = { counter : Counter.t; events : int array }
+  type entry = {
+    counter : Counter.t;
+    events : int array;
+    direct_ok : bool;
+        (** the kernel's direct closure ran clean (returned [info = 0])
+            when this entry was stored, certifying direct execution for
+            later hits on the key. *)
+  }
 
   val key :
     kernel:string -> prec:Precision.t -> size:int -> salt:int -> cfg:Config.t ->
     key
 
   val find : key -> entry option
-  (** The returned counter is shared — callers must {!Counter.copy} before
-      mutating (as [Sampling] does). *)
+  (** One mutex acquisition; counts its own outcome as a hit or miss (a
+      caller whose replay check subsequently fails reclassifies with
+      {!demote_hit}).  The returned counter is shared — callers must
+      {!Counter.copy} before mutating (as [Sampling] does). *)
 
-  val store : key -> counter:Counter.t -> events:int array -> unit
+  val store : key -> counter:Counter.t -> events:int array -> direct_ok:bool -> unit
   (** [counter] and [events] are owned by the cache after the call; pass
       detached snapshots. *)
 
   val enabled : unit -> bool
 
   val set_enabled : bool -> unit
-  (** Default: enabled.  Disabling stops lookups {e and} stores. *)
+  (** Default: enabled.  Disabling stops lookups {e and} stores — and with
+      them the direct fast path, which only runs off certified entries. *)
 
-  val note_hit : unit -> unit
+  val demote_hit : unit -> unit
+  (** Reclassify the most recent provisional hit as a miss (the cached
+      signature did not match the replayed stream, or a certified direct
+      run hit a breakdown). *)
 
-  val note_miss : unit -> unit
+  val note_direct : unit -> unit
 
   val stats : unit -> int * int
   (** [(hits, misses)] since start (or the last {!clear}). *)
+
+  val direct_hits : unit -> int
+  (** How many hits were served by direct execution (no interpreter);
+      always [<= fst (stats ())]. *)
 
   val clear : unit -> unit
 end

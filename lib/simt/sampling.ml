@@ -2,6 +2,14 @@ open Vblu_par
 
 type mode = Exact | Sampled
 
+(* [Sampled] with an armed fault plan would silently drop every fault
+   addressed to a non-representative problem — the plan's sites are keyed
+   by problem index, but only the first problem of each size class
+   executes.  Rather than quietly under-inject, an armed launch degrades
+   to per-problem execution. *)
+let effective_mode ?faults mode =
+  match (mode, faults) with Sampled, Some _ -> Exact | m, _ -> m
+
 (* Both modes funnel every observed warp counter through a single sequential
    fold ([observe]) in problem-index (resp. sorted-class) order.  The
    parallel paths only parallelize the *kernel execution*, storing each
@@ -42,37 +50,42 @@ let record_launch obs ~name ~prec (stats : Launch.stats) =
 
 (* Per-domain warp recycling: warps now own a preallocated scratch arena,
    so creating one per problem would dominate small launches.  Each domain
-   keeps one warp per (config, precision) and resets it between problems;
-   re-entrant use (a kernel callback that itself launches) falls back to a
-   fresh throwaway warp. *)
+   keeps one warp per (config fingerprint, precision) — one int compare
+   per lookup instead of hashing the whole device record — and resets it
+   between problems; re-entrant use (a kernel callback that itself
+   launches) falls back to a fresh throwaway warp, as does the rare
+   fingerprint-0 collision between hand-built, unvalidated configs. *)
 let domain_warps :
-    (Config.t * Vblu_smallblas.Precision.t, Warp.t) Hashtbl.t Domain.DLS.key =
+    (int * Vblu_smallblas.Precision.t, Warp.t) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 4)
 
 let with_warp ~cfg ?inject prec f =
   let tbl = Domain.DLS.get domain_warps in
-  let k = (cfg, prec) in
+  let k = (cfg.Config.fingerprint, prec) in
   let w =
     match Hashtbl.find_opt tbl k with
-    | Some w -> w
+    | Some w when Warp.cfg w == cfg || Warp.cfg w = cfg -> Some w
+    | Some _ -> None
     | None ->
       let w = Warp.create ~cfg prec () in
       Hashtbl.add tbl k w;
-      w
+      Some w
   in
-  if Warp.acquire w then
+  match w with
+  | Some w when Warp.acquire w ->
     Fun.protect
       ~finally:(fun () -> Warp.release w)
       (fun () ->
         Warp.reset ?inject w;
         f w)
-  else f (Warp.create ~cfg ?inject prec ())
+  | _ -> f (Warp.create ~cfg ?inject prec ())
 
 let run ?(cfg = Config.p100) ?(pool = Pool.sequential) ?faults ?obs
-    ?(name = "launch") ?cache ~prec ~mode ~sizes ~kernel () =
+    ?(name = "launch") ?cache ?direct ~prec ~mode ~sizes ~kernel () =
   let n = Array.length sizes in
   if n = 0 then Launch.empty_stats ()
   else begin
+    let mode = effective_mode ?faults mode in
     (* Faults fired by earlier launches stay claimed (one-shot per plan
        lifetime); this launch reports only its own firings. *)
     let fired_before =
@@ -91,61 +104,90 @@ let run ?(cfg = Config.p100) ?(pool = Pool.sequential) ?faults ?obs
     in
     (* The counter cache applies only to injection-free launches: an armed
        plan must both fire its faults and charge real counters, so it
-       bypasses lookups and stores entirely. *)
+       bypasses lookups and stores entirely.  Hand-built configs that never
+       went through [Config.validate] carry fingerprint 0 and are
+       uncacheable (their keys could alias). *)
     let use_cache =
       match (cache, faults) with
-      | Some _, None -> Launch.Cache.enabled ()
+      | Some _, None ->
+        Launch.Cache.enabled () && cfg.Config.fingerprint <> 0
       | _ -> false
     in
+    (* Direct execution serves only cache hits certified at store time,
+       and only when nothing observes the interpreted stream: an enabled
+       [?obs] context wants real spans, so it keeps the simulated path. *)
+    let direct_exec =
+      if use_cache && not (Vblu_obs.Ctx.enabled obs) then direct else None
+    in
     let salt_of = match cache with Some f -> f | None -> fun _ -> 0 in
-    let run_cached w key i =
-      match Launch.Cache.find key with
-      | Some entry ->
-        (* Replay charge-free; the event signature certifies the stream
-           matched the cached one.  A mismatch (data-dependent path, e.g.
-           a breakdown early-exit) reruns the problem charging — kernels
-           are idempotent per problem, inputs and outputs are separate
-           buffers — and re-stores, so a poisoned first entry heals. *)
-        Warp.set_charging w false;
-        kernel w i;
-        if Warp.events w = entry.Launch.Cache.events then begin
-          Launch.Cache.note_hit ();
-          Counter.copy entry.Launch.Cache.counter
-        end
-        else begin
-          Launch.Cache.note_miss ();
-          Warp.reset w;
+    (* First (or healing) execution of a key class: certify the direct
+       closure by running it — [direct_ok] iff it completes without
+       breakdown — then run the charging kernel, whose interpreted writes
+       are authoritative (they overwrite everything the probe wrote;
+       the two agree bitwise whenever [direct_ok]). *)
+    let charge_and_store w key i =
+      let direct_ok = match direct with None -> false | Some d -> d i = 0 in
+      kernel w i;
+      let c = Counter.copy (Warp.counter w) in
+      Launch.Cache.store key ~counter:(Counter.copy c)
+        ~events:(Warp.events w) ~direct_ok;
+      c
+    in
+    (* Replay charge-free; the event signature certifies the stream
+       matched the cached one.  A mismatch (a data-dependent path, e.g. a
+       breakdown early-exit) reruns the problem charging — kernels are
+       idempotent per problem, inputs and outputs are separate buffers —
+       and re-stores, so a poisoned first entry heals. *)
+    let replay entry key i =
+      with_warp ~cfg prec (fun w ->
+          Warp.set_charging w false;
           kernel w i;
-          let c = Counter.copy (Warp.counter w) in
-          Launch.Cache.store key ~counter:(Counter.copy c)
-            ~events:(Warp.events w);
-          c
-        end
-      | None ->
-        Launch.Cache.note_miss ();
-        kernel w i;
-        let c = Counter.copy (Warp.counter w) in
-        Launch.Cache.store key ~counter:(Counter.copy c)
-          ~events:(Warp.events w);
-        c
+          if Warp.events_equal w entry.Launch.Cache.events then
+            Counter.copy entry.Launch.Cache.counter
+          else begin
+            Launch.Cache.demote_hit ();
+            Warp.reset w;
+            charge_and_store w key i
+          end)
+    in
+    let run_cached key i =
+      match Launch.Cache.find key with
+      | None -> with_warp ~cfg prec (fun w -> charge_and_store w key i)
+      | Some entry -> (
+        match direct_exec with
+        | Some d when entry.Launch.Cache.direct_ok ->
+          (* The fast path: no warp, no interpretation — the problem's
+             numerics run straight through host loops and the cached
+             counters are attached.  A breakdown ([info <> 0]) means the
+             cached charge stream no longer applies either, so the
+             problem reruns charging and the entry is de-certified. *)
+          if d i = 0 then begin
+            Launch.Cache.note_direct ();
+            Counter.copy entry.Launch.Cache.counter
+          end
+          else begin
+            Launch.Cache.demote_hit ();
+            with_warp ~cfg prec (fun w -> charge_and_store w key i)
+          end
+        | _ -> replay entry key i)
     in
     let run_warp i =
-      let inject =
-        match faults with
-        | None -> None
-        | Some p ->
-          Vblu_fault.Fault.Injector.create p ~problem:i ~size:sizes.(i)
-      in
-      with_warp ~cfg ?inject prec (fun w ->
-          if use_cache then
-            run_cached w
-              (Launch.Cache.key ~kernel:name ~prec ~size:sizes.(i)
-                 ~salt:(salt_of i) ~cfg)
-              i
-          else begin
+      if use_cache then
+        run_cached
+          (Launch.Cache.key ~kernel:name ~prec ~size:sizes.(i)
+             ~salt:(salt_of i) ~cfg)
+          i
+      else begin
+        let inject =
+          match faults with
+          | None -> None
+          | Some p ->
+            Vblu_fault.Fault.Injector.create p ~problem:i ~size:sizes.(i)
+        in
+        with_warp ~cfg ?inject prec (fun w ->
             kernel w i;
-            Counter.copy (Warp.counter w)
-          end)
+            Counter.copy (Warp.counter w))
+      end
     in
     (match mode with
     | Exact ->

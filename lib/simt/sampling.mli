@@ -26,6 +26,15 @@ type mode =
   | Exact
   | Sampled
 
+val effective_mode : ?faults:Vblu_fault.Fault.Plan.t -> mode -> mode
+(** The mode {!run} will actually execute under: [Sampled] with an armed
+    fault plan degrades to [Exact].  A plan's sites are keyed by problem
+    index, but [Sampled] executes only the first problem of each size
+    class — faults addressed to any other problem would be silently
+    dropped, so the launch runs every problem instead.  Exposed so
+    result-shaping code (e.g. the [exact] flag in kernel results) can
+    agree with the engine about what ran. *)
+
 val run :
   ?cfg:Config.t ->
   ?pool:Pool.t ->
@@ -33,6 +42,7 @@ val run :
   ?obs:Vblu_obs.Ctx.t ->
   ?name:string ->
   ?cache:(int -> int) ->
+  ?direct:(int -> int) ->
   prec:Precision.t ->
   mode:mode ->
   sizes:int array ->
@@ -54,8 +64,10 @@ val run :
     of faults fired by {e this} launch is reported in
     [stats.faults_injected].  Plan claims are one-shot and keyed by
     problem index, so injection is deterministic across domain counts.
-    In [Sampled] mode faults land only on the class representatives that
-    actually execute.
+    [Sampled] with an armed plan degrades to [Exact] (see
+    {!effective_mode}): sampling executes only class representatives, so
+    any other problem's faults would silently never fire — per-problem
+    execution keeps the plan's addressing meaningful.
 
     [?obs] records the launch into an observability context: a trace span
     named [?name] (default ["launch"]) whose duration is the modelled
@@ -80,9 +92,32 @@ val run :
     cached one; a divergent stream (e.g. a breakdown early-exit) falls
     back to a charging rerun of that problem, so even value-dependent
     corner paths stay exact.  Launches with [?faults] armed bypass the
-    cache entirely.  Warps are recycled per domain across problems and
-    launches; kernels must not retain lane arrays borrowed from the warp
-    arena beyond their own invocation.
+    cache entirely, as do configs that never went through
+    {!Config.validate} (fingerprint 0).  Warps are recycled per domain
+    across problems and launches; kernels must not retain lane arrays
+    borrowed from the warp arena beyond their own invocation.
+
+    [?direct] (requires [?cache]) is the kernel's direct-execution
+    closure: [direct i] performs problem [i]'s {e complete} observable
+    effect — output values, pivots, [info] — through plain host loops,
+    bit-identically to interpreting [kernel], and returns the problem's
+    [info].  Kernels only pass it when every rounding step of the
+    interpreted stream is reproduced exactly (and never under options,
+    such as ABFT, whose side effects live in the interpreter).  The
+    engine uses it two ways: on every charging store the closure runs
+    first as a certification probe (the interpreted kernel then
+    overwrites its writes, so the simulator's result stays
+    authoritative), and entries it completed cleanly ([info = 0]) are
+    marked [direct_ok]; on a later hit of such an entry the problem
+    executes through [direct] {e alone} — no warp, no op interpretation —
+    and receives a copy of the cached counters.  A breakdown surfacing in
+    a direct run ([info <> 0]) demotes the hit and reruns the problem
+    through the charging interpreter, so values, [info] and counters
+    remain exactly those of the simulated path in every case.  An
+    enabled [?obs] context disables direct execution for the launch
+    (spans must reflect interpreted streams); [Launch.Cache.set_enabled
+    false] disables it with the rest of the cache.  Direct-served hits
+    are counted by {!Launch.Cache.direct_hits}.
 
     An empty batch is a defined no-op returning {!Launch.empty_stats}
     and records nothing. *)

@@ -87,6 +87,15 @@ let charging t = t.charging
 let events t =
   [| t.ev_fma; t.ev_div; t.ev_shfl; t.ev_gmem; t.ev_smem; t.ev_rounds |]
 
+let events_equal t e =
+  Array.length e = 6
+  && t.ev_fma = e.(0)
+  && t.ev_div = e.(1)
+  && t.ev_shfl = e.(2)
+  && t.ev_gmem = e.(3)
+  && t.ev_smem = e.(4)
+  && t.ev_rounds = e.(5)
+
 let acquire t = if t.in_use then false else (t.in_use <- true; true)
 let release t = t.in_use <- false
 

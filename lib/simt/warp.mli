@@ -98,6 +98,12 @@ val events : t -> int array
     equal signatures; a divergent (e.g. breakdown) path shows up as a
     mismatch — the safety check behind [Launch.Cache] hits. *)
 
+val events_equal : t -> int array -> bool
+(** [events_equal w e] compares the warp's current signature against a
+    previously captured {!events} array without allocating — the
+    per-problem replay check of [Launch.Cache] hits (an array per problem
+    would break the engine's allocation-free hot-path invariant). *)
+
 val acquire : t -> bool
 (** Try to mark the warp busy; [false] if it already is (re-entrant use —
     the caller must then fall back to a fresh warp). *)

@@ -66,6 +66,82 @@ let solve ?(prec = Precision.Double) { l } b =
   done;
   x
 
+(* Batch-view factor/solve for the direct-execution fast path, over the
+   column-major block layout of Vblu_core.Batch.  Both replicate the
+   batched warp kernels op-for-op: the factor is right-looking on the lower
+   triangle with no [ljk <> 0.0] skip (the kernel issues its FMAs
+   unconditionally), the solve pairs an eager forward sweep with a DOT
+   backward sweep whose products are rounded individually and folded
+   left-to-right. *)
+
+let factor_view ?(prec = Precision.Double) ~src ~dst ~off ~n () =
+  for j = 0 to n - 1 do
+    for i = j to n - 1 do
+      dst.(off + i + (j * n)) <- src.(off + i + (j * n))
+    done
+  done;
+  let info = ref 0 in
+  (try
+     for k = 0 to n - 1 do
+       let dkk = dst.(off + k + (k * n)) in
+       if not (dkk > 0.0) then begin
+         info := k + 1;
+         raise Exit
+       end;
+       let lkk = Precision.round prec (sqrt dkk) in
+       dst.(off + k + (k * n)) <- lkk;
+       for i = k + 1 to n - 1 do
+         dst.(off + i + (k * n)) <-
+           Precision.div prec dst.(off + i + (k * n)) lkk
+       done;
+       for j = k + 1 to n - 1 do
+         let ljk = dst.(off + j + (k * n)) in
+         for i = j to n - 1 do
+           dst.(off + i + (j * n)) <-
+             Precision.fma prec
+               (-.dst.(off + i + (k * n)))
+               ljk
+               dst.(off + i + (j * n))
+         done
+       done
+     done
+   with Exit -> ());
+  !info
+
+let solve_view ?(prec = Precision.Double) ~m ~moff ~n ~b ~boff () =
+  let info = ref 0 in
+  (try
+     for k = 0 to n - 1 do
+       let d = m.(moff + k + (k * n)) in
+       if d = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       b.(boff + k) <- Precision.div prec b.(boff + k) d;
+       let bk = b.(boff + k) in
+       for i = k + 1 to n - 1 do
+         b.(boff + i) <-
+           Precision.fma prec (-.m.(moff + i + (k * n))) bk b.(boff + i)
+       done
+     done;
+     (* Backward sweep with Lᵀ: the forward sweep has already certified
+        every diagonal entry nonzero, so no further check. *)
+     for k = n - 1 downto 0 do
+       let acc = ref 0.0 in
+       for i = k + 1 to n - 1 do
+         acc :=
+           Precision.add prec
+             (Precision.mul prec m.(moff + i + (k * n)) b.(boff + i))
+             !acc
+       done;
+       b.(boff + k) <-
+         Precision.div prec
+           (Precision.sub prec b.(boff + k) !acc)
+           m.(moff + k + (k * n))
+     done
+   with Exit -> ());
+  !info
+
 let flops n =
   let n = float_of_int n in
   (n *. n *. n /. 3.0) +. (n *. n /. 2.0)

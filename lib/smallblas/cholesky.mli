@@ -30,5 +30,27 @@ val solve : ?prec:Precision.t -> factors -> Vector.t -> Vector.t
 (** [solve f b] returns [x] with [L·Lᵀ·x = b] (forward then transposed
     backward sweep, both "eager"). *)
 
+(** {2 Batch-view variants}
+
+    Allocation-free factor/solve over a column-major [n]×[n] block at an
+    element offset of a batch value array — the direct-execution
+    counterparts of the batched Cholesky kernels, bitwise identical to them
+    including the frozen partial state and [info = k + 1] on a non-positive
+    pivot (factor) or zero diagonal (solve) at step [k]. *)
+
+val factor_view :
+  ?prec:Precision.t -> src:float array -> dst:float array -> off:int -> n:int ->
+  unit -> int
+(** Copies the lower triangle of the block at [src.(off ...)] into [dst]
+    and factors it in place; the strict upper triangle of [dst] is left
+    untouched (the kernel never stores it).  Returns [info]. *)
+
+val solve_view :
+  ?prec:Precision.t ->
+  m:float array -> moff:int -> n:int -> b:float array -> boff:int ->
+  unit -> int
+(** Solves [L·Lᵀ·x = b] in place on the segment [b.(boff ...)] against the
+    packed lower factor at [m.(moff ...)].  Returns [info]. *)
+
 val flops : int -> float
 (** Useful flops of the factorization: [n³/3 + O(n²)]. *)

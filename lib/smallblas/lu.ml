@@ -165,6 +165,103 @@ let factor_nopivot ?prec m =
   if info <> 0 then raise (Singular (info - 1));
   f
 
+(* ------------------------------------------------------------------ *)
+(* In-place batch-view factorizations for the direct-execution fast path
+   ([Vblu_simt.Sampling.run]'s [?direct]): the same freeze-on-breakdown
+   numerics as the [_status] references above, restated over a column-major
+   n-by-n block living at [off] inside a batch value array — no [Matrix]
+   wrapper, no allocation.  Each element sees the same once-rounded
+   [Precision] op sequence as under the warp interpreter, so outputs are
+   bitwise identical to a simulated execution. *)
+
+let factor_implicit_view ?(prec = Precision.Double) ~src ~dst ~off ~n ~tile
+    ~step ~perm () =
+  for e = 0 to (n * n) - 1 do
+    tile.(e) <- src.(off + e)
+  done;
+  for r = 0 to n - 1 do
+    step.(r) <- -1
+  done;
+  let info = ref 0 in
+  (try
+     for k = 0 to n - 1 do
+       let piv = ref (-1) in
+       for r = 0 to n - 1 do
+         if
+           step.(r) < 0
+           && (!piv < 0
+              || Float.abs tile.(r + (k * n)) > Float.abs tile.(!piv + (k * n)))
+         then piv := r
+       done;
+       let d = tile.(!piv + (k * n)) in
+       if d = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       step.(!piv) <- k;
+       for r = 0 to n - 1 do
+         if step.(r) < 0 then begin
+           let l = Precision.div prec tile.(r + (k * n)) d in
+           tile.(r + (k * n)) <- l;
+           for j = k + 1 to n - 1 do
+             tile.(r + (j * n)) <-
+               Precision.fma prec (-.l) tile.(!piv + (j * n)) tile.(r + (j * n))
+           done
+         end
+       done
+     done
+   with Exit -> ());
+  if !info <> 0 then begin
+    let next = ref (!info - 1) in
+    for r = 0 to n - 1 do
+      if step.(r) < 0 then begin
+        step.(r) <- !next;
+        incr next
+      end
+    done
+  end;
+  for r = 0 to n - 1 do
+    perm.(step.(r)) <- r
+  done;
+  (* Fused write-back permutation: row [r] lands in packed row [step.(r)]. *)
+  for j = 0 to n - 1 do
+    for r = 0 to n - 1 do
+      dst.(off + step.(r) + (j * n)) <- tile.(r + (j * n))
+    done
+  done;
+  !info
+
+let factor_nopivot_view ?(prec = Precision.Double) ~src ~dst ~off ~n () =
+  Array.blit src off dst off (n * n);
+  let info = ref 0 in
+  (try
+     for k = 0 to n - 1 do
+       let d = dst.(off + k + (k * n)) in
+       if d = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       for i = k + 1 to n - 1 do
+         dst.(off + i + (k * n)) <-
+           Precision.div prec dst.(off + i + (k * n)) d
+       done;
+       for j = k + 1 to n - 1 do
+         (* No [ukj <> 0.0] skip here: the warp kernel issues the FMA
+            unconditionally, and for non-finite multipliers the skipped and
+            issued forms differ bitwise. *)
+         let ukj = dst.(off + k + (j * n)) in
+         for i = k + 1 to n - 1 do
+           dst.(off + i + (j * n)) <-
+             Precision.fma prec
+               (-.dst.(off + i + (k * n)))
+               ukj
+               dst.(off + i + (j * n))
+         done
+       done
+     done
+   with Exit -> ());
+  !info
+
 let unpack { lu; _ } =
   let n, _ = Matrix.dims lu in
   let l =

@@ -60,6 +60,39 @@ val factor_nopivot : ?prec:Precision.t -> Matrix.t -> factors
     matrices that are known to need no pivoting (e.g. diagonally dominant);
     used by stability ablations.  @raise Singular on a zero pivot. *)
 
+(** {2 Batch-view variants}
+
+    Allocation-free restatements of the [_status] factorizations over a
+    column-major [n]×[n] block stored at element offset [off] of a batch
+    value array — the storage layout of {!Vblu_core.Batch} — for the
+    direct-execution fast path.  Outputs are bitwise identical to the
+    batched warp kernels, including the frozen partial state and
+    [info = k + 1] on a breakdown at step [k]. *)
+
+val factor_implicit_view :
+  ?prec:Precision.t ->
+  src:float array ->
+  dst:float array ->
+  off:int ->
+  n:int ->
+  tile:float array ->
+  step:int array ->
+  perm:int array ->
+  unit ->
+  int
+(** Implicit-pivoting factorization of the block at [src.(off ...)], written
+    to [dst.(off ...)] packed in pivot order (the fused write-back row swap
+    of the batched kernel).  [tile] (length ≥ [n²]) and [step] (length ≥
+    [n]) are caller-owned scratch; [perm] (length ≥ [n]) receives the
+    step-to-original-row permutation.  [src] and [dst] must be distinct
+    arrays.  Returns [info]. *)
+
+val factor_nopivot_view :
+  ?prec:Precision.t -> src:float array -> dst:float array -> off:int -> n:int ->
+  unit -> int
+(** Unpivoted factorization, eliminating in place inside [dst] after a block
+    copy from [src]; no scratch needed.  Returns [info]. *)
+
 val unpack : factors -> Matrix.t * Matrix.t
 (** [(l, u)] with [l] unit lower triangular and [u] upper triangular. *)
 

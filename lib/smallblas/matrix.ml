@@ -103,6 +103,32 @@ let gemv ?(prec = Precision.Double) ?(trans = false) t x =
     y
   end
 
+(* Batch-view GEMM for the direct-execution fast path: the scaled product
+   [alpha·A·B (+ beta·C)] of column-major n-by-n blocks all living at the
+   same element offset of their batch value arrays (the layout
+   Vblu_core.Batched_gemm enforces).  Element (i,j) accumulates its k-loop
+   with the same once-rounded FMA sequence the warp kernel issues per
+   column, then one rounded scale and an optional rounded [beta·C] FMA —
+   bitwise identical to a simulated execution. *)
+let gemm_col_view ?(prec = Precision.Double) ~alpha ~beta ?c ~a ~b ~dst ~off ~n
+    () =
+  for j = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc :=
+          Precision.fma prec a.(off + i + (k * n)) b.(off + k + (j * n)) !acc
+      done;
+      let v = Precision.mul prec !acc alpha in
+      let v =
+        match c with
+        | None -> v
+        | Some c -> Precision.fma prec c.(off + i + (j * n)) beta v
+      in
+      dst.(off + i + (j * n)) <- v
+    done
+  done
+
 let is_permutation perm n =
   Array.length perm = n
   &&

@@ -56,6 +56,24 @@ val matmul : ?prec:Precision.t -> t -> t -> t
 val gemv : ?prec:Precision.t -> ?trans:bool -> t -> Vector.t -> Vector.t
 (** [gemv a x] is [a * x]; with [~trans:true], [aᵀ * x]. *)
 
+val gemm_col_view :
+  ?prec:Precision.t ->
+  alpha:float ->
+  beta:float ->
+  ?c:float array ->
+  a:float array ->
+  b:float array ->
+  dst:float array ->
+  off:int ->
+  n:int ->
+  unit ->
+  unit
+(** Batch-view GEMM for the direct-execution fast path:
+    [dst ← alpha·A·B (+ beta·C when ?c is given)] over column-major
+    [n]×[n] blocks all stored at element offset [off] of their respective
+    batch value arrays.  [beta] is ignored without [?c].  Bitwise identical
+    to the batched GEMM warp kernel (same rounded-FMA accumulation order). *)
+
 val permute_rows : t -> int array -> t
 (** [permute_rows a perm] builds the matrix whose row [k] is row
     [perm.(k)] of [a] — the explicit application of the permutation matrix

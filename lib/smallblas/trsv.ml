@@ -69,6 +69,71 @@ let upper_in_place ?(prec = Precision.Double) ?(variant = Eager) m b =
   let info = upper_in_place_status ~prec ~variant m b in
   if info <> 0 then raise (Error.Singular (info - 1))
 
+(* Batch-view solves for the direct-execution fast path: the unit-lower /
+   upper pair over a column-major n-by-n factor block at [moff] and a
+   solution segment at [boff], solved in place.  The op schedules replicate
+   the batched warp kernels exactly — the eager (AXPY) form issues one FMA
+   per column element, the lazy (DOT) form a rounded product per row
+   element folded left-to-right — so results are bitwise identical. *)
+
+let pair_eager_view ?(prec = Precision.Double) ~m ~moff ~n ~b ~boff () =
+  for k = 0 to n - 2 do
+    let bk = b.(boff + k) in
+    for i = k + 1 to n - 1 do
+      b.(boff + i) <-
+        Precision.fma prec (-.m.(moff + i + (k * n))) bk b.(boff + i)
+    done
+  done;
+  let info = ref 0 in
+  (try
+     for k = n - 1 downto 0 do
+       let d = m.(moff + k + (k * n)) in
+       if d = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       b.(boff + k) <- Precision.div prec b.(boff + k) d;
+       let bk = b.(boff + k) in
+       for i = 0 to k - 1 do
+         b.(boff + i) <-
+           Precision.fma prec (-.m.(moff + i + (k * n))) bk b.(boff + i)
+       done
+     done
+   with Exit -> ());
+  !info
+
+let pair_lazy_view ?(prec = Precision.Double) ~m ~moff ~n ~b ~boff () =
+  for k = 1 to n - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to k - 1 do
+      acc :=
+        Precision.add prec
+          (Precision.mul prec m.(moff + k + (j * n)) b.(boff + j))
+          !acc
+    done;
+    b.(boff + k) <- Precision.sub prec b.(boff + k) !acc
+  done;
+  let info = ref 0 in
+  (try
+     for k = n - 1 downto 0 do
+       let acc = ref 0.0 in
+       for j = k + 1 to n - 1 do
+         acc :=
+           Precision.add prec
+             (Precision.mul prec m.(moff + k + (j * n)) b.(boff + j))
+             !acc
+       done;
+       let diag = m.(moff + k + (k * n)) in
+       if diag = 0.0 then begin
+         info := k + 1;
+         raise Exit
+       end;
+       b.(boff + k) <-
+         Precision.div prec (Precision.sub prec b.(boff + k) !acc) diag
+     done
+   with Exit -> ());
+  !info
+
 let apply_perm perm b =
   if Array.length perm <> Array.length b then
     invalid_arg "Trsv.apply_perm: dimension mismatch";

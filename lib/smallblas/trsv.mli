@@ -37,6 +37,30 @@ val upper_in_place_status :
     mirroring exactly the state the batched kernel writes back for a dead
     problem, so the two stay bit-for-bit comparable. *)
 
+(** {2 Batch-view variants}
+
+    Allocation-free solve pairs (unit lower, then upper with diagonal) over
+    a column-major [n]×[n] packed factor block at element offset [moff] of
+    a batch value array, updating the solution segment [b.(boff ...)] in
+    place — the direct-execution counterparts of the batched TRSV kernels,
+    bitwise identical to them including the frozen partial state and
+    [info = k + 1] on a zero diagonal at step [k]. *)
+
+val pair_eager_view :
+  ?prec:Precision.t ->
+  m:float array -> moff:int -> n:int -> b:float array -> boff:int ->
+  unit -> int
+(** Eager (AXPY) schedule: one FMA per column element, one division per
+    final solution element.  Returns [info]. *)
+
+val pair_lazy_view :
+  ?prec:Precision.t ->
+  m:float array -> moff:int -> n:int -> b:float array -> boff:int ->
+  unit -> int
+(** Lazy (DOT) schedule: per step a rounded lanewise product folded
+    left-to-right (the kernel's register reduction order), one subtract and
+    — in the upper sweep — one division.  Returns [info]. *)
+
 val apply_perm : int array -> Vector.t -> Vector.t
 (** [apply_perm perm b] is the permuted right-hand side [Pb]:
     element [k] of the result is [b.(perm.(k))] — exactly the fused

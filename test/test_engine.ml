@@ -235,6 +235,252 @@ let test_cache_breakdown_heals () =
     cached.Batched_cholesky.factors.Batch.values
 
 (* ------------------------------------------------------------------ *)
+(* Direct execution: host numerics ≡ interpreted numerics, bitwise     *)
+
+(* Reference result with the cache (and thus the direct path) off. *)
+let with_cache_off f =
+  Launch.Cache.set_enabled false;
+  Fun.protect ~finally:(fun () -> Launch.Cache.set_enabled true) f
+
+(* Fresh-cache run with direct active; returns (result, direct_hits). *)
+let with_direct_on f =
+  Launch.Cache.clear ();
+  let r = f () in
+  let dh = Launch.Cache.direct_hits () in
+  Launch.Cache.clear ();
+  (r, dh)
+
+let direct_kernel_sizes st =
+  (* The warp-kernel corner sizes; repeats make cache hits likely, so the
+     direct path usually serves problems instead of only certifying. *)
+  let picks = [| 1; 7; 16; 32 |] in
+  Array.init 20 (fun _ -> picks.(Random.State.int st 4))
+
+let qcheck_direct_lu_parity =
+  QCheck.Test.make ~count:25
+    ~name:"direct getrf bitwise = simulated (values, pivots, info, stats)"
+    QCheck.(pair (int_range 0 1000) bool)
+    (fun (seed, single) ->
+      let prec = if single then Precision.Single else Precision.Double in
+      let st = state seed in
+      let sizes = direct_kernel_sizes st in
+      let b = Batch.random_diagdom ~state:st sizes in
+      let run () = Batched_lu.factor ~prec b in
+      let reference = with_cache_off run in
+      Launch.Cache.clear ();
+      let r = run () in
+      let hits, _ = Launch.Cache.stats () in
+      let dh = Launch.Cache.direct_hits () in
+      Launch.Cache.clear ();
+      (* Every hit must be served directly (clean diag-dominant blocks all
+         certify), but a size sequence can land each problem in its own
+         (size, alignment-salt) class and legitimately see zero hits — the
+         deterministic all-kernels test pins the dh > 0 guarantee with a
+         repeat-class construction. *)
+      dh = hits
+      && r.Batched_lu.factors.Batch.values
+         = reference.Batched_lu.factors.Batch.values
+      && r.Batched_lu.pivots = reference.Batched_lu.pivots
+      && r.Batched_lu.info = reference.Batched_lu.info
+      && stats_equal r.Batched_lu.stats reference.Batched_lu.stats)
+
+let test_direct_all_kernels () =
+  (* Every kernel exposing a direct closure, both precisions: bitwise
+     value/info parity against the cache-off interpreter, with the direct
+     path actually exercised. *)
+  let sizes = [| 8; 8; 8; 16; 16; 32; 7; 7; 1; 1 |] in
+  let check name (values_equal, dh) =
+    Alcotest.(check bool) (name ^ " bitwise") true values_equal;
+    Alcotest.(check bool) (name ^ " exercised direct") true (dh > 0)
+  in
+  List.iter
+    (fun prec ->
+      let ps = Precision.to_string prec in
+      let st = state 91 in
+      let b = Batch.random_diagdom ~state:st sizes in
+      let lu = with_cache_off (fun () -> Batched_lu.factor ~prec b) in
+      let rhs = Batch.vec_random ~state:st sizes in
+      List.iter
+        (fun (vname, variant) ->
+          let run () =
+            Batched_trsv.solve ~prec ~variant ~factors:lu.Batched_lu.factors
+              ~pivots:lu.Batched_lu.pivots rhs
+          in
+          let reference = with_cache_off run in
+          let r, dh = with_direct_on run in
+          check
+            (Printf.sprintf "trsv.%s %s" vname ps)
+            ( r.Batched_trsv.solutions.Batch.vvalues
+              = reference.Batched_trsv.solutions.Batch.vvalues
+              && r.Batched_trsv.info = reference.Batched_trsv.info
+              && stats_equal r.Batched_trsv.stats reference.Batched_trsv.stats,
+              dh ))
+        [ ("eager", Batched_trsv.Eager); ("lazy", Batched_trsv.Lazy) ];
+      let rhs_sets = [| rhs; Batch.vec_random ~state:st sizes |] in
+      let run_trsm () =
+        Batched_trsm.solve ~prec ~factors:lu.Batched_lu.factors
+          ~pivots:lu.Batched_lu.pivots rhs_sets
+      in
+      let reference = with_cache_off run_trsm in
+      let r, dh = with_direct_on run_trsm in
+      check ("trsm " ^ ps)
+        ( Array.for_all2
+            (fun (x : Batch.vec) (y : Batch.vec) ->
+              x.Batch.vvalues = y.Batch.vvalues)
+            r.Batched_trsm.solutions reference.Batched_trsm.solutions
+          && r.Batched_trsm.info = reference.Batched_trsm.info,
+          dh );
+      let ba = Batch.random_general ~state:st sizes
+      and bb = Batch.random_general ~state:st sizes in
+      let run_gemm () =
+        Batched_gemm.multiply ~prec ~alpha:1.25 ~beta:0.5 ~a:ba ~b:bb ~c:b ()
+      in
+      let reference = with_cache_off run_gemm in
+      let r, dh = with_direct_on run_gemm in
+      check ("gemm " ^ ps)
+        ( r.Batched_gemm.products.Batch.values
+          = reference.Batched_gemm.products.Batch.values,
+          dh );
+      let spd =
+        (* Symmetrize (lower triangle wins) and lift the diagonal so every
+           block is SPD and the Cholesky sweep runs unflagged — a breakdown
+           would de-certify the entry and mask the direct path. *)
+        Batch.of_matrices
+          (Array.map
+             (fun s ->
+               let m = Matrix.random_diagdom ~state:st s in
+               for r = 0 to s - 1 do
+                 for c = 0 to r - 1 do
+                   Matrix.set m c r (Matrix.get m r c)
+                 done;
+                 Matrix.set m r r
+                   (Float.abs (Matrix.get m r r) +. float_of_int s)
+               done;
+               m)
+             sizes)
+      in
+      let ch = with_cache_off (fun () -> Batched_cholesky.factor ~prec spd) in
+      let run_potrf () = Batched_cholesky.factor ~prec spd in
+      let reference = with_cache_off run_potrf in
+      let r, dh = with_direct_on run_potrf in
+      check ("potrf " ^ ps)
+        ( r.Batched_cholesky.factors.Batch.values
+          = reference.Batched_cholesky.factors.Batch.values
+          && r.Batched_cholesky.info = reference.Batched_cholesky.info,
+          dh );
+      let run_potrs () =
+        Batched_cholesky.solve ~prec ~factors:ch.Batched_cholesky.factors rhs
+      in
+      let reference = with_cache_off run_potrs in
+      let r, dh = with_direct_on run_potrs in
+      check ("potrs " ^ ps)
+        ( r.Batched_trsv.solutions.Batch.vvalues
+          = reference.Batched_trsv.solutions.Batch.vvalues
+          && r.Batched_trsv.info = reference.Batched_trsv.info,
+          dh );
+      let ghf = with_cache_off (fun () -> Batched_gh.factor ~prec b) in
+      let run_ghf () = Batched_gh.factor ~prec b in
+      let reference = with_cache_off run_ghf in
+      let r, dh = with_direct_on run_ghf in
+      check ("gh.factor " ^ ps)
+        ( r.Batched_gh.info = reference.Batched_gh.info
+          && Array.for_all2
+               (fun (x : Gauss_huard.factors) (y : Gauss_huard.factors) ->
+                 x.Gauss_huard.gh = y.Gauss_huard.gh
+                 && x.Gauss_huard.cperm = y.Gauss_huard.cperm)
+               r.Batched_gh.factors reference.Batched_gh.factors,
+          dh );
+      let run_ghs () = Batched_gh.solve ~prec ghf rhs in
+      let reference = with_cache_off run_ghs in
+      let r, dh = with_direct_on run_ghs in
+      check ("gh.solve " ^ ps)
+        ( r.Batched_gh.solutions.Batch.vvalues
+          = reference.Batched_gh.solutions.Batch.vvalues
+          && r.Batched_gh.solve_info = reference.Batched_gh.solve_info,
+          dh ))
+    [ Precision.Double; Precision.Single ]
+
+let test_direct_breakdown_heals () =
+  (* A singular block between healthy same-size blocks: the certified
+     direct run surfaces the breakdown, demotes the hit, and the charging
+     interpreter reruns the problem — values, info and stats must land
+     exactly on the cache-off result, with the healthy neighbours still
+     served directly. *)
+  let st = state 23 in
+  let mk () = Matrix.random_diagdom ~state:st 8 in
+  let bad = Matrix.create 8 8 in
+  let b = Batch.of_matrices [| mk (); mk (); bad; mk () |] in
+  let run () = Batched_lu.factor b in
+  let reference = with_cache_off run in
+  let r, dh = with_direct_on run in
+  Alcotest.(check bool) "singular block flagged" true (r.Batched_lu.info.(2) > 0);
+  Alcotest.(check bool) "healthy blocks served directly" true (dh > 0);
+  Alcotest.(check (array (float 0.0))) "factors bit-identical"
+    reference.Batched_lu.factors.Batch.values r.Batched_lu.factors.Batch.values;
+  Alcotest.(check (array int)) "info bit-identical" reference.Batched_lu.info
+    r.Batched_lu.info;
+  Alcotest.(check bool) "stats heal to the uncached run" true
+    (stats_equal reference.Batched_lu.stats r.Batched_lu.stats)
+
+let test_direct_respects_disabled_cache () =
+  let _, b = sized_batch 19 in
+  Launch.Cache.clear ();
+  ignore (Batched_lu.factor b);
+  let primed = Launch.Cache.direct_hits () in
+  Launch.Cache.set_enabled false;
+  ignore (Batched_lu.factor b);
+  Launch.Cache.set_enabled true;
+  Alcotest.(check int) "no direct hits while the cache is disabled" primed
+    (Launch.Cache.direct_hits ());
+  Launch.Cache.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Config fingerprints                                                 *)
+
+let test_config_fingerprints () =
+  Alcotest.(check bool) "p100 fingerprint stamped" true
+    (Config.p100.Config.fingerprint <> 0);
+  let again = Config.validate Config.p100 in
+  Alcotest.(check int) "revalidation is idempotent"
+    Config.p100.Config.fingerprint again.Config.fingerprint;
+  let variant =
+    Config.validate
+      { Config.p100 with Config.name = "Tesla P100 (variant)"; num_sms = 60 }
+  in
+  Alcotest.(check bool) "distinct presets get distinct fingerprints" true
+    (variant.Config.fingerprint <> Config.p100.Config.fingerprint
+    && variant.Config.fingerprint <> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Sampled mode with an armed fault plan degrades to Exact             *)
+
+let test_sampled_faults_runs_every_problem () =
+  (* Problem 2 is not a size-class representative (index 0 is), so under
+     the old semantics its explicit site never fired.  The launch must
+     degrade to per-problem execution and inject it. *)
+  let st = state 31 in
+  let b = Batch.random_diagdom ~state:st [| 8; 8; 8; 8 |] in
+  let plan =
+    match
+      Vblu_fault.Fault.Plan.of_spec "every=0,at=2.3.1,target=reg,kind=flip:12"
+    with
+    | Ok p -> p
+    | Error m -> Alcotest.failf "bad spec: %s" m
+  in
+  let r = Batched_lu.factor ~mode:Sampling.Sampled ~faults:plan b in
+  Alcotest.(check int) "the non-representative site fired" 1
+    r.Batched_lu.stats.Launch.faults_injected;
+  Alcotest.(check bool) "result reports per-problem execution" true
+    r.Batched_lu.exact;
+  (* And the armed launch really ran every problem: counters match an
+     Exact fault-free run (faults never charge), not a sampled one. *)
+  let exact = Batched_lu.factor b in
+  Alcotest.(check bool) "counters are the Exact-mode counters" true
+    (counters_equal r.Batched_lu.stats.Launch.total
+       exact.Batched_lu.stats.Launch.total);
+  Launch.Cache.clear ()
+
+(* ------------------------------------------------------------------ *)
 (* Batch.random_* seeding contract                                     *)
 
 let test_random_order_independence () =
@@ -272,6 +518,25 @@ let () =
             test_cache_disabled_equals_enabled;
           Alcotest.test_case "breakdown stream heals" `Quick
             test_cache_breakdown_heals;
+        ] );
+      ( "direct",
+        [
+          qtest qcheck_direct_lu_parity;
+          Alcotest.test_case "all kernels bitwise parity" `Quick
+            test_direct_all_kernels;
+          Alcotest.test_case "breakdown demotes and heals" `Quick
+            test_direct_breakdown_heals;
+          Alcotest.test_case "disabled cache disables direct" `Quick
+            test_direct_respects_disabled_cache;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "fingerprints" `Quick test_config_fingerprints;
+        ] );
+      ( "sampled-faults",
+        [
+          Alcotest.test_case "armed plan runs every problem" `Quick
+            test_sampled_faults_runs_every_problem;
         ] );
       ( "seeding",
         [

@@ -48,6 +48,17 @@ let test_domains n () =
   run_config ~pool ();
   run_config ~pool ~obs ()
 
+let test_direct_active () =
+  (* The parity suite must pass WITH the direct fast path actively taken —
+     a run that never certifies an entry would vacuously agree with the
+     goldens.  Each case batches same-class problems, so a cleared cache
+     still yields certified hits within the run. *)
+  Vblu_simt.Launch.Cache.clear ();
+  run_config ();
+  let dh = Vblu_simt.Launch.Cache.direct_hits () in
+  Vblu_simt.Launch.Cache.clear ();
+  Alcotest.(check bool) "direct path exercised during parity" true (dh > 0)
+
 let test_no_missing_goldens () =
   (* Every recorded golden corresponds to a live case — catches silently
      dropped coverage when the case list shrinks. *)
@@ -70,6 +81,7 @@ let () =
           Alcotest.test_case "with-obs" `Quick test_with_obs;
           Alcotest.test_case "domains-2" `Quick (test_domains 2);
           Alcotest.test_case "domains-4" `Quick (test_domains 4);
+          Alcotest.test_case "direct-active" `Quick test_direct_active;
           Alcotest.test_case "goldens-cover-cases" `Quick
             test_no_missing_goldens;
         ] );
