@@ -28,6 +28,9 @@
    setups (see Fault.Plan.of_spec for the SPEC grammar), --abft turns on
    checksum verification, and --recovery-policy (recompute[:N] | degrade
    | fail, default recompute:1) picks what to do with flagged blocks.
+   --layout (blocked | interleaved, default blocked) selects the batch
+   storage layout the figure sweeps run in; the host-throughput target
+   always measures both and emits them as "host.layout/*" entries.
 
    The "artifact" target (or --json FILE with any target) additionally
    runs the fixed kernel sweep behind Kernel_figs.bench_points and writes
@@ -176,8 +179,41 @@ let host_points () =
         | _ -> [ List.fold_left max 0 host_sizes ]))
     [ (Precision.Double, "fp64"); (Precision.Single, "fp32") ]
 
+(* Layout throughput: the same engine hot path in both storage layouts —
+   the host-side cost of cohort-strided element access that the modelled
+   transaction savings must be weighed against.  Emitted as
+   "host.layout/<kernel>.<layout>" entries (fp64 only) so bench-compare
+   gates both layouts' throughput. *)
+let host_layout_points () =
+  List.concat_map
+    (fun layout ->
+      let lname = Batch.layout_name layout in
+      List.concat_map
+        (fun size ->
+          let st = Random.State.make [| 0x1a70; size |] in
+          let sizes = Array.make host_batch size in
+          let b = Batch.random_diagdom ~state:st ~layout sizes in
+          let rhs = Batch.vec_random ~state:st ~layout sizes in
+          let f = Batched_lu.factor b in
+          let point kernel stage =
+            ( Printf.sprintf "host.layout/%s.%s" kernel lname, "fp64", size,
+              Test.make
+                ~name:
+                  (Printf.sprintf "host.layout/%s.%s/fp64/n%d" kernel lname
+                     size)
+                (Staged.stage stage) )
+          in
+          [
+            point "getrf" (fun () -> Batched_lu.factor b);
+            point "trsv" (fun () ->
+                Batched_trsv.solve ~factors:f.Batched_lu.factors
+                  ~pivots:f.Batched_lu.pivots rhs);
+          ])
+        host_sizes)
+    [ Batch.Blocked; Batch.Interleaved ]
+
 let run_host_throughput ~domains ~json () =
-  let points = host_points () in
+  let points = host_points () @ host_layout_points () in
   (* Start from a cold stats cache so the direct-hit tally below reflects
      this run alone, not leftovers from warm-up launches. *)
   Vblu_simt.Launch.Cache.clear ();
@@ -264,7 +300,8 @@ let usage () =
   Printf.eprintf
     "usage: %s [%s] [--domains N] [--breakdown-policy \
      fail|identity|perturb:EPS] [--inject-faults SPEC] [--abft] \
-     [--recovery-policy recompute[:N]|degrade|fail] [--json FILE]\n"
+     [--recovery-policy recompute[:N]|degrade|fail] \
+     [--layout blocked|interleaved] [--json FILE]\n"
     Sys.argv.(0)
     (String.concat "|" targets);
   exit 2
@@ -298,6 +335,8 @@ let parse_faults s =
     Printf.eprintf "invalid --inject-faults spec: %s\n" msg;
     None
 
+let parse_layout s = Result.to_option (Batch.layout_of_string s)
+
 let parse_args () =
   let domains = ref (Domain.recommended_domain_count ()) in
   let policy = ref Vblu_precond.Block_jacobi.Identity_block in
@@ -305,6 +344,7 @@ let parse_args () =
   let abft = ref false in
   let recovery = ref (Vblu_precond.Block_jacobi.Recompute 1) in
   let json = ref None in
+  let layout = ref Batch.Blocked in
   let target = ref "all" in
   let set parse store s rest go =
     match parse s with
@@ -314,6 +354,7 @@ let parse_args () =
   let set_policy = set parse_policy (fun p -> policy := p) in
   let set_recovery = set parse_recovery (fun r -> recovery := r) in
   let set_faults = set parse_faults (fun p -> faults := Some p) in
+  let set_layout = set parse_layout (fun l -> layout := l) in
   let prefixed arg name =
     (* "--name=value" -> Some "value" *)
     let p = "--" ^ name ^ "=" in
@@ -331,6 +372,7 @@ let parse_args () =
     | "--breakdown-policy" :: p :: rest -> set_policy p rest go
     | "--recovery-policy" :: p :: rest -> set_recovery p rest go
     | "--inject-faults" :: s :: rest -> set_faults s rest go
+    | "--layout" :: l :: rest -> set_layout l rest go
     | "--json" :: f :: rest -> json := Some f; go rest
     | "--abft" :: rest -> abft := true; go rest
     | arg :: rest -> (
@@ -349,16 +391,21 @@ let parse_args () =
             match prefixed arg "inject-faults" with
             | Some s -> set_faults s rest go
             | None -> (
-              match prefixed arg "json" with
-              | Some f -> json := Some f; go rest
-              | None when List.mem arg targets -> target := arg; go rest
-              | None -> usage ())))))
+              match prefixed arg "layout" with
+              | Some l -> set_layout l rest go
+              | None -> (
+                match prefixed arg "json" with
+                | Some f -> json := Some f; go rest
+                | None when List.mem arg targets -> target := arg; go rest
+                | None -> usage ()))))))
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!target, !domains, !policy, !faults, !abft, !recovery, !json)
+  (!target, !domains, !policy, !faults, !abft, !recovery, !json, !layout)
 
 let () =
-  let target, domains, policy, faults, abft, recovery, json = parse_args () in
+  let target, domains, policy, faults, abft, recovery, json, layout =
+    parse_args ()
+  in
   let pool = Vblu_par.Pool.create ~num_domains:domains () in
   let ppf = Format.std_formatter in
   let quick = not full in
@@ -371,17 +418,22 @@ let () =
   let all = target = "all" in
   if all || target = "micro" then run_micro ();
   if target = "host-throughput" then run_host_throughput ~domains ~json ();
-  if all || target = "fig4" then Vblu_perf.Kernel_figs.fig4 ~quick ~pool ppf;
-  if all || target = "fig5" then Vblu_perf.Kernel_figs.fig5 ~quick ~pool ppf;
-  if all || target = "fig6" then Vblu_perf.Kernel_figs.fig6 ~quick ~pool ppf;
-  if all || target = "fig7" then Vblu_perf.Kernel_figs.fig7 ~quick ~pool ppf;
+  if all || target = "fig4" then
+    Vblu_perf.Kernel_figs.fig4 ~quick ~pool ~layout ppf;
+  if all || target = "fig5" then
+    Vblu_perf.Kernel_figs.fig5 ~quick ~pool ~layout ppf;
+  if all || target = "fig6" then
+    Vblu_perf.Kernel_figs.fig6 ~quick ~pool ~layout ppf;
+  if all || target = "fig7" then
+    Vblu_perf.Kernel_figs.fig7 ~quick ~pool ~layout ppf;
   if all || target = "ablations" then begin
     Vblu_perf.Kernel_figs.ablation_pivot ~quick ~pool ppf;
     Vblu_perf.Kernel_figs.ablation_trsv ~quick ~pool ppf;
     Vblu_perf.Kernel_figs.ablation_extraction ~quick ~pool ppf;
     Vblu_perf.Kernel_figs.ablation_cholesky ~quick ~pool ppf;
     Vblu_perf.Kernel_figs.ablation_variable_size ~quick ~pool ppf;
-    Vblu_perf.Kernel_figs.abft_overhead ~quick ~pool ppf
+    Vblu_perf.Kernel_figs.abft_overhead ~quick ~pool ppf;
+    Vblu_perf.Kernel_figs.layout_sweep ~quick ~pool ppf
   end;
   if all || target = "fig8" then Vblu_perf.Solver_figs.fig8 ppf (Lazy.force study);
   if all || target = "fig9" then Vblu_perf.Solver_figs.fig9 ppf (Lazy.force study);

@@ -186,6 +186,105 @@ let kernel_cmd name doc driver =
   Cmd.v (Cmd.info name ~doc)
     Term.(const run $ quick_arg $ domains_arg $ trace_arg $ metrics_arg)
 
+let layout_conv =
+  let parse s =
+    match Vblu_core.Batch.layout_of_string s with
+    | Ok l -> Ok l
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf l =
+    Format.pp_print_string ppf (Vblu_core.Batch.layout_name l)
+  in
+  Arg.conv (parse, print)
+
+let layout_arg =
+  let doc =
+    "Batch storage layout: $(b,blocked) (default; matrices back-to-back) \
+     or $(b,interleaved) (SoA cohorts — element i of every cohort member \
+     contiguous, the coalesced layout).  Results are bit-identical; only \
+     the modelled memory traffic changes."
+  in
+  Arg.(
+    value
+    & opt layout_conv Vblu_core.Batch.Blocked
+    & info [ "layout" ] ~docv:"LAYOUT" ~doc)
+
+(* Like [kernel_cmd] for the figure sweeps, which also take --layout. *)
+let fig_cmd name doc driver =
+  let run quick domains layout trace metrics =
+    setup_logs ();
+    with_obs trace metrics (fun obs ->
+        driver ~quick ~pool:(pool_of domains) ?obs ~layout ppf);
+    Format.pp_print_flush ppf ()
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const run $ quick_arg $ domains_arg $ layout_arg $ trace_arg
+      $ metrics_arg)
+
+(* CI gate: run the variable-size LU / TRSV workloads in both layouts and
+   fail unless the coalescing model reports strictly fewer gmem
+   transactions for interleaved storage on every kernel. *)
+let layout_check_cmd =
+  let count =
+    Arg.(
+      value & opt int 64
+      & info [ "count" ] ~docv:"N" ~doc:"Number of blocks in the workload.")
+  in
+  let run count =
+    setup_logs ();
+    let module B = Vblu_core.Batch in
+    let module L = Vblu_simt.Launch in
+    let sizes =
+      B.random_sizes
+        ~state:(Random.State.make [| 0x10c; 1 |])
+        ~count ~min_size:5 ~max_size:30 ()
+    in
+    let txns (s : L.stats) = s.L.total.Vblu_simt.Counter.gmem_transactions in
+    let measure layout =
+      let st = Random.State.make [| 0x10c; 2 |] in
+      let b = B.random_diagdom ~state:st ~layout sizes in
+      let lu = Vblu_core.Batched_lu.factor b in
+      let rhs = B.vec_random ~state:st ~layout sizes in
+      let solve variant =
+        Vblu_core.Batched_trsv.solve ~variant
+          ~factors:lu.Vblu_core.Batched_lu.factors
+          ~pivots:lu.Vblu_core.Batched_lu.pivots rhs
+      in
+      [
+        ("getrf.lu", txns lu.Vblu_core.Batched_lu.stats);
+        ( "trsv.eager",
+          txns (solve Vblu_core.Batched_trsv.Eager).Vblu_core.Batched_trsv.stats
+        );
+        ( "trsv.lazy",
+          txns (solve Vblu_core.Batched_trsv.Lazy).Vblu_core.Batched_trsv.stats
+        );
+      ]
+    in
+    let blocked = measure B.Blocked and interleaved = measure B.Interleaved in
+    let ok = ref true in
+    List.iter2
+      (fun (kernel, b) (_, i) ->
+        let pass = i < b in
+        if not pass then ok := false;
+        Printf.printf "%-10s blocked %12.0f  interleaved %12.0f  %.2fx  %s\n"
+          kernel b i (b /. i)
+          (if pass then "ok" else "FAIL"))
+      blocked interleaved;
+    if not !ok then begin
+      Printf.eprintf
+        "layout-check: interleaved storage did not reduce gmem transactions\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "layout-check"
+       ~doc:
+         "Assert the interleaved layout costs strictly fewer gmem \
+          transactions than blocked on the variable-size LU/TRSV workloads \
+          (exit 1 otherwise); the CI coalescing gate.")
+    Term.(const run $ count)
+
 let with_study quick domains policy faults abft recovery ?obs f =
   setup_logs ();
   let progress msg = Printf.eprintf "[suite] %s\n%!" msg in
@@ -426,14 +525,22 @@ let bench_compare_cmd =
 
 let cmds =
   [
-    kernel_cmd "fig4" "Figure 4: factorization GFLOPS vs batch size."
-      (fun ~quick ~pool ?obs ppf -> Kernel_figs.fig4 ~quick ~pool ?obs ppf);
-    kernel_cmd "fig5" "Figure 5: factorization GFLOPS vs matrix size."
-      (fun ~quick ~pool ?obs ppf -> Kernel_figs.fig5 ~quick ~pool ?obs ppf);
-    kernel_cmd "fig6" "Figure 6: triangular-solve GFLOPS vs batch size."
-      (fun ~quick ~pool ?obs ppf -> Kernel_figs.fig6 ~quick ~pool ?obs ppf);
-    kernel_cmd "fig7" "Figure 7: triangular-solve GFLOPS vs matrix size."
-      (fun ~quick ~pool ?obs ppf -> Kernel_figs.fig7 ~quick ~pool ?obs ppf);
+    fig_cmd "fig4" "Figure 4: factorization GFLOPS vs batch size."
+      (fun ~quick ~pool ?obs ~layout ppf ->
+        Kernel_figs.fig4 ~quick ~pool ?obs ~layout ppf);
+    fig_cmd "fig5" "Figure 5: factorization GFLOPS vs matrix size."
+      (fun ~quick ~pool ?obs ~layout ppf ->
+        Kernel_figs.fig5 ~quick ~pool ?obs ~layout ppf);
+    fig_cmd "fig6" "Figure 6: triangular-solve GFLOPS vs batch size."
+      (fun ~quick ~pool ?obs ~layout ppf ->
+        Kernel_figs.fig6 ~quick ~pool ?obs ~layout ppf);
+    fig_cmd "fig7" "Figure 7: triangular-solve GFLOPS vs matrix size."
+      (fun ~quick ~pool ?obs ~layout ppf ->
+        Kernel_figs.fig7 ~quick ~pool ?obs ~layout ppf);
+    kernel_cmd "layout-sweep"
+      "Blocked vs interleaved storage: transactions and GFLOPS."
+      (fun ~quick ~pool ?obs:_ ppf -> Kernel_figs.layout_sweep ~quick ~pool ppf);
+    layout_check_cmd;
     kernel_cmd "ablation-pivot" "Implicit vs explicit vs no pivoting."
       (fun ~quick ~pool ?obs:_ ppf -> Kernel_figs.ablation_pivot ~quick ~pool ppf);
     kernel_cmd "ablation-trsv" "Eager vs lazy triangular solves."

@@ -13,7 +13,7 @@ type result = {
 let t_d = 64
 let t_ljk = 65
 
-let kernel_factor w gin gout ~off ~s =
+let kernel_factor w gin gout ~off ~st ~s =
   let p = Warp.size w in
   let step = Warp.mask_slot w 0 in
   let addrs = Warp.addr_slot w 0 in
@@ -23,7 +23,7 @@ let kernel_factor w gin gout ~off ~s =
   for j = 0 to s - 1 do
     for lane = 0 to p - 1 do
       step.(lane) <- lane >= j && lane < s;
-      addrs.(lane) <- off + (if lane < s then lane + (j * s) else 0)
+      addrs.(lane) <- off + (if lane < s then st * (lane + (j * s)) else 0)
     done;
     Warp.load_into w gin ~active:step addrs ~dst:(Warp.reg w j)
   done;
@@ -72,7 +72,7 @@ let kernel_factor w gin gout ~off ~s =
   for j = 0 to s - 1 do
     for lane = 0 to p - 1 do
       step.(lane) <- lane >= j && lane < s;
-      addrs.(lane) <- off + (if lane < s then lane + (j * s) else 0)
+      addrs.(lane) <- off + (if lane < s then st * (lane + (j * s)) else 0)
     done;
     Warp.store w gout ~active:step addrs (Warp.reg w j)
   done;
@@ -90,15 +90,17 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let gout = Gmem.create prec (Batch.total_values b) in
   let info = Array.make b.Batch.count 0 in
   let kernel w i =
+    Staging.set_cohort w b i;
     info.(i) <-
-      kernel_factor w gin gout ~off:b.Batch.offsets.(i) ~s:b.Batch.sizes.(i)
+      kernel_factor w gin gout ~off:(Batch.base b i) ~st:(Batch.stride b i)
+        ~s:b.Batch.sizes.(i)
   in
   (* Input and output factors share one offset table; a breakdown
      early-exit diverges the op-event signature and falls back to a
      charging rerun, so value-dependent freezes stay exact. *)
   let cache =
     let align = Config.elements_per_transaction cfg prec in
-    Some (fun i -> b.Batch.offsets.(i) mod align)
+    Some (fun i -> Batch.salt_class b i ~align)
   in
   (* Direct execution: the lower-triangle batch-view factorization repeats
      the kernel's op order (check, sqrt, scale, unconditional trailing
@@ -108,8 +110,8 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     Some
       (fun i ->
         let inf =
-          Cholesky.factor_view ~prec ~src:vin ~dst:vout
-            ~off:b.Batch.offsets.(i) ~n:b.Batch.sizes.(i) ()
+          Cholesky.factor_view ~prec ~stride:(Batch.stride b i) ~src:vin
+            ~dst:vout ~off:(Batch.base b i) ~n:b.Batch.sizes.(i) ()
         in
         info.(i) <- inf;
         inf)
@@ -118,7 +120,7 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     Sampling.run ~cfg ~pool ?obs ~name:"potrf" ?cache ?direct ~prec ~mode
       ~sizes:b.Batch.sizes ~kernel ()
   in
-  let factors = Batch.create b.Batch.sizes in
+  let factors = Batch.create ~layout:(Batch.layout b) b.Batch.sizes in
   let values = Gmem.to_array gout in
   Array.blit values 0 factors.Batch.values 0 (Array.length values);
   { factors; info; stats; exact = (mode = Sampling.Exact) }
@@ -130,7 +132,7 @@ let t_dv = 2
 let t_bk = 3
 let t_prods = 4
 
-let kernel_solve w gmat gvec gout ~moff ~voff ~s =
+let kernel_solve w gmat gvec gout ~moff ~mst ~voff ~vst ~s =
   let p = Warp.size w in
   let active = Warp.mask_slot w 0 in
   let from_k = Warp.mask_slot w 1 in
@@ -144,7 +146,7 @@ let kernel_solve w gmat gvec gout ~moff ~voff ~s =
   and prods = Warp.reg w t_prods in
   for lane = 0 to p - 1 do
     active.(lane) <- lane < s;
-    addrs.(lane) <- voff + min lane (s - 1)
+    addrs.(lane) <- voff + (vst * min lane (s - 1))
   done;
   Warp.load_into w gvec ~active addrs ~dst:b;
   Warp.round_barrier w;
@@ -157,7 +159,7 @@ let kernel_solve w gmat gvec gout ~moff ~voff ~s =
      for k = 0 to s - 1 do
        for lane = 0 to p - 1 do
          from_k.(lane) <- lane >= k && lane < s;
-         addrs.(lane) <- moff + min lane (s - 1) + (k * s)
+         addrs.(lane) <- moff + (mst * (min lane (s - 1) + (k * s)))
        done;
        Warp.load_into w gmat ~active:from_k addrs ~dst:col;
        Warp.broadcast_into w ~dst:d col ~src:k;
@@ -179,7 +181,7 @@ let kernel_solve w gmat gvec gout ~moff ~voff ~s =
      for k = s - 1 downto 0 do
        for lane = 0 to p - 1 do
          from_k.(lane) <- lane >= k && lane < s;
-         addrs.(lane) <- moff + min lane (s - 1) + (k * s)
+         addrs.(lane) <- moff + (mst * (min lane (s - 1) + (k * s)))
        done;
        Warp.load_into w gmat ~active:from_k addrs ~dst:col;
        Warp.broadcast_into w ~dst:d col ~src:k;
@@ -203,7 +205,7 @@ let kernel_solve w gmat gvec gout ~moff ~voff ~s =
      done
    with Exit -> ());
   for lane = 0 to p - 1 do
-    addrs.(lane) <- voff + min lane (s - 1)
+    addrs.(lane) <- voff + (vst * min lane (s - 1))
   done;
   Warp.store w gout ~active addrs b;
   Warp.credit_flops w (Flops.trsv_pair s);
@@ -214,22 +216,26 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ~(factors : Batch.t) (rhs : Batch.vec) =
   if factors.Batch.count <> rhs.Batch.vcount then
     invalid_arg "Batched_cholesky.solve: batch count mismatch";
+  if Batch.layout factors <> Batch.vec_layout rhs then
+    invalid_arg "Batched_cholesky.solve: factors/rhs layout mismatch";
   let gmat = Gmem.of_array prec factors.Batch.values in
   let gvec = Gmem.of_array prec rhs.Batch.vvalues in
   let gout = Gmem.create prec (Array.length rhs.Batch.vvalues) in
   let info = Array.make factors.Batch.count 0 in
   let kernel w i =
+    Staging.set_cohort w factors i;
     info.(i) <-
-      kernel_solve w gmat gvec gout ~moff:factors.Batch.offsets.(i)
-        ~voff:rhs.Batch.voffsets.(i) ~s:factors.Batch.sizes.(i)
+      kernel_solve w gmat gvec gout ~moff:(Batch.base factors i)
+        ~mst:(Batch.stride factors i) ~voff:(Batch.vec_base rhs i)
+        ~vst:(Batch.vec_stride rhs i) ~s:factors.Batch.sizes.(i)
   in
   let cache =
     let align = Config.elements_per_transaction cfg prec in
     Some
       (fun i ->
-        let moff_m = factors.Batch.offsets.(i) mod align
-        and voff_m = rhs.Batch.voffsets.(i) mod align in
-        (moff_m * align) + voff_m)
+        Staging.mix
+          (Batch.salt_class factors i ~align)
+          (Batch.vec_salt_class rhs i ~align))
   in
   (* Direct execution: rhs copy into the output segment, then the in-place
      forward/backward batch-view solve. *)
@@ -240,11 +246,17 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     Some
       (fun i ->
         let s = factors.Batch.sizes.(i) in
-        let voff = rhs.Batch.voffsets.(i) in
-        Array.blit vvec voff vout voff s;
+        let voff = Batch.vec_base rhs i
+        and vst = Batch.vec_stride rhs i in
+        if vst = 1 then Array.blit vvec voff vout voff s
+        else
+          for k = 0 to s - 1 do
+            vout.(voff + (vst * k)) <- vvec.(voff + (vst * k))
+          done;
         let inf =
-          Cholesky.solve_view ~prec ~m:vmat ~moff:factors.Batch.offsets.(i)
-            ~n:s ~b:vout ~boff:voff ()
+          Cholesky.solve_view ~prec ~mstride:(Batch.stride factors i)
+            ~bstride:vst ~m:vmat ~moff:(Batch.base factors i) ~n:s ~b:vout
+            ~boff:voff ()
         in
         info.(i) <- inf;
         inf)
@@ -253,7 +265,7 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     Sampling.run ~cfg ~pool ?obs ~name:"potrs" ?cache ?direct ~prec ~mode
       ~sizes:factors.Batch.sizes ~kernel ()
   in
-  let solutions = Batch.vec_create rhs.Batch.vsizes in
+  let solutions = Batch.vec_create ~layout:rhs.Batch.vlayout rhs.Batch.vsizes in
   let values = Gmem.to_array gout in
   Array.blit values 0 solutions.Batch.vvalues 0 (Array.length values);
   {

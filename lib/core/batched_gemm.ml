@@ -18,18 +18,18 @@ let t_alpha = 66
 let t_beta = 67
 let t_c = 68
 
-let load_rows w g ~off ~s ~base =
+let load_rows w g ~off ~st ~s ~base =
   let p = Warp.size w in
   let active = Warp.mask_slot w 0 in
   let addrs = Warp.addr_slot w 0 in
   for j = 0 to s - 1 do
     for lane = 0 to p - 1 do
-      addrs.(lane) <- off + (if lane < s then lane else 0) + (j * s)
+      addrs.(lane) <- off + (st * ((if lane < s then lane else 0) + (j * s)))
     done;
     Warp.load_into w g ~active addrs ~dst:(Warp.reg w (base + j))
   done
 
-let kernel w ga gb gc gout ~off ~s ~alpha ~beta ~with_c =
+let kernel w ga gb gc gout ~off ~st ~s ~alpha ~beta ~with_c =
   let p = Warp.size w in
   let active = Warp.mask_slot w 0 in
   let addrs = Warp.addr_slot w 0 in
@@ -38,8 +38,8 @@ let kernel w ga gb gc gout ~off ~s ~alpha ~beta ~with_c =
   done;
   (* Registers: lane i holds row i of a (one register per column) and the
      row of c under construction. *)
-  load_rows w ga ~off ~s ~base:a_base;
-  load_rows w gb ~off ~s ~base:b_base;
+  load_rows w ga ~off ~st ~s ~base:a_base;
+  load_rows w gb ~off ~st ~s ~base:b_base;
   Warp.round_barrier w;
   let acc = Warp.reg w t_acc
   and bkj = Warp.reg w t_bkj
@@ -57,7 +57,7 @@ let kernel w ga gb gc gout ~off ~s ~alpha ~beta ~with_c =
     done;
     Warp.mul_into w ~active ~dst:acc acc alpha_v;
     for lane = 0 to p - 1 do
-      addrs.(lane) <- off + (if lane < s then lane else 0) + (j * s)
+      addrs.(lane) <- off + (st * ((if lane < s then lane else 0) + (j * s)))
     done;
     if with_c then begin
       Warp.load_into w gc ~active addrs ~dst:cj;
@@ -73,10 +73,14 @@ let multiply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(beta = 0.0) ~(a : Batch.t) ~(b : Batch.t) ?c () =
   if a.Batch.sizes <> b.Batch.sizes then
     invalid_arg "Batched_gemm.multiply: size mismatch between a and b";
+  if Batch.layout a <> Batch.layout b then
+    invalid_arg "Batched_gemm.multiply: layout mismatch between a and b";
   (match c with
   | Some (c : Batch.t) ->
     if c.Batch.sizes <> a.Batch.sizes then
-      invalid_arg "Batched_gemm.multiply: size mismatch with c"
+      invalid_arg "Batched_gemm.multiply: size mismatch with c";
+    if Batch.layout c <> Batch.layout a then
+      invalid_arg "Batched_gemm.multiply: layout mismatch with c"
   | None -> ());
   Array.iter
     (fun s ->
@@ -93,8 +97,9 @@ let multiply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   in
   let gout = Gmem.create prec (Batch.total_values a) in
   let kern w i =
-    kernel w ga gb gc gout ~off:a.Batch.offsets.(i) ~s:a.Batch.sizes.(i) ~alpha
-      ~beta ~with_c
+    Staging.set_cohort w a i;
+    kernel w ga gb gc gout ~off:(Batch.base a i) ~st:(Batch.stride a i)
+      ~s:a.Batch.sizes.(i) ~alpha ~beta ~with_c
   in
   (* a, b, c and the product share one offset table (sizes are checked
      equal), so a single alignment class plus the with_c flag keys the
@@ -102,7 +107,8 @@ let multiply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let cache =
     let align = Config.elements_per_transaction cfg prec in
     Some
-      (fun i -> (Bool.to_int with_c * align) + (a.Batch.offsets.(i) mod align))
+      (fun i ->
+        Staging.mix (Bool.to_int with_c) (Batch.salt_class a i ~align))
   in
   (* Direct execution: the column-order host GEMM view repeats the
      kernel's rounding sequence exactly (fma chain from zero, then the
@@ -116,15 +122,16 @@ let multiply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     let vc = if with_c then Some (Gmem.raw gc) else None in
     Some
       (fun i ->
-        Matrix.gemm_col_view ~prec ~alpha ~beta ?c:vc ~a:va ~b:vb ~dst:vout
-          ~off:a.Batch.offsets.(i) ~n:a.Batch.sizes.(i) ();
+        Matrix.gemm_col_view ~prec ~stride:(Batch.stride a i) ~alpha ~beta
+          ?c:vc ~a:va ~b:vb ~dst:vout ~off:(Batch.base a i)
+          ~n:a.Batch.sizes.(i) ();
         0)
   in
   let stats =
     Sampling.run ~cfg ~pool ?obs ~name:"gemm" ?cache ?direct ~prec ~mode
       ~sizes:a.Batch.sizes ~kernel:kern ()
   in
-  let products = Batch.create a.Batch.sizes in
+  let products = Batch.create ~layout:(Batch.layout a) a.Batch.sizes in
   let values = Gmem.to_array gout in
   Array.blit values 0 products.Batch.values 0 (Array.length values);
   { products; stats; exact = (mode = Sampling.Exact) }

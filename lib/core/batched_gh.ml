@@ -151,6 +151,7 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let info = Array.make b.Batch.count 0 in
   let verdicts = Array.make b.Batch.count Fault.Unchecked in
   let kernel w i =
+    Staging.set_cohort w b i;
     let s = b.Batch.sizes.(i) in
     let f, inf = Gauss_huard.factor_status ~prec ~storage (Batch.get_matrix b i) in
     (match faults with
@@ -201,7 +202,7 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   in
   let stats =
     Sampling.run ~cfg ~pool ?faults ?obs ~name
-      ~cache:(fun _ -> Bool.to_int abft)
+      ~cache:(fun i -> Staging.mix (Bool.to_int abft) (Batch.cohort_salt b i))
       ?direct ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
   in
   Vblu_obs.Ctx.record_verdicts obs verdicts;
@@ -218,7 +219,7 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(abft = false) ?obs (r : result) (rhs : Batch.vec) =
   if Array.length r.factors <> rhs.Batch.vcount then
     invalid_arg "Batched_gh.solve: batch count mismatch";
-  let solutions = Batch.vec_create rhs.Batch.vsizes in
+  let solutions = Batch.vec_create ~layout:rhs.Batch.vlayout rhs.Batch.vsizes in
   let storage =
     if Array.length r.factors = 0 then Gauss_huard.Normal
     else r.factors.(0).Gauss_huard.storage
@@ -226,6 +227,7 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let solve_info = Array.make rhs.Batch.vcount 0 in
   let solve_verdicts = Array.make rhs.Batch.vcount Fault.Unchecked in
   let kernel w i =
+    Staging.set_vec_cohort w rhs i;
     let s = rhs.Batch.vsizes.(i) in
     let x, inf = Gauss_huard.solve_status ~prec r.factors.(i) (Batch.vec_get rhs i) in
     (match faults with
@@ -255,9 +257,13 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   in
   (* The solve's kernel name does not encode the storage layout, so it
      goes into the salt alongside the abft flag. *)
-  let cache _ =
-    (Bool.to_int abft * 2)
-    + (match storage with Gauss_huard.Normal -> 0 | Gauss_huard.Transposed -> 1)
+  let cache i =
+    Staging.mix
+      (Staging.mix (Bool.to_int abft)
+         (match storage with
+         | Gauss_huard.Normal -> 0
+         | Gauss_huard.Transposed -> 1))
+      (Batch.vec_cohort_salt rhs i)
   in
   let direct =
     if abft then None

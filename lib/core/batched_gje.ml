@@ -46,6 +46,7 @@ let invert ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let inverses = Array.make b.Batch.count (Matrix.identity 1) in
   let info = Array.make b.Batch.count 0 in
   let kernel w i =
+    Staging.set_cohort w b i;
     let inv, inf = Gauss_jordan.invert_status ~prec (Batch.get_matrix b i) in
     inverses.(i) <- inv;
     info.(i) <- inf;
@@ -53,12 +54,13 @@ let invert ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
        stream, like the register kernels predicating off a dead problem. *)
     charge_invert w ~s:b.Batch.sizes.(i)
   in
-  (* The analytic charge stream is a pure function of the block size —
-     elems-based coalescing sees no raw addresses — so a constant salt
-     suffices. *)
+  (* The analytic charge stream is a pure function of the block size and
+     the cohort width (elems-based coalescing sees no raw addresses), so
+     the layout tag is the whole salt. *)
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"gje.invert" ~cache:(fun _ -> 0) ~prec
-      ~mode ~sizes:b.Batch.sizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"gje.invert"
+      ~cache:(fun i -> Batch.cohort_salt b i) ~prec ~mode ~sizes:b.Batch.sizes
+      ~kernel ()
   in
   { inverses; info; stats; exact = (mode = Sampling.Exact) }
 
@@ -79,14 +81,16 @@ let apply ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     (rhs : Batch.vec) =
   if Array.length r.inverses <> rhs.Batch.vcount then
     invalid_arg "Batched_gje.apply: batch count mismatch";
-  let products = Batch.vec_create rhs.Batch.vsizes in
+  let products = Batch.vec_create ~layout:rhs.Batch.vlayout rhs.Batch.vsizes in
   let kernel w i =
+    Staging.set_vec_cohort w rhs i;
     let x = Matrix.gemv ~prec r.inverses.(i) (Batch.vec_get rhs i) in
     Batch.vec_set products i x;
     charge_apply w ~s:rhs.Batch.vsizes.(i)
   in
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"gje.apply" ~cache:(fun _ -> 0) ~prec
-      ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"gje.apply"
+      ~cache:(fun i -> Batch.vec_cohort_salt rhs i) ~prec ~mode
+      ~sizes:rhs.Batch.vsizes ~kernel ()
   in
   { products; apply_stats = stats; apply_exact = (mode = Sampling.Exact) }

@@ -46,17 +46,19 @@ let fill_lt w m s =
 
 (* Load the block at [off] of order [s] into the padded register tile:
    reg slot j holds column j, element (lane, j) in lane [lane]; one
-   coalesced load per column.  Padding columns are zero-filled — arena
-   slots are reused across problems, so the fill replaces the fresh-array
-   guarantee the allocating tile had. *)
-let load_tile w gin ~off ~s =
+   coalesced load per column.  [st] is the batch's element stride (1 for
+   blocked, cohort width for interleaved — addresses walk same-element
+   strips).  Padding columns are zero-filled — arena slots are reused
+   across problems, so the fill replaces the fresh-array guarantee the
+   allocating tile had. *)
+let load_tile w gin ~off ~st ~s =
   let p = Warp.size w in
   let active = Warp.mask_slot w 0 in
   fill_lt w active s;
   let addrs = Warp.addr_slot w 0 in
   for j = 0 to s - 1 do
     for lane = 0 to p - 1 do
-      addrs.(lane) <- off + (if lane < s then lane + (j * s) else 0)
+      addrs.(lane) <- off + (if lane < s then st * (lane + (j * s)) else 0)
     done;
     Warp.load_into w gin ~active addrs ~dst:(Warp.reg w j)
   done;
@@ -65,7 +67,7 @@ let load_tile w gin ~off ~s =
   done;
   Warp.round_barrier w
 
-let store_tile w gout ~off ~s ~dest =
+let store_tile w gout ~off ~st ~s ~dest =
   (* One store per column; [dest.(lane)] is the output row of lane's row —
      the identity for explicit pivoting, the accumulated permutation for
      implicit pivoting (the "combined row swap fused with the off-load"). *)
@@ -75,7 +77,7 @@ let store_tile w gout ~off ~s ~dest =
   let addrs = Warp.addr_slot w 0 in
   for j = 0 to s - 1 do
     for lane = 0 to p - 1 do
-      addrs.(lane) <- off + (if lane < s then dest.(lane) + (j * s) else 0)
+      addrs.(lane) <- off + (if lane < s then st * (dest.(lane) + (j * s)) else 0)
     done;
     Warp.store w gout ~active addrs (Warp.reg w j)
   done
@@ -182,9 +184,9 @@ let verify_in_place w ~s ~perm ~abft ~info =
    references freeze at exactly the same point, keeping kernel and
    reference bit-for-bit identical even on singular blocks. *)
 
-let kernel_implicit w gin gout ~off ~s ~abft =
+let kernel_implicit w gin gout ~off ~st ~s ~abft =
   let p = Warp.size w in
-  load_tile w gin ~off ~s;
+  load_tile w gin ~off ~st ~s;
   (* Checksums are encoded after the load and before any fault can arm
      (sites arm at [Warp.fault_step]), so a corruption always lands on
      checksum-protected state. *)
@@ -253,12 +255,12 @@ let kernel_implicit w gin gout ~off ~s ~abft =
   for lane = 0 to p - 1 do
     dest.(lane) <- (if lane < s then step.(lane) else 0)
   done;
-  store_tile w gout ~off ~s ~dest;
+  store_tile w gout ~off ~st ~s ~dest;
   (perm, !info, verdict)
 
-let kernel_explicit w gin gout ~off ~s ~abft =
+let kernel_explicit w gin gout ~off ~st ~s ~abft =
   let p = Warp.size w in
-  load_tile w gin ~off ~s;
+  load_tile w gin ~off ~st ~s;
   if abft then abft_encode w ~s;
   let perm = Array.init s (fun i -> i) in
   let active = Warp.mask_slot w 1 in
@@ -309,12 +311,12 @@ let kernel_explicit w gin gout ~off ~s ~abft =
   for lane = 0 to p - 1 do
     dest.(lane) <- (if lane < s then lane else 0)
   done;
-  store_tile w gout ~off ~s ~dest;
+  store_tile w gout ~off ~st ~s ~dest;
   (perm, !info, verdict)
 
-let kernel_nopivot w gin gout ~off ~s ~abft =
+let kernel_nopivot w gin gout ~off ~st ~s ~abft =
   let p = Warp.size w in
-  load_tile w gin ~off ~s;
+  load_tile w gin ~off ~st ~s;
   if abft then abft_encode w ~s;
   let d = Warp.reg w t_bcast and urow = Warp.reg w t_urow in
   let below = Warp.mask_slot w 1 in
@@ -344,7 +346,7 @@ let kernel_nopivot w gin gout ~off ~s ~abft =
   for lane = 0 to p - 1 do
     dest.(lane) <- (if lane < s then lane else 0)
   done;
-  store_tile w gout ~off ~s ~dest;
+  store_tile w gout ~off ~st ~s ~dest;
   (perm, !info, verdict)
 
 let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
@@ -353,22 +355,24 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   check_batch cfg b;
   let gin = Gmem.of_array prec b.Batch.values in
   let gout = Gmem.create prec (Batch.total_values b) in
-  (* Pivot vectors live in their own device buffer, one entry per row. *)
-  let poffsets = Array.make (b.Batch.count + 1) 0 in
-  for i = 0 to b.Batch.count - 1 do
-    poffsets.(i + 1) <- poffsets.(i) + b.Batch.sizes.(i)
-  done;
-  let gpiv = Gmem.create prec poffsets.(b.Batch.count) in
+  (* Pivot vectors live in their own device buffer, one entry per row,
+     laid out like the batch (a vector batch over the same sizes shares
+     the matrix batch's cohort geometry). *)
+  let pvec = Batch.vec_create ~layout:(Batch.layout b) b.Batch.sizes in
+  let gpiv = Gmem.create prec (Array.length pvec.Batch.vvalues) in
   let pivots = Array.make b.Batch.count [||] in
   let info = Array.make b.Batch.count 0 in
   let verdicts = Array.make b.Batch.count Fault.Unchecked in
   let kernel w i =
-    let off = b.Batch.offsets.(i) and s = b.Batch.sizes.(i) in
+    Staging.set_cohort w b i;
+    let off = Batch.base b i
+    and st = Batch.stride b i
+    and s = b.Batch.sizes.(i) in
     let perm, inf, verdict =
       match pivoting with
-      | Implicit -> kernel_implicit w gin gout ~off ~s ~abft
-      | Explicit -> kernel_explicit w gin gout ~off ~s ~abft
-      | No_pivoting -> kernel_nopivot w gin gout ~off ~s ~abft
+      | Implicit -> kernel_implicit w gin gout ~off ~st ~s ~abft
+      | Explicit -> kernel_explicit w gin gout ~off ~st ~s ~abft
+      | No_pivoting -> kernel_nopivot w gin gout ~off ~st ~s ~abft
     in
     pivots.(i) <- perm;
     info.(i) <- inf;
@@ -379,7 +383,7 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     fill_lt w active s;
     let addrs = Warp.addr_slot w 0 and vals = Warp.reg w t_vals in
     for lane = 0 to p - 1 do
-      addrs.(lane) <- poffsets.(i) + min (s - 1) lane;
+      addrs.(lane) <- Batch.vec_index pvec i (min (s - 1) lane);
       vals.(lane) <- (if lane < s then float_of_int perm.(lane) else 0.0)
     done;
     Warp.store w gpiv ~active addrs vals;
@@ -395,9 +399,13 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
      sets are permutation-invariant), so their counters cache; the
      explicit kernel's conditional row swaps make its instruction stream
      value-dependent — caching it would just rerun every problem twice.
-     The salt carries the ABFT flag plus the transaction-alignment class
-     of both device buffers a problem addresses (tile and pivot vector) —
-     coalescing charges depend on [offset mod] elements-per-transaction. *)
+     The salt carries the ABFT flag plus the layout-aware
+     transaction-alignment class of both device buffers a problem
+     addresses (tile and pivot vector) — coalescing charges depend on
+     [offset mod] elements-per-transaction for blocked launches and on
+     the cohort width for interleaved ones, and [Batch.salt_class] keeps
+     the two layouts' classes disjoint so an entry recorded under one
+     layout can never replay for the other. *)
   let cache =
     match pivoting with
     | Explicit -> None
@@ -405,9 +413,9 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
       let align = Config.elements_per_transaction cfg prec in
       Some
         (fun i ->
-          let off_m = b.Batch.offsets.(i) mod align
-          and poff_m = poffsets.(i) mod align in
-          ((Bool.to_int abft * align) + off_m) * align + poff_m)
+          Staging.mix
+            (Staging.mix (Bool.to_int abft) (Batch.salt_class b i ~align))
+            (Batch.vec_salt_class pvec i ~align))
   in
   (* Direct execution: the cacheable schedules restated as smallblas
      batch-view loops, producing every observable effect of the kernel —
@@ -422,31 +430,38 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
       let vin = Gmem.raw gin and vout = Gmem.raw gout and vpiv = Gmem.raw gpiv in
       Some
         (fun i ->
-          let off = b.Batch.offsets.(i) and s = b.Batch.sizes.(i) in
+          let off = Batch.base b i
+          and st = Batch.stride b i
+          and s = b.Batch.sizes.(i) in
           let sc = Hostexec.get () in
           let perm = Array.make s 0 in
           let inf =
-            Lu.factor_implicit_view ~prec ~src:vin ~dst:vout ~off ~n:s
-              ~tile:sc.Hostexec.tile ~step:sc.Hostexec.ints ~perm ()
+            Lu.factor_implicit_view ~prec ~src:vin ~dst:vout ~off ~stride:st
+              ~n:s ~tile:sc.Hostexec.tile ~step:sc.Hostexec.ints ~perm ()
           in
           pivots.(i) <- perm;
           info.(i) <- inf;
           verdicts.(i) <- Fault.Unchecked;
           for lane = 0 to s - 1 do
-            vpiv.(poffsets.(i) + lane) <- float_of_int perm.(lane)
+            vpiv.(Batch.vec_index pvec i lane) <- float_of_int perm.(lane)
           done;
           inf)
     | No_pivoting ->
       let vin = Gmem.raw gin and vout = Gmem.raw gout and vpiv = Gmem.raw gpiv in
       Some
         (fun i ->
-          let off = b.Batch.offsets.(i) and s = b.Batch.sizes.(i) in
-          let inf = Lu.factor_nopivot_view ~prec ~src:vin ~dst:vout ~off ~n:s () in
+          let off = Batch.base b i
+          and st = Batch.stride b i
+          and s = b.Batch.sizes.(i) in
+          let inf =
+            Lu.factor_nopivot_view ~prec ~src:vin ~dst:vout ~off ~stride:st
+              ~n:s ()
+          in
           pivots.(i) <- Array.init s (fun k -> k);
           info.(i) <- inf;
           verdicts.(i) <- Fault.Unchecked;
           for lane = 0 to s - 1 do
-            vpiv.(poffsets.(i) + lane) <- float_of_int lane
+            vpiv.(Batch.vec_index pvec i lane) <- float_of_int lane
           done;
           inf)
   in
@@ -457,8 +472,8 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   Vblu_obs.Ctx.record_verdicts obs verdicts;
   let values = Gmem.to_array gout in
   let factors =
-    (* Rebuild a batch sharing the shape of the input. *)
-    let out = Batch.create b.Batch.sizes in
+    (* Rebuild a batch sharing the shape (and layout) of the input. *)
+    let out = Batch.create ~layout:(Batch.layout b) b.Batch.sizes in
     Array.blit values 0 out.Batch.values 0 (Array.length values);
     out
   in

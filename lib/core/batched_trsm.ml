@@ -16,7 +16,7 @@ let t_col = 64
 let t_d = 65
 let t_bk = 66
 
-let kernel w gmat gvecs gouts ~moff ~voff ~s ~perm =
+let kernel w gmat gvecs gouts ~moff ~mst ~voff ~vst ~s ~perm =
   let p = Warp.size w in
   let nrhs = Array.length gvecs in
   let active = Warp.mask_slot w 0 in
@@ -34,7 +34,7 @@ let kernel w gmat gvecs gouts ~moff ~voff ~s ~perm =
   and bk = Warp.reg w t_bk in
   (* Load every right-hand side with the fused permutation. *)
   for lane = 0 to p - 1 do
-    addrs.(lane) <- (voff + if lane < s then perm.(lane) else 0)
+    addrs.(lane) <- (voff + if lane < s then vst * perm.(lane) else 0)
   done;
   Array.iteri (fun r g -> Warp.load_into w g ~active addrs ~dst:b.(r)) gvecs;
   Warp.round_barrier w;
@@ -42,7 +42,7 @@ let kernel w gmat gvecs gouts ~moff ~voff ~s ~perm =
   for k = 0 to s - 2 do
     for lane = 0 to p - 1 do
       step.(lane) <- lane > k && lane < s;
-      addrs.(lane) <- moff + (if lane < s then lane else 0) + (k * s)
+      addrs.(lane) <- moff + (mst * ((if lane < s then lane else 0) + (k * s)))
     done;
     Warp.load_into w gmat ~active:step addrs ~dst:col;
     for r = 0 to nrhs - 1 do
@@ -58,7 +58,7 @@ let kernel w gmat gvecs gouts ~moff ~voff ~s ~perm =
      for k = s - 1 downto 0 do
        for lane = 0 to p - 1 do
          step.(lane) <- lane <= k;
-         addrs.(lane) <- moff + min lane (s - 1) + (k * s)
+         addrs.(lane) <- moff + (mst * (min lane (s - 1) + (k * s)))
        done;
        Warp.load_into w gmat ~active:step addrs ~dst:col;
        Warp.broadcast_into w ~dst:d col ~src:k;
@@ -80,7 +80,7 @@ let kernel w gmat gvecs gouts ~moff ~voff ~s ~perm =
      done
    with Exit -> ());
   for lane = 0 to p - 1 do
-    addrs.(lane) <- voff + min lane (s - 1)
+    addrs.(lane) <- voff + (vst * min lane (s - 1))
   done;
   Array.iteri (fun r g -> Warp.store w g ~active addrs b.(r)) gouts;
   Warp.credit_flops w (float_of_int nrhs *. Flops.trsv_pair s);
@@ -100,6 +100,8 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     (fun (rhs : Batch.vec) ->
       if rhs.Batch.vcount <> factors.Batch.count then
         invalid_arg "Batched_trsm.solve: batch count mismatch";
+      if rhs.Batch.vlayout <> Batch.layout factors then
+        invalid_arg "Batched_trsm.solve: factors/rhs layout mismatch";
       Array.iteri
         (fun i s ->
           if rhs.Batch.vsizes.(i) <> s then
@@ -117,14 +119,17 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   in
   let info = Array.make factors.Batch.count 0 in
   let kernel w i =
+    Staging.set_cohort w factors i;
     let s = factors.Batch.sizes.(i) in
     let perm =
       if Array.length pivots.(i) = 0 then Array.init s (fun k -> k)
       else pivots.(i)
     in
     info.(i) <-
-      kernel w gmat gvecs gouts ~moff:factors.Batch.offsets.(i)
-        ~voff:rhs_sets.(0).Batch.voffsets.(i) ~s ~perm
+      kernel w gmat gvecs gouts ~moff:(Batch.base factors i)
+        ~mst:(Batch.stride factors i)
+        ~voff:(Batch.vec_base rhs_sets.(0) i)
+        ~vst:(Batch.vec_stride rhs_sets.(0) i) ~s ~perm
   in
   (* The charge stream scales with the rhs count, and coalescing charges
      with the buffer alignments, so both go into the cache salt (all rhs
@@ -134,9 +139,9 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     let nrhs = Array.length rhs_sets in
     Some
       (fun i ->
-        let moff_m = factors.Batch.offsets.(i) mod align
-        and voff_m = rhs_sets.(0).Batch.voffsets.(i) mod align in
-        ((nrhs * align) + moff_m) * align + voff_m)
+        Staging.mix
+          (Staging.mix nrhs (Batch.salt_class factors i ~align))
+          (Batch.vec_salt_class rhs_sets.(0) i ~align))
   in
   (* Direct execution: the kernel's interleaved multi-rhs schedule carries
      no data flow between right-hand sides, so solving each one through
@@ -148,19 +153,27 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     Some
       (fun i ->
         let s = factors.Batch.sizes.(i) in
-        let moff = factors.Batch.offsets.(i)
-        and voff = rhs_sets.(0).Batch.voffsets.(i) in
+        let moff = Batch.base factors i
+        and mst = Batch.stride factors i
+        and voff = Batch.vec_base rhs_sets.(0) i
+        and vst = Batch.vec_stride rhs_sets.(0) i in
         let piv = pivots.(i) in
         let inf = ref 0 in
         for r = 0 to Array.length vvecs - 1 do
           let vvec = vvecs.(r) and vout = vouts.(r) in
-          if Array.length piv = 0 then Array.blit vvec voff vout voff s
+          if Array.length piv = 0 && vst = 1 then
+            Array.blit vvec voff vout voff s
+          else if Array.length piv = 0 then
+            for k = 0 to s - 1 do
+              vout.(voff + (vst * k)) <- vvec.(voff + (vst * k))
+            done
           else
             for k = 0 to s - 1 do
-              vout.(voff + k) <- vvec.(voff + piv.(k))
+              vout.(voff + (vst * k)) <- vvec.(voff + (vst * piv.(k)))
             done;
           inf :=
-            Trsv.pair_eager_view ~prec ~m:vmat ~moff ~n:s ~b:vout ~boff:voff ()
+            Trsv.pair_eager_view ~prec ~mstride:mst ~bstride:vst ~m:vmat ~moff
+              ~n:s ~b:vout ~boff:voff ()
         done;
         info.(i) <- !inf;
         !inf)
@@ -172,7 +185,10 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let solutions =
     Array.mapi
       (fun r g ->
-        let out = Batch.vec_create rhs_sets.(r).Batch.vsizes in
+        let out =
+          Batch.vec_create ~layout:rhs_sets.(r).Batch.vlayout
+            rhs_sets.(r).Batch.vsizes
+        in
         let values = Gmem.to_array g in
         Array.blit values 0 out.Batch.vvalues 0 (Array.length values);
         out)

@@ -39,7 +39,7 @@ let fill_lt w m s =
    so detection honestly re-reads them — roughly doubling the kernel's
    traffic) and compare lanewise against the permuted right-hand side
    captured at load time, before any fault can arm. *)
-let abft_check w gmat ~moff ~s ~b0 x =
+let abft_check w gmat ~moff ~mst ~s ~b0 x =
   let p = Warp.size w in
   let prec = Warp.prec w in
   let ux = Warp.reg w t_ux
@@ -55,7 +55,7 @@ let abft_check w gmat ~moff ~s ~b0 x =
   for j = 0 to s - 1 do
     for lane = 0 to p - 1 do
       act.(lane) <- lane <= j && lane < s;
-      addrs.(lane) <- moff + min lane (s - 1) + (j * s)
+      addrs.(lane) <- moff + (mst * (min lane (s - 1) + (j * s)))
     done;
     Warp.load_into w gmat ~active:act addrs ~dst:col;
     Warp.broadcast_into w ~dst:xj x ~src:j;
@@ -69,7 +69,7 @@ let abft_check w gmat ~moff ~s ~b0 x =
   for j = 0 to s - 2 do
     for lane = 0 to p - 1 do
       act.(lane) <- lane > j && lane < s;
-      addrs.(lane) <- moff + (if lane < s then lane else 0) + (j * s)
+      addrs.(lane) <- moff + (mst * ((if lane < s then lane else 0) + (j * s)))
     done;
     Warp.load_into w gmat ~active:act addrs ~dst:col;
     Warp.broadcast_into w ~dst:xj ux ~src:j;
@@ -94,7 +94,7 @@ let abft_check w gmat ~moff ~s ~b0 x =
 
 (* Eager (AXPY) schedule: per step one coalesced column load, one shuffle
    broadcast of the freshly final solution element, one predicated FNMA. *)
-let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
+let kernel_eager w gmat gvec gout ~moff ~mst ~voff ~vst ~s ~perm ~abft =
   let p = Warp.size w in
   let active = Warp.mask_slot w 0 in
   fill_lt w active s;
@@ -106,7 +106,7 @@ let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
   let step = Warp.mask_slot w 1 in
   (* Fused permutation on load: lane k reads b(perm(k)). *)
   for lane = 0 to p - 1 do
-    addrs.(lane) <- (voff + if lane < s then perm.(lane) else 0)
+    addrs.(lane) <- (voff + if lane < s then vst * perm.(lane) else 0)
   done;
   Warp.load_into w gvec ~active addrs ~dst:b;
   Warp.round_barrier w;
@@ -119,7 +119,7 @@ let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
     Warp.fault_step w k;
     for lane = 0 to p - 1 do
       step.(lane) <- lane > k && lane < s;
-      addrs.(lane) <- moff + (if lane < s then lane else 0) + (k * s)
+      addrs.(lane) <- moff + (mst * ((if lane < s then lane else 0) + (k * s)))
     done;
     Warp.load_into w gmat ~active:step addrs ~dst:col;
     Warp.broadcast_into w ~dst:bk b ~src:k;
@@ -134,7 +134,7 @@ let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
        Warp.fault_step w k;
        for lane = 0 to p - 1 do
          step.(lane) <- lane <= k;
-         addrs.(lane) <- moff + min lane (s - 1) + (k * s)
+         addrs.(lane) <- moff + (mst * (min lane (s - 1) + (k * s)))
        done;
        Warp.load_into w gmat ~active:step addrs ~dst:col;
        Warp.broadcast_into w ~dst:d col ~src:k;
@@ -154,11 +154,11 @@ let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
      done
    with Exit -> ());
   let verdict =
-    if abft && !info = 0 then abft_check w gmat ~moff ~s ~b0 b
+    if abft && !info = 0 then abft_check w gmat ~moff ~mst ~s ~b0 b
     else Fault.Unchecked
   in
   for lane = 0 to p - 1 do
-    addrs.(lane) <- voff + min lane (s - 1)
+    addrs.(lane) <- voff + (vst * min lane (s - 1))
   done;
   Warp.store w gout ~active addrs b;
   Warp.credit_flops w (Flops.trsv_pair s);
@@ -166,7 +166,7 @@ let kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
 
 (* Lazy (DOT) schedule: per step one non-coalesced row load and a warp
    reduction; the ablation showing why the paper prefers the eager form. *)
-let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
+let kernel_lazy w gmat gvec gout ~moff ~mst ~voff ~vst ~s ~perm ~abft =
   let p = Warp.size w in
   let active = Warp.mask_slot w 0 in
   fill_lt w active s;
@@ -176,7 +176,7 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
   and prod = Warp.reg w t_prod in
   let act = Warp.mask_slot w 1 in
   for lane = 0 to p - 1 do
-    addrs.(lane) <- (voff + if lane < s then perm.(lane) else 0)
+    addrs.(lane) <- (voff + if lane < s then vst * perm.(lane) else 0)
   done;
   Warp.load_into w gvec ~active addrs ~dst:b;
   Warp.round_barrier w;
@@ -187,7 +187,7 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
        reduction (log2 p shuffle+add rounds, charged like argmax). *)
     for lane = 0 to p - 1 do
       act.(lane) <- lane < upto_excl;
-      addrs.(lane) <- moff + k + (min lane (s - 1) * s)
+      addrs.(lane) <- moff + (mst * (k + (min lane (s - 1) * s)))
     done;
     Warp.load_into w gmat ~active:act addrs ~dst:row;
     Warp.mul_into w ~active:act ~dst:prod row b;
@@ -219,7 +219,7 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
           like every other row element. *)
        for lane = 0 to p - 1 do
          act.(lane) <- lane >= k && lane < s;
-         addrs.(lane) <- moff + k + (min lane (s - 1) * s)
+         addrs.(lane) <- moff + (mst * (k + (min lane (s - 1) * s)))
        done;
        Warp.load_into w gmat ~active:act addrs ~dst:row;
        for lane = 0 to p - 1 do
@@ -245,11 +245,11 @@ let kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm ~abft =
      done
    with Exit -> ());
   let verdict =
-    if abft && !info = 0 then abft_check w gmat ~moff ~s ~b0 b
+    if abft && !info = 0 then abft_check w gmat ~moff ~mst ~s ~b0 b
     else Fault.Unchecked
   in
   for lane = 0 to p - 1 do
-    addrs.(lane) <- voff + min lane (s - 1)
+    addrs.(lane) <- voff + (vst * min lane (s - 1))
   done;
   Warp.store w gout ~active addrs b;
   Warp.credit_flops w (Flops.trsv_pair s);
@@ -260,6 +260,11 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?faults ?(abft = false) ?obs ~(factors : Batch.t) ~pivots (rhs : Batch.vec) =
   if factors.Batch.count <> rhs.Batch.vcount then
     invalid_arg "Batched_trsv.solve: batch count mismatch";
+  (* Same layout on both buffers: cohort grouping is a pure function of
+     the sizes, so matching layouts guarantee matching cohort geometry —
+     one warp cohort context serves factors and right-hand sides. *)
+  if Batch.layout factors <> Batch.vec_layout rhs then
+    invalid_arg "Batched_trsv.solve: factors/rhs layout mismatch";
   if Array.length pivots <> factors.Batch.count then
     invalid_arg
       (Printf.sprintf
@@ -278,16 +283,22 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let info = Array.make factors.Batch.count 0 in
   let verdicts = Array.make factors.Batch.count Fault.Unchecked in
   let kernel w i =
+    Staging.set_cohort w factors i;
     let s = factors.Batch.sizes.(i) in
     let perm =
       if Array.length pivots.(i) = 0 then Array.init s (fun k -> k)
       else pivots.(i)
     in
-    let moff = factors.Batch.offsets.(i) and voff = rhs.Batch.voffsets.(i) in
+    let moff = Batch.base factors i
+    and mst = Batch.stride factors i
+    and voff = Batch.vec_base rhs i
+    and vst = Batch.vec_stride rhs i in
     let inf, verdict =
       match variant with
-      | Eager -> kernel_eager w gmat gvec gout ~moff ~voff ~s ~perm ~abft
-      | Lazy -> kernel_lazy w gmat gvec gout ~moff ~voff ~s ~perm ~abft
+      | Eager ->
+        kernel_eager w gmat gvec gout ~moff ~mst ~voff ~vst ~s ~perm ~abft
+      | Lazy ->
+        kernel_lazy w gmat gvec gout ~moff ~mst ~voff ~vst ~s ~perm ~abft
     in
     info.(i) <- inf;
     verdicts.(i) <- verdict
@@ -303,9 +314,9 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     let align = Config.elements_per_transaction cfg prec in
     Some
       (fun i ->
-        let moff_m = factors.Batch.offsets.(i) mod align
-        and voff_m = rhs.Batch.voffsets.(i) mod align in
-        ((Bool.to_int abft * align) + moff_m) * align + voff_m)
+        Staging.mix
+          (Staging.mix (Bool.to_int abft) (Batch.salt_class factors i ~align))
+          (Batch.vec_salt_class rhs i ~align))
   in
   (* Direct execution: permuted rhs copy into the output segment, then the
      matching batch-view solve pair in place — bitwise the kernel's
@@ -320,20 +331,29 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
       Some
         (fun i ->
           let s = factors.Batch.sizes.(i) in
-          let moff = factors.Batch.offsets.(i)
-          and voff = rhs.Batch.voffsets.(i) in
+          let moff = Batch.base factors i
+          and mst = Batch.stride factors i
+          and voff = Batch.vec_base rhs i
+          and vst = Batch.vec_stride rhs i in
           let piv = pivots.(i) in
-          if Array.length piv = 0 then Array.blit vvec voff vout voff s
+          if Array.length piv = 0 && vst = 1 then
+            Array.blit vvec voff vout voff s
+          else if Array.length piv = 0 then
+            for k = 0 to s - 1 do
+              vout.(voff + (vst * k)) <- vvec.(voff + (vst * k))
+            done
           else
             for k = 0 to s - 1 do
-              vout.(voff + k) <- vvec.(voff + piv.(k))
+              vout.(voff + (vst * k)) <- vvec.(voff + (vst * piv.(k)))
             done;
           let inf =
             match variant with
             | Eager ->
-              Trsv.pair_eager_view ~prec ~m:vmat ~moff ~n:s ~b:vout ~boff:voff ()
+              Trsv.pair_eager_view ~prec ~mstride:mst ~bstride:vst ~m:vmat
+                ~moff ~n:s ~b:vout ~boff:voff ()
             | Lazy ->
-              Trsv.pair_lazy_view ~prec ~m:vmat ~moff ~n:s ~b:vout ~boff:voff ()
+              Trsv.pair_lazy_view ~prec ~mstride:mst ~bstride:vst ~m:vmat
+                ~moff ~n:s ~b:vout ~boff:voff ()
           in
           info.(i) <- inf;
           verdicts.(i) <- Fault.Unchecked;
@@ -346,7 +366,7 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   in
   Vblu_obs.Ctx.record_verdicts obs verdicts;
   let solutions =
-    let out = Batch.vec_create rhs.Batch.vsizes in
+    let out = Batch.vec_create ~layout:rhs.Batch.vlayout rhs.Batch.vsizes in
     let values = Gmem.to_array gout in
     Array.blit values 0 out.Batch.vvalues 0 (Array.length values);
     out

@@ -25,14 +25,18 @@ val reduction : Warp.t -> unit
 
 val gmem_coalesced : Warp.t -> elems:int -> unit
 (** One access instruction touching [elems] consecutive scalars: the
-    minimal number of transactions. *)
+    minimal number of transactions.  Under a warp cohort context
+    ([Warp.set_cohort], interleaved layouts) the charge becomes this
+    problem's [1/width] share of the cohort's collective access. *)
 
 val gmem_strided_read : Warp.t -> elems:int -> stride_bytes:int -> unit
 (** A non-coalesced read of [elems] scalars [stride_bytes] apart.  Issue
     cost scales with the lane-address divergence (transaction replays),
     but the DRAM traffic is only the touched footprint: consecutive steps
     of a row-walking kernel re-hit the same sectors and the cache absorbs
-    the re-reads. *)
+    the re-reads.  Under a cohort context each element is a width-wide
+    contiguous strip shared by the cohort, charged amortized — strided
+    reads stop paying one transaction per element. *)
 
 val gmem_strided_write : Warp.t -> elems:int -> stride_bytes:int -> unit
 (** A non-coalesced write: replays {e and} one full sector of traffic per

@@ -82,10 +82,11 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     ?(prec = Precision.Double) ?(mode = Sampling.Exact) ?obs (b : Batch.t) =
   let s = check_uniform b.Batch.sizes "Cublas_model.factor" in
   if b.Batch.count > 0 then ignore (tile_for s);
-  let factors = Batch.create b.Batch.sizes in
+  let factors = Batch.create ~layout:(Batch.layout b) b.Batch.sizes in
   let pivots = Array.make b.Batch.count [||] in
   let info = Array.make b.Batch.count 0 in
   let kernel w i =
+    Staging.set_cohort w b i;
     let f, inf = Lu.factor_explicit_status ~prec (Batch.get_matrix b i) in
     Batch.set_matrix factors i f.Lu.lu;
     pivots.(i) <- f.Lu.perm;
@@ -95,10 +96,11 @@ let factor ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     charge_factor w ~s
   in
   let stats =
-    (* Analytic charges: pure function of the (uniform) size, constant
-       salt. *)
-    Sampling.run ~cfg ~pool ?obs ~name:"cublas.getrf" ~cache:(fun _ -> 0)
-      ~prec ~mode ~sizes:b.Batch.sizes ~kernel ()
+    (* Analytic charges: pure function of the (uniform) size and the
+       layout's cohort width. *)
+    Sampling.run ~cfg ~pool ?obs ~name:"cublas.getrf"
+      ~cache:(fun i -> Batch.cohort_salt b i) ~prec ~mode ~sizes:b.Batch.sizes
+      ~kernel ()
   in
   { factors; pivots; info; stats; exact = (mode = Sampling.Exact) }
 
@@ -136,9 +138,10 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
   let s = check_uniform rhs.Batch.vsizes "Cublas_model.solve" in
   if r.factors.Batch.count <> rhs.Batch.vcount then
     invalid_arg "Cublas_model.solve: batch count mismatch";
-  let solutions = Batch.vec_create rhs.Batch.vsizes in
+  let solutions = Batch.vec_create ~layout:rhs.Batch.vlayout rhs.Batch.vsizes in
   let solve_info = Array.make rhs.Batch.vcount 0 in
   let kernel w i =
+    Staging.set_vec_cohort w rhs i;
     let lu = Batch.get_matrix r.factors i in
     let x, inf = Trsv.solve_status ~prec lu r.pivots.(i) (Batch.vec_get rhs i) in
     Batch.vec_set solutions i x;
@@ -146,7 +149,8 @@ let solve ?(cfg = Config.p100) ?(pool = Vblu_par.Pool.sequential)
     charge_solve w ~s
   in
   let stats =
-    Sampling.run ~cfg ~pool ?obs ~name:"cublas.getrs" ~cache:(fun _ -> 0)
-      ~prec ~mode ~sizes:rhs.Batch.vsizes ~kernel ()
+    Sampling.run ~cfg ~pool ?obs ~name:"cublas.getrs"
+      ~cache:(fun i -> Batch.vec_cohort_salt rhs i) ~prec ~mode
+      ~sizes:rhs.Batch.vsizes ~kernel ()
   in
   { solutions; solve_info; solve_stats = stats; solve_exact = (mode = Sampling.Exact) }

@@ -1,0 +1,25 @@
+open Vblu_simt
+
+(* Batch → Warp bridge: enter/leave the cohort-cooperative coalescing
+   context for one problem of a (possibly interleaved) batch.  Kernels
+   call [set_cohort] right after [Warp.reset] — for blocked batches this
+   is a no-op-equivalent (width 0), so the blocked charge stream stays
+   byte-identical to the pre-layout engine. *)
+
+let set_cohort w b i =
+  match Batch.cohort b i with
+  | None -> Warp.clear_cohort w
+  | Some (width, slot) -> Warp.set_cohort w ~width ~slot
+
+let set_vec_cohort w v i =
+  match Batch.vec_cohort v i with
+  | None -> Warp.clear_cohort w
+  | Some (width, slot) -> Warp.set_cohort w ~width ~slot
+
+(* Injective salt mixer for Launch.Cache keys.  Every salt component in
+   the batched kernels is a [Batch.salt_class] / [vec_salt_class] value
+   (< align + 33 ≤ 41) or a small flag, so chaining [mix] with a radix
+   far above any component keeps distinct component tuples distinct —
+   unlike the old [((a * align) + b) * align + c] packings, which
+   overflowed the component ranges once layouts widened them. *)
+let mix h v = (h * 8191) + v

@@ -1,0 +1,21 @@
+(** Batch → warp staging: cohort contexts and cache-salt mixing.
+
+    The glue the batched kernels share for layout-polymorphic execution:
+    entering the warp's cohort-cooperative coalescing context for the
+    problem at hand, and folding layout-aware alignment classes into
+    [Launch.Cache] salts. *)
+
+open Vblu_simt
+
+val set_cohort : Warp.t -> Batch.t -> int -> unit
+(** [set_cohort w b i] enters problem [i]'s cohort context on [w]
+    (clears it for blocked batches).  A matrix batch and a vector batch
+    over the same sizes and layout agree on cohort geometry
+    ({!Batch.vec_create}), so one call serves both buffers. *)
+
+val set_vec_cohort : Warp.t -> Batch.vec -> int -> unit
+
+val mix : int -> int -> int
+(** [mix h v] chains salt component [v] onto accumulator [h] injectively
+    for components below 8191 — all {!Batch.salt_class} and flag values
+    qualify. *)

@@ -24,9 +24,9 @@ let pmap_obs obs pool f lst =
 
 (* A uniform batch where only the representative block (index 0) carries
    data — all Sampled-mode runs execute exactly that block. *)
-let representative_batch ~count ~size =
+let representative_batch ?(layout = Batch.Blocked) ~count ~size () =
   let sizes = Batch.uniform_sizes ~count ~size in
-  let b = Batch.create sizes in
+  let b = Batch.create ~layout sizes in
   let st = Random.State.make [| 0xf19; size |] in
   Batch.set_matrix b 0 (Matrix.random_diagdom ~state:st size);
   b
@@ -43,8 +43,8 @@ let routine_name = function
 
 let routines = [ R_lu; R_gh; R_ght; R_cublas ]
 
-let getrf_stats ?obs ~prec ~count ~size r =
-  let b = representative_batch ~count ~size in
+let getrf_stats ?obs ?layout ~prec ~count ~size r =
+  let b = representative_batch ?layout ~count ~size () in
   match r with
   | R_lu -> (Batched_lu.factor ~prec ~mode:S.Sampled ?obs b).Batched_lu.stats
   | R_gh -> (Batched_gh.factor ~prec ~mode:S.Sampled ?obs b).Batched_gh.stats
@@ -55,9 +55,9 @@ let getrf_stats ?obs ~prec ~count ~size r =
   | R_cublas ->
     (Cublas_model.factor ~prec ~mode:S.Sampled ?obs b).Cublas_model.stats
 
-let trsv_stats ?obs ~prec ~count ~size r =
-  let b = representative_batch ~count ~size in
-  let rhs = Batch.vec_random b.Batch.sizes in
+let trsv_stats ?obs ?layout ~prec ~count ~size r =
+  let b = representative_batch ?layout ~count ~size () in
+  let rhs = Batch.vec_random ?layout b.Batch.sizes in
   match r with
   | R_lu ->
     let f = Batched_lu.factor ~prec ~mode:S.Sampled b in
@@ -87,7 +87,13 @@ let size_sweep quick =
 
 let precisions = [ Precision.Single; Precision.Double ]
 
-let vs_batch_series ?obs ~stats_of ~what ~pool quick =
+(* Titles only mention the layout when it is not the default, so the
+   blocked series keep their historical names (shape tests key on them). *)
+let layout_suffix = function
+  | None | Some Batch.Blocked -> ""
+  | Some Batch.Interleaved -> ", interleaved"
+
+let vs_batch_series ?obs ?layout ~stats_of ~what ~pool quick =
   List.concat_map
     (fun prec ->
       List.map
@@ -97,14 +103,15 @@ let vs_batch_series ?obs ~stats_of ~what ~pool quick =
               (fun obs count ->
                 ( float_of_int count,
                   List.map
-                    (fun r -> gflops (stats_of ?obs ~prec ~count ~size r))
+                    (fun r ->
+                      gflops (stats_of ?obs ?layout ~prec ~count ~size r))
                     routines ))
               (batch_sweep quick)
           in
           {
             Report.title =
-              Printf.sprintf "%s GFLOPS vs batch size — block size %d, %s"
-                what size (Precision.to_string prec);
+              Printf.sprintf "%s GFLOPS vs batch size — block size %d, %s%s"
+                what size (Precision.to_string prec) (layout_suffix layout);
             xlabel = "batch";
             columns = List.map routine_name routines;
             rows;
@@ -112,7 +119,7 @@ let vs_batch_series ?obs ~stats_of ~what ~pool quick =
         [ 16; 32 ])
     precisions
 
-let vs_size_series ?obs ~stats_of ~what ~count ~pool quick =
+let vs_size_series ?obs ?layout ~stats_of ~what ~count ~pool quick =
   List.map
     (fun prec ->
       let rows =
@@ -120,53 +127,53 @@ let vs_size_series ?obs ~stats_of ~what ~count ~pool quick =
           (fun obs size ->
             ( float_of_int size,
               List.map
-                (fun r -> gflops (stats_of ?obs ~prec ~count ~size r))
+                (fun r -> gflops (stats_of ?obs ?layout ~prec ~count ~size r))
                 routines ))
           (size_sweep quick)
       in
       {
         Report.title =
-          Printf.sprintf "%s GFLOPS vs matrix size — batch %d, %s" what count
-            (Precision.to_string prec);
+          Printf.sprintf "%s GFLOPS vs matrix size — batch %d, %s%s" what
+            count (Precision.to_string prec) (layout_suffix layout);
         xlabel = "size";
         columns = List.map routine_name routines;
         rows;
       })
     precisions
 
-let fig4_series ?(quick = false) ?(pool = Pool.sequential) ?obs () =
-  vs_batch_series ?obs ~stats_of:getrf_stats ~what:"GETRF" ~pool quick
+let fig4_series ?(quick = false) ?(pool = Pool.sequential) ?obs ?layout () =
+  vs_batch_series ?obs ?layout ~stats_of:getrf_stats ~what:"GETRF" ~pool quick
 
-let fig5_series ?(quick = false) ?(pool = Pool.sequential) ?obs () =
-  vs_size_series ?obs ~stats_of:getrf_stats ~what:"GETRF"
+let fig5_series ?(quick = false) ?(pool = Pool.sequential) ?obs ?layout () =
+  vs_size_series ?obs ?layout ~stats_of:getrf_stats ~what:"GETRF"
     ~count:(if quick then 5_000 else 40_000)
     ~pool quick
 
-let fig6_series ?(quick = false) ?(pool = Pool.sequential) ?obs () =
-  vs_batch_series ?obs ~stats_of:trsv_stats ~what:"TRSV" ~pool quick
+let fig6_series ?(quick = false) ?(pool = Pool.sequential) ?obs ?layout () =
+  vs_batch_series ?obs ?layout ~stats_of:trsv_stats ~what:"TRSV" ~pool quick
 
-let fig7_series ?(quick = false) ?(pool = Pool.sequential) ?obs () =
-  vs_size_series ?obs ~stats_of:trsv_stats ~what:"TRSV"
+let fig7_series ?(quick = false) ?(pool = Pool.sequential) ?obs ?layout () =
+  vs_size_series ?obs ?layout ~stats_of:trsv_stats ~what:"TRSV"
     ~count:(if quick then 5_000 else 40_000)
     ~pool quick
 
 let print_all ppf series = List.iter (Report.print_series ppf) series
 
-let fig4 ?quick ?pool ?obs ppf =
+let fig4 ?quick ?pool ?obs ?layout ppf =
   Report.section ppf "Figure 4 — batched factorization vs batch size";
-  print_all ppf (fig4_series ?quick ?pool ?obs ())
+  print_all ppf (fig4_series ?quick ?pool ?obs ?layout ())
 
-let fig5 ?quick ?pool ?obs ppf =
+let fig5 ?quick ?pool ?obs ?layout ppf =
   Report.section ppf "Figure 5 — batched factorization vs matrix size";
-  print_all ppf (fig5_series ?quick ?pool ?obs ())
+  print_all ppf (fig5_series ?quick ?pool ?obs ?layout ())
 
-let fig6 ?quick ?pool ?obs ppf =
+let fig6 ?quick ?pool ?obs ?layout ppf =
   Report.section ppf "Figure 6 — batched triangular solves vs batch size";
-  print_all ppf (fig6_series ?quick ?pool ?obs ())
+  print_all ppf (fig6_series ?quick ?pool ?obs ?layout ())
 
-let fig7 ?quick ?pool ?obs ppf =
+let fig7 ?quick ?pool ?obs ?layout ppf =
   Report.section ppf "Figure 7 — batched triangular solves vs matrix size";
-  print_all ppf (fig7_series ?quick ?pool ?obs ())
+  print_all ppf (fig7_series ?quick ?pool ?obs ?layout ())
 
 (* The pivoting ablation needs blocks that actually pivot: a diagonally
    dominant representative would never swap and the explicit kernel's row
@@ -220,7 +227,7 @@ let ablation_trsv ?(quick = false) ?(pool = Pool.sequential) ppf =
       let rows =
         pmap pool
           (fun size ->
-            let b = representative_batch ~count ~size in
+            let b = representative_batch ~count ~size () in
             let f = Batched_lu.factor ~prec ~mode:S.Sampled b in
             let rhs = Batch.vec_random b.Batch.sizes in
             let run variant =
@@ -437,7 +444,7 @@ let abft_overhead ?(quick = false) ?(pool = Pool.sequential) ppf =
   let rows =
     pmap pool
       (fun size ->
-        let b = representative_batch ~count ~size in
+        let b = representative_batch ~count ~size () in
         let rhs = Batch.vec_random b.Batch.sizes in
         let lu_plain = Batched_lu.factor ~prec ~mode:S.Sampled b in
         let lu_abft = Batched_lu.factor ~prec ~mode:S.Sampled ~abft:true b in
@@ -521,6 +528,78 @@ let ablation_extraction ?(quick = false) ?(pool = Pool.sequential) ppf =
   in
   Report.print_table ppf ~title:"extraction kernel time (modelled, us)"
     ~header:[ "matrix"; "row imbalance"; "row-per-thread"; "shared-memory"; "speedup" ]
+    ~rows
+
+(* Layout sweep: the same kernels over the same data in both storage
+   layouts, Exact mode (the coalescing model needs every warp's real
+   addresses, not one representative per size class).  Counts are small —
+   the point is the transaction ratio, not occupancy. *)
+let layout_sweep ?(quick = false) ?(pool = Pool.sequential) ppf =
+  Report.section ppf "Layout sweep — blocked vs interleaved (SoA) batches";
+  let count = if quick then 128 else 512 in
+  let prec = Precision.Double in
+  let mixes =
+    [
+      ("uniform 8", Batch.uniform_sizes ~count ~size:8);
+      ("uniform 16", Batch.uniform_sizes ~count ~size:16);
+      ("uniform 32", Batch.uniform_sizes ~count ~size:32);
+      ( "variable 5..30",
+        Batch.random_sizes
+          ~state:(Random.State.make [| 0x1a9; 7 |])
+          ~count ~min_size:5 ~max_size:30 () );
+    ]
+  in
+  let kernels = [ "getrf.lu"; "trsv.eager"; "trsv.lazy"; "gemm" ] in
+  let cases =
+    List.concat_map (fun k -> List.map (fun m -> (k, m)) mixes) kernels
+  in
+  let rows =
+    pmap pool
+      (fun (kernel, (mix, sizes)) ->
+        let run layout =
+          let st = Random.State.make [| 0x7a90; Hashtbl.hash (kernel, mix) |] in
+          let b = Batch.random_diagdom ~state:st ~layout sizes in
+          match kernel with
+          | "getrf.lu" -> (Batched_lu.factor ~prec b).Batched_lu.stats
+          | "trsv.eager" | "trsv.lazy" ->
+            let variant =
+              if kernel = "trsv.eager" then Batched_trsv.Eager
+              else Batched_trsv.Lazy
+            in
+            let f = Batched_lu.factor ~prec b in
+            let rhs = Batch.vec_random ~state:st ~layout sizes in
+            (Batched_trsv.solve ~prec ~variant ~factors:f.Batched_lu.factors
+               ~pivots:f.Batched_lu.pivots rhs)
+              .Batched_trsv.stats
+          | _ ->
+            let b2 = Batch.random_diagdom ~state:st ~layout sizes in
+            (Batched_gemm.multiply ~prec ~a:b ~b:b2 ()).Batched_gemm.stats
+        in
+        let blocked = run Batch.Blocked
+        and interleaved = run Batch.Interleaved in
+        let txns (s : L.stats) = s.L.total.Vblu_simt.Counter.gmem_transactions in
+        [
+          kernel;
+          mix;
+          Printf.sprintf "%.0f" (txns blocked);
+          Printf.sprintf "%.0f" (txns interleaved);
+          Printf.sprintf "%.2fx" (txns blocked /. txns interleaved);
+          Printf.sprintf "%.1f" blocked.L.gflops;
+          Printf.sprintf "%.1f" interleaved.L.gflops;
+        ])
+      cases
+  in
+  Report.print_table ppf
+    ~title:
+      (Printf.sprintf
+         "gmem transactions and modelled GFLOPS by layout — %d blocks, \
+          double (ratio = blocked / interleaved txns)"
+         count)
+    ~header:
+      [
+        "kernel"; "size mix"; "blocked txn"; "interleaved txn"; "txn ratio";
+        "blocked GFLOPS"; "interleaved GFLOPS";
+      ]
     ~rows
 
 (* ------------------------------------------------------------------ *)

@@ -14,12 +14,17 @@
 
 val fig4 :
   ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t ->
+  ?layout:Vblu_core.Batch.layout ->
   Format.formatter -> unit
 (** Figure 4: GFLOPS of batched factorization (small-size LU, GH, GH-T,
-    cuBLAS model) vs batch size, for block sizes 16 and 32, SP and DP. *)
+    cuBLAS model) vs batch size, for block sizes 16 and 32, SP and DP.
+    [?layout] (default [Blocked]) selects the batch storage layout the
+    sweep runs in; the figure and ablation drivers all accept it the same
+    way. *)
 
 val fig4_series :
-  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t -> unit ->
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t ->
+  ?layout:Vblu_core.Batch.layout -> unit ->
   Report.series list
 (** The raw data behind {!fig4} — for CSV export ({!Report.csv_of_series})
     and for the shape-assertion tests.  When [?obs] is supplied, every
@@ -28,15 +33,18 @@ val fig4_series :
     join, so the trace and metrics are identical for any domain count. *)
 
 val fig5_series :
-  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t -> unit ->
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t ->
+  ?layout:Vblu_core.Batch.layout -> unit ->
   Report.series list
 
 val fig6_series :
-  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t -> unit ->
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t ->
+  ?layout:Vblu_core.Batch.layout -> unit ->
   Report.series list
 
 val fig7_series :
-  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t -> unit ->
+  ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t ->
+  ?layout:Vblu_core.Batch.layout -> unit ->
   Report.series list
 
 val bench_points :
@@ -57,17 +65,20 @@ val bench_artifact :
 
 val fig5 :
   ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t ->
+  ?layout:Vblu_core.Batch.layout ->
   Format.formatter -> unit
 (** Figure 5: factorization GFLOPS vs matrix size (2…32) at batch
     40,000, SP and DP. *)
 
 val fig6 :
   ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t ->
+  ?layout:Vblu_core.Batch.layout ->
   Format.formatter -> unit
 (** Figure 6: triangular-solve GFLOPS vs batch size, sizes 16 and 32. *)
 
 val fig7 :
   ?quick:bool -> ?pool:Vblu_par.Pool.t -> ?obs:Vblu_obs.Ctx.t ->
+  ?layout:Vblu_core.Batch.layout ->
   Format.formatter -> unit
 (** Figure 7: triangular-solve GFLOPS vs matrix size at batch 40,000. *)
 
@@ -93,6 +104,14 @@ val abft_overhead : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> 
     (both charge the same useful flops, so the gap is exactly the
     checksum work — the encode/verify passes for LU, the factor re-read
     for TRSV). *)
+
+val layout_sweep : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
+(** Blocked vs interleaved (SoA) storage: gmem transactions and modelled
+    GFLOPS of the strided kernels (LU, eager/lazy TRSV, GEMM) over uniform
+    and variable size mixes, both layouts on bitwise-identical data —
+    Exact mode, so the coalescing model sees every warp's real addresses.
+    The expected shape (interleaved strictly fewer transactions, widening
+    on variable sizes) is recorded in EXPERIMENTS.md. *)
 
 val ablation_variable_size : ?quick:bool -> ?pool:Vblu_par.Pool.t -> Format.formatter -> unit
 (** The scenario the paper's title is about and no figure isolates:

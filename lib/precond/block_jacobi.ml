@@ -69,10 +69,31 @@ type info = {
    across domain counts. *)
 type outcome = Healthy | Degraded | Perturbed | Recovered | Corrupt
 
-(* Per-block solver closures. *)
-type block_solver = Vector.t -> Vector.t
+(* Per-block solver closures.  [solve] is the allocating form (the ABFT
+   residual check feeds it standalone vectors); [solve_into r st y] reads
+   the segment [r.(st .. st+s-1)] and writes the same segment of [y]
+   without allocating — every scratch buffer is sized once at setup, per
+   block, so pool workers applying distinct blocks never share state.
+   (One preconditioner value applied concurrently from several threads
+   would race on that scratch; Krylov applies are sequential per solve.) *)
+type block_solver = {
+  solve : Vector.t -> Vector.t;
+  solve_into : Vector.t -> int -> Vector.t -> unit;
+}
 
-let identity_solver : block_solver = fun (r : Vector.t) -> Array.copy r
+let identity_solver s =
+  {
+    solve = (fun (r : Vector.t) -> Array.copy r);
+    solve_into = (fun r st y -> Array.blit r st y st s);
+  }
+
+(* Fallback [solve_into] for variants without a dedicated in-place path:
+   one setup-time segment buffer replaces the per-apply [Array.sub]. *)
+let into_of_solve ~s solve =
+  let seg = Array.make s 0.0 in
+  fun r st y ->
+    Array.blit r st seg 0 s;
+    Array.blit (solve seg) 0 y st s
 
 (* [m] with [eps * scale] added to every diagonal entry, where [scale] is
    the largest absolute entry of the block (1.0 for an all-zero block) —
@@ -110,7 +131,7 @@ let abft_ok ~prec mfact (solver : block_solver) =
   let s, _ = Matrix.dims mfact in
   let e = Array.make s 1.0 in
   let w = Matrix.gemv ~prec mfact e in
-  let u = solver w in
+  let u = solver.solve w in
   let au = Matrix.gemv ~prec mfact u in
   let eps = Precision.eps prec in
   let ok = ref true in
@@ -132,31 +153,59 @@ let block_solvers ~pool ~prec ~variant ~policy ~faults ~abft ~recovery blocks =
      solver closure plus the corruption hook into its factor storage, or
      [None] on breakdown — no exceptions cross the worker boundary. *)
   let attempt (m : Matrix.t) : (block_solver * (Fault.site -> unit)) option =
+    (* The implicit-pivoting factorization — identical floats to the
+       simulated register kernel (cross-checked by the test suite).  The
+       in-place apply replays Lu.solve step for step: permuted gather,
+       unit-lower sweep, upper sweep (a clean factorization has no zero
+       pivot, so the upper sweep cannot raise). *)
+    let lu_solver (m : Matrix.t) =
+      let f, inf = Lu.factor_implicit_status ~prec m in
+      if inf <> 0 then None
+      else
+        let s, _ = Matrix.dims m in
+        let buf = Array.make s 0.0 in
+        let solve_into r st y =
+          for k = 0 to s - 1 do
+            buf.(k) <- r.(st + f.Lu.perm.(k))
+          done;
+          Trsv.lower_unit_in_place ~prec f.Lu.lu buf;
+          Trsv.upper_in_place ~prec f.Lu.lu buf;
+          Array.blit buf 0 y st s
+        in
+        Some
+          ( { solve = (fun rhs -> Lu.solve ~prec f rhs); solve_into },
+            matrix_corrupt f.Lu.lu )
+    in
     match variant with
     | Scalar ->
       (* Handled at the top level; never reaches here. *)
       assert false
-    | Lu ->
-      (* The implicit-pivoting factorization — identical floats to the
-         simulated register kernel (cross-checked by the test suite). *)
-      let f, inf = Lu.factor_implicit_status ~prec m in
-      if inf = 0 then
-        Some ((fun rhs -> Lu.solve ~prec f rhs), matrix_corrupt f.Lu.lu)
-      else None
+    | Lu -> lu_solver m
     | Gh | Ght ->
       let storage =
         if variant = Ght then Gauss_huard.Transposed else Gauss_huard.Normal
       in
       let f, inf = Gauss_huard.factor_status ~prec ~storage m in
       if inf = 0 then
+        let s, _ = Matrix.dims m in
+        let solve rhs = Gauss_huard.solve ~prec f rhs in
         Some
-          ( (fun rhs -> Gauss_huard.solve ~prec f rhs),
+          ( { solve; solve_into = into_of_solve ~s solve },
             matrix_corrupt f.Gauss_huard.gh )
       else None
     | Gje_inverse ->
       let inv, inf = Gauss_jordan.invert_status ~prec m in
       if inf = 0 then
-        Some ((fun rhs -> Matrix.gemv ~prec inv rhs), matrix_corrupt inv)
+        let s, _ = Matrix.dims m in
+        let xb = Array.make s 0.0 and yb = Array.make s 0.0 in
+        let solve_into r st y =
+          Array.blit r st xb 0 s;
+          Matrix.gemv_into ~prec inv xb yb;
+          Array.blit yb 0 y st s
+        in
+        Some
+          ( { solve = (fun rhs -> Matrix.gemv ~prec inv rhs); solve_into },
+            matrix_corrupt inv )
       else None
     | Cholesky ->
       (* SPD fast path.  Cholesky reads only the lower triangle, so a
@@ -176,18 +225,21 @@ let block_solvers ~pool ~prec ~variant ~policy ~faults ~abft ~recovery blocks =
         done;
         !ok
       in
-      let lu_fallback () =
-        let f, inf = Lu.factor_implicit_status ~prec m in
-        if inf = 0 then
-          Some ((fun rhs -> Lu.solve ~prec f rhs), matrix_corrupt f.Lu.lu)
-        else None
-      in
-      if not symmetric then lu_fallback ()
+      if not symmetric then lu_solver m
       else
         let f, inf = Cholesky.factor_status ~prec m in
         if inf = 0 then
-          Some ((fun rhs -> Cholesky.solve ~prec f rhs), matrix_corrupt f.Cholesky.l)
-        else lu_fallback ()
+          let s, _ = Matrix.dims m in
+          let buf = Array.make s 0.0 in
+          let solve_into r st y =
+            Array.blit r st buf 0 s;
+            Cholesky.solve_in_place ~prec f buf;
+            Array.blit buf 0 y st s
+          in
+          Some
+            ( { solve = (fun rhs -> Cholesky.solve ~prec f rhs); solve_into },
+              matrix_corrupt f.Cholesky.l )
+        else lu_solver m
   in
   (* Factorize block [i] under the breakdown policy, then let any armed
      fault sites corrupt the factors.  Returns the solver plus the matrix
@@ -234,8 +286,9 @@ let block_solvers ~pool ~prec ~variant ~policy ~faults ~abft ~recovery blocks =
       Some (solver, mfact)
   in
   let make i (m : Matrix.t) : block_solver =
+    let s, _ = Matrix.dims m in
     match build i m with
-    | None -> identity_solver
+    | None -> identity_solver s
     | Some (solver, mfact) ->
       if (not abft) || abft_ok ~prec mfact solver then solver
       else begin
@@ -244,11 +297,11 @@ let block_solvers ~pool ~prec ~variant ~policy ~faults ~abft ~recovery blocks =
           let rec retry left =
             if left <= 0 then begin
               outcomes.(i) <- Corrupt;
-              identity_solver
+              identity_solver s
             end
             else
               match build i m with
-              | None -> identity_solver
+              | None -> identity_solver s
               | Some (solver, mfact) ->
                 if abft_ok ~prec mfact solver then begin
                   outcomes.(i) <- Recovered;
@@ -260,7 +313,7 @@ let block_solvers ~pool ~prec ~variant ~policy ~faults ~abft ~recovery blocks =
         | Degrade_to_identity | (Fail : recovery_policy) ->
           (* Under recovery [Fail] the caller raises after the join. *)
           outcomes.(i) <- Corrupt;
-          identity_solver
+          identity_solver s
       end
   in
   let solvers = Pool.parallel_init pool k (fun i -> make i blocks.(i)) in
@@ -320,12 +373,11 @@ let create ?(pool = Pool.sequential) ?(prec = Precision.Double) ?(variant = Lu)
           in
           let apply r =
             let y = Array.make n 0.0 in
+            (* Allocation-free hot loop: each block solver reads and
+               writes its own segment in place (no Array.sub / result
+               copies per apply). *)
             Pool.parallel_for pool ~lo:0 ~hi:k (fun i ->
-                let st = blk.Supervariable.starts.(i)
-                and s = blk.Supervariable.sizes.(i) in
-                let seg = Array.sub r st s in
-                let x = solvers.(i) seg in
-                Array.blit x 0 y st s);
+                solvers.(i).solve_into r blk.Supervariable.starts.(i) y);
             y
           in
           let name =

@@ -11,9 +11,12 @@ let mask_slots = 8
 let addr_slots = 4
 
 (* Segment scratch for the coalescing counter: open-addressed, generation
-   stamped.  A warp access touches at most [warp_size] distinct segments
-   (32), so 64 slots keep the load factor at or below one half. *)
-let seg_slots = 64
+   stamped.  A blocked warp access touches at most [warp_size] distinct
+   segments (32); a cohort-cooperative access (interleaved batch layout)
+   expands every lane address into its cohort strip of up to 32 elements —
+   at most 32 × 9 = 288 distinct segments — so 512 slots keep the load
+   factor at or below ~0.6 in the worst case. *)
+let seg_slots = 512
 
 type t = {
   cfg : Config.t;
@@ -32,6 +35,15 @@ type t = {
   mutable ev_gmem : int;
   mutable ev_smem : int;
   mutable ev_rounds : int;
+  (* Cohort-cooperative coalescing context (interleaved batch layout):
+     when [co_width > 1], each lane address is the slot-[co_slot] member of
+     a [co_width]-wide same-size cohort, and global accesses are charged as
+     this problem's 1/width share of the cohort's collective transactions
+     (on the modelled GPU one warp serves the whole cohort, one problem per
+     lane).  [co_width <= 1] is the classic blocked path, bit-identical to
+     the pre-cohort engine. *)
+  mutable co_width : int;
+  mutable co_slot : int;
   (* Scratch arena. *)
   all_true : bool array;
   seg_slot : int array;
@@ -59,6 +71,8 @@ let create ?(cfg = Config.p100) ?inject prec () =
     ev_gmem = 0;
     ev_smem = 0;
     ev_rounds = 0;
+    co_width = 0;
+    co_slot = 0;
     all_true = Array.make size true;
     seg_slot = Array.make seg_slots 0;
     seg_gen = Array.make seg_slots 0;
@@ -79,10 +93,24 @@ let reset ?inject t =
   t.ev_shfl <- 0;
   t.ev_gmem <- 0;
   t.ev_smem <- 0;
-  t.ev_rounds <- 0
+  t.ev_rounds <- 0;
+  t.co_width <- 0;
+  t.co_slot <- 0
 
 let set_charging t b = t.charging <- b
 let charging t = t.charging
+
+let set_cohort t ~width ~slot =
+  if width < 0 || slot < 0 || (width > 1 && slot >= width) then
+    invalid_arg "Warp.set_cohort";
+  t.co_width <- width;
+  t.co_slot <- slot
+
+let clear_cohort t =
+  t.co_width <- 0;
+  t.co_slot <- 0
+
+let cohort_width t = t.co_width
 
 let events t =
   [| t.ev_fma; t.ev_div; t.ev_shfl; t.ev_gmem; t.ev_smem; t.ev_rounds |]
@@ -171,6 +199,20 @@ let charge_gmem t ~instrs ~txns =
     t.counter.Counter.gmem_bytes <-
       t.counter.Counter.gmem_bytes
       +. float_of_int (txns * t.cfg.Config.transaction_bytes)
+  end
+
+(* Fractional-transaction variant for cohort-amortized charges: a cohort
+   access costs the collective transactions divided by the cohort width,
+   which is not an integer per problem. *)
+let charge_gmem_frac t ~instrs ~txns =
+  t.ev_gmem <- t.ev_gmem + 1;
+  if t.charging then begin
+    t.counter.Counter.gmem_instrs <- t.counter.Counter.gmem_instrs +. instrs;
+    t.counter.Counter.gmem_transactions <-
+      t.counter.Counter.gmem_transactions +. txns;
+    t.counter.Counter.gmem_bytes <-
+      t.counter.Counter.gmem_bytes
+      +. (txns *. float_of_int t.cfg.Config.transaction_bytes)
   end
 
 let charge_gmem_elems t n =
@@ -340,7 +382,17 @@ let argmax_abs t ?active x =
    the coalesced minimum (two segments per replay slot).  The distinct-
    segment count runs over the warp's generation-stamped scratch table:
    no per-access table allocation, and a single stamp bump retires the
-   previous access's entries. *)
+   previous access's entries.
+
+   Cohort-cooperative mode ([co_width > 1], interleaved batch layout): on
+   the modelled GPU one warp serves a whole same-size cohort, one problem
+   per lane, so the element this kernel touches per lane address is
+   touched {e simultaneously} for all [co_width] cohort members — the
+   collective footprint of the access is, per lane, the contiguous strip
+   [addr - slot, addr - slot + width).  We count the distinct segments of
+   the union of those strips and charge this problem its 1/width share of
+   the collective transactions, bytes and replays.  [gmem_elems] (the
+   logical pre-coalescing volume) stays per-problem. *)
 let count_transactions t mem addrs act =
   t.ev_gmem <- t.ev_gmem + 1;
   if t.charging then begin
@@ -349,37 +401,73 @@ let count_transactions t mem addrs act =
     let stamp = t.gen in
     let n = ref 0 in
     let active = ref 0 in
-    for i = 0 to t.size - 1 do
-      if act.(i) then begin
-        incr active;
-        let s = addrs.(i) / seg_elems in
-        let h = ref (s * 0x9e3779b1 land (seg_slots - 1)) in
-        let scanning = ref true in
-        while !scanning do
-          if t.seg_gen.(!h) <> stamp then begin
-            t.seg_gen.(!h) <- stamp;
-            t.seg_slot.(!h) <- s;
-            incr n;
-            scanning := false
-          end
-          else if t.seg_slot.(!h) = s then scanning := false
-          else h := (!h + 1) land (seg_slots - 1)
-        done
-      end
-    done;
-    let n = !n in
-    let min_txns = max 1 ((!active + seg_elems - 1) / seg_elems) in
-    let replays =
-      Float.max 1.0 (float_of_int n /. float_of_int min_txns /. 2.0)
+    let insert s =
+      let h = ref (s * 0x9e3779b1 land (seg_slots - 1)) in
+      let scanning = ref true in
+      while !scanning do
+        if t.seg_gen.(!h) <> stamp then begin
+          t.seg_gen.(!h) <- stamp;
+          t.seg_slot.(!h) <- s;
+          incr n;
+          scanning := false
+        end
+        else if t.seg_slot.(!h) = s then scanning := false
+        else h := (!h + 1) land (seg_slots - 1)
+      done
     in
-    t.counter.Counter.gmem_instrs <- t.counter.Counter.gmem_instrs +. replays;
-    t.counter.Counter.gmem_transactions <-
-      t.counter.Counter.gmem_transactions +. float_of_int n;
-    t.counter.Counter.gmem_bytes <-
-      t.counter.Counter.gmem_bytes
-      +. float_of_int (n * t.cfg.Config.transaction_bytes);
-    t.counter.Counter.gmem_elems <-
-      t.counter.Counter.gmem_elems +. float_of_int !active
+    if t.co_width <= 1 then begin
+      for i = 0 to t.size - 1 do
+        if act.(i) then begin
+          incr active;
+          insert (addrs.(i) / seg_elems)
+        end
+      done;
+      let n = !n in
+      let min_txns = max 1 ((!active + seg_elems - 1) / seg_elems) in
+      let replays =
+        Float.max 1.0 (float_of_int n /. float_of_int min_txns /. 2.0)
+      in
+      t.counter.Counter.gmem_instrs <- t.counter.Counter.gmem_instrs +. replays;
+      t.counter.Counter.gmem_transactions <-
+        t.counter.Counter.gmem_transactions +. float_of_int n;
+      t.counter.Counter.gmem_bytes <-
+        t.counter.Counter.gmem_bytes
+        +. float_of_int (n * t.cfg.Config.transaction_bytes);
+      t.counter.Counter.gmem_elems <-
+        t.counter.Counter.gmem_elems +. float_of_int !active
+    end
+    else begin
+      let width = t.co_width and slot = t.co_slot in
+      for i = 0 to t.size - 1 do
+        if act.(i) then begin
+          incr active;
+          let lo = addrs.(i) - slot in
+          let s0 = lo / seg_elems and s1 = (lo + width - 1) / seg_elems in
+          for s = s0 to s1 do
+            insert s
+          done
+        end
+      done;
+      let n = !n in
+      let wf = float_of_int width in
+      (* Collective coalesced minimum: the cohort touches active·width
+         elements per access. *)
+      let min_txns =
+        max 1 (((!active * width) + seg_elems - 1) / seg_elems)
+      in
+      let replays =
+        Float.max 1.0 (float_of_int n /. float_of_int min_txns /. 2.0)
+      in
+      t.counter.Counter.gmem_instrs <-
+        t.counter.Counter.gmem_instrs +. (replays /. wf);
+      t.counter.Counter.gmem_transactions <-
+        t.counter.Counter.gmem_transactions +. (float_of_int n /. wf);
+      t.counter.Counter.gmem_bytes <-
+        t.counter.Counter.gmem_bytes
+        +. (float_of_int (n * t.cfg.Config.transaction_bytes) /. wf);
+      t.counter.Counter.gmem_elems <-
+        t.counter.Counter.gmem_elems +. float_of_int !active
+    end
   end
 
 let load_into t mem ?active addrs ~dst =

@@ -125,8 +125,37 @@ val charge_smem : t -> float -> unit
 val charge_gmem : t -> instrs:float -> txns:int -> unit
 (** Global-memory issue slots plus [txns] transactions and their bytes. *)
 
+val charge_gmem_frac : t -> instrs:float -> txns:float -> unit
+(** Fractional {!charge_gmem} for cohort-amortized analytic charges: one
+    problem's [1/width] share of a collective access.  Same event bump. *)
+
 val charge_gmem_elems : t -> int -> unit
 (** Logical elements touched (the pre-coalescing data volume). *)
+
+(** {1 Cohort-cooperative coalescing} — interleaved batch layouts.
+
+    With an interleaved (SoA) batch, one modelled warp serves a whole
+    same-size cohort, one problem per lane: an element touched by this
+    kernel is touched simultaneously for all cohort members, so the
+    collective footprint of a lane address [a] is the contiguous strip
+    [\[a - slot, a - slot + width)].  While a cohort context is set, the
+    coalescing model counts the distinct transaction segments of the
+    union of those strips and charges this problem its [1/width] share —
+    fewer (often fractional) transactions per problem than the blocked
+    layout's scattered accesses.  With [width <= 1] (the default) the
+    charge is byte-identical to the classic per-lane model. *)
+
+val set_cohort : t -> width:int -> slot:int -> unit
+(** Enter cohort-cooperative charging: this warp computes cohort member
+    [slot] of a [width]-member interleaved cohort.
+    @raise Invalid_argument on a negative width/slot or [slot >= width]
+    (when [width > 1]). *)
+
+val clear_cohort : t -> unit
+(** Back to per-lane coalescing (also done by {!reset}). *)
+
+val cohort_width : t -> int
+(** Current cohort width; [0] outside a cohort context. *)
 
 val credit_flops : t -> float -> unit
 (** Credit useful flops (no event — not an instruction).  A no-op in

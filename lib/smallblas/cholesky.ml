@@ -44,10 +44,9 @@ let factor ?prec m =
   if info <> 0 then raise (Not_positive_definite (info - 1));
   f
 
-let solve ?(prec = Precision.Double) { l } b =
+let solve_in_place ?(prec = Precision.Double) { l } x =
   let n, _ = Matrix.dims l in
-  if Array.length b <> n then invalid_arg "Cholesky.solve: dimension mismatch";
-  let x = Array.copy b in
+  if Array.length x <> n then invalid_arg "Cholesky.solve: dimension mismatch";
   (* Forward: L y = b (non-unit diagonal, eager). *)
   for k = 0 to n - 1 do
     x.(k) <- Precision.div prec x.(k) (Matrix.unsafe_get l k k);
@@ -63,7 +62,11 @@ let solve ?(prec = Precision.Double) { l } b =
       acc := Precision.fma prec (-.Matrix.unsafe_get l i k) x.(i) !acc
     done;
     x.(k) <- Precision.div prec !acc (Matrix.unsafe_get l k k)
-  done;
+  done
+
+let solve ?prec f b =
+  let x = Array.copy b in
+  solve_in_place ?prec f x;
   x
 
 (* Batch-view factor/solve for the direct-execution fast path, over the
@@ -74,54 +77,53 @@ let solve ?(prec = Precision.Double) { l } b =
    backward sweep whose products are rounded individually and folded
    left-to-right. *)
 
-let factor_view ?(prec = Precision.Double) ~src ~dst ~off ~n () =
+let factor_view ?(prec = Precision.Double) ?(stride = 1) ~src ~dst ~off ~n () =
+  let at i j = off + (stride * (i + (j * n))) in
   for j = 0 to n - 1 do
     for i = j to n - 1 do
-      dst.(off + i + (j * n)) <- src.(off + i + (j * n))
+      dst.(at i j) <- src.(at i j)
     done
   done;
   let info = ref 0 in
   (try
      for k = 0 to n - 1 do
-       let dkk = dst.(off + k + (k * n)) in
+       let dkk = dst.(at k k) in
        if not (dkk > 0.0) then begin
          info := k + 1;
          raise Exit
        end;
        let lkk = Precision.round prec (sqrt dkk) in
-       dst.(off + k + (k * n)) <- lkk;
+       dst.(at k k) <- lkk;
        for i = k + 1 to n - 1 do
-         dst.(off + i + (k * n)) <-
-           Precision.div prec dst.(off + i + (k * n)) lkk
+         dst.(at i k) <- Precision.div prec dst.(at i k) lkk
        done;
        for j = k + 1 to n - 1 do
-         let ljk = dst.(off + j + (k * n)) in
+         let ljk = dst.(at j k) in
          for i = j to n - 1 do
-           dst.(off + i + (j * n)) <-
-             Precision.fma prec
-               (-.dst.(off + i + (k * n)))
-               ljk
-               dst.(off + i + (j * n))
+           dst.(at i j) <-
+             Precision.fma prec (-.dst.(at i k)) ljk dst.(at i j)
          done
        done
      done
    with Exit -> ());
   !info
 
-let solve_view ?(prec = Precision.Double) ~m ~moff ~n ~b ~boff () =
+let solve_view ?(prec = Precision.Double) ?(mstride = 1) ?(bstride = 1) ~m
+    ~moff ~n ~b ~boff () =
+  let ma i j = m.(moff + (mstride * (i + (j * n)))) in
+  let bat i = boff + (bstride * i) in
   let info = ref 0 in
   (try
      for k = 0 to n - 1 do
-       let d = m.(moff + k + (k * n)) in
+       let d = ma k k in
        if d = 0.0 then begin
          info := k + 1;
          raise Exit
        end;
-       b.(boff + k) <- Precision.div prec b.(boff + k) d;
-       let bk = b.(boff + k) in
+       b.(bat k) <- Precision.div prec b.(bat k) d;
+       let bk = b.(bat k) in
        for i = k + 1 to n - 1 do
-         b.(boff + i) <-
-           Precision.fma prec (-.m.(moff + i + (k * n))) bk b.(boff + i)
+         b.(bat i) <- Precision.fma prec (-.ma i k) bk b.(bat i)
        done
      done;
      (* Backward sweep with Lᵀ: the forward sweep has already certified
@@ -129,15 +131,10 @@ let solve_view ?(prec = Precision.Double) ~m ~moff ~n ~b ~boff () =
      for k = n - 1 downto 0 do
        let acc = ref 0.0 in
        for i = k + 1 to n - 1 do
-         acc :=
-           Precision.add prec
-             (Precision.mul prec m.(moff + i + (k * n)) b.(boff + i))
-             !acc
+         acc := Precision.add prec (Precision.mul prec (ma i k) b.(bat i)) !acc
        done;
-       b.(boff + k) <-
-         Precision.div prec
-           (Precision.sub prec b.(boff + k) !acc)
-           m.(moff + k + (k * n))
+       b.(bat k) <-
+         Precision.div prec (Precision.sub prec b.(bat k) !acc) (ma k k)
      done
    with Exit -> ());
   !info

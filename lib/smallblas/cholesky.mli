@@ -30,6 +30,10 @@ val solve : ?prec:Precision.t -> factors -> Vector.t -> Vector.t
 (** [solve f b] returns [x] with [L·Lᵀ·x = b] (forward then transposed
     backward sweep, both "eager"). *)
 
+val solve_in_place : ?prec:Precision.t -> factors -> Vector.t -> unit
+(** Allocation-free {!solve}: overwrites [b] with the solution (the hot
+    path of the block-Jacobi apply). *)
+
 (** {2 Batch-view variants}
 
     Allocation-free factor/solve over a column-major [n]×[n] block at an
@@ -39,14 +43,16 @@ val solve : ?prec:Precision.t -> factors -> Vector.t -> Vector.t
     pivot (factor) or zero diagonal (solve) at step [k]. *)
 
 val factor_view :
-  ?prec:Precision.t -> src:float array -> dst:float array -> off:int -> n:int ->
-  unit -> int
+  ?prec:Precision.t -> ?stride:int -> src:float array -> dst:float array ->
+  off:int -> n:int -> unit -> int
 (** Copies the lower triangle of the block at [src.(off ...)] into [dst]
     and factors it in place; the strict upper triangle of [dst] is left
-    untouched (the kernel never stores it).  Returns [info]. *)
+    untouched (the kernel never stores it).  [stride] (default 1) is the
+    batch's element stride — the cohort width for interleaved storage.
+    Returns [info]. *)
 
 val solve_view :
-  ?prec:Precision.t ->
+  ?prec:Precision.t -> ?mstride:int -> ?bstride:int ->
   m:float array -> moff:int -> n:int -> b:float array -> boff:int ->
   unit -> int
 (** Solves [L·Lᵀ·x = b] in place on the segment [b.(boff ...)] against the

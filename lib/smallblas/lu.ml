@@ -174,10 +174,14 @@ let factor_nopivot ?prec m =
    [Precision] op sequence as under the warp interpreter, so outputs are
    bitwise identical to a simulated execution. *)
 
-let factor_implicit_view ?(prec = Precision.Double) ~src ~dst ~off ~n ~tile
-    ~step ~perm () =
+let factor_implicit_view ?(prec = Precision.Double) ?(stride = 1) ~src ~dst
+    ~off ~n ~tile ~step ~perm () =
+  (* [stride] is the batch's element stride (1 = blocked, cohort width for
+     interleaved layouts): element e of the block lives at
+     [off + stride*e].  The gather packs the block contiguously so the
+     elimination runs stride-free; only the copy edges are strided. *)
   for e = 0 to (n * n) - 1 do
-    tile.(e) <- src.(off + e)
+    tile.(e) <- src.(off + (stride * e))
   done;
   for r = 0 to n - 1 do
     step.(r) <- -1
@@ -226,36 +230,38 @@ let factor_implicit_view ?(prec = Precision.Double) ~src ~dst ~off ~n ~tile
   (* Fused write-back permutation: row [r] lands in packed row [step.(r)]. *)
   for j = 0 to n - 1 do
     for r = 0 to n - 1 do
-      dst.(off + step.(r) + (j * n)) <- tile.(r + (j * n))
+      dst.(off + (stride * (step.(r) + (j * n)))) <- tile.(r + (j * n))
     done
   done;
   !info
 
-let factor_nopivot_view ?(prec = Precision.Double) ~src ~dst ~off ~n () =
-  Array.blit src off dst off (n * n);
+let factor_nopivot_view ?(prec = Precision.Double) ?(stride = 1) ~src ~dst ~off
+    ~n () =
+  if stride = 1 then Array.blit src off dst off (n * n)
+  else
+    for e = 0 to (n * n) - 1 do
+      dst.(off + (stride * e)) <- src.(off + (stride * e))
+    done;
+  let at i j = off + (stride * (i + (j * n))) in
   let info = ref 0 in
   (try
      for k = 0 to n - 1 do
-       let d = dst.(off + k + (k * n)) in
+       let d = dst.(at k k) in
        if d = 0.0 then begin
          info := k + 1;
          raise Exit
        end;
        for i = k + 1 to n - 1 do
-         dst.(off + i + (k * n)) <-
-           Precision.div prec dst.(off + i + (k * n)) d
+         dst.(at i k) <- Precision.div prec dst.(at i k) d
        done;
        for j = k + 1 to n - 1 do
          (* No [ukj <> 0.0] skip here: the warp kernel issues the FMA
             unconditionally, and for non-finite multipliers the skipped and
             issued forms differ bitwise. *)
-         let ukj = dst.(off + k + (j * n)) in
+         let ukj = dst.(at k j) in
          for i = k + 1 to n - 1 do
-           dst.(off + i + (j * n)) <-
-             Precision.fma prec
-               (-.dst.(off + i + (k * n)))
-               ukj
-               dst.(off + i + (j * n))
+           dst.(at i j) <-
+             Precision.fma prec (-.dst.(at i k)) ukj dst.(at i j)
          done
        done
      done

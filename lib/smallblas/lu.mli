@@ -65,12 +65,16 @@ val factor_nopivot : ?prec:Precision.t -> Matrix.t -> factors
     Allocation-free restatements of the [_status] factorizations over a
     column-major [n]×[n] block stored at element offset [off] of a batch
     value array — the storage layout of {!Vblu_core.Batch} — for the
-    direct-execution fast path.  Outputs are bitwise identical to the
-    batched warp kernels, including the frozen partial state and
-    [info = k + 1] on a breakdown at step [k]. *)
+    direct-execution fast path.  [stride] (default 1) is the batch's
+    element stride: 1 addresses a blocked batch, the cohort width
+    addresses an interleaved one (element [e] lives at
+    [off + stride*e]).  Outputs are bitwise identical to the batched warp
+    kernels, including the frozen partial state and [info = k + 1] on a
+    breakdown at step [k]. *)
 
 val factor_implicit_view :
   ?prec:Precision.t ->
+  ?stride:int ->
   src:float array ->
   dst:float array ->
   off:int ->
@@ -88,8 +92,8 @@ val factor_implicit_view :
     arrays.  Returns [info]. *)
 
 val factor_nopivot_view :
-  ?prec:Precision.t -> src:float array -> dst:float array -> off:int -> n:int ->
-  unit -> int
+  ?prec:Precision.t -> ?stride:int -> src:float array -> dst:float array ->
+  off:int -> n:int -> unit -> int
 (** Unpivoted factorization, eliminating in place inside [dst] after a block
     copy from [src]; no scratch needed.  Returns [info]. *)
 

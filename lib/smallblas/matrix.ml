@@ -80,6 +80,23 @@ let matmul ?(prec = Precision.Double) x y =
   done;
   z
 
+(* Column-order FMA accumulation into a caller buffer — shared by [gemv]
+   and the allocation-free [gemv_into] so both fold identically. *)
+let gemv_acc ~prec t x y =
+  for j = 0 to t.cols - 1 do
+    let xj = x.(j) in
+    if xj <> 0.0 then
+      for i = 0 to t.rows - 1 do
+        y.(i) <- Precision.fma prec t.a.(i + (j * t.rows)) xj y.(i)
+      done
+  done
+
+let gemv_into ?(prec = Precision.Double) t x y =
+  if Array.length x <> t.cols || Array.length y <> t.rows then
+    invalid_arg "Matrix.gemv_into: dimension mismatch";
+  Array.fill y 0 t.rows 0.0;
+  gemv_acc ~prec t x y
+
 let gemv ?(prec = Precision.Double) ?(trans = false) t x =
   if trans then begin
     if Array.length x <> t.rows then invalid_arg "Matrix.gemv: dimension mismatch";
@@ -93,13 +110,7 @@ let gemv ?(prec = Precision.Double) ?(trans = false) t x =
   else begin
     if Array.length x <> t.cols then invalid_arg "Matrix.gemv: dimension mismatch";
     let y = Array.make t.rows 0.0 in
-    for j = 0 to t.cols - 1 do
-      let xj = x.(j) in
-      if xj <> 0.0 then
-        for i = 0 to t.rows - 1 do
-          y.(i) <- Precision.fma prec t.a.(i + (j * t.rows)) xj y.(i)
-        done
-    done;
+    gemv_acc ~prec t x y;
     y
   end
 
@@ -110,22 +121,22 @@ let gemv ?(prec = Precision.Double) ?(trans = false) t x =
    with the same once-rounded FMA sequence the warp kernel issues per
    column, then one rounded scale and an optional rounded [beta·C] FMA —
    bitwise identical to a simulated execution. *)
-let gemm_col_view ?(prec = Precision.Double) ~alpha ~beta ?c ~a ~b ~dst ~off ~n
-    () =
+let gemm_col_view ?(prec = Precision.Double) ?(stride = 1) ~alpha ~beta ?c ~a
+    ~b ~dst ~off ~n () =
+  let at i j = off + (stride * (i + (j * n))) in
   for j = 0 to n - 1 do
     for i = 0 to n - 1 do
       let acc = ref 0.0 in
       for k = 0 to n - 1 do
-        acc :=
-          Precision.fma prec a.(off + i + (k * n)) b.(off + k + (j * n)) !acc
+        acc := Precision.fma prec a.(at i k) b.(at k j) !acc
       done;
       let v = Precision.mul prec !acc alpha in
       let v =
         match c with
         | None -> v
-        | Some c -> Precision.fma prec c.(off + i + (j * n)) beta v
+        | Some c -> Precision.fma prec c.(at i j) beta v
       in
-      dst.(off + i + (j * n)) <- v
+      dst.(at i j) <- v
     done
   done
 

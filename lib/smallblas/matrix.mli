@@ -56,8 +56,13 @@ val matmul : ?prec:Precision.t -> t -> t -> t
 val gemv : ?prec:Precision.t -> ?trans:bool -> t -> Vector.t -> Vector.t
 (** [gemv a x] is [a * x]; with [~trans:true], [aᵀ * x]. *)
 
+val gemv_into : ?prec:Precision.t -> t -> Vector.t -> Vector.t -> unit
+(** [gemv_into a x y] overwrites [y] with [a * x] — the allocation-free
+    [gemv], bitwise identical to it (same accumulation order). *)
+
 val gemm_col_view :
   ?prec:Precision.t ->
+  ?stride:int ->
   alpha:float ->
   beta:float ->
   ?c:float array ->
@@ -71,8 +76,10 @@ val gemm_col_view :
 (** Batch-view GEMM for the direct-execution fast path:
     [dst ← alpha·A·B (+ beta·C when ?c is given)] over column-major
     [n]×[n] blocks all stored at element offset [off] of their respective
-    batch value arrays.  [beta] is ignored without [?c].  Bitwise identical
-    to the batched GEMM warp kernel (same rounded-FMA accumulation order). *)
+    batch value arrays, every element [stride] apart (default 1; the
+    cohort width for interleaved storage).  [beta] is ignored without
+    [?c].  Bitwise identical to the batched GEMM warp kernel (same
+    rounded-FMA accumulation order). *)
 
 val permute_rows : t -> int array -> t
 (** [permute_rows a perm] builds the matrix whose row [k] is row

@@ -71,65 +71,65 @@ let upper_in_place ?(prec = Precision.Double) ?(variant = Eager) m b =
 
 (* Batch-view solves for the direct-execution fast path: the unit-lower /
    upper pair over a column-major n-by-n factor block at [moff] and a
-   solution segment at [boff], solved in place.  The op schedules replicate
+   solution segment at [boff], solved in place.  [mstride]/[bstride]
+   (default 1) are the batches' element strides — 1 for the blocked
+   layout, the cohort width for interleaved storage, where consecutive
+   elements of one problem sit a stride apart.  The op schedules replicate
    the batched warp kernels exactly — the eager (AXPY) form issues one FMA
    per column element, the lazy (DOT) form a rounded product per row
    element folded left-to-right — so results are bitwise identical. *)
 
-let pair_eager_view ?(prec = Precision.Double) ~m ~moff ~n ~b ~boff () =
+let pair_eager_view ?(prec = Precision.Double) ?(mstride = 1) ?(bstride = 1)
+    ~m ~moff ~n ~b ~boff () =
+  let ma i j = m.(moff + (mstride * (i + (j * n)))) in
+  let bat i = boff + (bstride * i) in
   for k = 0 to n - 2 do
-    let bk = b.(boff + k) in
+    let bk = b.(bat k) in
     for i = k + 1 to n - 1 do
-      b.(boff + i) <-
-        Precision.fma prec (-.m.(moff + i + (k * n))) bk b.(boff + i)
+      b.(bat i) <- Precision.fma prec (-.ma i k) bk b.(bat i)
     done
   done;
   let info = ref 0 in
   (try
      for k = n - 1 downto 0 do
-       let d = m.(moff + k + (k * n)) in
+       let d = ma k k in
        if d = 0.0 then begin
          info := k + 1;
          raise Exit
        end;
-       b.(boff + k) <- Precision.div prec b.(boff + k) d;
-       let bk = b.(boff + k) in
+       b.(bat k) <- Precision.div prec b.(bat k) d;
+       let bk = b.(bat k) in
        for i = 0 to k - 1 do
-         b.(boff + i) <-
-           Precision.fma prec (-.m.(moff + i + (k * n))) bk b.(boff + i)
+         b.(bat i) <- Precision.fma prec (-.ma i k) bk b.(bat i)
        done
      done
    with Exit -> ());
   !info
 
-let pair_lazy_view ?(prec = Precision.Double) ~m ~moff ~n ~b ~boff () =
+let pair_lazy_view ?(prec = Precision.Double) ?(mstride = 1) ?(bstride = 1)
+    ~m ~moff ~n ~b ~boff () =
+  let ma i j = m.(moff + (mstride * (i + (j * n)))) in
+  let bat i = boff + (bstride * i) in
   for k = 1 to n - 1 do
     let acc = ref 0.0 in
     for j = 0 to k - 1 do
-      acc :=
-        Precision.add prec
-          (Precision.mul prec m.(moff + k + (j * n)) b.(boff + j))
-          !acc
+      acc := Precision.add prec (Precision.mul prec (ma k j) b.(bat j)) !acc
     done;
-    b.(boff + k) <- Precision.sub prec b.(boff + k) !acc
+    b.(bat k) <- Precision.sub prec b.(bat k) !acc
   done;
   let info = ref 0 in
   (try
      for k = n - 1 downto 0 do
        let acc = ref 0.0 in
        for j = k + 1 to n - 1 do
-         acc :=
-           Precision.add prec
-             (Precision.mul prec m.(moff + k + (j * n)) b.(boff + j))
-             !acc
+         acc := Precision.add prec (Precision.mul prec (ma k j) b.(bat j)) !acc
        done;
-       let diag = m.(moff + k + (k * n)) in
+       let diag = ma k k in
        if diag = 0.0 then begin
          info := k + 1;
          raise Exit
        end;
-       b.(boff + k) <-
-         Precision.div prec (Precision.sub prec b.(boff + k) !acc) diag
+       b.(bat k) <- Precision.div prec (Precision.sub prec b.(bat k) !acc) diag
      done
    with Exit -> ());
   !info

@@ -44,17 +44,19 @@ val upper_in_place_status :
     a batch value array, updating the solution segment [b.(boff ...)] in
     place — the direct-execution counterparts of the batched TRSV kernels,
     bitwise identical to them including the frozen partial state and
-    [info = k + 1] on a zero diagonal at step [k]. *)
+    [info = k + 1] on a zero diagonal at step [k].  [mstride]/[bstride]
+    (default 1) are the element strides of the factor and solution
+    batches: 1 for blocked storage, the cohort width for interleaved. *)
 
 val pair_eager_view :
-  ?prec:Precision.t ->
+  ?prec:Precision.t -> ?mstride:int -> ?bstride:int ->
   m:float array -> moff:int -> n:int -> b:float array -> boff:int ->
   unit -> int
 (** Eager (AXPY) schedule: one FMA per column element, one division per
     final solution element.  Returns [info]. *)
 
 val pair_lazy_view :
-  ?prec:Precision.t ->
+  ?prec:Precision.t -> ?mstride:int -> ?bstride:int ->
   m:float array -> moff:int -> n:int -> b:float array -> boff:int ->
   unit -> int
 (** Lazy (DOT) schedule: per step a rounded lanewise product folded

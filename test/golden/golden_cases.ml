@@ -62,9 +62,10 @@ let gh_payload fs =
    stream. *)
 let state ~salt ~size = Random.State.make [| 0x90; 0x1d; salt; size |]
 
-let general_batch ~salt sizes =
+let general_batch ?layout ~salt sizes =
   let st = state ~salt ~size:(Array.fold_left ( + ) 0 sizes) in
-  Batch.of_matrices (Array.map (fun s -> Matrix.random_general ~state:st s) sizes)
+  Batch.of_matrices ?layout
+    (Array.map (fun s -> Matrix.random_general ~state:st s) sizes)
 
 let spd_batch ~salt sizes =
   let st = state ~salt ~size:(Array.fold_left ( + ) 0 sizes) in
@@ -135,10 +136,27 @@ let trsv_payload (r : Batched_trsv.result) =
   @ of_ints r.Batched_trsv.info
   @ of_verdicts r.Batched_trsv.verdicts
 
-let lu_mixed_case ?pool ?obs () =
-  let b = general_batch ~salt:2 [| 1; 7; 16; 32; 3 |] in
+let lu_mixed_case ?layout ?pool ?obs () =
+  let b = general_batch ?layout ~salt:2 [| 1; 7; 16; 32; 3 |] in
   let r = Batched_lu.factor ?pool ?obs b in
   { stats = r.Batched_lu.stats; payload = lu_payload r }
+
+(* The interleaved twin covers the SoA address generation end to end: the
+   raw [values]/[vvalues] streams digested here are cohort-interleaved, so
+   any drift in the layout's offset/stride bookkeeping — not just in the
+   numerics — breaks the digest. *)
+let trsv_mixed_case ?layout ?pool ?obs () =
+  let sz = [| 1; 7; 16; 32; 3 |] in
+  let b = general_batch ?layout ~salt:3 sz in
+  let rhs =
+    Batch.vec_random ~state:(state ~salt:4 ~size:59) ?layout sz
+  in
+  let f = Batched_lu.factor ?pool b in
+  let r =
+    Batched_trsv.solve ?pool ?obs ~factors:f.Batched_lu.factors
+      ~pivots:f.Batched_lu.pivots rhs
+  in
+  { stats = r.Batched_trsv.stats; payload = trsv_payload r }
 
 let cases () =
   let sizes = [ 1; 7; 16; 32 ] in
@@ -379,6 +397,18 @@ let cases () =
       {
         name = "lu.implicit/mixed-sizes";
         run = (fun ?pool ?obs () -> lu_mixed_case ?pool ?obs ());
+      };
+      {
+        name = "lu.implicit/mixed-sizes/interleaved";
+        run =
+          (fun ?pool ?obs () ->
+            lu_mixed_case ~layout:Batch.Interleaved ?pool ?obs ());
+      };
+      {
+        name = "trsv.eager/mixed-sizes/interleaved";
+        run =
+          (fun ?pool ?obs () ->
+            trsv_mixed_case ~layout:Batch.Interleaved ?pool ?obs ());
       };
     ]
 
