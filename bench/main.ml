@@ -290,11 +290,103 @@ let run_host_throughput ~domains ~json () =
   Printf.eprintf "[bench] wrote %s (%d entries)\n%!" file (List.length entries)
 
 (* ------------------------------------------------------------------ *)
+(* Service throughput: the coalescing solver service under a load sweep.
+
+   Drives lib/serve's deterministic loadgen at several offered-load
+   multipliers and reports goodput, shed rate, tail latency and
+   coalesced-batch occupancy — all in modelled (virtual) time, so the
+   numbers are bit-identical across runs and domain counts and can be
+   gated by bench-compare.  Emitted as "serve.goodput" entries whose
+   [gflops] field carries completed requests per virtual millisecond
+   (the gated quantity), [bandwidth_gbs] the shed+reject rate and
+   [time_us] the p99 latency; a "serve.cache" pseudo-entry rides along
+   with the launch-cache hit rate. *)
+
+let serve_loads = [ 0.5; 1.0; 1.5; 2.0 ]
+let serve_requests = if full then 2000 else 400
+
+let run_serve ~domains ~json () =
+  let pool = Vblu_par.Pool.create ~num_domains:domains () in
+  let config =
+    { Vblu_serve.Service.default_config with
+      Vblu_serve.Service.capacity = 64; max_batch = 16; min_fill = 4 }
+  in
+  Vblu_simt.Launch.Cache.clear ();
+  Printf.printf "\n## Service throughput (%d requests per point)\n"
+    serve_requests;
+  Printf.printf "%-6s %12s %10s %12s %12s %10s\n" "load" "goodput/ms"
+    "shed-rate" "p50(ms)" "p99(ms)" "occupancy";
+  let entries =
+    List.map
+      (fun load ->
+        let spec =
+          { Vblu_serve.Loadgen.default_spec with
+            Vblu_serve.Loadgen.requests = serve_requests;
+            load;
+            deadline_windows = 16.0 }
+        in
+        let r = Vblu_serve.Loadgen.run ~pool ~config spec in
+        if
+          not
+            (r.Vblu_serve.Loadgen.accounted
+            && r.Vblu_serve.Loadgen.within_bound
+            && r.Vblu_serve.Loadgen.verified)
+        then begin
+          Printf.eprintf "[bench] serve: robustness contract violated\n%!";
+          exit 1
+        end;
+        let goodput_ms = r.Vblu_serve.Loadgen.goodput /. 1e3 in
+        Printf.printf "%-6.2f %12.2f %10.3f %12.4f %12.4f %10.3f\n" load
+          goodput_ms r.Vblu_serve.Loadgen.shed_rate
+          (r.Vblu_serve.Loadgen.p50_latency *. 1e3)
+          (r.Vblu_serve.Loadgen.p99_latency *. 1e3)
+          r.Vblu_serve.Loadgen.mean_occupancy;
+        {
+          Vblu_obs.Artifact.kernel = "serve.goodput";
+          prec = Printf.sprintf "load-%.2f" load;
+          size = 0;
+          batch = serve_requests;
+          gflops = goodput_ms;
+          bandwidth_gbs = r.Vblu_serve.Loadgen.shed_rate;
+          time_us = r.Vblu_serve.Loadgen.p99_latency *. 1e6;
+        })
+      serve_loads
+  in
+  let hits, misses = Vblu_simt.Launch.Cache.stats () in
+  let lookups = hits + misses in
+  let hit_rate =
+    if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
+  in
+  Printf.printf "launch cache over the sweep: %d hits / %d misses (%.1f%%)\n"
+    hits misses (100.0 *. hit_rate);
+  let entries =
+    entries
+    @ [
+        {
+          Vblu_obs.Artifact.kernel = "serve.cache";
+          prec = "hit-rate";
+          size = 0;
+          batch = serve_requests;
+          gflops = hit_rate;
+          bandwidth_gbs = float_of_int hits;
+          time_us = 0.0;
+        };
+      ]
+  in
+  let file = Option.value json ~default:"BENCH_serve.json" in
+  let art =
+    Vblu_obs.Artifact.make ~target:"serve" ~config:"p100" ~domains
+      ~quick:(not full) entries
+  in
+  Vblu_obs.Artifact.write file art;
+  Printf.eprintf "[bench] wrote %s (%d entries)\n%!" file (List.length entries)
+
+(* ------------------------------------------------------------------ *)
 (* Layer 2: the paper's figures and tables                              *)
 
 let targets =
-  [ "micro"; "host-throughput"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
-    "fig9"; "table1"; "ablations"; "artifact"; "all" ]
+  [ "micro"; "host-throughput"; "serve"; "fig4"; "fig5"; "fig6"; "fig7";
+    "fig8"; "fig9"; "table1"; "ablations"; "artifact"; "all" ]
 
 let usage () =
   Printf.eprintf
@@ -418,6 +510,7 @@ let () =
   let all = target = "all" in
   if all || target = "micro" then run_micro ();
   if target = "host-throughput" then run_host_throughput ~domains ~json ();
+  if target = "serve" then run_serve ~domains ~json ();
   if all || target = "fig4" then
     Vblu_perf.Kernel_figs.fig4 ~quick ~pool ~layout ppf;
   if all || target = "fig5" then
@@ -440,7 +533,9 @@ let () =
   if all || target = "table1" then
     Vblu_perf.Solver_figs.table1 ppf (Lazy.force study);
   if all then Vblu_perf.Solver_figs.ablation_variants ppf (Lazy.force study);
-  if target = "artifact" || (json <> None && target <> "host-throughput")
+  if
+    target = "artifact"
+    || (json <> None && target <> "host-throughput" && target <> "serve")
   then begin
     let file = Option.value json ~default:"BENCH_kernels.json" in
     let art =

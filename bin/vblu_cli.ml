@@ -523,6 +523,171 @@ let bench_compare_cmd =
           beyond the tolerance.")
     Term.(const run $ base $ cur $ tolerance)
 
+(* Shared knobs for the service-layer commands. *)
+let serve_requests_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "requests" ] ~docv:"N" ~doc:"Number of requests to generate.")
+
+let serve_seed_arg =
+  Arg.(
+    value & opt int 7
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Workload seed; the whole run is a pure function of it.")
+
+let serve_load_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "load" ] ~docv:"X"
+        ~doc:
+          "Offered load as a multiple of the service's drain capacity \
+           (2.0 = the overload soak).")
+
+let serve_capacity_arg =
+  Arg.(
+    value & opt int Vblu_serve.Service.default_config.Vblu_serve.Service.capacity
+    & info [ "capacity" ] ~docv:"N" ~doc:"Admission queue bound.")
+
+let serve_max_batch_arg =
+  Arg.(
+    value
+    & opt int Vblu_serve.Service.default_config.Vblu_serve.Service.max_batch
+    & info [ "max-batch" ] ~docv:"N"
+        ~doc:"Max requests coalesced into one shared launch.")
+
+let serve_deadline_arg =
+  Arg.(
+    value & opt float 50.0
+    & info [ "deadline-windows" ] ~docv:"W"
+        ~doc:
+          "Per-request deadline, in dispatch windows past submission \
+           (0 disables deadlines).")
+
+let serve_config capacity max_batch =
+  { Vblu_serve.Service.default_config with
+    Vblu_serve.Service.capacity; max_batch }
+
+let serve_cmd =
+  let run requests seed domains capacity max_batch faults trace metrics =
+    setup_logs ();
+    let module S = Vblu_serve in
+    with_obs trace metrics @@ fun obs ->
+    let config = serve_config capacity max_batch in
+    let svc = S.Service.create ~pool:(pool_of domains) ?faults ?obs config in
+    (* A simple client: submit a seeded stream of block-tridiagonal
+       systems across three tenants, step the dispatcher, pick up the
+       results — the transcript a real integration would produce. *)
+    let st = Random.State.make [| seed |] in
+    let tenants = [| "alpha"; "beta"; "gamma" |] in
+    let ids =
+      Array.init requests (fun i ->
+          let blocks = 2 + Random.State.int st 5 in
+          let block_size = 4 + Random.State.int st 13 in
+          let a =
+            Vblu_workloads.Generators.block_tridiagonal ~state:st ~blocks
+              ~block_size ()
+          in
+          let n, _ = Vblu_sparse.Csr.dims a in
+          let rhs = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+          let id =
+            S.Service.submit svc
+              ~tenant:tenants.(i mod Array.length tenants)
+              { S.Batcher.a; rhs; max_block_size = 32 }
+          in
+          if i mod 8 = 7 then S.Service.step svc;
+          id)
+    in
+    S.Service.drain svc;
+    let completed =
+      Array.fold_left
+        (fun acc id ->
+          match S.Service.status svc id with
+          | S.Service.Completed _ -> acc + 1
+          | _ -> acc)
+        0 ids
+    in
+    Format.printf "completed %d/%d requests@." completed requests;
+    Format.printf "%a@." S.Service.pp_health (S.Service.health svc);
+    Format.printf "@[<v>per-tenant:@,%a@]@."
+      (fun ppf l ->
+        List.iter
+          (fun (name, c) ->
+            Format.fprintf ppf "  %-8s submitted=%d completed=%d failed=%d@,"
+              name c.S.Tenant.submitted c.S.Tenant.completed c.S.Tenant.failed)
+          l)
+      (S.Service.tenants svc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the coalescing solver service over a generated request \
+          stream and print its accounting.")
+    Term.(
+      const run $ serve_requests_arg $ serve_seed_arg $ domains_arg
+      $ serve_capacity_arg $ serve_max_batch_arg $ faults_arg $ trace_arg
+      $ metrics_arg)
+
+let loadgen_cmd =
+  let checksum_arg =
+    Arg.(
+      value & flag
+      & info [ "checksum" ]
+          ~doc:
+            "Print only the one-line report fingerprint (what the CI soak \
+             diffs across $(b,--domains) values).")
+  in
+  let no_verify_arg =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:
+            "Skip the bit-identity audit against direct per-request \
+             block-Jacobi solves.")
+  in
+  let run requests seed load deadline_windows domains capacity max_batch
+      checksum no_verify trace metrics =
+    setup_logs ();
+    let module S = Vblu_serve in
+    with_obs trace metrics @@ fun obs ->
+    let spec =
+      {
+        S.Loadgen.default_spec with
+        S.Loadgen.requests;
+        seed;
+        load;
+        deadline_windows;
+        verify = not no_verify;
+      }
+    in
+    let config = serve_config capacity max_batch in
+    let report = S.Loadgen.run ~pool:(pool_of domains) ?obs ~config spec in
+    if checksum then print_endline (S.Loadgen.checksum report)
+    else Format.printf "%a@." S.Loadgen.pp_report report;
+    (* The overload contract, enforced with a nonzero exit so CI can
+       gate on it: full accounting, bounded deadline overshoot, and
+       bit-identical completed results. *)
+    let bad msg =
+      Printf.eprintf "loadgen: property violated: %s\n" msg;
+      exit 1
+    in
+    if not report.S.Loadgen.accounted then
+      bad "unaccounted requests (completed+rejected+shed+failed <> submitted)";
+    if not report.S.Loadgen.within_bound then
+      bad "deadline overshoot beyond one batch window";
+    if not report.S.Loadgen.verified then
+      bad "completed result differs from direct block-Jacobi solve"
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive the service with a seeded (optionally overloaded) request \
+          stream and fail on any robustness-contract violation.")
+    Term.(
+      const run $ serve_requests_arg $ serve_seed_arg $ serve_load_arg
+      $ serve_deadline_arg $ domains_arg $ serve_capacity_arg
+      $ serve_max_batch_arg $ checksum_arg $ no_verify_arg $ trace_arg
+      $ metrics_arg)
+
 let cmds =
   [
     fig_cmd "fig4" "Figure 4: factorization GFLOPS vs batch size."
@@ -568,6 +733,8 @@ let cmds =
       Solver_figs.ablation_variants;
     suite_cmd;
     solve_cmd;
+    serve_cmd;
+    loadgen_cmd;
     csv_cmd;
     all_cmd;
     bench_compare_cmd;

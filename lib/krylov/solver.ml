@@ -158,7 +158,7 @@ let finish ctx ~outcome ~iterations ~x ~b ~started ~a =
            ("iterations", Vblu_obs.Trace.Int iterations);
            ("residual_norm", Vblu_obs.Trace.Float residual_norm);
          ];
-     Vblu_obs.Ctx.incr ctx.obs ("krylov.outcome." ^ slug) 1.0;
+     Vblu_obs.Ctx.incr_l ctx.obs "krylov.outcome" [ ("outcome", slug) ] 1.0;
      Vblu_obs.Ctx.incr ctx.obs "krylov.solves" 1.0;
      Vblu_obs.Ctx.observe ctx.obs "krylov.iterations" (float_of_int iterations)
    end);

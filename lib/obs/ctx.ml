@@ -43,6 +43,23 @@ let observe obs name v =
   | Some { metrics = Some m; _ } -> Metrics.observe m name v
   | _ -> ()
 
+(* Labelled variants: the canonical name is only built when a registry is
+   actually attached, so the disabled path allocates nothing. *)
+let incr_l obs base labels v =
+  match obs with
+  | Some { metrics = Some m; _ } -> Metrics.incr_l m base labels v
+  | _ -> ()
+
+let set_gauge_l obs base labels v =
+  match obs with
+  | Some { metrics = Some m; _ } -> Metrics.set_gauge_l m base labels v
+  | _ -> ()
+
+let observe_l obs base labels v =
+  match obs with
+  | Some { metrics = Some m; _ } -> Metrics.observe_l m base labels v
+  | _ -> ()
+
 let record_verdicts obs verdicts =
   match obs with
   | Some { metrics = Some m; _ } ->

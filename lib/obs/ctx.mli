@@ -43,6 +43,15 @@ val incr : t option -> string -> float -> unit
 val set_gauge : t option -> string -> float -> unit
 val observe : t option -> string -> float -> unit
 
+val incr_l : t option -> string -> (string * string) list -> float -> unit
+(** Labelled counter: [incr_l obs base labels v] bumps the instrument
+    {!Metrics.labelled}[ base labels].  The canonical name is built only
+    when a registry is attached — the disabled fast path stays
+    allocation-free. *)
+
+val set_gauge_l : t option -> string -> (string * string) list -> float -> unit
+val observe_l : t option -> string -> (string * string) list -> float -> unit
+
 val record_verdicts : t option -> Vblu_fault.Fault.verdict array -> unit
 (** Bump [abft.passed] / [abft.failed] / [abft.unchecked] counters. *)
 

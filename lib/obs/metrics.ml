@@ -66,6 +66,60 @@ let observe t name v =
   h.sum <- h.sum +. v;
   h.count <- h.count + 1
 
+(* ------------------------------------------------------------------ *)
+(* Labelled instruments.                                               *)
+
+(* The canonical encoding [base{k1=v1,k2=v2}] must round-trip unambiguously
+   through the name-keyed registry, so the separator characters are banned
+   from every component. *)
+let check_component what banned s =
+  if s = "" then invalid_arg (Printf.sprintf "Metrics.labelled: empty %s" what);
+  String.iter
+    (fun c ->
+      if String.contains banned c then
+        invalid_arg
+          (Printf.sprintf "Metrics.labelled: %s %S contains %C" what s c))
+    s
+
+let labelled base labels =
+  check_component "base name" "{}," base;
+  match labels with
+  | [] -> base
+  | _ ->
+    List.iter
+      (fun (k, v) ->
+        check_component "label key" "{},=" k;
+        check_component "label value" "{},=" v)
+      labels;
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+    in
+    let rec dup = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+        if a = b then
+          invalid_arg
+            (Printf.sprintf "Metrics.labelled: duplicate label key %S" a);
+        dup rest
+      | _ -> ()
+    in
+    dup sorted;
+    let buf = Buffer.create (String.length base + 16) in
+    Buffer.add_string buf base;
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf v)
+      sorted;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+let incr_l t base labels v = incr t (labelled base labels) v
+let set_gauge_l t base labels v = set_gauge t (labelled base labels) v
+let observe_l t base labels v = observe t (labelled base labels) v
+
 type snapshot =
   | Counter of float
   | Gauge of float

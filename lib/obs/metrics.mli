@@ -13,6 +13,13 @@
     different kind raises [Invalid_argument] — catching instrument-kind
     clashes at the call site rather than producing silently-wrong output.
 
+    {b Labels.}  Dimensioned instruments (per-tenant counters, per-kernel
+    launch tallies) use the [_l] variants, which take a [(key, value)]
+    label list and derive the canonical registry name [base{k1=v1,k2=v2}]
+    — labels sorted by key, validated once — instead of every caller
+    string-concatenating its own ad-hoc encoding.  Two label lists that
+    differ only in order address the same instrument.
+
     Determinism: output ([to_json], [to_csv]) sorts instruments by name,
     and [merge_into] combines registries commutatively enough for the
     sequential-join discipline (counters sum, gauges last-set-wins,
@@ -30,6 +37,22 @@ val set_gauge : t -> string -> float -> unit
 
 val observe : t -> string -> float -> unit
 (** Record one observation into a histogram. *)
+
+(** {2 Labelled instruments} *)
+
+val labelled : string -> (string * string) list -> string
+(** [labelled base labels] is the canonical registry name
+    [base{k1=v1,k2=v2}] with labels sorted by key.  An empty label list
+    returns [base] unchanged.
+    @raise Invalid_argument when [base] is empty or contains ['{'], ['}']
+    or [',']; when a key or value is empty or contains ['{'], ['}'],
+    [','] or ['=']; or on a duplicate key. *)
+
+val incr_l : t -> string -> (string * string) list -> float -> unit
+(** [incr_l t base labels v] is [incr t (labelled base labels) v]. *)
+
+val set_gauge_l : t -> string -> (string * string) list -> float -> unit
+val observe_l : t -> string -> (string * string) list -> float -> unit
 
 val num_buckets : int
 (** Number of buckets per histogram, including the overflow bucket. *)

@@ -1,0 +1,145 @@
+open Vblu_smallblas
+open Vblu_sparse
+open Vblu_core
+open Vblu_precond
+open Vblu_fault
+
+type problem = {
+  a : Csr.t;
+  rhs : Vector.t;
+  max_block_size : int;
+}
+
+let validate p =
+  let n, cols = Csr.dims p.a in
+  if n <> cols then
+    Error (Printf.sprintf "matrix not square (%dx%d)" n cols)
+  else if Array.length p.rhs <> n then
+    Error
+      (Printf.sprintf "rhs length %d does not match dimension %d"
+         (Array.length p.rhs) n)
+  else if p.max_block_size < 1 || p.max_block_size > 32 then
+    Error
+      (Printf.sprintf "max_block_size %d outside the warp range 1..32"
+         p.max_block_size)
+  else Ok ()
+
+type outcome = {
+  y : Vector.t;
+  blocks : int;
+  degraded_blocks : int list;
+  faulted_blocks : int list;
+}
+
+type launch_report = {
+  outcomes : outcome array;
+  problems : int;
+  coalesced_blocks : int;
+  modelled_seconds : float;
+}
+
+let empty_report =
+  { outcomes = [||]; problems = 0; coalesced_blocks = 0;
+    modelled_seconds = 0.0 }
+
+let run ?(pool = Vblu_par.Pool.sequential) ?(prec = Precision.Double) ?faults
+    ?(abft = false) ?obs (problems : problem array) =
+  let np = Array.length problems in
+  if np = 0 then empty_report
+  else begin
+    Array.iter
+      (fun p ->
+        match validate p with
+        | Ok () -> ()
+        | Error msg -> invalid_arg ("Serve.Batcher.run: " ^ msg))
+      problems;
+    (* Per-problem supervariable partitions, then a flat global block
+       table: block [g] belongs to problem [owner.(g)] and starts at row
+       [row.(g)] of it.  [first.(p)] is problem [p]'s first global
+       block — global minus first recovers the problem-local index. *)
+    let blockings =
+      Array.map
+        (fun p -> Supervariable.blocking ~max_block_size:p.max_block_size p.a)
+        problems
+    in
+    let first = Array.make (np + 1) 0 in
+    for p = 0 to np - 1 do
+      first.(p + 1) <-
+        first.(p) + Array.length blockings.(p).Supervariable.starts
+    done;
+    let total = first.(np) in
+    let owner = Array.make total 0 in
+    for p = 0 to np - 1 do
+      for j = first.(p) to first.(p + 1) - 1 do
+        owner.(j) <- p
+      done
+    done;
+    let local g = g - first.(owner.(g)) in
+    (* One shared extraction sweep over every problem's blocks, then one
+       matrix batch and one rhs-segment vector batch. *)
+    let blocks =
+      Vblu_par.Pool.parallel_init pool total (fun g ->
+          let p = owner.(g) and j = local g in
+          let blk = blockings.(owner.(g)) in
+          Csr.extract_block problems.(p).a
+            ~row_start:blk.Supervariable.starts.(j)
+            ~size:blk.Supervariable.sizes.(j))
+    in
+    let segments =
+      Array.init total (fun g ->
+          let p = owner.(g) and j = local g in
+          let blk = blockings.(p) in
+          Array.sub problems.(p).rhs blk.Supervariable.starts.(j)
+            blk.Supervariable.sizes.(j))
+    in
+    let batch = Batch.of_matrices blocks in
+    let rhs_batch = Batch.vec_of_vectors segments in
+    (* The coalesced launch pair: one factorization, one solve, shared
+       by every problem in the wave. *)
+    let lu = Batched_lu.factor ~pool ~prec ?faults ~abft ?obs batch in
+    let tr =
+      Batched_trsv.solve ~pool ~prec ~abft ?obs ~factors:lu.Batched_lu.factors
+        ~pivots:lu.Batched_lu.pivots rhs_batch
+    in
+    (* Scatter: clean blocks take the batched solution, broken-down ones
+       copy the rhs segment through — the same identity fallback (and the
+       same bits) as Block_jacobi's degraded path. *)
+    let outcomes =
+      Array.init np (fun p ->
+          let blk = blockings.(p) in
+          let k = Array.length blk.Supervariable.starts in
+          let n = Array.length problems.(p).rhs in
+          let y = Array.make n 0.0 in
+          let degraded = ref [] and faulted = ref [] in
+          for j = k - 1 downto 0 do
+            let g = first.(p) + j in
+            let st = blk.Supervariable.starts.(j)
+            and s = blk.Supervariable.sizes.(j) in
+            let broken =
+              lu.Batched_lu.info.(g) <> 0 || tr.Batched_trsv.info.(g) <> 0
+            in
+            if broken then begin
+              degraded := j :: !degraded;
+              Array.blit problems.(p).rhs st y st s
+            end
+            else begin
+              let seg = Batch.vec_get tr.Batched_trsv.solutions g in
+              Array.blit seg 0 y st s
+            end;
+            let failed = function Fault.Failed -> true | _ -> false in
+            if
+              (not broken)
+              && (failed lu.Batched_lu.verdicts.(g)
+                 || failed tr.Batched_trsv.verdicts.(g))
+            then faulted := j :: !faulted
+          done;
+          { y; blocks = k; degraded_blocks = !degraded;
+            faulted_blocks = !faulted })
+    in
+    let modelled_seconds =
+      (lu.Batched_lu.stats.Vblu_simt.Launch.time_us
+      +. tr.Batched_trsv.stats.Vblu_simt.Launch.time_us)
+      *. 1e-6
+    in
+    { outcomes; problems = np; coalesced_blocks = total; modelled_seconds }
+  end

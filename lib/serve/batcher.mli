@@ -1,0 +1,70 @@
+(** Coalesced batch execution for the solver service.
+
+    Takes many independent block-Jacobi setup+apply problems and runs
+    them as {e one} shared variable-size batch launch: every problem is
+    partitioned with the same supervariable blocking as
+    {!Vblu_precond.Block_jacobi.create}, all resulting diagonal blocks
+    from all problems are packed into a single {!Vblu_core.Batch.t}, and
+    one {!Vblu_core.Batched_lu.factor} plus one
+    {!Vblu_core.Batched_trsv.solve} launch serve everyone — the
+    amortization the paper's batched kernels exist for.
+
+    Bit-identity contract: the batched warp kernels replicate the
+    {!Vblu_smallblas} reference op schedules exactly, so the per-problem
+    solutions scattered out of the shared launch are bitwise identical
+    to a direct [Block_jacobi.create ~variant:Lu |> apply] on the same
+    problem — including the identity fallback for blocks whose LU broke
+    down (the rhs segment is copied through unchanged, exactly like
+    [Block_jacobi]'s [identity_solver]). *)
+
+open Vblu_smallblas
+open Vblu_sparse
+
+type problem = {
+  a : Csr.t;  (** square system matrix. *)
+  rhs : Vector.t;  (** right-hand side, length = dimension of [a]. *)
+  max_block_size : int;  (** supervariable agglomeration bound, 1..32. *)
+}
+
+val validate : problem -> (unit, string) result
+(** Admission-time shape check: square matrix, matching rhs length,
+    block bound within the warp width.  Returns the rejection reason —
+    the service refuses invalid work at submit, never mid-launch. *)
+
+type outcome = {
+  y : Vector.t;  (** the preconditioner application [M^{-1} rhs]. *)
+  blocks : int;  (** diagonal blocks this problem contributed. *)
+  degraded_blocks : int list;
+      (** problem-local indices of blocks that hit an LU/TRSV breakdown
+          and fell back to the identity (rhs copied through). *)
+  faulted_blocks : int list;
+      (** problem-local indices of blocks whose ABFT verdict came back
+          [Failed] — the transient-fault signal the service retries
+          on. *)
+}
+
+type launch_report = {
+  outcomes : outcome array;  (** one per problem, in submission order. *)
+  problems : int;
+  coalesced_blocks : int;  (** total blocks across the shared batch. *)
+  modelled_seconds : float;
+      (** modelled kernel time of the shared LU + TRSV launches — what
+          the service's virtual clock advances by. *)
+}
+
+val empty_report : launch_report
+
+val run :
+  ?pool:Vblu_par.Pool.t ->
+  ?prec:Precision.t ->
+  ?faults:Vblu_fault.Fault.Plan.t ->
+  ?abft:bool ->
+  ?obs:Vblu_obs.Ctx.t ->
+  problem array ->
+  launch_report
+(** Execute every problem through one coalesced launch pair.  An empty
+    array is a no-op returning {!empty_report}.  Fault plans address
+    problems by {e global block index} within the coalesced batch;
+    claims are one-shot, so re-running a faulted request comes back
+    clean.  @raise Invalid_argument on an invalid problem — callers are
+    expected to have {!validate}d at admission. *)

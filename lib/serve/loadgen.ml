@@ -1,0 +1,217 @@
+open Vblu_sparse
+open Vblu_precond
+open Vblu_workloads
+
+type spec = {
+  seed : int;
+  requests : int;
+  load : float;
+  steps_per_window : int;
+  deadline_windows : float;
+  blocks_lo : int;
+  blocks_hi : int;
+  block_size_lo : int;
+  block_size_hi : int;
+  verify : bool;
+}
+
+let default_spec =
+  {
+    seed = 7;
+    requests = 200;
+    load = 1.0;
+    steps_per_window = 1;
+    deadline_windows = 50.0;
+    blocks_lo = 2;
+    blocks_hi = 6;
+    block_size_lo = 4;
+    block_size_hi = 16;
+    verify = true;
+  }
+
+type report = {
+  submitted : int;
+  completed : int;
+  rejected : int;
+  shed : int;
+  failed : int;
+  demoted : int;
+  retried : int;
+  accounted : bool;
+  goodput : float;
+  shed_rate : float;
+  p50_latency : float;
+  p99_latency : float;
+  mean_occupancy : float;
+  max_overshoot : float;
+  overshoot_bound : float;
+  within_bound : bool;
+  verified : bool;
+  elapsed : float;
+}
+
+let checksum r =
+  Printf.sprintf
+    "submitted=%d completed=%d rejected=%d shed=%d failed=%d demoted=%d \
+     retried=%d accounted=%b goodput=%.17g shed_rate=%.17g p50=%.17g \
+     p99=%.17g occupancy=%.17g overshoot=%.17g bound=%.17g within=%b \
+     verified=%b elapsed=%.17g"
+    r.submitted r.completed r.rejected r.shed r.failed r.demoted r.retried
+    r.accounted r.goodput r.shed_rate r.p50_latency r.p99_latency
+    r.mean_occupancy r.max_overshoot r.overshoot_bound r.within_bound
+    r.verified r.elapsed
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>submitted      %d@,completed      %d@,rejected       %d@,shed     \
+     \      %d@,failed         %d@,demoted        %d@,retried        \
+     %d@,accounted      %b@,goodput        %.1f req/s@,shed rate      \
+     %.3f@,p50 latency    %.6fs@,p99 latency    %.6fs@,mean occupancy \
+     %.3f@,max overshoot  %.6fs (bound %.6fs, within %b)@,verified       \
+     %b@,elapsed        %.6fs@]"
+    r.submitted r.completed r.rejected r.shed r.failed r.demoted r.retried
+    r.accounted r.goodput r.shed_rate r.p50_latency r.p99_latency
+    r.mean_occupancy r.max_overshoot r.overshoot_bound r.within_bound
+    r.verified r.elapsed
+
+type gen_req = {
+  g_problem : Batcher.problem;
+  g_tenant : string;
+  g_priority : Policy.priority;
+  g_arrival : float;
+}
+
+let tenants_mix = [| "alpha"; "beta"; "gamma" |]
+
+(* All randomness is drawn up front from one seeded state in a fixed
+   order, so the generated stream is a pure function of the spec — the
+   service then adds no randomness of its own. *)
+let generate spec ~window ~max_batch =
+  let st = Random.State.make [| spec.seed |] in
+  let rate = spec.load *. float_of_int max_batch /. window in
+  let t = ref 0.0 in
+  Array.init spec.requests (fun i ->
+      let blocks =
+        spec.blocks_lo + Random.State.int st (spec.blocks_hi - spec.blocks_lo + 1)
+      in
+      let block_size =
+        spec.block_size_lo
+        + Random.State.int st (spec.block_size_hi - spec.block_size_lo + 1)
+      in
+      let a = Generators.block_tridiagonal ~state:st ~blocks ~block_size () in
+      let n, _ = Csr.dims a in
+      let rhs = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let tenant = tenants_mix.(i mod Array.length tenants_mix) in
+      let priority =
+        let u = Random.State.float st 1.0 in
+        if u < 0.2 then Policy.Interactive
+        else if u < 0.8 then Policy.Standard
+        else Policy.Best_effort
+      in
+      let dt = -.Float.log (1.0 -. Random.State.float st 1.0) /. rate in
+      t := !t +. dt;
+      {
+        g_problem = { Batcher.a; rhs; max_block_size = 32 };
+        g_tenant = tenant;
+        g_priority = priority;
+        g_arrival = !t;
+      })
+
+let run ?(pool = Vblu_par.Pool.sequential) ?obs
+    ?(config = Service.default_config) spec =
+  if spec.requests < 0 then invalid_arg "Serve.Loadgen.run: negative requests";
+  if not (spec.load > 0.0) then
+    invalid_arg "Serve.Loadgen.run: load must be positive";
+  let reqs =
+    generate spec ~window:config.Service.window
+      ~max_batch:config.Service.max_batch
+  in
+  let svc = Service.create ~pool ?obs config in
+  (* Submit each request once virtual time reaches its arrival stamp;
+     between submission batches, run the dispatch loop. *)
+  let ids = Array.make spec.requests (-1) in
+  let submit_times = Array.make spec.requests 0.0 in
+  let deadlines = Array.make spec.requests None in
+  let idx = ref 0 in
+  while !idx < spec.requests do
+    let now = Service.now svc in
+    while !idx < spec.requests && reqs.(!idx).g_arrival <= now do
+      let r = reqs.(!idx) in
+      let deadline =
+        if spec.deadline_windows > 0.0 then
+          Some (now +. (spec.deadline_windows *. config.Service.window))
+        else None
+      in
+      submit_times.(!idx) <- now;
+      deadlines.(!idx) <- deadline;
+      ids.(!idx) <-
+        Service.submit svc ~tenant:r.g_tenant ~priority:r.g_priority ?deadline
+          r.g_problem;
+      incr idx
+    done;
+    for _ = 1 to max 1 spec.steps_per_window do
+      Service.step svc
+    done
+  done;
+  Service.drain svc;
+  let h = Service.health svc in
+  let totals = h.Service.h_totals in
+  (* Audit: deadline overshoot and bit-identity against direct
+     per-request Block_jacobi solves. *)
+  let max_overshoot = ref 0.0 in
+  let verified = ref true in
+  Array.iteri
+    (fun i id ->
+      match Service.status svc id with
+      | Service.Completed { y; demoted; latency; _ } ->
+        (match deadlines.(i) with
+        | Some d ->
+          let completion = submit_times.(i) +. latency in
+          if completion -. d > !max_overshoot then
+            max_overshoot := completion -. d
+        | None -> ());
+        if spec.verify then
+          if demoted then begin
+            if y <> reqs.(i).g_problem.Batcher.rhs then verified := false
+          end
+          else begin
+            let p = reqs.(i).g_problem in
+            let bj, _ =
+              Block_jacobi.create ~prec:config.Service.prec ~variant:Block_jacobi.Lu
+                ~max_block_size:p.Batcher.max_block_size p.Batcher.a
+            in
+            let direct = bj.Preconditioner.apply p.Batcher.rhs in
+            if y <> direct then verified := false
+          end
+      | _ -> ())
+    ids;
+  let elapsed = Service.now svc in
+  let fi = float_of_int in
+  {
+    submitted = totals.Tenant.submitted;
+    completed = totals.Tenant.completed;
+    rejected = totals.Tenant.rejected;
+    shed = totals.Tenant.shed;
+    failed = totals.Tenant.failed;
+    demoted = totals.Tenant.demoted;
+    retried = totals.Tenant.retried;
+    accounted =
+      totals.Tenant.submitted
+      = totals.Tenant.completed + totals.Tenant.rejected + totals.Tenant.shed
+        + totals.Tenant.failed
+      && Service.pending svc = 0;
+    goodput = (if elapsed > 0.0 then fi totals.Tenant.completed /. elapsed else 0.0);
+    shed_rate =
+      (if totals.Tenant.submitted = 0 then 0.0
+       else
+         fi (totals.Tenant.shed + totals.Tenant.rejected)
+         /. fi totals.Tenant.submitted);
+    p50_latency = h.Service.h_p50_latency;
+    p99_latency = h.Service.h_p99_latency;
+    mean_occupancy = h.Service.h_mean_occupancy;
+    max_overshoot = !max_overshoot;
+    overshoot_bound = h.Service.h_max_step_seconds;
+    within_bound = !max_overshoot <= h.Service.h_max_step_seconds +. 1e-12;
+    verified = !verified;
+    elapsed;
+  }

@@ -1,0 +1,81 @@
+(** Deterministic load generator and overload harness.
+
+    Drives a {!Service} with a seeded synthetic request stream (Poisson
+    arrivals over the virtual clock, block-tridiagonal systems of mixed
+    sizes across a small tenant/priority mix) and checks the service's
+    contract afterwards:
+
+    - {b conservation}: completed + rejected + shed + failed =
+      submitted, with nothing left pending after the drain;
+    - {b deadline overshoot}: no completed request finished later than
+      its deadline plus one batch window (the largest single-step
+      virtual-time advance);
+    - {b bit-identity}: every completed, non-demoted result equals a
+      direct [Block_jacobi.create ~variant:Lu |> apply] on the same
+      problem, float for float; demoted results equal the rhs verbatim.
+
+    Everything is a pure function of [(spec, domain count)] — and the
+    domain count provably cancels, which is what the CI soak asserts by
+    diffing reports across pools. *)
+
+type spec = {
+  seed : int;
+  requests : int;  (** total submissions. *)
+  load : float;
+      (** offered load as a multiple of service capacity: 1.0 ≈ arrivals
+          match drain rate, 2.0 ≈ the overload soak. *)
+  steps_per_window : int;
+      (** service steps taken per arrival window (1 = step after each
+          arrival batch). *)
+  deadline_windows : float;
+      (** deadlines as a multiple of the dispatch window (0 = no
+          deadlines). *)
+  blocks_lo : int;  (** smallest per-request block count. *)
+  blocks_hi : int;
+  block_size_lo : int;
+  block_size_hi : int;  (** ≤ 32. *)
+  verify : bool;  (** recompute every completion directly and compare. *)
+}
+
+val default_spec : spec
+(** seed 7, 200 requests, load 1.0, 1 step/window, deadlines at 50
+    windows, 2–6 blocks of size 4–16, verify on. *)
+
+type report = {
+  submitted : int;
+  completed : int;
+  rejected : int;
+  shed : int;
+  failed : int;
+  demoted : int;
+  retried : int;
+  accounted : bool;  (** the conservation invariant held. *)
+  goodput : float;  (** completed / virtual second. *)
+  shed_rate : float;  (** (shed + rejected) / submitted. *)
+  p50_latency : float;
+  p99_latency : float;
+  mean_occupancy : float;
+  max_overshoot : float;
+      (** max (completion − deadline) over completed deadline-carrying
+          requests; 0 when none overshot. *)
+  overshoot_bound : float;  (** the one-batch-window bound. *)
+  within_bound : bool;
+  verified : bool;  (** bit-identity held (vacuously true when [verify]
+                        is off). *)
+  elapsed : float;  (** virtual seconds from first submit to drain. *)
+}
+
+val checksum : report -> string
+(** A stable one-line fingerprint of every field — what the soak diffs
+    across domain counts. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  ?pool:Vblu_par.Pool.t ->
+  ?obs:Vblu_obs.Ctx.t ->
+  ?config:Service.config ->
+  spec ->
+  report
+(** Generate, submit, step, drain, audit.  [config] defaults to
+    {!Service.default_config}. *)

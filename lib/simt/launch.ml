@@ -145,6 +145,28 @@ module Cache = struct
 
   let direct_hits () = Atomic.get direct_count
 
+  let entries () =
+    Mutex.lock lock;
+    let n = Hashtbl.length tbl in
+    Mutex.unlock lock;
+    n
+
+  (* Health-snapshot export: last-set-wins gauges, so callers may refresh
+     them every reporting window without compounding. *)
+  let export_gauges m =
+    let hits = Atomic.get hit_count and misses = Atomic.get miss_count in
+    let direct = Atomic.get direct_count in
+    let lookups = hits + misses in
+    let f = float_of_int in
+    Vblu_obs.Metrics.set_gauge m "launch.cache.hits" (f hits);
+    Vblu_obs.Metrics.set_gauge m "launch.cache.misses" (f misses);
+    Vblu_obs.Metrics.set_gauge m "launch.cache.direct_hits" (f direct);
+    Vblu_obs.Metrics.set_gauge m "launch.cache.entries" (f (entries ()));
+    Vblu_obs.Metrics.set_gauge m "launch.cache.hit_rate"
+      (if lookups = 0 then 0.0 else f hits /. f lookups);
+    Vblu_obs.Metrics.set_gauge m "launch.cache.direct_fraction"
+      (if lookups = 0 then 0.0 else f direct /. f lookups)
+
   let clear () =
     Mutex.lock lock;
     Hashtbl.reset tbl;

@@ -129,5 +129,16 @@ module Cache : sig
   (** How many hits were served by direct execution (no interpreter);
       always [<= fst (stats ())]. *)
 
+  val entries : unit -> int
+  (** Number of distinct keys currently cached. *)
+
+  val export_gauges : Vblu_obs.Metrics.t -> unit
+  (** Publish the cache tallies as registry gauges —
+      [launch.cache.hits] / [.misses] / [.direct_hits] / [.entries] plus
+      the derived [.hit_rate] and [.direct_fraction] — so health
+      snapshots and bench artifacts can report cache effectiveness
+      without poking internals.  Gauges are last-set-wins: refresh per
+      reporting window at will. *)
+
   val clear : unit -> unit
 end

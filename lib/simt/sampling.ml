@@ -35,7 +35,7 @@ let record_launch obs ~name ~prec (stats : Launch.stats) =
           ("faults_injected", Vblu_obs.Trace.Int stats.Launch.faults_injected);
         ];
     Vblu_obs.Ctx.incr obs "launch.count" 1.0;
-    Vblu_obs.Ctx.incr obs (Printf.sprintf "launch.count{kernel=%s}" name) 1.0;
+    Vblu_obs.Ctx.incr_l obs "launch.count" [ ("kernel", name) ] 1.0;
     Vblu_obs.Ctx.incr obs "launch.time_us" stats.Launch.time_us;
     Vblu_obs.Ctx.incr obs "launch.warps" (float_of_int stats.Launch.warps);
     Vblu_obs.Ctx.incr obs "launch.useful_flops"

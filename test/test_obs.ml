@@ -314,7 +314,8 @@ let test_solver_obs_records () =
     (Vblu_krylov.Solver.converged stats);
   check_float "one solve counted" 1.0 (Metrics.counter_value mx "krylov.solves");
   check_float "converged outcome counted" 1.0
-    (Metrics.counter_value mx "krylov.outcome.converged");
+    (Metrics.counter_value mx
+       (Metrics.labelled "krylov.outcome" [ ("outcome", "converged") ]));
   let has_sample =
     List.exists
       (function Trace.Sample s -> s.name = "bicgstab.residual" | _ -> false)
