@@ -381,12 +381,99 @@ let run_serve ~domains ~json () =
   Vblu_obs.Artifact.write file art;
   Printf.eprintf "[bench] wrote %s (%d entries)\n%!" file (List.length entries)
 
+(* The preconditioner-family head-to-head (ROADMAP item 3): block-Jacobi
+   vs block-ILU(0) vs RAS-ILU(0) over the workload suite, through
+   Precond_study.  One artifact entry per (matrix, family); the gated
+   [gflops] field carries 1000/iterations (fewer IDR(4) iterations =
+   higher number, so convergence regressions fail bench-compare),
+   [bandwidth_gbs] the modelled microseconds per application and
+   [time_us] the setup+solve wall-clock.  Two pseudo-entries gate the
+   head-to-head itself: the fraction of matrices (and of the
+   convection-dominated subset) where block-ILU(0) reduced iterations. *)
+
+let run_precond ~domains ~json () =
+  let module PS = Vblu_perf.Precond_study in
+  let module S = Vblu_workloads.Suite in
+  let pool = Vblu_par.Pool.create ~num_domains:domains () in
+  let progress msg = Printf.eprintf "[suite] %s\n%!" msg in
+  let study = PS.run_suite ~quick:(not full) ~pool ~progress () in
+  Printf.printf "\n## Preconditioner families (block size %d)\n"
+    study.PS.max_block_size;
+  Printf.printf "%-3s %-18s %-12s %6s %5s %6s %9s %9s\n" "id" "matrix"
+    "family" "iters" "waves" "levels" "tx/apply" "us/apply";
+  let entries =
+    List.map
+      (fun (r : PS.run) ->
+        Printf.printf "%3d %-18s %-12s %5d%s %5d %3d+%-3d %9d %9.2f\n"
+          r.PS.entry.S.id r.PS.entry.S.name
+          (PS.family_label r.PS.family)
+          r.PS.iterations
+          (if r.PS.converged then " " else "*")
+          r.PS.apply_waves r.PS.lower_levels r.PS.upper_levels
+          r.PS.apply_transactions
+          (r.PS.modelled_apply_seconds *. 1e6);
+        {
+          Vblu_obs.Artifact.kernel = "precond." ^ PS.family_label r.PS.family;
+          prec = r.PS.entry.S.name;
+          size = r.PS.entry.S.id;
+          batch = r.PS.blocks;
+          gflops = 1e3 /. float_of_int (max 1 r.PS.iterations);
+          bandwidth_gbs = r.PS.modelled_apply_seconds *. 1e6;
+          time_us = PS.total_seconds r *. 1e6;
+        })
+      study.PS.runs
+  in
+  let pairs = PS.iteration_improvements study in
+  let better ((j : PS.run), (i : PS.run)) = i.PS.iterations < j.PS.iterations in
+  let ratio pairs =
+    match pairs with
+    | [] -> 0.0
+    | _ ->
+      float_of_int (List.length (List.filter better pairs))
+      /. float_of_int (List.length pairs)
+  in
+  let conv =
+    List.filter (fun ((j : PS.run), _) -> j.PS.entry.S.family = S.Convection)
+      pairs
+  in
+  Printf.printf
+    "block-ilu0 reduced iterations on %d/%d matrices (%d/%d convection)\n"
+    (List.length (List.filter better pairs))
+    (List.length pairs)
+    (List.length (List.filter better conv))
+    (List.length conv);
+  let pseudo kernel prec value =
+    {
+      Vblu_obs.Artifact.kernel;
+      prec;
+      size = 0;
+      batch = List.length pairs;
+      gflops = value;
+      bandwidth_gbs = 0.0;
+      time_us = 0.0;
+    }
+  in
+  let entries =
+    entries
+    @ [
+        pseudo "precond.improved" "all-matrices" (ratio pairs);
+        pseudo "precond.improved" "convection" (ratio conv);
+      ]
+  in
+  let file = Option.value json ~default:"BENCH_precond.json" in
+  let art =
+    Vblu_obs.Artifact.make ~target:"precond" ~config:"p100" ~domains
+      ~quick:(not full) entries
+  in
+  Vblu_obs.Artifact.write file art;
+  Printf.eprintf "[bench] wrote %s (%d entries)\n%!" file (List.length entries)
+
 (* ------------------------------------------------------------------ *)
 (* Layer 2: the paper's figures and tables                              *)
 
 let targets =
-  [ "micro"; "host-throughput"; "serve"; "fig4"; "fig5"; "fig6"; "fig7";
-    "fig8"; "fig9"; "table1"; "ablations"; "artifact"; "all" ]
+  [ "micro"; "host-throughput"; "serve"; "precond"; "fig4"; "fig5"; "fig6";
+    "fig7"; "fig8"; "fig9"; "table1"; "ablations"; "artifact"; "all" ]
 
 let usage () =
   Printf.eprintf
@@ -511,6 +598,7 @@ let () =
   if all || target = "micro" then run_micro ();
   if target = "host-throughput" then run_host_throughput ~domains ~json ();
   if target = "serve" then run_serve ~domains ~json ();
+  if target = "precond" then run_precond ~domains ~json ();
   if all || target = "fig4" then
     Vblu_perf.Kernel_figs.fig4 ~quick ~pool ~layout ppf;
   if all || target = "fig5" then
@@ -535,7 +623,8 @@ let () =
   if all then Vblu_perf.Solver_figs.ablation_variants ppf (Lazy.force study);
   if
     target = "artifact"
-    || (json <> None && target <> "host-throughput" && target <> "serve")
+    || (json <> None && target <> "host-throughput" && target <> "serve"
+       && target <> "precond")
   then begin
     let file = Option.value json ~default:"BENCH_kernels.json" in
     let art =

@@ -322,6 +322,67 @@ let suite_cmd =
     (Cmd.info "suite" ~doc:"List the 48 synthetic stand-in matrices.")
     Term.(const run $ const ())
 
+(* Shared knobs for the preconditioner-family commands. *)
+let precond_arg =
+  let family_conv =
+    Arg.enum
+      [
+        ("block-jacobi", Precond_study.Jacobi);
+        ("block-ilu0", Precond_study.Ilu0);
+        ("ras-ilu0", Precond_study.Ras);
+      ]
+  in
+  let doc =
+    "Preconditioner family: $(b,block-jacobi) (default; decoupled \
+     diagonal-block solves), $(b,block-ilu0) (coupled block incomplete LU \
+     applied as level-scheduled batched triangular solves), or \
+     $(b,ras-ilu0) (restricted additive Schwarz over block-ILU(0) \
+     subdomain solves)."
+  in
+  Arg.(
+    value
+    & opt family_conv Precond_study.Jacobi
+    & info [ "precond" ] ~docv:"FAMILY" ~doc)
+
+let subdomains_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "subdomains" ] ~docv:"N"
+        ~doc:"Contiguous RAS subdomains ($(b,ras-ilu0) only).")
+
+let overlap_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "overlap" ] ~docv:"ROWS"
+        ~doc:"Rows of one-sided RAS overlap ($(b,ras-ilu0) only).")
+
+let report_ilu0 ?(indent = "  ") policy (info : Vblu_precond.Block_ilu0.info) =
+  let module Bi = Vblu_precond.Block_ilu0 in
+  let module L = Vblu_sparse.Levels in
+  Format.printf "%slower: %a@." indent L.pp_stats (L.stats info.Bi.lower);
+  Format.printf "%supper: %a@." indent L.pp_stats (L.stats info.Bi.upper);
+  Format.printf "%ssetup: %d batched launches, %.1f us modelled@." indent
+    info.Bi.setup_launches
+    (info.Bi.setup_modelled_seconds *. 1e6);
+  if info.Bi.degraded_blocks <> [] || info.Bi.perturbed_blocks <> [] then
+    Format.printf
+      "%sbreakdowns (policy %s): %d identity-fallback, %d perturbed@." indent
+      (Vblu_precond.Block_jacobi.policy_name policy)
+      (List.length info.Bi.degraded_blocks)
+      (List.length info.Bi.perturbed_blocks);
+  match !(info.Bi.last_apply) with
+  | None -> ()
+  | Some s ->
+    let tx =
+      Array.fold_left (fun acc w -> acc + w.Bi.transactions) 0 s.Bi.waves
+    in
+    Format.printf
+      "%sapply: %d level waves, %d gmem transactions, %.1f us modelled@."
+      indent
+      (Array.length s.Bi.waves)
+      tx
+      (s.Bi.modelled_seconds *. 1e6)
+
 let solve_cmd =
   let file =
     Arg.(
@@ -350,68 +411,366 @@ let solve_cmd =
       value
       & opt variant_conv Vblu_precond.Block_jacobi.Lu
       & info [ "variant" ]
-          ~doc:"Batched factorization variant for the preconditioner.")
+          ~doc:
+            "Batched factorization variant for the preconditioner \
+             ($(b,block-jacobi) only).")
   in
-  let run file bound variant domains policy faults abft recovery trace
-      metrics =
+  let run file bound variant family subdomains overlap domains policy faults
+      abft recovery trace metrics =
     setup_logs ();
     let a = Vblu_sparse.Mm_io.read file in
     let n, _ = Vblu_sparse.Csr.dims a in
     let b = Array.make n 1.0 in
     with_obs trace metrics @@ fun obs ->
-    let make_precond () =
-      Vblu_precond.Block_jacobi.create ~pool:(pool_of domains) ~variant ~policy
-        ?faults ~abft ~recovery ?obs ~max_block_size:bound a
-    in
-    let precond, info = make_precond () in
-    let refresh_precond =
-      if abft then Some (fun () -> fst (make_precond ())) else None
-    in
-    let _, stats =
-      Vblu_krylov.Idr.solve ~precond ?refresh_precond ?obs ~s:4 a b
-    in
+    let pool = pool_of domains in
     Format.printf "matrix: %a@." Vblu_sparse.Csr.pp_stats a;
-    Format.printf "preconditioner: %s (%d blocks, setup %.3fs)@."
-      precond.Vblu_precond.Preconditioner.name
-      (Array.length
-         info.Vblu_precond.Block_jacobi.blocking.Vblu_precond.Supervariable.starts)
-      precond.Vblu_precond.Preconditioner.setup_seconds;
-    let degraded = info.Vblu_precond.Block_jacobi.degraded_blocks
-    and perturbed = info.Vblu_precond.Block_jacobi.perturbed_blocks
-    and recovered = info.Vblu_precond.Block_jacobi.recovered_blocks
-    and corrupt = info.Vblu_precond.Block_jacobi.corrupt_blocks in
-    if degraded <> [] || perturbed <> [] then
-      Format.printf
-        "breakdowns (policy %s): %d identity-fallback, %d perturbed@."
-        (Vblu_precond.Block_jacobi.policy_name policy)
-        (List.length degraded) (List.length perturbed);
-    (match faults with
-    | None -> ()
-    | Some plan ->
-      let blocking =
-        info.Vblu_precond.Block_jacobi.blocking
-      in
-      let planted =
-        List.length
-          (Vblu_fault.Fault.Plan.targeted plan
-             ~problems:
-               (Array.length blocking.Vblu_precond.Supervariable.starts)
-             ~sizes:blocking.Vblu_precond.Supervariable.sizes)
-      in
-      Format.printf
-        "faults: planted=%d fired=%d detected=%d recovered=%d corrupt=%d@."
-        planted
-        (Vblu_fault.Fault.Plan.injected plan)
-        (List.length recovered + List.length corrupt)
-        (List.length recovered) (List.length corrupt));
+    let stats =
+      match family with
+      | Precond_study.Jacobi ->
+        let make_precond () =
+          Vblu_precond.Block_jacobi.create ~pool ~variant ~policy ?faults
+            ~abft ~recovery ?obs ~max_block_size:bound a
+        in
+        let precond, info = make_precond () in
+        let refresh_precond =
+          if abft then Some (fun () -> fst (make_precond ())) else None
+        in
+        let _, stats =
+          Vblu_krylov.Idr.solve ~precond ?refresh_precond ?obs ~s:4 a b
+        in
+        Format.printf "preconditioner: %s (%d blocks, setup %.3fs)@."
+          precond.Vblu_precond.Preconditioner.name
+          (Array.length
+             info.Vblu_precond.Block_jacobi.blocking
+               .Vblu_precond.Supervariable.starts)
+          precond.Vblu_precond.Preconditioner.setup_seconds;
+        let degraded = info.Vblu_precond.Block_jacobi.degraded_blocks
+        and perturbed = info.Vblu_precond.Block_jacobi.perturbed_blocks
+        and recovered = info.Vblu_precond.Block_jacobi.recovered_blocks
+        and corrupt = info.Vblu_precond.Block_jacobi.corrupt_blocks in
+        if degraded <> [] || perturbed <> [] then
+          Format.printf
+            "breakdowns (policy %s): %d identity-fallback, %d perturbed@."
+            (Vblu_precond.Block_jacobi.policy_name policy)
+            (List.length degraded) (List.length perturbed);
+        (match faults with
+        | None -> ()
+        | Some plan ->
+          let blocking = info.Vblu_precond.Block_jacobi.blocking in
+          let planted =
+            List.length
+              (Vblu_fault.Fault.Plan.targeted plan
+                 ~problems:
+                   (Array.length blocking.Vblu_precond.Supervariable.starts)
+                 ~sizes:blocking.Vblu_precond.Supervariable.sizes)
+          in
+          Format.printf
+            "faults: planted=%d fired=%d detected=%d recovered=%d corrupt=%d@."
+            planted
+            (Vblu_fault.Fault.Plan.injected plan)
+            (List.length recovered + List.length corrupt)
+            (List.length recovered) (List.length corrupt));
+        stats
+      | Precond_study.Ilu0 ->
+        let precond, info =
+          Vblu_precond.Block_ilu0.create ~pool ~policy ?faults ~abft ?obs
+            ~max_block_size:bound a
+        in
+        let _, stats = Vblu_krylov.Idr.solve ~precond ?obs ~s:4 a b in
+        Format.printf "preconditioner: %s (%d blocks, setup %.3fs)@."
+          precond.Vblu_precond.Preconditioner.name
+          (Array.length
+             info.Vblu_precond.Block_ilu0.blocking
+               .Vblu_precond.Supervariable.starts)
+          precond.Vblu_precond.Preconditioner.setup_seconds;
+        report_ilu0 policy info;
+        stats
+      | Precond_study.Ras ->
+        let precond, rinfo =
+          Vblu_precond.Block_ilu0.ras ~pool ~policy ?faults ~abft ?obs
+            ~max_block_size:bound ~subdomains ~overlap a
+        in
+        let _, stats = Vblu_krylov.Idr.solve ~precond ?obs ~s:4 a b in
+        Format.printf "preconditioner: %s (setup %.3fs)@."
+          precond.Vblu_precond.Preconditioner.name
+          precond.Vblu_precond.Preconditioner.setup_seconds;
+        Array.iteri
+          (fun d (info : Vblu_precond.Block_ilu0.info) ->
+            let lo, hi = rinfo.Vblu_precond.Block_ilu0.extended.(d) in
+            Format.printf "  subdomain %d: rows [%d, %d), %d blocks@." d lo hi
+              (Array.length
+                 info.Vblu_precond.Block_ilu0.blocking
+                   .Vblu_precond.Supervariable.starts);
+            report_ilu0 ~indent:"    " policy info)
+          rinfo.Vblu_precond.Block_ilu0.local_info;
+        stats
+    in
     Format.printf "IDR(4): %a@." Vblu_krylov.Solver.pp_stats stats
   in
   Cmd.v
     (Cmd.info "solve"
-       ~doc:"Solve a Matrix Market system with block-Jacobi + IDR(4).")
+       ~doc:
+         "Solve a Matrix Market system with IDR(4) under a block-Jacobi, \
+          block-ILU(0), or RAS-ILU(0) preconditioner.")
     Term.(
-      const run $ file $ bound $ variant $ domains_arg $ policy_arg
-      $ faults_arg $ abft_arg $ recovery_arg $ trace_arg $ metrics_arg)
+      const run $ file $ bound $ variant $ precond_arg $ subdomains_arg
+      $ overlap_arg $ domains_arg $ policy_arg $ faults_arg $ abft_arg
+      $ recovery_arg $ trace_arg $ metrics_arg)
+
+let levels_cmd =
+  let bound =
+    Arg.(
+      value & opt int 16
+      & info [ "block-size" ] ~doc:"Supervariable agglomeration bound.")
+  in
+  let matrix =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"MATRIX.mtx"
+          ~doc:
+            "Matrix Market file to analyse (default: the whole workload \
+             suite).")
+  in
+  let scalar =
+    Arg.(
+      value & flag
+      & info [ "scalar" ]
+          ~doc:
+            "Row-level analysis (uniform size-1 partition) instead of the \
+             supervariable blocking.")
+  in
+  let run bound matrix scalar =
+    setup_logs ();
+    let module L = Vblu_sparse.Levels in
+    let analyse name a =
+      let lower, upper =
+        if scalar then (L.scalar L.Lower a, L.scalar L.Upper a)
+        else begin
+          let blocking =
+            Vblu_precond.Supervariable.blocking ~max_block_size:bound a
+          in
+          let starts = blocking.Vblu_precond.Supervariable.starts
+          and sizes = blocking.Vblu_precond.Supervariable.sizes in
+          ( L.schedule L.Lower ~starts ~sizes a,
+            L.schedule L.Upper ~starts ~sizes a )
+        end
+      in
+      Format.printf "%-22s lower %a@." name L.pp_stats (L.stats lower);
+      Format.printf "%-22s upper %a@." "" L.pp_stats (L.stats upper)
+    in
+    match matrix with
+    | Some file ->
+      analyse (Filename.basename file) (Vblu_sparse.Mm_io.read file)
+    | None ->
+      List.iter
+        (fun (e : Vblu_workloads.Suite.entry) ->
+          analyse
+            (Printf.sprintf "%2d %s" e.Vblu_workloads.Suite.id
+               e.Vblu_workloads.Suite.name)
+            (Vblu_workloads.Suite.matrix e))
+        Vblu_workloads.Suite.all
+  in
+  Cmd.v
+    (Cmd.info "levels"
+       ~doc:
+         "Level-set schedule statistics of the block-triangular solve DAGs \
+          (batched waves per sweep, level widths, critical path) for a \
+          matrix or the whole suite.")
+    Term.(const run $ bound $ matrix $ scalar)
+
+let precond_table ppf (study : Precond_study.t) =
+  let module PS = Precond_study in
+  let module S = Vblu_workloads.Suite in
+  let entries =
+    List.sort_uniq
+      (fun (a : S.entry) b -> compare a.S.id b.S.id)
+      (List.map (fun (r : PS.run) -> r.PS.entry) study.PS.runs)
+  in
+  Format.fprintf ppf "%-3s %-18s %-10s | %-16s | %-39s | %-16s@," "id"
+    "matrix" "family" "block-jacobi" "block-ilu0" "ras-ilu0";
+  Format.fprintf ppf
+    "%-3s %-18s %-10s | %6s %9s | %6s %7s %5s %8s %9s | %6s %9s@," "" "" ""
+    "iters" "us/apply" "iters" "lv(l+u)" "waves" "txns" "us/apply" "iters"
+    "us/apply";
+  let iters (r : PS.run) =
+    Printf.sprintf "%5d%s" r.PS.iterations
+      (if r.PS.converged then " " else "*")
+  in
+  List.iter
+    (fun (e : S.entry) ->
+      let j = PS.find study e PS.Jacobi
+      and i = PS.find study e PS.Ilu0
+      and r = PS.find study e PS.Ras in
+      Format.fprintf ppf "%3d %-18s %-10s |" e.S.id e.S.name
+        (S.family_name e.S.family);
+      (match j with
+      | Some j ->
+        Format.fprintf ppf " %s %9.2f |" (iters j)
+          (j.PS.modelled_apply_seconds *. 1e6)
+      | None -> Format.fprintf ppf " %6s %9s |" "-" "-");
+      (match i with
+      | Some i ->
+        Format.fprintf ppf " %s %3d+%-3d %5d %8d %9.2f |" (iters i)
+          i.PS.lower_levels i.PS.upper_levels i.PS.apply_waves
+          i.PS.apply_transactions
+          (i.PS.modelled_apply_seconds *. 1e6)
+      | None ->
+        Format.fprintf ppf " %6s %7s %5s %8s %9s |" "-" "-" "-" "-" "-");
+      match r with
+      | Some r ->
+        Format.fprintf ppf " %s %9.2f@," (iters r)
+          (r.PS.modelled_apply_seconds *. 1e6)
+      | None -> Format.fprintf ppf " %6s %9s@," "-" "-")
+    entries
+
+let improvement_summary ppf (study : Precond_study.t) =
+  let module PS = Precond_study in
+  let module S = Vblu_workloads.Suite in
+  let pairs = PS.iteration_improvements study in
+  let better ((j : PS.run), (i : PS.run)) = i.PS.iterations < j.PS.iterations in
+  let improved = List.filter better pairs in
+  let conv =
+    List.filter
+      (fun ((j : PS.run), _) -> j.PS.entry.S.family = S.Convection)
+      pairs
+  in
+  let conv_improved = List.filter better conv in
+  Format.fprintf ppf
+    "block-ilu0 reduced IDR(4) iterations on %d/%d matrices (%d/%d \
+     convection-dominated)@,"
+    (List.length improved) (List.length pairs)
+    (List.length conv_improved)
+    (List.length conv)
+
+let precond_cmd =
+  let bound =
+    Arg.(
+      value & opt int 16
+      & info [ "block-size" ]
+          ~doc:"Supervariable agglomeration bound shared by every family.")
+  in
+  let run quick bound subdomains overlap domains policy trace metrics =
+    setup_logs ();
+    with_obs trace metrics @@ fun obs ->
+    let progress msg = Printf.eprintf "[suite] %s\n%!" msg in
+    let study =
+      Precond_study.run_suite ~quick ~max_block_size:bound ~subdomains
+        ~overlap ~pool:(pool_of domains) ~policy ?obs ~progress ()
+    in
+    Format.printf "@[<v>%a%a@]@." precond_table study improvement_summary
+      study
+  in
+  Cmd.v
+    (Cmd.info "precond"
+       ~doc:
+         "Head-to-head preconditioner-family study over the workload \
+          suite: block-Jacobi vs block-ILU(0) vs RAS-ILU(0) — IDR(4) \
+          iterations against modelled time per application (level waves \
+          and their memory transactions).")
+    Term.(
+      const run $ quick_arg $ bound $ subdomains_arg $ overlap_arg
+      $ domains_arg $ policy_arg $ trace_arg $ metrics_arg)
+
+(* CI gate: block-ILU(0) apply must be bit-identical across domain counts
+   and storage layouts, and the coupled factorization must actually buy
+   iterations on the convection-dominated suite. *)
+let precond_check_cmd =
+  let run () =
+    setup_logs ();
+    let module Bi = Vblu_precond.Block_ilu0 in
+    let module B = Vblu_core.Batch in
+    let module G = Vblu_workloads.Generators in
+    let failures = ref 0 in
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          incr failures;
+          Printf.printf "FAIL %s\n" msg)
+        fmt
+    in
+    let mats =
+      [
+        ("fem_blocks", G.fem_blocks ~nodes:24 ~vars_per_node:4 ());
+        ("convection_2d", G.convection_diffusion_2d ~nx:9 ~ny:8 ());
+        ("block_tridiag", G.block_tridiagonal ~blocks:8 ~block_size:6 ());
+      ]
+    in
+    List.iter
+      (fun (name, a) ->
+        let n, _ = Vblu_sparse.Csr.dims a in
+        let r =
+          Array.init n (fun i -> 1.0 +. (float_of_int (i mod 7) /. 7.0))
+        in
+        let apply domains layout =
+          let precond, _ =
+            Bi.create ~pool:(pool_of domains) ~layout ~max_block_size:16 a
+          in
+          Vblu_precond.Preconditioner.apply precond r
+        in
+        let reference = apply 1 B.Blocked in
+        List.iter
+          (fun (domains, layout) ->
+            let y = apply domains layout in
+            let same =
+              Array.for_all2
+                (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+                reference y
+            in
+            if same then
+              Printf.printf "ok   %-14s bit-identical at domains=%d layout=%s\n"
+                name domains (B.layout_name layout)
+            else
+              fail "%s: apply differs at domains=%d layout=%s" name domains
+                (B.layout_name layout))
+          [
+            (2, B.Blocked);
+            (4, B.Blocked);
+            (1, B.Interleaved);
+            (4, B.Interleaved);
+          ])
+      mats;
+    let module S = Vblu_workloads.Suite in
+    let module PS = Precond_study in
+    let conv =
+      List.filter (fun (e : S.entry) -> e.S.family = S.Convection) S.all
+    in
+    let study =
+      PS.run_suite ~entries:conv ~families:[ PS.Jacobi; PS.Ilu0 ] ()
+    in
+    let pairs = PS.iteration_improvements study in
+    let improved =
+      List.filter
+        (fun ((j : PS.run), (i : PS.run)) ->
+          i.PS.iterations < j.PS.iterations)
+        pairs
+    in
+    List.iter
+      (fun ((j : PS.run), (i : PS.run)) ->
+        Printf.printf
+          "%-4s %-18s jacobi %4d  ilu0 %4d  waves %2d  tx %7d\n"
+          (if i.PS.iterations < j.PS.iterations then "ok" else "warn")
+          j.PS.entry.S.name j.PS.iterations i.PS.iterations i.PS.apply_waves
+          i.PS.apply_transactions)
+      pairs;
+    if 2 * List.length improved < List.length pairs then
+      fail "block-ilu0 reduced iterations on only %d/%d convection matrices"
+        (List.length improved) (List.length pairs);
+    if !failures > 0 then begin
+      Printf.eprintf "precond-check: %d gate(s) failed\n" !failures;
+      exit 1
+    end
+    else Printf.printf "precond-check: all gates passed\n"
+  in
+  Cmd.v
+    (Cmd.info "precond-check"
+       ~doc:
+         "CI gate for the preconditioner families: assert block-ILU(0) \
+          apply is bit-identical across $(b,--domains) values and storage \
+          layouts, and that it reduces IDR(4) iterations vs block-Jacobi \
+          on at least half the convection-dominated suite (exit 1 \
+          otherwise).")
+    Term.(const run $ const ())
 
 let csv_cmd =
   let dir =
@@ -567,8 +926,18 @@ let serve_config capacity max_batch =
   { Vblu_serve.Service.default_config with
     Vblu_serve.Service.capacity; max_batch }
 
+let serve_ilu0_share_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "ilu0-share" ] ~docv:"X"
+        ~doc:
+          "Fraction of requests asking for the block-ILU(0) family \
+           (selected deterministically by request index; the rest are \
+           block-Jacobi).")
+
 let serve_cmd =
-  let run requests seed domains capacity max_batch faults trace metrics =
+  let run requests seed domains capacity max_batch ilu0_share faults trace
+      metrics =
     setup_logs ();
     let module S = Vblu_serve in
     with_obs trace metrics @@ fun obs ->
@@ -589,10 +958,15 @@ let serve_cmd =
           in
           let n, _ = Vblu_sparse.Csr.dims a in
           let rhs = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+          let precond =
+            if float_of_int (i mod 100) < (ilu0_share *. 100.0) -. 1e-9 then
+              S.Batcher.Ilu0
+            else S.Batcher.Jacobi
+          in
           let id =
             S.Service.submit svc
               ~tenant:tenants.(i mod Array.length tenants)
-              { S.Batcher.a; rhs; max_block_size = 32 }
+              { S.Batcher.a; rhs; max_block_size = 32; precond }
           in
           if i mod 8 = 7 then S.Service.step svc;
           id)
@@ -624,8 +998,8 @@ let serve_cmd =
           stream and print its accounting.")
     Term.(
       const run $ serve_requests_arg $ serve_seed_arg $ domains_arg
-      $ serve_capacity_arg $ serve_max_batch_arg $ faults_arg $ trace_arg
-      $ metrics_arg)
+      $ serve_capacity_arg $ serve_max_batch_arg $ serve_ilu0_share_arg
+      $ faults_arg $ trace_arg $ metrics_arg)
 
 let loadgen_cmd =
   let checksum_arg =
@@ -645,7 +1019,7 @@ let loadgen_cmd =
              block-Jacobi solves.")
   in
   let run requests seed load deadline_windows domains capacity max_batch
-      checksum no_verify trace metrics =
+      ilu0_share checksum no_verify trace metrics =
     setup_logs ();
     let module S = Vblu_serve in
     with_obs trace metrics @@ fun obs ->
@@ -656,6 +1030,7 @@ let loadgen_cmd =
         seed;
         load;
         deadline_windows;
+        ilu0_share;
         verify = not no_verify;
       }
     in
@@ -675,7 +1050,7 @@ let loadgen_cmd =
     if not report.S.Loadgen.within_bound then
       bad "deadline overshoot beyond one batch window";
     if not report.S.Loadgen.verified then
-      bad "completed result differs from direct block-Jacobi solve"
+      bad "completed result differs from a direct preconditioner solve"
   in
   Cmd.v
     (Cmd.info "loadgen"
@@ -685,8 +1060,8 @@ let loadgen_cmd =
     Term.(
       const run $ serve_requests_arg $ serve_seed_arg $ serve_load_arg
       $ serve_deadline_arg $ domains_arg $ serve_capacity_arg
-      $ serve_max_batch_arg $ checksum_arg $ no_verify_arg $ trace_arg
-      $ metrics_arg)
+      $ serve_max_batch_arg $ serve_ilu0_share_arg $ checksum_arg
+      $ no_verify_arg $ trace_arg $ metrics_arg)
 
 let cmds =
   [
@@ -733,6 +1108,9 @@ let cmds =
       Solver_figs.ablation_variants;
     suite_cmd;
     solve_cmd;
+    levels_cmd;
+    precond_cmd;
+    precond_check_cmd;
     serve_cmd;
     loadgen_cmd;
     csv_cmd;

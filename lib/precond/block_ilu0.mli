@@ -1,0 +1,157 @@
+(** Block-ILU(0): pattern-restricted block incomplete LU with
+    level-scheduled batched triangular solves.
+
+    The second preconditioner family (ROADMAP item 3).  Where
+    block-Jacobi factorizes the diagonal blocks and ignores everything
+    else, block-ILU(0) keeps the whole matrix coupled [Bollhöfer et al.,
+    "High Performance Block Incomplete LU Factorization"]: the rows are
+    partitioned with the same {!Supervariable} blocking, and a block
+    elimination restricted to the {e block} sparsity pattern computes
+
+    - [L_ik = A_ik · A_kk⁻¹] for every strictly-lower pattern block, and
+    - [A_ij := A_ij - L_ik · A_kj] for the pattern-restricted trailing
+      updates,
+
+    with every diagonal block factored by {e one} variable-size
+    {!Vblu_core.Batched_lu.factor} launch per elimination wave (a level
+    set of the lower block DAG from {!Vblu_sparse.Levels}), every right
+    division by one {!Vblu_core.Batched_trsm} wave (via the transposed
+    factors: [L_ikᵀ = solve(lu(A_kkᵀ), A_ikᵀ)]), and every trailing
+    update by one {!Vblu_core.Batched_gemm} wave — no per-block scalar
+    factorizations anywhere.
+
+    Application solves [M x = r] with [M = L·U] ([L] unit block lower,
+    [U] block upper whose diagonal blocks carry their LU factors) as
+    {e level-scheduled sparse block-triangular solves} [Li & Saad]: each
+    level of the dependency DAG executes as batched GEMM waves (the
+    off-diagonal couplings) plus one batched TRSV wave (the diagonal
+    solves of the backward sweep), so the simulator's coalescing and
+    transaction model prices the real parallel cost of every level.
+
+    Numerics: the GEMM wave rounds each product and the accumulation
+    separately (multiply-then-subtract); with every block of size 1 the
+    whole construction collapses bitwise onto the scalar {!Ilu0}
+    factorization and solve — the equivalence the test suite checks.
+    Apply is bit-identical across domain counts and storage layouts.
+
+    Breakdown of a diagonal block never raises mid-elimination: the
+    batched kernels flag it in [info], and the {!Block_jacobi}
+    [breakdown_policy] decides between identity fallback, an
+    [eps·scale] diagonal shift (retried in one batched rescue launch per
+    wave), or failing after setup completes.  [~abft:true] verifies the
+    factor launches by row checksums; a flagged block is refactored once
+    in the wave's rescue launch and degraded to the identity if still
+    failing.
+
+    Concurrency caveat (same as {!Block_jacobi}): one preconditioner
+    value must not be applied from several threads at once — the staged
+    wave buffers are reused across applies. *)
+
+open Vblu_smallblas
+open Vblu_sparse
+
+exception Singular_block of { block : int }
+(** Raised by {!create} under the [Fail] breakdown policy for the first
+    (smallest index) block whose eliminated diagonal was singular. *)
+
+(** Modelled cost of one batched wave of the most recent apply. *)
+type wave = {
+  sweep : string;  (** ["forward"] or ["backward"]. *)
+  level : int;  (** DAG level the wave belongs to. *)
+  kernel : string;  (** ["gemm"] or ["trsv"]. *)
+  problems : int;  (** batch occupancy of the wave. *)
+  transactions : int;  (** 32-byte global-memory transactions. *)
+  modelled_us : float;
+}
+
+type apply_stats = {
+  waves : wave array;  (** in execution order. *)
+  modelled_seconds : float;  (** sum of the wave times. *)
+}
+
+type info = {
+  blocking : Supervariable.blocking;
+  lower : Levels.schedule;  (** forward-sweep dependency DAG. *)
+  upper : Levels.schedule;  (** backward-sweep dependency DAG. *)
+  factor_info : int;
+      (** LAPACK-style first-breakdown status: [0] when every diagonal
+          block factored cleanly, [i + 1] when block [i] was the first
+          to break down (whatever the policy then did about it). *)
+  degraded_blocks : int list;
+      (** blocks whose diagonal factors fell back to the identity,
+          ascending (singular blocks plus exhausted-recovery corrupt
+          ones). *)
+  perturbed_blocks : int list;
+      (** blocks salvaged by the [Perturb] diagonal shift, ascending. *)
+  recovered_blocks : int list;
+      (** blocks whose ABFT failure a rescue refactorization repaired,
+          ascending. *)
+  corrupt_blocks : int list;
+      (** blocks still failing ABFT after rescue (identity fallback),
+          ascending; also counted in [degraded_blocks]. *)
+  setup_launches : int;  (** batched kernel launches issued by setup. *)
+  setup_modelled_seconds : float;
+      (** summed modelled time of the setup launches. *)
+  last_apply : apply_stats option ref;
+      (** per-wave breakdown of the most recent apply (modelled numbers:
+          bit-identical across runs, domains and layouts). *)
+}
+
+val create :
+  ?pool:Vblu_par.Pool.t ->
+  ?prec:Precision.t ->
+  ?layout:Vblu_core.Batch.layout ->
+  ?policy:Block_jacobi.breakdown_policy ->
+  ?faults:Vblu_fault.Fault.Plan.t ->
+  ?abft:bool ->
+  ?max_block_size:int ->
+  ?blocking:Supervariable.blocking ->
+  ?obs:Vblu_obs.Ctx.t ->
+  Csr.t ->
+  Preconditioner.t * info
+(** [create a] partitions, eliminates and packages the preconditioner.
+    [max_block_size] (default 32) bounds the supervariable agglomeration;
+    [blocking] overrides the partition; [layout] (default [Blocked])
+    selects the storage layout of every staged batch; [policy] (default
+    [Identity_block]) handles singular diagonal blocks.
+
+    [?obs] records the setup (an ["ilu0.setup"] span, the
+    [precond.ilu0.*] labelled registry metrics — setup seconds, level
+    counts, per-level occupancy, degraded blocks — plus every kernel
+    launch) and wraps the returned apply in an ["ilu0.apply"] span.
+    @raise Invalid_argument if [a] is not square, a diagonal block
+    exceeds the warp width, or the blocking is invalid.
+    @raise Singular_block under the [Fail] policy. *)
+
+type ras_info = {
+  subdomains : int;
+  overlap : int;  (** rows of one-sided overlap. *)
+  owned : (int * int) array;  (** per-subdomain owned range [lo, hi). *)
+  extended : (int * int) array;  (** overlapped range actually solved. *)
+  local_info : info array;  (** per-subdomain block-ILU(0) info. *)
+}
+
+val ras :
+  ?pool:Vblu_par.Pool.t ->
+  ?prec:Precision.t ->
+  ?layout:Vblu_core.Batch.layout ->
+  ?policy:Block_jacobi.breakdown_policy ->
+  ?faults:Vblu_fault.Fault.Plan.t ->
+  ?abft:bool ->
+  ?max_block_size:int ->
+  ?subdomains:int ->
+  ?overlap:int ->
+  ?obs:Vblu_obs.Ctx.t ->
+  Csr.t ->
+  Preconditioner.t * ras_info
+(** Restricted additive Schwarz over block-ILU(0) local solves (the
+    ChiDG production pattern): the rows are split into [subdomains]
+    (default 4) contiguous owned ranges, each extended by [overlap]
+    (default 8) rows on both sides; a block-ILU(0) preconditioner is
+    built on every extended principal submatrix, and apply restricts the
+    residual to each extended range, solves locally, and scatters {e
+    only the owned rows} back — the restricted variant, whose disjoint
+    writes keep the result deterministic and domain-count independent.
+    With [subdomains = 1] and [overlap = 0] this is exactly {!create}.
+    @raise Invalid_argument on [subdomains < 1], [overlap < 0], or a
+    non-square matrix. *)

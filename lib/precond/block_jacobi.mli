@@ -78,6 +78,12 @@ val policy_name : breakdown_policy -> string
 (** ["fail"], ["identity"], or ["perturb:EPS"] — the spelling the CLI
     accepts. *)
 
+val perturbed_copy : eps:float -> Matrix.t -> Matrix.t
+(** [m] with [eps * scale] added to every diagonal entry, where [scale] is
+    the largest absolute entry of the block ([1.0] for an all-zero block)
+    — the diagonal-shift rescue behind the [Perturb] policy, shared with
+    {!Block_ilu0} so both families patch broken blocks identically. *)
+
 exception Singular_block of { block : int; variant : variant }
 (** Raised by {!create} under the {!Fail} policy for the first (smallest
     index) block whose factorization broke down. *)

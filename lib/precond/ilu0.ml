@@ -7,7 +7,11 @@ type factors = {
   diag_pos : int array;  (** position of (i,i) within [values]. *)
 }
 
-let factorize ?(prec = Precision.Double) (a : Csr.t) =
+let values f = f.values
+
+let factorize ?(prec = Precision.Double)
+    ?(policy = (Block_jacobi.Identity_block : Block_jacobi.breakdown_policy))
+    (a : Csr.t) =
   let n, cols = Csr.dims a in
   if n <> cols then invalid_arg "Ilu0.factorize: matrix not square";
   let diag_pos = Array.make n (-1) in
@@ -20,45 +24,69 @@ let factorize ?(prec = Precision.Double) (a : Csr.t) =
   done;
   let v = Array.copy a.Csr.values in
   (* IKJ elimination restricted to the pattern.  [where.(c)] maps a column
-     to its position in the current row, -1 elsewhere. *)
+     to its position in the current row, -1 elsewhere.  The trailing
+     update multiplies and subtracts with separate roundings — the scalar
+     shadow of the block path's GEMM wave (alpha = -1, beta = 1), so a
+     size-1-block Block_ilu0 reproduces these values bitwise.  A row's
+     pivot is final once its own elimination completes (later rows never
+     write into it), so breakdown is decided there, like the block path
+     decides at the row's elimination wave. *)
   let where = Array.make n (-1) in
-  for i = 0 to n - 1 do
-    let row_lo = a.Csr.row_ptr.(i) and row_hi = a.Csr.row_ptr.(i + 1) in
+  let info = ref 0 in
+  let frozen = ref false in
+  let i = ref 0 in
+  while (not !frozen) && !i < n do
+    let row_lo = a.Csr.row_ptr.(!i) and row_hi = a.Csr.row_ptr.(!i + 1) in
     for p = row_lo to row_hi - 1 do
       where.(a.Csr.col_idx.(p)) <- p
     done;
     for p = row_lo to row_hi - 1 do
       let k = a.Csr.col_idx.(p) in
-      if k < i then begin
-        let pivot = v.(diag_pos.(k)) in
-        if pivot = 0.0 then raise (Error.Singular k);
-        v.(p) <- Precision.div prec v.(p) pivot;
+      if k < !i then begin
+        (* Earlier breakdown rows were already patched (or froze the
+           sweep), so the pivot here is nonzero by construction. *)
+        v.(p) <- Precision.div prec v.(p) v.(diag_pos.(k));
         let lik = v.(p) in
         (* Update the intersection of row i's pattern with row k's tail. *)
         for q = diag_pos.(k) + 1 to a.Csr.row_ptr.(k + 1) - 1 do
           let j = a.Csr.col_idx.(q) in
           let pj = where.(j) in
-          if pj >= 0 then v.(pj) <- Precision.fma prec (-.lik) v.(q) v.(pj)
+          if pj >= 0 then
+            v.(pj) <- Precision.sub prec v.(pj) (Precision.mul prec lik v.(q))
         done
       end
     done;
-    if v.(diag_pos.(i)) = 0.0 then raise (Error.Singular i);
+    if v.(diag_pos.(!i)) = 0.0 then begin
+      if !info = 0 then info := !i + 1;
+      match policy with
+      | Block_jacobi.Identity_block -> v.(diag_pos.(!i)) <- 1.0
+      | Block_jacobi.Perturb eps ->
+        (* A zero pivot means the 1x1 breakdown "block" is all zero, so
+           the [eps * scale] shift of [Block_jacobi.perturbed_copy]
+           reduces to [eps] ([scale = 1.0]). *)
+        v.(diag_pos.(!i)) <- eps
+      | Block_jacobi.Fail -> frozen := true
+    end;
     for p = row_lo to row_hi - 1 do
       where.(a.Csr.col_idx.(p)) <- -1
-    done
+    done;
+    incr i
   done;
-  { pattern = a; values = v; diag_pos }
+  ({ pattern = a; values = v; diag_pos }, !info)
 
 let solve ?(prec = Precision.Double) f b =
   let a = f.pattern in
   let n, _ = Csr.dims a in
   if Array.length b <> n then invalid_arg "Ilu0.solve: dimension mismatch";
   let x = Array.copy b in
-  (* Forward: unit-lower sweep over the strictly-lower entries. *)
+  (* Forward: unit-lower sweep over the strictly-lower entries
+     (multiply-then-subtract, like the level-scheduled GEMM waves). *)
   for i = 0 to n - 1 do
     let acc = ref x.(i) in
     for p = a.Csr.row_ptr.(i) to f.diag_pos.(i) - 1 do
-      acc := Precision.fma prec (-.f.values.(p)) x.(a.Csr.col_idx.(p)) !acc
+      acc :=
+        Precision.sub prec !acc
+          (Precision.mul prec f.values.(p) x.(a.Csr.col_idx.(p)))
     done;
     x.(i) <- !acc
   done;
@@ -66,14 +94,24 @@ let solve ?(prec = Precision.Double) f b =
   for i = n - 1 downto 0 do
     let acc = ref x.(i) in
     for p = f.diag_pos.(i) + 1 to a.Csr.row_ptr.(i + 1) - 1 do
-      acc := Precision.fma prec (-.f.values.(p)) x.(a.Csr.col_idx.(p)) !acc
+      acc :=
+        Precision.sub prec !acc
+          (Precision.mul prec f.values.(p) x.(a.Csr.col_idx.(p)))
     done;
     x.(i) <- Precision.div prec !acc f.values.(f.diag_pos.(i))
   done;
   x
 
-let preconditioner ?(prec = Precision.Double) (a : Csr.t) =
-  let f, setup_seconds = Preconditioner.timed (fun () -> factorize ~prec a) in
+let preconditioner ?(prec = Precision.Double)
+    ?(policy = (Block_jacobi.Identity_block : Block_jacobi.breakdown_policy))
+    (a : Csr.t) =
+  let (f, info), setup_seconds =
+    Preconditioner.timed (fun () -> factorize ~prec ~policy a)
+  in
+  (if info <> 0 then
+     match policy with
+     | Block_jacobi.Fail -> raise (Error.Singular (info - 1))
+     | _ -> ());
   let n, _ = Csr.dims a in
   {
     Preconditioner.name = "ilu0";

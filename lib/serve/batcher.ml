@@ -4,10 +4,13 @@ open Vblu_core
 open Vblu_precond
 open Vblu_fault
 
+type precond = Jacobi | Ilu0
+
 type problem = {
   a : Csr.t;
   rhs : Vector.t;
   max_block_size : int;
+  precond : precond;
 }
 
 let validate p =
@@ -42,17 +45,35 @@ let empty_report =
   { outcomes = [||]; problems = 0; coalesced_blocks = 0;
     modelled_seconds = 0.0 }
 
-let run ?(pool = Vblu_par.Pool.sequential) ?(prec = Precision.Double) ?faults
-    ?(abft = false) ?obs (problems : problem array) =
+(* One block-ILU(0) request: its own batched setup (elimination waves)
+   plus one level-scheduled apply — the bits of a direct
+   Block_ilu0.create + apply, priced at its modelled wave times. *)
+let run_ilu0 ~pool ~prec ?faults ~abft ?obs (p : problem) =
+  let precond, info =
+    Block_ilu0.create ~pool ~prec ?faults ~abft ?obs
+      ~max_block_size:p.max_block_size p.a
+  in
+  let y = precond.Preconditioner.apply p.rhs in
+  let apply_modelled =
+    match !(info.Block_ilu0.last_apply) with
+    | Some s -> s.Block_ilu0.modelled_seconds
+    | None -> 0.0
+  in
+  let blocks = Array.length info.Block_ilu0.blocking.Supervariable.starts in
+  ( {
+      y;
+      blocks;
+      degraded_blocks = info.Block_ilu0.degraded_blocks;
+      faulted_blocks = info.Block_ilu0.corrupt_blocks;
+    },
+    info.Block_ilu0.setup_modelled_seconds +. apply_modelled )
+
+(* The coalesced block-Jacobi path over a subset of the wave's problems;
+   returns one outcome per subset member, in subset order. *)
+let run_jacobi ~pool ~prec ?faults ~abft ?obs (problems : problem array) =
   let np = Array.length problems in
   if np = 0 then empty_report
   else begin
-    Array.iter
-      (fun p ->
-        match validate p with
-        | Ok () -> ()
-        | Error msg -> invalid_arg ("Serve.Batcher.run: " ^ msg))
-      problems;
     (* Per-problem supervariable partitions, then a flat global block
        table: block [g] belongs to problem [owner.(g)] and starts at row
        [row.(g)] of it.  [first.(p)] is problem [p]'s first global
@@ -142,4 +163,54 @@ let run ?(pool = Vblu_par.Pool.sequential) ?(prec = Precision.Double) ?faults
       *. 1e-6
     in
     { outcomes; problems = np; coalesced_blocks = total; modelled_seconds }
+  end
+
+let run ?(pool = Vblu_par.Pool.sequential) ?(prec = Precision.Double) ?faults
+    ?(abft = false) ?obs (problems : problem array) =
+  let np = Array.length problems in
+  if np = 0 then empty_report
+  else begin
+    Array.iter
+      (fun p ->
+        match validate p with
+        | Ok () -> ()
+        | Error msg -> invalid_arg ("Serve.Batcher.run: " ^ msg))
+      problems;
+    let jac_idx = ref [] and ilu_idx = ref [] in
+    Array.iteri
+      (fun i p ->
+        match p.precond with
+        | Jacobi -> jac_idx := i :: !jac_idx
+        | Ilu0 -> ilu_idx := i :: !ilu_idx)
+      problems;
+    let jac_idx = Array.of_list (List.rev !jac_idx)
+    and ilu_idx = Array.of_list (List.rev !ilu_idx) in
+    let jac_report =
+      run_jacobi ~pool ~prec ?faults ~abft ?obs
+        (Array.map (fun i -> problems.(i)) jac_idx)
+    in
+    let outcomes =
+      Array.make np
+        { y = [||]; blocks = 0; degraded_blocks = []; faulted_blocks = [] }
+    in
+    Array.iteri
+      (fun j i -> outcomes.(i) <- jac_report.outcomes.(j))
+      jac_idx;
+    let coalesced = ref jac_report.coalesced_blocks
+    and modelled = ref jac_report.modelled_seconds in
+    Array.iter
+      (fun i ->
+        let outcome, seconds =
+          run_ilu0 ~pool ~prec ?faults ~abft ?obs problems.(i)
+        in
+        outcomes.(i) <- outcome;
+        coalesced := !coalesced + outcome.blocks;
+        modelled := !modelled +. seconds)
+      ilu_idx;
+    {
+      outcomes;
+      problems = np;
+      coalesced_blocks = !coalesced;
+      modelled_seconds = !modelled;
+    }
   end

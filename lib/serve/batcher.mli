@@ -1,7 +1,9 @@
 (** Coalesced batch execution for the solver service.
 
-    Takes many independent block-Jacobi setup+apply problems and runs
-    them as {e one} shared variable-size batch launch: every problem is
+    Takes many independent preconditioner setup+apply problems and runs
+    the block-Jacobi ones as {e one} shared variable-size batch launch
+    (block-ILU(0) requests ride the same wave through their own batched
+    setups): every block-Jacobi problem is
     partitioned with the same supervariable blocking as
     {!Vblu_precond.Block_jacobi.create}, all resulting diagonal blocks
     from all problems are packed into a single {!Vblu_core.Batch.t}, and
@@ -20,10 +22,23 @@
 open Vblu_smallblas
 open Vblu_sparse
 
+(** Which preconditioner family a request asks the service to apply. *)
+type precond =
+  | Jacobi
+      (** decoupled diagonal-block solve — coalesced with every other
+          [Jacobi] problem of the wave into one shared LU+TRSV launch
+          pair. *)
+  | Ilu0
+      (** coupled block-ILU(0): per-problem setup whose elimination and
+          level-scheduled apply are themselves batched waves (see
+          {!Vblu_precond.Block_ilu0}), executed alongside the wave's
+          coalesced Jacobi launch. *)
+
 type problem = {
   a : Csr.t;  (** square system matrix. *)
   rhs : Vector.t;  (** right-hand side, length = dimension of [a]. *)
   max_block_size : int;  (** supervariable agglomeration bound, 1..32. *)
+  precond : precond;  (** preconditioner family to apply. *)
 }
 
 val validate : problem -> (unit, string) result
@@ -62,9 +77,13 @@ val run :
   ?obs:Vblu_obs.Ctx.t ->
   problem array ->
   launch_report
-(** Execute every problem through one coalesced launch pair.  An empty
-    array is a no-op returning {!empty_report}.  Fault plans address
-    problems by {e global block index} within the coalesced batch;
-    claims are one-shot, so re-running a faulted request comes back
-    clean.  @raise Invalid_argument on an invalid problem — callers are
-    expected to have {!validate}d at admission. *)
+(** Execute every problem in the wave: the [Jacobi] problems through one
+    coalesced launch pair, each [Ilu0] problem through its own batched
+    block-ILU(0) setup and level-scheduled apply (bitwise identical to a
+    direct {!Vblu_precond.Block_ilu0.create} + apply).  An empty array
+    is a no-op returning {!empty_report}.  Fault plans address [Jacobi]
+    problems by {e global block index} within the coalesced batch and
+    each [Ilu0] setup independently; claims are one-shot, so re-running
+    a faulted request comes back clean.  @raise Invalid_argument on an
+    invalid problem — callers are expected to have {!validate}d at
+    admission. *)

@@ -12,6 +12,7 @@ type spec = {
   blocks_hi : int;
   block_size_lo : int;
   block_size_hi : int;
+  ilu0_share : float;
   verify : bool;
 }
 
@@ -26,6 +27,7 @@ let default_spec =
     blocks_hi = 6;
     block_size_lo = 4;
     block_size_hi = 16;
+    ilu0_share = 0.0;
     verify = true;
   }
 
@@ -110,8 +112,16 @@ let generate spec ~window ~max_batch =
       in
       let dt = -.Float.log (1.0 -. Random.State.float st 1.0) /. rate in
       t := !t +. dt;
+      (* The family is chosen by request index, not by drawing from
+         [st]: any [ilu0_share] leaves the generated stream (matrices,
+         rhs, arrivals) bit-identical. *)
+      let precond =
+        if float_of_int (i mod 100) < (spec.ilu0_share *. 100.0) -. 1e-9 then
+          Batcher.Ilu0
+        else Batcher.Jacobi
+      in
       {
-        g_problem = { Batcher.a; rhs; max_block_size = 32 };
+        g_problem = { Batcher.a; rhs; max_block_size = 32; precond };
         g_tenant = tenant;
         g_priority = priority;
         g_arrival = !t;
@@ -122,6 +132,8 @@ let run ?(pool = Vblu_par.Pool.sequential) ?obs
   if spec.requests < 0 then invalid_arg "Serve.Loadgen.run: negative requests";
   if not (spec.load > 0.0) then
     invalid_arg "Serve.Loadgen.run: load must be positive";
+  if spec.ilu0_share < 0.0 || spec.ilu0_share > 1.0 then
+    invalid_arg "Serve.Loadgen.run: ilu0_share outside 0..1";
   let reqs =
     generate spec ~window:config.Service.window
       ~max_batch:config.Service.max_batch
@@ -176,11 +188,22 @@ let run ?(pool = Vblu_par.Pool.sequential) ?obs
           end
           else begin
             let p = reqs.(i).g_problem in
-            let bj, _ =
-              Block_jacobi.create ~prec:config.Service.prec ~variant:Block_jacobi.Lu
-                ~max_block_size:p.Batcher.max_block_size p.Batcher.a
+            let direct =
+              match p.Batcher.precond with
+              | Batcher.Jacobi ->
+                let bj, _ =
+                  Block_jacobi.create ~prec:config.Service.prec
+                    ~variant:Block_jacobi.Lu
+                    ~max_block_size:p.Batcher.max_block_size p.Batcher.a
+                in
+                bj.Preconditioner.apply p.Batcher.rhs
+              | Batcher.Ilu0 ->
+                let bi, _ =
+                  Block_ilu0.create ~prec:config.Service.prec
+                    ~max_block_size:p.Batcher.max_block_size p.Batcher.a
+                in
+                bi.Preconditioner.apply p.Batcher.rhs
             in
-            let direct = bj.Preconditioner.apply p.Batcher.rhs in
             if y <> direct then verified := false
           end
       | _ -> ())

@@ -11,8 +11,10 @@
       its deadline plus one batch window (the largest single-step
       virtual-time advance);
     - {b bit-identity}: every completed, non-demoted result equals a
-      direct [Block_jacobi.create ~variant:Lu |> apply] on the same
-      problem, float for float; demoted results equal the rhs verbatim.
+      direct [Block_jacobi.create ~variant:Lu |> apply] (or
+      [Block_ilu0.create |> apply] for block-ILU(0) requests) on the
+      same problem, float for float; demoted results equal the rhs
+      verbatim.
 
     Everything is a pure function of [(spec, domain count)] — and the
     domain count provably cancels, which is what the CI soak asserts by
@@ -34,12 +36,17 @@ type spec = {
   blocks_hi : int;
   block_size_lo : int;
   block_size_hi : int;  (** ≤ 32. *)
+  ilu0_share : float;
+      (** fraction of requests asking for the block-ILU(0) family
+          (selected deterministically by request index, so the random
+          stream is unchanged for any share); the rest are block-Jacobi.
+          0..1, default 0. *)
   verify : bool;  (** recompute every completion directly and compare. *)
 }
 
 val default_spec : spec
 (** seed 7, 200 requests, load 1.0, 1 step/window, deadlines at 50
-    windows, 2–6 blocks of size 4–16, verify on. *)
+    windows, 2–6 blocks of size 4–16, all block-Jacobi, verify on. *)
 
 type report = {
   submitted : int;

@@ -1,0 +1,396 @@
+(* Tests for level scheduling and the block-ILU(0) preconditioner family. *)
+
+open Vblu_sparse
+open Vblu_precond
+
+let check_bitwise name (a : float array) (b : float array) =
+  Alcotest.(check int) (name ^ ": length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then
+        Alcotest.failf "%s: element %d differs bitwise: %h vs %h" name i x
+          b.(i))
+    a
+
+let rhs_for n =
+  let st = Random.State.make [| 0x1107; n |] in
+  Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Level scheduling                                                    *)
+
+let test_levels_chain () =
+  (* A bidiagonal chain is fully sequential: n levels of width 1. *)
+  let n = 7 in
+  let row_ptr = Array.init (n + 1) (fun i -> if i = 0 then 0 else (2 * i) - 1) in
+  let nnz = row_ptr.(n) in
+  let col_idx = Array.make nnz 0 and values = Array.make nnz 1.0 in
+  let q = ref 0 in
+  for i = 0 to n - 1 do
+    if i > 0 then begin
+      col_idx.(!q) <- i - 1;
+      incr q
+    end;
+    col_idx.(!q) <- i;
+    incr q
+  done;
+  let a = Csr.create ~n_rows:n ~n_cols:n ~row_ptr ~col_idx ~values in
+  let s = Levels.scalar Levels.Lower a in
+  let st = Levels.stats s in
+  Alcotest.(check int) "levels" n st.Levels.levels;
+  Alcotest.(check int) "max width" 1 st.Levels.max_width;
+  Alcotest.(check int) "critical path" n st.Levels.critical_path_rows;
+  (* The upper DAG of the same matrix has no edges: one level. *)
+  let u = Levels.stats (Levels.scalar Levels.Upper a) in
+  Alcotest.(check int) "upper levels" 1 u.Levels.levels;
+  Alcotest.(check int) "upper width" n u.Levels.max_width
+
+let test_levels_block_tridiagonal () =
+  let blocks = 6 and bs = 4 in
+  let a = Vblu_workloads.Generators.block_tridiagonal ~blocks ~block_size:bs () in
+  let blk = Supervariable.uniform ~n:(blocks * bs) ~block_size:bs in
+  let s =
+    Levels.schedule Levels.Lower ~starts:blk.Supervariable.starts
+      ~sizes:blk.Supervariable.sizes a
+  in
+  (* Block i depends exactly on block i-1: a pure chain. *)
+  Array.iteri
+    (fun i deps ->
+      if i = 0 then Alcotest.(check int) "no deps" 0 (Array.length deps)
+      else Alcotest.(check (array int)) "chain dep" [| i - 1 |] deps)
+    s.Levels.deps;
+  let st = Levels.stats s in
+  Alcotest.(check int) "levels = blocks" blocks st.Levels.levels;
+  Alcotest.(check int) "critical path rows" (blocks * bs)
+    st.Levels.critical_path_rows
+
+(* Structural invariants of the schedule, on the whole 48-matrix suite:
+   level sets partition the blocks, every dependency sits at a strictly
+   lower level, and a block's level is 1 + its deepest dependency. *)
+let check_schedule_invariants name (s : Levels.schedule) =
+  let k = Array.length s.Levels.sizes in
+  let seen = Array.make k false in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun i ->
+          Alcotest.(check bool) (name ^ ": block listed once") false seen.(i);
+          seen.(i) <- true)
+        set)
+    s.Levels.level_sets;
+  Array.iter
+    (fun s' -> Alcotest.(check bool) (name ^ ": all listed") true s')
+    seen;
+  Array.iteri
+    (fun i deps ->
+      let expect =
+        Array.fold_left (fun m d -> max m (s.Levels.level_of.(d) + 1)) 0 deps
+      in
+      Alcotest.(check int) (name ^ ": level rule") expect s.Levels.level_of.(i);
+      Array.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (name ^ ": dep strictly earlier")
+            true
+            (s.Levels.level_of.(d) < s.Levels.level_of.(i)))
+        deps)
+    s.Levels.deps;
+  let st = Levels.stats s in
+  Alcotest.(check int) (name ^ ": stats blocks") k st.Levels.blocks;
+  Alcotest.(check int)
+    (name ^ ": stats levels")
+    (Array.length s.Levels.level_sets)
+    st.Levels.levels
+
+let test_levels_suite () =
+  List.iter
+    (fun e ->
+      let a = Vblu_workloads.Suite.matrix e in
+      let n, _ = Csr.dims a in
+      let blk = Supervariable.blocking ~max_block_size:16 a in
+      let lower =
+        Levels.schedule Levels.Lower ~starts:blk.Supervariable.starts
+          ~sizes:blk.Supervariable.sizes a
+      in
+      let upper =
+        Levels.schedule Levels.Upper ~starts:blk.Supervariable.starts
+          ~sizes:blk.Supervariable.sizes a
+      in
+      check_schedule_invariants (e.Vblu_workloads.Suite.name ^ "/lower") lower;
+      check_schedule_invariants (e.Vblu_workloads.Suite.name ^ "/upper") upper;
+      let ls = Levels.stats lower in
+      Alcotest.(check bool)
+        (e.Vblu_workloads.Suite.name ^ ": critical path bounded")
+        true
+        (ls.Levels.critical_path_rows >= 1 && ls.Levels.critical_path_rows <= n))
+    Vblu_workloads.Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* Size-1 blocks: bitwise equivalence with the scalar ILU(0)           *)
+
+let scalar_blocking n = Supervariable.uniform ~n ~block_size:1
+
+let check_scalar_equivalence name a =
+  let n, _ = Csr.dims a in
+  let f, finfo = Ilu0.factorize a in
+  Alcotest.(check int) (name ^ ": scalar info clean") 0 finfo;
+  let p, info = Block_ilu0.create ~blocking:(scalar_blocking n) a in
+  Alcotest.(check int) (name ^ ": block info clean") 0 info.Block_ilu0.factor_info;
+  let r = rhs_for n in
+  check_bitwise (name ^ ": apply == scalar solve") (Ilu0.solve f r)
+    (Preconditioner.apply p r)
+
+let test_scalar_equivalence_fixed () =
+  check_scalar_equivalence "conv-diff"
+    (Vblu_workloads.Generators.convection_diffusion_2d ~nx:7 ~ny:6
+       ~peclet:25.0 ());
+  check_scalar_equivalence "laplace"
+    (Vblu_workloads.Generators.laplacian_2d ~nx:6 ~ny:5 ());
+  check_scalar_equivalence "fem"
+    (Vblu_workloads.Generators.fem_blocks ~nodes:12 ~vars_per_node:3 ())
+
+let qcheck_scalar_equivalence =
+  QCheck.Test.make ~count:15 ~name:"size-1 block-ILU0 == scalar ILU0 bitwise"
+    QCheck.(triple (int_range 2 8) (int_range 2 8) (int_range 0 60))
+    (fun (nx, ny, pe) ->
+      let a =
+        Vblu_workloads.Generators.convection_diffusion_2d ~nx ~ny
+          ~peclet:(float_of_int pe) ()
+      in
+      let n, _ = Csr.dims a in
+      let f, finfo = Ilu0.factorize a in
+      if finfo <> 0 then QCheck.assume_fail ()
+      else begin
+        let p, info = Block_ilu0.create ~blocking:(scalar_blocking n) a in
+        let r = rhs_for n in
+        let x_s = Ilu0.solve f r and x_b = Preconditioner.apply p r in
+        info.Block_ilu0.factor_info = 0
+        && Array.for_all2
+             (fun u v -> Int64.bits_of_float u = Int64.bits_of_float v)
+             x_s x_b
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain / cross-layout bit identity                            *)
+
+let test_apply_bit_identical_domains_layouts () =
+  let a = Vblu_workloads.Generators.fem_blocks ~nodes:20 ~vars_per_node:4 () in
+  let n, _ = Csr.dims a in
+  let r = rhs_for n in
+  let reference = ref [||] in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun layout ->
+          let pool = Vblu_par.Pool.create ~num_domains:domains () in
+          let p, info =
+            Block_ilu0.create ~pool ~layout ~max_block_size:8 a
+          in
+          Alcotest.(check int) "clean" 0 info.Block_ilu0.factor_info;
+          let x = Preconditioner.apply p r in
+          if Array.length !reference = 0 then reference := x
+          else
+            check_bitwise
+              (Printf.sprintf "domains=%d layout=%s" domains
+                 (Vblu_core.Batch.layout_name layout))
+              !reference x)
+        [ Vblu_core.Batch.Blocked; Vblu_core.Batch.Interleaved ])
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Wave accounting                                                     *)
+
+let test_wave_accounting () =
+  let a = Vblu_workloads.Generators.fem_blocks ~nodes:16 ~vars_per_node:4 () in
+  let n, _ = Csr.dims a in
+  let p, info = Block_ilu0.create ~max_block_size:8 a in
+  Alcotest.(check bool) "setup issued batched launches" true
+    (info.Block_ilu0.setup_launches > 0);
+  Alcotest.(check bool) "setup modelled time" true
+    (info.Block_ilu0.setup_modelled_seconds > 0.0);
+  Alcotest.(check bool) "no apply yet" true
+    (!(info.Block_ilu0.last_apply) = None);
+  let _ = Preconditioner.apply p (rhs_for n) in
+  match !(info.Block_ilu0.last_apply) with
+  | None -> Alcotest.fail "apply recorded no stats"
+  | Some stats ->
+    Alcotest.(check bool) "waves recorded" true
+      (Array.length stats.Block_ilu0.waves > 0);
+    Alcotest.(check bool) "modelled apply time" true
+      (stats.Block_ilu0.modelled_seconds > 0.0);
+    let lower_levels = Array.length info.Block_ilu0.lower.Levels.level_sets in
+    let upper_levels = Array.length info.Block_ilu0.upper.Levels.level_sets in
+    (* Every backward level carries exactly one TRSV wave. *)
+    let trsv_waves =
+      Array.length
+        (Array.of_list
+           (List.filter
+              (fun w -> w.Block_ilu0.kernel = "trsv")
+              (Array.to_list stats.Block_ilu0.waves)))
+    in
+    Alcotest.(check int) "one TRSV wave per backward level" upper_levels
+      trsv_waves;
+    Array.iter
+      (fun w ->
+        Alcotest.(check bool) "wave occupancy" true (w.Block_ilu0.problems >= 1);
+        Alcotest.(check bool) "wave transactions" true
+          (w.Block_ilu0.transactions > 0);
+        Alcotest.(check bool) "wave level in range" true
+          (w.Block_ilu0.level >= 0
+          && w.Block_ilu0.level < max lower_levels upper_levels))
+      stats.Block_ilu0.waves
+
+(* ------------------------------------------------------------------ *)
+(* Golden parity: on a block-diagonal matrix block-ILU0 degenerates to
+   block-Jacobi (no coupling blocks to eliminate), bit for bit.        *)
+
+let test_block_diagonal_parity () =
+  let blocks = 5 and bs = 4 in
+  let a =
+    Vblu_workloads.Generators.block_tridiagonal ~blocks ~block_size:bs
+      ~coupling:0.0 ()
+  in
+  let n = blocks * bs in
+  let blk = Supervariable.uniform ~n ~block_size:bs in
+  let pj, _ = Block_jacobi.create ~blocking:blk a in
+  let pi, info = Block_ilu0.create ~blocking:blk a in
+  Alcotest.(check int) "clean" 0 info.Block_ilu0.factor_info;
+  let r = rhs_for n in
+  check_bitwise "block-diagonal parity with block-Jacobi"
+    (Preconditioner.apply pj r)
+    (Preconditioner.apply pi r)
+
+(* ------------------------------------------------------------------ *)
+(* Breakdown policies                                                  *)
+
+(* 2x2 with structurally present but zero diagonal in row 0: the first
+   pivot breaks down. *)
+let breakdown_matrix () =
+  Csr.create ~n_rows:2 ~n_cols:2 ~row_ptr:[| 0; 2; 4 |]
+    ~col_idx:[| 0; 1; 0; 1 |]
+    ~values:[| 0.0; 1.0; 1.0; 2.0 |]
+
+let test_breakdown_policies () =
+  let a = breakdown_matrix () in
+  let blocking = scalar_blocking 2 in
+  let r = rhs_for 2 in
+  (* Identity fallback: matches the scalar path bitwise. *)
+  let p, info = Block_ilu0.create ~blocking a in
+  Alcotest.(check int) "identity: info flags row 0" 1
+    info.Block_ilu0.factor_info;
+  Alcotest.(check (list int)) "identity: degraded" [ 0 ]
+    info.Block_ilu0.degraded_blocks;
+  let f, _ = Ilu0.factorize a in
+  check_bitwise "identity parity with scalar" (Ilu0.solve f r)
+    (Preconditioner.apply p r);
+  (* Perturb: salvaged by the diagonal shift, matching the scalar shift. *)
+  let eps = 0.5 in
+  let pp, pinfo =
+    Block_ilu0.create ~blocking ~policy:(Block_jacobi.Perturb eps) a
+  in
+  Alcotest.(check int) "perturb: info flags row 0" 1
+    pinfo.Block_ilu0.factor_info;
+  (* The shifted pivot 0.5 propagates: row 1's update becomes 2 - 2·1 = 0,
+     so it breaks down (and is salvaged) too — exactly like the scalar
+     path, which the bitwise parity below confirms. *)
+  Alcotest.(check (list int)) "perturb: salvaged" [ 0; 1 ]
+    pinfo.Block_ilu0.perturbed_blocks;
+  Alcotest.(check (list int)) "perturb: nothing degraded" []
+    pinfo.Block_ilu0.degraded_blocks;
+  let fp, _ = Ilu0.factorize ~policy:(Block_jacobi.Perturb eps) a in
+  check_bitwise "perturb parity with scalar" (Ilu0.solve fp r)
+    (Preconditioner.apply pp r);
+  (* Fail: raises after setup with the offending block. *)
+  match Block_ilu0.create ~blocking ~policy:Block_jacobi.Fail a with
+  | exception Block_ilu0.Singular_block { block } ->
+    Alcotest.(check int) "fail: block index" 0 block
+  | _ -> Alcotest.fail "Fail policy did not raise"
+
+(* ------------------------------------------------------------------ *)
+(* Restricted additive Schwarz                                         *)
+
+let test_ras_single_domain_is_create () =
+  let a = Vblu_workloads.Generators.convection_diffusion_2d ~nx:8 ~ny:7 () in
+  let n, _ = Csr.dims a in
+  let p, _ = Block_ilu0.create ~max_block_size:8 a in
+  let pr, rinfo =
+    Block_ilu0.ras ~max_block_size:8 ~subdomains:1 ~overlap:0 a
+  in
+  Alcotest.(check int) "one subdomain" 1 rinfo.Block_ilu0.subdomains;
+  Alcotest.(check (array (pair int int))) "owns everything" [| (0, n) |]
+    rinfo.Block_ilu0.owned;
+  let r = rhs_for n in
+  check_bitwise "ras(1,0) == create" (Preconditioner.apply p r)
+    (Preconditioner.apply pr r)
+
+let test_ras_partition_and_determinism () =
+  let a = Vblu_workloads.Generators.laplacian_2d ~nx:9 ~ny:8 () in
+  let n, _ = Csr.dims a in
+  let pr, rinfo =
+    Block_ilu0.ras ~max_block_size:8 ~subdomains:4 ~overlap:3 a
+  in
+  Alcotest.(check int) "subdomains" 4 rinfo.Block_ilu0.subdomains;
+  (* Owned ranges tile [0, n). *)
+  let covered = ref 0 in
+  Array.iter
+    (fun (lo, hi) ->
+      Alcotest.(check int) "contiguous" !covered lo;
+      covered := hi)
+    rinfo.Block_ilu0.owned;
+  Alcotest.(check int) "covers all rows" n !covered;
+  (* Extended ranges contain the owned ones by <= overlap rows. *)
+  Array.iteri
+    (fun d (elo, ehi) ->
+      let lo, hi = rinfo.Block_ilu0.owned.(d) in
+      Alcotest.(check bool) "extends left" true (elo <= lo && lo - elo <= 3);
+      Alcotest.(check bool) "extends right" true (ehi >= hi && ehi - hi <= 3))
+    rinfo.Block_ilu0.extended;
+  let r = rhs_for n in
+  check_bitwise "ras apply deterministic" (Preconditioner.apply pr r)
+    (Preconditioner.apply pr r);
+  Alcotest.(check int) "local infos" 4
+    (Array.length rinfo.Block_ilu0.local_info)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ qcheck_scalar_equivalence ]
+
+let () =
+  Alcotest.run "block_ilu0"
+    [
+      ( "levels",
+        [
+          Alcotest.test_case "chain" `Quick test_levels_chain;
+          Alcotest.test_case "block tridiagonal" `Quick
+            test_levels_block_tridiagonal;
+          Alcotest.test_case "suite invariants" `Slow test_levels_suite;
+        ] );
+      ( "scalar equivalence",
+        [
+          Alcotest.test_case "fixed matrices" `Quick
+            test_scalar_equivalence_fixed;
+        ] );
+      ( "bit identity",
+        [
+          Alcotest.test_case "domains x layouts" `Quick
+            test_apply_bit_identical_domains_layouts;
+        ] );
+      ( "waves",
+        [ Alcotest.test_case "accounting" `Quick test_wave_accounting ] );
+      ( "golden parity",
+        [
+          Alcotest.test_case "block-diagonal == block-Jacobi" `Quick
+            test_block_diagonal_parity;
+        ] );
+      ( "breakdown",
+        [ Alcotest.test_case "policies" `Quick test_breakdown_policies ] );
+      ( "ras",
+        [
+          Alcotest.test_case "single domain == create" `Quick
+            test_ras_single_domain_is_create;
+          Alcotest.test_case "partition and determinism" `Quick
+            test_ras_partition_and_determinism;
+        ] );
+      ("properties", qcheck_tests);
+    ]

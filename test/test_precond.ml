@@ -368,7 +368,8 @@ let test_ilu0_exact_when_no_fill () =
         else 0.0)
   in
   let a = Csr.of_dense dense in
-  let f = Ilu0.factorize a in
+  let f, finfo = Ilu0.factorize a in
+  Alcotest.(check int) "clean factorization" 0 finfo;
   let x_true = Vector.random ~state:(Random.State.make [| 5 |]) n in
   let b = Csr.spmv a x_true in
   let x = Ilu0.solve f b in
@@ -401,7 +402,8 @@ let test_ilu0_errors () =
     | exception Invalid_argument _ -> true
     | _ -> false);
   let z = Csr.of_dense (Matrix.identity 3) in
-  let zf = Ilu0.factorize z in
+  let zf, zinfo = Ilu0.factorize z in
+  Alcotest.(check int) "identity factors cleanly" 0 zinfo;
   Alcotest.(check bool) "identity works" true
     (Vector.max_abs_diff (Ilu0.solve zf [| 1.0; 2.0; 3.0 |]) [| 1.0; 2.0; 3.0 |]
     = 0.0)

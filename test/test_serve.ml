@@ -196,14 +196,22 @@ let random_problem st =
   let a = Generators.block_tridiagonal ~state:st ~blocks ~block_size () in
   let n, _ = Csr.dims a in
   let rhs = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
-  { Batcher.a; rhs; max_block_size = 32 }
+  { Batcher.a; rhs; max_block_size = 32; precond = Batcher.Jacobi }
 
 let direct_solve (p : Batcher.problem) =
-  let bj, _ =
-    Bj.create ~variant:Bj.Lu ~max_block_size:p.Batcher.max_block_size
-      p.Batcher.a
-  in
-  bj.Vblu_precond.Preconditioner.apply p.Batcher.rhs
+  match p.Batcher.precond with
+  | Batcher.Jacobi ->
+    let bj, _ =
+      Bj.create ~variant:Bj.Lu ~max_block_size:p.Batcher.max_block_size
+        p.Batcher.a
+    in
+    bj.Vblu_precond.Preconditioner.apply p.Batcher.rhs
+  | Batcher.Ilu0 ->
+    let bi, _ =
+      Vblu_precond.Block_ilu0.create ~max_block_size:p.Batcher.max_block_size
+        p.Batcher.a
+    in
+    bi.Vblu_precond.Preconditioner.apply p.Batcher.rhs
 
 let test_batcher_bit_identity () =
   let st = state 11 in
@@ -229,7 +237,8 @@ let test_batcher_bit_identity () =
    into one rank-1 2x2 block. *)
 let singular_problem () =
   let a = Csr.of_dense (Matrix.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |]) in
-  { Batcher.a; rhs = [| 3.0; -1.5 |]; max_block_size = 32 }
+  { Batcher.a; rhs = [| 3.0; -1.5 |]; max_block_size = 32;
+    precond = Batcher.Jacobi }
 
 let test_batcher_breakdown () =
   let st = state 13 in
@@ -243,6 +252,30 @@ let test_batcher_breakdown () =
     (bad.Batcher.y = [| 3.0; -1.5 |]);
   Alcotest.(check (list int)) "batchmate untouched" [] good.Batcher.degraded_blocks;
   Alcotest.(check bool) "batchmate bitwise clean" true (good.Batcher.y = expected)
+
+(* A mixed wave: ILU0 requests route through their own batched
+   block-ILU(0) setup+apply, Jacobi batchmates still coalesce — and both
+   come back bitwise equal to their direct solves. *)
+let test_batcher_mixed_families () =
+  let st = state 29 in
+  let problems =
+    Array.init 6 (fun i ->
+        let p = random_problem st in
+        if i mod 2 = 1 then { p with Batcher.precond = Batcher.Ilu0 } else p)
+  in
+  let expected = Array.map direct_solve problems in
+  List.iter
+    (fun (d, pool) ->
+      let report = Batcher.run ~pool problems in
+      Alcotest.(check int) "problem count" 6 report.Batcher.problems;
+      Array.iteri
+        (fun i o ->
+          Alcotest.(check bool)
+            (Printf.sprintf "mixed problem %d bit-identical (domains %d)" i d)
+            true
+            (o.Batcher.y = expected.(i)))
+        report.Batcher.outcomes)
+    pools
 
 let test_batcher_validate () =
   let p = singular_problem () in
@@ -309,7 +342,8 @@ let test_service_rejects_invalid () =
   let id =
     Service.submit svc
       { Batcher.a = Csr.of_dense (Matrix.of_rows [| [| 1.0 |] |]);
-        rhs = [| 1.0; 2.0 |]; max_block_size = 32 }
+        rhs = [| 1.0; 2.0 |]; max_block_size = 32;
+        precond = Batcher.Jacobi }
   in
   match Service.status svc id with
   | Service.Rejected (Service.Invalid_problem _) -> ()
@@ -558,6 +592,8 @@ let () =
             `Quick test_batcher_bit_identity;
           Alcotest.test_case "breakdown isolates batchmates" `Quick
             test_batcher_breakdown;
+          Alcotest.test_case "mixed jacobi/ilu0 wave == direct, bitwise"
+            `Quick test_batcher_mixed_families;
           Alcotest.test_case "admission validation" `Quick
             test_batcher_validate;
         ] );
