@@ -468,12 +468,115 @@ let run_precond ~domains ~json () =
   Vblu_obs.Artifact.write file art;
   Printf.eprintf "[bench] wrote %s (%d entries)\n%!" file (List.length entries)
 
+(* Amortized preconditioner setup over a time-stepping workload: the
+   drifting convection-diffusion driver re-solved under each refresh
+   policy, full vs partial refactorization.  All numbers are modelled
+   (virtual) time and transaction counts, bit-identical across runs and
+   domain counts, so bench-compare can gate them.  One entry per
+   (family, policy): the gated [gflops] field carries setup efficiency
+   (1e6 / setup transactions — a partial-refresh regression that
+   refactors more blocks lowers it and fails the gate), [bandwidth_gbs]
+   the total IDR(4) iterations and [time_us] the modelled setup seconds.
+   A "timestep.amortization" pseudo-entry per family gates the
+   full/partial transaction ratio itself. *)
+
+let timestep_steps = if full then 40 else 12
+let timestep_grid = if full then 24 else 16
+
+let run_timestep ~domains ~json () =
+  let module T = Vblu_workloads.Timestep in
+  let pool = Vblu_par.Pool.create ~num_domains:domains () in
+  let nx = timestep_grid and ny = timestep_grid in
+  let policies =
+    [
+      ("full-every-step", T.Every_step, T.Full);
+      ("partial-every-step", T.Every_step, T.Partial 0.0);
+      ("partial-every-4", T.Every_k 4, T.Partial 0.0);
+      ("partial-on-stall", T.On_stall { iters_growth = 8 }, T.Partial 0.0);
+    ]
+  in
+  Printf.printf "\n## Time-stepping amortization (%dx%d grid, %d steps)\n" nx
+    ny timestep_steps;
+  Printf.printf "%-7s %-20s %9s %9s %7s %10s %10s\n" "family" "policy"
+    "setup-tx" "launches" "iters" "residual" "checksum";
+  let entries =
+    List.concat_map
+      (fun family ->
+        let fname = T.family_name family in
+        let results =
+          List.map
+            (fun (pname, refresh, mode) ->
+              let r =
+                T.run ~pool ~nx ~ny ~steps:timestep_steps ~family ~refresh
+                  ~mode ()
+              in
+              Printf.printf "%-7s %-20s %9d %9d %7d %10.3e %10.6f\n" fname
+                pname r.T.total_setup_transactions r.T.total_launches
+                r.T.total_iterations r.T.final_residual r.T.solution_checksum;
+              (pname, r))
+            policies
+        in
+        let tx name =
+          let _, r = List.find (fun (p, _) -> p = name) results in
+          float_of_int (max 1 r.T.total_setup_transactions)
+        in
+        let full_tx = tx "full-every-step"
+        and partial_tx = tx "partial-every-step" in
+        let full_r = snd (List.hd results) in
+        let partial_r = snd (List.nth results 1) in
+        (* Partial refresh at tol 0 must track the full baseline bitwise;
+           fail the bench run loudly if the contract ever breaks. *)
+        if
+          Int64.bits_of_float partial_r.T.solution_checksum
+          <> Int64.bits_of_float full_r.T.solution_checksum
+        then begin
+          Printf.eprintf
+            "[bench] timestep: partial refresh diverged from full\n%!";
+          exit 1
+        end;
+        Printf.printf "%-7s amortization: partial uses %.1f%% of full tx\n"
+          fname
+          (100.0 *. partial_tx /. full_tx);
+        List.map
+          (fun (pname, (r : T.result)) ->
+            {
+              Vblu_obs.Artifact.kernel = "timestep." ^ fname;
+              prec = pname;
+              size = timestep_grid;
+              batch = timestep_steps;
+              gflops = 1e6 /. float_of_int (max 1 r.T.total_setup_transactions);
+              bandwidth_gbs = float_of_int r.T.total_iterations;
+              time_us = r.T.total_setup_modelled_seconds *. 1e6;
+            })
+          results
+        @ [
+            {
+              Vblu_obs.Artifact.kernel = "timestep.amortization";
+              prec = fname;
+              size = timestep_grid;
+              batch = timestep_steps;
+              gflops = full_tx /. partial_tx;
+              bandwidth_gbs = 0.0;
+              time_us = 0.0;
+            };
+          ])
+      [ T.Jacobi; T.Ilu0 ]
+  in
+  let file = Option.value json ~default:"BENCH_timestep.json" in
+  let art =
+    Vblu_obs.Artifact.make ~target:"timestep" ~config:"p100" ~domains
+      ~quick:(not full) entries
+  in
+  Vblu_obs.Artifact.write file art;
+  Printf.eprintf "[bench] wrote %s (%d entries)\n%!" file (List.length entries)
+
 (* ------------------------------------------------------------------ *)
 (* Layer 2: the paper's figures and tables                              *)
 
 let targets =
-  [ "micro"; "host-throughput"; "serve"; "precond"; "fig4"; "fig5"; "fig6";
-    "fig7"; "fig8"; "fig9"; "table1"; "ablations"; "artifact"; "all" ]
+  [ "micro"; "host-throughput"; "serve"; "precond"; "timestep"; "fig4";
+    "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "table1"; "ablations";
+    "artifact"; "all" ]
 
 let usage () =
   Printf.eprintf
@@ -599,6 +702,7 @@ let () =
   if target = "host-throughput" then run_host_throughput ~domains ~json ();
   if target = "serve" then run_serve ~domains ~json ();
   if target = "precond" then run_precond ~domains ~json ();
+  if target = "timestep" then run_timestep ~domains ~json ();
   if all || target = "fig4" then
     Vblu_perf.Kernel_figs.fig4 ~quick ~pool ~layout ppf;
   if all || target = "fig5" then
@@ -624,7 +728,7 @@ let () =
   if
     target = "artifact"
     || (json <> None && target <> "host-throughput" && target <> "serve"
-       && target <> "precond")
+       && target <> "precond" && target <> "timestep")
   then begin
     let file = Option.value json ~default:"BENCH_kernels.json" in
     let art =

@@ -1018,8 +1018,28 @@ let loadgen_cmd =
             "Skip the bit-identity audit against direct per-request \
              block-Jacobi solves.")
   in
+  let repeat_share_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "repeat-share" ] ~docv:"X"
+          ~doc:
+            "Fraction of requests replaced by recurring-tenant \
+             resubmissions: the same sparsity pattern as an earlier \
+             request with slightly drifted values (selected \
+             deterministically by index, so non-repeat requests are \
+             bit-identical for any share).")
+  in
+  let setup_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "setup-cache" ]
+          ~doc:
+            "Keep a cross-wave setup cache so recurring requests reuse \
+             their previous factorizations and only refactor drifted \
+             blocks.  Results stay bit-identical.")
+  in
   let run requests seed load deadline_windows domains capacity max_batch
-      ilu0_share checksum no_verify trace metrics =
+      ilu0_share repeat_share setup_cache checksum no_verify trace metrics =
     setup_logs ();
     let module S = Vblu_serve in
     with_obs trace metrics @@ fun obs ->
@@ -1031,10 +1051,14 @@ let loadgen_cmd =
         load;
         deadline_windows;
         ilu0_share;
+        repeat_share;
         verify = not no_verify;
       }
     in
-    let config = serve_config capacity max_batch in
+    let config =
+      { (serve_config capacity max_batch) with
+        Vblu_serve.Service.setup_cache }
+    in
     let report = S.Loadgen.run ~pool:(pool_of domains) ?obs ~config spec in
     if checksum then print_endline (S.Loadgen.checksum report)
     else Format.printf "%a@." S.Loadgen.pp_report report;
@@ -1060,8 +1084,210 @@ let loadgen_cmd =
     Term.(
       const run $ serve_requests_arg $ serve_seed_arg $ serve_load_arg
       $ serve_deadline_arg $ domains_arg $ serve_capacity_arg
-      $ serve_max_batch_arg $ serve_ilu0_share_arg $ checksum_arg
-      $ no_verify_arg $ trace_arg $ metrics_arg)
+      $ serve_max_batch_arg $ serve_ilu0_share_arg $ repeat_share_arg
+      $ setup_cache_arg $ checksum_arg $ no_verify_arg $ trace_arg
+      $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Time-stepping workload: amortized preconditioner setup              *)
+
+let ts_refresh_conv =
+  let parse s =
+    match Vblu_workloads.Timestep.refresh_of_string s with
+    | Ok r -> Ok r
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf r =
+    Format.pp_print_string ppf (Vblu_workloads.Timestep.refresh_name r)
+  in
+  Arg.conv (parse, print)
+
+let ts_family_conv =
+  let parse s =
+    match Vblu_workloads.Timestep.family_of_string s with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf f =
+    Format.pp_print_string ppf (Vblu_workloads.Timestep.family_name f)
+  in
+  Arg.conv (parse, print)
+
+let timestep_cmd =
+  let module T = Vblu_workloads.Timestep in
+  let steps_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "steps" ] ~docv:"N" ~doc:"Number of time steps to solve.")
+  in
+  let nx_arg =
+    Arg.(value & opt int 24 & info [ "nx" ] ~docv:"N" ~doc:"Grid width.")
+  in
+  let ny_arg =
+    Arg.(value & opt int 24 & info [ "ny" ] ~docv:"N" ~doc:"Grid height.")
+  in
+  let peclet_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "peclet" ] ~docv:"PE" ~doc:"Convection strength.")
+  in
+  let drift_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "drift" ] ~docv:"X"
+          ~doc:
+            "Relative amplitude of the drifting convection band — how \
+             much of the matrix changes per step (the sparsity pattern \
+             never changes).")
+  in
+  let refresh_arg =
+    Arg.(
+      value & opt ts_refresh_conv T.Every_step
+      & info [ "refresh" ] ~docv:"POLICY"
+          ~doc:
+            "Preconditioner refresh policy: $(b,every-step), \
+             $(b,every:K) (refresh every K steps), or $(b,on-stall) / \
+             $(b,on-stall:G) (refresh when IDR(4) iterations grow by \
+             more than G over the last refresh).")
+  in
+  let tol_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "tol" ] ~docv:"T"
+          ~doc:
+            "Dirty-block tolerance: a block is refactored when its max \
+             entry change exceeds T (0 = any bitwise change refactors — \
+             results then match a fresh setup bit for bit).")
+  in
+  let full_arg =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "Disable partial refactorization: every refresh rebuilds \
+             every block (the baseline the partial path is gated \
+             against).")
+  in
+  let family_arg =
+    Arg.(
+      value & opt ts_family_conv T.Jacobi
+      & info [ "precond" ] ~docv:"FAMILY"
+          ~doc:"Preconditioner family: $(b,jacobi) or $(b,ilu0).")
+  in
+  let run steps nx ny peclet drift refresh tol full family domains layout
+      trace metrics =
+    setup_logs ();
+    with_obs trace metrics @@ fun obs ->
+    let mode = if full then T.Full else T.Partial tol in
+    let r =
+      T.run ~pool:(pool_of domains) ~nx ~ny ~peclet ~drift ~steps ~family
+        ~refresh ~mode ~layout ?obs ()
+    in
+    Format.printf
+      "@[<v>timestep: %s, refresh %s, mode %s, %dx%d grid, %d steps@,@,\
+       %-5s %-9s %6s %6s %8s %9s %6s %10s@,"
+      (T.family_name family) (T.refresh_name refresh) (T.mode_name mode) nx
+      ny steps "step" "refreshed" "dirty" "reused" "launches" "setup-tx"
+      "iters" "residual";
+    Array.iter
+      (fun (s : T.step_stat) ->
+        Format.printf "%-5d %-9s %6d %6d %8d %9d %6d %10.3e@," s.T.step
+          (if s.T.refreshed then "yes" else "-")
+          s.T.dirty s.T.reused s.T.launches s.T.setup_transactions
+          s.T.iterations s.T.residual_norm)
+      r.T.steps;
+    Format.printf
+      "@,refreshes      %d (+%d stall guards)@,setup launches %d@,setup \
+       transactions %d@,setup modelled %.6fs@,total iterations %d@,final \
+       residual %.3e@,solution checksum %.17g@]@."
+      r.T.refreshes r.T.guard_refreshes r.T.total_launches
+      r.T.total_setup_transactions r.T.total_setup_modelled_seconds
+      r.T.total_iterations r.T.final_residual r.T.solution_checksum
+  in
+  Cmd.v
+    (Cmd.info "timestep"
+       ~doc:
+         "Time-stepping workload: re-solve a drifting convection\\xe2\\x80\\x93\
+          diffusion system over N steps, amortizing preconditioner setup \
+          with dirty-block tracking and partial batched \
+          refactorization.")
+    Term.(
+      const run $ steps_arg $ nx_arg $ ny_arg $ peclet_arg $ drift_arg
+      $ refresh_arg $ tol_arg $ full_arg $ family_arg $ domains_arg
+      $ layout_arg $ trace_arg $ metrics_arg)
+
+(* CI gate: partial refactorization must cost strictly fewer setup
+   transactions than full refresh at bit-identical solutions, for both
+   families; and the whole trajectory must be domain-count invariant. *)
+let timestep_check_cmd =
+  let module T = Vblu_workloads.Timestep in
+  let run () =
+    setup_logs ();
+    let failures = ref 0 in
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          incr failures;
+          Printf.printf "FAIL %s\n" msg)
+        fmt
+    in
+    let run_one ~domains ~family ~mode () =
+      T.run ~pool:(pool_of domains) ~nx:16 ~ny:16 ~steps:10 ~family
+        ~refresh:T.Every_step ~mode ()
+    in
+    List.iter
+      (fun family ->
+        let name = T.family_name family in
+        let full = run_one ~domains:1 ~family ~mode:T.Full () in
+        let partial = run_one ~domains:1 ~family ~mode:(T.Partial 0.0) () in
+        if
+          Int64.bits_of_float partial.T.solution_checksum
+          <> Int64.bits_of_float full.T.solution_checksum
+        then
+          fail "%s: partial refresh changed the solution trajectory" name
+        else
+          Printf.printf "ok   %-6s partial == full, bitwise (checksum %.17g)\n"
+            name partial.T.solution_checksum;
+        if partial.T.total_iterations <> full.T.total_iterations then
+          fail "%s: partial refresh changed iteration counts" name;
+        if
+          partial.T.total_setup_transactions
+          >= full.T.total_setup_transactions
+        then
+          fail "%s: partial setup tx %d not below full %d" name
+            partial.T.total_setup_transactions full.T.total_setup_transactions
+        else
+          Printf.printf "ok   %-6s partial setup tx %d < full %d (%.1f%%)\n"
+            name partial.T.total_setup_transactions
+            full.T.total_setup_transactions
+            (100.0
+            *. float_of_int partial.T.total_setup_transactions
+            /. float_of_int full.T.total_setup_transactions);
+        let p2 = run_one ~domains:2 ~family ~mode:(T.Partial 0.0) () in
+        if
+          Int64.bits_of_float p2.T.solution_checksum
+          <> Int64.bits_of_float partial.T.solution_checksum
+          || p2.T.total_setup_transactions
+             <> partial.T.total_setup_transactions
+        then fail "%s: trajectory differs at domains=2" name
+        else Printf.printf "ok   %-6s domain-count invariant\n" name)
+      [ T.Jacobi; T.Ilu0 ];
+    if !failures > 0 then begin
+      Printf.eprintf "timestep-check: %d gate(s) failed\n" !failures;
+      exit 1
+    end
+    else Printf.printf "timestep-check: all gates passed\n"
+  in
+  Cmd.v
+    (Cmd.info "timestep-check"
+       ~doc:
+         "CI gate for amortized preconditioner setup: partial \
+          refactorization must spend strictly fewer setup transactions \
+          than full refresh at a bit-identical solution trajectory (both \
+          families), invariant across $(b,--domains) values (exit 1 \
+          otherwise).")
+    Term.(const run $ const ())
+
 
 let cmds =
   [
@@ -1113,6 +1339,8 @@ let cmds =
     precond_check_cmd;
     serve_cmd;
     loadgen_cmd;
+    timestep_cmd;
+    timestep_check_cmd;
     csv_cmd;
     all_cmd;
     bench_compare_cmd;

@@ -1,0 +1,13 @@
+let record obs ~family ~fresh ~reused ~dirty =
+  match obs with
+  | None -> ()
+  | Some _ ->
+    let labels = [ ("family", family) ] in
+    if fresh > 0 then
+      Ctx.incr_l obs "precond.setup.fresh" labels (float_of_int fresh);
+    if reused > 0 then
+      Ctx.incr_l obs "precond.setup.reused" labels (float_of_int reused);
+    if dirty > 0 then
+      Ctx.incr_l obs "precond.setup.dirty_blocks" labels (float_of_int dirty);
+    if reused > 0 && fresh > 0 then
+      Ctx.incr_l obs "precond.setup.partial" labels 1.0

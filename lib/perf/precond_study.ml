@@ -3,6 +3,7 @@ open Vblu_precond
 open Vblu_krylov
 module Pool = Vblu_par.Pool
 module Batch = Vblu_core.Batch
+module Ctx = Vblu_obs.Ctx
 
 type family = Jacobi | Ilu0 | Ras
 
@@ -180,12 +181,8 @@ let run_suite ?(quick = false) ?entries ?(families = [ Jacobi; Ilu0; Ras ])
     | None ->
       if quick then List.filteri (fun i _ -> i < 12) Suite.all else Suite.all
   in
-  (* Entries run sequentially; the pool goes to the preconditioners, so
-     the batched setup and apply waves exercise the requested domain
-     count.  Their fan-out is bitwise deterministic, which is what the
-     CI cross-domain gate checks. *)
-  let runs =
-    List.concat_map
+  let prepared =
+    List.map
       (fun entry ->
         let a = Suite.matrix entry in
         let n, _ = Vblu_sparse.Csr.dims a in
@@ -193,11 +190,45 @@ let run_suite ?(quick = false) ?entries ?(families = [ Jacobi; Ilu0; Ras ])
         progress
           (Printf.sprintf "%2d/%d %s (n=%d, nnz=%d)" entry.Suite.id
              (List.length entries) entry.Suite.name n (Vblu_sparse.Csr.nnz a));
-        List.map
-          (one_run ~pool ~policy ~max_block_size ~subdomains ~overlap ?obs
-             entry a b)
-          families)
+        (entry, a, b))
       entries
+  in
+  let jobs =
+    Array.of_list
+      (List.concat_map
+         (fun (entry, a, b) -> List.map (fun f -> (entry, a, b, f)) families)
+         prepared)
+  in
+  (* A one-domain pool reproduces the historical path exactly: jobs run in
+     order with the pool handed to the preconditioners.  A multi-domain
+     pool instead fans the (entry × family) jobs across the domains — the
+     study loop itself parallelizes — with sequential inner
+     preconditioners, so the total domain count stays bounded.  Either
+     way every run's iteration counts and modelled numbers are bitwise
+     identical (the batched kernels are domain-count invariant), which is
+     what the CI cross-domain gate checks; only wall-clock fields vary.
+     Observability: each parallel job records into a [Ctx.sub] child
+     grafted back in job order, so traces and metrics stay
+     deterministic. *)
+  let runs =
+    if Pool.num_domains pool <= 1 || Array.length jobs <= 1 then
+      Array.to_list
+        (Array.map
+           (fun (entry, a, b, family) ->
+             one_run ~pool ~policy ~max_block_size ~subdomains ~overlap ?obs
+               entry a b family)
+           jobs)
+    else begin
+      let subs = Array.map (fun _ -> Ctx.sub obs) jobs in
+      let results =
+        Pool.parallel_init pool (Array.length jobs) (fun i ->
+            let entry, a, b, family = jobs.(i) in
+            one_run ~pool:Pool.sequential ~policy ~max_block_size ~subdomains
+              ~overlap ?obs:subs.(i) entry a b family)
+      in
+      Array.iter (fun s -> Ctx.graft ~into:obs s) subs;
+      Array.to_list results
+    end
   in
   { runs; max_block_size; subdomains; overlap }
 

@@ -71,13 +71,16 @@ val run_suite :
     convection–diffusion subset the CI gate asserts on); [families]
     defaults to all three; [max_block_size]
     (default 16) is the shared supervariable bound; [subdomains]/[overlap]
-    (defaults 4/8) parameterize the RAS runs.  [pool] fans the matrices
-    (default sequential) is handed to every preconditioner, so the
-    batched setup and apply waves exercise the requested domain count;
-    iteration counts and modelled numbers are bit-identical for any
-    domain count — only the wall-clock fields vary (the cross-domain
-    assertion the CI precond gate makes).  [obs] records every setup and
-    kernel launch. *)
+    (defaults 4/8) parameterize the RAS runs.  [pool] (default
+    sequential): with one domain it is handed to every preconditioner as
+    before; with more, the {e study loop itself} fans the
+    (entry × family) jobs across the domains, each job running its
+    preconditioner sequentially.  Iteration counts and modelled numbers
+    are bit-identical for any domain count — only the wall-clock fields
+    vary (the cross-domain assertion the CI precond gate makes).  [obs]
+    records every setup and kernel launch; parallel jobs record into
+    {!Vblu_obs.Ctx.sub} children grafted back in job order, so the
+    registry and traces stay deterministic too. *)
 
 val find : t -> Suite.entry -> family -> run option
 

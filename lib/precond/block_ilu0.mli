@@ -123,6 +123,68 @@ val create :
     exceeds the warp width, or the blocking is invalid.
     @raise Singular_block under the [Fail] policy. *)
 
+(** {1 Amortized setup}
+
+    The sparsity pattern — hence the blocking, both level schedules, and
+    every dependency list — is invariant under value drift, so a
+    {!handle} keeps the elimination state alive across time steps and
+    {!update} re-runs only the dirty part: block rows whose own entries
+    moved past the tolerance, closed over the lower elimination DAG (a
+    row whose dependency re-eliminated has changed inputs and must
+    re-eliminate too).  Elimination waves with no dirty rows issue no
+    launches.  Clean rows keep their post-elimination blocks and factors
+    bitwise, so [update ~tol:0.] is bit-identical to a fresh setup.
+    Handles take no fault plan and no ABFT — amortization targets the
+    fault-free steady state. *)
+
+type handle
+
+val handle :
+  ?pool:Vblu_par.Pool.t ->
+  ?prec:Precision.t ->
+  ?layout:Vblu_core.Batch.layout ->
+  ?policy:Block_jacobi.breakdown_policy ->
+  ?max_block_size:int ->
+  ?blocking:Supervariable.blocking ->
+  ?obs:Vblu_obs.Ctx.t ->
+  Csr.t ->
+  handle
+(** [handle a] runs the same batched elimination as {!create} (same
+    launches, same factors bitwise) but keeps the working state for
+    later {!update} calls.  The returned {!precond} stays valid across
+    refreshes — updates swap the staged apply waves in place.
+    @raise Invalid_argument / [Singular_block] as {!create}. *)
+
+val update :
+  ?tol:float -> ?force_all:bool -> handle -> Csr.t -> Block_jacobi.update_stats
+(** [update h a] re-extracts values from [a] (same pattern as the handle
+    matrix), marks dirty the block rows whose entries changed by more
+    than [tol] (default [0.] — any bitwise change) plus the DAG closure,
+    and re-eliminates exactly those rows through the filtered batched
+    waves.  [~force_all:true] re-eliminates everything (full-refresh
+    baseline).  [dirty_blocks]/[refactored]/[reused] in the returned
+    stats count block rows; [launches]/[setup_transactions]/
+    [modelled_seconds] cover the TRSM/GEMM/LU waves actually issued.
+    Records [precond.setup.*] metrics when the handle carries an
+    observability context.
+    @raise Invalid_argument on a dimension or sparsity-pattern mismatch.
+    @raise Singular_block under the [Fail] policy when a dirty row
+    breaks down (the handle is left partially refreshed). *)
+
+val precond : handle -> Preconditioner.t
+val last_update : handle -> Block_jacobi.update_stats
+(** Stats of the most recent build or refresh. *)
+
+val handle_info : handle -> info
+(** The {!info} record rebuilt from the current per-row state;
+    [setup_launches]/[setup_modelled_seconds] cover the most recent
+    build or refresh. *)
+
+val handle_factors : handle -> (Matrix.t * int array) array
+(** Per-block-row diagonal factors (normal storage) and pivots —
+    read-only; exposed so tests can assert bitwise reuse and
+    fresh/update identity. *)
+
 type ras_info = {
   subdomains : int;
   overlap : int;  (** rows of one-sided overlap. *)

@@ -150,3 +150,81 @@ val create :
     @raise Invalid_argument if [a] is not square or the blocking invalid.
     @raise Singular_block under the {!Fail} breakdown policy.
     @raise Fault_detected under the [Fail] recovery policy. *)
+
+(** {1 Amortized setup}
+
+    Time-stepping drivers re-solve a drifting system whose sparsity
+    pattern — hence the supervariable blocking — is fixed.  A {!handle}
+    keeps the value snapshot and per-block factors alive across steps so
+    {!update} only refactors the blocks whose entries moved: the dirty
+    set (per-block max |Δa| against a tolerance) is gathered into one
+    small variable-size batched-LU launch, and clean blocks keep their
+    factors, pivots and outcome bitwise.  Because the batched kernel is
+    bit-identical to the CPU reference factorization per problem,
+    [update ~tol:0.] is bit-identical to a fresh setup.  Handles cover
+    the {!Lu} variant and take no fault plan — amortization targets the
+    fault-free steady state. *)
+
+type handle
+
+type update_stats = {
+  dirty_blocks : int list;
+      (** indices refactored by this refresh, ascending. *)
+  refactored : int;  (** [List.length dirty_blocks]. *)
+  reused : int;  (** blocks whose factors were reused bitwise. *)
+  launches : int;
+      (** batched LU launches issued: 0 when nothing moved, 1 for a
+          clean refresh, 2 when a [Perturb] rescue pass ran. *)
+  setup_transactions : int;
+      (** modelled 32-byte global-memory transactions of those
+          launches. *)
+  modelled_seconds : float;  (** modelled kernel time of those launches. *)
+}
+
+val handle :
+  ?pool:Pool.t ->
+  ?prec:Precision.t ->
+  ?policy:breakdown_policy ->
+  ?layout:Vblu_core.Batch.layout ->
+  ?max_block_size:int ->
+  ?blocking:Supervariable.blocking ->
+  ?obs:Vblu_obs.Ctx.t ->
+  Csr.t ->
+  handle
+(** [handle a] builds a reusable block-Jacobi setup: every diagonal block
+    is factored through one variable-size batched LU launch (bit-identical
+    to {!create}[ ~variant:Lu] by the kernel/reference parity contract).
+    The returned {!precond} stays valid across {!update} calls — refreshes
+    swap the per-block solvers in place.
+    @raise Invalid_argument if [a] is not square or the blocking invalid.
+    @raise Singular_block under the {!Fail} breakdown policy. *)
+
+val update : ?tol:float -> ?force_all:bool -> handle -> Csr.t -> update_stats
+(** [update h a] re-extracts values from [a] (same pattern as the matrix
+    the handle was built from) and refactors only the dirty blocks — the
+    blocks whose diagonal-block entries changed by more than [tol]
+    (default [0.], meaning any bitwise change) — through one batched LU
+    launch sized by the drift.  [~force_all:true] refactors every block
+    regardless of the tolerance (the full-refresh baseline; also the
+    guard-rebuild path).  With [tol = 0.] the handle's factors, pivots
+    and outcomes afterwards are bit-identical to a fresh {!handle} on
+    [a].  Records [precond.setup.*] metrics when the handle carries an
+    observability context.
+    @raise Invalid_argument on a dimension or sparsity-pattern mismatch.
+    @raise Singular_block under the {!Fail} breakdown policy when a dirty
+    block breaks down (the handle is left partially refreshed). *)
+
+val precond : handle -> Preconditioner.t
+(** The live preconditioner; [setup_seconds] covers the initial build. *)
+
+val handle_blocking : handle -> Supervariable.blocking
+val last_update : handle -> update_stats
+(** Stats of the most recent build or refresh. *)
+
+val handle_info : handle -> info
+(** Outcome lists rebuilt from the current per-block state (recovery
+    outcomes are impossible on a handle: no faults, no ABFT). *)
+
+val handle_factors : handle -> Lu.factors option array
+(** Per-block factors ([None] = identity fallback) — read-only; exposed
+    so tests can assert bitwise reuse and fresh/update identity. *)

@@ -62,6 +62,12 @@ type launch_report = {
   outcomes : outcome array;  (** one per problem, in submission order. *)
   problems : int;
   coalesced_blocks : int;  (** total blocks across the shared batch. *)
+  setup_fresh_blocks : int;
+      (** blocks (Jacobi) / block rows (ILU0) factored by this wave's
+          launches. *)
+  setup_reused_blocks : int;
+      (** blocks whose cached factors were reused bitwise — 0 without a
+          {!Setup_cache}. *)
   modelled_seconds : float;
       (** modelled kernel time of the shared LU + TRSV launches — what
           the service's virtual clock advances by. *)
@@ -74,6 +80,7 @@ val run :
   ?prec:Precision.t ->
   ?faults:Vblu_fault.Fault.Plan.t ->
   ?abft:bool ->
+  ?cache:Setup_cache.t ->
   ?obs:Vblu_obs.Ctx.t ->
   problem array ->
   launch_report
@@ -84,6 +91,13 @@ val run :
     is a no-op returning {!empty_report}.  Fault plans address [Jacobi]
     problems by {e global block index} within the coalesced batch and
     each [Ilu0] setup independently; claims are one-shot, so re-running
-    a faulted request comes back clean.  @raise Invalid_argument on an
-    invalid problem — callers are expected to have {!validate}d at
-    admission. *)
+    a faulted request comes back clean.
+
+    [?cache] enables cross-wave setup reuse for recurring problems (see
+    {!Setup_cache}): blocks whose fingerprinted setup is bitwise current
+    skip the factorization launch, without changing any returned [y] —
+    reused factors are the bits a fresh launch would compute.  The cache
+    is bypassed whenever a fault plan is armed.  Records
+    [precond.setup.*] metrics per family when [?obs] is given.
+    @raise Invalid_argument on an invalid problem — callers are expected
+    to have {!validate}d at admission. *)

@@ -41,12 +41,21 @@ type spec = {
           (selected deterministically by request index, so the random
           stream is unchanged for any share); the rest are block-Jacobi.
           0..1, default 0. *)
+  repeat_share : float;
+      (** fraction of requests replaced by a recurring-tenant
+          resubmission: the same sparsity pattern as an earlier request
+          with slightly drifted values and rhs (again selected by index,
+          so every non-repeat request is bit-identical for any share) —
+          the workload the service's setup cache
+          ({!Service.config}[.setup_cache]) amortizes.  0..1,
+          default 0. *)
   verify : bool;  (** recompute every completion directly and compare. *)
 }
 
 val default_spec : spec
 (** seed 7, 200 requests, load 1.0, 1 step/window, deadlines at 50
-    windows, 2–6 blocks of size 4–16, all block-Jacobi, verify on. *)
+    windows, 2–6 blocks of size 4–16, all block-Jacobi, no repeats,
+    verify on. *)
 
 type report = {
   submitted : int;

@@ -11,6 +11,7 @@ type config = {
   seed : int;
   prec : Precision.t;
   abft : bool;
+  setup_cache : bool;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     seed = 42;
     prec = Precision.Double;
     abft = true;
+    setup_cache = false;
   }
 
 type reject_reason =
@@ -65,6 +67,7 @@ type t = {
   cfg : config;
   pool : Vblu_par.Pool.t;
   faults : Vblu_fault.Fault.Plan.t option;
+  cache : Setup_cache.t option;
   obs : Vblu_obs.Ctx.t option;
   clock : Clock.t;
   lock : Mutex.t;
@@ -78,6 +81,8 @@ type t = {
   mutable steps : int;
   mutable launches : int;
   mutable coalesced : int;
+  mutable setup_fresh : int;
+  mutable setup_reused : int;
   mutable occupancy_sum : float;
   mutable max_step_seconds : float;
   mutable latencies : float list;
@@ -95,6 +100,7 @@ let create ?(pool = Vblu_par.Pool.sequential) ?faults ?obs ?clock cfg =
     cfg;
     pool;
     faults;
+    cache = (if cfg.setup_cache then Some (Setup_cache.create ()) else None);
     obs;
     clock;
     lock = Mutex.create ();
@@ -108,6 +114,8 @@ let create ?(pool = Vblu_par.Pool.sequential) ?faults ?obs ?clock cfg =
     steps = 0;
     launches = 0;
     coalesced = 0;
+    setup_fresh = 0;
+    setup_reused = 0;
     occupancy_sum = 0.0;
     max_step_seconds = 0.0;
     latencies = [];
@@ -242,7 +250,7 @@ let step_locked ?(force = false) t =
     if Array.length launched = 0 then Batcher.empty_report
     else
       Batcher.run ~pool:t.pool ~prec:t.cfg.prec ?faults:t.faults
-        ~abft:t.cfg.abft ?obs:t.obs
+        ~abft:t.cfg.abft ?cache:t.cache ?obs:t.obs
         (Array.map (fun r -> r.problem) launched)
   in
   let step_seconds = t.cfg.window +. report.Batcher.modelled_seconds in
@@ -322,6 +330,8 @@ let step_locked ?(force = false) t =
   if Array.length launched > 0 then begin
     t.launches <- t.launches + 1;
     t.coalesced <- t.coalesced + report.Batcher.coalesced_blocks;
+    t.setup_fresh <- t.setup_fresh + report.Batcher.setup_fresh_blocks;
+    t.setup_reused <- t.setup_reused + report.Batcher.setup_reused_blocks;
     t.occupancy_sum <-
       t.occupancy_sum
       +. (float_of_int (Array.length launched) /. float_of_int t.cfg.max_batch);
@@ -364,6 +374,8 @@ type health = {
   h_steps : int;
   h_launches : int;
   h_coalesced_blocks : int;
+  h_setup_fresh_blocks : int;
+  h_setup_reused_blocks : int;
   h_mean_occupancy : float;
   h_p50_latency : float;
   h_p99_latency : float;
@@ -397,6 +409,8 @@ let health t =
         h_steps = t.steps;
         h_launches = t.launches;
         h_coalesced_blocks = t.coalesced;
+        h_setup_fresh_blocks = t.setup_fresh;
+        h_setup_reused_blocks = t.setup_reused;
         h_mean_occupancy =
           (if t.launches = 0 then 0.0
            else t.occupancy_sum /. float_of_int t.launches);
@@ -415,11 +429,13 @@ let pp_health ppf h =
   Format.fprintf ppf
     "@[<v>now            %.6fs@,queue depth    %d@,pending        \
      %d@,breaker        %s@,steps          %d@,launches       \
-     %d@,coalesced blks %d@,mean occupancy %.3f@,p50 latency    \
+     %d@,coalesced blks %d@,setup blocks   %d fresh / %d reused@,mean \
+     occupancy %.3f@,p50 latency    \
      %.6fs@,p99 latency    %.6fs@,max step       %.6fs@,cache          \
      %d hits / %d misses / %d direct@]"
     h.h_now h.h_queue_depth h.h_pending
     (Policy.state_name h.h_breaker)
-    h.h_steps h.h_launches h.h_coalesced_blocks h.h_mean_occupancy
+    h.h_steps h.h_launches h.h_coalesced_blocks h.h_setup_fresh_blocks
+    h.h_setup_reused_blocks h.h_mean_occupancy
     h.h_p50_latency h.h_p99_latency h.h_max_step_seconds h.h_cache_hits
     h.h_cache_misses h.h_cache_direct

@@ -52,12 +52,19 @@ type config = {
       (** run the launches with ABFT checks (required for fault
           verdicts — without it transient faults go undetected and
           nothing retries). *)
+  setup_cache : bool;
+      (** keep a {!Setup_cache} across waves so recurring requests
+          (fingerprinted by sparsity pattern + blocking bound + family)
+          reuse their previous setup and only refactor drifted blocks.
+          Results stay bit-identical; only the modelled launch times —
+          hence latencies — shrink.  Bypassed while a fault plan is
+          armed.  Off by default. *)
 }
 
 val default_config : config
 (** capacity 256, max_batch 64, min_fill 16, max_wait 2 ms, window
     1 ms, {!Policy.default_retry}, {!Policy.default_breaker}, seed 42,
-    double precision, ABFT on. *)
+    double precision, ABFT on, setup cache off. *)
 
 type reject_reason =
   | Queue_full of { depth : int; capacity : int }
@@ -135,6 +142,10 @@ type health = {
   h_steps : int;
   h_launches : int;
   h_coalesced_blocks : int;  (** total blocks over all launches. *)
+  h_setup_fresh_blocks : int;
+      (** blocks factored by the waves' setup launches. *)
+  h_setup_reused_blocks : int;
+      (** blocks served from the setup cache (0 with the cache off). *)
   h_mean_occupancy : float;
       (** mean problems-per-launch / max_batch, in [0, 1]. *)
   h_p50_latency : float;  (** nearest-rank over completed requests. *)

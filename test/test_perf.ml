@@ -163,6 +163,29 @@ let test_solver_study_and_figs () =
   Solver_figs.table1 ppf study;
   Solver_figs.ablation_variants ppf study
 
+(* The precond study's job fan-out must not perturb results: a
+   multi-domain pool produces bitwise the same iteration counts and
+   modelled numbers as the sequential loop. *)
+let test_precond_study_pool_identity () =
+  let entries = List.filteri (fun i _ -> i < 2) Vblu_workloads.Suite.all in
+  let families = [ Precond_study.Jacobi; Precond_study.Ilu0 ] in
+  let seq = Precond_study.run_suite ~entries ~families () in
+  let pool = Vblu_par.Pool.create ~num_domains:3 () in
+  let par = Precond_study.run_suite ~entries ~families ~pool () in
+  Alcotest.(check int) "run count" (List.length seq.Precond_study.runs)
+    (List.length par.Precond_study.runs);
+  List.iter2
+    (fun (a : Precond_study.run) (b : Precond_study.run) ->
+      Alcotest.(check int) "iterations" a.Precond_study.iterations
+        b.Precond_study.iterations;
+      Alcotest.(check int) "apply transactions"
+        a.Precond_study.apply_transactions b.Precond_study.apply_transactions;
+      Alcotest.(check bool) "modelled apply bitwise" true
+        (Int64.equal
+           (Int64.bits_of_float a.Precond_study.modelled_apply_seconds)
+           (Int64.bits_of_float b.Precond_study.modelled_apply_seconds)))
+    seq.Precond_study.runs par.Precond_study.runs
+
 let () =
   Alcotest.run "perf"
     [
@@ -185,5 +208,7 @@ let () =
           Alcotest.test_case "kernel figures (quick)" `Slow test_kernel_figs_run;
           Alcotest.test_case "solver study (quick)" `Slow
             test_solver_study_and_figs;
+          Alcotest.test_case "precond study pool identity" `Quick
+            test_precond_study_pool_identity;
         ] );
     ]

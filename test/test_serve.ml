@@ -528,6 +528,101 @@ let test_composition () =
     (List.tl runs)
 
 (* ------------------------------------------------------------------ *)
+(* Setup cache: recurring requests reuse setup, bit-identically        *)
+
+(* Drift only the last stored entry (it lives in the last block row):
+   earlier blocks stay bitwise current, so both families — including
+   ILU0, whose dirty closure propagates downstream only — must reuse
+   some cached setup on the recurring wave. *)
+let drift_values (p : Batcher.problem) =
+  let a = p.Batcher.a in
+  let values = Array.copy a.Csr.values in
+  let last = Array.length values - 1 in
+  values.(last) <- values.(last) *. 1.001;
+  let a' =
+    Csr.create ~n_rows:a.Csr.n_rows ~n_cols:a.Csr.n_cols
+      ~row_ptr:(Array.copy a.Csr.row_ptr) ~col_idx:(Array.copy a.Csr.col_idx)
+      ~values
+  in
+  { p with Batcher.a = a' }
+
+let test_setup_cache_recurring family =
+  let st = state 41 in
+  let p0 =
+    match family with
+    | Batcher.Jacobi -> random_problem st
+    | Batcher.Ilu0 -> { (random_problem st) with Batcher.precond = Batcher.Ilu0 }
+  in
+  let svc =
+    Service.create { quick_config with Service.setup_cache = true }
+  in
+  let id0 = Service.submit svc p0 in
+  Service.drain svc;
+  let fresh_cold = (Service.health svc).Service.h_setup_fresh_blocks in
+  let p1 = drift_values p0 in
+  let id1 = Service.submit svc p1 in
+  Service.drain svc;
+  let check id p =
+    match Service.status svc id with
+    | Service.Completed { y; _ } ->
+      Alcotest.(check bool) "bit-identical to direct solve" true
+        (y = direct_solve p)
+    | _ -> Alcotest.fail "expected completion"
+  in
+  check id0 p0;
+  check id1 p1;
+  let h = Service.health svc in
+  Alcotest.(check bool) "second wave reused cached setup" true
+    (h.Service.h_setup_reused_blocks > 0);
+  Alcotest.(check bool) "recurring wave factored fewer blocks than cold" true
+    (h.Service.h_setup_fresh_blocks < 2 * fresh_cold)
+
+let test_setup_cache_jacobi () = test_setup_cache_recurring Batcher.Jacobi
+let test_setup_cache_ilu0 () = test_setup_cache_recurring Batcher.Ilu0
+
+(* With no recurring requests the cache must be inert: the report
+   checksum (latencies included) matches the uncached run bit for bit. *)
+let test_setup_cache_inert_without_repeats () =
+  let spec =
+    { Loadgen.default_spec with Loadgen.requests = 30; deadline_windows = 8.0 }
+  in
+  let off = Loadgen.run ~config:quick_config spec in
+  let on_ =
+    Loadgen.run
+      ~config:{ quick_config with Service.setup_cache = true }
+      spec
+  in
+  Alcotest.(check string) "checksums equal" (Loadgen.checksum off)
+    (Loadgen.checksum on_)
+
+let test_loadgen_repeat_share () =
+  let spec =
+    {
+      Loadgen.default_spec with
+      Loadgen.requests = 60;
+      deadline_windows = 10.0;
+      ilu0_share = 0.2;
+      repeat_share = 0.3;
+    }
+  in
+  let cached =
+    Loadgen.run ~config:{ quick_config with Service.setup_cache = true } spec
+  in
+  Alcotest.(check bool) "accounted" true cached.Loadgen.accounted;
+  Alcotest.(check bool) "verified bit-identical" true cached.Loadgen.verified;
+  let uncached = Loadgen.run ~config:quick_config spec in
+  Alcotest.(check bool) "uncached verified too" true uncached.Loadgen.verified;
+  Alcotest.(check int) "same completions" uncached.Loadgen.completed
+    cached.Loadgen.completed;
+  (* Repeats must leave the non-repeat prefix of the stream untouched:
+     share 0 reproduces the baseline stream. *)
+  let baseline =
+    Loadgen.run ~config:quick_config
+      { spec with Loadgen.repeat_share = 0.0 }
+  in
+  Alcotest.(check bool) "baseline verified" true baseline.Loadgen.verified
+
+(* ------------------------------------------------------------------ *)
 (* Properties: conservation + determinism under random load            *)
 
 let qcheck_conservation =
@@ -619,6 +714,17 @@ let () =
           Alcotest.test_case
             "breakdown + fault retry + deadline shed on one batch" `Quick
             test_composition;
+        ] );
+      ( "setup cache",
+        [
+          Alcotest.test_case "recurring jacobi reuses setup, bitwise" `Quick
+            test_setup_cache_jacobi;
+          Alcotest.test_case "recurring ilu0 reuses setup, bitwise" `Quick
+            test_setup_cache_ilu0;
+          Alcotest.test_case "cache inert without repeats" `Quick
+            test_setup_cache_inert_without_repeats;
+          Alcotest.test_case "loadgen repeat-share verified with cache" `Quick
+            test_loadgen_repeat_share;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest qcheck_conservation ] );
